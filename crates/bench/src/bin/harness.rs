@@ -1,0 +1,38 @@
+//! Experiment harness: prints the E1–E9 tables (text or markdown).
+//!
+//! ```sh
+//! cargo run -p semrec-bench --release --bin harness -- all
+//! cargo run -p semrec-bench --release --bin harness -- e1 e4 --quick
+//! cargo run -p semrec-bench --release --bin harness -- all --markdown
+//! ```
+
+use semrec_bench::experiments::{run, Scale, ALL};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let markdown = args.iter().any(|a| a == "--markdown");
+    let mut ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    if ids.is_empty() || ids.contains(&"all") {
+        ids = ALL.to_vec();
+    }
+    let scale = Scale { quick };
+    for id in ids {
+        match run(id, scale) {
+            Some(tables) => {
+                for t in tables {
+                    if markdown {
+                        println!("{}", t.to_markdown());
+                    } else {
+                        println!("{t}");
+                    }
+                }
+            }
+            None => eprintln!("unknown experiment `{id}` (known: {})", ALL.join(", ")),
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! # semrec-bench
+//!
+//! The experiment suite (E1–E9) and table rendering for reproducing the
+//! paper's claims. Run the printable harness with:
+//!
+//! ```sh
+//! cargo run -p semrec-bench --release --bin harness -- all
+//! ```
+//!
+//! Criterion micro-benchmarks live in `benches/` and time the same
+//! closures.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;

@@ -1,0 +1,123 @@
+//! Minimal aligned-table rendering for the experiment harness.
+
+use std::fmt;
+
+/// A titled table of string cells.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Table title (experiment id + description).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Appends a note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Renders as a GitHub-flavoured markdown table (used to fill
+    /// EXPERIMENTS.md).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            "---|".repeat(self.headers.len())
+        ));
+        for r in &self.rows {
+            out.push_str(&format!("| {} |\n", r.join(" | ")));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("\n> {n}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "\n=== {} ===", self.title)?;
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, " {c:>width$}", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        writeln!(f, " {}", "-".repeat(widths.iter().sum::<usize>() + widths.len() - 1))?;
+        for r in &self.rows {
+            line(f, r)?;
+        }
+        for n in &self.notes {
+            writeln!(f, "  note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a `Duration` compactly.
+pub fn ms(d: std::time::Duration) -> String {
+    format!("{:.2}ms", d.as_secs_f64() * 1e3)
+}
+
+/// Formats a ratio.
+pub fn ratio(a: u64, b: u64) -> String {
+    if b == 0 {
+        "∞".into()
+    } else {
+        format!("{:.2}x", a as f64 / b as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_text_and_markdown() {
+        let mut t = Table::new("E0 — demo", &["a", "bbbb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.note("a note");
+        let s = t.to_string();
+        assert!(s.contains("E0 — demo"));
+        assert!(s.contains("note: a note"));
+        let md = t.to_markdown();
+        assert!(md.contains("| a | bbbb |"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn ratio_handles_zero() {
+        assert_eq!(ratio(4, 2), "2.00x");
+        assert_eq!(ratio(1, 0), "∞");
+    }
+}

@@ -1,0 +1,116 @@
+//! Post-transformation program cleanup: removing rules that can never fire
+//! and rules unreachable from the predicates of interest (the paper's "once
+//! the rule for p^{k-1} is deleted every rule making use of the predicate
+//! p^{k-1} can be deleted", generalized).
+
+use semrec_datalog::atom::Pred;
+use semrec_datalog::program::Program;
+use std::collections::BTreeSet;
+
+/// Removes, to a fixpoint:
+/// * rules containing a trivially false comparison;
+/// * rules with a body atom whose predicate is *IDB-like* (in `idb_like`)
+///   but has no defining rule left (it can never hold); predicates outside
+///   `idb_like` are assumed extensional — they may hold facts even if the
+///   program never defines them (e.g. relations only mentioned by ICs);
+///
+/// then drops rules whose head predicate is not reachable from `roots`.
+pub fn remove_dead_rules(
+    program: &Program,
+    roots: &BTreeSet<Pred>,
+    idb_like: &BTreeSet<Pred>,
+) -> Program {
+    let mut rules = program.rules.clone();
+
+    loop {
+        let defined: BTreeSet<Pred> = rules.iter().map(|r| r.head.pred).collect();
+        let before = rules.len();
+        rules.retain(|r| {
+            if r.body_cmps().any(|c| c.is_trivially_false()) {
+                return false;
+            }
+            r.body_atoms()
+                .all(|a| !idb_like.contains(&a.pred) || defined.contains(&a.pred))
+        });
+        if rules.len() == before {
+            break;
+        }
+    }
+
+    // Reachability from the roots over the remaining rules.
+    let mut reachable: BTreeSet<Pred> = roots.clone();
+    loop {
+        let mut changed = false;
+        for r in &rules {
+            if reachable.contains(&r.head.pred) {
+                for a in r.body_atoms() {
+                    changed |= reachable.insert(a.pred);
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    rules.retain(|r| reachable.contains(&r.head.pred));
+    Program::new(rules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semrec_datalog::parser::parse_unit;
+
+    fn clean(src: &str, roots: &[&str], idb_like: &[&str]) -> Program {
+        let p = parse_unit(src).unwrap().program();
+        remove_dead_rules(
+            &p,
+            &roots.iter().map(|s| Pred::new(s)).collect(),
+            &idb_like.iter().map(|s| Pred::new(s)).collect(),
+        )
+    }
+
+    #[test]
+    fn drops_undefined_body_predicates_transitively() {
+        let p = clean(
+            "a(X) :- ghost(X).
+             b(X) :- a(X).
+             c(X) :- e(X).",
+            &["b", "c"],
+            &["a", "b", "c", "ghost"],
+        );
+        // ghost is IDB-like but undefined → a dropped → b dropped.
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.rules[0].head.pred, Pred::new("c"));
+    }
+
+    #[test]
+    fn non_idb_predicates_are_assumed_extensional() {
+        // ghost is NOT declared IDB-like → kept (it may hold EDB facts).
+        let p = clean("a(X) :- ghost(X).", &["a"], &["a"]);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn drops_trivially_false_rules() {
+        let p = clean("a(X) :- e(X), 1 > 2. a(X) :- e(X).", &["a"], &["a"]);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn drops_unreachable_rules() {
+        let p = clean("a(X) :- e(X). z(X) :- e(X).", &["a"], &["a", "z"]);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.rules[0].head.pred, Pred::new("a"));
+    }
+
+    #[test]
+    fn keeps_recursive_structures() {
+        let p = clean(
+            "t(X,Y) :- e(X,Y). t(X,Y) :- e(X,Z), t(Z,Y).",
+            &["t"],
+            &["t"],
+        );
+        assert_eq!(p.len(), 2);
+    }
+}

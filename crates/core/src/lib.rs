@@ -1,0 +1,30 @@
+//! # semrec-core
+//!
+//! The paper's contribution: semantic optimization of linear recursive
+//! Datalog programs by computing *free residues* of integrity constraints
+//! w.r.t. expansion sequences (§2–§3, Algorithm 3.1) and *pushing* them
+//! inside the recursion by program transformation (§4, Algorithm 4.1 +
+//! atom elimination / atom introduction / subtree pruning).
+//!
+//! Entry point: [`optimizer::Optimizer`].
+
+#![warn(missing_docs)]
+
+pub mod detect;
+pub mod baseline;
+pub mod cleanup;
+pub mod isolate;
+pub mod minimize;
+pub mod optimizer;
+pub mod push;
+pub mod expand;
+pub mod graph;
+pub mod hom;
+pub mod residue;
+pub mod sequence;
+pub mod subsume;
+
+pub use detect::{detect, Detection, DetectionMethod};
+pub use residue::{Residue, ResidueHead};
+pub use optimizer::{Optimizer, OptimizerConfig, Plan};
+pub use sequence::{unfold, Unfolding};

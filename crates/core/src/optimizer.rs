@@ -1,0 +1,451 @@
+//! The end-to-end compile-time pipeline: validate → rectify → detect
+//! residues (Algorithm 3.1) → choose a sequence per recursive predicate →
+//! push (isolate + optimize) → cleanup.
+
+use crate::detect::{detect, Detection, DetectionMethod};
+use crate::push::{Applied, PushPolicy, Pusher, Skipped};
+use crate::sequence::unfold;
+use semrec_datalog::analysis::{rectify, validate};
+use semrec_datalog::atom::Pred;
+use semrec_datalog::constraint::Constraint;
+use semrec_datalog::error::Error;
+use semrec_datalog::program::Program;
+use semrec_datalog::rule::Rule;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Configuration for [`Optimizer`].
+#[derive(Clone, Debug)]
+pub struct OptimizerConfig {
+    /// How to detect residues.
+    pub method: DetectionMethod,
+    /// Padding depth for the usefulness search (see [`mod@crate::detect`]).
+    pub pad: usize,
+    /// Pushing policy (enabled optimizations, small relations).
+    pub policy: PushPolicy,
+    /// Run structural minimization ([`crate::minimize`]) on the optimized
+    /// program (removes redundant atoms and subsumed rules).
+    pub minimize: bool,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            method: DetectionMethod::SdGraph,
+            pad: 3,
+            policy: PushPolicy::default(),
+            minimize: false,
+        }
+    }
+}
+
+/// The semantic optimizer.
+pub struct Optimizer {
+    program: Program,
+    ics: Vec<Constraint>,
+    config: OptimizerConfig,
+}
+
+/// The outcome of optimization.
+#[derive(Clone, Debug)]
+pub struct Plan {
+    /// The input program after rectification (the reference semantics).
+    pub rectified: Program,
+    /// The optimized program, equivalent to `rectified` on every database
+    /// satisfying the constraints.
+    pub program: Program,
+    /// All detected residues, per predicate.
+    pub detections: Vec<(Pred, Detection)>,
+    /// The sequence chosen for each optimized predicate.
+    pub chosen: BTreeMap<Pred, Vec<usize>>,
+    /// Successfully pushed residues.
+    pub applied: Vec<Applied>,
+    /// Residues that were detected but not pushed, with reasons.
+    pub skipped: Vec<Skipped>,
+    /// Number of rule-level (non-recursive) optimizations applied.
+    pub rule_level: usize,
+}
+
+impl Plan {
+    /// True if at least one optimization was applied.
+    pub fn any_applied(&self) -> bool {
+        !self.applied.is_empty() || self.rule_level > 0
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "— optimization plan —")?;
+        for (p, seq) in &self.chosen {
+            writeln!(f, "predicate {p}: isolated sequence {seq:?}")?;
+        }
+        for a in &self.applied {
+            writeln!(f, "applied {}: {} [{}]", a.kind, a.residue, a.note)?;
+        }
+        for s in &self.skipped {
+            writeln!(f, "skipped {}: {}", s.residue, s.reason)?;
+        }
+        if self.rule_level > 0 {
+            writeln!(f, "applied {} rule-level optimization(s) to non-recursive rules", self.rule_level)?;
+        }
+        writeln!(f, "— optimized program —")?;
+        write!(f, "{}", self.program)
+    }
+}
+
+impl Optimizer {
+    /// Creates an optimizer for `program` (validated lazily in [`run`]).
+    ///
+    /// [`run`]: Optimizer::run
+    pub fn new(program: &Program) -> Optimizer {
+        Optimizer {
+            program: program.clone(),
+            ics: Vec::new(),
+            config: OptimizerConfig::default(),
+        }
+    }
+
+    /// Adds integrity constraints.
+    pub fn with_constraints(mut self, ics: &[Constraint]) -> Self {
+        self.ics.extend(ics.iter().cloned());
+        self
+    }
+
+    /// Overrides the configuration.
+    pub fn with_config(mut self, config: OptimizerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Runs the pipeline.
+    pub fn run(self) -> Result<Plan, Error> {
+        validate(&self.program, &self.ics)?;
+        let (rectified, _) = rectify(&self.program);
+        let infos = validate(&rectified, &self.ics)?;
+
+        let mut detections: Vec<(Pred, Detection)> = Vec::new();
+        for info in &infos {
+            for ic in &self.ics {
+                for d in detect(&rectified, info, ic, self.config.method, self.config.pad)? {
+                    detections.push((info.pred, d));
+                }
+            }
+        }
+
+        // Group detections per predicate and sequence, score, choose.
+        let mut applied = Vec::new();
+        let mut skipped = Vec::new();
+        let mut chosen: BTreeMap<Pred, Vec<usize>> = BTreeMap::new();
+        let mut per_pred_rules: BTreeMap<Pred, Vec<Rule>> = BTreeMap::new();
+
+        for info in &infos {
+            let mine: Vec<&Detection> = detections
+                .iter()
+                .filter(|(p, _)| *p == info.pred)
+                .map(|(_, d)| d)
+                .collect();
+            if mine.is_empty() {
+                continue;
+            }
+            let Some(seq) = choose_sequence(&mine, &self.config.policy) else {
+                // Nothing pushable: record all as skipped via a dry run on
+                // their own sequences.
+                for d in mine {
+                    let u = unfold(&rectified, info, &d.residue.seq)?;
+                    let mut pusher = Pusher::new(&rectified, info, &u);
+                    pusher.push(&d.residue, &self.config.policy);
+                    let res = pusher.finish();
+                    skipped.extend(res.skipped);
+                }
+                continue;
+            };
+            let u = unfold(&rectified, info, &seq)?;
+            let mut pusher = Pusher::new(&rectified, info, &u);
+            for d in &mine {
+                if d.residue.seq == seq {
+                    pusher.push(&d.residue, &self.config.policy);
+                }
+            }
+            let res = pusher.finish();
+            if res.applied.is_empty() {
+                skipped.extend(res.skipped);
+                continue;
+            }
+            chosen.insert(info.pred, seq);
+            applied.extend(res.applied);
+            skipped.extend(res.skipped);
+            // Extract this predicate's new rule structure: its own rules
+            // plus generated (`@`-named) auxiliaries.
+            let rules: Vec<Rule> = res
+                .program
+                .rules
+                .iter()
+                .filter(|r| {
+                    r.head.pred == info.pred || r.head.pred.name().contains('@')
+                })
+                .cloned()
+                .collect();
+            per_pred_rules.insert(info.pred, rules);
+        }
+
+        // Merge: untouched rules + per-predicate transformed structures.
+        let mut rules: Vec<Rule> = Vec::new();
+        for r in &rectified.rules {
+            if !per_pred_rules.contains_key(&r.head.pred) {
+                rules.push(r.clone());
+            }
+        }
+        for (_, mut pr) in per_pred_rules {
+            rules.append(&mut pr);
+        }
+        let program = Program::new(rules);
+
+        // Non-recursive rules need no isolation: push rule-level residues
+        // (the k = 1 case, e.g. Example 4.2's eval_support rule) directly,
+        // at compile time.
+        let recursive: std::collections::BTreeSet<Pred> =
+            infos.iter().map(|i| i.pred).collect();
+        let non_recursive: std::collections::BTreeSet<Pred> = program
+            .idb_preds()
+            .into_iter()
+            .filter(|p| !recursive.contains(p) && !p.name().contains('@'))
+            .collect();
+        let (program, _, rule_level_applied) = crate::baseline::rule_level_rewrite_with(
+            &program,
+            &self.ics,
+            &self.config.policy,
+            Some(&non_recursive),
+        );
+        let program = if self.config.minimize {
+            crate::minimize::minimize_program(&program)
+        } else {
+            program
+        };
+
+        Ok(Plan {
+            rectified,
+            program,
+            detections,
+            chosen,
+            applied,
+            skipped,
+            rule_level: rule_level_applied,
+        })
+    }
+}
+
+/// Scores sequences by the optimizations their residues could drive and
+/// returns the best one (ties: shorter, then lexicographically smaller).
+fn choose_sequence(detections: &[&Detection], policy: &PushPolicy) -> Option<Vec<usize>> {
+    let mut scores: BTreeMap<Vec<usize>, i64> = BTreeMap::new();
+    for d in detections {
+        let r = &d.residue;
+        let score = match &r.head {
+            crate::residue::ResidueHead::Null => {
+                if policy.pruning {
+                    3
+                } else {
+                    0
+                }
+            }
+            crate::residue::ResidueHead::Atom(a) => {
+                if r.useful_at.is_some() && policy.elimination {
+                    2
+                } else if policy.small_relations.contains(&a.pred) && policy.introduction {
+                    1
+                } else {
+                    0
+                }
+            }
+            crate::residue::ResidueHead::Cmp(_) => {
+                if policy.introduction {
+                    1
+                } else {
+                    0
+                }
+            }
+        };
+        *scores.entry(r.seq.clone()).or_insert(0) += score;
+    }
+    scores
+        .into_iter()
+        .filter(|(_, s)| *s > 0)
+        .max_by(|(sa, a), (sb, b)| {
+            // Shortest sequence first: a residue on a short sequence is
+            // more general (it optimizes every unrolling that embeds it)
+            // and pays less commitment overhead. Then higher score, then
+            // lexicographically larger (prefers all-recursive sequences
+            // over exit-closed variants of the same length — they cover
+            // arbitrarily deep trees rather than a single depth).
+            sb.len()
+                .cmp(&sa.len())
+                .then(a.cmp(b))
+                .then(sa.cmp(sb))
+        })
+        .map(|(seq, _)| seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semrec_datalog::parser::parse_unit;
+    use semrec_engine::{evaluate, Database, Strategy};
+
+    #[test]
+    fn end_to_end_pruning_plan() {
+        let unit = parse_unit(
+            "anc(X, Xa, Y, Ya) :- par(X, Xa, Y, Ya).
+             anc(X, Xa, Y, Ya) :- anc(X, Xa, Z, Za), par(Z, Za, Y, Ya).
+             ic: Ya <= 50, par(Z, Za, Y, Ya), par(Z1, Z1a, Z, Za), par(Z2, Z2a, Z1, Z1a) -> .",
+        )
+        .unwrap();
+        let plan = Optimizer::new(&unit.program())
+            .with_constraints(&unit.constraints)
+            .run()
+            .unwrap();
+        assert!(plan.any_applied());
+        assert_eq!(plan.chosen[&Pred::new("anc")], vec![1, 1, 1]);
+        assert!(plan.to_string().contains("subtree pruning"));
+    }
+
+    #[test]
+    fn end_to_end_elimination_plan() {
+        let unit = parse_unit(
+            "eval(P, S, T) :- super(P, S, T).
+             eval(P, S, T) :- works_with(P, P1), eval(P1, S, T), expert(P, F), field(T, F).
+             ic: works_with(P2, P1), expert(P1, F1) -> expert(P2, F1).",
+        )
+        .unwrap();
+        let plan = Optimizer::new(&unit.program())
+            .with_constraints(&unit.constraints)
+            .run()
+            .unwrap();
+        assert!(plan.any_applied());
+        assert!(plan
+            .applied
+            .iter()
+            .any(|a| a.kind == crate::push::OptKind::AtomElimination));
+    }
+
+    #[test]
+    fn no_ics_means_no_change() {
+        let unit = parse_unit(
+            "anc(X, Y) :- par(X, Y). anc(X, Y) :- anc(X, Z), par(Z, Y).",
+        )
+        .unwrap();
+        let plan = Optimizer::new(&unit.program()).run().unwrap();
+        assert!(!plan.any_applied());
+        assert_eq!(plan.program, plan.rectified);
+    }
+
+    #[test]
+    fn unrelated_ic_means_no_change() {
+        let unit = parse_unit(
+            "anc(X, Y) :- par(X, Y). anc(X, Y) :- anc(X, Z), par(Z, Y).
+             ic: zig(A, B), zag(B, C) -> .",
+        )
+        .unwrap();
+        let plan = Optimizer::new(&unit.program())
+            .with_constraints(&unit.constraints)
+            .run()
+            .unwrap();
+        assert!(!plan.any_applied());
+    }
+
+    #[test]
+    fn optimized_program_evaluates_equivalently() {
+        let unit = parse_unit(
+            "anc(X, Xa, Y, Ya) :- par(X, Xa, Y, Ya).
+             anc(X, Xa, Y, Ya) :- anc(X, Xa, Z, Za), par(Z, Za, Y, Ya).
+             ic: Ya <= 50, par(Z, Za, Y, Ya), par(Z1, Z1a, Z, Za), par(Z2, Z2a, Z1, Z1a) -> .",
+        )
+        .unwrap();
+        let plan = Optimizer::new(&unit.program())
+            .with_constraints(&unit.constraints)
+            .run()
+            .unwrap();
+
+        // An IC-satisfying chain of generations (ages +30 per generation).
+        let mut db = Database::new();
+        for g in 0..6i64 {
+            db.insert(
+                "par",
+                vec![
+                    semrec_datalog::Value::Int(g),
+                    semrec_datalog::Value::Int(20 + g * 30),
+                    semrec_datalog::Value::Int(g + 1),
+                    semrec_datalog::Value::Int(20 + (g + 1) * 30),
+                ],
+            );
+        }
+        for ic in &unit.constraints {
+            assert!(db.satisfies(ic));
+        }
+        let base = evaluate(&db, &plan.rectified, Strategy::SemiNaive).unwrap();
+        let opt = evaluate(&db, &plan.program, Strategy::SemiNaive).unwrap();
+        assert_eq!(
+            base.relation("anc").unwrap().sorted_tuples(),
+            opt.relation("anc").unwrap().sorted_tuples()
+        );
+    }
+
+    #[test]
+    fn ablation_flags_disable_optimizations() {
+        let unit = parse_unit(
+            "anc(X, Xa, Y, Ya) :- par(X, Xa, Y, Ya).
+             anc(X, Xa, Y, Ya) :- anc(X, Xa, Z, Za), par(Z, Za, Y, Ya).
+             ic: Ya <= 50, par(Z, Za, Y, Ya), par(Z1, Z1a, Z, Za), par(Z2, Z2a, Z1, Z1a) -> .",
+        )
+        .unwrap();
+        let mut config = OptimizerConfig::default();
+        config.policy.pruning = false;
+        let plan = Optimizer::new(&unit.program())
+            .with_constraints(&unit.constraints)
+            .with_config(config)
+            .run()
+            .unwrap();
+        assert!(!plan.any_applied());
+    }
+}
+
+#[cfg(test)]
+mod minimize_integration_tests {
+    use super::*;
+    use semrec_datalog::parser::parse_unit;
+    use semrec_engine::{evaluate, int_tuple, Database, Strategy};
+
+    #[test]
+    fn minimize_flag_tidies_the_output() {
+        // A program with a redundant duplicate atom survives optimization
+        // untouched without the flag and loses it with the flag.
+        let unit = parse_unit(
+            "t(X, Y) :- e(X, Y), e(X, Y).
+             t(X, Y) :- e(X, Z), t(Z, Y).",
+        )
+        .unwrap();
+        let plain = Optimizer::new(&unit.program()).run().unwrap();
+        let config = OptimizerConfig {
+            minimize: true,
+            ..OptimizerConfig::default()
+        };
+        let tidy = Optimizer::new(&unit.program())
+            .with_config(config)
+            .run()
+            .unwrap();
+        let atoms = |p: &Program| -> usize {
+            p.rules.iter().map(|r| r.body.len()).sum()
+        };
+        assert!(atoms(&tidy.program) < atoms(&plain.program));
+
+        let mut db = Database::new();
+        for (a, b) in [(0, 1), (1, 2), (2, 3)] {
+            db.insert("e", int_tuple(&[a, b]));
+        }
+        let x = evaluate(&db, &plain.program, Strategy::SemiNaive).unwrap();
+        let y = evaluate(&db, &tidy.program, Strategy::SemiNaive).unwrap();
+        assert_eq!(
+            x.relation("t").unwrap().sorted_tuples(),
+            y.relation("t").unwrap().sorted_tuples()
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Connectivity of rule and constraint bodies.
+//!
+//! The paper (§1, assumption 2) requires rules and ICs to be *connected*:
+//! "for any two subgoals in the body, either they share a variable, or are
+//! both connected to a common subgoal".
+
+use crate::constraint::Constraint;
+use crate::rule::Rule;
+use crate::symbol::Symbol;
+use std::collections::BTreeSet;
+
+/// Union-find over literal indices, by shared variables.
+fn connected(components: Vec<BTreeSet<Symbol>>) -> bool {
+    let n = components.len();
+    if n <= 1 {
+        return true;
+    }
+    // Ground literals share no variables with anything; treat them as
+    // connected (they constrain nothing, and the paper's examples never
+    // contain them).
+    let live: Vec<&BTreeSet<Symbol>> = components.iter().filter(|c| !c.is_empty()).collect();
+    let m = live.len();
+    if m <= 1 {
+        return true;
+    }
+    let mut parent: Vec<usize> = (0..m).collect();
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    for i in 0..m {
+        for j in (i + 1)..m {
+            if !live[i].is_disjoint(live[j]) {
+                let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+                parent[a] = b;
+            }
+        }
+    }
+    let root = find(&mut parent, 0);
+    (1..m).all(|i| find(&mut parent, i) == root)
+}
+
+/// True if the rule body is connected (facts and single-literal bodies are
+/// trivially connected).
+pub fn rule_is_connected(rule: &Rule) -> bool {
+    connected(
+        rule.body
+            .iter()
+            .map(|l| l.vars().into_iter().collect())
+            .collect(),
+    )
+}
+
+/// True if the constraint body (database atoms and comparisons together)
+/// is connected.
+pub fn constraint_is_connected(ic: &Constraint) -> bool {
+    let mut comps: Vec<BTreeSet<Symbol>> = ic
+        .body_atoms
+        .iter()
+        .map(|a| a.vars().collect())
+        .collect();
+    comps.extend(ic.body_cmps.iter().map(|c| c.vars().collect()));
+    connected(comps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_constraints, parse_rule};
+
+    #[test]
+    fn connected_rule() {
+        let r = parse_rule("p(X,Y) :- a(X,Z), b(Z,W), c(W,Y).").unwrap();
+        assert!(rule_is_connected(&r));
+    }
+
+    #[test]
+    fn disconnected_rule() {
+        let r = parse_rule("p(X,Y) :- a(X), b(Y).").unwrap();
+        assert!(!rule_is_connected(&r));
+    }
+
+    #[test]
+    fn indirectly_connected_via_cmp() {
+        let r = parse_rule("p(X,Y) :- a(X), b(Y), X < Y.").unwrap();
+        assert!(rule_is_connected(&r));
+    }
+
+    #[test]
+    fn connected_constraint() {
+        let ics =
+            parse_constraints("ic: a(X,Y), b(Y,Z), Z > 5 -> c(Z).").unwrap();
+        assert!(constraint_is_connected(&ics[0]));
+        let ics = parse_constraints("ic: a(X), b(Y) -> .").unwrap();
+        assert!(!constraint_is_connected(&ics[0]));
+    }
+
+    #[test]
+    fn trivial_cases() {
+        assert!(rule_is_connected(&parse_rule("p(X) :- a(X).").unwrap()));
+        assert!(rule_is_connected(&parse_rule("p(1).").unwrap()));
+    }
+}

@@ -1,0 +1,133 @@
+//! Bundled validation of the paper's assumptions (§1):
+//!
+//! 1. all rules are range restricted;
+//! 2. all rules and ICs are connected;
+//! 3. only linear recursive programs, no mutual recursion;
+//! 4. ICs involve EDB relations (and evaluable predicates) only — and have
+//!    the §3 chain shape.
+
+use super::{connect, recursion, safety};
+use crate::constraint::{Constraint, IcHead};
+use crate::error::Error;
+use crate::program::Program;
+
+/// Validates `program` and `ics` against the paper's assumption bundle.
+/// Returns the recursion classification on success.
+pub fn validate(
+    program: &Program,
+    ics: &[Constraint],
+) -> Result<Vec<recursion::RecursionInfo>, Error> {
+    program.arities().map_err(Error::analysis)?;
+
+    for (i, r) in program.rules.iter().enumerate() {
+        if r.body.iter().any(|l| l.as_neg().is_some()) {
+            return Err(Error::analysis(format!(
+                "rule {i} (`{r}`) uses negation, which is outside the paper's class"
+            )));
+        }
+        if !r.is_range_restricted() {
+            return Err(Error::analysis(format!(
+                "rule {i} (`{r}`) is not range restricted"
+            )));
+        }
+        if !connect::rule_is_connected(r) {
+            return Err(Error::analysis(format!("rule {i} (`{r}`) is not connected")));
+        }
+    }
+    safety::check_program_safety(program)?;
+
+    let infos = recursion::classify_linear(program)?;
+
+    let idb = program.idb_preds();
+    for ic in ics {
+        let label = ic
+            .name
+            .map(|n| n.as_str().to_owned())
+            .unwrap_or_else(|| ic.to_string());
+        if !connect::constraint_is_connected(ic) {
+            return Err(Error::analysis(format!("constraint {label} is not connected")));
+        }
+        for a in &ic.body_atoms {
+            if idb.contains(&a.pred) {
+                return Err(Error::analysis(format!(
+                    "constraint {label} mentions IDB predicate {} in its body",
+                    a.pred
+                )));
+            }
+        }
+        if let IcHead::Atom(a) = &ic.head {
+            if idb.contains(&a.pred) {
+                return Err(Error::analysis(format!(
+                    "constraint {label} has IDB predicate {} in its head",
+                    a.pred
+                )));
+            }
+        }
+        if !ic.is_chain() {
+            return Err(Error::analysis(format!(
+                "constraint {label} does not have the chain-connected shape of §3"
+            )));
+        }
+    }
+    Ok(infos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_unit;
+
+    #[test]
+    fn accepts_paper_example() {
+        // Example 3.2 program and IC.
+        let unit = parse_unit(
+            "eval(P, S, T) :- super(P, S, T).
+             eval(P, S, T) :- works_with(P, P1), eval(P1, S, T), expert(P, F), field(T, F).
+             ic ic1: works_with(P2, P1), expert(P1, F1) -> expert(P2, F1).",
+        )
+        .unwrap();
+        let infos = validate(&unit.program(), &unit.constraints).unwrap();
+        assert_eq!(infos.len(), 1);
+    }
+
+    #[test]
+    fn rejects_idb_in_constraint() {
+        let unit = parse_unit(
+            "p(X) :- e(X).
+             ic: p(X) -> .",
+        )
+        .unwrap();
+        let err = validate(&unit.program(), &unit.constraints).unwrap_err();
+        assert!(err.to_string().contains("IDB"));
+    }
+
+    #[test]
+    fn rejects_unrestricted_rule() {
+        let unit = parse_unit("p(X, Y) :- e(X).").unwrap();
+        assert!(validate(&unit.program(), &[]).is_err());
+    }
+
+    #[test]
+    fn rejects_non_chain_ic() {
+        let unit = parse_unit(
+            "p(X) :- e(X).
+             ic: a(X,Y), b(Y,Z), c(Z,X) -> .",
+        )
+        .unwrap();
+        let err = validate(&unit.program(), &unit.constraints).unwrap_err();
+        assert!(err.to_string().contains("chain"));
+    }
+}
+
+#[cfg(test)]
+mod negation_tests {
+    use super::*;
+    use crate::parser::parse_unit;
+
+    #[test]
+    fn rejects_negation() {
+        let unit = parse_unit("p(X) :- e(X, Y), !bad(X).").unwrap();
+        let err = validate(&unit.program(), &[]).unwrap_err();
+        assert!(err.to_string().contains("negation"));
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type shared by the language substrate.
+
+use std::fmt;
+
+/// Errors raised by parsing and static analysis.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Error {
+    /// A syntax error at `line:col`.
+    Parse {
+        /// 1-based line.
+        line: usize,
+        /// 1-based column.
+        col: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// A semantic/static-analysis error (arity clash, unsafe rule, …).
+    Analysis(String),
+}
+
+impl Error {
+    /// Builds a parse error.
+    pub fn parse(line: usize, col: usize, msg: impl Into<String>) -> Error {
+        Error::Parse {
+            line,
+            col,
+            msg: msg.into(),
+        }
+    }
+
+    /// Builds an analysis error.
+    pub fn analysis(msg: impl Into<String>) -> Error {
+        Error::Analysis(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse { line, col, msg } => write!(f, "parse error at {line}:{col}: {msg}"),
+            Error::Analysis(msg) => write!(f, "analysis error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            Error::parse(3, 7, "expected ')'").to_string(),
+            "parse error at 3:7: expected ')'"
+        );
+        assert_eq!(
+            Error::analysis("boom").to_string(),
+            "analysis error: boom"
+        );
+    }
+}

@@ -1,0 +1,308 @@
+//! Tokenizer for the Prolog-like surface syntax.
+
+use crate::error::Error;
+
+/// A lexical token with its source position.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Token {
+    /// The token kind/payload.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// Token kinds.
+#[derive(Clone, PartialEq, Debug)]
+pub enum TokenKind {
+    /// Lowercase-initial identifier (predicate or symbolic constant).
+    Ident(String),
+    /// Uppercase/underscore-initial identifier (variable).
+    Var(String),
+    /// Integer literal (possibly negative).
+    Int(i64),
+    /// Quoted string literal (single or double quotes).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `:-`
+    ColonDash,
+    /// `:`
+    Colon,
+    /// `->`
+    Arrow,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `!` (negation)
+    Bang,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Short human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Var(s) => format!("variable `{s}`"),
+            TokenKind::Int(i) => format!("integer `{i}`"),
+            TokenKind::Str(s) => format!("string {s:?}"),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Dot => "`.`".into(),
+            TokenKind::ColonDash => "`:-`".into(),
+            TokenKind::Colon => "`:`".into(),
+            TokenKind::Arrow => "`->`".into(),
+            TokenKind::Eq => "`=`".into(),
+            TokenKind::Ne => "`!=`".into(),
+            TokenKind::Bang => "`!`".into(),
+            TokenKind::Lt => "`<`".into(),
+            TokenKind::Le => "`<=`".into(),
+            TokenKind::Gt => "`>`".into(),
+            TokenKind::Ge => "`>=`".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// Tokenizes `src`. Comments run from `%` or `//` to end of line.
+pub fn lex(src: &str) -> Result<Vec<Token>, Error> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    let mut col = 1;
+
+    macro_rules! push {
+        ($kind:expr, $len:expr) => {{
+            out.push(Token {
+                kind: $kind,
+                line,
+                col,
+            });
+            i += $len;
+            col += $len;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '%' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => push!(TokenKind::LParen, 1),
+            ')' => push!(TokenKind::RParen, 1),
+            ',' => push!(TokenKind::Comma, 1),
+            '.' => push!(TokenKind::Dot, 1),
+            ':' if bytes.get(i + 1) == Some(&b'-') => push!(TokenKind::ColonDash, 2),
+            ':' => push!(TokenKind::Colon, 1),
+            '-' if bytes.get(i + 1) == Some(&b'>') => push!(TokenKind::Arrow, 2),
+            '=' => push!(TokenKind::Eq, 1),
+            '!' if bytes.get(i + 1) == Some(&b'=') => push!(TokenKind::Ne, 2),
+            '!' => push!(TokenKind::Bang, 1),
+            '<' if bytes.get(i + 1) == Some(&b'=') => push!(TokenKind::Le, 2),
+            '<' => push!(TokenKind::Lt, 1),
+            '>' if bytes.get(i + 1) == Some(&b'=') => push!(TokenKind::Ge, 2),
+            '>' => push!(TokenKind::Gt, 1),
+            '\'' | '"' => {
+                let quote = c;
+                let start_line = line;
+                let start_col = col;
+                let mut j = i + 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(j) {
+                        None | Some(b'\n') => {
+                            return Err(Error::parse(
+                                start_line,
+                                start_col,
+                                "unterminated string literal",
+                            ));
+                        }
+                        Some(&b) if b as char == quote => break,
+                        Some(b'\\') => {
+                            match bytes.get(j + 1) {
+                                Some(b'n') => s.push('\n'),
+                                Some(b't') => s.push('\t'),
+                                Some(&e) => s.push(e as char),
+                                None => {
+                                    return Err(Error::parse(
+                                        start_line,
+                                        start_col,
+                                        "unterminated escape",
+                                    ));
+                                }
+                            }
+                            j += 2;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            j += 1;
+                        }
+                    }
+                }
+                let len = j + 1 - i;
+                push!(TokenKind::Str(s), len);
+            }
+            '-' | '0'..='9' => {
+                let neg = c == '-';
+                let mut j = i + usize::from(neg);
+                if neg && !bytes.get(j).is_some_and(u8::is_ascii_digit) {
+                    return Err(Error::parse(line, col, "expected digits after `-`"));
+                }
+                while bytes.get(j).is_some_and(u8::is_ascii_digit) {
+                    j += 1;
+                }
+                let text = &src[i..j];
+                let n: i64 = text
+                    .parse()
+                    .map_err(|_| Error::parse(line, col, format!("integer out of range: {text}")))?;
+                let len = j - i;
+                push!(TokenKind::Int(n), len);
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                while bytes
+                    .get(j)
+                    .is_some_and(|&b| (b as char).is_ascii_alphanumeric() || b == b'_')
+                {
+                    j += 1;
+                }
+                let text = &src[i..j];
+                let kind = if c.is_ascii_uppercase() || c == '_' {
+                    TokenKind::Var(text.to_owned())
+                } else {
+                    TokenKind::Ident(text.to_owned())
+                };
+                let len = j - i;
+                push!(kind, len);
+            }
+            _ => {
+                return Err(Error::parse(line, col, format!("unexpected character `{c}`")));
+            }
+        }
+    }
+    out.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        col,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let ks = kinds("p(X, 3) :- q(X), X >= -2.");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("p".into()),
+                TokenKind::LParen,
+                TokenKind::Var("X".into()),
+                TokenKind::Comma,
+                TokenKind::Int(3),
+                TokenKind::RParen,
+                TokenKind::ColonDash,
+                TokenKind::Ident("q".into()),
+                TokenKind::LParen,
+                TokenKind::Var("X".into()),
+                TokenKind::RParen,
+                TokenKind::Comma,
+                TokenKind::Var("X".into()),
+                TokenKind::Ge,
+                TokenKind::Int(-2),
+                TokenKind::Dot,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_comments() {
+        let ks = kinds("r(\"hello world\", 'exec') . % comment\n// another\n");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("r".into()),
+                TokenKind::LParen,
+                TokenKind::Str("hello world".into()),
+                TokenKind::Comma,
+                TokenKind::Str("exec".into()),
+                TokenKind::RParen,
+                TokenKind::Dot,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn arrow_and_colon() {
+        assert_eq!(
+            kinds("ic: a -> b")[..],
+            [
+                TokenKind::Ident("ic".into()),
+                TokenKind::Colon,
+                TokenKind::Ident("a".into()),
+                TokenKind::Arrow,
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_and_errors() {
+        let err = lex("p(X\n  @)").unwrap_err();
+        assert_eq!(err, Error::parse(2, 3, "unexpected character `@`"));
+        assert!(lex("'open").is_err());
+        assert!(lex("- x").is_err());
+    }
+
+    #[test]
+    fn underscore_is_variable() {
+        assert!(matches!(kinds("_foo")[0], TokenKind::Var(_)));
+    }
+}

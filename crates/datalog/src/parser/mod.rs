@@ -1,0 +1,435 @@
+//! Parser for programs, facts and integrity constraints.
+//!
+//! Surface syntax (Prolog-like, as in the paper):
+//!
+//! ```text
+//! % rules
+//! anc(X, Xa, Y, Ya) :- par(X, Xa, Y, Ya).
+//! anc(X, Xa, Y, Ya) :- anc(X, Xa, Z, Za), par(Z, Za, Y, Ya).
+//!
+//! % ground facts
+//! par(ann, 70, bea, 40).
+//!
+//! % integrity constraints ("ic [name]: body -> head ."; empty head = denial)
+//! ic ic1: Ya <= 50, par(Z, Za, Y, Ya), par(Z1, Z1a, Z, Za),
+//!         par(Z2, Z2a, Z1, Z1a) -> .
+//! ```
+//!
+//! Variables start with an uppercase letter or `_`; symbolic constants are
+//! lowercase identifiers or quoted strings; comparisons use
+//! `=, !=, <, <=, >, >=`.
+
+mod lexer;
+
+pub use lexer::{lex, Token, TokenKind};
+
+use crate::atom::Atom;
+use crate::constraint::{Constraint, IcHead};
+use crate::error::Error;
+use crate::literal::{Cmp, CmpOp, Literal};
+use crate::program::Program;
+use crate::rule::Rule;
+use crate::symbol::Symbol;
+use crate::term::{Term, Value};
+
+/// The result of parsing a source unit: rules, ground facts and constraints.
+#[derive(Clone, Debug, Default)]
+pub struct Unit {
+    /// Rules with non-empty bodies.
+    pub rules: Vec<Rule>,
+    /// Ground facts (`p(c1, …, cn).`).
+    pub facts: Vec<Atom>,
+    /// Integrity constraints.
+    pub constraints: Vec<Constraint>,
+}
+
+impl Unit {
+    /// The rules as a [`Program`] (facts are not included).
+    pub fn program(&self) -> Program {
+        Program::new(self.rules.clone())
+    }
+}
+
+/// Parses a mixed source unit (rules, facts, constraints).
+pub fn parse_unit(src: &str) -> Result<Unit, Error> {
+    Parser::new(src)?.unit()
+}
+
+/// Parses a source containing only constraints (plus comments).
+pub fn parse_constraints(src: &str) -> Result<Vec<Constraint>, Error> {
+    let unit = parse_unit(src)?;
+    if !unit.rules.is_empty() || !unit.facts.is_empty() {
+        return Err(Error::analysis(
+            "expected only constraints in this source".to_owned(),
+        ));
+    }
+    Ok(unit.constraints)
+}
+
+/// Parses a single rule.
+pub fn parse_rule(src: &str) -> Result<Rule, Error> {
+    let unit = parse_unit(src)?;
+    match (&unit.rules[..], &unit.facts[..]) {
+        ([r], []) => Ok(r.clone()),
+        ([], [f]) => Ok(Rule::fact(f.clone())),
+        _ => Err(Error::analysis("expected exactly one rule")),
+    }
+}
+
+/// Parses a single atom (no trailing dot required).
+pub fn parse_atom(src: &str) -> Result<Atom, Error> {
+    let mut p = Parser::new(src)?;
+    let a = p.atom()?;
+    p.expect_eof()?;
+    Ok(a)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Parser, Error> {
+        Ok(Parser {
+            tokens: lex(src)?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn peek2(&self) -> &Token {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err_here(&self, msg: impl Into<String>) -> Error {
+        let t = self.peek();
+        Error::parse(t.line, t.col, msg.into())
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), Error> {
+        if &self.peek().kind == kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err_here(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek().kind.describe()
+            )))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), Error> {
+        if self.peek().kind == TokenKind::Eof {
+            Ok(())
+        } else {
+            Err(self.err_here(format!(
+                "expected end of input, found {}",
+                self.peek().kind.describe()
+            )))
+        }
+    }
+
+    fn unit(&mut self) -> Result<Unit, Error> {
+        let mut out = Unit::default();
+        while self.peek().kind != TokenKind::Eof {
+            if self.at_constraint_start() {
+                out.constraints.push(self.constraint()?);
+            } else {
+                let head = self.atom()?;
+                match self.peek().kind {
+                    TokenKind::Dot => {
+                        self.bump();
+                        if head.is_ground() {
+                            out.facts.push(head);
+                        } else {
+                            // Non-ground bodyless clause: keep as a rule so
+                            // range-restriction analysis reports it.
+                            out.rules.push(Rule::fact(head));
+                        }
+                    }
+                    TokenKind::ColonDash => {
+                        self.bump();
+                        let body = self.literals()?;
+                        self.expect(&TokenKind::Dot)?;
+                        out.rules.push(Rule::new(head, body));
+                    }
+                    _ => {
+                        return Err(self.err_here(format!(
+                            "expected `.` or `:-`, found {}",
+                            self.peek().kind.describe()
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn at_constraint_start(&self) -> bool {
+        // `ic` then either `:` or `name :` begins a constraint; `ic(` is an
+        // ordinary atom.
+        if let TokenKind::Ident(id) = &self.peek().kind {
+            if id == "ic" {
+                return matches!(self.peek2().kind, TokenKind::Colon | TokenKind::Ident(_));
+            }
+        }
+        false
+    }
+
+    fn constraint(&mut self) -> Result<Constraint, Error> {
+        self.bump(); // `ic`
+        let name = if let TokenKind::Ident(n) = &self.peek().kind {
+            let n = n.clone();
+            self.bump();
+            Some(Symbol::intern(&n))
+        } else {
+            None
+        };
+        self.expect(&TokenKind::Colon)?;
+        let body = self.literals()?;
+        self.expect(&TokenKind::Arrow)?;
+        let head = if self.peek().kind == TokenKind::Dot {
+            IcHead::None
+        } else {
+            match self.literal()? {
+                Literal::Atom(a) => IcHead::Atom(a),
+                Literal::Neg(_) => {
+                    return Err(self.err_here("negated subgoals are not allowed in constraints"));
+                }
+                Literal::Cmp(c) => IcHead::Cmp(c),
+            }
+        };
+        self.expect(&TokenKind::Dot)?;
+        let mut atoms = Vec::new();
+        let mut cmps = Vec::new();
+        for l in body {
+            match l {
+                Literal::Atom(a) => atoms.push(a),
+                Literal::Neg(_) => {
+                    return Err(self.err_here("negated subgoals are not allowed in constraints"));
+                }
+                Literal::Cmp(c) => cmps.push(c),
+            }
+        }
+        if atoms.is_empty() {
+            return Err(self.err_here("constraint body needs at least one database atom"));
+        }
+        let mut ic = Constraint::new(atoms, cmps, head);
+        ic.name = name;
+        Ok(ic)
+    }
+
+    fn literals(&mut self) -> Result<Vec<Literal>, Error> {
+        let mut out = vec![self.literal()?];
+        while self.peek().kind == TokenKind::Comma {
+            self.bump();
+            out.push(self.literal()?);
+        }
+        Ok(out)
+    }
+
+    fn literal(&mut self) -> Result<Literal, Error> {
+        // `!atom` is a (stratified) negated subgoal.
+        if self.peek().kind == TokenKind::Bang {
+            self.bump();
+            return Ok(Literal::Neg(self.atom()?));
+        }
+        // An atom begins with `ident (`; anything else that parses as a term
+        // must continue as a comparison.
+        if matches!(self.peek().kind, TokenKind::Ident(_)) && self.peek2().kind == TokenKind::LParen
+        {
+            return Ok(Literal::Atom(self.atom()?));
+        }
+        let lhs = self.term()?;
+        let op = self.cmp_op()?;
+        let rhs = self.term()?;
+        Ok(Literal::Cmp(Cmp::new(lhs, op, rhs)))
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp, Error> {
+        let op = match self.peek().kind {
+            TokenKind::Eq => CmpOp::Eq,
+            TokenKind::Ne => CmpOp::Ne,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            _ => {
+                return Err(self.err_here(format!(
+                    "expected comparison operator, found {}",
+                    self.peek().kind.describe()
+                )));
+            }
+        };
+        self.bump();
+        Ok(op)
+    }
+
+    fn atom(&mut self) -> Result<Atom, Error> {
+        let name = match &self.peek().kind {
+            TokenKind::Ident(n) => n.clone(),
+            other => {
+                return Err(self.err_here(format!(
+                    "expected predicate name, found {}",
+                    other.describe()
+                )));
+            }
+        };
+        self.bump();
+        self.expect(&TokenKind::LParen)?;
+        let mut args = vec![self.term()?];
+        while self.peek().kind == TokenKind::Comma {
+            self.bump();
+            args.push(self.term()?);
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(Atom::new(name.as_str(), args))
+    }
+
+    fn term(&mut self) -> Result<Term, Error> {
+        let t = match &self.peek().kind {
+            TokenKind::Var(v) => Term::Var(Symbol::intern(v)),
+            TokenKind::Ident(c) => Term::Const(Value::str(c)),
+            TokenKind::Int(i) => Term::Const(Value::Int(*i)),
+            TokenKind::Str(s) => Term::Const(Value::str(s)),
+            other => {
+                return Err(self.err_here(format!("expected term, found {}", other.describe())));
+            }
+        };
+        self.bump();
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_rules_and_facts() {
+        let unit = parse_unit(
+            "anc(X, Y) :- par(X, Y).\n\
+             anc(X, Y) :- anc(X, Z), par(Z, Y).\n\
+             par(ann, bea). % a fact\n",
+        )
+        .unwrap();
+        assert_eq!(unit.rules.len(), 2);
+        assert_eq!(unit.facts.len(), 1);
+        assert_eq!(unit.rules[1].to_string(), "anc(X, Y) :- anc(X, Z), par(Z, Y).");
+        assert_eq!(unit.facts[0].to_string(), "par(ann, bea)");
+    }
+
+    #[test]
+    fn parse_constraint_with_head() {
+        let ics = parse_constraints(
+            "ic ic1: works_with(P2, P1), expert(P1, F1) -> expert(P2, F1).",
+        )
+        .unwrap();
+        assert_eq!(ics.len(), 1);
+        assert_eq!(ics[0].body_atoms.len(), 2);
+        assert!(!ics[0].is_denial());
+        assert_eq!(ics[0].name.unwrap().as_str(), "ic1");
+    }
+
+    #[test]
+    fn parse_denial_with_cmp() {
+        let ics = parse_constraints(
+            "ic: Ya <= 50, par(Z, Za, Y, Ya), par(Z1, Z1a, Z, Za), par(Z2, Z2a, Z1, Z1a) -> .",
+        )
+        .unwrap();
+        assert!(ics[0].is_denial());
+        assert_eq!(ics[0].body_atoms.len(), 3);
+        assert_eq!(ics[0].body_cmps.len(), 1);
+    }
+
+    #[test]
+    fn parse_cmp_head() {
+        let ics = parse_constraints("ic: pays(M, G, S, T), M > 10000 -> M < 50000.").unwrap();
+        assert!(matches!(ics[0].head, IcHead::Cmp(_)));
+    }
+
+    #[test]
+    fn parse_string_constants() {
+        let r = parse_rule("q(X) :- boss(E, X, R), R = \"executive\".").unwrap();
+        assert_eq!(r.body_cmps().count(), 1);
+        let r2 = parse_rule("q(X) :- boss(E, X, R), R = executive.").unwrap();
+        assert_eq!(
+            r.body_cmps().next().unwrap(),
+            r2.body_cmps().next().unwrap()
+        );
+    }
+
+    #[test]
+    fn ic_as_predicate_name_still_parses() {
+        let unit = parse_unit("ic(X) :- p(X).").unwrap();
+        assert_eq!(unit.rules.len(), 1);
+        assert!(unit.constraints.is_empty());
+    }
+
+    #[test]
+    fn roundtrip_through_display() {
+        let src = "p(X, Y) :- e(X, Z), Z > 3, p(Z, Y).";
+        let r = parse_rule(src).unwrap();
+        let r2 = parse_rule(&r.to_string()).unwrap();
+        assert_eq!(r, r2);
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = parse_unit("p(X) :- q(X)").unwrap_err();
+        assert!(matches!(err, Error::Parse { .. }));
+        let err = parse_unit("p(X) q(X).").unwrap_err();
+        assert!(err.to_string().contains("expected `.` or `:-`"));
+    }
+
+    #[test]
+    fn program_fromstr() {
+        let p: Program = "t(X) :- e(X). t(X) :- e0(X), t(X)."
+            .parse()
+            .unwrap();
+        assert_eq!(p.len(), 2);
+        assert!("ic: a(X) -> .".parse::<Program>().is_err());
+    }
+}
+
+#[cfg(test)]
+mod negation_tests {
+    use super::*;
+
+    #[test]
+    fn parses_negated_subgoals() {
+        let r = parse_rule("open(X, Y) :- e(X, Y), !blocked(X).").unwrap();
+        assert_eq!(r.body.len(), 2);
+        let neg = r.body[1].as_neg().unwrap();
+        assert_eq!(neg.pred.name(), "blocked");
+        // Round-trips through Display.
+        assert_eq!(r.to_string(), "open(X, Y) :- e(X, Y), !blocked(X).");
+        assert_eq!(parse_rule(&r.to_string()).unwrap(), r);
+    }
+
+    #[test]
+    fn bang_vs_not_equals() {
+        let r = parse_rule("p(X, Y) :- e(X, Y), X != Y, !f(X).").unwrap();
+        assert_eq!(r.body_cmps().count(), 1);
+        assert_eq!(r.body.iter().filter(|l| l.as_neg().is_some()).count(), 1);
+    }
+
+    #[test]
+    fn negation_rejected_in_constraints() {
+        assert!(parse_unit("ic: a(X), !b(X) -> .").is_err());
+        assert!(parse_unit("ic: a(X) -> !b(X).").is_err());
+    }
+}

@@ -1,0 +1,177 @@
+//! Substitutions: finite maps from variables to terms.
+
+use crate::atom::Atom;
+use crate::literal::{Cmp, Literal};
+use crate::rule::Rule;
+use crate::symbol::Symbol;
+use crate::term::Term;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A substitution `{X1 ↦ t1, …}`. Application replaces free occurrences of
+/// the mapped variables; unmapped variables are left untouched.
+///
+/// Backed by a `BTreeMap` so iteration order (and `Display`) is
+/// deterministic.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct Subst {
+    map: BTreeMap<Symbol, Term>,
+}
+
+impl Subst {
+    /// The empty substitution.
+    pub fn new() -> Subst {
+        Subst::default()
+    }
+
+    /// Builds a substitution from pairs. Later pairs overwrite earlier ones.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Symbol, Term)>) -> Subst {
+        Subst {
+            map: pairs.into_iter().collect(),
+        }
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The binding for `v`, if any.
+    pub fn get(&self, v: Symbol) -> Option<Term> {
+        self.map.get(&v).copied()
+    }
+
+    /// Binds `v ↦ t`, returning the previous binding if one existed.
+    pub fn insert(&mut self, v: Symbol, t: Term) -> Option<Term> {
+        self.map.insert(v, t)
+    }
+
+    /// Iterator over bindings in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, Term)> + '_ {
+        self.map.iter().map(|(&v, &t)| (v, t))
+    }
+
+    /// Applies the substitution to a term.
+    pub fn apply_term(&self, t: Term) -> Term {
+        match t {
+            Term::Var(v) => self.get(v).unwrap_or(t),
+            Term::Const(_) => t,
+        }
+    }
+
+    /// Applies the substitution to every argument of an atom.
+    pub fn apply_atom(&self, a: &Atom) -> Atom {
+        Atom {
+            pred: a.pred,
+            args: a.args.iter().map(|&t| self.apply_term(t)).collect(),
+        }
+    }
+
+    /// Applies the substitution to a comparison.
+    pub fn apply_cmp(&self, c: &Cmp) -> Cmp {
+        Cmp {
+            lhs: self.apply_term(c.lhs),
+            op: c.op,
+            rhs: self.apply_term(c.rhs),
+        }
+    }
+
+    /// Applies the substitution to a literal.
+    pub fn apply_literal(&self, l: &Literal) -> Literal {
+        match l {
+            Literal::Atom(a) => Literal::Atom(self.apply_atom(a)),
+            Literal::Neg(a) => Literal::Neg(self.apply_atom(a)),
+            Literal::Cmp(c) => Literal::Cmp(self.apply_cmp(c)),
+        }
+    }
+
+    /// Applies the substitution to a whole rule.
+    pub fn apply_rule(&self, r: &Rule) -> Rule {
+        Rule {
+            head: self.apply_atom(&r.head),
+            body: r.body.iter().map(|l| self.apply_literal(l)).collect(),
+        }
+    }
+
+    /// Composition: `(self ∘ other)(t) = other(self(t))` — i.e. first apply
+    /// `self`'s bindings, then rewrite the results with `other`; variables
+    /// bound only by `other` are also carried over.
+    pub fn compose(&self, other: &Subst) -> Subst {
+        let mut map: BTreeMap<Symbol, Term> = self
+            .map
+            .iter()
+            .map(|(&v, &t)| (v, other.apply_term(t)))
+            .collect();
+        for (&v, &t) in &other.map {
+            map.entry(v).or_insert(t);
+        }
+        Subst { map }
+    }
+}
+
+impl fmt::Display for Subst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (v, t)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}/{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<(Symbol, Term)> for Subst {
+    fn from_iter<I: IntoIterator<Item = (Symbol, Term)>>(iter: I) -> Self {
+        Subst::from_pairs(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::literal::CmpOp;
+
+    fn s(name: &str) -> Symbol {
+        Symbol::intern(name)
+    }
+
+    #[test]
+    fn apply_basics() {
+        let sub = Subst::from_pairs([(s("X"), Term::int(1)), (s("Y"), Term::var("Z"))]);
+        assert_eq!(sub.apply_term(Term::var("X")), Term::int(1));
+        assert_eq!(sub.apply_term(Term::var("Y")), Term::var("Z"));
+        assert_eq!(sub.apply_term(Term::var("W")), Term::var("W"));
+        let a = Atom::new("p", vec![Term::var("X"), Term::var("W")]);
+        assert_eq!(sub.apply_atom(&a).to_string(), "p(1, W)");
+    }
+
+    #[test]
+    fn compose_order() {
+        // self = {X -> Y}, other = {Y -> 3}: compose applies self then other.
+        let s1 = Subst::from_pairs([(s("X"), Term::var("Y"))]);
+        let s2 = Subst::from_pairs([(s("Y"), Term::int(3))]);
+        let c = s1.compose(&s2);
+        assert_eq!(c.apply_term(Term::var("X")), Term::int(3));
+        assert_eq!(c.apply_term(Term::var("Y")), Term::int(3));
+    }
+
+    #[test]
+    fn apply_cmp() {
+        let sub = Subst::from_pairs([(s("X"), Term::int(9))]);
+        let c = Cmp::new(Term::var("X"), CmpOp::Gt, Term::int(3));
+        assert_eq!(sub.apply_cmp(&c).eval_ground(), Some(true));
+    }
+
+    #[test]
+    fn display_is_deterministic() {
+        let sub = Subst::from_pairs([(s("B"), Term::int(2)), (s("A"), Term::int(1))]);
+        assert_eq!(sub.to_string(), "{A/1, B/2}");
+    }
+}

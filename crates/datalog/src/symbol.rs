@@ -1,0 +1,115 @@
+//! Global string interner and the [`Symbol`] handle type.
+//!
+//! Predicate names, variable names and string constants all go through one
+//! process-wide interner so that equality checks and hashing on names are
+//! `u32` comparisons. Interned strings are leaked (the set of distinct
+//! identifiers in a Datalog workload is small and bounded), which lets
+//! [`Symbol::as_str`] hand out `&'static str` without lifetime plumbing.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// An interned string. Cheap to copy, compare and hash.
+///
+/// Two `Symbol`s are equal iff the strings they were interned from are equal.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `s`, returning its canonical handle.
+    pub fn intern(s: &str) -> Symbol {
+        let mut g = interner().lock().expect("interner poisoned");
+        if let Some(&id) = g.map.get(s) {
+            return Symbol(id);
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = g.strings.len() as u32;
+        g.strings.push(leaked);
+        g.map.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// The interned string.
+    pub fn as_str(self) -> &'static str {
+        let g = interner().lock().expect("interner poisoned");
+        g.strings[self.0 as usize]
+    }
+
+    /// A process-unique fresh symbol with the given prefix, guaranteed not to
+    /// collide with any symbol interned from source text (the generated name
+    /// contains `#`, which the lexer rejects in identifiers).
+    pub fn fresh(prefix: &str) -> Symbol {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        Symbol::intern(&format!("{prefix}#{n}"))
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol::intern(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let a = Symbol::intern("foo");
+        let b = Symbol::intern("foo");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "foo");
+    }
+
+    #[test]
+    fn distinct_strings_distinct_symbols() {
+        assert_ne!(Symbol::intern("bar"), Symbol::intern("baz"));
+    }
+
+    #[test]
+    fn fresh_symbols_are_unique() {
+        let a = Symbol::fresh("v");
+        let b = Symbol::fresh("v");
+        assert_ne!(a, b);
+        assert!(a.as_str().starts_with("v#"));
+    }
+
+    #[test]
+    fn fresh_does_not_collide_with_source_names() {
+        // `#` cannot appear in a lexed identifier, so source programs can
+        // never mention a fresh symbol by accident.
+        let f = Symbol::fresh("X");
+        assert!(f.as_str().contains('#'));
+    }
+}

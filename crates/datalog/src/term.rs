@@ -1,0 +1,179 @@
+//! Terms and constant values.
+//!
+//! The language is function-free (Datalog), so a term is either a variable
+//! or a constant. Constants are either 64-bit integers or interned strings;
+//! both kinds are totally ordered so that the evaluable comparison
+//! predicates (`<`, `<=`, …) are defined on every pair of values (integers
+//! sort before strings, strings compare lexicographically).
+
+use crate::symbol::Symbol;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A constant value of the domain.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Value {
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// An interned string constant.
+    Str(Symbol),
+}
+
+impl Value {
+    /// String constant from a `&str`.
+    pub fn str(s: &str) -> Value {
+        Value::Str(Symbol::intern(s))
+    }
+
+    /// Integer constant.
+    pub fn int(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    /// True if this is an integer value.
+    pub fn is_int(self) -> bool {
+        matches!(self, Value::Int(_))
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.as_str().cmp(b.as_str()),
+            // Total order across kinds: all integers sort before all strings.
+            (Value::Int(_), Value::Str(_)) => Ordering::Less,
+            (Value::Str(_), Value::Int(_)) => Ordering::Greater,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => {
+                let t = s.as_str();
+                // Quote anything that would not re-lex as a constant ident.
+                let plain = !t.is_empty()
+                    && t.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+                    && t.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+                if plain {
+                    write!(f, "{t}")
+                } else {
+                    write!(f, "{t:?}")
+                }
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+/// A term: a variable or a constant.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Term {
+    /// A named logical variable.
+    Var(Symbol),
+    /// A constant value.
+    Const(Value),
+}
+
+impl Term {
+    /// Variable term from a name.
+    pub fn var(name: &str) -> Term {
+        Term::Var(Symbol::intern(name))
+    }
+
+    /// Integer constant term.
+    pub fn int(i: i64) -> Term {
+        Term::Const(Value::Int(i))
+    }
+
+    /// String constant term.
+    pub fn str(s: &str) -> Term {
+        Term::Const(Value::str(s))
+    }
+
+    /// The variable name, if this is a variable.
+    pub fn as_var(self) -> Option<Symbol> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// The constant value, if this is a constant.
+    pub fn as_const(self) -> Option<Value> {
+        match self {
+            Term::Var(_) => None,
+            Term::Const(c) => Some(c),
+        }
+    }
+
+    /// True if this term is a variable.
+    pub fn is_var(self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl From<Value> for Term {
+    fn from(v: Value) -> Self {
+        Term::Const(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_total_order() {
+        assert!(Value::int(1) < Value::int(2));
+        assert!(Value::str("a") < Value::str("b"));
+        assert!(Value::int(i64::MAX) < Value::str(""));
+    }
+
+    #[test]
+    fn display_quotes_non_ident_strings() {
+        assert_eq!(Value::str("executive").to_string(), "executive");
+        assert_eq!(Value::str("Hello world").to_string(), "\"Hello world\"");
+        assert_eq!(Value::str("CS").to_string(), "\"CS\"");
+    }
+
+    #[test]
+    fn term_accessors() {
+        let v = Term::var("X");
+        assert!(v.is_var());
+        assert_eq!(v.as_var(), Some(Symbol::intern("X")));
+        assert_eq!(v.as_const(), None);
+        let c = Term::int(7);
+        assert_eq!(c.as_const(), Some(Value::Int(7)));
+        assert_eq!(c.as_var(), None);
+    }
+}

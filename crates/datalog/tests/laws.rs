@@ -1,0 +1,103 @@
+//! Algebraic laws of substitutions and unification, property-tested.
+
+use proptest::prelude::*;
+use semrec_datalog::atom::Atom;
+use semrec_datalog::subst::Subst;
+use semrec_datalog::symbol::Symbol;
+use semrec_datalog::term::{Term, Value};
+use semrec_datalog::unify::{match_atom, unify_atoms};
+
+fn term_strategy() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        (0u8..6).prop_map(|i| Term::var(&format!("V{i}"))),
+        (0i64..5).prop_map(Term::int),
+    ]
+}
+
+fn atom_strategy(pred: &'static str) -> impl Strategy<Value = Atom> {
+    proptest::collection::vec(term_strategy(), 1..4)
+        .prop_map(move |args| Atom::new(pred, args))
+}
+
+fn subst_strategy() -> impl Strategy<Value = Subst> {
+    proptest::collection::btree_map(0u8..6, term_strategy(), 0..5).prop_map(|m| {
+        Subst::from_pairs(
+            m.into_iter()
+                .map(|(i, t)| (Symbol::intern(&format!("V{i}")), t)),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// compose agrees with sequential application pointwise.
+    #[test]
+    fn compose_is_sequential_application(
+        s1 in subst_strategy(),
+        s2 in subst_strategy(),
+        t in term_strategy(),
+    ) {
+        let c = s1.compose(&s2);
+        prop_assert_eq!(c.apply_term(t), s2.apply_term(s1.apply_term(t)));
+    }
+
+    /// The empty substitution is a left and right identity of compose.
+    #[test]
+    fn identity_laws(s in subst_strategy(), t in term_strategy()) {
+        let id = Subst::new();
+        prop_assert_eq!(id.compose(&s).apply_term(t), s.apply_term(t));
+        prop_assert_eq!(s.compose(&id).apply_term(t), s.apply_term(t));
+    }
+
+    /// A successful unifier really unifies (mgu soundness).
+    #[test]
+    fn unifier_unifies(a in atom_strategy("p"), b in atom_strategy("p")) {
+        if a.arity() == b.arity() {
+            if let Some(mgu) = unify_atoms(&a, &b) {
+                prop_assert_eq!(mgu.apply_atom(&a), mgu.apply_atom(&b));
+            }
+        }
+    }
+
+    /// Unification is symmetric in success.
+    #[test]
+    fn unification_symmetry(a in atom_strategy("p"), b in atom_strategy("p")) {
+        prop_assert_eq!(unify_atoms(&a, &b).is_some(), unify_atoms(&b, &a).is_some());
+    }
+
+    /// Matching is sound: pattern·θ = target.
+    #[test]
+    fn matching_soundness(pattern in atom_strategy("p"), target in atom_strategy("p")) {
+        let mut theta = Subst::new();
+        if match_atom(&mut theta, &pattern, &target) {
+            prop_assert_eq!(theta.apply_atom(&pattern), target);
+        }
+    }
+
+    /// Matching implies unifiability (one-way is stricter than two-way)
+    /// when pattern and target share no variables.
+    #[test]
+    fn matching_implies_unification_on_disjoint_vars(
+        pattern in atom_strategy("p"),
+        target_consts in proptest::collection::vec(0i64..5, 1..4),
+    ) {
+        let target = Atom::new("p", target_consts.into_iter().map(Term::int).collect());
+        if pattern.arity() == target.arity() {
+            let mut theta = Subst::new();
+            if match_atom(&mut theta, &pattern, &target) {
+                prop_assert!(unify_atoms(&pattern, &target).is_some());
+            }
+        }
+    }
+
+    /// Value ordering is total and antisymmetric.
+    #[test]
+    fn value_order_total(a in 0i64..100, b in 0i64..100, s in "[a-z]{1,4}") {
+        let x = Value::Int(a);
+        let y = Value::Int(b);
+        let z = Value::str(&s);
+        prop_assert_eq!(x.cmp(&y).reverse(), y.cmp(&x));
+        prop_assert!(x < z, "ints sort before strings");
+    }
+}

@@ -1,0 +1,242 @@
+//! The extensional database: a map from predicate to relation.
+
+use crate::relation::{Relation, Tuple};
+use semrec_datalog::atom::{Atom, Pred};
+use semrec_datalog::constraint::{Constraint, IcHead};
+use semrec_datalog::subst::Subst;
+use semrec_datalog::symbol::Symbol;
+use semrec_datalog::term::{Term, Value};
+use std::collections::BTreeMap;
+
+/// An extensional database (EDB): ground facts grouped by predicate.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Database {
+    rels: BTreeMap<Pred, Relation>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Inserts a fact; creates the relation on first use. Returns `true` if
+    /// the fact was new.
+    ///
+    /// # Panics
+    /// Panics if the predicate was already used with a different arity.
+    pub fn insert(&mut self, pred: impl Into<Pred>, tuple: Tuple) -> bool {
+        let pred = pred.into();
+        let arity = tuple.len();
+        self.rels
+            .entry(pred)
+            .or_insert_with(|| Relation::new(arity))
+            .insert(tuple)
+    }
+
+    /// Inserts a ground atom.
+    ///
+    /// # Panics
+    /// Panics if the atom is not ground.
+    pub fn insert_atom(&mut self, atom: &Atom) -> bool {
+        let tuple: Tuple = atom
+            .args
+            .iter()
+            .map(|t| t.as_const().expect("fact must be ground"))
+            .collect();
+        self.insert(atom.pred, tuple)
+    }
+
+    /// Builds a database from ground atoms (e.g. the `facts` of a parsed
+    /// [`semrec_datalog::Unit`]).
+    pub fn from_facts<'a>(facts: impl IntoIterator<Item = &'a Atom>) -> Database {
+        let mut db = Database::new();
+        for f in facts {
+            db.insert_atom(f);
+        }
+        db
+    }
+
+    /// The relation for `pred`, if present.
+    pub fn get(&self, pred: Pred) -> Option<&Relation> {
+        self.rels.get(&pred)
+    }
+
+    /// Number of tuples for `pred` (0 if absent).
+    pub fn count(&self, pred: impl Into<Pred>) -> usize {
+        self.get(pred.into()).map_or(0, Relation::len)
+    }
+
+    /// Total number of tuples in the database.
+    pub fn total_tuples(&self) -> usize {
+        self.rels.values().map(Relation::len).sum()
+    }
+
+    /// Iterates over `(pred, relation)` pairs in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (Pred, &Relation)> {
+        self.rels.iter().map(|(&p, r)| (p, r))
+    }
+
+    /// Checks whether this database satisfies an integrity constraint:
+    /// every assignment satisfying the body must satisfy the head. Returns
+    /// the list of violating body bindings (empty = satisfied). Intended
+    /// for tests and generator validation, not hot paths.
+    pub fn violations(&self, ic: &Constraint) -> Vec<Subst> {
+        let mut out = Vec::new();
+        let vars: Vec<Symbol> = ic.vars().into_iter().collect();
+        self.enumerate_bindings(ic, 0, &mut Subst::new(), &mut out, &vars);
+        out
+    }
+
+    /// True if the database satisfies the constraint.
+    pub fn satisfies(&self, ic: &Constraint) -> bool {
+        self.violations(ic).is_empty()
+    }
+
+    fn enumerate_bindings(
+        &self,
+        ic: &Constraint,
+        i: usize,
+        partial: &mut Subst,
+        out: &mut Vec<Subst>,
+        _vars: &[Symbol],
+    ) {
+        if i == ic.body_atoms.len() {
+            // All database atoms matched; check evaluable body atoms.
+            for c in &ic.body_cmps {
+                let g = partial.apply_cmp(c);
+                match g.eval_ground() {
+                    Some(true) => {}
+                    // Unbound comparison variables make the body
+                    // unsatisfiable for this binding (ICs are connected, so
+                    // this only happens for malformed constraints).
+                    _ => return,
+                }
+            }
+            let ok = match &ic.head {
+                IcHead::None => false,
+                IcHead::Cmp(c) => partial.apply_cmp(c).eval_ground() == Some(true),
+                IcHead::Atom(a) => {
+                    let g = partial.apply_atom(a);
+                    if let Some(rel) = self.get(g.pred) {
+                        if g.is_ground() {
+                            let t: Tuple = g.args.iter().map(|t| t.as_const().unwrap()).collect();
+                            rel.contains(&t)
+                        } else {
+                            // Existential head variables: satisfied if any
+                            // tuple matches the bound positions.
+                            rel.iter().any(|row| {
+                                g.args.iter().zip(row).all(|(t, v)| match t.as_const() {
+                                    Some(c) => c == *v,
+                                    None => true,
+                                })
+                            })
+                        }
+                    } else {
+                        false
+                    }
+                }
+            };
+            if !ok {
+                out.push(partial.clone());
+            }
+            return;
+        }
+        let atom = &ic.body_atoms[i];
+        let Some(rel) = self.get(atom.pred) else {
+            return; // empty relation: body unsatisfiable
+        };
+        'rows: for row in rel.iter() {
+            let mut snapshot = partial.clone();
+            for (t, v) in atom.args.iter().zip(row) {
+                match t {
+                    Term::Const(c) => {
+                        if c != v {
+                            continue 'rows;
+                        }
+                    }
+                    Term::Var(x) => match snapshot.get(*x) {
+                        Some(Term::Const(c)) if c == *v => {}
+                        Some(_) => continue 'rows,
+                        None => {
+                            snapshot.insert(*x, Term::Const(*v));
+                        }
+                    },
+                }
+            }
+            self.enumerate_bindings(ic, i + 1, &mut snapshot, out, _vars);
+        }
+    }
+}
+
+/// Convenience constructor for integer-tuple test data.
+pub fn int_tuple(vals: &[i64]) -> Tuple {
+    vals.iter().map(|&v| Value::Int(v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semrec_datalog::parser::{parse_constraints, parse_unit};
+
+    #[test]
+    fn insert_and_count() {
+        let mut db = Database::new();
+        assert!(db.insert("e", int_tuple(&[1, 2])));
+        assert!(!db.insert("e", int_tuple(&[1, 2])));
+        db.insert("e", int_tuple(&[2, 3]));
+        assert_eq!(db.count("e"), 2);
+        assert_eq!(db.total_tuples(), 2);
+    }
+
+    #[test]
+    fn from_parsed_facts() {
+        let unit = parse_unit("par(ann, bea). par(bea, cal).").unwrap();
+        let db = Database::from_facts(&unit.facts);
+        assert_eq!(db.count("par"), 2);
+    }
+
+    #[test]
+    fn constraint_satisfaction_atom_head() {
+        let ics =
+            parse_constraints("ic: boss(E, B, R), R = executive -> experienced(B).").unwrap();
+        let mut db = Database::new();
+        db.insert(
+            "boss",
+            vec![Value::str("eva"), Value::str("max"), Value::str("executive")],
+        );
+        assert!(!db.satisfies(&ics[0]));
+        db.insert("experienced", vec![Value::str("max")]);
+        assert!(db.satisfies(&ics[0]));
+    }
+
+    #[test]
+    fn constraint_satisfaction_denial() {
+        let ics = parse_constraints("ic: p(X, Y), X > Y -> .").unwrap();
+        let mut db = Database::new();
+        db.insert("p", int_tuple(&[1, 2]));
+        assert!(db.satisfies(&ics[0]));
+        db.insert("p", int_tuple(&[5, 2]));
+        assert_eq!(db.violations(&ics[0]).len(), 1);
+    }
+
+    #[test]
+    fn constraint_cmp_head() {
+        let ics = parse_constraints("ic: pays(M, S), M > 10000 -> M < 50000.").unwrap();
+        let mut db = Database::new();
+        db.insert("pays", int_tuple(&[20000, 1]));
+        assert!(db.satisfies(&ics[0]));
+        db.insert("pays", int_tuple(&[60000, 2]));
+        assert!(!db.satisfies(&ics[0]));
+    }
+
+    #[test]
+    fn repeated_variables_in_ic_body() {
+        let ics = parse_constraints("ic: e(X, X) -> .").unwrap();
+        let mut db = Database::new();
+        db.insert("e", int_tuple(&[1, 2]));
+        assert!(db.satisfies(&ics[0]));
+        db.insert("e", int_tuple(&[3, 3]));
+        assert!(!db.satisfies(&ics[0]));
+    }
+}

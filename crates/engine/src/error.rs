@@ -1,0 +1,47 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Errors raised by compilation and evaluation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EngineError {
+    /// A rule cannot be compiled because some variable cannot be bound.
+    UnsafeRule {
+        /// The offending rule, pretty-printed.
+        rule: String,
+        /// Why it is unsafe.
+        detail: String,
+    },
+    /// A predicate is used with inconsistent arity.
+    ArityMismatch(String),
+    /// The iteration limit was exceeded before reaching a fixpoint.
+    IterationLimit(usize),
+    /// The program uses negation inside a recursive cycle.
+    NotStratified(String),
+    /// A data import/export failure.
+    Io(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnsafeRule { rule, detail } => {
+                write!(f, "unsafe rule `{rule}`: {detail}")
+            }
+            EngineError::ArityMismatch(msg) => write!(f, "arity mismatch: {msg}"),
+            EngineError::IterationLimit(n) => {
+                write!(f, "fixpoint not reached within {n} iterations")
+            }
+            EngineError::NotStratified(msg) => write!(f, "not stratified: {msg}"),
+            EngineError::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<semrec_datalog::Error> for EngineError {
+    fn from(e: semrec_datalog::Error) -> Self {
+        EngineError::ArityMismatch(e.to_string())
+    }
+}

@@ -1,0 +1,1077 @@
+//! Bottom-up fixpoint evaluation: naive and semi-naive.
+//!
+//! The evaluator exposes a round-at-a-time [`Evaluator::step`] API in
+//! addition to [`Evaluator::run`], so that the evaluation-based semantic
+//! optimization baseline (Chakravarthy et al. / Lee & Han style, built in
+//! `semrec-core`) can interpose per-iteration work — exactly the run-time
+//! overhead the paper's program-transformation approach avoids.
+
+use crate::database::Database;
+use crate::error::EngineError;
+use crate::plan::{compile_rule_with_sizes, ArgPat, CompiledRule, Source, Step, View};
+use crate::relation::{Relation, RowRange, Tuple};
+use crate::stats::Stats;
+use semrec_datalog::atom::{Atom, Pred};
+use semrec_datalog::program::Program;
+use semrec_datalog::term::{Term, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Fixpoint strategy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Strategy {
+    /// Re-evaluate every rule against the full IDB each round.
+    Naive,
+    /// Classic semi-naive differentiation with one delta variant per IDB
+    /// subgoal occurrence.
+    SemiNaive,
+}
+
+/// The result of an evaluation: materialized IDB relations plus counters.
+#[derive(Debug)]
+pub struct EvalResult {
+    /// Materialized IDB relations.
+    pub idb: BTreeMap<Pred, Relation>,
+    /// Work counters.
+    pub stats: Stats,
+}
+
+impl EvalResult {
+    /// The relation computed for `pred` (empty-slot `None` if never defined).
+    pub fn relation(&self, pred: impl Into<Pred>) -> Option<&Relation> {
+        self.idb.get(&pred.into())
+    }
+
+    /// Answers to a goal atom: tuples of the goal predicate matching the
+    /// goal's constants (and repeated-variable equalities).
+    pub fn answers(&self, goal: &Atom) -> Vec<Tuple> {
+        let Some(rel) = self.idb.get(&goal.pred) else {
+            return Vec::new();
+        };
+        rel.iter()
+            .filter(|row| goal_matches(goal, row))
+            .cloned()
+            .collect()
+    }
+}
+
+/// True if `row` matches the constants and repeated variables of `goal`.
+pub fn goal_matches(goal: &Atom, row: &[Value]) -> bool {
+    let mut bind: BTreeMap<semrec_datalog::Symbol, Value> = BTreeMap::new();
+    for (t, &v) in goal.args.iter().zip(row) {
+        match t {
+            Term::Const(c) => {
+                if *c != v {
+                    return false;
+                }
+            }
+            Term::Var(x) => match bind.get(x) {
+                Some(&prev) if prev != v => return false,
+                Some(_) => {}
+                None => {
+                    bind.insert(*x, v);
+                }
+            },
+        }
+    }
+    true
+}
+
+struct RulePlans {
+    has_idb: bool,
+    full: CompiledRule,
+    deltas: Vec<CompiledRule>,
+}
+
+/// A resumable fixpoint evaluator over a fixed EDB.
+pub struct Evaluator<'db> {
+    db: &'db Database,
+    program: Program,
+    strategy: Strategy,
+    idb_preds: BTreeSet<Pred>,
+    idb: BTreeMap<Pred, Relation>,
+    /// Per IDB predicate: `(old_end, total_end)`; delta is the range
+    /// between them, rows beyond `total_end` were derived this round.
+    marks: BTreeMap<Pred, (u32, u32)>,
+    plans: Vec<RulePlans>,
+    /// Stratum of each rule (by head predicate).
+    rule_stratum: Vec<usize>,
+    /// Highest stratum present.
+    max_stratum: usize,
+    /// The stratum currently being saturated.
+    current_stratum: usize,
+    /// True when the current stratum has not run its initializing
+    /// full-plan round yet.
+    stratum_fresh: bool,
+    stats: Stats,
+    round: u64,
+    max_iterations: u64,
+    /// Number of worker threads for plan execution within a round.
+    parallelism: usize,
+}
+
+impl<'db> Evaluator<'db> {
+    /// Builds an evaluator; compiles every rule.
+    pub fn new(
+        db: &'db Database,
+        program: &Program,
+        strategy: Strategy,
+    ) -> Result<Evaluator<'db>, EngineError> {
+        let mut ev = Evaluator {
+            db,
+            program: Program::default(),
+            strategy,
+            idb_preds: BTreeSet::new(),
+            idb: BTreeMap::new(),
+            marks: BTreeMap::new(),
+            plans: Vec::new(),
+            rule_stratum: Vec::new(),
+            max_stratum: 0,
+            current_stratum: 0,
+            stratum_fresh: true,
+            stats: Stats::default(),
+            round: 0,
+            max_iterations: u64::MAX,
+            parallelism: 1,
+        };
+        ev.set_program(program)?;
+        Ok(ev)
+    }
+
+    /// Caps the number of fixpoint rounds (default: unlimited).
+    pub fn with_max_iterations(mut self, n: u64) -> Self {
+        self.max_iterations = n;
+        self
+    }
+
+    /// Executes the round's rule plans on `n` worker threads (default 1).
+    /// Results and counters are identical to the sequential mode; only
+    /// relation insertion order (and thus wall time) changes.
+    pub fn with_parallelism(mut self, n: usize) -> Self {
+        self.parallelism = n.max(1);
+        self
+    }
+
+    /// Replaces the program mid-evaluation, keeping derived IDB facts.
+    /// Used by the evaluation-based optimization baseline, which rewrites
+    /// the rule set between rounds.
+    pub fn set_program(&mut self, program: &Program) -> Result<(), EngineError> {
+        let arities = program.arities().map_err(EngineError::ArityMismatch)?;
+        let mut idb_preds = program.idb_preds();
+        idb_preds.extend(self.idb.keys().copied());
+        for (&p, &n) in &arities {
+            if idb_preds.contains(&p) {
+                self.idb.entry(p).or_insert_with(|| Relation::new(n));
+                self.marks.entry(p).or_insert((0, 0));
+            }
+        }
+        // Relation sizes for join ordering: EDB sizes are known; IDB
+        // relations use their current size (0 before the first round) but
+        // are never preferred over a known-small EDB relation on ties —
+        // mark them unknown instead.
+        let mut sizes: BTreeMap<Pred, usize> = BTreeMap::new();
+        for (p, rel) in self.db.iter() {
+            sizes.insert(p, rel.len());
+        }
+        for p in &idb_preds {
+            sizes.remove(p);
+        }
+        let mut plans = Vec::with_capacity(program.len());
+        for rule in &program.rules {
+            let idb_lits: Vec<usize> = rule
+                .body
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.as_atom().is_some_and(|a| idb_preds.contains(&a.pred)))
+                .map(|(i, _)| i)
+                .collect();
+            // Negated IDB subgoals read the Total view of their (strictly
+            // lower) stratum, which is complete by the time this rule runs.
+            let neg_idb: Vec<usize> = rule
+                .body
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.as_neg().is_some_and(|a| idb_preds.contains(&a.pred)))
+                .map(|(i, _)| i)
+                .collect();
+            let mut views: BTreeMap<usize, View> = BTreeMap::new();
+            for &li in &idb_lits {
+                views.insert(li, View::Total);
+            }
+            for &li in &neg_idb {
+                views.insert(li, View::Total);
+            }
+            let full = compile_rule_with_sizes(rule, &views, None, &sizes)?;
+            let mut deltas = Vec::new();
+            for (k, &li) in idb_lits.iter().enumerate() {
+                let mut v = BTreeMap::new();
+                for (j, &lj) in idb_lits.iter().enumerate() {
+                    v.insert(
+                        lj,
+                        match j.cmp(&k) {
+                            std::cmp::Ordering::Less => View::Total,
+                            std::cmp::Ordering::Equal => View::Delta,
+                            std::cmp::Ordering::Greater => View::Old,
+                        },
+                    );
+                }
+                for &lj in &neg_idb {
+                    v.insert(lj, View::Total);
+                }
+                deltas.push(compile_rule_with_sizes(rule, &v, Some(li), &sizes)?);
+            }
+            plans.push(RulePlans {
+                has_idb: !idb_lits.is_empty(),
+                full,
+                deltas,
+            });
+        }
+        let strata = stratify(program, &idb_preds)?;
+        self.rule_stratum = program
+            .rules
+            .iter()
+            .map(|r| strata.get(&r.head.pred).copied().unwrap_or(0))
+            .collect();
+        self.max_stratum = self.rule_stratum.iter().copied().max().unwrap_or(0);
+        self.current_stratum = self.current_stratum.min(self.max_stratum);
+        self.program = program.clone();
+        self.idb_preds = idb_preds;
+        self.plans = plans;
+        Ok(())
+    }
+
+    /// The current (partial) contents of an IDB relation.
+    pub fn idb_relation(&self, pred: Pred) -> Option<&Relation> {
+        self.idb.get(&pred)
+    }
+
+    /// Number of completed rounds.
+    pub fn rounds(&self) -> u64 {
+        self.round
+    }
+
+    /// Stats accumulated so far.
+    pub fn stats(&self) -> Stats {
+        self.stats
+    }
+
+    /// Runs fixpoint rounds until some new fact is derived or every
+    /// stratum is saturated. Returns `true` if any new fact was derived
+    /// (callers loop on this; see [`Evaluator::run`]).
+    pub fn step(&mut self) -> Result<bool, EngineError> {
+        loop {
+            if self.round >= self.max_iterations {
+                return Err(EngineError::IterationLimit(self.max_iterations as usize));
+            }
+            self.round += 1;
+            let fresh = self.stratum_fresh;
+            self.stratum_fresh = false;
+            let mut any_new = false;
+
+            let mut stats = std::mem::take(&mut self.stats);
+            stats.iterations += 1;
+            let mut derived: Vec<(Pred, Tuple)> = Vec::new();
+            let mut to_run: Vec<&CompiledRule> = Vec::new();
+            for (ri, rp) in self.plans.iter().enumerate() {
+                if self.rule_stratum[ri] != self.current_stratum {
+                    continue;
+                }
+                let run_full = matches!(self.strategy, Strategy::Naive) || fresh;
+                if run_full {
+                    to_run.push(&rp.full);
+                } else if rp.has_idb {
+                    to_run.extend(rp.deltas.iter());
+                }
+            }
+            if self.parallelism > 1 && to_run.len() > 1 {
+                self.prewarm_indexes(&to_run);
+                let ev: &Evaluator<'db> = self;
+                let workers = self.parallelism.min(to_run.len());
+                let results = crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|w| {
+                            // Round-robin partition keeps heavy plans spread.
+                            let mine: Vec<&CompiledRule> = to_run
+                                .iter()
+                                .copied()
+                                .skip(w)
+                                .step_by(workers)
+                                .collect();
+                            scope.spawn(move |_| {
+                                let mut st = Stats::default();
+                                let mut out: Vec<(Pred, Tuple)> = Vec::new();
+                                for plan in mine {
+                                    ev.execute_plan(plan, &mut st, &mut out);
+                                }
+                                (st, out)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("worker panicked"))
+                        .collect::<Vec<_>>()
+                })
+                .expect("evaluation scope");
+                for (st, mut out) in results {
+                    stats += st;
+                    derived.append(&mut out);
+                }
+            } else {
+                for plan in to_run {
+                    self.execute_plan(plan, &mut stats, &mut derived);
+                }
+            }
+            self.stats = stats;
+            for (pred, tuple) in derived {
+                let rel = self
+                    .idb
+                    .get_mut(&pred)
+                    .expect("derived tuple for unknown idb predicate");
+                if rel.insert(tuple) {
+                    self.stats.inserted += 1;
+                    any_new = true;
+                }
+            }
+            // Advance delta windows.
+            for (p, rel) in &self.idb {
+                let (_, total_end) = self.marks[p];
+                self.marks.insert(*p, (total_end, rel.len() as u32));
+            }
+            if any_new {
+                return Ok(true);
+            }
+            if self.current_stratum >= self.max_stratum {
+                return Ok(false);
+            }
+            self.current_stratum += 1;
+            self.stratum_fresh = true;
+        }
+    }
+
+    /// Runs to fixpoint.
+    pub fn run(&mut self) -> Result<(), EngineError> {
+        while self.step()? {}
+        Ok(())
+    }
+
+    /// Finalizes, yielding the IDB relations and stats.
+    pub fn finish(self) -> EvalResult {
+        EvalResult {
+            idb: self.idb,
+            stats: self.stats,
+        }
+    }
+
+    /// Eagerly builds every index the given plans will probe, so the
+    /// parallel phase only takes shared read locks.
+    fn prewarm_indexes(&self, plans: &[&CompiledRule]) {
+        for plan in plans {
+            for step in &plan.steps {
+                match step {
+                    Step::Scan(s) if !s.key_cols.is_empty() => {
+                        if let Some((rel, _)) = self.resolve(s.pred, s.view) {
+                            rel.ensure_index(&s.key_cols);
+                        }
+                    }
+                    Step::Neg(n) => {
+                        if let Some((rel, range)) = self.resolve(n.pred, n.view) {
+                            // Only partial ranges need the all-column index.
+                            if (range.end as usize) < rel.len() || range.start > 0 {
+                                let cols: Vec<usize> = (0..rel.arity()).collect();
+                                rel.ensure_index(&cols);
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    fn resolve(&self, pred: Pred, view: View) -> Option<(&Relation, RowRange)> {
+        if self.idb_preds.contains(&pred) {
+            let rel = self.idb.get(&pred)?;
+            let (old_end, total_end) = self.marks[&pred];
+            let range = match view {
+                View::Full | View::Total => RowRange {
+                    start: 0,
+                    end: total_end,
+                },
+                View::Old => RowRange {
+                    start: 0,
+                    end: old_end,
+                },
+                View::Delta => RowRange {
+                    start: old_end,
+                    end: total_end,
+                },
+            };
+            Some((rel, range))
+        } else {
+            let rel = self.db.get(pred)?;
+            Some((rel, rel.all_rows()))
+        }
+    }
+
+    fn execute_plan(&self, plan: &CompiledRule, stats: &mut Stats, out: &mut Vec<(Pred, Tuple)>) {
+        stats.rule_firings += 1;
+        let mut slots = vec![Value::Int(0); plan.nslots];
+        run_steps(self, plan, 0, &mut slots, stats, out);
+    }
+}
+
+fn read(slots: &[Value], s: Source) -> Value {
+    match s {
+        Source::Const(c) => c,
+        Source::Slot(i) => slots[i],
+    }
+}
+
+fn run_steps(
+    ev: &Evaluator<'_>,
+    plan: &CompiledRule,
+    i: usize,
+    slots: &mut [Value],
+    stats: &mut Stats,
+    out: &mut Vec<(Pred, Tuple)>,
+) {
+    let Some(step) = plan.steps.get(i) else {
+        stats.derived += 1;
+        let tuple: Tuple = plan.head.iter().map(|&s| read(slots, s)).collect();
+        out.push((plan.head_pred, tuple));
+        return;
+    };
+    match step {
+        Step::Compute(cs) => {
+            stats.cmp_evals += 1;
+            let vals = cs.args.map(|a| read(slots, a));
+            match cs.bind {
+                None => {
+                    if cs.op.check(vals[0], vals[1], vals[2]) {
+                        run_steps(ev, plan, i + 1, slots, stats, out);
+                    }
+                }
+                Some((pos, slot)) => {
+                    let mut opt = vals.map(Some);
+                    opt[pos] = None;
+                    if let Some(v) = cs.op.solve(opt) {
+                        slots[slot] = v;
+                        run_steps(ev, plan, i + 1, slots, stats, out);
+                    }
+                }
+            }
+        }
+        Step::Neg(n) => {
+            stats.probes += 1;
+            let exists = match ev.resolve(n.pred, n.view) {
+                None => false,
+                Some((rel, range)) => {
+                    if range.is_empty() {
+                        false
+                    } else {
+                        let key: Vec<Value> =
+                            n.key.iter().map(|&v| read(slots, v)).collect();
+                        // Membership within the view: for Full/Total views
+                        // covering the whole visible prefix, a plain
+                        // contains + range check via probe.
+                        !rel.probe_all_columns(&key, range).is_empty()
+                    }
+                }
+            };
+            if !exists {
+                run_steps(ev, plan, i + 1, slots, stats, out);
+            }
+        }
+        Step::Filter(f) => {
+            stats.cmp_evals += 1;
+            if f.op.eval(&read(slots, f.lhs), &read(slots, f.rhs)) {
+                run_steps(ev, plan, i + 1, slots, stats, out);
+            }
+        }
+        Step::Assign(a) => {
+            slots[a.slot] = read(slots, a.from);
+            run_steps(ev, plan, i + 1, slots, stats, out);
+        }
+        Step::Scan(s) => {
+            let Some((rel, range)) = ev.resolve(s.pred, s.view) else {
+                return;
+            };
+            if range.is_empty() {
+                return;
+            }
+            let try_row = |row: &[Value],
+                           slots: &mut [Value],
+                           stats: &mut Stats,
+                           out: &mut Vec<(Pred, Tuple)>| {
+                stats.rows_scanned += 1;
+                if row.len() != s.args.len() {
+                    return;
+                }
+                for (pat, &v) in s.args.iter().zip(row) {
+                    match *pat {
+                        ArgPat::Const(c) => {
+                            if c != v {
+                                return;
+                            }
+                        }
+                        ArgPat::Bound(sl) => {
+                            if slots[sl] != v {
+                                return;
+                            }
+                        }
+                        ArgPat::Bind(sl) => slots[sl] = v,
+                    }
+                }
+                run_steps(ev, plan, i + 1, slots, stats, out);
+            };
+            if s.key_cols.is_empty() {
+                for (_, row) in rel.iter_range(range) {
+                    try_row(row, slots, stats, out);
+                }
+            } else {
+                stats.probes += 1;
+                let key: Vec<Value> = s.key_vals.iter().map(|&v| read(slots, v)).collect();
+                for r in rel.probe(&s.key_cols, &key, range) {
+                    let row = rel.row(r).to_vec();
+                    try_row(&row, slots, stats, out);
+                }
+            }
+        }
+    }
+}
+
+/// Computes the stratum of each IDB predicate: a rule head is at least its
+/// positive IDB subgoals' strata and strictly above its negated IDB
+/// subgoals' strata. Errors when negation occurs in a recursive cycle.
+fn stratify(
+    program: &Program,
+    idb_preds: &BTreeSet<Pred>,
+) -> Result<BTreeMap<Pred, usize>, EngineError> {
+    let mut strata: BTreeMap<Pred, usize> = idb_preds.iter().map(|&p| (p, 0)).collect();
+    let limit = idb_preds.len() + 1;
+    for pass in 0..=limit {
+        let mut changed = false;
+        for rule in &program.rules {
+            let h = rule.head.pred;
+            let mut need = strata.get(&h).copied().unwrap_or(0);
+            for l in &rule.body {
+                if let Some(a) = l.as_atom() {
+                    if let Some(&s) = strata.get(&a.pred) {
+                        need = need.max(s);
+                    }
+                }
+                if let Some(a) = l.as_neg() {
+                    if let Some(&s) = strata.get(&a.pred) {
+                        need = need.max(s + 1);
+                    }
+                }
+            }
+            if need > strata[&h] {
+                strata.insert(h, need);
+                changed = true;
+            }
+        }
+        if !changed {
+            return Ok(strata);
+        }
+        if pass == limit {
+            break;
+        }
+    }
+    Err(EngineError::NotStratified(
+        "negation occurs inside a recursive cycle".into(),
+    ))
+}
+
+/// One-shot convenience: evaluates `program` over `db` to fixpoint.
+pub fn evaluate(
+    db: &Database,
+    program: &Program,
+    strategy: Strategy,
+) -> Result<EvalResult, EngineError> {
+    let mut ev = Evaluator::new(db, program, strategy)?;
+    ev.run()?;
+    Ok(ev.finish())
+}
+
+/// Like [`evaluate`], with `threads` workers per round.
+pub fn evaluate_parallel(
+    db: &Database,
+    program: &Program,
+    strategy: Strategy,
+    threads: usize,
+) -> Result<EvalResult, EngineError> {
+    let mut ev = Evaluator::new(db, program, strategy)?.with_parallelism(threads);
+    ev.run()?;
+    Ok(ev.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::int_tuple;
+    use semrec_datalog::parser::{parse_atom, parse_unit};
+
+    fn chain_db(n: i64) -> Database {
+        let mut db = Database::new();
+        for i in 0..n {
+            db.insert("e", int_tuple(&[i, i + 1]));
+        }
+        db
+    }
+
+    fn tc_program() -> Program {
+        "t(X,Y) :- e(X,Y). t(X,Y) :- e(X,Z), t(Z,Y)."
+            .parse()
+            .unwrap()
+    }
+
+    #[test]
+    fn transitive_closure_seminaive() {
+        let db = chain_db(10);
+        let res = evaluate(&db, &tc_program(), Strategy::SemiNaive).unwrap();
+        let t = res.relation("t").unwrap();
+        assert_eq!(t.len(), 10 * 11 / 2);
+        assert!(t.contains(&int_tuple(&[0, 10])));
+        assert!(!t.contains(&int_tuple(&[5, 5])));
+    }
+
+    #[test]
+    fn naive_equals_seminaive() {
+        let db = chain_db(8);
+        let a = evaluate(&db, &tc_program(), Strategy::Naive).unwrap();
+        let b = evaluate(&db, &tc_program(), Strategy::SemiNaive).unwrap();
+        assert_eq!(
+            a.relation("t").unwrap().sorted_tuples(),
+            b.relation("t").unwrap().sorted_tuples()
+        );
+        // Naive derives (weakly) more duplicate tuples.
+        assert!(a.stats.derived >= b.stats.derived);
+    }
+
+    #[test]
+    fn right_linear_recursion() {
+        let db = chain_db(6);
+        let p: Program = "t(X,Y) :- e(X,Y). t(X,Y) :- t(X,Z), e(Z,Y)."
+            .parse()
+            .unwrap();
+        let res = evaluate(&db, &p, Strategy::SemiNaive).unwrap();
+        assert_eq!(res.relation("t").unwrap().len(), 6 * 7 / 2);
+    }
+
+    #[test]
+    fn filters_and_constants() {
+        let db = chain_db(10);
+        let p: Program = "big(X,Y) :- e(X,Y), X >= 5. pick(Y) :- e(3, Y)."
+            .parse()
+            .unwrap();
+        let res = evaluate(&db, &p, Strategy::SemiNaive).unwrap();
+        assert_eq!(res.relation("big").unwrap().len(), 5);
+        assert_eq!(res.relation("pick").unwrap().len(), 1);
+        assert!(res
+            .relation("pick")
+            .unwrap()
+            .contains(&int_tuple(&[4])));
+    }
+
+    #[test]
+    fn equality_assignment_binding() {
+        let db = chain_db(4);
+        let p: Program = "q(X, Y) :- e(X, Z), Y = Z.".parse().unwrap();
+        let res = evaluate(&db, &p, Strategy::SemiNaive).unwrap();
+        assert_eq!(res.relation("q").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn multi_idb_rule_and_mutual_layers() {
+        // Two IDB atoms in one body (join of two derived relations).
+        let mut db = chain_db(4);
+        db.insert("f", int_tuple(&[4, 9]));
+        let p: Program = "a(X,Y) :- e(X,Y). a(X,Y) :- e(X,Z), a(Z,Y).
+                          b(X,Y) :- f(X,Y). c(X,Y) :- a(X,Z), b(Z,Y)."
+            .parse()
+            .unwrap();
+        let res = evaluate(&db, &p, Strategy::SemiNaive).unwrap();
+        // a = closure of the 0→1→2→3→4 chain; c(X, 9) for every a(X, 4).
+        assert_eq!(
+            res.relation("c").unwrap().sorted_tuples(),
+            vec![
+                int_tuple(&[0, 9]),
+                int_tuple(&[1, 9]),
+                int_tuple(&[2, 9]),
+                int_tuple(&[3, 9]),
+            ]
+        );
+    }
+
+    #[test]
+    fn cyclic_data_terminates() {
+        let mut db = Database::new();
+        for i in 0..5 {
+            db.insert("e", int_tuple(&[i, (i + 1) % 5]));
+        }
+        let res = evaluate(&db, &tc_program(), Strategy::SemiNaive).unwrap();
+        assert_eq!(res.relation("t").unwrap().len(), 25);
+    }
+
+    #[test]
+    fn answers_filtering() {
+        let db = chain_db(5);
+        let res = evaluate(&db, &tc_program(), Strategy::SemiNaive).unwrap();
+        let goal = parse_atom("t(0, Y)").unwrap();
+        assert_eq!(res.answers(&goal).len(), 5);
+        let goal = parse_atom("t(X, X)").unwrap();
+        assert!(res.answers(&goal).is_empty());
+    }
+
+    #[test]
+    fn undefined_edb_predicate_is_empty() {
+        let db = Database::new();
+        let p: Program = "p(X) :- ghost(X).".parse().unwrap();
+        let res = evaluate(&db, &p, Strategy::SemiNaive).unwrap();
+        assert_eq!(res.relation("p").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn iteration_limit() {
+        let db = chain_db(50);
+        let mut ev = Evaluator::new(&db, &tc_program(), Strategy::SemiNaive)
+            .unwrap()
+            .with_max_iterations(3);
+        let err = ev.run().unwrap_err();
+        assert!(matches!(err, EngineError::IterationLimit(3)));
+    }
+
+    #[test]
+    fn string_valued_columns() {
+        let unit = parse_unit(
+            "boss(amy, bob, executive). boss(bob, cal, manager).
+             exec_boss(E, B) :- boss(E, B, R), R = executive.",
+        )
+        .unwrap();
+        let db = Database::from_facts(&unit.facts);
+        let res = evaluate(&db, &unit.program(), Strategy::SemiNaive).unwrap();
+        assert_eq!(res.relation("exec_boss").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn seminaive_beats_naive_on_work() {
+        let db = chain_db(30);
+        let naive = evaluate(&db, &tc_program(), Strategy::Naive).unwrap();
+        let semi = evaluate(&db, &tc_program(), Strategy::SemiNaive).unwrap();
+        assert!(semi.stats.rows_scanned < naive.stats.rows_scanned);
+        assert_eq!(
+            naive.relation("t").unwrap().len(),
+            semi.relation("t").unwrap().len()
+        );
+    }
+}
+
+#[cfg(test)]
+mod negation_tests {
+    use super::*;
+    use crate::database::int_tuple;
+
+    fn chain_db(n: i64) -> Database {
+        let mut db = Database::new();
+        for i in 0..n {
+            db.insert("e", int_tuple(&[i, i + 1]));
+        }
+        db
+    }
+
+    #[test]
+    fn negation_over_edb() {
+        let mut db = chain_db(4);
+        db.insert("blocked", vec![Value::Int(2)]);
+        let p: Program = "open(X, Y) :- e(X, Y), !blocked(X).".parse().unwrap();
+        let res = evaluate(&db, &p, Strategy::SemiNaive).unwrap();
+        assert_eq!(res.relation("open").unwrap().len(), 3);
+        assert!(!res
+            .relation("open")
+            .unwrap()
+            .contains(&int_tuple(&[2, 3])));
+    }
+
+    #[test]
+    fn negation_over_idb_uses_lower_stratum() {
+        // Complement of reachability from 0 within the node set.
+        let db = chain_db(4);
+        let p: Program = "
+            node(X) :- e(X, Y).
+            node(Y) :- e(X, Y).
+            reach(X) :- e(0, X).
+            reach(Y) :- reach(X), e(X, Y).
+            unreach(X) :- node(X), !reach(X), X != 0.
+        "
+        .parse()
+        .unwrap();
+        let res = evaluate(&db, &p, Strategy::SemiNaive).unwrap();
+        // Every node except 0 is reachable in the chain: unreach is empty.
+        assert_eq!(res.relation("unreach").unwrap().len(), 0);
+
+        // Break the chain: remove edge 1→2 by rebuilding.
+        let mut db2 = Database::new();
+        for (a, b) in [(0, 1), (2, 3), (3, 4)] {
+            db2.insert("e", int_tuple(&[a, b]));
+        }
+        let res = evaluate(&db2, &p, Strategy::SemiNaive).unwrap();
+        let un = res.relation("unreach").unwrap().sorted_tuples();
+        assert_eq!(un, vec![int_tuple(&[2]), int_tuple(&[3]), int_tuple(&[4])]);
+    }
+
+    #[test]
+    fn negation_in_cycle_is_rejected() {
+        let db = chain_db(2);
+        let p: Program = "a(X) :- e(X, Y), !b(X). b(X) :- e(X, Y), !a(X)."
+            .parse()
+            .unwrap();
+        let err = match Evaluator::new(&db, &p, Strategy::SemiNaive) {
+            Err(e) => e,
+            Ok(_) => panic!("expected stratification error"),
+        };
+        assert!(matches!(err, EngineError::NotStratified(_)));
+    }
+
+    #[test]
+    fn unsafe_negation_is_rejected() {
+        let db = chain_db(2);
+        let p: Program = "a(X) :- e(X, Y), !ghost(Z).".parse().unwrap();
+        let err = match Evaluator::new(&db, &p, Strategy::SemiNaive) {
+            Err(e) => e,
+            Ok(_) => panic!("expected unsafe-rule error"),
+        };
+        assert!(matches!(err, EngineError::UnsafeRule { .. }));
+    }
+
+    #[test]
+    fn naive_and_seminaive_agree_with_negation() {
+        let db = chain_db(6);
+        let p: Program = "
+            reach(X) :- e(0, X).
+            reach(Y) :- reach(X), e(X, Y).
+            node(X) :- e(X, Y).
+            node(Y) :- e(X, Y).
+            island(X) :- node(X), !reach(X).
+        "
+        .parse()
+        .unwrap();
+        let a = evaluate(&db, &p, Strategy::Naive).unwrap();
+        let b = evaluate(&db, &p, Strategy::SemiNaive).unwrap();
+        for pred in ["reach", "node", "island"] {
+            assert_eq!(
+                a.relation(pred).unwrap().sorted_tuples(),
+                b.relation(pred).unwrap().sorted_tuples()
+            );
+        }
+    }
+
+    #[test]
+    fn three_strata() {
+        let db = chain_db(3);
+        let p: Program = "
+            a(X) :- e(X, Y).
+            b(X) :- e(X, Y), !a(Y).
+            c(X) :- e(X, Y), !b(X).
+        "
+        .parse()
+        .unwrap();
+        let res = evaluate(&db, &p, Strategy::SemiNaive).unwrap();
+        // a = {0,1,2}; b(X) holds when e(X,Y) and Y ∉ a → only Y=3 → b={2};
+        // c(X) when e(X,Y) and X ∉ b → c={0,1}.
+        assert_eq!(res.relation("a").unwrap().len(), 3);
+        assert_eq!(
+            res.relation("b").unwrap().sorted_tuples(),
+            vec![int_tuple(&[2])]
+        );
+        assert_eq!(
+            res.relation("c").unwrap().sorted_tuples(),
+            vec![int_tuple(&[0]), int_tuple(&[1])]
+        );
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use crate::database::int_tuple;
+
+    fn tc() -> Program {
+        "t(X,Y) :- e(X,Y). t(X,Y) :- e(X,Z), t(Z,Y).
+         s(X,Y) :- f(X,Y). s(X,Y) :- f(X,Z), s(Z,Y)."
+            .parse()
+            .unwrap()
+    }
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        for i in 0..40i64 {
+            db.insert("e", int_tuple(&[i, i + 1]));
+            db.insert("f", int_tuple(&[i + 1, i]));
+        }
+        db
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let db = db();
+        let prog = tc();
+        let mut seq = Evaluator::new(&db, &prog, Strategy::SemiNaive).unwrap();
+        seq.run().unwrap();
+        let seq = seq.finish();
+        let mut par = Evaluator::new(&db, &prog, Strategy::SemiNaive)
+            .unwrap()
+            .with_parallelism(4);
+        par.run().unwrap();
+        let par = par.finish();
+        for p in ["t", "s"] {
+            assert_eq!(
+                seq.relation(p).unwrap().sorted_tuples(),
+                par.relation(p).unwrap().sorted_tuples()
+            );
+        }
+        // The counters are workload properties, not scheduling properties.
+        assert_eq!(seq.stats.derived, par.stats.derived);
+        assert_eq!(seq.stats.rows_scanned, par.stats.rows_scanned);
+        assert_eq!(seq.stats.inserted, par.stats.inserted);
+    }
+
+    #[test]
+    fn parallel_with_negation_strata() {
+        let db = db();
+        let prog: Program = "
+            reach(X) :- e(0, X).
+            reach(Y) :- reach(X), e(X, Y).
+            node(X) :- e(X, Y).
+            node(Y) :- e(X, Y).
+            island(X) :- node(X), !reach(X), X != 0.
+        "
+        .parse()
+        .unwrap();
+        let mut a = Evaluator::new(&db, &prog, Strategy::SemiNaive).unwrap();
+        a.run().unwrap();
+        let a = a.finish();
+        let mut b = Evaluator::new(&db, &prog, Strategy::SemiNaive)
+            .unwrap()
+            .with_parallelism(3);
+        b.run().unwrap();
+        let b = b.finish();
+        for p in ["reach", "node", "island"] {
+            assert_eq!(
+                a.relation(p).unwrap().sorted_tuples(),
+                b.relation(p).unwrap().sorted_tuples(),
+                "mismatch on {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallelism_one_is_identity() {
+        let db = db();
+        let prog = tc();
+        let mut e = Evaluator::new(&db, &prog, Strategy::SemiNaive)
+            .unwrap()
+            .with_parallelism(1);
+        e.run().unwrap();
+        assert!(!e.finish().relation("t").unwrap().is_empty());
+    }
+}
+
+#[cfg(test)]
+mod builtin_tests {
+    use super::*;
+    use crate::database::int_tuple;
+
+    #[test]
+    fn plus_forward_mode() {
+        let mut db = Database::new();
+        db.insert("n", int_tuple(&[1]));
+        db.insert("n", int_tuple(&[2]));
+        let p: Program = "inc(X, Y) :- n(X), plus(X, 1, Y).".parse().unwrap();
+        let res = evaluate(&db, &p, Strategy::SemiNaive).unwrap();
+        assert_eq!(
+            res.relation("inc").unwrap().sorted_tuples(),
+            vec![int_tuple(&[1, 2]), int_tuple(&[2, 3])]
+        );
+    }
+
+    #[test]
+    fn plus_inverse_mode_and_check() {
+        let mut db = Database::new();
+        db.insert("pair", int_tuple(&[3, 10]));
+        db.insert("pair", int_tuple(&[4, 9]));
+        // diff: D such that X + D = Y.
+        let p: Program = "
+            diff(X, Y, D) :- pair(X, Y), plus(X, D, Y).
+            exact(X, Y) :- pair(X, Y), plus(X, 7, Y).
+        "
+        .parse()
+        .unwrap();
+        let res = evaluate(&db, &p, Strategy::SemiNaive).unwrap();
+        assert_eq!(
+            res.relation("diff").unwrap().sorted_tuples(),
+            vec![int_tuple(&[3, 10, 7]), int_tuple(&[4, 9, 5])]
+        );
+        assert_eq!(
+            res.relation("exact").unwrap().sorted_tuples(),
+            vec![int_tuple(&[3, 10])]
+        );
+    }
+
+    #[test]
+    fn recursion_with_arithmetic() {
+        // Hop counting: dist(X, Y, N) — chain of length 5.
+        let mut db = Database::new();
+        for i in 0..5 {
+            db.insert("e", int_tuple(&[i, i + 1]));
+        }
+        let p: Program = "
+            dist(X, Y, 1) :- e(X, Y).
+            dist(X, Y, N) :- dist(X, Z, M), e(Z, Y), plus(M, 1, N).
+        "
+        .parse()
+        .unwrap();
+        let res = evaluate(&db, &p, Strategy::SemiNaive).unwrap();
+        let d = res.relation("dist").unwrap();
+        assert!(d.contains(&int_tuple(&[0, 5, 5])));
+        assert!(d.contains(&int_tuple(&[2, 4, 2])));
+        assert_eq!(d.len(), 15);
+    }
+
+    #[test]
+    fn times_exactness_filters() {
+        let mut db = Database::new();
+        for i in [6, 7, 12] {
+            db.insert("n", int_tuple(&[i]));
+        }
+        let p: Program = "third(X, Y) :- n(X), times(Y, 3, X).".parse().unwrap();
+        let res = evaluate(&db, &p, Strategy::SemiNaive).unwrap();
+        assert_eq!(
+            res.relation("third").unwrap().sorted_tuples(),
+            vec![int_tuple(&[6, 2]), int_tuple(&[12, 4])]
+        );
+    }
+
+    #[test]
+    fn underconstrained_builtin_is_unsafe() {
+        let db = Database::new();
+        let p: Program = "bad(X, Y, Z) :- n(X), plus(Y, Z, W).".parse().unwrap();
+        assert!(matches!(
+            Evaluator::new(&db, &p, Strategy::SemiNaive),
+            Err(EngineError::UnsafeRule { .. })
+        ));
+    }
+
+    #[test]
+    fn strings_fail_softly() {
+        let mut db = Database::new();
+        db.insert("v", vec![Value::str("x")]);
+        db.insert("v", vec![Value::Int(4)]);
+        let p: Program = "inc(X, Y) :- v(X), plus(X, 1, Y).".parse().unwrap();
+        let res = evaluate(&db, &p, Strategy::SemiNaive).unwrap();
+        assert_eq!(
+            res.relation("inc").unwrap().sorted_tuples(),
+            vec![int_tuple(&[4, 5])]
+        );
+    }
+}

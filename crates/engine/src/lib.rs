@@ -1,0 +1,32 @@
+//! # semrec-engine
+//!
+//! The evaluation substrate: an in-memory bottom-up Datalog engine with
+//! naive and semi-naive fixpoint strategies, indexed nested-loop joins,
+//! evaluable comparison predicates, work counters, and a magic-sets
+//! rewriting for goal-directed evaluation.
+//!
+//! The engine deliberately supports a *larger* class than the paper's input
+//! programs (arbitrary positive Datalog with comparisons, including mutual
+//! recursion), because the paper's §4 isolation transformation produces
+//! mutually recursive auxiliary predicates.
+
+#![warn(missing_docs)]
+
+pub mod builtins;
+pub mod database;
+pub mod error;
+pub mod eval;
+pub mod explain;
+pub mod io;
+pub mod topdown;
+pub mod magic;
+pub mod plan;
+pub mod relation;
+pub mod sld;
+pub mod stats;
+
+pub use database::{int_tuple, Database};
+pub use error::EngineError;
+pub use eval::{evaluate, evaluate_parallel, EvalResult, Evaluator, Strategy};
+pub use relation::{Relation, RowRange, Tuple};
+pub use stats::Stats;

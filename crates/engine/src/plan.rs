@@ -1,0 +1,743 @@
+//! Rule compilation: turning a rule into an ordered sequence of indexed
+//! scan, filter and assignment steps over variable *slots*.
+//!
+//! The planner is a greedy bound-ness heuristic: evaluable assignments and
+//! filters run as soon as their inputs are bound, and the next subgoal to
+//! join is the one with the most bound argument positions (ties broken by
+//! source order). Semi-naive evaluation asks for one *delta variant* per
+//! IDB subgoal occurrence; the delta occurrence is scanned first, which is
+//! the classic seed-from-delta strategy.
+
+use crate::builtins::BuiltinOp;
+use crate::error::EngineError;
+use semrec_datalog::atom::Pred;
+use semrec_datalog::literal::{CmpOp, Literal};
+use semrec_datalog::rule::Rule;
+use semrec_datalog::symbol::Symbol;
+use semrec_datalog::term::{Term, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A value source: a variable slot or an inline constant.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Source {
+    /// Read the slot.
+    Slot(usize),
+    /// Use the constant.
+    Const(Value),
+}
+
+/// Which view of a predicate's relation a scan reads (see the evaluator for
+/// the old/delta/total row-range bookkeeping).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum View {
+    /// The whole relation (EDB predicates).
+    Full,
+    /// All IDB rows visible at the start of the round.
+    Total,
+    /// Rows older than the last round's delta.
+    Old,
+    /// The last round's delta rows.
+    Delta,
+}
+
+/// How one argument position of a scanned atom is handled per row.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ArgPat {
+    /// Must equal this constant.
+    Const(Value),
+    /// Must equal the current value of the slot (bound before this arg).
+    Bound(usize),
+    /// Binds the slot to the row's value (first occurrence).
+    Bind(usize),
+}
+
+/// A scan of one body atom.
+#[derive(Clone, Debug)]
+pub struct ScanStep {
+    /// The scanned predicate.
+    pub pred: Pred,
+    /// Which view to read.
+    pub view: View,
+    /// Per-argument handling.
+    pub args: Vec<ArgPat>,
+    /// Columns usable as an index key (constant or pre-scan-bound).
+    pub key_cols: Vec<usize>,
+    /// Key values, parallel to `key_cols`.
+    pub key_vals: Vec<Source>,
+    /// Index of the originating literal in the rule body.
+    pub literal: usize,
+}
+
+/// A negated-subgoal check: fails when a matching tuple exists. All
+/// argument positions are bound when the step runs.
+#[derive(Clone, Debug)]
+pub struct NegStep {
+    /// The negated predicate.
+    pub pred: Pred,
+    /// Which view to read (Full for EDB, Total for lower-stratum IDB).
+    pub view: View,
+    /// The fully bound key (one source per column).
+    pub key: Vec<Source>,
+}
+
+/// An arithmetic builtin evaluation (`plus/3`, `times/3`): computes the
+/// unbound argument from the bound ones, or checks the relation when all
+/// are bound.
+#[derive(Clone, Copy, Debug)]
+pub struct ComputeStep {
+    /// The operation.
+    pub op: BuiltinOp,
+    /// The three argument sources.
+    pub args: [Source; 3],
+    /// Index of the argument to bind (`None` = pure check).
+    pub bind: Option<(usize, usize)>, // (arg position, slot)
+}
+
+/// A comparison filter over bound values.
+#[derive(Clone, Copy, Debug)]
+pub struct FilterStep {
+    /// Left operand.
+    pub lhs: Source,
+    /// Operator.
+    pub op: CmpOp,
+    /// Right operand.
+    pub rhs: Source,
+}
+
+/// Binds a slot from an equality with an already-bound source.
+#[derive(Clone, Copy, Debug)]
+pub struct AssignStep {
+    /// Destination slot.
+    pub slot: usize,
+    /// Value source.
+    pub from: Source,
+}
+
+/// One step of a compiled rule.
+#[derive(Clone, Debug)]
+pub enum Step {
+    /// Join against a relation.
+    Scan(ScanStep),
+    /// Check a negated subgoal (stratified negation).
+    Neg(NegStep),
+    /// Evaluate an arithmetic builtin.
+    Compute(ComputeStep),
+    /// Evaluate a comparison.
+    Filter(FilterStep),
+    /// Bind a slot.
+    Assign(AssignStep),
+}
+
+/// A fully compiled rule.
+#[derive(Clone, Debug)]
+pub struct CompiledRule {
+    /// Head predicate.
+    pub head_pred: Pred,
+    /// Head projection.
+    pub head: Vec<Source>,
+    /// Ordered steps.
+    pub steps: Vec<Step>,
+    /// Number of variable slots.
+    pub nslots: usize,
+    /// Variable name of each slot (diagnostics).
+    pub slot_vars: Vec<Symbol>,
+}
+
+struct Compiler<'a> {
+    rule: &'a Rule,
+    slots: BTreeMap<Symbol, usize>,
+    slot_vars: Vec<Symbol>,
+    bound: BTreeSet<usize>,
+    steps: Vec<Step>,
+    /// Views for negated literals (by body index).
+    neg_views: BTreeMap<usize, View>,
+}
+
+impl<'a> Compiler<'a> {
+    fn slot(&mut self, v: Symbol) -> usize {
+        if let Some(&s) = self.slots.get(&v) {
+            return s;
+        }
+        let s = self.slot_vars.len();
+        self.slots.insert(v, s);
+        self.slot_vars.push(v);
+        s
+    }
+
+    fn source(&mut self, t: Term) -> Source {
+        match t {
+            Term::Const(c) => Source::Const(c),
+            Term::Var(v) => Source::Slot(self.slot(v)),
+        }
+    }
+
+    fn source_is_bound(&self, s: Source) -> bool {
+        match s {
+            Source::Const(_) => true,
+            Source::Slot(i) => self.bound.contains(&i),
+        }
+    }
+
+    /// Emits the scan for body literal `li` (must be an atom), given the
+    /// view it should read.
+    fn emit_scan(&mut self, li: usize, view: View) {
+        let atom = self.rule.body[li].as_atom().expect("scan of non-atom");
+        let mut args = Vec::with_capacity(atom.arity());
+        let mut key_cols = Vec::new();
+        let mut key_vals = Vec::new();
+        let mut newly_bound: BTreeSet<usize> = BTreeSet::new();
+        for (col, &t) in atom.args.iter().enumerate() {
+            match t {
+                Term::Const(c) => {
+                    args.push(ArgPat::Const(c));
+                    key_cols.push(col);
+                    key_vals.push(Source::Const(c));
+                }
+                Term::Var(v) => {
+                    let s = self.slot(v);
+                    if self.bound.contains(&s) {
+                        args.push(ArgPat::Bound(s));
+                        // Only pre-scan bound slots join the index key.
+                        if !newly_bound.contains(&s) {
+                            key_cols.push(col);
+                            key_vals.push(Source::Slot(s));
+                        }
+                    } else {
+                        args.push(ArgPat::Bind(s));
+                        self.bound.insert(s);
+                        newly_bound.insert(s);
+                    }
+                }
+            }
+        }
+        self.steps.push(Step::Scan(ScanStep {
+            pred: atom.pred,
+            view,
+            args,
+            key_cols,
+            key_vals,
+            literal: li,
+        }));
+    }
+
+    /// Emits every currently runnable comparison (assignments first, then
+    /// filters) and fully bound negated subgoal, repeating until none
+    /// applies. Marks indices in `done`.
+    fn drain_cmps(&mut self, done: &mut BTreeSet<usize>) {
+        loop {
+            let mut progressed = false;
+            for (li, l) in self.rule.body.iter().enumerate() {
+                if done.contains(&li) {
+                    continue;
+                }
+                if let Literal::Atom(a) = l {
+                    if let Some(op) = BuiltinOp::of(a.pred) {
+                        if a.arity() != BuiltinOp::ARITY {
+                            continue;
+                        }
+                        let srcs: Vec<Source> = a.args.iter().map(|&t| self.source(t)).collect();
+                        let bound_count =
+                            srcs.iter().filter(|s| self.source_is_bound(**s)).count();
+                        if bound_count >= 2 {
+                            let bind = srcs
+                                .iter()
+                                .position(|s| !self.source_is_bound(*s))
+                                .map(|pos| {
+                                    let Source::Slot(sl) = srcs[pos] else {
+                                        unreachable!("unbound source is a slot")
+                                    };
+                                    self.bound.insert(sl);
+                                    (pos, sl)
+                                });
+                            self.steps.push(Step::Compute(ComputeStep {
+                                op,
+                                args: [srcs[0], srcs[1], srcs[2]],
+                                bind,
+                            }));
+                            done.insert(li);
+                            progressed = true;
+                        }
+                        continue;
+                    }
+                    continue;
+                }
+                if let Literal::Neg(a) = l {
+                    let bound = a.args.iter().all(|t| match t {
+                        Term::Const(_) => true,
+                        Term::Var(v) => self
+                            .slots
+                            .get(v)
+                            .is_some_and(|sl| self.bound.contains(sl)),
+                    });
+                    if bound {
+                        let key: Vec<Source> =
+                            a.args.iter().map(|&t| self.source(t)).collect();
+                        self.steps.push(Step::Neg(NegStep {
+                            pred: a.pred,
+                            view: self.neg_views.get(&li).copied().unwrap_or(View::Full),
+                            key,
+                        }));
+                        done.insert(li);
+                        progressed = true;
+                    }
+                    continue;
+                }
+                let Literal::Cmp(c) = l else { continue };
+                let lhs = self.source(c.lhs);
+                let rhs = self.source(c.rhs);
+                let lb = self.source_is_bound(lhs);
+                let rb = self.source_is_bound(rhs);
+                if lb && rb {
+                    self.steps.push(Step::Filter(FilterStep {
+                        lhs,
+                        op: c.op,
+                        rhs,
+                    }));
+                    done.insert(li);
+                    progressed = true;
+                } else if c.op == CmpOp::Eq && (lb || rb) {
+                    let (slot, from) = if lb {
+                        let Source::Slot(s) = rhs else { unreachable!() };
+                        (s, lhs)
+                    } else {
+                        let Source::Slot(s) = lhs else { unreachable!() };
+                        (s, rhs)
+                    };
+                    self.steps.push(Step::Assign(AssignStep { slot, from }));
+                    self.bound.insert(slot);
+                    done.insert(li);
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                return;
+            }
+        }
+    }
+}
+
+/// Compiles a rule. `views` assigns a [`View`] to each body-literal index
+/// that is an atom (atoms not present default to [`View::Full`]).
+/// `first_literal` forces a particular atom to be scanned first (used for
+/// the delta occurrence in semi-naive variants).
+pub fn compile_rule(
+    rule: &Rule,
+    views: &BTreeMap<usize, View>,
+    first_literal: Option<usize>,
+) -> Result<CompiledRule, EngineError> {
+    compile_rule_with_sizes(rule, views, first_literal, &BTreeMap::new())
+}
+
+/// Like [`compile_rule`], with relation cardinalities for join ordering:
+/// when two candidate subgoals have equally many bound argument positions,
+/// the smaller relation is scanned first (classic selectivity heuristic —
+/// this is what realizes the paper's §4(2) "introduction of small
+/// relations in the context of joining large relations"). Predicates
+/// absent from `sizes` are assumed large.
+pub fn compile_rule_with_sizes(
+    rule: &Rule,
+    views: &BTreeMap<usize, View>,
+    first_literal: Option<usize>,
+    sizes: &BTreeMap<Pred, usize>,
+) -> Result<CompiledRule, EngineError> {
+    let mut c = Compiler {
+        rule,
+        slots: BTreeMap::new(),
+        slot_vars: Vec::new(),
+        bound: BTreeSet::new(),
+        steps: Vec::new(),
+        neg_views: views
+            .iter()
+            .filter(|(li, _)| rule.body.get(**li).is_some_and(|l| l.as_neg().is_some()))
+            .map(|(&li, &v)| (li, v))
+            .collect(),
+    };
+
+    let atom_indices: Vec<usize> = rule
+        .body
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| {
+            l.as_atom()
+                .is_some_and(|a| BuiltinOp::of(a.pred).is_none())
+        })
+        .map(|(i, _)| i)
+        .collect();
+    let mut done: BTreeSet<usize> = BTreeSet::new();
+
+    let view_of = |li: usize| views.get(&li).copied().unwrap_or(View::Full);
+
+    c.drain_cmps(&mut done);
+    if let Some(first) = first_literal {
+        debug_assert!(atom_indices.contains(&first));
+        c.emit_scan(first, view_of(first));
+        done.insert(first);
+        c.drain_cmps(&mut done);
+    }
+
+    loop {
+        // Pick the remaining atom with the most bound argument positions.
+        // Among boundness-ties the smaller relation goes first — but only
+        // when every tied candidate has a known size; if any is unknown
+        // (IDB, e.g. a magic guard placed first on purpose) source order
+        // is preserved.
+        let bound_count = |li: usize| {
+            let atom = rule.body[li].as_atom().unwrap();
+            atom.args
+                .iter()
+                .filter(|t| match t {
+                    Term::Const(_) => true,
+                    Term::Var(v) => c.slots.get(v).is_some_and(|s| c.bound.contains(s)),
+                })
+                .count()
+        };
+        let candidates: Vec<usize> = atom_indices
+            .iter()
+            .filter(|li| !done.contains(li))
+            .copied()
+            .collect();
+        let Some(&max_bound) = candidates
+            .iter()
+            .map(|&li| bound_count(li))
+            .collect::<Vec<_>>()
+            .iter()
+            .max()
+        else {
+            break;
+        };
+        let tied: Vec<usize> = candidates
+            .into_iter()
+            .filter(|&li| bound_count(li) == max_bound)
+            .collect();
+        let tied_sizes: Vec<Option<usize>> = tied
+            .iter()
+            .map(|&li| {
+                let atom = rule.body[li].as_atom().unwrap();
+                sizes.get(&atom.pred).copied()
+            })
+            .collect();
+        let li = if tied.len() > 1 && tied_sizes.iter().all(Option::is_some) {
+            tied.iter()
+                .zip(&tied_sizes)
+                .min_by_key(|(&li, sz)| (sz.unwrap(), li))
+                .map(|(&li, _)| li)
+                .unwrap()
+        } else {
+            tied[0]
+        };
+        c.emit_scan(li, view_of(li));
+        done.insert(li);
+        c.drain_cmps(&mut done);
+    }
+
+    // Any leftover comparison or negated subgoal has an unbound variable:
+    // the rule is unsafe.
+    for (li, l) in rule.body.iter().enumerate() {
+        if done.contains(&li) {
+            continue;
+        }
+        match l {
+            Literal::Cmp(cmp) => {
+                return Err(EngineError::UnsafeRule {
+                    rule: rule.to_string(),
+                    detail: format!("comparison `{cmp}` has unbound variables"),
+                });
+            }
+            Literal::Neg(a) => {
+                return Err(EngineError::UnsafeRule {
+                    rule: rule.to_string(),
+                    detail: format!("negated subgoal `!{a}` has unbound variables"),
+                });
+            }
+            Literal::Atom(a) if BuiltinOp::of(a.pred).is_some() => {
+                return Err(EngineError::UnsafeRule {
+                    rule: rule.to_string(),
+                    detail: format!(
+                        "builtin `{a}` needs at least two bound arguments"
+                    ),
+                });
+            }
+            Literal::Atom(_) => {}
+        }
+    }
+
+    // Head projection; every head variable must be bound.
+    let mut head = Vec::with_capacity(rule.head.arity());
+    for &t in &rule.head.args {
+        let s = c.source(t);
+        if !c.source_is_bound(s) {
+            return Err(EngineError::UnsafeRule {
+                rule: rule.to_string(),
+                detail: format!("head term `{t}` is not bound by the body"),
+            });
+        }
+        head.push(s);
+    }
+
+    Ok(CompiledRule {
+        head_pred: rule.head.pred,
+        head,
+        nslots: c.slot_vars.len(),
+        slot_vars: c.slot_vars,
+        steps: c.steps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semrec_datalog::parser::parse_rule;
+
+    fn compile(src: &str) -> CompiledRule {
+        compile_rule(&parse_rule(src).unwrap(), &BTreeMap::new(), None).unwrap()
+    }
+
+    #[test]
+    fn scans_then_filters() {
+        let c = compile("p(X,Y) :- e(X,Z), Z > 3, f(Z,Y).");
+        // e scanned first (tie-break by order), then Z>3 filter, then f.
+        assert_eq!(c.steps.len(), 3);
+        assert!(matches!(&c.steps[0], Step::Scan(s) if s.pred == Pred::new("e")));
+        assert!(matches!(&c.steps[1], Step::Filter(_)));
+        assert!(matches!(&c.steps[2], Step::Scan(s) if s.pred == Pred::new("f")));
+        // f's first column is bound by then → index key on col 0.
+        if let Step::Scan(s) = &c.steps[2] {
+            assert_eq!(s.key_cols, vec![0]);
+        }
+    }
+
+    #[test]
+    fn constant_goes_to_index_key() {
+        let c = compile("p(X) :- e(X, 7).");
+        if let Step::Scan(s) = &c.steps[0] {
+            assert_eq!(s.key_cols, vec![1]);
+            assert_eq!(s.key_vals, vec![Source::Const(Value::Int(7))]);
+        } else {
+            panic!("expected scan");
+        }
+    }
+
+    #[test]
+    fn repeated_var_in_atom_checks_equality_not_key() {
+        let c = compile("p(X) :- e(X, X).");
+        if let Step::Scan(s) = &c.steps[0] {
+            assert!(s.key_cols.is_empty());
+            assert!(matches!(s.args[0], ArgPat::Bind(_)));
+            assert!(matches!(s.args[1], ArgPat::Bound(_)));
+        } else {
+            panic!("expected scan");
+        }
+    }
+
+    #[test]
+    fn assignment_from_equality() {
+        let c = compile("p(X,Y) :- e(X), Y = X.");
+        assert!(c
+            .steps
+            .iter()
+            .any(|s| matches!(s, Step::Assign(_))));
+    }
+
+    #[test]
+    fn eq_chain_assignments() {
+        let c = compile("p(X,Y) :- e(X), Y = Z, Z = X.");
+        let assigns = c
+            .steps
+            .iter()
+            .filter(|s| matches!(s, Step::Assign(_)))
+            .count();
+        assert_eq!(assigns, 2);
+    }
+
+    #[test]
+    fn unsafe_rule_rejected() {
+        let r = parse_rule("p(X,Y) :- e(X), Y > 3.").unwrap();
+        let err = compile_rule(&r, &BTreeMap::new(), None).unwrap_err();
+        assert!(err.to_string().contains("unbound"));
+        let r = parse_rule("p(X,Y) :- e(X).").unwrap();
+        assert!(compile_rule(&r, &BTreeMap::new(), None).is_err());
+    }
+
+    #[test]
+    fn first_literal_is_honored() {
+        let r = parse_rule("p(X,Y) :- e(X,Z), q(Z,Y).").unwrap();
+        let c = compile_rule(&r, &BTreeMap::new(), Some(1)).unwrap();
+        assert!(matches!(&c.steps[0], Step::Scan(s) if s.pred == Pred::new("q")));
+    }
+
+    #[test]
+    fn ground_head_constant_projection() {
+        let c = compile("p(X, 3) :- e(X).");
+        assert_eq!(c.head[1], Source::Const(Value::Int(3)));
+    }
+
+    #[test]
+    fn constant_equality_becomes_index_key() {
+        // `R = executive` is turned into an assignment before any scan, so
+        // the boss scan can use column 2 as part of its index key —
+        // selection pushdown all the way into the index.
+        let c = compile("t(U) :- boss(U, E, R), R = executive, experienced(U).");
+        let kinds: Vec<&'static str> = c
+            .steps
+            .iter()
+            .map(|s| match s {
+                Step::Scan(_) => "scan",
+                Step::Neg(_) => "neg",
+                Step::Compute(_) => "compute",
+                Step::Filter(_) => "filter",
+                Step::Assign(_) => "assign",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["assign", "scan", "scan"]);
+        if let Step::Scan(s) = &c.steps[1] {
+            assert_eq!(s.pred, Pred::new("boss"));
+            assert_eq!(s.key_cols, vec![2]);
+        } else {
+            panic!("expected boss scan");
+        }
+    }
+}
+
+impl std::fmt::Display for Source {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Source::Slot(i) => write!(f, "${i}"),
+            Source::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl std::fmt::Display for CompiledRule {
+    /// Renders the physical plan, one step per line — the engine's
+    /// `EXPLAIN` output.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let head: Vec<String> = self.head.iter().map(ToString::to_string).collect();
+        writeln!(f, "plan for {}({})", self.head_pred, head.join(", "))?;
+        for (vi, v) in self.slot_vars.iter().enumerate() {
+            write!(f, "{}${vi}={v}", if vi == 0 { "  slots: " } else { ", " })?;
+        }
+        if !self.slot_vars.is_empty() {
+            writeln!(f)?;
+        }
+        for step in &self.steps {
+            match step {
+                Step::Scan(s) => {
+                    let args: Vec<String> = s
+                        .args
+                        .iter()
+                        .map(|a| match a {
+                            ArgPat::Const(c) => format!("={c}"),
+                            ArgPat::Bound(i) => format!("=${i}"),
+                            ArgPat::Bind(i) => format!("→${i}"),
+                        })
+                        .collect();
+                    let key = if s.key_cols.is_empty() {
+                        "full scan".to_owned()
+                    } else {
+                        format!("index on cols {:?}", s.key_cols)
+                    };
+                    writeln!(
+                        f,
+                        "  scan {}({}) [{:?}, {}]",
+                        s.pred,
+                        args.join(", "),
+                        s.view,
+                        key
+                    )?;
+                }
+                Step::Neg(n) => {
+                    let key: Vec<String> = n.key.iter().map(ToString::to_string).collect();
+                    writeln!(f, "  check absent {}({}) [{:?}]", n.pred, key.join(", "), n.view)?;
+                }
+                Step::Compute(cs) => {
+                    let args: Vec<String> = cs.args.iter().map(ToString::to_string).collect();
+                    match cs.bind {
+                        Some((pos, slot)) => writeln!(
+                            f,
+                            "  compute {:?}({}) → arg {} = ${}",
+                            cs.op,
+                            args.join(", "),
+                            pos,
+                            slot
+                        )?,
+                        None => writeln!(f, "  check {:?}({})", cs.op, args.join(", "))?,
+                    }
+                }
+                Step::Filter(c) => writeln!(f, "  filter {} {} {}", c.lhs, c.op, c.rhs)?,
+                Step::Assign(a) => writeln!(f, "  assign ${} := {}", a.slot, a.from)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod display_tests {
+    use super::*;
+    use semrec_datalog::parser::parse_rule;
+
+    #[test]
+    fn explain_output_shape() {
+        let r = parse_rule("p(X, Y) :- e(X, Z), Z > 3, f(Z, Y), !blocked(Z).").unwrap();
+        let c = compile_rule(&r, &BTreeMap::new(), None).unwrap();
+        let text = c.to_string();
+        assert!(text.contains("plan for p("), "{text}");
+        assert!(text.contains("scan e("));
+        assert!(text.contains("filter"));
+        assert!(text.contains("check absent blocked"));
+        assert!(text.contains("index on cols"));
+    }
+}
+
+#[cfg(test)]
+mod size_aware_tests {
+    use super::*;
+    use semrec_datalog::parser::parse_rule;
+
+    #[test]
+    fn smaller_relation_scanned_first_on_tie() {
+        let r = parse_rule("q(X, Y) :- big(X, Z), small(X, W), link(Z, W, Y).").unwrap();
+        let mut sizes = BTreeMap::new();
+        sizes.insert(Pred::new("big"), 100_000);
+        sizes.insert(Pred::new("small"), 10);
+        sizes.insert(Pred::new("link"), 100_000);
+        let c = compile_rule_with_sizes(&r, &BTreeMap::new(), None, &sizes).unwrap();
+        if let Step::Scan(s) = &c.steps[0] {
+            assert_eq!(s.pred, Pred::new("small"));
+        } else {
+            panic!("expected scan first");
+        }
+    }
+
+    #[test]
+    fn boundness_still_dominates_size() {
+        // After scanning tiny, mid has a bound arg while huge has none —
+        // mid wins despite being larger than huge? No: bound args first.
+        let r = parse_rule("q(X, Y) :- tiny(X), mid(X, Y), huge(Z, Y).").unwrap();
+        let mut sizes = BTreeMap::new();
+        sizes.insert(Pred::new("tiny"), 5);
+        sizes.insert(Pred::new("mid"), 1_000);
+        sizes.insert(Pred::new("huge"), 50);
+        let c = compile_rule_with_sizes(&r, &BTreeMap::new(), None, &sizes).unwrap();
+        let order: Vec<&str> = c
+            .steps
+            .iter()
+            .filter_map(|s| match s {
+                Step::Scan(s) => Some(s.pred.name()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(order, vec!["tiny", "mid", "huge"]);
+    }
+
+    #[test]
+    fn unknown_sizes_fall_back_to_source_order() {
+        let r = parse_rule("q(X, Y) :- a(X, Z), b(Z, Y).").unwrap();
+        let c = compile_rule_with_sizes(&r, &BTreeMap::new(), None, &BTreeMap::new()).unwrap();
+        if let Step::Scan(s) = &c.steps[0] {
+            assert_eq!(s.pred, Pred::new("a"));
+        } else {
+            panic!();
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Append-only relations with lazily built, incrementally extended hash
+//! indexes on column subsets.
+//!
+//! Rows are never removed, which makes semi-naive evaluation's
+//! old/delta/total views simple row-id ranges: `old = [0, watermark)`,
+//! `delta = [watermark, len)`, `total = [0, len)`.
+
+use parking_lot::RwLock;
+use semrec_datalog::term::Value;
+use std::collections::{HashMap, HashSet};
+
+/// A database tuple.
+pub type Tuple = Vec<Value>;
+
+/// A half-open range of row ids, used to express old/delta/total views.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RowRange {
+    /// First row id (inclusive).
+    pub start: u32,
+    /// One past the last row id.
+    pub end: u32,
+}
+
+impl RowRange {
+    /// True if `row` lies in the range.
+    pub fn contains(self, row: u32) -> bool {
+        self.start <= row && row < self.end
+    }
+
+    /// Number of rows in the range.
+    pub fn len(self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// True if the range is empty.
+    pub fn is_empty(self) -> bool {
+        self.start >= self.end
+    }
+}
+
+#[derive(Debug)]
+struct ColumnIndex {
+    cols: Vec<usize>,
+    map: HashMap<Vec<Value>, Vec<u32>>,
+    /// Rows `[0, built)` have been added to `map`.
+    built: usize,
+}
+
+/// An append-only relation of fixed arity with set semantics.
+///
+/// The lazy index cache sits behind an `RwLock`, so `&Relation` can be
+/// shared across threads during a (read-only) evaluation round — see
+/// [`crate::eval::Evaluator::with_parallelism`]. Call
+/// [`Relation::ensure_index`] before a parallel phase to avoid write-lock
+/// contention on first probe.
+#[derive(Debug)]
+pub struct Relation {
+    arity: usize,
+    rows: Vec<Tuple>,
+    dedup: HashSet<Tuple>,
+    indexes: RwLock<HashMap<Vec<usize>, ColumnIndex>>,
+}
+
+impl Relation {
+    /// An empty relation of the given arity.
+    pub fn new(arity: usize) -> Relation {
+        Relation {
+            arity,
+            rows: Vec::new(),
+            dedup: HashSet::new(),
+            indexes: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of (distinct) tuples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The full row range.
+    pub fn all_rows(&self) -> RowRange {
+        RowRange {
+            start: 0,
+            end: self.rows.len() as u32,
+        }
+    }
+
+    /// Inserts a tuple; returns `true` if it was new.
+    ///
+    /// # Panics
+    /// Panics if the tuple arity does not match the relation arity.
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        assert_eq!(t.len(), self.arity, "tuple arity mismatch");
+        if self.dedup.contains(&t) {
+            return false;
+        }
+        self.dedup.insert(t.clone());
+        self.rows.push(t);
+        true
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &[Value]) -> bool {
+        self.dedup.contains(t)
+    }
+
+    /// The tuple at `row`.
+    pub fn row(&self, row: u32) -> &[Value] {
+        &self.rows[row as usize]
+    }
+
+    /// Iterates over all tuples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.rows.iter()
+    }
+
+    /// Iterates over the tuples of a row range.
+    pub fn iter_range(&self, range: RowRange) -> impl Iterator<Item = (u32, &Tuple)> {
+        (range.start..range.end.min(self.rows.len() as u32))
+            .map(move |r| (r, &self.rows[r as usize]))
+    }
+
+    /// Row ids within `range` whose columns `cols` equal `key`, using (and
+    /// if necessary extending) the hash index on `cols`.
+    ///
+    /// Probing with an empty `cols` is an error — use [`Relation::iter_range`].
+    pub fn probe(&self, cols: &[usize], key: &[Value], range: RowRange) -> Vec<u32> {
+        debug_assert!(!cols.is_empty(), "probe with no bound columns");
+        debug_assert_eq!(cols.len(), key.len());
+        // Fast path: the index exists and is current — shared read lock.
+        {
+            let indexes = self.indexes.read();
+            if let Some(idx) = indexes.get(cols) {
+                if idx.built == self.rows.len() {
+                    return Self::index_hits(idx, key, range);
+                }
+            }
+        }
+        self.ensure_index(cols);
+        let indexes = self.indexes.read();
+        Self::index_hits(&indexes[cols], key, range)
+    }
+
+    fn index_hits(idx: &ColumnIndex, key: &[Value], range: RowRange) -> Vec<u32> {
+        match idx.map.get(key) {
+            None => Vec::new(),
+            Some(rows) => rows
+                .iter()
+                .copied()
+                .filter(|&r| range.contains(r))
+                .collect(),
+        }
+    }
+
+    /// Builds (or extends) the hash index on `cols` so that subsequent
+    /// probes only take the shared read lock. Called automatically by
+    /// [`Relation::probe`]; call it eagerly before sharing the relation
+    /// across threads.
+    pub fn ensure_index(&self, cols: &[usize]) {
+        let mut indexes = self.indexes.write();
+        let idx = indexes.entry(cols.to_vec()).or_insert_with(|| ColumnIndex {
+            cols: cols.to_vec(),
+            map: HashMap::new(),
+            built: 0,
+        });
+        for r in idx.built..self.rows.len() {
+            let k: Vec<Value> = idx.cols.iter().map(|&c| self.rows[r][c]).collect();
+            idx.map.entry(k).or_default().push(r as u32);
+        }
+        idx.built = self.rows.len();
+    }
+
+    /// Row ids within `range` exactly equal to `key` (all columns bound).
+    /// Fast path over the dedup set when the range covers everything.
+    pub fn probe_all_columns(&self, key: &[Value], range: RowRange) -> Vec<u32> {
+        if range.start == 0 && range.end as usize >= self.rows.len() {
+            return if self.dedup.contains(key) {
+                vec![u32::MAX] // sentinel row id; only existence matters
+            } else {
+                Vec::new()
+            };
+        }
+        let cols: Vec<usize> = (0..self.arity).collect();
+        self.probe(&cols, key, range)
+    }
+
+    /// All tuples, sorted, for deterministic comparisons in tests.
+    pub fn sorted_tuples(&self) -> Vec<Tuple> {
+        let mut v = self.rows.clone();
+        v.sort();
+        v
+    }
+}
+
+impl Clone for Relation {
+    fn clone(&self) -> Self {
+        Relation {
+            arity: self.arity,
+            rows: self.rows.clone(),
+            dedup: self.dedup.clone(),
+            indexes: RwLock::new(HashMap::new()),
+        }
+    }
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.arity == other.arity && self.dedup == other.dedup
+    }
+}
+
+impl Eq for Relation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[i64]) -> Tuple {
+        vals.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    #[test]
+    fn insert_dedups() {
+        let mut r = Relation::new(2);
+        assert!(r.insert(t(&[1, 2])));
+        assert!(!r.insert(t(&[1, 2])));
+        assert!(r.insert(t(&[1, 3])));
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&t(&[1, 2])));
+        assert!(!r.contains(&t(&[9, 9])));
+    }
+
+    #[test]
+    fn probe_uses_and_extends_index() {
+        let mut r = Relation::new(2);
+        r.insert(t(&[1, 2]));
+        r.insert(t(&[1, 3]));
+        r.insert(t(&[2, 3]));
+        let hits = r.probe(&[0], &[Value::Int(1)], r.all_rows());
+        assert_eq!(hits, vec![0, 1]);
+        // Appending after an index exists must extend it.
+        r.insert(t(&[1, 9]));
+        let hits = r.probe(&[0], &[Value::Int(1)], r.all_rows());
+        assert_eq!(hits, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn probe_respects_row_range() {
+        let mut r = Relation::new(2);
+        r.insert(t(&[1, 2]));
+        r.insert(t(&[1, 3]));
+        r.insert(t(&[1, 4]));
+        let delta = RowRange { start: 2, end: 3 };
+        let hits = r.probe(&[0], &[Value::Int(1)], delta);
+        assert_eq!(hits, vec![2]);
+    }
+
+    #[test]
+    fn multi_column_probe() {
+        let mut r = Relation::new(3);
+        r.insert(t(&[1, 2, 3]));
+        r.insert(t(&[1, 2, 4]));
+        r.insert(t(&[1, 5, 3]));
+        let hits = r.probe(&[0, 1], &[Value::Int(1), Value::Int(2)], r.all_rows());
+        assert_eq!(hits.len(), 2);
+        let hits = r.probe(&[2], &[Value::Int(3)], r.all_rows());
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn iter_range_views() {
+        let mut r = Relation::new(1);
+        r.insert(t(&[1]));
+        r.insert(t(&[2]));
+        r.insert(t(&[3]));
+        let old = RowRange { start: 0, end: 2 };
+        assert_eq!(r.iter_range(old).count(), 2);
+        let delta = RowRange { start: 2, end: 3 };
+        let vals: Vec<_> = r.iter_range(delta).map(|(_, t)| t[0]).collect();
+        assert_eq!(vals, vec![Value::Int(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut r = Relation::new(2);
+        r.insert(t(&[1]));
+    }
+}

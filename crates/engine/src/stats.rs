@@ -1,0 +1,78 @@
+//! Evaluation instrumentation.
+//!
+//! The paper's claims are about *work avoided* (joins eliminated, scans
+//! reduced, subtrees pruned) and *run-time overhead*. These counters make
+//! that work observable independently of wall-clock noise, and the E1–E4
+//! experiment tables report them next to timings.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Work counters accumulated during an evaluation.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct Stats {
+    /// Fixpoint rounds executed.
+    pub iterations: u64,
+    /// Compiled-plan executions (rule × variant × round).
+    pub rule_firings: u64,
+    /// Index probes issued by scan steps.
+    pub probes: u64,
+    /// Rows examined by scan steps (after index narrowing).
+    pub rows_scanned: u64,
+    /// Comparison evaluations (filter steps).
+    pub cmp_evals: u64,
+    /// Head tuples produced (including duplicates).
+    pub derived: u64,
+    /// Head tuples that were new.
+    pub inserted: u64,
+}
+
+impl AddAssign for Stats {
+    fn add_assign(&mut self, rhs: Stats) {
+        self.iterations += rhs.iterations;
+        self.rule_firings += rhs.rule_firings;
+        self.probes += rhs.probes;
+        self.rows_scanned += rhs.rows_scanned;
+        self.cmp_evals += rhs.cmp_evals;
+        self.derived += rhs.derived;
+        self.inserted += rhs.inserted;
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "iters={} firings={} probes={} rows={} cmps={} derived={} inserted={}",
+            self.iterations,
+            self.rule_firings,
+            self.probes,
+            self.rows_scanned,
+            self.cmp_evals,
+            self.derived,
+            self.inserted
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = Stats {
+            iterations: 1,
+            rows_scanned: 10,
+            ..Stats::default()
+        };
+        a += Stats {
+            iterations: 2,
+            derived: 5,
+            ..Stats::default()
+        };
+        assert_eq!(a.iterations, 3);
+        assert_eq!(a.rows_scanned, 10);
+        assert_eq!(a.derived, 5);
+    }
+}

@@ -1,0 +1,84 @@
+//! Generic graph data for engine and detection benchmarks.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use semrec_datalog::term::Value;
+use semrec_engine::Database;
+
+/// A chain `0 → 1 → … → n` under predicate `pred`.
+pub fn chain(pred: &str, n: usize) -> Database {
+    let mut db = Database::new();
+    for i in 0..n {
+        db.insert(pred, vec![Value::Int(i as i64), Value::Int(i as i64 + 1)]);
+    }
+    db
+}
+
+/// A single cycle of length `n`.
+pub fn cycle(pred: &str, n: usize) -> Database {
+    let mut db = Database::new();
+    for i in 0..n {
+        db.insert(
+            pred,
+            vec![Value::Int(i as i64), Value::Int(((i + 1) % n) as i64)],
+        );
+    }
+    db
+}
+
+/// A complete `b`-ary tree with `n` nodes, edges parent → child.
+pub fn tree(pred: &str, n: usize, b: usize) -> Database {
+    let mut db = Database::new();
+    let b = b.max(1);
+    for child in 1..n {
+        let parent = (child - 1) / b;
+        db.insert(pred, vec![Value::Int(parent as i64), Value::Int(child as i64)]);
+    }
+    db
+}
+
+/// A random digraph with `n` nodes and `m` distinct edges (no self loops).
+pub fn random_digraph(pred: &str, n: usize, m: usize, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    let n = n.max(2);
+    let mut inserted = 0;
+    let mut attempts = 0;
+    while inserted < m && attempts < m * 20 {
+        attempts += 1;
+        let a = rng.gen_range(0..n) as i64;
+        let b = rng.gen_range(0..n) as i64;
+        if a != b && db.insert(pred, vec![Value::Int(a), Value::Int(b)]) {
+            inserted += 1;
+        }
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_counts() {
+        assert_eq!(chain("e", 10).count("e"), 10);
+    }
+
+    #[test]
+    fn cycle_counts() {
+        assert_eq!(cycle("e", 5).count("e"), 5);
+    }
+
+    #[test]
+    fn tree_counts() {
+        assert_eq!(tree("e", 15, 2).count("e"), 14);
+    }
+
+    #[test]
+    fn random_digraph_deterministic() {
+        let a = random_digraph("e", 30, 60, 7);
+        let b = random_digraph("e", 30, 60, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.count("e"), 60);
+    }
+}

@@ -1,0 +1,168 @@
+//! Example 4.1's organizational database: `boss(E, B, R)` (B is a boss of
+//! E with rank R), `same_level(E1, E2, E3)` and `experienced(E)`, with the
+//! IC "executive-ranked bosses are experienced".
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use semrec_datalog::term::Value;
+use semrec_engine::Database;
+
+/// The scenario program and IC (Example 4.1).
+pub const PROGRAM: &str = "
+    triple(E1, E2, E3) :- same_level(E1, E2, E3).
+    triple(E1, E2, E3) :- boss(U, E3, R), experienced(U), triple(U, E1, E2).
+    ic ic1: boss(E, B, R), R = executive -> experienced(B).
+";
+
+/// Generator parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct OrgParams {
+    /// Total number of employees.
+    pub employees: usize,
+    /// Children per manager in the reporting tree.
+    pub branching: usize,
+    /// Fraction of managers ranked `executive`.
+    pub executive_frac: f64,
+    /// Probability that a non-executive employee is experienced.
+    pub experienced_frac: f64,
+    /// Number of `same_level` seed triples.
+    pub same_level_triples: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for OrgParams {
+    fn default() -> Self {
+        OrgParams {
+            employees: 200,
+            branching: 4,
+            executive_frac: 0.3,
+            experienced_frac: 0.4,
+            same_level_triples: 16,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates an IC-consistent organizational database.
+///
+/// The reporting structure is a `branching`-ary tree over employee ids
+/// `0..employees` (employee 0 is the CEO). Each manager gets a rank;
+/// every `executive` is inserted into `experienced` (enforcing ic1), and
+/// other employees are experienced with probability `experienced_frac`.
+pub fn generate(params: &OrgParams) -> Database {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut db = Database::new();
+    let n = params.employees.max(2);
+    let b = params.branching.max(1);
+
+    let rank_exec = Value::str("executive");
+    let rank_mgr = Value::str("manager");
+
+    // Manager ranks, decided once per manager.
+    let mut is_exec = vec![false; n];
+    let mut experienced = vec![false; n];
+    for e in 0..n {
+        is_exec[e] = rng.gen_bool(params.executive_frac.clamp(0.0, 1.0));
+        experienced[e] = rng.gen_bool(params.experienced_frac.clamp(0.0, 1.0));
+    }
+
+    // Depth of each employee in the tree (for same_level sampling).
+    let mut level = vec![0usize; n];
+    for e in 1..n {
+        let parent = (e - 1) / b;
+        level[e] = level[parent] + 1;
+        let rank = if is_exec[parent] {
+            rank_exec
+        } else {
+            rank_mgr
+        };
+        db.insert(
+            "boss",
+            vec![Value::Int(e as i64), Value::Int(parent as i64), rank],
+        );
+        if is_exec[parent] {
+            experienced[parent] = true; // enforce ic1
+        }
+    }
+    for (e, &exp) in experienced.iter().enumerate() {
+        if exp {
+            db.insert("experienced", vec![Value::Int(e as i64)]);
+        }
+    }
+
+    // same_level: sample triples of employees at equal depth.
+    let max_level = level.iter().copied().max().unwrap_or(0);
+    let mut by_level: Vec<Vec<usize>> = vec![Vec::new(); max_level + 1];
+    for (e, &l) in level.iter().enumerate() {
+        by_level[l].push(e);
+    }
+    let mut inserted = 0;
+    let mut attempts = 0;
+    while inserted < params.same_level_triples && attempts < params.same_level_triples * 20 {
+        attempts += 1;
+        let l = rng.gen_range(0..=max_level);
+        let pool = &by_level[l];
+        if pool.len() < 3 {
+            continue;
+        }
+        let pick = |rng: &mut StdRng| pool[rng.gen_range(0..pool.len())] as i64;
+        let (a, b2, c) = (pick(&mut rng), pick(&mut rng), pick(&mut rng));
+        if db.insert(
+            "same_level",
+            vec![Value::Int(a), Value::Int(b2), Value::Int(c)],
+        ) {
+            inserted += 1;
+        }
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_scenario;
+
+    #[test]
+    fn generated_db_satisfies_ic() {
+        let s = parse_scenario(PROGRAM);
+        for seed in [1, 7, 99] {
+            let db = generate(&OrgParams {
+                employees: 120,
+                seed,
+                ..OrgParams::default()
+            });
+            for ic in &s.constraints {
+                assert!(db.satisfies(ic), "seed {seed} violates {ic}");
+            }
+            assert!(db.count("boss") >= 100);
+            assert!(db.count("same_level") > 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let p = OrgParams::default();
+        assert_eq!(generate(&p), generate(&p));
+        let q = OrgParams {
+            seed: p.seed + 1,
+            ..p
+        };
+        assert_ne!(generate(&p), generate(&q));
+    }
+
+    #[test]
+    fn executive_fraction_scales() {
+        let lo = generate(&OrgParams {
+            executive_frac: 0.0,
+            experienced_frac: 0.0,
+            ..OrgParams::default()
+        });
+        assert_eq!(lo.count("experienced"), 0);
+        let hi = generate(&OrgParams {
+            executive_frac: 1.0,
+            ..OrgParams::default()
+        });
+        assert!(hi.count("experienced") > 0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Random linear-recursive program generation, for property-testing the
+//! transformations on programs beyond the hand-written scenarios.
+//!
+//! Every generated program satisfies the paper's assumptions by
+//! construction: rectified heads, range-restricted, connected (the body is
+//! a chain of binary atoms over a shuffled variable list), safe, and
+//! linearly recursive with one exit rule.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use semrec_datalog::atom::Atom;
+use semrec_datalog::literal::Literal;
+use semrec_datalog::program::Program;
+use semrec_datalog::rule::Rule;
+use semrec_datalog::term::Term;
+
+/// Parameters for [`random_linear`].
+#[derive(Clone, Copy, Debug)]
+pub struct RandomLinearParams {
+    /// Arity of the recursive predicate (2..=4 recommended).
+    pub arity: usize,
+    /// Number of recursive rules (1..=3 recommended).
+    pub recursive_rules: usize,
+    /// Local variables per recursive rule (0..=2 recommended).
+    pub locals: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomLinearParams {
+    fn default() -> Self {
+        RandomLinearParams {
+            arity: 2,
+            recursive_rules: 1,
+            locals: 1,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates a random linear program over predicate `p`, with EDB
+/// predicates `e0` (the exit relation, arity = `arity`) and `b<r>x<i>`
+/// (binary chain relations of rule `r`).
+pub fn random_linear(params: &RandomLinearParams) -> Program {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let n = params.arity.clamp(1, 6);
+    let head_vars: Vec<Term> = (0..n).map(|i| Term::var(&format!("X{i}"))).collect();
+    let head = Atom::new("p", head_vars.clone());
+
+    let mut rules = vec![Rule::new(
+        head.clone(),
+        vec![Literal::Atom(Atom::new("e0", head_vars.clone()))],
+    )];
+
+    for r in 0..params.recursive_rules.max(1) {
+        let mut vars = head_vars.clone();
+        for l in 0..params.locals {
+            vars.push(Term::var(&format!("L{r}x{l}")));
+        }
+        // A chain of binary atoms over a shuffled copy covers every
+        // variable and keeps the body connected.
+        let mut shuffled = vars.clone();
+        shuffled.shuffle(&mut rng);
+        let mut body: Vec<Literal> = Vec::new();
+        if shuffled.len() == 1 {
+            body.push(Literal::Atom(Atom::new(
+                format!("b{r}x0").as_str(),
+                vec![shuffled[0], shuffled[0]],
+            )));
+        }
+        for (i, w) in shuffled.windows(2).enumerate() {
+            body.push(Literal::Atom(Atom::new(
+                format!("b{r}x{i}").as_str(),
+                vec![w[0], w[1]],
+            )));
+        }
+        // Recursive call: each position picks any variable (bound by the
+        // chain, so the rule stays safe).
+        let call_args: Vec<Term> = (0..n)
+            .map(|_| vars[rng.gen_range(0..vars.len())])
+            .collect();
+        body.push(Literal::Atom(Atom::new("p", call_args)));
+        rules.push(Rule::new(head.clone(), body));
+    }
+    Program::new(rules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semrec_datalog::analysis::{classify_linear_pred, validate};
+    use semrec_datalog::Pred;
+
+    #[test]
+    fn generated_programs_satisfy_the_assumptions() {
+        for seed in 0..50 {
+            let p = random_linear(&RandomLinearParams {
+                arity: 1 + (seed as usize % 4),
+                recursive_rules: 1 + (seed as usize % 3),
+                locals: seed as usize % 3,
+                seed,
+            });
+            validate(&p, &[]).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{p}"));
+            let info = classify_linear_pred(&p, Pred::new("p")).unwrap();
+            assert_eq!(info.exit_rules.len(), 1);
+            assert!(!info.recursive_rules.is_empty());
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = random_linear(&RandomLinearParams::default());
+        let b = random_linear(&RandomLinearParams::default());
+        assert_eq!(a, b);
+    }
+}

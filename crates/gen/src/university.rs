@@ -1,0 +1,188 @@
+//! Examples 3.2/4.2's university database: professors who co-work inherit
+//! expertise (ic1, driving atom elimination on the recursive `eval`
+//! program) and large stipends imply doctoral students (ic2, driving the
+//! introduction of the small `doctoral` relation into `eval_support`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use semrec_datalog::term::Value;
+use semrec_engine::Database;
+
+/// The scenario program and ICs (Examples 3.2 and 4.2).
+pub const PROGRAM: &str = "
+    eval(P, S, T) :- super(P, S, T).
+    eval(P, S, T) :- works_with(P, P1), eval(P1, S, T), expert(P, F), field(T, F).
+    eval_support(P, S, T, M) :- eval(P, S, T), pays(M, G, S, T).
+    ic ic1: works_with(P2, P1), expert(P1, F1) -> expert(P2, F1).
+    ic ic2: pays(M, G, S, T), M > 10000 -> doctoral(S).
+";
+
+/// Generator parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct UniversityParams {
+    /// Number of professors.
+    pub professors: usize,
+    /// Number of students (each with one thesis).
+    pub students: usize,
+    /// Number of research fields.
+    pub fields: usize,
+    /// Length of each `works_with` collaboration chain.
+    pub chain_len: usize,
+    /// Fraction of students paid more than $10,000 (all made doctoral).
+    pub rich_frac: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for UniversityParams {
+    fn default() -> Self {
+        UniversityParams {
+            professors: 60,
+            students: 120,
+            fields: 8,
+            chain_len: 4,
+            rich_frac: 0.2,
+            seed: 42,
+        }
+    }
+}
+
+fn prof(i: usize) -> Value {
+    Value::str(&format!("prof{i}"))
+}
+
+fn student(i: usize) -> Value {
+    Value::str(&format!("stud{i}"))
+}
+
+fn thesis(i: usize) -> Value {
+    Value::str(&format!("thesis{i}"))
+}
+
+fn field_v(i: usize) -> Value {
+    Value::str(&format!("field{i}"))
+}
+
+/// Generates an IC-consistent university database.
+///
+/// Professors are grouped into `works_with` chains (`p0 → p1 → … `, edge
+/// direction as in ic1's premise `works_with(P2, P1)`); the most junior
+/// member of each chain seeds an expertise, and `expert` is closed under
+/// ic1 (everyone upstream inherits it). Students with stipends above
+/// $10,000 are all inserted into `doctoral` (enforcing ic2).
+pub fn generate(params: &UniversityParams) -> Database {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut db = Database::new();
+    let np = params.professors.max(2);
+    let ns = params.students.max(1);
+    let nf = params.fields.max(1);
+    let chain = params.chain_len.max(1);
+
+    // works_with chains and seeded expertise.
+    let mut expert: Vec<Vec<usize>> = vec![Vec::new(); np]; // fields per prof
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for start in (0..np).step_by(chain) {
+        let end = (start + chain).min(np);
+        for p in start..end.saturating_sub(1) {
+            // works_with(P2, P1): P2 = p, P1 = p + 1.
+            edges.push((p, p + 1));
+            db.insert("works_with", vec![prof(p), prof(p + 1)]);
+        }
+        // The junior (last) member knows one field; some others get a
+        // second seed to vary closure sizes.
+        let f = rng.gen_range(0..nf);
+        expert[end - 1].push(f);
+        if rng.gen_bool(0.3) {
+            expert[start].push(rng.gen_range(0..nf));
+        }
+    }
+    // Close expert under ic1: expert(P1, F) ∧ works_with(P2, P1) ⇒
+    // expert(P2, F).
+    loop {
+        let mut changed = false;
+        for &(p2, p1) in &edges {
+            let fields: Vec<usize> = expert[p1].clone();
+            for f in fields {
+                if !expert[p2].contains(&f) {
+                    expert[p2].push(f);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for (p, fs) in expert.iter().enumerate() {
+        for &f in fs {
+            db.insert("expert", vec![prof(p), field_v(f)]);
+        }
+    }
+
+    // Students, theses, fields, supervisors, stipends.
+    for s in 0..ns {
+        let f = rng.gen_range(0..nf);
+        db.insert("field", vec![thesis(s), field_v(f)]);
+        let sup = rng.gen_range(0..np);
+        db.insert("super", vec![prof(sup), student(s), thesis(s)]);
+        let rich = rng.gen_bool(params.rich_frac.clamp(0.0, 1.0));
+        let amount = if rich {
+            rng.gen_range(10_001..30_000)
+        } else {
+            rng.gen_range(1_000..=10_000)
+        };
+        let grant = Value::str(&format!("grant{}", rng.gen_range(0..np)));
+        db.insert(
+            "pays",
+            vec![Value::Int(amount), grant, student(s), thesis(s)],
+        );
+        if amount > 10_000 {
+            db.insert("doctoral", vec![student(s)]); // enforce ic2
+        } else if rng.gen_bool(0.1) {
+            db.insert("doctoral", vec![student(s)]);
+        }
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_scenario;
+
+    #[test]
+    fn generated_db_satisfies_ics() {
+        let s = parse_scenario(PROGRAM);
+        for seed in [3, 11, 2024] {
+            let db = generate(&UniversityParams {
+                seed,
+                ..UniversityParams::default()
+            });
+            for ic in &s.constraints {
+                assert!(db.satisfies(ic), "seed {seed} violates {ic}");
+            }
+        }
+    }
+
+    #[test]
+    fn expertise_is_closed_upstream() {
+        let db = generate(&UniversityParams::default());
+        // Every chain head must know at least the junior's field.
+        assert!(db.count("expert") >= db.count("works_with"));
+    }
+
+    #[test]
+    fn doctoral_is_small_relative_to_pays() {
+        let db = generate(&UniversityParams {
+            rich_frac: 0.1,
+            ..UniversityParams::default()
+        });
+        assert!(db.count("doctoral") < db.count("pays"));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let p = UniversityParams::default();
+        assert_eq!(generate(&p), generate(&p));
+    }
+}

@@ -1,0 +1,454 @@
+//! Answering knowledge queries: relevance filtering, context subsumption
+//! against proof trees, and descriptive answers (§5, Example 5.1).
+
+use crate::proof::{proof_trees, ConjQuery};
+use crate::query::KnowledgeQuery;
+use semrec_core::subsume::{maximal_partial_matches, Match};
+use semrec_datalog::analysis::DepGraph;
+use semrec_datalog::atom::Atom;
+use semrec_datalog::literal::{Cmp, Literal};
+use semrec_datalog::program::Program;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// How one proof tree relates to the (relevant) context.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TreeVerdict {
+    /// The context totally subsumes the tree: every object satisfying the
+    /// context is an answer through this tree.
+    Qualified,
+    /// The context partially covers the tree: the listed leaves remain as
+    /// additional qualifications.
+    NeedsMore {
+        /// Uncovered database leaves.
+        atoms: Vec<Atom>,
+        /// Uncovered comparison leaves.
+        cmps: Vec<Cmp>,
+    },
+    /// No part of the context maps onto the tree.
+    Unrelated,
+}
+
+/// A per-tree description.
+#[derive(Clone, Debug)]
+pub struct TreeAnswer {
+    /// The proof tree.
+    pub tree: ConjQuery,
+    /// The verdict.
+    pub verdict: TreeVerdict,
+    /// How many objects actually qualify through this tree, when a
+    /// database was supplied ([`answer_with_data`]).
+    pub matching: Option<usize>,
+}
+
+/// The full descriptive answer.
+#[derive(Clone, Debug)]
+pub struct Answer {
+    /// The query.
+    pub target: Atom,
+    /// Context literals kept after the reachability analysis.
+    pub relevant: Vec<Literal>,
+    /// Context literals discarded as irrelevant.
+    pub irrelevant: Vec<Literal>,
+    /// Per-proof-tree descriptions.
+    pub trees: Vec<TreeAnswer>,
+}
+
+impl Answer {
+    /// True if some proof tree is fully covered by the context.
+    pub fn fully_qualified(&self) -> bool {
+        self.trees
+            .iter()
+            .any(|t| t.verdict == TreeVerdict::Qualified)
+    }
+}
+
+impl fmt::Display for Answer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "describe {}:", self.target)?;
+        if !self.irrelevant.is_empty() {
+            let xs: Vec<String> = self.irrelevant.iter().map(|l| l.to_string()).collect();
+            writeln!(f, "  ignoring irrelevant context: {}", xs.join(", "))?;
+        }
+        if self.fully_qualified() {
+            writeln!(
+                f,
+                "  ⇒ every object satisfying the context is a {}",
+                self.target.pred
+            )?;
+        }
+        for t in &self.trees {
+            match &t.verdict {
+                TreeVerdict::Qualified => {
+                    write!(f, "  [qualified")?;
+                    if let Some(n) = t.matching {
+                        write!(f, ", {n} in db")?;
+                    }
+                    writeln!(f, "] {}", t.tree)?;
+                }
+                TreeVerdict::NeedsMore { atoms, cmps } => {
+                    let mut parts: Vec<String> = atoms.iter().map(|a| a.to_string()).collect();
+                    parts.extend(cmps.iter().map(|c| c.to_string()));
+                    writeln!(
+                        f,
+                        "  [needs: {}] via {}",
+                        parts.join(" ∧ "),
+                        t.tree
+                    )?;
+                }
+                TreeVerdict::Unrelated => {
+                    writeln!(f, "  [unrelated to context] {}", t.tree)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Splits the context into relevant and irrelevant parts. A context atom is
+/// relevant when its predicate lies in the undirected dependency component
+/// of the query predicate (§5's reachability); comparisons are relevant
+/// when they share a variable with some relevant atom.
+pub fn relevant_context(
+    program: &Program,
+    query: &KnowledgeQuery,
+) -> (Vec<Literal>, Vec<Literal>) {
+    let graph = DepGraph::new(program);
+    let component = graph.undirected_component(query.target.pred);
+    let mut relevant = Vec::new();
+    let mut irrelevant = Vec::new();
+    let mut relevant_vars: BTreeSet<semrec_datalog::Symbol> = query.target.vars().collect();
+    for l in &query.context {
+        if let Literal::Atom(a) = l {
+            if component.contains(&a.pred) {
+                relevant_vars.extend(a.vars());
+            }
+        }
+    }
+    for l in &query.context {
+        match l {
+            Literal::Atom(a) | Literal::Neg(a) => {
+                if component.contains(&a.pred) {
+                    relevant.push(l.clone());
+                } else {
+                    irrelevant.push(l.clone());
+                }
+            }
+            Literal::Cmp(c) => {
+                if c.vars().all(|v| relevant_vars.contains(&v)) {
+                    relevant.push(l.clone());
+                } else {
+                    irrelevant.push(l.clone());
+                }
+            }
+        }
+    }
+    (relevant, irrelevant)
+}
+
+/// Answers a knowledge query against a program. `max_depth` bounds proof-
+/// tree enumeration for recursive programs.
+pub fn answer(program: &Program, query: &KnowledgeQuery, max_depth: usize) -> Answer {
+    let (relevant, irrelevant) = relevant_context(program, query);
+    let ctx_atoms: Vec<Atom> = relevant
+        .iter()
+        .filter_map(|l| l.as_atom().cloned())
+        .collect();
+    let ctx_cmps: Vec<Cmp> = relevant.iter().filter_map(|l| l.as_cmp().copied()).collect();
+
+    let trees = proof_trees(program, &query.target, max_depth);
+    let mut out = Vec::new();
+    for tree in trees {
+        let targets: Vec<&Atom> = tree.atoms.iter().collect();
+        let matches = if ctx_atoms.is_empty() {
+            vec![]
+        } else {
+            maximal_partial_matches(&ctx_atoms, &targets, 1)
+        };
+        let verdict = best_verdict(&tree, &matches, &ctx_cmps);
+        out.push(TreeAnswer {
+            tree,
+            verdict,
+            matching: None,
+        });
+    }
+    Answer {
+        target: query.target.clone(),
+        relevant,
+        irrelevant,
+        trees: out,
+    }
+}
+
+/// Like [`answer`], additionally evaluating each proof tree as a
+/// conjunctive query over `db` and recording how many distinct root
+/// instantiations qualify through it — Motro & Yuan's descriptive answers
+/// grounded in the actual database.
+pub fn answer_with_data(
+    program: &Program,
+    query: &KnowledgeQuery,
+    db: &semrec_engine::Database,
+    max_depth: usize,
+) -> Answer {
+    let mut a = answer(program, query, max_depth);
+    for (i, t) in a.trees.iter_mut().enumerate() {
+        t.matching = count_tree_matches(db, &t.tree, i);
+    }
+    a
+}
+
+/// Evaluates one proof tree's conjunctive query over the database.
+fn count_tree_matches(
+    db: &semrec_engine::Database,
+    tree: &ConjQuery,
+    index: usize,
+) -> Option<usize> {
+    use semrec_datalog::literal::Literal as L;
+    use semrec_datalog::rule::Rule;
+    let head = Atom::new(
+        semrec_datalog::Pred::new(&format!("describe@{index}")),
+        tree.root.args.clone(),
+    );
+    let mut body: Vec<L> = tree.atoms.iter().cloned().map(L::Atom).collect();
+    body.extend(tree.negs.iter().cloned().map(L::Neg));
+    body.extend(tree.cmps.iter().copied().map(L::Cmp));
+    let rule = Rule::new(head, body);
+    let program = Program::new(vec![rule]);
+    let result =
+        semrec_engine::evaluate(db, &program, semrec_engine::Strategy::SemiNaive).ok()?;
+    result
+        .relation(semrec_datalog::Pred::new(&format!("describe@{index}")))
+        .map(semrec_engine::Relation::len)
+}
+
+/// Chooses the verdict from the best (largest-coverage) match.
+fn best_verdict(tree: &ConjQuery, matches: &[Match], ctx_cmps: &[Cmp]) -> TreeVerdict {
+    let Some(best) = matches.iter().max_by_key(|m| m.matched_count()) else {
+        return TreeVerdict::Unrelated;
+    };
+    if best.matched_count() == 0 {
+        return TreeVerdict::Unrelated;
+    }
+    // Leaves covered by the context: images of the matched context atoms.
+    let covered: BTreeSet<usize> = best.onto.iter().flatten().copied().collect();
+    let residue_atoms: Vec<Atom> = tree
+        .atoms
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !covered.contains(i))
+        .map(|(_, a)| a.clone())
+        .collect();
+    // Tree comparisons discharged by context comparisons that imply them
+    // (after the subsuming substitution): a context `G >= 40` covers a
+    // tree's `G >= 38`.
+    let instantiated_ctx: Vec<Cmp> = ctx_cmps.iter().map(|c| best.theta.apply_cmp(c)).collect();
+    let residue_cmps: Vec<Cmp> = tree
+        .cmps
+        .iter()
+        .filter(|c| {
+            !c.is_trivially_true() && !instantiated_ctx.iter().any(|ctx| ctx.implies(c))
+        })
+        .copied()
+        .collect();
+    if residue_atoms.is_empty() && residue_cmps.is_empty() {
+        TreeVerdict::Qualified
+    } else {
+        TreeVerdict::NeedsMore {
+            atoms: residue_atoms,
+            cmps: residue_cmps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::parse_describe;
+    use semrec_datalog::parser::parse_unit;
+
+    const HONORS: &str = "
+        honors(Stud) :- transcript(Stud, Major, Cred, Gpa), Cred >= 30, Gpa >= 38.
+        honors(Stud) :- transcript(Stud, Major, Cred, Gpa), Gpa >= 38, exceptional(Stud).
+        exceptional(Stud) :- publication(Stud, P), appears(P, Jl), reputed(Jl).
+        honors(Stud) :- graduated(Stud, College), topten(College).
+    ";
+
+    fn program() -> Program {
+        parse_unit(HONORS).unwrap().program()
+    }
+
+    #[test]
+    fn example_5_1_full_answer() {
+        let q = parse_describe(
+            "describe honors(Stud) where major(Stud, cs), graduated(Stud, College), \
+             topten(College), hobby(Stud, chess).",
+        )
+        .unwrap();
+        let a = answer(&program(), &q, 4);
+        // major and hobby are irrelevant (not reachable from honors).
+        assert_eq!(a.irrelevant.len(), 2);
+        assert_eq!(a.relevant.len(), 2);
+        // The graduated/topten tree is totally subsumed: all individuals
+        // satisfying the context qualify.
+        assert!(a.fully_qualified());
+        // The other two trees are unrelated (their residues are the entire
+        // proof trees, which the qualified tree's empty residue absorbs).
+        let unrelated = a
+            .trees
+            .iter()
+            .filter(|t| t.verdict == TreeVerdict::Unrelated)
+            .count();
+        assert_eq!(unrelated, 2);
+        let text = a.to_string();
+        assert!(text.contains("ignoring irrelevant context"));
+        assert!(text.contains("every object satisfying the context"));
+    }
+
+    #[test]
+    fn partial_coverage_yields_residue() {
+        let q = parse_describe("describe honors(Stud) where transcript(Stud, M, C, G).").unwrap();
+        let a = answer(&program(), &q, 4);
+        assert!(!a.fully_qualified());
+        let needs: Vec<&TreeAnswer> = a
+            .trees
+            .iter()
+            .filter(|t| matches!(t.verdict, TreeVerdict::NeedsMore { .. }))
+            .collect();
+        // Both transcript-based trees report remaining qualifications
+        // (the GPA/credits comparisons and, for r1, exceptional's leaves).
+        assert_eq!(needs.len(), 2);
+        if let TreeVerdict::NeedsMore { cmps, .. } = &needs[0].verdict {
+            assert!(!cmps.is_empty());
+        }
+    }
+
+    #[test]
+    fn context_comparisons_discharge_tree_comparisons() {
+        let q = parse_describe(
+            "describe honors(Stud) where transcript(Stud, M, C, G), C >= 30, G >= 38.",
+        )
+        .unwrap();
+        let a = answer(&program(), &q, 4);
+        // Tree r0 is now fully qualified: its atoms and both comparisons
+        // are covered.
+        assert!(a.fully_qualified());
+    }
+
+    #[test]
+    fn empty_context_all_trees_unrelated() {
+        let q = parse_describe("describe honors(S).").unwrap();
+        let a = answer(&program(), &q, 4);
+        assert!(!a.fully_qualified());
+        assert!(a
+            .trees
+            .iter()
+            .all(|t| t.verdict == TreeVerdict::Unrelated));
+    }
+}
+
+#[cfg(test)]
+mod data_tests {
+    use super::*;
+    use crate::query::parse_describe;
+    use semrec_datalog::parser::parse_unit;
+    use semrec_engine::Database;
+
+    #[test]
+    fn counts_qualifying_objects_per_tree() {
+        let unit = parse_unit(
+            "honors(S) :- transcript(S, M, C, G), C >= 30, G >= 38.
+             honors(S) :- graduated(S, College), topten(College).
+             transcript(ann, cs, 33, 39).
+             transcript(bob, cs, 20, 39).
+             graduated(ben, mit).
+             graduated(cal, yale).
+             topten(mit).
+             topten(yale).",
+        )
+        .unwrap();
+        let db = Database::from_facts(&unit.facts);
+        let q = parse_describe("describe honors(S) where graduated(S, C), topten(C).").unwrap();
+        let a = answer_with_data(&unit.program(), &q, &db, 3);
+        // Tree 1 (transcript): 1 object (ann); tree 2 (graduated): 2.
+        let counts: Vec<Option<usize>> = a.trees.iter().map(|t| t.matching).collect();
+        assert!(counts.contains(&Some(1)));
+        assert!(counts.contains(&Some(2)));
+        let text = a.to_string();
+        assert!(text.contains("2 in db"), "{text}");
+    }
+
+    #[test]
+    fn ground_target_counts_zero_or_one() {
+        let unit = parse_unit(
+            "honors(S) :- graduated(S, College), topten(College).
+             graduated(ben, mit).
+             topten(mit).",
+        )
+        .unwrap();
+        let db = Database::from_facts(&unit.facts);
+        let q = parse_describe("describe honors(ben) where graduated(ben, C).").unwrap();
+        let a = answer_with_data(&unit.program(), &q, &db, 3);
+        assert_eq!(a.trees[0].matching, Some(1));
+        let q = parse_describe("describe honors(zoe) where graduated(zoe, C).").unwrap();
+        let a = answer_with_data(&unit.program(), &q, &db, 3);
+        assert_eq!(a.trees[0].matching, Some(0));
+    }
+}
+
+#[cfg(test)]
+mod implication_discharge_tests {
+    use super::*;
+    use crate::query::parse_describe;
+    use semrec_datalog::parser::parse_unit;
+
+    #[test]
+    fn stronger_context_comparisons_discharge_tree_conditions() {
+        let program = parse_unit(
+            "honors(S) :- transcript(S, M, C, G), C >= 30, G >= 38.",
+        )
+        .unwrap()
+        .program();
+        // The context asserts MORE than the tree requires.
+        let q = parse_describe(
+            "describe honors(S) where transcript(S, M, C, G), C >= 60, G >= 40.",
+        )
+        .unwrap();
+        let a = answer(&program, &q, 3);
+        assert!(a.fully_qualified(), "{a}");
+
+        // A weaker context does not qualify.
+        let q = parse_describe(
+            "describe honors(S) where transcript(S, M, C, G), C >= 10, G >= 40.",
+        )
+        .unwrap();
+        let a = answer(&program, &q, 3);
+        assert!(!a.fully_qualified());
+    }
+}
+
+#[cfg(test)]
+mod recursive_program_tests {
+    use super::*;
+    use crate::query::parse_describe;
+    use semrec_datalog::parser::parse_unit;
+
+    #[test]
+    fn describe_over_recursive_programs_is_depth_bounded() {
+        let program = parse_unit(
+            "anc(X, Y) :- par(X, Y).
+             anc(X, Y) :- anc(X, Z), par(Z, Y).",
+        )
+        .unwrap()
+        .program();
+        let q = parse_describe("describe anc(X, Y) where par(X, Y).").unwrap();
+        let a = answer(&program, &q, 3);
+        // Trees of depth 1..3; the direct-parent tree is fully qualified.
+        assert_eq!(a.trees.len(), 3);
+        assert!(a.fully_qualified());
+        // Deeper trees report the remaining par hops as qualifications.
+        assert!(a.trees.iter().any(|t| matches!(
+            &t.verdict,
+            TreeVerdict::NeedsMore { atoms, .. } if !atoms.is_empty()
+        )));
+    }
+}

@@ -1,0 +1,28 @@
+//! # semrec-iqa
+//!
+//! §5 of the paper: intelligent (intensional) query answering via the
+//! semantic-optimization machinery, after Motro & Yuan.
+//!
+//! A *knowledge query* `describe φ(X) where ψ(X)` asks for a description
+//! of the objects satisfying `φ` in the context `ψ`, rather than for
+//! tuples. The answering method:
+//!
+//! 1. **relevance** — context predicates not reachable from the query
+//!    predicate (in the undirected dependency graph) are discarded;
+//! 2. **proof trees** — the query predicate's proof trees are enumerated
+//!    (to a bounded depth for recursive programs) as conjunctive queries;
+//! 3. **subsumption** — the relevant context is treated as an axiom and
+//!    (partially) subsumed against each proof tree's leaves; the residue —
+//!    the part of the tree the context does not cover — is the *additional
+//!    qualification* the described objects must meet. An empty residue
+//!    means every object satisfying the context qualifies.
+
+#![warn(missing_docs)]
+
+pub mod answer;
+pub mod proof;
+pub mod query;
+
+pub use answer::{answer, answer_with_data, Answer, TreeVerdict};
+pub use proof::{proof_trees, ConjQuery};
+pub use query::{parse_describe, KnowledgeQuery};

@@ -1,0 +1,137 @@
+//! Knowledge queries: `describe φ(X) where ψ(X)` (Motro & Yuan's syntax,
+//! §5 of the paper).
+
+use semrec_datalog::atom::Atom;
+use semrec_datalog::error::Error;
+use semrec_datalog::literal::Literal;
+use semrec_datalog::parser::{lex, TokenKind};
+
+/// A parsed knowledge query.
+#[derive(Clone, Debug)]
+pub struct KnowledgeQuery {
+    /// The described atom `φ(X)`.
+    pub target: Atom,
+    /// The context `ψ(X)`: database atoms and comparisons.
+    pub context: Vec<Literal>,
+}
+
+/// Parses `describe φ(X) where l1, …, ln.` (the trailing dot and the
+/// `where` clause are optional: `describe φ(X).` asks for an unconditional
+/// description).
+pub fn parse_describe(src: &str) -> Result<KnowledgeQuery, Error> {
+    // Lex once to find the `describe` / `where` keywords robustly, then
+    // reuse the main parser for the pieces.
+    let tokens = lex(src)?;
+    let mut idx = 0;
+    let kw = |t: &TokenKind, s: &str| matches!(t, TokenKind::Ident(i) if i == s);
+    if !kw(&tokens[idx].kind, "describe") {
+        return Err(Error::parse(
+            tokens[idx].line,
+            tokens[idx].col,
+            "expected `describe`",
+        ));
+    }
+    idx += 1;
+
+    // Find the `where` keyword (if any) at the top level.
+    let mut where_idx = None;
+    for (i, t) in tokens.iter().enumerate().skip(idx) {
+        if kw(&t.kind, "where") {
+            where_idx = Some(i);
+            break;
+        }
+    }
+
+    let src_body = |from: usize, to: usize| -> String {
+        // Reconstruct source text by re-rendering tokens; good enough for
+        // our token set.
+        tokens[from..to]
+            .iter()
+            .map(|t| render(&t.kind))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+
+    let end = tokens
+        .iter()
+        .position(|t| t.kind == TokenKind::Dot)
+        .unwrap_or(tokens.len() - 1);
+    let (target_end, ctx) = match where_idx {
+        Some(w) => (w, Some((w + 1, end))),
+        None => (end, None),
+    };
+
+    let target = semrec_datalog::parser::parse_atom(&src_body(idx, target_end))?;
+    let context = match ctx {
+        None => vec![],
+        Some((from, to)) => {
+            // Parse as a rule body by wrapping in a dummy head whose
+            // variables don't matter (range restriction is not required
+            // for contexts).
+            let text = format!("dummy@(0) :- {}.", src_body(from, to));
+            // `dummy@` is not lexable, so parse literal list manually via a
+            // valid dummy predicate instead.
+            let text = text.replace("dummy@", "iqa_dummy_head");
+            let rule = semrec_datalog::parser::parse_rule(&text)?;
+            rule.body
+        }
+    };
+    Ok(KnowledgeQuery { target, context })
+}
+
+fn render(kind: &TokenKind) -> String {
+    match kind {
+        TokenKind::Ident(s) => s.clone(),
+        TokenKind::Var(s) => s.clone(),
+        TokenKind::Int(i) => i.to_string(),
+        TokenKind::Str(s) => format!("{s:?}"),
+        TokenKind::LParen => "(".into(),
+        TokenKind::RParen => ")".into(),
+        TokenKind::Comma => ",".into(),
+        TokenKind::Dot => ".".into(),
+        TokenKind::ColonDash => ":-".into(),
+        TokenKind::Colon => ":".into(),
+        TokenKind::Arrow => "->".into(),
+        TokenKind::Eq => "=".into(),
+        TokenKind::Ne => "!=".into(),
+        TokenKind::Bang => "!".into(),
+        TokenKind::Lt => "<".into(),
+        TokenKind::Le => "<=".into(),
+        TokenKind::Gt => ">".into(),
+        TokenKind::Ge => ">=".into(),
+        TokenKind::Eof => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_example_5_1_query() {
+        let q = parse_describe(
+            "describe honors(Stud) where major(Stud, cs), graduated(Stud, College), \
+             topten(College), hobby(Stud, chess).",
+        )
+        .unwrap();
+        assert_eq!(q.target.to_string(), "honors(Stud)");
+        assert_eq!(q.context.len(), 4);
+    }
+
+    #[test]
+    fn parse_without_context() {
+        let q = parse_describe("describe honors(Stud).").unwrap();
+        assert!(q.context.is_empty());
+    }
+
+    #[test]
+    fn parse_with_comparison_in_context() {
+        let q = parse_describe("describe rich(P) where salary(P, S), S > 100000.").unwrap();
+        assert_eq!(q.context.len(), 2);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_describe("explain honors(S).").is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! Example 5.1: intelligent query answering via semantic optimization
+//! machinery (§5, after Motro & Yuan).
+//!
+//! ```sh
+//! cargo run --example intelligent_answers
+//! ```
+
+use semrec::datalog::parser::parse_unit;
+use semrec::iqa::{answer, parse_describe};
+
+fn main() {
+    // The deductive database of Example 5.1 (GPA scaled ×10 to stay in
+    // integers: 3.8 → 38).
+    let source = "
+        honors(Stud) :- transcript(Stud, Major, Cred, Gpa), Cred >= 30, Gpa >= 38.
+        honors(Stud) :- transcript(Stud, Major, Cred, Gpa), Gpa >= 38, exceptional(Stud).
+        exceptional(Stud) :- publication(Stud, P), appears(P, Jl), reputed(Jl).
+        honors(Stud) :- graduated(Stud, College), topten(College).
+    ";
+    let program = parse_unit(source).expect("parses").program();
+    println!("=== knowledge base ===\n{program}");
+
+    // "Describe honors students given that they are in computer science,
+    //  come from one of the top ten colleges, and play chess."
+    let queries = [
+        "describe honors(Stud) where major(Stud, cs), graduated(Stud, College), \
+         topten(College), hobby(Stud, chess).",
+        "describe honors(Stud) where transcript(Stud, M, C, G), G >= 38.",
+        "describe honors(Stud).",
+    ];
+
+    for q in queries {
+        println!("---\n{q}");
+        let query = parse_describe(q).expect("query parses");
+        let a = answer(&program, &query, 4);
+        println!("{a}");
+    }
+}

@@ -1,0 +1,64 @@
+//! Example 4.1: atom elimination on the organizational database.
+//!
+//! The IC "executive-ranked bosses are experienced" makes the
+//! `experienced(U)` subgoal redundant in proof trees where, four levels
+//! down, the same person appears as an executive boss. The optimizer finds
+//! the residue w.r.t. the sequence r2·r2·r2·r2 and deletes the atom from
+//! the committed chain, guarded by the `R = executive` condition at the
+//! level where `R` is visible.
+//!
+//! ```sh
+//! cargo run --example org_hierarchy
+//! ```
+
+use semrec::core::optimizer::Optimizer;
+use semrec::engine::{evaluate, Strategy};
+use semrec::gen::{org, parse_scenario};
+
+fn main() {
+    let scenario = parse_scenario(org::PROGRAM);
+    println!("=== program ===\n{}", scenario.program);
+    for ic in &scenario.constraints {
+        println!("{ic}\n");
+    }
+
+    let plan = Optimizer::new(&scenario.program)
+        .with_constraints(&scenario.constraints)
+        .run()
+        .expect("optimizes");
+    for a in &plan.applied {
+        println!("applied {}: {} [{}]", a.kind, a.residue, a.note);
+    }
+    println!(
+        "isolated sequence for triple: {:?}\n",
+        plan.chosen[&semrec::datalog::Pred::new("triple")]
+    );
+
+    println!(
+        "{:>10} {:>12} {:>14} {:>14} {:>16}",
+        "employees", "exec_frac", "orig probes", "opt probes", "experienced probes saved"
+    );
+    for &frac in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+        let db = org::generate(&org::OrgParams {
+            employees: 400,
+            executive_frac: frac,
+            ..org::OrgParams::default()
+        });
+        for ic in &scenario.constraints {
+            assert!(db.satisfies(ic));
+        }
+        let base = evaluate(&db, &plan.rectified, Strategy::SemiNaive).unwrap();
+        let opt = evaluate(&db, &plan.program, Strategy::SemiNaive).unwrap();
+        assert_eq!(
+            base.relation("triple").unwrap().sorted_tuples(),
+            opt.relation("triple").unwrap().sorted_tuples(),
+            "equivalence at executive_frac {frac}"
+        );
+        let saved = base.stats.probes as i64 - opt.stats.probes as i64;
+        println!(
+            "{:>10} {:>12.2} {:>14} {:>14} {:>16}",
+            400, frac, base.stats.probes, opt.stats.probes, saved
+        );
+    }
+    println!("\n(answers equal at every setting ✓)");
+}

@@ -1,0 +1,420 @@
+//! `semrec` — command-line driver for the semantic optimizer.
+//!
+//! ```text
+//! semrec optimize <file> [--small PRED]...        show the optimization plan
+//! semrec run <file> [--optimize] [--naive] [--query 'p(a, X)'] [--magic]
+//!            [--data DIR] [--save DIR] [--threads N] [--engine seminaive|naive|topdown|sld]
+//! semrec explain <file>                           residues per IC and sequence
+//! semrec describe <file> 'describe p(X) where q(X, c).'
+//! semrec why <file> 'anc(dan, 20, bob, 77)'       show one derivation of a fact
+//! semrec check <file>                             validate assumptions + IC satisfaction
+//! semrec plan <file> [--optimize]                 show compiled physical plans (EXPLAIN)
+//! semrec gen <scenario> <dir>                     write a generated workload bundle
+//! ```
+//!
+//! `<file>` holds rules, ground facts, and `ic:` constraints in the
+//! Prolog-like syntax of `semrec_datalog::parser`.
+
+use semrec::core::detect::{detect, DetectionMethod};
+use semrec::core::optimizer::{Optimizer, OptimizerConfig};
+use semrec::datalog::analysis::{classify_linear, rectify, validate};
+use semrec::datalog::parser::{parse_atom, parse_unit, Unit};
+use semrec::datalog::Pred;
+use semrec::engine::magic::evaluate_query;
+use semrec::engine::{evaluate, Database, Strategy};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err(usage());
+    };
+    match cmd.as_str() {
+        "optimize" => cmd_optimize(&args[1..]),
+        "run" => cmd_run(&args[1..]),
+        "explain" => cmd_explain(&args[1..]),
+        "describe" => cmd_describe(&args[1..]),
+        "why" => cmd_why(&args[1..]),
+        "plan" => cmd_plan(&args[1..]),
+        "gen" => cmd_gen(&args[1..]),
+        "check" => cmd_check(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  semrec optimize <file> [--small PRED]...\n  \
+     semrec run <file> [--optimize] [--naive] [--query ATOM] [--magic]\n  \
+             [--data DIR] [--save DIR] [--small PRED]...\n  \
+     semrec explain <file>\n  \
+     semrec describe <file> QUERY\n  \
+     semrec why <file> GROUND_ATOM\n  \
+     semrec plan <file> [--optimize]\n  \
+     semrec gen <org|university|genealogy|fanout|flights> <dir>\n  \
+     semrec check <file>"
+        .to_owned()
+}
+
+fn load(path: &str) -> Result<Unit, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    parse_unit(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+fn small_preds(args: &[String]) -> Vec<Pred> {
+    let mut out = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--small" {
+            if let Some(p) = it.next() {
+                out.push(Pred::new(p));
+            }
+        }
+    }
+    out
+}
+
+fn build_plan(unit: &Unit, args: &[String]) -> Result<semrec::core::Plan, String> {
+    let mut config = OptimizerConfig::default();
+    for p in small_preds(args) {
+        config.policy.small_relations.insert(p);
+    }
+    Optimizer::new(&unit.program())
+        .with_constraints(&unit.constraints)
+        .with_config(config)
+        .run()
+        .map_err(|e| e.to_string())
+}
+
+fn cmd_optimize(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or_else(usage)?;
+    let unit = load(path)?;
+    let plan = build_plan(&unit, args)?;
+    print!("{plan}");
+    Ok(())
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1))
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or_else(usage)?;
+    let unit = load(path)?;
+    let mut db = Database::from_facts(&unit.facts);
+    if let Some(dir) = flag_value(args, "--data") {
+        let n = semrec::engine::io::load_dir(&mut db, std::path::Path::new(dir))
+            .map_err(|e| e.to_string())?;
+        eprintln!("loaded {n} facts from {dir}");
+    }
+    let db = db;
+    let strategy = if args.iter().any(|a| a == "--naive") {
+        Strategy::Naive
+    } else {
+        Strategy::SemiNaive
+    };
+    let program = if args.iter().any(|a| a == "--optimize") {
+        let plan = build_plan(&unit, args)?;
+        for a in &plan.applied {
+            eprintln!("applied {}: {}", a.kind, a.note);
+        }
+        plan.program
+    } else {
+        unit.program()
+    };
+
+    let query = args
+        .iter()
+        .position(|a| a == "--query")
+        .and_then(|i| args.get(i + 1))
+        .map(|q| parse_atom(q).map_err(|e| e.to_string()))
+        .transpose()?;
+
+    if args.iter().any(|a| a == "--magic") {
+        let goal = query.ok_or("--magic requires --query")?;
+        let (answers, res) =
+            evaluate_query(&db, &program, &goal, strategy).map_err(|e| e.to_string())?;
+        for t in &answers {
+            println!("{}", render(goal.pred, t));
+        }
+        eprintln!("-- {} answers; {}", answers.len(), res.stats);
+        return Ok(());
+    }
+
+    let threads: usize = flag_value(args, "--threads")
+        .map(|t| t.parse().map_err(|_| format!("bad --threads value `{t}`")))
+        .transpose()?
+        .unwrap_or(1);
+    match flag_value(args, "--engine").map(String::as_str) {
+        Some("topdown") => {
+            let goal = query.ok_or("--engine topdown requires --query")?;
+            let (answers, stats) =
+                semrec::engine::topdown::query_topdown(&db, &program, &goal)
+                    .map_err(|e| e.to_string())?;
+            for t in &answers {
+                println!("{}", render(goal.pred, t));
+            }
+            eprintln!("-- {} answers; {}", answers.len(), stats);
+            return Ok(());
+        }
+        Some("sld") => {
+            let goal = query.ok_or("--engine sld requires --query")?;
+            let (answers, stats, compl) = semrec::engine::sld::query_sld(
+                &db,
+                &program,
+                &goal,
+                semrec::engine::sld::SldConfig::default(),
+            )
+            .map_err(|e| e.to_string())?;
+            for t in &answers {
+                println!("{}", render(goal.pred, t));
+            }
+            eprintln!("-- {} answers; {}; {:?}", answers.len(), stats, compl);
+            return Ok(());
+        }
+        Some("seminaive") | Some("naive") | None => {}
+        Some(other) => {
+            return Err(format!(
+                "unknown engine `{other}` (seminaive, naive, topdown, sld)"
+            ));
+        }
+    }
+    let res = semrec::engine::evaluate_parallel(&db, &program, strategy, threads)
+        .map_err(|e| e.to_string())?;
+    match query {
+        Some(goal) => {
+            let mut answers = res.answers(&goal);
+            answers.sort();
+            for t in &answers {
+                println!("{}", render(goal.pred, t));
+            }
+            eprintln!("-- {} answers; {}", answers.len(), res.stats);
+        }
+        None => {
+            for (p, rel) in &res.idb {
+                for t in rel.sorted_tuples() {
+                    println!("{}", render(*p, &t));
+                }
+            }
+            eprintln!("-- {}", res.stats);
+        }
+    }
+    if let Some(dir) = flag_value(args, "--save") {
+        let dir = std::path::Path::new(dir);
+        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        for (p, rel) in &res.idb {
+            semrec::engine::io::save_relation(*p, rel.sorted_tuples().iter(), dir)
+                .map_err(|e| e.to_string())?;
+        }
+        eprintln!("saved IDB relations to {}", dir.display());
+    }
+    Ok(())
+}
+
+fn render(p: Pred, t: &[semrec::datalog::Value]) -> String {
+    let cells: Vec<String> = t.iter().map(ToString::to_string).collect();
+    format!("{}({}).", p, cells.join(", "))
+}
+
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or_else(usage)?;
+    let unit = load(path)?;
+    let program = unit.program();
+    let infos = validate(&program, &unit.constraints).map_err(|e| e.to_string())?;
+    let (rect, _) = rectify(&program);
+    if infos.is_empty() {
+        println!("no recursive predicates.");
+    }
+    for info in validate(&rect, &unit.constraints).map_err(|e| e.to_string())? {
+        println!("recursive predicate {} (arity {}):", info.pred, info.arity);
+        println!("  exit rules      {:?}", info.exit_rules);
+        println!("  recursive rules {:?}", info.recursive_rules);
+        for ic in &unit.constraints {
+            let ds = detect(&rect, &info, ic, DetectionMethod::SdGraph, 3)
+                .map_err(|e| e.to_string())?;
+            let label = ic
+                .name
+                .map(|n| n.as_str().to_owned())
+                .unwrap_or_else(|| "(unnamed)".into());
+            if ds.is_empty() {
+                println!("  ic {label}: no residues");
+            }
+            for d in ds {
+                let r = &d.residue;
+                println!(
+                    "  ic {label}: seq {:?}: {}  [{}{}{}]",
+                    r.seq,
+                    r,
+                    if r.is_null() { "null" } else { "fact" },
+                    if r.is_conditional() {
+                        ", conditional"
+                    } else {
+                        ""
+                    },
+                    if r.is_useful() { ", useful" } else { "" },
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_describe(args: &[String]) -> Result<(), String> {
+    let (path, qsrc) = match args {
+        [p, q, ..] => (p, q),
+        _ => return Err(usage()),
+    };
+    let unit = load(path)?;
+    let query = semrec::iqa::parse_describe(qsrc).map_err(|e| e.to_string())?;
+    let a = if unit.facts.is_empty() {
+        semrec::iqa::answer(&unit.program(), &query, 4)
+    } else {
+        let db = Database::from_facts(&unit.facts);
+        semrec::iqa::answer_with_data(&unit.program(), &query, &db, 4)
+    };
+    print!("{a}");
+    Ok(())
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    use semrec::gen::{
+        export, fanout, flights, genealogy, org, parse_scenario, university,
+    };
+    let (name, dir) = match args {
+        [n, d, ..] => (n.as_str(), std::path::Path::new(d)),
+        _ => return Err(usage()),
+    };
+    let (scenario, db) = match name {
+        "org" => (
+            parse_scenario(org::PROGRAM),
+            org::generate(&org::OrgParams::default()),
+        ),
+        "university" => (
+            parse_scenario(university::PROGRAM),
+            university::generate(&university::UniversityParams::default()),
+        ),
+        "genealogy" => (
+            parse_scenario(genealogy::PROGRAM),
+            genealogy::generate(&genealogy::GenealogyParams::default()),
+        ),
+        "fanout" => (
+            parse_scenario(fanout::PROGRAM),
+            fanout::generate(&fanout::FanoutParams::default()),
+        ),
+        "flights" => (
+            parse_scenario(flights::PROGRAM),
+            flights::generate(&flights::FlightsParams::default()),
+        ),
+        other => return Err(format!("unknown scenario `{other}`")),
+    };
+    export::write_bundle(&scenario, &db, dir, name).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {}/{name}.dl and {}/{name}-data/ ({} facts)",
+        dir.display(),
+        dir.display(),
+        db.total_tuples()
+    );
+    Ok(())
+}
+
+fn cmd_plan(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or_else(usage)?;
+    let unit = load(path)?;
+    let program = if args.iter().any(|a| a == "--optimize") {
+        build_plan(&unit, args)?.program
+    } else {
+        unit.program()
+    };
+    let idb = program.idb_preds();
+    for rule in &program.rules {
+        println!("% {rule}");
+        let views: std::collections::BTreeMap<usize, semrec::engine::plan::View> = rule
+            .body
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| {
+                l.as_atom().is_some_and(|a| idb.contains(&a.pred))
+                    || l.as_neg().is_some_and(|a| idb.contains(&a.pred))
+            })
+            .map(|(i, _)| (i, semrec::engine::plan::View::Total))
+            .collect();
+        match semrec::engine::plan::compile_rule(rule, &views, None) {
+            Ok(c) => println!("{c}"),
+            Err(e) => println!("  (uncompilable: {e})"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_why(args: &[String]) -> Result<(), String> {
+    let (path, fact_src) = match args {
+        [p, f, ..] => (p, f),
+        _ => return Err(usage()),
+    };
+    let unit = load(path)?;
+    let program = unit.program();
+    let goal = parse_atom(fact_src).map_err(|e| e.to_string())?;
+    if !goal.is_ground() {
+        return Err("`why` needs a ground atom".into());
+    }
+    let db = Database::from_facts(&unit.facts);
+    let res = evaluate(&db, &program, Strategy::SemiNaive).map_err(|e| e.to_string())?;
+    match semrec::engine::explain::explain_fact(&db, &res, &program, &goal) {
+        Some(d) => {
+            print!("{d}");
+            Ok(())
+        }
+        None => Err(format!("{goal} is not derivable")),
+    }
+}
+
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or_else(usage)?;
+    let unit = load(path)?;
+    let program = unit.program();
+    match validate(&program, &unit.constraints) {
+        Ok(infos) => {
+            println!(
+                "program ok: {} rules, {} facts, {} constraints, {} recursive predicate(s)",
+                program.len(),
+                unit.facts.len(),
+                unit.constraints.len(),
+                infos.len()
+            );
+        }
+        Err(e) => return Err(e.to_string()),
+    }
+    // classify_linear double-checks; then verify IC satisfaction on facts.
+    classify_linear(&program).map_err(|e| e.to_string())?;
+    let db = Database::from_facts(&unit.facts);
+    let mut violated = 0;
+    for ic in &unit.constraints {
+        let v = db.violations(ic);
+        if !v.is_empty() {
+            violated += 1;
+            println!("VIOLATED {ic}");
+            for s in v.iter().take(3) {
+                println!("  by {s}");
+            }
+        }
+    }
+    if violated == 0 {
+        println!("all constraints satisfied by the embedded facts.");
+    } else {
+        return Err(format!("{violated} constraint(s) violated"));
+    }
+    Ok(())
+}

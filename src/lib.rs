@@ -1,0 +1,55 @@
+//! # semrec — Pushing Semantics inside Recursion
+//!
+//! Semantic optimization of recursive Datalog queries by program
+//! transformation, reproducing Lakshmanan & Missaoui (ICDE 1995). This
+//! umbrella crate re-exports the workspace:
+//!
+//! * [`datalog`] — the language, parser and static analysis;
+//! * [`engine`] — bottom-up evaluation (semi-naive, stratified negation,
+//!   magic sets, explanation, CSV I/O);
+//! * [`core`] — residue detection (Algorithm 3.1) and pushing (§4);
+//! * [`iqa`] — intelligent query answering (§5);
+//! * [`gen`] — IC-consistent workload generators.
+//!
+//! ## Example
+//!
+//! ```
+//! use semrec::core::optimizer::Optimizer;
+//! use semrec::datalog::parser::parse_unit;
+//! use semrec::engine::{evaluate, Database, Strategy};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let unit = parse_unit(
+//!     "
+//!     reach(X, Y) :- edge(X, Y).
+//!     reach(X, Y) :- edge(X, Z), witness(Z, W), reach(Z, Y).
+//!     ic: edge(X, Z) -> witness(Z, W).
+//!
+//!     edge(1, 2). edge(2, 3).
+//!     witness(2, 10). witness(3, 11).
+//!     ",
+//! )?;
+//!
+//! // Compile once: the witness join is provably redundant.
+//! let plan = Optimizer::new(&unit.program())
+//!     .with_constraints(&unit.constraints)
+//!     .run()?;
+//! assert!(plan.any_applied());
+//!
+//! // The optimized program computes the same relation.
+//! let db = Database::from_facts(&unit.facts);
+//! let base = evaluate(&db, &plan.rectified, Strategy::SemiNaive)?;
+//! let opt = evaluate(&db, &plan.program, Strategy::SemiNaive)?;
+//! assert_eq!(
+//!     base.relation("reach").unwrap().sorted_tuples(),
+//!     opt.relation("reach").unwrap().sorted_tuples(),
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+pub use semrec_core as core;
+pub use semrec_datalog as datalog;
+pub use semrec_engine as engine;
+pub use semrec_gen as gen;
+pub use semrec_iqa as iqa;

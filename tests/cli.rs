@@ -1,0 +1,196 @@
+//! Smoke tests for the `semrec` command-line driver against the bundled
+//! sample programs.
+
+use std::process::Command;
+
+fn semrec(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_semrec"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn sample(name: &str) -> String {
+    format!("{}/samples/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn check_validates_samples() {
+    for s in ["genealogy.dl", "university.dl", "honors.dl"] {
+        let (ok, stdout, stderr) = semrec(&["check", &sample(s)]);
+        assert!(ok, "check {s} failed: {stderr}");
+        assert!(stdout.contains("program ok"), "{stdout}");
+    }
+}
+
+#[test]
+fn run_plain_and_optimized_agree() {
+    let file = sample("genealogy.dl");
+    let (ok, plain, _) = semrec(&["run", &file, "--query", "anc(dan, A, Y, Ya)"]);
+    assert!(ok);
+    let (ok, opt, stderr) = semrec(&[
+        "run",
+        &file,
+        "--optimize",
+        "--query",
+        "anc(dan, A, Y, Ya)",
+    ]);
+    assert!(ok, "{stderr}");
+    assert_eq!(plain, opt, "answers must agree");
+    assert!(stderr.contains("subtree pruning"));
+    assert!(plain.contains("anc(dan, 20, alice, 104)."));
+}
+
+#[test]
+fn run_with_magic() {
+    let file = sample("genealogy.dl");
+    let (ok, out, _) = semrec(&[
+        "run",
+        &file,
+        "--magic",
+        "--query",
+        "anc(dan, A, Y, Ya)",
+    ]);
+    assert!(ok);
+    assert_eq!(out.lines().count(), 3);
+}
+
+#[test]
+fn optimize_prints_plan() {
+    let (ok, out, _) = semrec(&["optimize", &sample("university.dl"), "--small", "doctoral"]);
+    assert!(ok);
+    assert!(out.contains("atom elimination"));
+    assert!(out.contains("optimized program"));
+}
+
+#[test]
+fn explain_lists_residues() {
+    let (ok, out, _) = semrec(&["explain", &sample("genealogy.dl")]);
+    assert!(ok);
+    assert!(out.contains("recursive predicate anc"));
+    assert!(out.contains("null, conditional"));
+}
+
+#[test]
+fn describe_answers_knowledge_query() {
+    let (ok, out, _) = semrec(&[
+        "describe",
+        &sample("honors.dl"),
+        "describe honors(S) where graduated(S, C), topten(C).",
+    ]);
+    assert!(ok);
+    assert!(out.contains("[qualified, 1 in db]"), "{out}");
+}
+
+#[test]
+fn bad_input_fails_cleanly() {
+    let (ok, _, stderr) = semrec(&["run", "/nonexistent.dl"]);
+    assert!(!ok);
+    assert!(stderr.contains("error"));
+    let (ok, _, stderr) = semrec(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn why_prints_a_derivation_tree() {
+    let (ok, out, _) = semrec(&["why", &sample("genealogy.dl"), "anc(dan, 20, alice, 104)"]);
+    assert!(ok);
+    assert!(out.contains("[rule 1]"));
+    assert!(out.contains("par(dan, 20, carl, 48)   [fact]"));
+    let (ok, _, stderr) = semrec(&["why", &sample("genealogy.dl"), "anc(alice, 104, dan, 20)"]);
+    assert!(!ok);
+    assert!(stderr.contains("not derivable"));
+}
+
+#[test]
+fn data_dir_loading_and_saving() {
+    let data = std::env::temp_dir().join(format!("semrec-cli-data-{}", std::process::id()));
+    let out = std::env::temp_dir().join(format!("semrec-cli-out-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data);
+    let _ = std::fs::remove_dir_all(&out);
+    std::fs::create_dir_all(&data).unwrap();
+    std::fs::write(data.join("par.csv"), "fred,30,george,60\ngeorge,60,harry,95\n").unwrap();
+    let (ok, stdout, stderr) = semrec(&[
+        "run",
+        &sample("genealogy.dl"),
+        "--data",
+        data.to_str().unwrap(),
+        "--query",
+        "anc(fred, A, Y, Ya)",
+        "--save",
+        out.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("anc(fred, 30, harry, 95)."));
+    let saved = std::fs::read_to_string(out.join("anc.csv")).unwrap();
+    assert!(saved.contains("fred,30,george,60"));
+    let _ = std::fs::remove_dir_all(&data);
+    let _ = std::fs::remove_dir_all(&out);
+}
+
+#[test]
+fn alternative_engines_agree() {
+    let file = sample("genealogy.dl");
+    let q = "anc(dan, A, Y, Ya)";
+    let (ok1, bottom_up, _) = semrec(&["run", &file, "--query", q]);
+    let (ok2, topdown, _) = semrec(&["run", &file, "--engine", "topdown", "--query", q]);
+    let (ok3, sld, _) = semrec(&["run", &file, "--engine", "sld", "--query", q]);
+    assert!(ok1 && ok2 && ok3);
+    assert_eq!(bottom_up, topdown);
+    assert_eq!(bottom_up, sld);
+    let (ok, _, stderr) = semrec(&["run", &file, "--engine", "warp", "--query", q]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown engine"));
+}
+
+#[test]
+fn plan_shows_physical_plans() {
+    let (ok, out, _) = semrec(&["plan", &sample("genealogy.dl")]);
+    assert!(ok);
+    assert!(out.contains("plan for anc"));
+    assert!(out.contains("index on cols"));
+    let (ok, out, _) = semrec(&["plan", &sample("genealogy.dl"), "--optimize"]);
+    assert!(ok);
+    assert!(out.contains("anc@"), "optimized plans include aux preds: {out}");
+}
+
+#[test]
+fn gen_bundle_roundtrips_through_run() {
+    let dir = std::env::temp_dir().join(format!("semrec-cli-gen-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (ok, out, stderr) = semrec(&["gen", "fanout", dir.to_str().unwrap()]);
+    assert!(ok, "{stderr}");
+    assert!(out.contains("fanout.dl"));
+    let program = dir.join("fanout.dl");
+    let data = dir.join("fanout-data");
+    let (ok, plain, _) = semrec(&[
+        "run",
+        program.to_str().unwrap(),
+        "--data",
+        data.to_str().unwrap(),
+        "--query",
+        "reach(0, Y)",
+    ]);
+    assert!(ok);
+    let (ok, opt, _) = semrec(&[
+        "run",
+        program.to_str().unwrap(),
+        "--data",
+        data.to_str().unwrap(),
+        "--optimize",
+        "--query",
+        "reach(0, Y)",
+    ]);
+    assert!(ok);
+    assert_eq!(plain, opt);
+    let (ok, _, stderr) = semrec(&["gen", "nonsense", dir.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown scenario"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

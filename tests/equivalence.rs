@@ -1,0 +1,279 @@
+//! Property-based equivalence tests: the paper's Theorem 4.1 (isolation
+//! preserves semantics on *all* databases) and the soundness of pushing
+//! (the optimized program agrees on every *IC-satisfying* database).
+
+use proptest::prelude::*;
+use semrec::core::isolate::isolate;
+use semrec::core::optimizer::{Optimizer, OptimizerConfig};
+use semrec::core::sequence::unfold;
+use semrec::datalog::analysis::{classify_linear_pred, rectify};
+use semrec::datalog::parser::parse_unit;
+use semrec::datalog::{Pred, Value};
+use semrec::engine::{evaluate, Database, Strategy};
+use semrec::gen::{fanout, genealogy, org, parse_scenario, university};
+
+fn random_graph_db(pred: &str, edges: &[(i64, i64)]) -> Database {
+    let mut db = Database::new();
+    for &(a, b) in edges {
+        db.insert(pred, vec![Value::Int(a), Value::Int(b)]);
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Theorem 4.1: the α/β/γ isolation of any expansion sequence computes
+    /// the same IDB as the original program, on arbitrary databases (no IC
+    /// involvement at all).
+    #[test]
+    fn isolation_preserves_semantics(
+        edges in proptest::collection::vec((0i64..14, 0i64..14), 1..40),
+        seq_spec in proptest::collection::vec(proptest::bool::ANY, 1..4),
+    ) {
+        let unit = parse_unit(
+            "anc(X, Y) :- par(X, Y). anc(X, Y) :- anc(X, Z), par(Z, Y)."
+        ).unwrap();
+        let (prog, _) = rectify(&unit.program());
+        let info = classify_linear_pred(&prog, Pred::new("anc")).unwrap();
+        // Sequence: recursive rules, with an optional exit-rule ending.
+        let mut seq: Vec<usize> = seq_spec.iter().map(|_| 1usize).collect();
+        if seq_spec[0] {
+            seq.push(0);
+        }
+        let u = unfold(&prog, &info, &seq).unwrap();
+        let iso = isolate(&prog, &info, &u);
+
+        let db = random_graph_db("par", &edges);
+        let base = evaluate(&db, &prog, Strategy::SemiNaive).unwrap();
+        let isod = evaluate(&db, &iso.program, Strategy::SemiNaive).unwrap();
+        prop_assert_eq!(
+            base.relation("anc").unwrap().sorted_tuples(),
+            isod.relation("anc").unwrap().sorted_tuples()
+        );
+    }
+
+    /// Naive and semi-naive evaluation agree on random graphs.
+    #[test]
+    fn naive_equals_seminaive(
+        edges in proptest::collection::vec((0i64..12, 0i64..12), 1..50),
+    ) {
+        let prog = parse_unit(
+            "t(X, Y) :- e(X, Y). t(X, Y) :- e(X, Z), t(Z, Y)."
+        ).unwrap().program();
+        let db = random_graph_db("e", &edges);
+        let a = evaluate(&db, &prog, Strategy::Naive).unwrap();
+        let b = evaluate(&db, &prog, Strategy::SemiNaive).unwrap();
+        prop_assert_eq!(
+            a.relation("t").unwrap().sorted_tuples(),
+            b.relation("t").unwrap().sorted_tuples()
+        );
+    }
+
+    /// The fully optimized org program agrees with the original on every
+    /// generated IC-consistent database.
+    #[test]
+    fn org_optimization_sound(seed in 0u64..500, frac in 0.0f64..1.0) {
+        let s = parse_scenario(org::PROGRAM);
+        let plan = Optimizer::new(&s.program)
+            .with_constraints(&s.constraints)
+            .run()
+            .unwrap();
+        let db = org::generate(&org::OrgParams {
+            employees: 60,
+            executive_frac: frac,
+            seed,
+            ..org::OrgParams::default()
+        });
+        for ic in &s.constraints {
+            prop_assert!(db.satisfies(ic));
+        }
+        let base = evaluate(&db, &plan.rectified, Strategy::SemiNaive).unwrap();
+        let opt = evaluate(&db, &plan.program, Strategy::SemiNaive).unwrap();
+        prop_assert_eq!(
+            base.relation("triple").unwrap().sorted_tuples(),
+            opt.relation("triple").unwrap().sorted_tuples()
+        );
+    }
+
+    /// Same for the university program (elimination + introduction).
+    #[test]
+    fn university_optimization_sound(seed in 0u64..500, chain in 2usize..6) {
+        let s = parse_scenario(university::PROGRAM);
+        let mut config = OptimizerConfig::default();
+        config.policy.small_relations.insert(Pred::new("doctoral"));
+        let plan = Optimizer::new(&s.program)
+            .with_constraints(&s.constraints)
+            .with_config(config)
+            .run()
+            .unwrap();
+        let db = university::generate(&university::UniversityParams {
+            professors: 24,
+            students: 40,
+            chain_len: chain,
+            seed,
+            ..university::UniversityParams::default()
+        });
+        let base = evaluate(&db, &plan.rectified, Strategy::SemiNaive).unwrap();
+        let opt = evaluate(&db, &plan.program, Strategy::SemiNaive).unwrap();
+        for p in ["eval", "eval_support"] {
+            prop_assert_eq!(
+                base.relation(p).unwrap().sorted_tuples(),
+                opt.relation(p).unwrap().sorted_tuples()
+            );
+        }
+    }
+
+    /// Same for the genealogy program (conditional pruning).
+    #[test]
+    fn genealogy_optimization_sound(seed in 0u64..500, depth in 1usize..5) {
+        let s = parse_scenario(genealogy::PROGRAM);
+        let plan = Optimizer::new(&s.program)
+            .with_constraints(&s.constraints)
+            .run()
+            .unwrap();
+        let db = genealogy::generate(&genealogy::GenealogyParams {
+            families: 2,
+            depth,
+            branching: 2,
+            seed,
+        });
+        for ic in &s.constraints {
+            prop_assert!(db.satisfies(ic));
+        }
+        let base = evaluate(&db, &plan.rectified, Strategy::SemiNaive).unwrap();
+        let opt = evaluate(&db, &plan.program, Strategy::SemiNaive).unwrap();
+        prop_assert_eq!(
+            base.relation("anc").unwrap().sorted_tuples(),
+            opt.relation("anc").unwrap().sorted_tuples()
+        );
+    }
+
+    /// Same for the guarded-reachability program (k = 1 elimination).
+    #[test]
+    fn fanout_optimization_sound(seed in 0u64..500, fo in 1usize..6) {
+        let s = parse_scenario(fanout::PROGRAM);
+        let plan = Optimizer::new(&s.program)
+            .with_constraints(&s.constraints)
+            .run()
+            .unwrap();
+        let db = fanout::generate(&fanout::FanoutParams {
+            nodes: 30,
+            extra_edges: 20,
+            fanout: fo,
+            seed,
+        });
+        let base = evaluate(&db, &plan.rectified, Strategy::SemiNaive).unwrap();
+        let opt = evaluate(&db, &plan.program, Strategy::SemiNaive).unwrap();
+        prop_assert_eq!(
+            base.relation("reach").unwrap().sorted_tuples(),
+            opt.relation("reach").unwrap().sorted_tuples()
+        );
+    }
+
+    /// Magic-sets evaluation is sound and complete w.r.t. full evaluation,
+    /// for random goal bindings.
+    #[test]
+    fn magic_query_complete(
+        edges in proptest::collection::vec((0i64..12, 0i64..12), 1..40),
+        bind_first in proptest::bool::ANY,
+        value in 0i64..12,
+    ) {
+        let prog = parse_unit(
+            "t(X, Y) :- e(X, Y). t(X, Y) :- e(X, Z), t(Z, Y)."
+        ).unwrap().program();
+        let db = random_graph_db("e", &edges);
+        let goal = if bind_first {
+            semrec::datalog::parser::parse_atom(&format!("t({value}, Y)")).unwrap()
+        } else {
+            semrec::datalog::parser::parse_atom(&format!("t(X, {value})")).unwrap()
+        };
+        let (mut answers, _) =
+            semrec::engine::magic::evaluate_query(&db, &prog, &goal, Strategy::SemiNaive).unwrap();
+        answers.sort();
+        let full = evaluate(&db, &prog, Strategy::SemiNaive).unwrap();
+        let mut expected = full.answers(&goal);
+        expected.sort();
+        expected.dedup();
+        prop_assert_eq!(answers, expected);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Theorem 4.1 on *random* linear programs: isolation of a random
+    /// sequence preserves the IDB on random databases.
+    #[test]
+    fn isolation_preserves_semantics_on_random_programs(
+        seed in 0u64..300,
+        arity in 1usize..4,
+        nrules in 1usize..3,
+        locals in 0usize..3,
+        seq_len in 1usize..4,
+        close_with_exit in proptest::bool::ANY,
+        edges in proptest::collection::vec((0i64..6, 0i64..6), 1..20),
+    ) {
+        use semrec::gen::programs::{random_linear, RandomLinearParams};
+        let program = random_linear(&RandomLinearParams {
+            arity,
+            recursive_rules: nrules,
+            locals,
+            seed,
+        });
+        let (prog, _) = rectify(&program);
+        let info = classify_linear_pred(&prog, Pred::new("p")).unwrap();
+
+        // A random sequence over the recursive rules, optionally closed by
+        // the exit rule.
+        let mut seq: Vec<usize> = (0..seq_len)
+            .map(|i| info.recursive_rules[(seed as usize + i) % info.recursive_rules.len()])
+            .collect();
+        if close_with_exit {
+            seq.push(info.exit_rules[0]);
+        }
+        let u = unfold(&prog, &info, &seq).unwrap();
+        let iso = isolate(&prog, &info, &u);
+
+        // Fill every EDB predicate with the same random binary data; the
+        // exit relation gets `arity`-wide tuples.
+        let mut db = Database::new();
+        for (a, b) in &edges {
+            let tuple: Vec<Value> = (0..arity)
+                .map(|i| Value::Int(if i % 2 == 0 { *a } else { *b }))
+                .collect();
+            db.insert("e0", tuple);
+        }
+        for pred in prog.edb_preds() {
+            if pred.name().starts_with('b') {
+                for (a, b) in &edges {
+                    db.insert(pred, vec![Value::Int(*a), Value::Int(*b)]);
+                }
+            }
+        }
+
+        let base = evaluate(&db, &prog, Strategy::SemiNaive).unwrap();
+        let isod = evaluate(&db, &iso.program, Strategy::SemiNaive).unwrap();
+        prop_assert_eq!(
+            base.relation("p").unwrap().sorted_tuples(),
+            isod.relation("p").unwrap().sorted_tuples(),
+            "seed {} seq {:?} program:\n{}",
+            seed,
+            seq,
+            prog
+        );
+
+        // The full-commitment structure used by the pusher must also be
+        // equivalence-preserving when no optimization is applied.
+        let pusher = semrec::core::push::Pusher::new(&prog, &info, &u);
+        let committed = pusher.finish();
+        let com = evaluate(&db, &committed.program, Strategy::SemiNaive).unwrap();
+        prop_assert_eq!(
+            base.relation("p").unwrap().sorted_tuples(),
+            com.relation("p").unwrap().sorted_tuples(),
+            "commitment structure diverged for seed {} seq {:?}",
+            seed,
+            seq
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Robustness: the parser must never panic — any input yields `Ok` or a
+//! positioned error — and everything it accepts must round-trip through
+//! `Display`.
+
+use proptest::prelude::*;
+use semrec::datalog::parser::{parse_unit, parse_atom};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup never panics the parser.
+    #[test]
+    fn parse_unit_never_panics(src in "\\PC*") {
+        let _ = parse_unit(&src);
+    }
+
+    /// Syntax-shaped soup (drawn from the token alphabet) never panics and
+    /// round-trips when accepted.
+    #[test]
+    fn tokenish_inputs_roundtrip(
+        tokens in proptest::collection::vec(
+            prop_oneof![
+                Just("p".to_string()),
+                Just("q".to_string()),
+                Just("X".to_string()),
+                Just("Y".to_string()),
+                Just("42".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just(",".to_string()),
+                Just(".".to_string()),
+                Just(":-".to_string()),
+                Just("->".to_string()),
+                Just("ic".to_string()),
+                Just(":".to_string()),
+                Just("!".to_string()),
+                Just("<=".to_string()),
+                Just("=".to_string()),
+                Just("\"s\"".to_string()),
+            ],
+            0..24,
+        ),
+    ) {
+        let src = tokens.join(" ");
+        if let Ok(unit) = parse_unit(&src) {
+            // Whatever parsed must re-parse identically from its Display.
+            let rendered: String = unit
+                .rules
+                .iter()
+                .map(|r| format!("{r}\n"))
+                .chain(unit.facts.iter().map(|f| format!("{f}.\n")))
+                .chain(unit.constraints.iter().map(|c| format!("{c}\n")))
+                .collect();
+            let back = parse_unit(&rendered).expect("display must re-parse");
+            prop_assert_eq!(unit.rules, back.rules);
+            prop_assert_eq!(unit.facts, back.facts);
+            prop_assert_eq!(unit.constraints.len(), back.constraints.len());
+        }
+    }
+
+    /// Atom parsing is total (no panics) on arbitrary input.
+    #[test]
+    fn parse_atom_never_panics(src in "\\PC*") {
+        let _ = parse_atom(&src);
+    }
+}
