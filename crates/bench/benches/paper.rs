@@ -1,26 +1,39 @@
-//! Criterion benchmarks timing the hot closures of experiments E1–E9.
-//! Run with `cargo bench -p semrec-bench`; the printable tables come from
-//! the `harness` binary instead.
+//! Micro-benchmarks timing the hot closures of the E1/E2 experiments.
+//!
+//! Gated behind the off-by-default `criterion` feature and implemented
+//! with plain `std::time` loops (the external criterion crate is gone per
+//! the offline-build policy; the feature name is kept so existing
+//! `--features criterion` invocations still work):
+//!
+//! ```sh
+//! cargo bench -p semrec-bench --features criterion
+//! ```
+//!
+//! For the engine-level fixpoint benchmark (serial vs parallel,
+//! `BENCH_fixpoint.json`) use `harness bench` instead.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use semrec_bench::experiments::{chain_detection_workload, plan_for};
-use semrec_core::baseline::evaluate_with_runtime_semantics;
-use semrec_core::detect::{detect, DetectionMethod};
-use semrec_core::isolate::isolate;
-use semrec_core::optimizer::Optimizer;
-use semrec_core::sequence::unfold;
-use semrec_datalog::analysis::{classify_linear_pred, rectify};
-use semrec_datalog::parser::{parse_atom, parse_unit};
-use semrec_datalog::Pred;
-use semrec_engine::magic::evaluate_query;
-use semrec_engine::{evaluate, Strategy};
-use semrec_gen::{fanout, genealogy, org, parse_scenario, university};
+use semrec_bench::experiments::plan_for;
+use semrec_engine::{evaluate, evaluate_parallel, Strategy};
+use semrec_gen::{fanout, parse_scenario, university};
 use std::hint::black_box;
+use std::time::Instant;
 
-/// E1 — atom elimination: original vs optimized evaluation.
-fn bench_e1_atom_elimination(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e1_atom_elimination");
-    // k = 1 guarded reachability at two fan-outs.
+/// Times `f` over `iters` runs after one warmup, reporting the mean.
+fn bench(name: &str, iters: usize, mut f: impl FnMut()) {
+    f(); // warmup
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let total = start.elapsed();
+    println!(
+        "{name:<44} {:>10.3} ms/iter ({iters} iters)",
+        total.as_secs_f64() * 1e3 / iters as f64
+    );
+}
+
+fn main() {
+    // E1 — atom elimination: original vs optimized evaluation.
     let s = parse_scenario(fanout::PROGRAM);
     let plan = plan_for(&s, &[]);
     for fo in [4usize, 32] {
@@ -30,283 +43,40 @@ fn bench_e1_atom_elimination(c: &mut Criterion) {
             fanout: fo,
             seed: 1,
         });
-        g.bench_with_input(BenchmarkId::new("fanout_original", fo), &db, |b, db| {
-            b.iter(|| black_box(evaluate(db, &plan.rectified, Strategy::SemiNaive).unwrap()))
+        bench(&format!("e1/fanout_original/{fo}"), 10, || {
+            black_box(evaluate(&db, &plan.rectified, Strategy::SemiNaive).unwrap());
         });
-        g.bench_with_input(BenchmarkId::new("fanout_optimized", fo), &db, |b, db| {
-            b.iter(|| black_box(evaluate(db, &plan.program, Strategy::SemiNaive).unwrap()))
+        bench(&format!("e1/fanout_optimized/{fo}"), 10, || {
+            black_box(evaluate(&db, &plan.program, Strategy::SemiNaive).unwrap());
         });
     }
-    // k = 2 university.
-    let s = parse_scenario(university::PROGRAM);
-    let plan = plan_for(&s, &["doctoral"]);
-    let db = university::generate(&university::UniversityParams::default());
-    g.bench_function("university_original", |b| {
-        b.iter(|| black_box(evaluate(&db, &plan.rectified, Strategy::SemiNaive).unwrap()))
-    });
-    g.bench_function("university_optimized", |b| {
-        b.iter(|| black_box(evaluate(&db, &plan.program, Strategy::SemiNaive).unwrap()))
-    });
-    g.finish();
-}
 
-/// E2 — atom introduction on eval_support.
-fn bench_e2_atom_introduction(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e2_atom_introduction");
+    // E2 — atom introduction on the university eval_support chain.
     let s = parse_scenario(university::PROGRAM);
     let with = plan_for(&s, &["doctoral"]);
     let without = plan_for(&s, &[]);
     let db = university::generate(&university::UniversityParams {
         students: 300,
-        rich_frac: 0.1,
         ..university::UniversityParams::default()
     });
-    g.bench_function("without_introduction", |b| {
-        b.iter(|| black_box(evaluate(&db, &without.program, Strategy::SemiNaive).unwrap()))
+    bench("e2/university_no_introduction", 10, || {
+        black_box(evaluate(&db, &without.program, Strategy::SemiNaive).unwrap());
     });
-    g.bench_function("with_introduction", |b| {
-        b.iter(|| black_box(evaluate(&db, &with.program, Strategy::SemiNaive).unwrap()))
+    bench("e2/university_with_introduction", 10, || {
+        black_box(evaluate(&db, &with.program, Strategy::SemiNaive).unwrap());
     });
-    g.finish();
-}
 
-/// E3 — pruning: full evaluation and magic-directed young-ancestor goal.
-fn bench_e3_pruning(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e3_pruning");
-    let s = parse_scenario(genealogy::PROGRAM);
-    let plan = plan_for(&s, &[]);
-    let db = genealogy::generate(&genealogy::GenealogyParams {
-        families: 4,
-        depth: 6,
-        branching: 2,
-        seed: 7,
-    });
-    g.bench_function("full_original", |b| {
-        b.iter(|| black_box(evaluate(&db, &plan.rectified, Strategy::SemiNaive).unwrap()))
-    });
-    g.bench_function("full_pruned", |b| {
-        b.iter(|| black_box(evaluate(&db, &plan.program, Strategy::SemiNaive).unwrap()))
-    });
-    let mut goal = parse_atom("anc(X, Xa, Y, Ya)").unwrap();
-    goal.args[3] = semrec_datalog::Term::Const(semrec_datalog::Value::Int(45));
-    g.bench_function("magic_young_original", |b| {
-        b.iter(|| {
-            black_box(evaluate_query(&db, &plan.rectified, &goal, Strategy::SemiNaive).unwrap())
-        })
-    });
-    g.bench_function("magic_young_pruned", |b| {
-        b.iter(|| {
-            black_box(evaluate_query(&db, &plan.program, &goal, Strategy::SemiNaive).unwrap())
-        })
-    });
-    // The SLD (speculative) model on a small instance: the regime where
-    // pruning wins (E3d).
-    let small = genealogy::generate(&genealogy::GenealogyParams {
-        families: 2,
-        depth: 4,
-        branching: 2,
-        seed: 7,
-    });
-    let config = semrec_engine::sld::SldConfig {
-        max_depth: 9,
-        max_expansions: 4_000_000,
-    };
-    g.bench_function("sld_young_original", |b| {
-        b.iter(|| {
-            black_box(
-                semrec_engine::sld::query_sld(&small, &plan.rectified, &goal, config).unwrap(),
-            )
-        })
-    });
-    g.bench_function("sld_young_pruned", |b| {
-        b.iter(|| {
-            black_box(
-                semrec_engine::sld::query_sld(&small, &plan.program, &goal, config).unwrap(),
-            )
-        })
-    });
-    g.bench_function("topdown_young_original", |b| {
-        b.iter(|| {
-            black_box(
-                semrec_engine::topdown::query_topdown(&small, &plan.rectified, &goal).unwrap(),
-            )
-        })
-    });
-    g.finish();
-}
-
-/// E4 — compiled optimization vs per-iteration baseline.
-fn bench_e4_overhead(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e4_overhead");
-    let s = parse_scenario(genealogy::PROGRAM);
-    let db = genealogy::generate(&genealogy::GenealogyParams {
-        families: 3,
-        depth: 6,
-        ..genealogy::GenealogyParams::default()
-    });
-    g.bench_function("compile_plus_eval", |b| {
-        b.iter(|| {
-            let plan = Optimizer::new(&s.program)
-                .with_constraints(&s.constraints)
-                .run()
-                .unwrap();
-            black_box(evaluate(&db, &plan.program, Strategy::SemiNaive).unwrap())
-        })
-    });
-    g.bench_function("runtime_baseline", |b| {
-        b.iter(|| {
-            black_box(
-                evaluate_with_runtime_semantics(
-                    &db,
-                    &s.program,
-                    &s.constraints,
-                    Strategy::SemiNaive,
-                )
-                .unwrap(),
-            )
-        })
-    });
-    g.finish();
-}
-
-/// E5 — residue detection methods.
-fn bench_e5_detection(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e5_detection");
-    for k in [2usize, 3, 4] {
-        let (program, ic) = chain_detection_workload(k);
-        let (prog, _) = rectify(&program);
-        let info = classify_linear_pred(&prog, Pred::new("p")).unwrap();
-        g.bench_with_input(BenchmarkId::new("sdgraph", k), &k, |b, _| {
-            b.iter(|| black_box(detect(&prog, &info, &ic, DetectionMethod::SdGraph, 0).unwrap()))
-        });
-        g.bench_with_input(BenchmarkId::new("exhaustive", k), &k, |b, _| {
-            b.iter(|| {
-                black_box(
-                    detect(
-                        &prog,
-                        &info,
-                        &ic,
-                        DetectionMethod::Exhaustive { max_len: k + 1 },
-                        0,
-                    )
-                    .unwrap(),
-                )
-            })
-        });
-    }
-    g.finish();
-}
-
-/// E7 — binding patterns over the optimized program with magic sets.
-fn bench_e7_bindings(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e7_bindings");
+    // Engine parallel scaling on the E1 headline workload.
     let s = parse_scenario(fanout::PROGRAM);
-    let plan = plan_for(&s, &[]);
     let db = fanout::generate(&fanout::FanoutParams {
-        nodes: 200,
-        extra_edges: 100,
-        fanout: 8,
-        seed: 3,
+        nodes: 300,
+        extra_edges: 160,
+        fanout: 64,
+        seed: 1,
     });
-    for goal_src in ["reach(0, Y)", "reach(X, 17)"] {
-        let goal = parse_atom(goal_src).unwrap();
-        g.bench_with_input(
-            BenchmarkId::new("optimized_magic", goal_src),
-            &goal,
-            |b, goal| {
-                b.iter(|| {
-                    black_box(
-                        evaluate_query(&db, &plan.program, goal, Strategy::SemiNaive).unwrap(),
-                    )
-                })
-            },
-        );
-    }
-    g.finish();
-}
-
-/// E8 — isolation overhead (Algorithm 4.1, no optimization).
-fn bench_e8_isolation_cost(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e8_isolation_cost");
-    let unit = parse_unit("anc(X, Y) :- par(X, Y). anc(X, Y) :- anc(X, Z), par(Z, Y).").unwrap();
-    let (prog, _) = rectify(&unit.program());
-    let info = classify_linear_pred(&prog, Pred::new("anc")).unwrap();
-    let db = semrec_gen::graphs::tree("par", 3_000, 2);
-    g.bench_function("original", |b| {
-        b.iter(|| black_box(evaluate(&db, &prog, Strategy::SemiNaive).unwrap()))
-    });
-    for k in [1usize, 2, 4] {
-        let u = unfold(&prog, &info, &vec![1; k]).unwrap();
-        let iso = isolate(&prog, &info, &u);
-        g.bench_with_input(BenchmarkId::new("isolated", k), &k, |b, _| {
-            b.iter(|| black_box(evaluate(&db, &iso.program, Strategy::SemiNaive).unwrap()))
+    for threads in [1usize, 2, 4] {
+        bench(&format!("engine/fanout64_threads/{threads}"), 5, || {
+            black_box(evaluate_parallel(&db, &s.program, Strategy::SemiNaive, threads).unwrap());
         });
     }
-    g.finish();
 }
-
-/// E9 — knowledge-query answering.
-fn bench_e9_iqa(c: &mut Criterion) {
-    let program = parse_unit(
-        "honors(Stud) :- transcript(Stud, Major, Cred, Gpa), Cred >= 30, Gpa >= 38.
-         honors(Stud) :- transcript(Stud, Major, Cred, Gpa), Gpa >= 38, exceptional(Stud).
-         exceptional(Stud) :- publication(Stud, P), appears(P, Jl), reputed(Jl).
-         honors(Stud) :- graduated(Stud, College), topten(College).",
-    )
-    .unwrap()
-    .program();
-    let query = semrec_iqa::parse_describe(
-        "describe honors(S) where major(S, cs), graduated(S, C), topten(C), hobby(S, chess).",
-    )
-    .unwrap();
-    c.bench_function("e9_iqa_describe", |b| {
-        b.iter(|| black_box(semrec_iqa::answer(&program, &query, 4)))
-    });
-}
-
-/// E6 is analytic (residue counting) — time the optimizer pipeline itself.
-fn bench_e6_pipeline(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e6_optimizer_pipeline");
-    for (name, src) in [
-        ("org", org::PROGRAM),
-        ("university", university::PROGRAM),
-        ("genealogy", genealogy::PROGRAM),
-    ] {
-        let s = parse_scenario(src);
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                black_box(
-                    Optimizer::new(&s.program)
-                        .with_constraints(&s.constraints)
-                        .run()
-                        .unwrap(),
-                )
-            })
-        });
-    }
-    g.finish();
-}
-
-/// Shape-oriented configuration: 10 samples / 2s windows keep the full
-/// suite under a few minutes; the harness binary is the precision tool.
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(2))
-        .warm_up_time(std::time::Duration::from_millis(500))
-}
-
-criterion_group!(
-    name = benches;
-    config = config();
-    targets = bench_e1_atom_elimination,
-        bench_e2_atom_introduction,
-        bench_e3_pruning,
-        bench_e4_overhead,
-        bench_e5_detection,
-        bench_e6_pipeline,
-        bench_e7_bindings,
-        bench_e8_isolation_cost,
-        bench_e9_iqa
-);
-criterion_main!(benches);

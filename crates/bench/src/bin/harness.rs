@@ -1,22 +1,44 @@
-//! Experiment harness: prints the E1–E9 tables (text or markdown).
+//! Experiment harness: prints the E1–E9 tables (text or markdown) and
+//! runs the engine fixpoint benchmark.
 //!
 //! ```sh
 //! cargo run -p semrec-bench --release --bin harness -- all
 //! cargo run -p semrec-bench --release --bin harness -- e1 e4 --quick
 //! cargo run -p semrec-bench --release --bin harness -- all --markdown
+//! cargo run -p semrec-bench --release --bin harness -- bench --json
 //! ```
+//!
+//! `bench` times the semi-naive fixpoint on the gen workloads at 1/2/4
+//! worker threads; with `--json` it also writes `BENCH_fixpoint.json` at
+//! the repo root (`--quick` shrinks sizes for the CI gate).
 
 use semrec_bench::experiments::{run, Scale, ALL};
+use semrec_bench::fixpoint::{run_fixpoint_bench, to_json, to_table};
+use std::path::Path;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let markdown = args.iter().any(|a| a == "--markdown");
+    let json = args.iter().any(|a| a == "--json");
     let mut ids: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
         .map(String::as_str)
         .collect();
+
+    if ids.contains(&"bench") {
+        let results = run_fixpoint_bench(quick);
+        print!("{}", to_table(&results));
+        if json {
+            let out = Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../../BENCH_fixpoint.json");
+            std::fs::write(&out, to_json(&results)).expect("write BENCH_fixpoint.json");
+            println!("wrote {}", out.display());
+        }
+        return;
+    }
+
     if ids.is_empty() || ids.contains(&"all") {
         ids = ALL.to_vec();
     }
@@ -32,7 +54,10 @@ fn main() {
                     }
                 }
             }
-            None => eprintln!("unknown experiment `{id}` (known: {})", ALL.join(", ")),
+            None => eprintln!(
+                "unknown experiment `{id}` (known: bench, {})",
+                ALL.join(", ")
+            ),
         }
     }
 }

@@ -695,7 +695,7 @@ pub fn e10(scale: Scale) -> Vec<Table> {
         let g = semrec_gen::graphs::random_digraph(&format!("e{i}"), n, n * 2, i as u64);
         for (pred, rel) in g.iter() {
             for t in rel.iter() {
-                db.insert(pred, t.clone());
+                db.insert(pred, t.to_vec());
             }
         }
     }

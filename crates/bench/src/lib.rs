@@ -7,10 +7,13 @@
 //! cargo run -p semrec-bench --release --bin harness -- all
 //! ```
 //!
-//! Criterion micro-benchmarks live in `benches/` and time the same
-//! closures.
+//! The fixpoint throughput benchmark (serial vs parallel engine timings,
+//! `BENCH_fixpoint.json`) runs via `harness bench`; std-only
+//! micro-benchmarks live in `benches/` behind the off-by-default
+//! `criterion` feature.
 
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod fixpoint;
 pub mod table;

@@ -1,103 +1,164 @@
-//! Algebraic laws of substitutions and unification, property-tested.
+//! Algebraic laws of substitutions and unification, tested over randomized
+//! inputs.
+//!
+//! Seeded-loop rewrite of a former `proptest` suite (offline-build policy:
+//! no registry deps for `cargo test -q`). `semrec-datalog` sits below
+//! `semrec-gen` in the crate graph, so this file carries its own tiny
+//! SplitMix64 instead of using `semrec_gen::rng`.
 
-use proptest::prelude::*;
 use semrec_datalog::atom::Atom;
 use semrec_datalog::subst::Subst;
 use semrec_datalog::symbol::Symbol;
 use semrec_datalog::term::{Term, Value};
 use semrec_datalog::unify::{match_atom, unify_atoms};
 
-fn term_strategy() -> impl Strategy<Value = Term> {
-    prop_oneof![
-        (0u8..6).prop_map(|i| Term::var(&format!("V{i}"))),
-        (0i64..5).prop_map(Term::int),
-    ]
+/// Minimal SplitMix64 — same algorithm as `semrec_gen::rng::Rng`.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        ((u128::from(self.next()) * u128::from(bound)) >> 64) as u64
+    }
 }
 
-fn atom_strategy(pred: &'static str) -> impl Strategy<Value = Atom> {
-    proptest::collection::vec(term_strategy(), 1..4)
-        .prop_map(move |args| Atom::new(pred, args))
+fn random_term(rng: &mut Rng) -> Term {
+    if rng.below(2) == 0 {
+        Term::var(&format!("V{}", rng.below(6)))
+    } else {
+        Term::int(rng.below(5) as i64)
+    }
 }
 
-fn subst_strategy() -> impl Strategy<Value = Subst> {
-    proptest::collection::btree_map(0u8..6, term_strategy(), 0..5).prop_map(|m| {
-        Subst::from_pairs(
-            m.into_iter()
-                .map(|(i, t)| (Symbol::intern(&format!("V{i}")), t)),
-        )
-    })
+fn random_atom(rng: &mut Rng, pred: &str) -> Atom {
+    let arity = 1 + rng.below(3) as usize;
+    Atom::new(pred, (0..arity).map(|_| random_term(rng)).collect())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn random_subst(rng: &mut Rng) -> Subst {
+    let n = rng.below(5) as usize;
+    Subst::from_pairs((0..n).map(|_| {
+        let v = Symbol::intern(&format!("V{}", rng.below(6)));
+        (v, random_term(rng))
+    }))
+}
 
-    /// compose agrees with sequential application pointwise.
-    #[test]
-    fn compose_is_sequential_application(
-        s1 in subst_strategy(),
-        s2 in subst_strategy(),
-        t in term_strategy(),
-    ) {
+/// compose agrees with sequential application pointwise.
+#[test]
+fn compose_is_sequential_application() {
+    for case in 0u64..128 {
+        let rng = &mut Rng(0x10 + case);
+        let s1 = random_subst(rng);
+        let s2 = random_subst(rng);
+        let t = random_term(rng);
         let c = s1.compose(&s2);
-        prop_assert_eq!(c.apply_term(t), s2.apply_term(s1.apply_term(t)));
+        assert_eq!(
+            c.apply_term(t),
+            s2.apply_term(s1.apply_term(t)),
+            "case {case}"
+        );
     }
+}
 
-    /// The empty substitution is a left and right identity of compose.
-    #[test]
-    fn identity_laws(s in subst_strategy(), t in term_strategy()) {
+/// The empty substitution is a left and right identity of compose.
+#[test]
+fn identity_laws() {
+    for case in 0u64..128 {
+        let rng = &mut Rng(0x20 + case);
+        let s = random_subst(rng);
+        let t = random_term(rng);
         let id = Subst::new();
-        prop_assert_eq!(id.compose(&s).apply_term(t), s.apply_term(t));
-        prop_assert_eq!(s.compose(&id).apply_term(t), s.apply_term(t));
+        assert_eq!(id.compose(&s).apply_term(t), s.apply_term(t), "case {case}");
+        assert_eq!(s.compose(&id).apply_term(t), s.apply_term(t), "case {case}");
     }
+}
 
-    /// A successful unifier really unifies (mgu soundness).
-    #[test]
-    fn unifier_unifies(a in atom_strategy("p"), b in atom_strategy("p")) {
+/// A successful unifier really unifies (mgu soundness).
+#[test]
+fn unifier_unifies() {
+    for case in 0u64..128 {
+        let rng = &mut Rng(0x30 + case);
+        let a = random_atom(rng, "p");
+        let b = random_atom(rng, "p");
         if a.arity() == b.arity() {
             if let Some(mgu) = unify_atoms(&a, &b) {
-                prop_assert_eq!(mgu.apply_atom(&a), mgu.apply_atom(&b));
+                assert_eq!(mgu.apply_atom(&a), mgu.apply_atom(&b), "case {case}");
             }
         }
     }
+}
 
-    /// Unification is symmetric in success.
-    #[test]
-    fn unification_symmetry(a in atom_strategy("p"), b in atom_strategy("p")) {
-        prop_assert_eq!(unify_atoms(&a, &b).is_some(), unify_atoms(&b, &a).is_some());
+/// Unification is symmetric in success.
+#[test]
+fn unification_symmetry() {
+    for case in 0u64..128 {
+        let rng = &mut Rng(0x40 + case);
+        let a = random_atom(rng, "p");
+        let b = random_atom(rng, "p");
+        assert_eq!(
+            unify_atoms(&a, &b).is_some(),
+            unify_atoms(&b, &a).is_some(),
+            "case {case}"
+        );
     }
+}
 
-    /// Matching is sound: pattern·θ = target.
-    #[test]
-    fn matching_soundness(pattern in atom_strategy("p"), target in atom_strategy("p")) {
+/// Matching is sound: pattern·θ = target.
+#[test]
+fn matching_soundness() {
+    for case in 0u64..128 {
+        let rng = &mut Rng(0x50 + case);
+        let pattern = random_atom(rng, "p");
+        let target = random_atom(rng, "p");
         let mut theta = Subst::new();
         if match_atom(&mut theta, &pattern, &target) {
-            prop_assert_eq!(theta.apply_atom(&pattern), target);
+            assert_eq!(theta.apply_atom(&pattern), target, "case {case}");
         }
     }
+}
 
-    /// Matching implies unifiability (one-way is stricter than two-way)
-    /// when pattern and target share no variables.
-    #[test]
-    fn matching_implies_unification_on_disjoint_vars(
-        pattern in atom_strategy("p"),
-        target_consts in proptest::collection::vec(0i64..5, 1..4),
-    ) {
-        let target = Atom::new("p", target_consts.into_iter().map(Term::int).collect());
+/// Matching implies unifiability (one-way is stricter than two-way)
+/// when pattern and target share no variables.
+#[test]
+fn matching_implies_unification_on_disjoint_vars() {
+    for case in 0u64..128 {
+        let rng = &mut Rng(0x60 + case);
+        let pattern = random_atom(rng, "p");
+        let arity = 1 + rng.below(3) as usize;
+        let target = Atom::new(
+            "p",
+            (0..arity)
+                .map(|_| Term::int(rng.below(5) as i64))
+                .collect(),
+        );
         if pattern.arity() == target.arity() {
             let mut theta = Subst::new();
             if match_atom(&mut theta, &pattern, &target) {
-                prop_assert!(unify_atoms(&pattern, &target).is_some());
+                assert!(unify_atoms(&pattern, &target).is_some(), "case {case}");
             }
         }
     }
+}
 
-    /// Value ordering is total and antisymmetric.
-    #[test]
-    fn value_order_total(a in 0i64..100, b in 0i64..100, s in "[a-z]{1,4}") {
-        let x = Value::Int(a);
-        let y = Value::Int(b);
+/// Value ordering is total and antisymmetric; ints sort before strings.
+#[test]
+fn value_order_total() {
+    for case in 0u64..128 {
+        let rng = &mut Rng(0x70 + case);
+        let x = Value::Int(rng.below(100) as i64);
+        let y = Value::Int(rng.below(100) as i64);
+        let s: String = (0..1 + rng.below(4))
+            .map(|_| (b'a' + rng.below(26) as u8) as char)
+            .collect();
         let z = Value::str(&s);
-        prop_assert_eq!(x.cmp(&y).reverse(), y.cmp(&x));
-        prop_assert!(x < z, "ints sort before strings");
+        assert_eq!(x.cmp(&y).reverse(), y.cmp(&x), "case {case}");
+        assert!(x < z, "ints sort before strings (case {case})");
     }
 }

@@ -5,16 +5,30 @@
 //! optimization baseline (Chakravarthy et al. / Lee & Han style, built in
 //! `semrec-core`) can interpose per-iteration work — exactly the run-time
 //! overhead the paper's program-transformation approach avoids.
+//!
+//! ## Execution model
+//!
+//! Each round collects the compiled plans that must run, then executes
+//! them either inline (serial) or on the persistent
+//! [`WorkerPool`](crate::pool::WorkerPool). Parallel rounds use two axes
+//! of parallelism: *rule-level* (independent plans run concurrently) and
+//! *data-level* (a plan whose seed scan covers a large row range is split
+//! into per-worker [`RowRange`] chunks). Derived tuples are buffered flat
+//! per task ([`DerivedBuf`]) and inserted into the IDB relations by the
+//! main thread, which keeps relation storage single-writer.
 
 use crate::database::Database;
 use crate::error::EngineError;
+use crate::fxhash::FxHashMap;
 use crate::plan::{compile_rule_with_sizes, ArgPat, CompiledRule, Source, Step, View};
+use crate::pool::{Job, WorkerPool};
 use crate::relation::{Relation, RowRange, Tuple};
-use crate::stats::Stats;
+use crate::stats::{PoolStats, Stats};
 use semrec_datalog::atom::{Atom, Pred};
 use semrec_datalog::program::Program;
 use semrec_datalog::term::{Term, Value};
 use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
 
 /// Fixpoint strategy.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -49,31 +63,81 @@ impl EvalResult {
         };
         rel.iter()
             .filter(|row| goal_matches(goal, row))
-            .cloned()
+            .map(<[Value]>::to_vec)
             .collect()
     }
 }
 
 /// True if `row` matches the constants and repeated variables of `goal`.
+///
+/// Allocation-free: instead of building a binding map per row, a repeated
+/// variable is checked against the row value at its *first* occurrence
+/// (equality with the first occurrence is transitively equality with all).
+/// Goal arities are tiny, so the quadratic scan over earlier argument
+/// positions is cheaper than any map.
 pub fn goal_matches(goal: &Atom, row: &[Value]) -> bool {
-    let mut bind: BTreeMap<semrec_datalog::Symbol, Value> = BTreeMap::new();
-    for (t, &v) in goal.args.iter().zip(row) {
+    if goal.args.len() != row.len() {
+        return false;
+    }
+    for (i, t) in goal.args.iter().enumerate() {
         match t {
             Term::Const(c) => {
-                if *c != v {
+                if *c != row[i] {
                     return false;
                 }
             }
-            Term::Var(x) => match bind.get(x) {
-                Some(&prev) if prev != v => return false,
-                Some(_) => {}
-                None => {
-                    bind.insert(*x, v);
+            Term::Var(x) => {
+                let first = goal.args[..i]
+                    .iter()
+                    .position(|u| matches!(u, Term::Var(y) if y == x));
+                if let Some(j) = first {
+                    if row[j] != row[i] {
+                        return false;
+                    }
                 }
-            },
+            }
         }
     }
     true
+}
+
+/// Flat buffer of derived head tuples: one `Vec<Value>` shared by every
+/// tuple a task derives, instead of one heap allocation per tuple.
+#[derive(Default, Debug)]
+pub(crate) struct DerivedBuf {
+    /// `(pred, start, end)` offsets into `data`.
+    index: Vec<(Pred, u32, u32)>,
+    data: Vec<Value>,
+}
+
+impl DerivedBuf {
+    #[inline]
+    fn push(&mut self, pred: Pred, vals: impl Iterator<Item = Value>) {
+        let start = self.data.len() as u32;
+        self.data.extend(vals);
+        self.index.push((pred, start, self.data.len() as u32));
+    }
+
+    fn append(&mut self, mut other: DerivedBuf) {
+        let base = self.data.len() as u32;
+        self.data.append(&mut other.data);
+        self.index
+            .extend(other.index.drain(..).map(|(p, s, e)| (p, base + s, base + e)));
+    }
+
+    fn drain_into(self, idb: &mut FxHashMap<Pred, Relation>, stats: &mut Stats) -> bool {
+        let mut any_new = false;
+        for (pred, s, e) in self.index {
+            let rel = idb
+                .get_mut(&pred)
+                .expect("derived tuple for unknown idb predicate");
+            if rel.insert(&self.data[s as usize..e as usize]) {
+                stats.inserted += 1;
+                any_new = true;
+            }
+        }
+        any_new
+    }
 }
 
 struct RulePlans {
@@ -82,16 +146,28 @@ struct RulePlans {
     deltas: Vec<CompiledRule>,
 }
 
+/// One schedulable unit of a round: a plan, optionally restricted to a
+/// chunk of its seed scan's row range (data parallelism).
+#[derive(Clone, Copy)]
+struct Task<'p> {
+    plan: &'p CompiledRule,
+    /// `(step index, row subrange)` for the partitioned seed scan.
+    part: Option<(usize, RowRange)>,
+}
+
+/// Seed-scan ranges below this many rows are not worth splitting.
+const PARTITION_MIN_ROWS: usize = 128;
+
 /// A resumable fixpoint evaluator over a fixed EDB.
 pub struct Evaluator<'db> {
     db: &'db Database,
     program: Program,
     strategy: Strategy,
     idb_preds: BTreeSet<Pred>,
-    idb: BTreeMap<Pred, Relation>,
+    idb: FxHashMap<Pred, Relation>,
     /// Per IDB predicate: `(old_end, total_end)`; delta is the range
     /// between them, rows beyond `total_end` were derived this round.
-    marks: BTreeMap<Pred, (u32, u32)>,
+    marks: FxHashMap<Pred, (u32, u32)>,
     plans: Vec<RulePlans>,
     /// Stratum of each rule (by head predicate).
     rule_stratum: Vec<usize>,
@@ -103,10 +179,13 @@ pub struct Evaluator<'db> {
     /// full-plan round yet.
     stratum_fresh: bool,
     stats: Stats,
+    pool_stats: PoolStats,
     round: u64,
     max_iterations: u64,
     /// Number of worker threads for plan execution within a round.
     parallelism: usize,
+    /// Lazily spawned persistent worker pool (parallel mode only).
+    pool: Option<WorkerPool>,
 }
 
 impl<'db> Evaluator<'db> {
@@ -121,17 +200,19 @@ impl<'db> Evaluator<'db> {
             program: Program::default(),
             strategy,
             idb_preds: BTreeSet::new(),
-            idb: BTreeMap::new(),
-            marks: BTreeMap::new(),
+            idb: FxHashMap::default(),
+            marks: FxHashMap::default(),
             plans: Vec::new(),
             rule_stratum: Vec::new(),
             max_stratum: 0,
             current_stratum: 0,
             stratum_fresh: true,
             stats: Stats::default(),
+            pool_stats: PoolStats::default(),
             round: 0,
             max_iterations: u64::MAX,
             parallelism: 1,
+            pool: None,
         };
         ev.set_program(program)?;
         Ok(ev)
@@ -144,8 +225,9 @@ impl<'db> Evaluator<'db> {
     }
 
     /// Executes the round's rule plans on `n` worker threads (default 1).
-    /// Results and counters are identical to the sequential mode; only
-    /// relation insertion order (and thus wall time) changes.
+    /// Results and the workload counters (`derived`, `rows_scanned`,
+    /// `inserted`) are identical to the sequential mode; only relation
+    /// insertion order, scheduling counters and wall time change.
     pub fn with_parallelism(mut self, n: usize) -> Self {
         self.parallelism = n.max(1);
         self
@@ -254,6 +336,11 @@ impl<'db> Evaluator<'db> {
         self.stats
     }
 
+    /// Worker-pool counters accumulated so far (all zero in serial mode).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool_stats
+    }
+
     /// Runs fixpoint rounds until some new fact is derived or every
     /// stratum is saturated. Returns `true` if any new fact was derived
     /// (callers loop on this; see [`Evaluator::run`]).
@@ -265,11 +352,14 @@ impl<'db> Evaluator<'db> {
             self.round += 1;
             let fresh = self.stratum_fresh;
             self.stratum_fresh = false;
-            let mut any_new = false;
 
             let mut stats = std::mem::take(&mut self.stats);
             stats.iterations += 1;
-            let mut derived: Vec<(Pred, Tuple)> = Vec::new();
+            // Spawn the pool before `to_run` borrows the plans (the pool
+            // is persistent: one spawn per evaluator lifetime).
+            if self.parallelism > 1 && self.pool.is_none() {
+                self.pool = Some(WorkerPool::new(self.parallelism));
+            }
             let mut to_run: Vec<&CompiledRule> = Vec::new();
             for (ri, rp) in self.plans.iter().enumerate() {
                 if self.rule_stratum[ri] != self.current_stratum {
@@ -282,56 +372,23 @@ impl<'db> Evaluator<'db> {
                     to_run.extend(rp.deltas.iter());
                 }
             }
-            if self.parallelism > 1 && to_run.len() > 1 {
-                self.prewarm_indexes(&to_run);
-                let ev: &Evaluator<'db> = self;
-                let workers = self.parallelism.min(to_run.len());
-                let results = crossbeam::thread::scope(|scope| {
-                    let handles: Vec<_> = (0..workers)
-                        .map(|w| {
-                            // Round-robin partition keeps heavy plans spread.
-                            let mine: Vec<&CompiledRule> = to_run
-                                .iter()
-                                .copied()
-                                .skip(w)
-                                .step_by(workers)
-                                .collect();
-                            scope.spawn(move |_| {
-                                let mut st = Stats::default();
-                                let mut out: Vec<(Pred, Tuple)> = Vec::new();
-                                for plan in mine {
-                                    ev.execute_plan(plan, &mut st, &mut out);
-                                }
-                                (st, out)
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("worker panicked"))
-                        .collect::<Vec<_>>()
-                })
-                .expect("evaluation scope");
-                for (st, mut out) in results {
-                    stats += st;
-                    derived.append(&mut out);
-                }
+
+            let mut derived = DerivedBuf::default();
+            let mut pool_delta = PoolStats::default();
+            if self.parallelism > 1 && !to_run.is_empty() {
+                pool_delta = self.run_round_parallel(&to_run, &mut stats, &mut derived);
             } else {
                 for plan in to_run {
-                    self.execute_plan(plan, &mut stats, &mut derived);
+                    self.execute_task(
+                        Task { plan, part: None },
+                        &mut stats,
+                        &mut derived,
+                    );
                 }
             }
             self.stats = stats;
-            for (pred, tuple) in derived {
-                let rel = self
-                    .idb
-                    .get_mut(&pred)
-                    .expect("derived tuple for unknown idb predicate");
-                if rel.insert(tuple) {
-                    self.stats.inserted += 1;
-                    any_new = true;
-                }
-            }
+            self.merge_pool_stats(pool_delta);
+            let any_new = derived.drain_into(&mut self.idb, &mut self.stats);
             // Advance delta windows.
             for (p, rel) in &self.idb {
                 let (_, total_end) = self.marks[p];
@@ -348,6 +405,113 @@ impl<'db> Evaluator<'db> {
         }
     }
 
+    /// Executes a round's plans on the persistent pool: prewarm every
+    /// index the plans will probe, split large seed scans into per-worker
+    /// chunks, dispatch, and merge the workers' results. Returns the
+    /// round's [`PoolStats`] delta (`&self` only, so the plan borrows held
+    /// by the caller stay valid).
+    fn run_round_parallel(
+        &self,
+        to_run: &[&CompiledRule],
+        stats: &mut Stats,
+        derived: &mut DerivedBuf,
+    ) -> PoolStats {
+        let build_start = Instant::now();
+        self.prewarm_indexes(to_run);
+        let index_nanos = build_start.elapsed().as_nanos() as u64;
+        let mut delta = PoolStats {
+            index_build_nanos: index_nanos,
+            ..PoolStats::default()
+        };
+
+        let workers = self.parallelism;
+        // Task list: one task per plan, except plans whose seed scan
+        // covers a large range, which are split across workers.
+        let mut tasks: Vec<Task<'_>> = Vec::new();
+        let mut rows_dispatched: u64 = 0;
+        for &plan in to_run {
+            let seed = plan.steps.iter().enumerate().find_map(|(i, s)| match s {
+                Step::Scan(sc) => Some((i, sc)),
+                _ => None,
+            });
+            let mut split = false;
+            if let Some((si, sc)) = seed {
+                if let Some((_, range)) = self.resolve(sc.pred, sc.view) {
+                    rows_dispatched += range.len() as u64;
+                    if range.len() >= PARTITION_MIN_ROWS {
+                        for chunk in range.split(workers) {
+                            tasks.push(Task {
+                                plan,
+                                part: Some((si, chunk)),
+                            });
+                        }
+                        split = true;
+                    }
+                }
+            }
+            if !split {
+                tasks.push(Task { plan, part: None });
+            }
+        }
+
+        if tasks.len() == 1 {
+            // One indivisible task: the pool would only add latency.
+            self.execute_task(tasks[0], stats, derived);
+            return delta;
+        }
+
+        let pool = self.pool.as_ref().expect("pool created in step()");
+        let ev: &Evaluator<'db> = self;
+        let (tx, rx) = std::sync::mpsc::channel::<(Stats, DerivedBuf)>();
+        let jobs: Vec<Job<'_>> = tasks
+            .iter()
+            .map(|&task| {
+                let tx = tx.clone();
+                Box::new(move || {
+                    let mut st = Stats::default();
+                    let mut buf = DerivedBuf::default();
+                    ev.execute_task(task, &mut st, &mut buf);
+                    tx.send((st, buf)).expect("round collector gone");
+                }) as Job<'_>
+            })
+            .collect();
+        let ntasks = tasks.len() as u64;
+        let batch = pool.run(jobs);
+        drop(tx);
+        for (st, buf) in rx {
+            *stats += st;
+            derived.append(buf);
+        }
+
+        delta.parallel_rounds = 1;
+        delta.tasks = ntasks;
+        delta.busy_nanos = batch.busy_nanos;
+        delta.wall_nanos = batch.wall_nanos;
+        delta.rows_dispatched = rows_dispatched;
+        delta.workers = pool.workers();
+        delta.last_round_rows = rows_dispatched;
+        delta.last_round_nanos = batch.wall_nanos;
+        delta
+    }
+
+    /// Folds one round's pool delta into the accumulated counters.
+    fn merge_pool_stats(&mut self, d: PoolStats) {
+        let ps = &mut self.pool_stats;
+        ps.parallel_rounds += d.parallel_rounds;
+        ps.tasks += d.tasks;
+        ps.busy_nanos += d.busy_nanos;
+        ps.wall_nanos += d.wall_nanos;
+        ps.index_build_nanos += d.index_build_nanos;
+        ps.rows_dispatched += d.rows_dispatched;
+        if d.workers > 0 {
+            ps.workers = d.workers;
+        }
+        if d.parallel_rounds > 0 {
+            ps.last_round_rows = d.last_round_rows;
+            ps.last_round_nanos = d.last_round_nanos;
+        }
+    }
+
     /// Runs to fixpoint.
     pub fn run(&mut self) -> Result<(), EngineError> {
         while self.step()? {}
@@ -357,7 +521,7 @@ impl<'db> Evaluator<'db> {
     /// Finalizes, yielding the IDB relations and stats.
     pub fn finish(self) -> EvalResult {
         EvalResult {
-            idb: self.idb,
+            idb: self.idb.into_iter().collect(),
             stats: self.stats,
         }
     }
@@ -371,15 +535,6 @@ impl<'db> Evaluator<'db> {
                     Step::Scan(s) if !s.key_cols.is_empty() => {
                         if let Some((rel, _)) = self.resolve(s.pred, s.view) {
                             rel.ensure_index(&s.key_cols);
-                        }
-                    }
-                    Step::Neg(n) => {
-                        if let Some((rel, range)) = self.resolve(n.pred, n.view) {
-                            // Only partial ranges need the all-column index.
-                            if (range.end as usize) < rel.len() || range.start > 0 {
-                                let cols: Vec<usize> = (0..rel.arity()).collect();
-                                rel.ensure_index(&cols);
-                            }
                         }
                     }
                     _ => {}
@@ -413,10 +568,10 @@ impl<'db> Evaluator<'db> {
         }
     }
 
-    fn execute_plan(&self, plan: &CompiledRule, stats: &mut Stats, out: &mut Vec<(Pred, Tuple)>) {
+    fn execute_task(&self, task: Task<'_>, stats: &mut Stats, out: &mut DerivedBuf) {
         stats.rule_firings += 1;
-        let mut slots = vec![Value::Int(0); plan.nslots];
-        run_steps(self, plan, 0, &mut slots, stats, out);
+        let mut slots = vec![Value::Int(0); task.plan.nslots];
+        run_steps(self, task.plan, task.part, 0, &mut slots, stats, out);
     }
 }
 
@@ -430,15 +585,15 @@ fn read(slots: &[Value], s: Source) -> Value {
 fn run_steps(
     ev: &Evaluator<'_>,
     plan: &CompiledRule,
+    part: Option<(usize, RowRange)>,
     i: usize,
     slots: &mut [Value],
     stats: &mut Stats,
-    out: &mut Vec<(Pred, Tuple)>,
+    out: &mut DerivedBuf,
 ) {
     let Some(step) = plan.steps.get(i) else {
         stats.derived += 1;
-        let tuple: Tuple = plan.head.iter().map(|&s| read(slots, s)).collect();
-        out.push((plan.head_pred, tuple));
+        out.push(plan.head_pred, plan.head.iter().map(|&s| read(slots, s)));
         return;
     };
     match step {
@@ -448,7 +603,7 @@ fn run_steps(
             match cs.bind {
                 None => {
                     if cs.op.check(vals[0], vals[1], vals[2]) {
-                        run_steps(ev, plan, i + 1, slots, stats, out);
+                        run_steps(ev, plan, part, i + 1, slots, stats, out);
                     }
                 }
                 Some((pos, slot)) => {
@@ -456,7 +611,7 @@ fn run_steps(
                     opt[pos] = None;
                     if let Some(v) = cs.op.solve(opt) {
                         slots[slot] = v;
-                        run_steps(ev, plan, i + 1, slots, stats, out);
+                        run_steps(ev, plan, part, i + 1, slots, stats, out);
                     }
                 }
             }
@@ -479,32 +634,40 @@ fn run_steps(
                 }
             };
             if !exists {
-                run_steps(ev, plan, i + 1, slots, stats, out);
+                run_steps(ev, plan, part, i + 1, slots, stats, out);
             }
         }
         Step::Filter(f) => {
             stats.cmp_evals += 1;
             if f.op.eval(&read(slots, f.lhs), &read(slots, f.rhs)) {
-                run_steps(ev, plan, i + 1, slots, stats, out);
+                run_steps(ev, plan, part, i + 1, slots, stats, out);
             }
         }
         Step::Assign(a) => {
             slots[a.slot] = read(slots, a.from);
-            run_steps(ev, plan, i + 1, slots, stats, out);
+            run_steps(ev, plan, part, i + 1, slots, stats, out);
         }
         Step::Scan(s) => {
-            let Some((rel, range)) = ev.resolve(s.pred, s.view) else {
+            let Some((rel, mut range)) = ev.resolve(s.pred, s.view) else {
                 return;
             };
+            // Data-parallel partition: this task only covers a chunk of
+            // the seed scan's rows.
+            if let Some((pi, pr)) = part {
+                if pi == i {
+                    range = range.intersect(pr);
+                }
+            }
             if range.is_empty() {
                 return;
             }
+            let arity = s.args.len();
             let try_row = |row: &[Value],
                            slots: &mut [Value],
                            stats: &mut Stats,
-                           out: &mut Vec<(Pred, Tuple)>| {
+                           out: &mut DerivedBuf| {
                 stats.rows_scanned += 1;
-                if row.len() != s.args.len() {
+                if row.len() != arity {
                     return;
                 }
                 for (pat, &v) in s.args.iter().zip(row) {
@@ -522,7 +685,7 @@ fn run_steps(
                         ArgPat::Bind(sl) => slots[sl] = v,
                     }
                 }
-                run_steps(ev, plan, i + 1, slots, stats, out);
+                run_steps(ev, plan, part, i + 1, slots, stats, out);
             };
             if s.key_cols.is_empty() {
                 for (_, row) in rel.iter_range(range) {
@@ -532,8 +695,11 @@ fn run_steps(
                 stats.probes += 1;
                 let key: Vec<Value> = s.key_vals.iter().map(|&v| read(slots, v)).collect();
                 for r in rel.probe(&s.key_cols, &key, range) {
-                    let row = rel.row(r).to_vec();
-                    try_row(&row, slots, stats, out);
+                    // Rows are slices of the relation's flat store; copy
+                    // the (tiny) row to a stack buffer is unnecessary —
+                    // the borrow is read-only and `try_row` only reads.
+                    let row = rel.row(r);
+                    try_row(row, slots, stats, out);
                 }
             }
         }
@@ -765,6 +931,25 @@ mod tests {
             semi.relation("t").unwrap().len()
         );
     }
+
+    #[test]
+    fn goal_matches_is_allocation_free_semantics() {
+        let goal = parse_atom("t(X, X, 3)").unwrap();
+        assert!(goal_matches(
+            &goal,
+            &[Value::Int(7), Value::Int(7), Value::Int(3)]
+        ));
+        assert!(!goal_matches(
+            &goal,
+            &[Value::Int(7), Value::Int(8), Value::Int(3)]
+        ));
+        assert!(!goal_matches(
+            &goal,
+            &[Value::Int(7), Value::Int(7), Value::Int(4)]
+        ));
+        // Arity mismatch is a non-match, not a panic.
+        assert!(!goal_matches(&goal, &[Value::Int(7)]));
+    }
 }
 
 #[cfg(test)]
@@ -930,7 +1115,8 @@ mod parallel_tests {
                 par.relation(p).unwrap().sorted_tuples()
             );
         }
-        // The counters are workload properties, not scheduling properties.
+        // The workload counters are workload properties, not scheduling
+        // properties — identical under any partitioning.
         assert_eq!(seq.stats.derived, par.stats.derived);
         assert_eq!(seq.stats.rows_scanned, par.stats.rows_scanned);
         assert_eq!(seq.stats.inserted, par.stats.inserted);
@@ -974,6 +1160,64 @@ mod parallel_tests {
             .with_parallelism(1);
         e.run().unwrap();
         assert!(!e.finish().relation("t").unwrap().is_empty());
+    }
+
+    #[test]
+    fn data_parallel_partitioning_kicks_in_on_large_deltas() {
+        // A wide fan: one round with a delta far above the partition
+        // threshold, so the pool must run partitioned tasks.
+        let mut db = Database::new();
+        for i in 0..2000i64 {
+            db.insert("e", int_tuple(&[0, i + 1]));
+            db.insert("g", int_tuple(&[i + 1, i % 7]));
+        }
+        let prog: Program = "t(X,Y) :- e(X,Y). u(X,Z) :- t(X,Y), g(Y,Z)."
+            .parse()
+            .unwrap();
+        let mut seq = Evaluator::new(&db, &prog, Strategy::SemiNaive).unwrap();
+        seq.run().unwrap();
+        let mut par = Evaluator::new(&db, &prog, Strategy::SemiNaive)
+            .unwrap()
+            .with_parallelism(4);
+        par.run().unwrap();
+        let ps = par.pool_stats();
+        assert!(ps.parallel_rounds > 0, "pool must have run: {ps:?}");
+        assert!(
+            ps.tasks > ps.parallel_rounds,
+            "large scans must split into multiple tasks: {ps:?}"
+        );
+        let seq = seq.finish();
+        let par = par.finish();
+        for p in ["t", "u"] {
+            assert_eq!(
+                seq.relation(p).unwrap().sorted_tuples(),
+                par.relation(p).unwrap().sorted_tuples()
+            );
+        }
+    }
+
+    #[test]
+    fn pool_stats_expose_busy_and_index_time() {
+        let mut db = Database::new();
+        for i in 0..600i64 {
+            db.insert("e", int_tuple(&[i, (i + 1) % 600]));
+        }
+        let prog = "t(X,Y) :- e(X,Y). t(X,Y) :- e(X,Z), t(Z,Y)."
+            .parse::<Program>()
+            .unwrap();
+        let mut ev = Evaluator::new(&db, &prog, Strategy::SemiNaive)
+            .unwrap()
+            .with_parallelism(2);
+        ev.run().unwrap();
+        let ps = ev.pool_stats();
+        assert!(ps.parallel_rounds > 0);
+        assert!(ps.busy_nanos > 0);
+        assert!(ps.wall_nanos > 0);
+        assert!(ps.rows_dispatched > 0);
+        assert_eq!(ps.workers, 2);
+        let frac = ps.busy_fraction();
+        assert!((0.0..=1.0).contains(&frac), "busy fraction {frac}");
+        assert!(ps.rows_per_sec() > 0.0);
     }
 }
 

@@ -85,7 +85,7 @@ fn go(
     idb: &BTreeMap<Pred, Relation>,
     program: &Program,
     pred: Pred,
-    tuple: &Tuple,
+    tuple: &[Value],
     visiting: &mut BTreeSet<(Pred, Tuple)>,
 ) -> Option<Derivation> {
     let rel = lookup(db, idb, pred)?;
@@ -96,12 +96,12 @@ fn go(
     if db.get(pred).is_some_and(|r| r.contains(tuple)) {
         return Some(Derivation {
             pred,
-            tuple: tuple.clone(),
+            tuple: tuple.to_vec(),
             rule: None,
             children: vec![],
         });
     }
-    let key = (pred, tuple.clone());
+    let key = (pred, tuple.to_vec());
     if !visiting.insert(key.clone()) {
         return None; // already on the current support path
     }
@@ -115,7 +115,7 @@ fn derive_via_rules(
     idb: &BTreeMap<Pred, Relation>,
     program: &Program,
     pred: Pred,
-    tuple: &Tuple,
+    tuple: &[Value],
     visiting: &mut BTreeSet<(Pred, Tuple)>,
 ) -> Option<Derivation> {
     for ri in program.rules_for(pred) {
@@ -149,7 +149,7 @@ fn derive_via_rules(
         if let Some(children) = match_body(db, idb, program, rule, 0, theta, visiting) {
             return Some(Derivation {
                 pred,
-                tuple: tuple.clone(),
+                tuple: tuple.to_vec(),
                 rule: Some(ri),
                 children,
             });

@@ -17,10 +17,12 @@ pub mod database;
 pub mod error;
 pub mod eval;
 pub mod explain;
+pub mod fxhash;
 pub mod io;
 pub mod topdown;
 pub mod magic;
 pub mod plan;
+pub mod pool;
 pub mod relation;
 pub mod sld;
 pub mod stats;
@@ -28,5 +30,6 @@ pub mod stats;
 pub use database::{int_tuple, Database};
 pub use error::EngineError;
 pub use eval::{evaluate, evaluate_parallel, EvalResult, Evaluator, Strategy};
+pub use pool::WorkerPool;
 pub use relation::{Relation, RowRange, Tuple};
-pub use stats::Stats;
+pub use stats::{PoolStats, Stats};

@@ -23,7 +23,7 @@ use semrec_datalog::literal::{CmpOp, Literal};
 use semrec_datalog::program::Program;
 use semrec_datalog::rule::Rule;
 use semrec_datalog::symbol::Symbol;
-use semrec_datalog::term::Term;
+use semrec_datalog::term::{Term, Value};
 use std::collections::{BTreeSet, VecDeque};
 
 /// A binding-pattern adornment: one entry per argument position.
@@ -347,7 +347,7 @@ pub fn evaluate_query(
         .map(|rel| {
             rel.iter()
                 .filter(|row| goal_matches(goal, row))
-                .cloned()
+                .map(<[Value]>::to_vec)
                 .collect()
         })
         .unwrap_or_default();

@@ -10,12 +10,13 @@
 
 use crate::builtins::BuiltinOp;
 use crate::error::EngineError;
+use crate::fxhash::{FxHashMap, FxHashSet};
 use semrec_datalog::atom::Pred;
 use semrec_datalog::literal::{CmpOp, Literal};
 use semrec_datalog::rule::Rule;
 use semrec_datalog::symbol::Symbol;
 use semrec_datalog::term::{Term, Value};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 /// A value source: a variable slot or an inline constant.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -145,12 +146,12 @@ pub struct CompiledRule {
 
 struct Compiler<'a> {
     rule: &'a Rule,
-    slots: BTreeMap<Symbol, usize>,
+    slots: FxHashMap<Symbol, usize>,
     slot_vars: Vec<Symbol>,
-    bound: BTreeSet<usize>,
+    bound: FxHashSet<usize>,
     steps: Vec<Step>,
     /// Views for negated literals (by body index).
-    neg_views: BTreeMap<usize, View>,
+    neg_views: FxHashMap<usize, View>,
 }
 
 impl<'a> Compiler<'a> {
@@ -185,7 +186,7 @@ impl<'a> Compiler<'a> {
         let mut args = Vec::with_capacity(atom.arity());
         let mut key_cols = Vec::new();
         let mut key_vals = Vec::new();
-        let mut newly_bound: BTreeSet<usize> = BTreeSet::new();
+        let mut newly_bound: FxHashSet<usize> = FxHashSet::default();
         for (col, &t) in atom.args.iter().enumerate() {
             match t {
                 Term::Const(c) => {
@@ -223,7 +224,7 @@ impl<'a> Compiler<'a> {
     /// Emits every currently runnable comparison (assignments first, then
     /// filters) and fully bound negated subgoal, repeating until none
     /// applies. Marks indices in `done`.
-    fn drain_cmps(&mut self, done: &mut BTreeSet<usize>) {
+    fn drain_cmps(&mut self, done: &mut FxHashSet<usize>) {
         loop {
             let mut progressed = false;
             for (li, l) in self.rule.body.iter().enumerate() {
@@ -342,9 +343,9 @@ pub fn compile_rule_with_sizes(
 ) -> Result<CompiledRule, EngineError> {
     let mut c = Compiler {
         rule,
-        slots: BTreeMap::new(),
+        slots: FxHashMap::default(),
         slot_vars: Vec::new(),
-        bound: BTreeSet::new(),
+        bound: FxHashSet::default(),
         steps: Vec::new(),
         neg_views: views
             .iter()
@@ -363,7 +364,7 @@ pub fn compile_rule_with_sizes(
         })
         .map(|(i, _)| i)
         .collect();
-    let mut done: BTreeSet<usize> = BTreeSet::new();
+    let mut done: FxHashSet<usize> = FxHashSet::default();
 
     let view_of = |li: usize| views.get(&li).copied().unwrap_or(View::Full);
 

@@ -1,0 +1,228 @@
+//! A persistent worker pool for intra-round parallelism.
+//!
+//! The evaluator used to spawn a fresh `crossbeam::thread::scope` (and N
+//! OS threads) for every rule batch of every fixpoint round; on workloads
+//! with many small rounds the spawn/join cost dwarfed the joins being
+//! parallelized. This pool spawns its `std::thread` workers **once** and
+//! feeds them per-round over channels: a round dispatches a batch of jobs
+//! round-robin, then blocks until every job has reported completion.
+//!
+//! Scoped-borrow safety: jobs may borrow the caller's stack (they capture
+//! `&Evaluator`), which is sound for the same reason `std::thread::scope`
+//! is — [`WorkerPool::run`] does not return until every dispatched job has
+//! completed (or the pool panics), so no borrow outlives the call. The
+//! lifetime erasure this requires is confined to [`WorkerPool::run`].
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A unit of work dispatched to a worker. Jobs report results through
+/// channels they capture; the pool only tracks completion and busy time.
+pub type Job<'a> = Box<dyn FnOnce() + Send + 'a>;
+
+type StaticJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// Completion report: nanoseconds the worker spent on the job, and whether
+/// the job panicked.
+struct Done {
+    busy_nanos: u64,
+    panicked: bool,
+}
+
+/// Counters for one [`WorkerPool::run`] batch.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct BatchStats {
+    /// Jobs executed.
+    pub jobs: u64,
+    /// Sum of per-job execution time across workers, in nanoseconds.
+    pub busy_nanos: u64,
+    /// Wall-clock time of the whole batch, in nanoseconds.
+    pub wall_nanos: u64,
+}
+
+/// Long-lived `std::thread` workers fed over channels.
+pub struct WorkerPool {
+    txs: Vec<Sender<StaticJob>>,
+    /// Wrapped in a `Mutex` so the pool is `Sync` (jobs capture references
+    /// to structures owning the pool); batches serialize on it.
+    done_rx: Mutex<Receiver<Done>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `n` (≥ 1) workers.
+    pub fn new(n: usize) -> WorkerPool {
+        let n = n.max(1);
+        let (done_tx, done_rx) = channel::<Done>();
+        let mut txs = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for i in 0..n {
+            let (tx, rx) = channel::<StaticJob>();
+            let done = done_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("semrec-worker-{i}"))
+                .spawn(move || worker_main(rx, done))
+                .expect("spawn pool worker");
+            txs.push(tx);
+            handles.push(handle);
+        }
+        WorkerPool {
+            txs,
+            done_rx: Mutex::new(done_rx),
+            handles,
+        }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Runs a batch of jobs on the pool, blocking until all complete.
+    /// Jobs are distributed round-robin across workers.
+    ///
+    /// # Panics
+    /// Panics if any job panicked on a worker.
+    pub fn run(&self, jobs: Vec<Job<'_>>) -> BatchStats {
+        let start = Instant::now();
+        let n = jobs.len();
+        let done_rx = self.done_rx.lock().expect("pool batch lock poisoned");
+        for (i, job) in jobs.into_iter().enumerate() {
+            // Lifetime erasure: sound because this function joins all `n`
+            // completions below before returning, so the borrows captured
+            // by `job` are still live whenever it runs.
+            let job: StaticJob = unsafe {
+                std::mem::transmute::<Job<'_>, StaticJob>(job)
+            };
+            self.txs[i % self.txs.len()]
+                .send(job)
+                .expect("pool worker exited early");
+        }
+        let mut stats = BatchStats {
+            jobs: n as u64,
+            ..BatchStats::default()
+        };
+        let mut any_panicked = false;
+        for _ in 0..n {
+            let done = done_rx
+                .recv()
+                .expect("pool worker exited without reporting");
+            stats.busy_nanos += done.busy_nanos;
+            any_panicked |= done.panicked;
+        }
+        stats.wall_nanos = start.elapsed().as_nanos() as u64;
+        assert!(!any_panicked, "worker job panicked");
+        stats
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the job channels lets the workers' recv loops end.
+        self.txs.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_main(rx: Receiver<StaticJob>, done: Sender<Done>) {
+    while let Ok(job) = rx.recv() {
+        let start = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(job));
+        let report = Done {
+            busy_nanos: start.elapsed().as_nanos() as u64,
+            panicked: result.is_err(),
+        };
+        if done.send(report).is_err() {
+            return; // pool gone; nothing left to report to
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc::channel;
+
+    #[test]
+    fn runs_all_jobs_and_blocks_until_done() {
+        let pool = WorkerPool::new(4);
+        let counter = AtomicUsize::new(0);
+        let jobs: Vec<Job<'_>> = (0..64)
+            .map(|_| {
+                let c = &counter;
+                Box::new(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }) as Job<'_>
+            })
+            .collect();
+        let stats = pool.run(jobs);
+        // run() returning proves every job finished: the borrow of
+        // `counter` is only safe because of that guarantee.
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+        assert_eq!(stats.jobs, 64);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_batches() {
+        let pool = WorkerPool::new(2);
+        for round in 1..=5usize {
+            let (tx, rx) = channel();
+            let jobs: Vec<Job<'_>> = (0..round)
+                .map(|i| {
+                    let tx = tx.clone();
+                    Box::new(move || tx.send(i).unwrap()) as Job<'_>
+                })
+                .collect();
+            pool.run(jobs);
+            drop(tx);
+            let mut got: Vec<usize> = rx.iter().collect();
+            got.sort_unstable();
+            assert_eq!(got, (0..round).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn borrows_from_caller_stack_are_visible() {
+        let pool = WorkerPool::new(3);
+        let data: Vec<u64> = (0..1000).collect();
+        let (tx, rx) = channel();
+        let jobs: Vec<Job<'_>> = (0..4)
+            .map(|w| {
+                let tx = tx.clone();
+                let data = &data;
+                Box::new(move || {
+                    let sum: u64 = data.iter().skip(w).step_by(4).sum();
+                    tx.send(sum).unwrap();
+                }) as Job<'_>
+            })
+            .collect();
+        pool.run(jobs);
+        drop(tx);
+        let total: u64 = rx.iter().sum();
+        assert_eq!(total, 1000 * 999 / 2);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let pool = WorkerPool::new(2);
+        let stats = pool.run(Vec::new());
+        assert_eq!(stats.jobs, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker job panicked")]
+    fn job_panic_propagates_without_hanging() {
+        let pool = WorkerPool::new(2);
+        let jobs: Vec<Job<'_>> = vec![
+            Box::new(|| panic!("boom")),
+            Box::new(|| {}),
+        ];
+        pool.run(jobs);
+    }
+}

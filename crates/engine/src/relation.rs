@@ -1,15 +1,24 @@
-//! Append-only relations with lazily built, incrementally extended hash
-//! indexes on column subsets.
+//! Append-only relations over *flat columnar storage* with lazily built,
+//! incrementally extended hash indexes on column subsets.
+//!
+//! Rows live in one contiguous `Vec<Value>` with an arity stride: row `r`
+//! is the slice `data[r * arity .. (r + 1) * arity]`. `Value` is a 16-byte
+//! `Copy` enum, so appending a row is a bulk copy into the flat buffer and
+//! reading one is slicing — no per-tuple heap allocation anywhere on the
+//! fixpoint hot path. Dedup and the column indexes bucket rows by
+//! precomputed FxHash (see [`crate::fxhash`]) and verify candidates by
+//! comparing the flat slices, so they never own key vectors either.
 //!
 //! Rows are never removed, which makes semi-naive evaluation's
 //! old/delta/total views simple row-id ranges: `old = [0, watermark)`,
 //! `delta = [watermark, len)`, `total = [0, len)`.
 
-use parking_lot::RwLock;
+use crate::fxhash::{hash_slice, FxHashMap, PrehashedMap};
 use semrec_datalog::term::Value;
-use std::collections::{HashMap, HashSet};
+use std::sync::RwLock;
 
-/// A database tuple.
+/// An owned database tuple (boundary type: results, test fixtures, I/O).
+/// Inside the engine rows are `&[Value]` slices of the flat store.
 pub type Tuple = Vec<Value>;
 
 /// A half-open range of row ids, used to express old/delta/total views.
@@ -29,36 +38,66 @@ impl RowRange {
 
     /// Number of rows in the range.
     pub fn len(self) -> usize {
-        (self.end - self.start) as usize
+        (self.end.saturating_sub(self.start)) as usize
     }
 
     /// True if the range is empty.
     pub fn is_empty(self) -> bool {
         self.start >= self.end
     }
+
+    /// The intersection of two ranges (empty if disjoint).
+    pub fn intersect(self, other: RowRange) -> RowRange {
+        RowRange {
+            start: self.start.max(other.start),
+            end: self.end.min(other.end),
+        }
+    }
+
+    /// Splits the range into `n` near-equal contiguous chunks, dropping
+    /// empty ones. Used to data-parallelize a scan across pool workers.
+    pub fn split(self, n: usize) -> Vec<RowRange> {
+        let n = n.max(1) as u32;
+        let len = self.end.saturating_sub(self.start);
+        let chunk = len.div_ceil(n).max(1);
+        let mut out = Vec::new();
+        let mut s = self.start;
+        while s < self.end {
+            let e = (s + chunk).min(self.end);
+            out.push(RowRange { start: s, end: e });
+            s = e;
+        }
+        out
+    }
 }
 
+/// A hash index on a column subset: bucket rows by the FxHash of their key
+/// columns; collisions are resolved by comparing the actual columns.
 #[derive(Debug)]
 struct ColumnIndex {
     cols: Vec<usize>,
-    map: HashMap<Vec<Value>, Vec<u32>>,
+    map: PrehashedMap<Vec<u32>>,
     /// Rows `[0, built)` have been added to `map`.
     built: usize,
 }
 
-/// An append-only relation of fixed arity with set semantics.
+/// An append-only relation of fixed arity with set semantics over flat
+/// columnar storage.
 ///
-/// The lazy index cache sits behind an `RwLock`, so `&Relation` can be
-/// shared across threads during a (read-only) evaluation round — see
-/// [`crate::eval::Evaluator::with_parallelism`]. Call
-/// [`Relation::ensure_index`] before a parallel phase to avoid write-lock
-/// contention on first probe.
+/// The lazy index cache sits behind a `std::sync::RwLock`, so `&Relation`
+/// can be shared across threads during a (read-only) evaluation round —
+/// see [`crate::eval::Evaluator::with_parallelism`]. Call
+/// [`Relation::ensure_index`] before a parallel phase so the workers only
+/// ever take the shared read lock.
 #[derive(Debug)]
 pub struct Relation {
     arity: usize,
-    rows: Vec<Tuple>,
-    dedup: HashSet<Tuple>,
-    indexes: RwLock<HashMap<Vec<usize>, ColumnIndex>>,
+    /// Flat row storage, `nrows * arity` values.
+    data: Vec<Value>,
+    nrows: usize,
+    /// Row-content hash → candidate row ids (set semantics).
+    dedup: PrehashedMap<Vec<u32>>,
+    indexes: RwLock<FxHashMap<Vec<usize>, ColumnIndex>>,
 }
 
 impl Relation {
@@ -66,9 +105,10 @@ impl Relation {
     pub fn new(arity: usize) -> Relation {
         Relation {
             arity,
-            rows: Vec::new(),
-            dedup: HashSet::new(),
-            indexes: RwLock::new(HashMap::new()),
+            data: Vec::new(),
+            nrows: 0,
+            dedup: PrehashedMap::default(),
+            indexes: RwLock::new(FxHashMap::default()),
         }
     }
 
@@ -79,55 +119,72 @@ impl Relation {
 
     /// Number of (distinct) tuples.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.nrows
     }
 
     /// True if the relation holds no tuples.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.nrows == 0
     }
 
     /// The full row range.
     pub fn all_rows(&self) -> RowRange {
         RowRange {
             start: 0,
-            end: self.rows.len() as u32,
+            end: self.nrows as u32,
         }
     }
 
-    /// Inserts a tuple; returns `true` if it was new.
+    /// Inserts a tuple; returns `true` if it was new. Accepts any slice of
+    /// values (owned `Tuple`s and flat-store row slices alike) and copies
+    /// it into the flat buffer — the caller keeps ownership.
     ///
     /// # Panics
     /// Panics if the tuple arity does not match the relation arity.
-    pub fn insert(&mut self, t: Tuple) -> bool {
+    pub fn insert(&mut self, t: impl AsRef<[Value]>) -> bool {
+        let t = t.as_ref();
         assert_eq!(t.len(), self.arity, "tuple arity mismatch");
-        if self.dedup.contains(&t) {
+        let h = hash_slice(t);
+        let arity = self.arity;
+        let data = &self.data;
+        let bucket = self.dedup.entry(h).or_default();
+        if bucket
+            .iter()
+            .any(|&r| &data[r as usize * arity..(r as usize + 1) * arity] == t)
+        {
             return false;
         }
-        self.dedup.insert(t.clone());
-        self.rows.push(t);
+        bucket.push(self.nrows as u32);
+        self.data.extend_from_slice(t);
+        self.nrows += 1;
         true
     }
 
     /// Membership test.
     pub fn contains(&self, t: &[Value]) -> bool {
-        self.dedup.contains(t)
+        if t.len() != self.arity {
+            return false;
+        }
+        match self.dedup.get(&hash_slice(t)) {
+            None => false,
+            Some(bucket) => bucket.iter().any(|&r| self.row(r) == t),
+        }
     }
 
-    /// The tuple at `row`.
+    /// The tuple at `row`, as a slice into the flat store.
     pub fn row(&self, row: u32) -> &[Value] {
-        &self.rows[row as usize]
+        let r = row as usize;
+        &self.data[r * self.arity..(r + 1) * self.arity]
     }
 
     /// Iterates over all tuples in insertion order.
-    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
-        self.rows.iter()
+    pub fn iter(&self) -> impl Iterator<Item = &[Value]> {
+        (0..self.nrows as u32).map(move |r| self.row(r))
     }
 
     /// Iterates over the tuples of a row range.
-    pub fn iter_range(&self, range: RowRange) -> impl Iterator<Item = (u32, &Tuple)> {
-        (range.start..range.end.min(self.rows.len() as u32))
-            .map(move |r| (r, &self.rows[r as usize]))
+    pub fn iter_range(&self, range: RowRange) -> impl Iterator<Item = (u32, &[Value])> {
+        (range.start..range.end.min(self.nrows as u32)).map(move |r| (r, self.row(r)))
     }
 
     /// Row ids within `range` whose columns `cols` equal `key`, using (and
@@ -139,25 +196,30 @@ impl Relation {
         debug_assert_eq!(cols.len(), key.len());
         // Fast path: the index exists and is current — shared read lock.
         {
-            let indexes = self.indexes.read();
+            let indexes = self.indexes.read().expect("index lock poisoned");
             if let Some(idx) = indexes.get(cols) {
-                if idx.built == self.rows.len() {
-                    return Self::index_hits(idx, key, range);
+                if idx.built == self.nrows {
+                    return self.index_hits(idx, key, range);
                 }
             }
         }
         self.ensure_index(cols);
-        let indexes = self.indexes.read();
-        Self::index_hits(&indexes[cols], key, range)
+        let indexes = self.indexes.read().expect("index lock poisoned");
+        self.index_hits(&indexes[cols], key, range)
     }
 
-    fn index_hits(idx: &ColumnIndex, key: &[Value], range: RowRange) -> Vec<u32> {
-        match idx.map.get(key) {
+    fn index_hits(&self, idx: &ColumnIndex, key: &[Value], range: RowRange) -> Vec<u32> {
+        match idx.map.get(&hash_slice(key)) {
             None => Vec::new(),
             Some(rows) => rows
                 .iter()
                 .copied()
-                .filter(|&r| range.contains(r))
+                .filter(|&r| {
+                    range.contains(r) && {
+                        let row = self.row(r);
+                        idx.cols.iter().zip(key).all(|(&c, k)| row[c] == *k)
+                    }
+                })
                 .collect(),
         }
     }
@@ -167,36 +229,46 @@ impl Relation {
     /// [`Relation::probe`]; call it eagerly before sharing the relation
     /// across threads.
     pub fn ensure_index(&self, cols: &[usize]) {
-        let mut indexes = self.indexes.write();
+        let mut indexes = self.indexes.write().expect("index lock poisoned");
         let idx = indexes.entry(cols.to_vec()).or_insert_with(|| ColumnIndex {
             cols: cols.to_vec(),
-            map: HashMap::new(),
+            map: PrehashedMap::default(),
             built: 0,
         });
-        for r in idx.built..self.rows.len() {
-            let k: Vec<Value> = idx.cols.iter().map(|&c| self.rows[r][c]).collect();
-            idx.map.entry(k).or_default().push(r as u32);
+        let mut key: Vec<Value> = Vec::with_capacity(idx.cols.len());
+        for r in idx.built..self.nrows {
+            let row = &self.data[r * self.arity..(r + 1) * self.arity];
+            key.clear();
+            key.extend(idx.cols.iter().map(|&c| row[c]));
+            idx.map.entry(hash_slice(&key)).or_default().push(r as u32);
         }
-        idx.built = self.rows.len();
+        idx.built = self.nrows;
     }
 
     /// Row ids within `range` exactly equal to `key` (all columns bound).
-    /// Fast path over the dedup set when the range covers everything.
+    /// Fast path over the dedup buckets when the range covers everything.
     pub fn probe_all_columns(&self, key: &[Value], range: RowRange) -> Vec<u32> {
-        if range.start == 0 && range.end as usize >= self.rows.len() {
-            return if self.dedup.contains(key) {
+        if range.start == 0 && range.end as usize >= self.nrows {
+            return if self.contains(key) {
                 vec![u32::MAX] // sentinel row id; only existence matters
             } else {
                 Vec::new()
             };
         }
-        let cols: Vec<usize> = (0..self.arity).collect();
-        self.probe(&cols, key, range)
+        // Partial range: dedup buckets already map content hash → row ids.
+        match self.dedup.get(&hash_slice(key)) {
+            None => Vec::new(),
+            Some(bucket) => bucket
+                .iter()
+                .copied()
+                .filter(|&r| range.contains(r) && self.row(r) == key)
+                .collect(),
+        }
     }
 
     /// All tuples, sorted, for deterministic comparisons in tests.
     pub fn sorted_tuples(&self) -> Vec<Tuple> {
-        let mut v = self.rows.clone();
+        let mut v: Vec<Tuple> = self.iter().map(<[Value]>::to_vec).collect();
         v.sort();
         v
     }
@@ -206,16 +278,19 @@ impl Clone for Relation {
     fn clone(&self) -> Self {
         Relation {
             arity: self.arity,
-            rows: self.rows.clone(),
+            data: self.data.clone(),
+            nrows: self.nrows,
             dedup: self.dedup.clone(),
-            indexes: RwLock::new(HashMap::new()),
+            indexes: RwLock::new(FxHashMap::default()),
         }
     }
 }
 
 impl PartialEq for Relation {
     fn eq(&self, other: &Self) -> bool {
-        self.arity == other.arity && self.dedup == other.dedup
+        self.arity == other.arity
+            && self.nrows == other.nrows
+            && self.iter().all(|row| other.contains(row))
     }
 }
 
@@ -238,6 +313,29 @@ mod tests {
         assert_eq!(r.len(), 2);
         assert!(r.contains(&t(&[1, 2])));
         assert!(!r.contains(&t(&[9, 9])));
+    }
+
+    #[test]
+    fn flat_storage_layout_is_contiguous() {
+        let mut r = Relation::new(3);
+        r.insert(t(&[1, 2, 3]));
+        r.insert(t(&[4, 5, 6]));
+        assert_eq!(r.row(0), &t(&[1, 2, 3])[..]);
+        assert_eq!(r.row(1), &t(&[4, 5, 6])[..]);
+        // Appending does not disturb earlier row slices' contents.
+        r.insert(t(&[7, 8, 9]));
+        assert_eq!(r.row(0), &t(&[1, 2, 3])[..]);
+        assert_eq!(r.row(2), &t(&[7, 8, 9])[..]);
+    }
+
+    #[test]
+    fn insert_accepts_borrowed_row_slices() {
+        let mut a = Relation::new(2);
+        a.insert(t(&[1, 2]));
+        let row: Tuple = a.row(0).to_vec();
+        let mut b = Relation::new(2);
+        assert!(b.insert(&row[..]));
+        assert!(b.contains(&row));
     }
 
     #[test]
@@ -278,6 +376,19 @@ mod tests {
     }
 
     #[test]
+    fn probe_all_columns_partial_range() {
+        let mut r = Relation::new(2);
+        r.insert(t(&[1, 2]));
+        r.insert(t(&[3, 4]));
+        r.insert(t(&[5, 6]));
+        let delta = RowRange { start: 1, end: 3 };
+        assert_eq!(r.probe_all_columns(&t(&[3, 4]), delta), vec![1]);
+        assert!(r.probe_all_columns(&t(&[1, 2]), delta).is_empty());
+        // Full range uses the existence fast path.
+        assert!(!r.probe_all_columns(&t(&[1, 2]), r.all_rows()).is_empty());
+    }
+
+    #[test]
     fn iter_range_views() {
         let mut r = Relation::new(1);
         r.insert(t(&[1]));
@@ -288,6 +399,44 @@ mod tests {
         let delta = RowRange { start: 2, end: 3 };
         let vals: Vec<_> = r.iter_range(delta).map(|(_, t)| t[0]).collect();
         assert_eq!(vals, vec![Value::Int(3)]);
+    }
+
+    #[test]
+    fn row_range_split_covers_exactly() {
+        let range = RowRange { start: 3, end: 100 };
+        for n in [1usize, 2, 3, 7, 64, 200] {
+            let parts = range.split(n);
+            assert!(parts.len() <= n.max(1));
+            assert_eq!(parts[0].start, 3);
+            assert_eq!(parts.last().unwrap().end, 100);
+            for w in parts.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "chunks must tile");
+            }
+            assert_eq!(parts.iter().map(|p| p.len()).sum::<usize>(), range.len());
+        }
+        assert!(RowRange { start: 5, end: 5 }.split(4).is_empty());
+    }
+
+    #[test]
+    fn row_range_intersect() {
+        let a = RowRange { start: 0, end: 10 };
+        let b = RowRange { start: 6, end: 20 };
+        assert_eq!(a.intersect(b), RowRange { start: 6, end: 10 });
+        let c = RowRange { start: 12, end: 14 };
+        assert!(a.intersect(c).is_empty());
+    }
+
+    #[test]
+    fn equality_is_set_semantics() {
+        let mut a = Relation::new(2);
+        let mut b = Relation::new(2);
+        a.insert(t(&[1, 2]));
+        a.insert(t(&[3, 4]));
+        b.insert(t(&[3, 4]));
+        b.insert(t(&[1, 2]));
+        assert_eq!(a, b); // insertion order does not matter
+        b.insert(t(&[5, 6]));
+        assert_ne!(a, b);
     }
 
     #[test]

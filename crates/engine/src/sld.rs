@@ -26,7 +26,7 @@ use semrec_datalog::literal::Literal;
 use semrec_datalog::program::Program;
 use semrec_datalog::subst::Subst;
 use semrec_datalog::symbol::Symbol;
-use semrec_datalog::term::Term;
+use semrec_datalog::term::{Term, Value};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -283,7 +283,7 @@ fn without(goals: &[Literal], i: usize) -> Vec<Literal> {
         .collect()
 }
 
-fn bind_row(theta: &mut Subst, atom: &Atom, row: &Tuple) -> bool {
+fn bind_row(theta: &mut Subst, atom: &Atom, row: &[Value]) -> bool {
     for (arg, v) in atom.args.iter().zip(row) {
         match theta.apply_term(*arg) {
             Term::Const(c) => {

@@ -39,6 +39,73 @@ impl AddAssign for Stats {
     }
 }
 
+/// Counters for the persistent worker pool, accumulated across every
+/// parallel round of an evaluation. All zero in serial mode.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct PoolStats {
+    /// Rounds executed on the pool (rounds with a single indivisible task
+    /// run inline and are not counted).
+    pub parallel_rounds: u64,
+    /// Tasks dispatched (a plan split across workers counts once per chunk).
+    pub tasks: u64,
+    /// Sum of per-task execution time across workers, in nanoseconds.
+    pub busy_nanos: u64,
+    /// Sum of per-round wall-clock batch time, in nanoseconds.
+    pub wall_nanos: u64,
+    /// Time spent eagerly building indexes before parallel phases.
+    pub index_build_nanos: u64,
+    /// Seed-scan rows dispatched across all parallel rounds.
+    pub rows_dispatched: u64,
+    /// Seed-scan rows of the most recent parallel round.
+    pub last_round_rows: u64,
+    /// Wall-clock nanoseconds of the most recent parallel round.
+    pub last_round_nanos: u64,
+    /// Worker threads in the pool (0 until the pool first runs).
+    pub workers: usize,
+}
+
+impl PoolStats {
+    /// Fraction of worker capacity spent executing tasks: total busy time
+    /// over `workers ×` total batch wall time. 0 when no round ran.
+    pub fn busy_fraction(&self) -> f64 {
+        let capacity = self.wall_nanos.saturating_mul(self.workers as u64);
+        if capacity == 0 {
+            return 0.0;
+        }
+        (self.busy_nanos as f64 / capacity as f64).min(1.0)
+    }
+
+    /// Aggregate seed-scan rows per second over all parallel rounds.
+    pub fn rows_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            return 0.0;
+        }
+        self.rows_dispatched as f64 * 1e9 / self.wall_nanos as f64
+    }
+
+    /// Seed-scan rows per second of the most recent parallel round.
+    pub fn last_round_rows_per_sec(&self) -> f64 {
+        if self.last_round_nanos == 0 {
+            return 0.0;
+        }
+        self.last_round_rows as f64 * 1e9 / self.last_round_nanos as f64
+    }
+}
+
+impl fmt::Display for PoolStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "par_rounds={} tasks={} busy={:.0}% rows/s={:.0} index_ms={:.2}",
+            self.parallel_rounds,
+            self.tasks,
+            self.busy_fraction() * 100.0,
+            self.rows_per_sec(),
+            self.index_build_nanos as f64 / 1e6,
+        )
+    }
+}
+
 impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

@@ -184,7 +184,7 @@ impl<'db> TopDown<'db> {
                 let rows: Vec<Tuple> = rel
                     .iter()
                     .filter(|r| canon_matches(goal, r))
-                    .cloned()
+                    .map(<[Value]>::to_vec)
                     .collect();
                 self.add_answers(goal, rows);
             }

@@ -7,8 +7,7 @@
 //! 2 levels respectively and therefore pay the sequence-commitment cost —
 //! experiment E1 sweeps all three.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng;
 use semrec_datalog::term::Value;
 use semrec_engine::Database;
 
@@ -46,7 +45,7 @@ impl Default for FanoutParams {
 /// Generates an IC-consistent database: every node carries `fanout`
 /// witnesses, so every edge target trivially has one.
 pub fn generate(params: &FanoutParams) -> Database {
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = Rng::seed_from_u64(params.seed);
     let mut db = Database::new();
     let n = params.nodes.max(2);
     for i in 0..n - 1 {

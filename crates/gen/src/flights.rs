@@ -7,8 +7,7 @@
 //! recursive rule on `K = intl` / `K != intl` and drops the hub probe from
 //! the international branch.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng;
 use semrec_datalog::term::Value;
 use semrec_engine::Database;
 
@@ -49,7 +48,7 @@ impl Default for FlightsParams {
 /// Generates an IC-consistent flight network: international flights always
 /// land at hubs; domestic flights land anywhere.
 pub fn generate(params: &FlightsParams) -> Database {
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = Rng::seed_from_u64(params.seed);
     let mut db = Database::new();
     let n = params.airports.max(2);
     let hubs: Vec<bool> = (0..n)

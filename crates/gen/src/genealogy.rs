@@ -7,8 +7,7 @@
 //! anyone with three descendant generations is at least 60 — the IC can
 //! never be violated.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng;
 use semrec_datalog::term::Value;
 use semrec_engine::Database;
 
@@ -49,7 +48,7 @@ impl Default for GenealogyParams {
 /// height `h` above the leaves has age `leaf_age + Σ gaps` with gaps in
 /// `20..=35`, so the 3-generations-below-50 denial holds by construction.
 pub fn generate(params: &GenealogyParams) -> Database {
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = Rng::seed_from_u64(params.seed);
     let mut db = Database::new();
     let mut next_id = 0i64;
 
@@ -57,7 +56,7 @@ pub fn generate(params: &GenealogyParams) -> Database {
         // Build top-down, assign ages top-down with decreasing gaps — the
         // root's age must cover the full depth.
         let depth = params.depth.max(1);
-        let root_age = 18 + 25 * depth as i64 + rng.gen_range(0..10);
+        let root_age = 18 + 25 * depth as i64 + rng.gen_range(0..10i64);
         let root = next_id;
         next_id += 1;
         let mut frontier: Vec<(i64, i64)> = vec![(root, root_age)];
@@ -65,7 +64,7 @@ pub fn generate(params: &GenealogyParams) -> Database {
             let mut next_frontier = Vec::new();
             for &(parent, parent_age) in &frontier {
                 for _ in 0..params.branching.max(1) {
-                    let gap = rng.gen_range(20..=35);
+                    let gap = rng.gen_range(20..=35i64);
                     let age = (parent_age - gap).max(0);
                     let child = next_id;
                     next_id += 1;

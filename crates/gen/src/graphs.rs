@@ -1,7 +1,6 @@
 //! Generic graph data for engine and detection benchmarks.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng;
 use semrec_datalog::term::Value;
 use semrec_engine::Database;
 
@@ -39,7 +38,7 @@ pub fn tree(pred: &str, n: usize, b: usize) -> Database {
 
 /// A random digraph with `n` nodes and `m` distinct edges (no self loops).
 pub fn random_digraph(pred: &str, n: usize, m: usize, seed: u64) -> Database {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut db = Database::new();
     let n = n.max(2);
     let mut inserted = 0;

@@ -26,6 +26,7 @@ pub mod graphs;
 pub mod org;
 pub mod programs;
 pub mod repair;
+pub mod rng;
 pub mod university;
 
 use semrec_datalog::constraint::Constraint;

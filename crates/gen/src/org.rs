@@ -2,8 +2,7 @@
 //! E with rank R), `same_level(E1, E2, E3)` and `experienced(E)`, with the
 //! IC "executive-ranked bosses are experienced".
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng;
 use semrec_datalog::term::Value;
 use semrec_engine::Database;
 
@@ -51,7 +50,7 @@ impl Default for OrgParams {
 /// every `executive` is inserted into `experienced` (enforcing ic1), and
 /// other employees are experienced with probability `experienced_frac`.
 pub fn generate(params: &OrgParams) -> Database {
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = Rng::seed_from_u64(params.seed);
     let mut db = Database::new();
     let n = params.employees.max(2);
     let b = params.branching.max(1);
@@ -106,7 +105,7 @@ pub fn generate(params: &OrgParams) -> Database {
         if pool.len() < 3 {
             continue;
         }
-        let pick = |rng: &mut StdRng| pool[rng.gen_range(0..pool.len())] as i64;
+        let pick = |rng: &mut Rng| pool[rng.gen_range(0..pool.len())] as i64;
         let (a, b2, c) = (pick(&mut rng), pick(&mut rng), pick(&mut rng));
         if db.insert(
             "same_level",

@@ -6,9 +6,7 @@
 //! a chain of binary atoms over a shuffled variable list), safe, and
 //! linearly recursive with one exit rule.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng;
 use semrec_datalog::atom::Atom;
 use semrec_datalog::literal::Literal;
 use semrec_datalog::program::Program;
@@ -43,7 +41,7 @@ impl Default for RandomLinearParams {
 /// predicates `e0` (the exit relation, arity = `arity`) and `b<r>x<i>`
 /// (binary chain relations of rule `r`).
 pub fn random_linear(params: &RandomLinearParams) -> Program {
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = Rng::seed_from_u64(params.seed);
     let n = params.arity.clamp(1, 6);
     let head_vars: Vec<Term> = (0..n).map(|i| Term::var(&format!("X{i}"))).collect();
     let head = Atom::new("p", head_vars.clone());
@@ -61,7 +59,7 @@ pub fn random_linear(params: &RandomLinearParams) -> Program {
         // A chain of binary atoms over a shuffled copy covers every
         // variable and keeps the body connected.
         let mut shuffled = vars.clone();
-        shuffled.shuffle(&mut rng);
+        rng.shuffle(&mut shuffled);
         let mut body: Vec<Literal> = Vec::new();
         if shuffled.len() == 1 {
             body.push(Literal::Atom(Atom::new(

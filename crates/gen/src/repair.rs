@@ -88,9 +88,9 @@ fn remove_facts(db: &mut Database, remove: &[(semrec_datalog::Pred, Tuple)]) {
         for t in rel.iter() {
             let drop = remove
                 .iter()
-                .any(|(p, r)| *p == pred && r == t);
+                .any(|(p, r)| *p == pred && r.as_slice() == t);
             if !drop {
-                next.insert(pred, t.clone());
+                next.insert(pred, t.to_vec());
             }
         }
     }

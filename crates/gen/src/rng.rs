@@ -1,0 +1,201 @@
+//! A tiny deterministic PRNG (SplitMix64) replacing the external `rand`
+//! crate, per the workspace's offline-build policy (std-only deps).
+//!
+//! The API mirrors the subset of `rand` the generators used —
+//! `seed_from_u64`, `gen_range`, `gen_bool`, `shuffle` — so call sites
+//! read the same. Streams differ from `rand::StdRng`, so any counters in
+//! EXPERIMENTS.md tied to old seeds were regenerated.
+//!
+//! SplitMix64 (Steele, Lea & Flood 2014) passes BigCrush, has a full
+//! 2^64 period for every seed, and is a handful of arithmetic ops — more
+//! than enough statistical quality for workload generation, and *not* for
+//! cryptography.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A seeded SplitMix64 generator.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a seed. Identical seeds yield identical
+    /// streams on every platform.
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        Rng { state: seed }
+    }
+
+    /// The next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value below `bound` (> 0), by widening multiply —
+    /// Lemire's unbiased-enough-for-workloads fast range reduction.
+    #[inline]
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// A uniform value from a range. Supports `Range` and
+    /// `RangeInclusive` over `usize` and `i64`, like `rand::Rng`.
+    ///
+    /// # Panics
+    /// Panics on an empty range.
+    #[inline]
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        // 53 random bits → uniform f64 in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+/// Range types [`Rng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws a uniform value.
+    fn sample(self, rng: &mut Rng) -> Self::Output;
+}
+
+impl SampleRange for Range<usize> {
+    type Output = usize;
+    #[inline]
+    fn sample(self, rng: &mut Rng) -> usize {
+        assert!(self.start < self.end, "gen_range on empty range");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+impl SampleRange for RangeInclusive<usize> {
+    type Output = usize;
+    #[inline]
+    fn sample(self, rng: &mut Rng) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range on empty range");
+        let span = (hi - lo) as u64;
+        if span == u64::MAX {
+            return rng.next_u64() as usize;
+        }
+        lo + rng.below(span + 1) as usize
+    }
+}
+
+impl SampleRange for Range<i64> {
+    type Output = i64;
+    #[inline]
+    fn sample(self, rng: &mut Rng) -> i64 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        let span = self.end.wrapping_sub(self.start) as u64;
+        self.start.wrapping_add(rng.below(span) as i64)
+    }
+}
+
+impl SampleRange for RangeInclusive<i64> {
+    type Output = i64;
+    #[inline]
+    fn sample(self, rng: &mut Rng) -> i64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range on empty range");
+        let span = hi.wrapping_sub(lo) as u64;
+        if span == u64::MAX {
+            return rng.next_u64() as i64;
+        }
+        lo.wrapping_add(rng.below(span + 1) as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(43);
+        assert_ne!(Rng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(0..17usize);
+            assert!(x < 17);
+            let y = rng.gen_range(20..=35i64);
+            assert!((20..=35).contains(&y));
+            let z = rng.gen_range(-5..5i64);
+            assert!((-5..5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn range_hits_all_values() {
+        let mut rng = Rng::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Inclusive endpoint is reachable.
+        let mut top = false;
+        for _ in 0..1000 {
+            top |= rng.gen_range(0..=3usize) == 3;
+        }
+        assert!(top);
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_rate() {
+        let mut rng = Rng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "50! odds say shuffled");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        Rng::seed_from_u64(0).gen_range(3..3usize);
+    }
+}

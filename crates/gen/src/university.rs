@@ -3,8 +3,7 @@
 //! program) and large stipends imply doctoral students (ic2, driving the
 //! introduction of the small `doctoral` relation into `eval_support`).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng;
 use semrec_datalog::term::Value;
 use semrec_engine::Database;
 
@@ -71,7 +70,7 @@ fn field_v(i: usize) -> Value {
 /// ic1 (everyone upstream inherits it). Students with stipends above
 /// $10,000 are all inserted into `doctoral` (enforcing ic2).
 pub fn generate(params: &UniversityParams) -> Database {
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = Rng::seed_from_u64(params.seed);
     let mut db = Database::new();
     let np = params.professors.max(2);
     let ns = params.students.max(1);
@@ -127,9 +126,9 @@ pub fn generate(params: &UniversityParams) -> Database {
         db.insert("super", vec![prof(sup), student(s), thesis(s)]);
         let rich = rng.gen_bool(params.rich_frac.clamp(0.0, 1.0));
         let amount = if rich {
-            rng.gen_range(10_001..30_000)
+            rng.gen_range(10_001..30_000i64)
         } else {
-            rng.gen_range(1_000..=10_000)
+            rng.gen_range(1_000..=10_000i64)
         };
         let grant = Value::str(&format!("grant{}", rng.gen_range(0..np)));
         db.insert(

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 gate + bench emission, one reproducible command, fully offline.
+#
+# The workspace's offline-build policy (std-only deps, see DESIGN.md
+# "Engine internals") makes --offline a hard guarantee, not an
+# optimization: if this script fails at dependency resolution, a
+# registry dep leaked back into a manifest.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline
+cargo run -p semrec-bench --release --offline --bin harness -- bench --json --quick

@@ -1,0 +1,115 @@
+//! Serial-vs-parallel agreement: for every `gen` workload generator and
+//! both fixpoint strategies, evaluation with 1, 2, and 4 worker threads
+//! must produce the identical IDB (compared as `BTreeMap`-normalized
+//! sorted-tuple maps) and identical workload counters.
+
+use semrec::datalog::{Pred, Program};
+use semrec::engine::{Database, Evaluator, Strategy, Tuple};
+use semrec::gen::{fanout, genealogy, graphs, org, parse_scenario, university};
+use std::collections::BTreeMap;
+
+/// Evaluates and normalizes the full IDB into a deterministic map.
+fn idb_map(
+    db: &Database,
+    prog: &Program,
+    strategy: Strategy,
+    threads: usize,
+) -> (BTreeMap<Pred, Vec<Tuple>>, semrec::engine::Stats) {
+    let mut ev = Evaluator::new(db, prog, strategy)
+        .unwrap()
+        .with_parallelism(threads);
+    ev.run().unwrap();
+    let res = ev.finish();
+    let map = res
+        .idb
+        .iter()
+        .map(|(&p, rel)| (p, rel.sorted_tuples()))
+        .collect();
+    (map, res.stats)
+}
+
+fn workloads() -> Vec<(&'static str, Program, Database)> {
+    let mut w = Vec::new();
+    {
+        let s = parse_scenario(org::PROGRAM);
+        let db = org::generate(&org::OrgParams {
+            employees: 120,
+            seed: 11,
+            ..org::OrgParams::default()
+        });
+        w.push(("org", s.program, db));
+    }
+    {
+        let s = parse_scenario(university::PROGRAM);
+        let db = university::generate(&university::UniversityParams {
+            professors: 30,
+            students: 80,
+            chain_len: 4,
+            seed: 12,
+            ..university::UniversityParams::default()
+        });
+        w.push(("university", s.program, db));
+    }
+    {
+        let s = parse_scenario(genealogy::PROGRAM);
+        let db = genealogy::generate(&genealogy::GenealogyParams {
+            families: 3,
+            depth: 4,
+            branching: 3,
+            seed: 13,
+        });
+        w.push(("genealogy", s.program, db));
+    }
+    {
+        let s = parse_scenario(fanout::PROGRAM);
+        let db = fanout::generate(&fanout::FanoutParams {
+            nodes: 200,
+            extra_edges: 300,
+            fanout: 2,
+            seed: 14,
+        });
+        w.push(("fanout", s.program, db));
+    }
+    {
+        let prog: Program = "t(X,Y) :- e(X,Y). t(X,Y) :- e(X,Z), t(Z,Y)."
+            .parse()
+            .unwrap();
+        let db = graphs::random_digraph("e", 120, 400, 15);
+        w.push(("random_digraph", prog, db));
+    }
+    w
+}
+
+#[test]
+fn parallel_agrees_with_serial_on_all_generators() {
+    for (name, prog, db) in workloads() {
+        for strategy in [Strategy::Naive, Strategy::SemiNaive] {
+            let (base, base_stats) = idb_map(&db, &prog, strategy, 1);
+            assert!(
+                base.values().any(|rows| !rows.is_empty()),
+                "{name}: workload derived nothing — test is vacuous"
+            );
+            for threads in [2, 4] {
+                let (par, par_stats) = idb_map(&db, &prog, strategy, threads);
+                assert_eq!(
+                    base, par,
+                    "{name} ({strategy:?}): IDB diverged at {threads} threads"
+                );
+                // Partitioning must not change the amount of work, only
+                // where it runs.
+                assert_eq!(
+                    base_stats.derived, par_stats.derived,
+                    "{name} ({strategy:?}): derived drifted at {threads} threads"
+                );
+                assert_eq!(
+                    base_stats.rows_scanned, par_stats.rows_scanned,
+                    "{name} ({strategy:?}): rows_scanned drifted at {threads} threads"
+                );
+                assert_eq!(
+                    base_stats.inserted, par_stats.inserted,
+                    "{name} ({strategy:?}): inserted drifted at {threads} threads"
+                );
+            }
+        }
+    }
+}

@@ -1,46 +1,55 @@
 //! Robustness: the parser must never panic — any input yields `Ok` or a
 //! positioned error — and everything it accepts must round-trip through
 //! `Display`.
+//!
+//! Seeded-loop rewrite of a former `proptest` suite (offline-build
+//! policy: no registry deps for `cargo test -q`).
 
-use proptest::prelude::*;
-use semrec::datalog::parser::{parse_unit, parse_atom};
+use semrec::datalog::parser::{parse_atom, parse_unit};
+use semrec::gen::rng::Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// A printable-character soup of random length.
+fn byte_soup(rng: &mut Rng) -> String {
+    let len = rng.gen_range(0..200usize);
+    (0..len)
+        .map(|_| {
+            // Mostly ASCII printables, with some multi-byte chars mixed in.
+            match rng.gen_range(0..20usize) {
+                0 => 'λ',
+                1 => '→',
+                2 => '\u{1F600}',
+                3 => '\t',
+                4 => '\n',
+                _ => rng.gen_range(0x20..0x7Fi64) as u8 as char,
+            }
+        })
+        .collect()
+}
 
-    /// Arbitrary byte soup never panics the parser.
-    #[test]
-    fn parse_unit_never_panics(src in "\\PC*") {
+/// Arbitrary byte soup never panics the parser.
+#[test]
+fn parse_unit_never_panics() {
+    for case in 0u64..256 {
+        let mut rng = Rng::seed_from_u64(0x9A12 + case);
+        let src = byte_soup(&mut rng);
         let _ = parse_unit(&src);
     }
+}
 
-    /// Syntax-shaped soup (drawn from the token alphabet) never panics and
-    /// round-trips when accepted.
-    #[test]
-    fn tokenish_inputs_roundtrip(
-        tokens in proptest::collection::vec(
-            prop_oneof![
-                Just("p".to_string()),
-                Just("q".to_string()),
-                Just("X".to_string()),
-                Just("Y".to_string()),
-                Just("42".to_string()),
-                Just("(".to_string()),
-                Just(")".to_string()),
-                Just(",".to_string()),
-                Just(".".to_string()),
-                Just(":-".to_string()),
-                Just("->".to_string()),
-                Just("ic".to_string()),
-                Just(":".to_string()),
-                Just("!".to_string()),
-                Just("<=".to_string()),
-                Just("=".to_string()),
-                Just("\"s\"".to_string()),
-            ],
-            0..24,
-        ),
-    ) {
+/// Syntax-shaped soup (drawn from the token alphabet) never panics and
+/// round-trips when accepted.
+#[test]
+fn tokenish_inputs_roundtrip() {
+    const ALPHABET: &[&str] = &[
+        "p", "q", "X", "Y", "42", "(", ")", ",", ".", ":-", "->", "ic", ":", "!", "<=", "=",
+        "\"s\"",
+    ];
+    for case in 0u64..256 {
+        let mut rng = Rng::seed_from_u64(0xAB34 + case);
+        let n = rng.gen_range(0..24usize);
+        let tokens: Vec<&str> = (0..n)
+            .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())])
+            .collect();
         let src = tokens.join(" ");
         if let Ok(unit) = parse_unit(&src) {
             // Whatever parsed must re-parse identically from its Display.
@@ -52,15 +61,23 @@ proptest! {
                 .chain(unit.constraints.iter().map(|c| format!("{c}\n")))
                 .collect();
             let back = parse_unit(&rendered).expect("display must re-parse");
-            prop_assert_eq!(unit.rules, back.rules);
-            prop_assert_eq!(unit.facts, back.facts);
-            prop_assert_eq!(unit.constraints.len(), back.constraints.len());
+            assert_eq!(unit.rules, back.rules, "case {case}: {src}");
+            assert_eq!(unit.facts, back.facts, "case {case}: {src}");
+            assert_eq!(
+                unit.constraints.len(),
+                back.constraints.len(),
+                "case {case}: {src}"
+            );
         }
     }
+}
 
-    /// Atom parsing is total (no panics) on arbitrary input.
-    #[test]
-    fn parse_atom_never_panics(src in "\\PC*") {
+/// Atom parsing is total (no panics) on arbitrary input.
+#[test]
+fn parse_atom_never_panics() {
+    for case in 0u64..256 {
+        let mut rng = Rng::seed_from_u64(0xBC56 + case);
+        let src = byte_soup(&mut rng);
         let _ = parse_atom(&src);
     }
 }
