@@ -6,21 +6,49 @@
 //! cargo run -p semrec-bench --release --bin harness -- e1 e4 --quick
 //! cargo run -p semrec-bench --release --bin harness -- all --markdown
 //! cargo run -p semrec-bench --release --bin harness -- bench --json
+//! cargo run -p semrec-bench --release --bin harness -- bench --baseline BENCH_fixpoint.json
+//! cargo run -p semrec-bench --release --bin harness -- bench --quick --assert-scaling
 //! ```
 //!
 //! `bench` times the semi-naive fixpoint on the gen workloads at 1/2/4
-//! worker threads; with `--json` it also writes `BENCH_fixpoint.json` at
-//! the repo root (`--quick` shrinks sizes for the CI gate).
+//! worker threads plus the end-to-end semantic (optimizer) speedup; with
+//! `--json` it also writes `BENCH_fixpoint.json` at the repo root
+//! (`--quick` shrinks sizes for the CI gate). `--baseline <file>` diffs
+//! the fresh run against a prior JSON and prints per-workload speedups.
+//! `--assert-scaling` exits nonzero if 4-thread time exceeds 1-thread
+//! time by more than 10% on any workload with `rows_idb >= 50_000`.
 
+use semrec_bench::baseline::{diff_table, parse_baseline};
 use semrec_bench::experiments::{run, Scale, ALL};
-use semrec_bench::fixpoint::{run_fixpoint_bench, to_json, to_table};
+use semrec_bench::fixpoint::{
+    check_scaling, run_fixpoint_bench_gated, run_semantic_bench, semantic_table,
+    to_json_with_semantic, to_table,
+};
 use std::path::Path;
+use std::process::ExitCode;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_path: Option<String> = None;
+    let mut args: Vec<String> = Vec::new();
+    let mut it = raw.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--baseline" {
+            match it.next() {
+                Some(p) => baseline_path = Some(p),
+                None => {
+                    eprintln!("--baseline requires a file argument");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            args.push(a);
+        }
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let markdown = args.iter().any(|a| a == "--markdown");
     let json = args.iter().any(|a| a == "--json");
+    let assert_scaling = args.iter().any(|a| a == "--assert-scaling");
     let mut ids: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -28,15 +56,51 @@ fn main() {
         .collect();
 
     if ids.contains(&"bench") {
-        let results = run_fixpoint_bench(quick);
+        // Read the baseline up front: --json may overwrite the very file
+        // (the usual flow diffs a fresh run against the checked-in one).
+        let baseline = match &baseline_path {
+            Some(path) => match std::fs::read_to_string(path) {
+                Ok(src) => match parse_baseline(&src) {
+                    Ok(base) => Some(base),
+                    Err(e) => {
+                        eprintln!("cannot parse baseline {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                Err(e) => {
+                    eprintln!("cannot read baseline {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => None,
+        };
+        // --assert-scaling needs a workload above the gate's IDB floor
+        // even at quick sizes.
+        let results = run_fixpoint_bench_gated(quick, !quick || assert_scaling);
         print!("{}", to_table(&results));
+        let semantic = run_semantic_bench(quick);
+        print!("{}", semantic_table(&semantic));
         if json {
             let out = Path::new(env!("CARGO_MANIFEST_DIR"))
                 .join("../../BENCH_fixpoint.json");
-            std::fs::write(&out, to_json(&results)).expect("write BENCH_fixpoint.json");
+            std::fs::write(&out, to_json_with_semantic(&results, &semantic))
+                .expect("write BENCH_fixpoint.json");
             println!("wrote {}", out.display());
         }
-        return;
+        if let (Some(base), Some(path)) = (&baseline, &baseline_path) {
+            println!("\nspeedup vs baseline {path} (base ms / fresh ms):");
+            print!("{}", diff_table(&results, base));
+        }
+        if assert_scaling {
+            match check_scaling(&results) {
+                Ok(summary) => println!("{summary}"),
+                Err(report) => {
+                    eprintln!("{report}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        return ExitCode::SUCCESS;
     }
 
     if ids.is_empty() || ids.contains(&"all") {
@@ -60,4 +124,5 @@ fn main() {
             ),
         }
     }
+    ExitCode::SUCCESS
 }

@@ -703,6 +703,9 @@ pub fn e10(scale: Scale) -> Vec<Table> {
         "E10 — parallel evaluation (engine extension)",
         &["threads", "time", "speedup", "rows (invariant)"],
     );
+    // Untimed warmup: without it the serial baseline absorbs the
+    // process's cold-start cost alone and inflates the speedups.
+    semrec_engine::evaluate_parallel(&db, &program, Strategy::SemiNaive, 1).unwrap();
     let mut base = None;
     for threads in [1usize, 2, 4] {
         let (res, d) = timed(|| {

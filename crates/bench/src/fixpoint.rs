@@ -7,10 +7,16 @@
 //! `Instant`-based wall timing, median of N runs.
 
 use semrec_datalog::program::Program;
-use semrec_engine::{Database, Evaluator, Strategy};
+use semrec_engine::{evaluate, Database, Evaluator, Strategy};
 use semrec_gen::{fanout, org, parse_scenario, university};
 use std::fmt::Write as _;
 use std::time::Instant;
+
+/// IDB-size floor for the `--assert-scaling` gate: workloads below this
+/// finish in a few ms and are dominated by noise, not by scaling.
+pub const SCALING_MIN_IDB_ROWS: usize = 50_000;
+/// Maximum tolerated `t4/t1` ratio before the gate fails.
+pub const SCALING_MAX_RATIO: f64 = 1.10;
 
 /// One timed configuration.
 #[derive(Clone, Debug)]
@@ -68,30 +74,39 @@ fn bench_workload(
     thread_counts: &[usize],
     runs: usize,
 ) -> WorkloadResult {
-    let mut timings = Vec::new();
-    let mut rows_idb = 0;
-    let mut rounds = 0;
-    for &threads in thread_counts {
-        let mut samples = Vec::with_capacity(runs);
-        let mut busy = 0.0;
-        let mut rps = 0.0;
-        for _ in 0..runs.max(1) {
+    // One untimed warmup so the first timed config doesn't absorb the
+    // cold-start cost (page faults, lazily built indexes) alone.
+    let (_, _, _, mut rows_idb, mut rounds) = time_once(db, prog, thread_counts[0]);
+    // Interleave thread configs across passes instead of timing each
+    // config's runs back to back: on a shared/noisy machine, slow drift
+    // (throttling, allocator state) then hits every config equally and
+    // the medians stay comparable.
+    let mut samples: Vec<Vec<f64>> = vec![Vec::with_capacity(runs); thread_counts.len()];
+    let mut busy = vec![0.0; thread_counts.len()];
+    let mut rps = vec![0.0; thread_counts.len()];
+    for _ in 0..runs.max(1) {
+        for (i, &threads) in thread_counts.iter().enumerate() {
             let (ms, b, r, out, nrounds) = time_once(db, prog, threads);
-            samples.push(ms);
-            busy = b;
-            rps = r;
+            samples[i].push(ms);
+            busy[i] = b;
+            rps[i] = r;
             rows_idb = out;
             rounds = nrounds;
         }
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
-        let millis = samples[samples.len() / 2];
-        timings.push(Timing {
-            threads,
-            millis,
-            busy_fraction: busy,
-            rows_per_sec: rps,
-        });
     }
+    let timings = thread_counts
+        .iter()
+        .enumerate()
+        .map(|(i, &threads)| {
+            samples[i].sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+            Timing {
+                threads,
+                millis: samples[i][samples[i].len() / 2],
+                busy_fraction: busy[i],
+                rows_per_sec: rps[i],
+            }
+        })
+        .collect();
     WorkloadResult {
         name: name.to_owned(),
         params,
@@ -105,16 +120,25 @@ fn bench_workload(
 /// Runs the full fixpoint benchmark. `quick` shrinks sizes and run counts
 /// (used by `scripts/check.sh` so the tier-1 gate stays fast).
 pub fn run_fixpoint_bench(quick: bool) -> Vec<WorkloadResult> {
+    run_fixpoint_bench_gated(quick, !quick)
+}
+
+/// Like [`run_fixpoint_bench`], but `with_gate_workload` additionally
+/// forces a workload above [`SCALING_MIN_IDB_ROWS`] into quick mode so
+/// `--assert-scaling` has something to check (full mode always has one).
+pub fn run_fixpoint_bench_gated(quick: bool, with_gate_workload: bool) -> Vec<WorkloadResult> {
     let runs = if quick { 1 } else { 3 };
     let threads: &[usize] = &[1, 2, 4];
     let mut results = Vec::new();
 
     // Fanout k = 1 — the E1 headline scenario. fanout=64 is the ISSUE's
     // ≥2x target configuration; a second size shows scaling in `nodes`.
-    let fanout_sizes: &[(usize, usize, usize)] = if quick {
-        &[(150, 80, 64)]
-    } else {
+    let fanout_sizes: &[(usize, usize, usize)] = if !quick {
         &[(150, 80, 64), (300, 160, 64), (300, 160, 8)]
+    } else if with_gate_workload {
+        &[(150, 80, 64), (300, 160, 64)]
+    } else {
+        &[(150, 80, 64)]
     };
     let s = parse_scenario(fanout::PROGRAM);
     for &(nodes, extra, fo) in fanout_sizes {
@@ -180,12 +204,207 @@ pub fn run_fixpoint_bench(quick: bool) -> Vec<WorkloadResult> {
     results
 }
 
+/// One end-to-end semantic-optimization measurement: the same workload
+/// evaluated with the rectified original program vs the `core`
+/// optimizer's residue-eliminated output.
+#[derive(Clone, Debug)]
+pub struct SemanticResult {
+    /// Scenario name.
+    pub scenario: String,
+    /// Generator parameter label.
+    pub params: String,
+    /// Median fixpoint milliseconds of the original (rectified) program.
+    pub original_millis: f64,
+    /// Median fixpoint milliseconds of the optimized program.
+    pub optimized_millis: f64,
+    /// Rows scanned by the original program.
+    pub original_rows: u64,
+    /// Rows scanned by the optimized program.
+    pub optimized_rows: u64,
+    /// IDB tuples of the checked answer predicate (identical in both).
+    pub rows_idb: usize,
+}
+
+impl SemanticResult {
+    /// Wall-time speedup of the optimized program (> 1 means it wins).
+    pub fn speedup(&self) -> f64 {
+        self.original_millis / self.optimized_millis.max(1e-9)
+    }
+}
+
+/// Runs the end-to-end semantic speedup bench: the fanout scenario's
+/// guarded-reachability program (the paper's k=1 residue-based atom
+/// elimination, DESIGN §4) timed original-vs-optimized on the fast
+/// engine. This is the number the whole repo exists to improve: a
+/// residue-eliminated join must save more time than evaluation overhead
+/// costs.
+pub fn run_semantic_bench(quick: bool) -> Vec<SemanticResult> {
+    let runs = if quick { 1 } else { 3 };
+    let s = parse_scenario(fanout::PROGRAM);
+    let plan = semrec_core::optimizer::Optimizer::new(&s.program)
+        .with_constraints(&s.constraints)
+        .run()
+        .expect("fanout scenario optimizes");
+
+    let sizes: &[(usize, usize, usize)] = if quick {
+        &[(150, 80, 64)]
+    } else {
+        &[(150, 80, 64), (300, 160, 64)]
+    };
+    let mut out = Vec::new();
+    for &(nodes, extra, fo) in sizes {
+        let db = fanout::generate(&fanout::FanoutParams {
+            nodes,
+            extra_edges: extra,
+            fanout: fo,
+            seed: 1,
+        });
+        let mut orig_ms = Vec::new();
+        let mut opt_ms = Vec::new();
+        let mut orig_rows = 0;
+        let mut opt_rows = 0;
+        let mut rows_idb = 0;
+        for _ in 0..runs.max(1) {
+            let t = Instant::now();
+            let base = evaluate(&db, &plan.rectified, Strategy::SemiNaive).unwrap();
+            orig_ms.push(t.elapsed().as_secs_f64() * 1e3);
+            let t = Instant::now();
+            let opt = evaluate(&db, &plan.program, Strategy::SemiNaive).unwrap();
+            opt_ms.push(t.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(
+                base.relation("reach").unwrap().sorted_tuples(),
+                opt.relation("reach").unwrap().sorted_tuples(),
+                "optimized program diverged on reach"
+            );
+            orig_rows = base.stats.rows_scanned;
+            opt_rows = opt.stats.rows_scanned;
+            rows_idb = base.relation("reach").unwrap().len();
+        }
+        orig_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        opt_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        out.push(SemanticResult {
+            scenario: "fanout".to_owned(),
+            params: format!("nodes={nodes} extra_edges={extra} fanout={fo}"),
+            original_millis: orig_ms[orig_ms.len() / 2],
+            optimized_millis: opt_ms[opt_ms.len() / 2],
+            original_rows: orig_rows,
+            optimized_rows: opt_rows,
+            rows_idb,
+        });
+    }
+    out
+}
+
+/// The `--assert-scaling` gate: on every workload with at least
+/// [`SCALING_MIN_IDB_ROWS`] IDB rows, 4-thread time must not exceed
+/// 1-thread time by more than [`SCALING_MAX_RATIO`]. Returns a summary
+/// of the checked workloads, or a report of the violations.
+pub fn check_scaling(results: &[WorkloadResult]) -> Result<String, String> {
+    let mut checked = 0usize;
+    let mut violations = String::new();
+    for w in results {
+        if w.rows_idb < SCALING_MIN_IDB_ROWS {
+            continue;
+        }
+        let ms = |n: usize| {
+            w.timings
+                .iter()
+                .find(|t| t.threads == n)
+                .map(|t| t.millis)
+        };
+        let (Some(t1), Some(t4)) = (ms(1), ms(4)) else {
+            continue;
+        };
+        checked += 1;
+        if t4 > t1 * SCALING_MAX_RATIO {
+            let _ = writeln!(
+                violations,
+                "  {} {}: t4 {:.2} ms > {:.0}% of t1 {:.2} ms (ratio {:.2})",
+                w.name,
+                w.params,
+                t4,
+                SCALING_MAX_RATIO * 100.0,
+                t1,
+                t4 / t1.max(1e-9),
+            );
+        }
+    }
+    if violations.is_empty() {
+        Ok(format!(
+            "scaling gate: {checked} workload(s) with rows_idb >= {SCALING_MIN_IDB_ROWS} \
+             within {:.0}% of serial",
+            SCALING_MAX_RATIO * 100.0
+        ))
+    } else {
+        Err(format!(
+            "scaling gate FAILED (t4 > {:.0}% of t1 on rows_idb >= {SCALING_MIN_IDB_ROWS}):\n{violations}",
+            SCALING_MAX_RATIO * 100.0
+        ))
+    }
+}
+
 fn json_f(x: f64) -> String {
     if x.is_finite() {
         format!("{x:.3}")
     } else {
         "null".to_owned()
     }
+}
+
+/// Serializes results as JSON (hand-rolled: offline-build policy).
+/// `semantic` may be empty (the section is omitted for compatibility
+/// with older baselines).
+pub fn to_json_with_semantic(results: &[WorkloadResult], semantic: &[SemanticResult]) -> String {
+    let mut s = to_json(results);
+    if semantic.is_empty() {
+        return s;
+    }
+    // Splice the semantic section before the closing brace.
+    let tail = s.rfind("  ]\n}").expect("to_json emits its workload array");
+    s.truncate(tail + 3); // keep `  ]`, drop the newline and closing brace
+    s.push_str(",\n  \"semantic\": [\n");
+    for (i, r) in semantic.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"scenario\": \"{}\", \"params\": \"{}\", \"original_millis\": {}, \
+             \"optimized_millis\": {}, \"speedup\": {}, \"original_rows\": {}, \
+             \"optimized_rows\": {}, \"rows_idb\": {}}}",
+            r.scenario,
+            r.params,
+            json_f(r.original_millis),
+            json_f(r.optimized_millis),
+            json_f(r.speedup()),
+            r.original_rows,
+            r.optimized_rows,
+            r.rows_idb
+        );
+        s.push_str(if i + 1 < semantic.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// A human-readable semantic-speedup table.
+pub fn semantic_table(results: &[SemanticResult]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<10} {:<42} {:>10} {:>10} {:>8} {:>12}",
+        "semantic", "params", "orig ms", "opt ms", "speedup", "rows saved"
+    );
+    for r in results {
+        let _ = writeln!(
+            s,
+            "{:<10} {:<42} {:>10.2} {:>10.2} {:>7.2}x {:>11.2}x",
+            r.scenario,
+            r.params,
+            r.original_millis,
+            r.optimized_millis,
+            r.speedup(),
+            r.original_rows as f64 / r.optimized_rows.max(1) as f64,
+        );
+    }
+    s
 }
 
 /// Serializes results as JSON (hand-rolled: offline-build policy).
@@ -271,6 +490,22 @@ mod tests {
         for w in &results {
             assert!(w.rows_idb > 0, "{} derived nothing", w.name);
             assert_eq!(w.timings.len(), 3);
+            for t in &w.timings {
+                // Satellite: serial rows must report wall-time throughput
+                // so the JSON is comparable across thread counts.
+                assert!(
+                    t.rows_per_sec > 0.0,
+                    "{} threads={} has rows_per_sec=0",
+                    w.name,
+                    t.threads
+                );
+                assert!(
+                    t.busy_fraction > 0.0,
+                    "{} threads={} has busy_fraction=0",
+                    w.name,
+                    t.threads
+                );
+            }
         }
         let json = to_json(&results);
         assert!(json.contains("\"fanout\""));
@@ -284,5 +519,75 @@ mod tests {
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         let table = to_table(&results);
         assert!(table.contains("university"));
+        // The fresh JSON must round-trip through the baseline reader.
+        let parsed = crate::baseline::parse_baseline(&json).expect("fresh JSON parses");
+        assert_eq!(parsed.len(), results.len());
+        let diff = crate::baseline::diff_table(&results, &parsed);
+        assert!(diff.contains("1.00x"), "self-diff is 1.00x:\n{diff}");
+    }
+
+    #[test]
+    fn semantic_bench_runs_and_splices_into_json() {
+        let semantic = run_semantic_bench(true);
+        assert!(!semantic.is_empty());
+        for r in &semantic {
+            assert!(r.rows_idb > 0);
+            assert!(
+                r.optimized_rows < r.original_rows,
+                "atom elimination must scan fewer rows: {r:?}"
+            );
+        }
+        let w = WorkloadResult {
+            name: "x".into(),
+            params: "p".into(),
+            rows_edb: 1,
+            rows_idb: 1,
+            rounds: 1,
+            timings: vec![Timing {
+                threads: 1,
+                millis: 1.0,
+                busy_fraction: 1.0,
+                rows_per_sec: 1.0,
+            }],
+        };
+        let json = to_json_with_semantic(&[w], &semantic);
+        assert!(json.contains("\"semantic\""));
+        assert!(json.contains("\"optimized_millis\""));
+        // Still valid JSON per our own reader, with the workloads intact.
+        let doc = crate::baseline::parse_json(&json).expect("spliced JSON parses");
+        assert!(doc.get("workloads").is_some());
+        assert_eq!(
+            doc.get("semantic").and_then(|s| s.as_arr()).map(<[_]>::len),
+            Some(semantic.len())
+        );
+    }
+
+    #[test]
+    fn scaling_gate_flags_regressions_and_passes_parity() {
+        let mk = |t1: f64, t4: f64, idb: usize| WorkloadResult {
+            name: "w".into(),
+            params: format!("idb={idb}"),
+            rows_edb: 0,
+            rows_idb: idb,
+            rounds: 1,
+            timings: [1usize, 4]
+                .iter()
+                .zip([t1, t4])
+                .map(|(&threads, millis)| Timing {
+                    threads,
+                    millis,
+                    busy_fraction: 1.0,
+                    rows_per_sec: 1.0,
+                })
+                .collect(),
+        };
+        // Parity and genuine speedup pass.
+        assert!(check_scaling(&[mk(100.0, 100.0, 60_000), mk(100.0, 60.0, 60_000)]).is_ok());
+        // Small workloads are exempt however bad the ratio.
+        assert!(check_scaling(&[mk(1.0, 3.0, 100)]).is_ok());
+        // A large workload 2x over serial fails.
+        let err = check_scaling(&[mk(100.0, 200.0, 60_000)]).unwrap_err();
+        assert!(err.contains("FAILED"), "{err}");
+        assert!(err.contains("idb=60000"), "{err}");
     }
 }

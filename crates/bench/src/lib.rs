@@ -14,6 +14,7 @@
 
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod experiments;
 pub mod fixpoint;
 pub mod table;

@@ -10,16 +10,32 @@
 //!
 //! Each round collects the compiled plans that must run, then executes
 //! them either inline (serial) or on the persistent
-//! [`WorkerPool`](crate::pool::WorkerPool). Parallel rounds use two axes
-//! of parallelism: *rule-level* (independent plans run concurrently) and
-//! *data-level* (a plan whose seed scan covers a large row range is split
-//! into per-worker [`RowRange`] chunks). Derived tuples are buffered flat
-//! per task ([`DerivedBuf`]) and inserted into the IDB relations by the
-//! main thread, which keeps relation storage single-writer.
+//! [`WorkerPool`](crate::pool::WorkerPool) as a **two-phase batch**.
+//! Phase one is the join phase, with two axes of parallelism:
+//! *rule-level* (independent plans run concurrently) and *data-level* (a
+//! plan whose seed scan covers a large row range is split into
+//! per-worker [`RowRange`] chunks). Each join task hash-routes its
+//! derived tuples into `K = next_pow2(threads)` per-shard flat buffers
+//! (`shard = fxhash(row) & (K - 1)`). Phase two is the merge phase: one
+//! pool job per shard dedups that shard's tuples against a private
+//! prehashed set plus read-only probes of the (round-immutable)
+//! relations. Because equal rows always hash to the same shard, the
+//! shards' tuple spaces are disjoint and the merge needs no locks. The
+//! control thread then only concatenates the accepted shard segments
+//! into the relations' delta windows
+//! ([`Relation::commit_new_rows`]) — dedup and insertion scale with the
+//! workers instead of serializing behind the control thread.
+//!
+//! Rounds whose seed-row volume is below an **adaptive serial cutover**
+//! run entirely on the control thread: the threshold is derived from the
+//! pool's measured per-job dispatch cost
+//! ([`WorkerPool::dispatch_cost_nanos`]), an online estimate of per-row
+//! work, and the machine's effective parallelism — not a hard-coded row
+//! count. See [`Cutover`] for the override used by tests and benchmarks.
 
 use crate::database::Database;
 use crate::error::EngineError;
-use crate::fxhash::FxHashMap;
+use crate::fxhash::{hash_slice, FxHashMap, PrehashedMap};
 use crate::plan::{compile_rule_with_sizes, ArgPat, CompiledRule, Source, Step, View};
 use crate::pool::{Job, WorkerPool};
 use crate::relation::{Relation, RowRange, Tuple};
@@ -28,6 +44,8 @@ use semrec_datalog::atom::{Atom, Pred};
 use semrec_datalog::program::Program;
 use semrec_datalog::term::{Term, Value};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::mpsc::channel;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Fixpoint strategy.
@@ -102,41 +120,106 @@ pub fn goal_matches(goal: &Atom, row: &[Value]) -> bool {
 }
 
 /// Flat buffer of derived head tuples: one `Vec<Value>` shared by every
-/// tuple a task derives, instead of one heap allocation per tuple.
+/// tuple a task derives, instead of one heap allocation per tuple. Each
+/// tuple's FxHash is computed once at derivation time and carried along,
+/// so shard routing, merge dedup, and final insertion all reuse it.
 #[derive(Default, Debug)]
 pub(crate) struct DerivedBuf {
     /// `(pred, start, end)` offsets into `data`.
     index: Vec<(Pred, u32, u32)>,
+    /// `hashes[i]` is the content hash of the `i`-th tuple in `index`.
+    hashes: Vec<u64>,
     data: Vec<Value>,
 }
 
 impl DerivedBuf {
     #[inline]
-    fn push(&mut self, pred: Pred, vals: impl Iterator<Item = Value>) {
+    fn push_hashed(&mut self, pred: Pred, row: &[Value], h: u64) {
         let start = self.data.len() as u32;
-        self.data.extend(vals);
+        self.data.extend_from_slice(row);
         self.index.push((pred, start, self.data.len() as u32));
+        self.hashes.push(h);
     }
 
-    fn append(&mut self, mut other: DerivedBuf) {
-        let base = self.data.len() as u32;
-        self.data.append(&mut other.data);
-        self.index
-            .extend(other.index.drain(..).map(|(p, s, e)| (p, base + s, base + e)));
+    fn is_empty(&self) -> bool {
+        self.index.is_empty()
     }
+}
 
-    fn drain_into(self, idb: &mut FxHashMap<Pred, Relation>, stats: &mut Stats) -> bool {
-        let mut any_new = false;
-        for (pred, s, e) in self.index {
-            let rel = idb
-                .get_mut(&pred)
-                .expect("derived tuple for unknown idb predicate");
-            if rel.insert(&self.data[s as usize..e as usize]) {
-                stats.inserted += 1;
-                any_new = true;
-            }
+/// The per-task output sink: `K` shard-local [`DerivedBuf`]s, routed by
+/// tuple hash. Serial rounds use `K = 1` (routing degenerates to a
+/// single buffer); parallel join tasks use the round's shard count so
+/// the merge phase can run one lock-free job per shard.
+#[derive(Debug)]
+pub(crate) struct ShardedDerivedBuf {
+    shards: Vec<DerivedBuf>,
+    mask: u64,
+    /// Reusable staging row: head values are materialized here to be
+    /// hashed before the destination shard is known.
+    scratch: Vec<Value>,
+}
+
+impl ShardedDerivedBuf {
+    fn new(k: usize) -> ShardedDerivedBuf {
+        debug_assert!(k.is_power_of_two(), "shard count must be a power of two");
+        ShardedDerivedBuf {
+            shards: (0..k).map(|_| DerivedBuf::default()).collect(),
+            mask: (k - 1) as u64,
+            scratch: Vec::new(),
         }
-        any_new
+    }
+
+    #[inline]
+    fn push(&mut self, pred: Pred, vals: impl Iterator<Item = Value>) {
+        self.scratch.clear();
+        self.scratch.extend(vals);
+        let h = hash_slice(&self.scratch);
+        let shard = (h & self.mask) as usize;
+        self.shards[shard].push_hashed(pred, &self.scratch, h);
+    }
+}
+
+/// Accepted new rows of one (shard, predicate): flat data plus per-row
+/// hashes, ready for [`Relation::commit_new_rows`].
+struct ShardOut {
+    /// Per predicate, in deterministic (`Pred`-sorted) order.
+    preds: Vec<(Pred, Vec<Value>, Vec<u64>)>,
+}
+
+/// A merge job's private accumulator for one predicate: a prehashed set
+/// over the rows accepted so far. No other shard can ever see an equal
+/// row (equal rows share a hash, hence a shard), so this set needs no
+/// synchronization.
+struct MergeAcc {
+    arity: usize,
+    /// Row hash → indices of accepted rows with that hash.
+    seen: PrehashedMap<Vec<u32>>,
+    data: Vec<Value>,
+    hashes: Vec<u64>,
+}
+
+impl MergeAcc {
+    fn new(arity: usize) -> MergeAcc {
+        MergeAcc {
+            arity,
+            seen: PrehashedMap::default(),
+            data: Vec::new(),
+            hashes: Vec::new(),
+        }
+    }
+
+    fn push_if_new(&mut self, row: &[Value], h: u64) {
+        let bucket = self.seen.entry(h).or_default();
+        let (data, arity) = (&self.data, self.arity);
+        if bucket
+            .iter()
+            .any(|&i| &data[i as usize * arity..(i as usize + 1) * arity] == row)
+        {
+            return;
+        }
+        bucket.push(self.hashes.len() as u32);
+        self.data.extend_from_slice(row);
+        self.hashes.push(h);
     }
 }
 
@@ -144,6 +227,27 @@ struct RulePlans {
     has_idb: bool,
     full: CompiledRule,
     deltas: Vec<CompiledRule>,
+}
+
+/// An index into the compiled-plan table, so round scheduling can be
+/// computed without holding borrows of [`Evaluator::plans`] (the cutover
+/// decision needs `&mut self` in between).
+#[derive(Clone, Copy, Debug)]
+enum PlanRef {
+    /// `plans[i].full`.
+    Full(usize),
+    /// `plans[i].deltas[j]`.
+    Delta(usize, usize),
+}
+
+/// A plan scheduled for the current round, with its seed scan resolved:
+/// `seed` is the first `Scan` step's index and visible row range, `rows`
+/// that range's length (0 when the plan has no resolvable seed scan).
+#[derive(Clone, Copy)]
+struct PlanSeed {
+    pref: PlanRef,
+    seed: Option<(usize, RowRange)>,
+    rows: u64,
 }
 
 /// One schedulable unit of a round: a plan, optionally restricted to a
@@ -155,8 +259,35 @@ struct Task<'p> {
     part: Option<(usize, RowRange)>,
 }
 
-/// Seed-scan ranges below this many rows are not worth splitting.
-const PARTITION_MIN_ROWS: usize = 128;
+/// When to hand a round to the worker pool instead of the control
+/// thread.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Cutover {
+    /// Adaptive (the default): a round runs on the pool only when its
+    /// seed-row volume exceeds a threshold derived from the pool's
+    /// measured per-job dispatch cost, an online per-row work estimate,
+    /// and the machine's effective parallelism. On hardware where
+    /// `std::thread::available_parallelism()` is 1, the pool is never
+    /// even spawned — parallelism cannot win there.
+    #[default]
+    Auto,
+    /// Every non-empty round runs on the pool, and seed scans split at a
+    /// minimal chunk size. For tests and benchmarks that must exercise
+    /// the parallel machinery regardless of hardware.
+    ForceParallel,
+    /// A fixed seed-row threshold (the pre-cutover behavior, kept for
+    /// experiments).
+    MinRows(u64),
+}
+
+/// Rounds below this many seed rows never spawn the pool in
+/// [`Cutover::Auto`] mode — spawning + calibrating costs more than any
+/// such round. Once a round crosses this floor the pool is spawned and
+/// the measured threshold takes over.
+const PRE_POOL_FLOOR_ROWS: u64 = 512;
+
+/// Initial estimate of per-seed-row work, refined online per round.
+const INITIAL_ROW_NANOS: f64 = 150.0;
 
 /// A resumable fixpoint evaluator over a fixed EDB.
 pub struct Evaluator<'db> {
@@ -186,6 +317,13 @@ pub struct Evaluator<'db> {
     parallelism: usize,
     /// Lazily spawned persistent worker pool (parallel mode only).
     pool: Option<WorkerPool>,
+    /// Serial-cutover policy for parallel mode.
+    cutover: Cutover,
+    /// Merge-shard count override (default `next_pow2(parallelism)`).
+    shards: Option<usize>,
+    /// Online estimate of nanoseconds of round work per seed row,
+    /// exponentially weighted over completed rounds.
+    row_nanos_ewma: f64,
 }
 
 impl<'db> Evaluator<'db> {
@@ -213,6 +351,9 @@ impl<'db> Evaluator<'db> {
             max_iterations: u64::MAX,
             parallelism: 1,
             pool: None,
+            cutover: Cutover::Auto,
+            shards: None,
+            row_nanos_ewma: INITIAL_ROW_NANOS,
         };
         ev.set_program(program)?;
         Ok(ev)
@@ -231,6 +372,32 @@ impl<'db> Evaluator<'db> {
     pub fn with_parallelism(mut self, n: usize) -> Self {
         self.parallelism = n.max(1);
         self
+    }
+
+    /// Overrides the serial-cutover policy (default [`Cutover::Auto`]).
+    pub fn with_cutover(mut self, cutover: Cutover) -> Self {
+        self.cutover = cutover;
+        self
+    }
+
+    /// Overrides the merge-shard count (rounded up to a power of two;
+    /// default `next_pow2(parallelism)`). Shard count never affects the
+    /// computed IDB — see `tests/parallel_agreement.rs`.
+    pub fn with_shards(mut self, k: usize) -> Self {
+        self.shards = Some(k.max(1).next_power_of_two());
+        self
+    }
+
+    /// The merge-shard count `K` for parallel rounds.
+    fn shard_count(&self) -> usize {
+        self.shards
+            .unwrap_or_else(|| self.parallelism.next_power_of_two())
+    }
+
+    /// Worker threads that can actually run simultaneously: the requested
+    /// parallelism capped by the machine's scheduler-visible CPUs.
+    fn effective_workers(&self) -> usize {
+        machine_cpus().min(self.parallelism)
     }
 
     /// Replaces the program mid-evaluation, keeping derived IDB facts.
@@ -336,7 +503,9 @@ impl<'db> Evaluator<'db> {
         self.stats
     }
 
-    /// Worker-pool counters accumulated so far (all zero in serial mode).
+    /// Round-execution counters accumulated so far. Serial rounds fill
+    /// the wall-time-based `serial_*` fields, so throughput metrics are
+    /// populated (and comparable) at every thread count.
     pub fn pool_stats(&self) -> PoolStats {
         self.pool_stats
     }
@@ -355,40 +524,93 @@ impl<'db> Evaluator<'db> {
 
             let mut stats = std::mem::take(&mut self.stats);
             stats.iterations += 1;
-            // Spawn the pool before `to_run` borrows the plans (the pool
-            // is persistent: one spawn per evaluator lifetime).
-            if self.parallelism > 1 && self.pool.is_none() {
-                self.pool = Some(WorkerPool::new(self.parallelism));
-            }
-            let mut to_run: Vec<&CompiledRule> = Vec::new();
+            let mut to_run: Vec<PlanRef> = Vec::new();
             for (ri, rp) in self.plans.iter().enumerate() {
                 if self.rule_stratum[ri] != self.current_stratum {
                     continue;
                 }
                 let run_full = matches!(self.strategy, Strategy::Naive) || fresh;
                 if run_full {
-                    to_run.push(&rp.full);
+                    to_run.push(PlanRef::Full(ri));
                 } else if rp.has_idb {
-                    to_run.extend(rp.deltas.iter());
+                    to_run.extend((0..rp.deltas.len()).map(|di| PlanRef::Delta(ri, di)));
                 }
             }
 
-            let mut derived = DerivedBuf::default();
-            let mut pool_delta = PoolStats::default();
-            if self.parallelism > 1 && !to_run.is_empty() {
-                pool_delta = self.run_round_parallel(&to_run, &mut stats, &mut derived);
+            // Resolve every plan's seed scan once: the row volume drives
+            // the serial-cutover decision and the split threshold.
+            let plan_seeds: Vec<PlanSeed> = to_run
+                .iter()
+                .map(|&pref| {
+                    let plan = self.plan(pref);
+                    let seed = plan.steps.iter().enumerate().find_map(|(i, s)| match s {
+                        Step::Scan(sc) => Some((i, sc)),
+                        _ => None,
+                    });
+                    let resolved = seed.and_then(|(si, sc)| {
+                        self.resolve(sc.pred, sc.view).map(|(_, r)| (si, r))
+                    });
+                    PlanSeed {
+                        pref,
+                        seed: resolved,
+                        rows: resolved.map_or(0, |(_, r)| r.len() as u64),
+                    }
+                })
+                .collect();
+            let total_rows: u64 = plan_seeds.iter().map(|p| p.rows).sum();
+
+            let parallel = !plan_seeds.is_empty() && self.decide_parallel(total_rows);
+            let mut delta = PoolStats::default();
+            let any_new = if parallel {
+                let (d, outs) = self.run_round_parallel(&plan_seeds, &mut stats);
+                delta = d;
+                let concat_start = Instant::now();
+                let mut any_new = false;
+                for out in outs {
+                    for (pred, data, hashes) in out.preds {
+                        let rel = self
+                            .idb
+                            .get_mut(&pred)
+                            .expect("derived tuple for unknown idb predicate");
+                        let n = rel.commit_new_rows(&data, &hashes);
+                        stats.inserted += n as u64;
+                        any_new |= n > 0;
+                    }
+                }
+                delta.concat_nanos = concat_start.elapsed().as_nanos() as u64;
+                any_new
             } else {
-                for plan in to_run {
+                let serial_start = Instant::now();
+                let mut buf = ShardedDerivedBuf::new(1);
+                for ps in &plan_seeds {
                     self.execute_task(
-                        Task { plan, part: None },
+                        Task {
+                            plan: self.plan(ps.pref),
+                            part: None,
+                        },
                         &mut stats,
-                        &mut derived,
+                        &mut buf,
                     );
                 }
+                let any_new = drain_serial(buf, &mut self.idb, &mut stats);
+                delta.serial_rounds = 1;
+                delta.serial_rows = total_rows;
+                delta.serial_nanos = serial_start.elapsed().as_nanos() as u64;
+                any_new
+            };
+            // Refine the per-row work estimate from this round.
+            if total_rows > 0 {
+                let exec_nanos = if parallel {
+                    delta.busy_nanos
+                } else {
+                    delta.serial_nanos
+                };
+                let sample =
+                    (exec_nanos as f64 / total_rows as f64).clamp(5.0, 100_000.0);
+                self.row_nanos_ewma = 0.7 * self.row_nanos_ewma + 0.3 * sample;
             }
             self.stats = stats;
-            self.merge_pool_stats(pool_delta);
-            let any_new = derived.drain_into(&mut self.idb, &mut self.stats);
+            self.merge_pool_stats(delta);
             // Advance delta windows.
             for (p, rel) in &self.idb {
                 let (_, total_end) = self.marks[p];
@@ -405,48 +627,129 @@ impl<'db> Evaluator<'db> {
         }
     }
 
-    /// Executes a round's plans on the persistent pool: prewarm every
-    /// index the plans will probe, split large seed scans into per-worker
-    /// chunks, dispatch, and merge the workers' results. Returns the
-    /// round's [`PoolStats`] delta (`&self` only, so the plan borrows held
-    /// by the caller stay valid).
+    /// The compiled plan a [`PlanRef`] points at.
+    fn plan(&self, pref: PlanRef) -> &CompiledRule {
+        match pref {
+            PlanRef::Full(ri) => &self.plans[ri].full,
+            PlanRef::Delta(ri, di) => &self.plans[ri].deltas[di],
+        }
+    }
+
+    /// Decides whether this round's `total_rows` seed rows warrant the
+    /// pool, spawning it (lazily, once) when the answer can be yes.
+    fn decide_parallel(&mut self, total_rows: u64) -> bool {
+        if self.parallelism <= 1 {
+            return false;
+        }
+        match self.cutover {
+            Cutover::ForceParallel => {
+                self.ensure_pool();
+                true
+            }
+            Cutover::MinRows(r) => {
+                self.pool_stats.cutover_rows = r.max(1);
+                if total_rows >= r {
+                    self.ensure_pool();
+                    true
+                } else {
+                    false
+                }
+            }
+            Cutover::Auto => {
+                if self.effective_workers() <= 1 {
+                    // One schedulable CPU: worker threads can only add
+                    // context-switch tax, never speed. Skip even the pool
+                    // spawn so `threads = n` matches serial performance.
+                    return false;
+                }
+                if self.pool.is_none() && total_rows < PRE_POOL_FLOOR_ROWS {
+                    return false;
+                }
+                self.ensure_pool();
+                let threshold = self.auto_cutover_rows();
+                self.pool_stats.cutover_rows = threshold;
+                total_rows >= threshold
+            }
+        }
+    }
+
+    fn ensure_pool(&mut self) {
+        if self.pool.is_none() {
+            self.pool = Some(WorkerPool::new(self.parallelism));
+        }
+    }
+
+    /// The adaptive serial-cutover threshold, in seed rows. A parallel
+    /// round pays roughly `dispatch_cost × (join tasks + K merge tasks)`
+    /// of fixed overhead and can save at most the fraction of the
+    /// round's work that extra effective workers absorb; the threshold
+    /// is the row volume where the saving overtakes the overhead, with
+    /// per-row work estimated online (`row_nanos_ewma`).
+    fn auto_cutover_rows(&self) -> u64 {
+        let pool = self.pool.as_ref().expect("pool spawned before cutover");
+        let k = self.shard_count() as u64;
+        let jobs = 2 * pool.workers() as u64 + k;
+        let overhead = pool.dispatch_cost_nanos().saturating_mul(jobs);
+        let w_eff = self.effective_workers().max(2) as f64;
+        let save_frac = 1.0 - 1.0 / w_eff;
+        let rows = overhead as f64 / (self.row_nanos_ewma.max(1.0) * save_frac);
+        (rows.ceil() as u64).clamp(64, 1 << 20)
+    }
+
+    /// Seed scans at or above this many rows split into per-worker
+    /// chunks inside a parallel round; below it, one chunk job would
+    /// cost more to dispatch than it saves.
+    fn split_min_rows(&self) -> usize {
+        match self.cutover {
+            Cutover::ForceParallel => 2,
+            _ => {
+                let pool = self.pool.as_ref().expect("pool spawned before split");
+                let rows =
+                    pool.dispatch_cost_nanos() as f64 / self.row_nanos_ewma.max(1.0);
+                (rows.ceil() as usize).clamp(32, 1 << 16)
+            }
+        }
+    }
+
+    /// Executes a round on the pool as a two-phase batch: join tasks
+    /// (prewarmed indexes, large seed scans split into per-worker
+    /// chunks) route derived tuples into per-shard buffers; then one
+    /// merge job per shard dedups its disjoint slice of the tuple space.
+    /// Returns the round's [`PoolStats`] delta and the accepted new-row
+    /// segments per shard, which the caller commits (it holds `&mut
+    /// self`; this method is `&self` so jobs may borrow the evaluator).
     fn run_round_parallel(
         &self,
-        to_run: &[&CompiledRule],
+        plan_seeds: &[PlanSeed],
         stats: &mut Stats,
-        derived: &mut DerivedBuf,
-    ) -> PoolStats {
+    ) -> (PoolStats, Vec<ShardOut>) {
+        let pool = self.pool.as_ref().expect("pool spawned by decide_parallel");
+        let k = self.shard_count();
+        let plans: Vec<&CompiledRule> =
+            plan_seeds.iter().map(|ps| self.plan(ps.pref)).collect();
         let build_start = Instant::now();
-        self.prewarm_indexes(to_run);
-        let index_nanos = build_start.elapsed().as_nanos() as u64;
+        self.prewarm_indexes(&plans);
         let mut delta = PoolStats {
-            index_build_nanos: index_nanos,
+            index_build_nanos: build_start.elapsed().as_nanos() as u64,
             ..PoolStats::default()
         };
 
-        let workers = self.parallelism;
-        // Task list: one task per plan, except plans whose seed scan
-        // covers a large range, which are split across workers.
+        let workers = pool.workers();
+        let split_min = self.split_min_rows();
         let mut tasks: Vec<Task<'_>> = Vec::new();
         let mut rows_dispatched: u64 = 0;
-        for &plan in to_run {
-            let seed = plan.steps.iter().enumerate().find_map(|(i, s)| match s {
-                Step::Scan(sc) => Some((i, sc)),
-                _ => None,
-            });
+        for (ps, &plan) in plan_seeds.iter().zip(&plans) {
+            rows_dispatched += ps.rows;
             let mut split = false;
-            if let Some((si, sc)) = seed {
-                if let Some((_, range)) = self.resolve(sc.pred, sc.view) {
-                    rows_dispatched += range.len() as u64;
-                    if range.len() >= PARTITION_MIN_ROWS {
-                        for chunk in range.split(workers) {
-                            tasks.push(Task {
-                                plan,
-                                part: Some((si, chunk)),
-                            });
-                        }
-                        split = true;
+            if let Some((si, range)) = ps.seed {
+                if range.len() >= split_min {
+                    for chunk in range.split(workers) {
+                        tasks.push(Task {
+                            plan,
+                            part: Some((si, chunk)),
+                        });
                     }
+                    split = true;
                 }
             }
             if !split {
@@ -454,57 +757,125 @@ impl<'db> Evaluator<'db> {
             }
         }
 
-        if tasks.len() == 1 {
-            // One indivisible task: the pool would only add latency.
-            self.execute_task(tasks[0], stats, derived);
-            return delta;
-        }
-
-        let pool = self.pool.as_ref().expect("pool created in step()");
+        // Shard mailboxes: filled by join tasks (one short lock per
+        // non-empty task shard), drained whole by the merge jobs after
+        // the phase barrier.
+        let shard_bufs: Vec<Mutex<Vec<DerivedBuf>>> =
+            (0..k).map(|_| Mutex::new(Vec::new())).collect();
         let ev: &Evaluator<'db> = self;
-        let (tx, rx) = std::sync::mpsc::channel::<(Stats, DerivedBuf)>();
-        let jobs: Vec<Job<'_>> = tasks
+        let shard_bufs_ref = &shard_bufs;
+        let (stat_tx, stat_rx) = channel::<Stats>();
+        let (out_tx, out_rx) = channel::<(usize, ShardOut)>();
+        let join_jobs: Vec<Job<'_>> = tasks
             .iter()
             .map(|&task| {
-                let tx = tx.clone();
+                let stat_tx = stat_tx.clone();
                 Box::new(move || {
                     let mut st = Stats::default();
-                    let mut buf = DerivedBuf::default();
+                    let mut buf = ShardedDerivedBuf::new(k);
                     ev.execute_task(task, &mut st, &mut buf);
-                    tx.send((st, buf)).expect("round collector gone");
+                    for (s, shard) in buf.shards.into_iter().enumerate() {
+                        if !shard.is_empty() {
+                            shard_bufs_ref[s]
+                                .lock()
+                                .expect("shard mailbox poisoned")
+                                .push(shard);
+                        }
+                    }
+                    stat_tx.send(st).expect("round collector gone");
                 }) as Job<'_>
             })
             .collect();
-        let ntasks = tasks.len() as u64;
-        let batch = pool.run(jobs);
-        drop(tx);
-        for (st, buf) in rx {
+        let merge_jobs: Vec<Job<'_>> = (0..k)
+            .map(|s| {
+                let out_tx = out_tx.clone();
+                Box::new(move || {
+                    let bufs = std::mem::take(
+                        &mut *shard_bufs_ref[s].lock().expect("shard mailbox poisoned"),
+                    );
+                    out_tx
+                        .send((s, ev.merge_shard(bufs)))
+                        .expect("round collector gone");
+                }) as Job<'_>
+            })
+            .collect();
+        let ntasks = (tasks.len() + k) as u64;
+        let phases = pool.run_phases(vec![join_jobs, merge_jobs]);
+        drop(stat_tx);
+        drop(out_tx);
+        for st in stat_rx {
             *stats += st;
-            derived.append(buf);
+        }
+        let mut outs: Vec<Option<ShardOut>> = (0..k).map(|_| None).collect();
+        for (s, out) in out_rx {
+            outs[s] = Some(out);
         }
 
         delta.parallel_rounds = 1;
         delta.tasks = ntasks;
-        delta.busy_nanos = batch.busy_nanos;
-        delta.wall_nanos = batch.wall_nanos;
+        delta.join_nanos = phases[0].busy_nanos;
+        delta.merge_nanos = phases[1].busy_nanos;
+        delta.busy_nanos = phases[0].busy_nanos + phases[1].busy_nanos;
+        delta.wall_nanos = phases[0].wall_nanos + phases[1].wall_nanos;
         delta.rows_dispatched = rows_dispatched;
-        delta.workers = pool.workers();
+        delta.workers = workers;
+        delta.shards = k;
         delta.last_round_rows = rows_dispatched;
-        delta.last_round_nanos = batch.wall_nanos;
-        delta
+        delta.last_round_nanos = delta.wall_nanos;
+        (delta, outs.into_iter().flatten().collect())
+    }
+
+    /// One merge job: dedups every buffered tuple of one shard against
+    /// the relations (read-only prehashed probes) and a private
+    /// accumulator per predicate. Shard disjointness (equal rows share a
+    /// hash, hence a shard) is what makes this safe without locks.
+    fn merge_shard(&self, bufs: Vec<DerivedBuf>) -> ShardOut {
+        let mut accs: BTreeMap<Pred, MergeAcc> = BTreeMap::new();
+        for buf in &bufs {
+            for (j, &(pred, s, e)) in buf.index.iter().enumerate() {
+                let row = &buf.data[s as usize..e as usize];
+                let h = buf.hashes[j];
+                let rel = self
+                    .idb
+                    .get(&pred)
+                    .expect("derived tuple for unknown idb predicate");
+                if rel.contains_hashed(row, h) {
+                    continue;
+                }
+                accs.entry(pred)
+                    .or_insert_with(|| MergeAcc::new(row.len()))
+                    .push_if_new(row, h);
+            }
+        }
+        ShardOut {
+            preds: accs
+                .into_iter()
+                .filter(|(_, a)| !a.hashes.is_empty())
+                .map(|(p, a)| (p, a.data, a.hashes))
+                .collect(),
+        }
     }
 
     /// Folds one round's pool delta into the accumulated counters.
     fn merge_pool_stats(&mut self, d: PoolStats) {
         let ps = &mut self.pool_stats;
         ps.parallel_rounds += d.parallel_rounds;
+        ps.serial_rounds += d.serial_rounds;
         ps.tasks += d.tasks;
         ps.busy_nanos += d.busy_nanos;
         ps.wall_nanos += d.wall_nanos;
+        ps.join_nanos += d.join_nanos;
+        ps.merge_nanos += d.merge_nanos;
+        ps.concat_nanos += d.concat_nanos;
         ps.index_build_nanos += d.index_build_nanos;
         ps.rows_dispatched += d.rows_dispatched;
+        ps.serial_nanos += d.serial_nanos;
+        ps.serial_rows += d.serial_rows;
         if d.workers > 0 {
             ps.workers = d.workers;
+        }
+        if d.shards > 0 {
+            ps.shards = d.shards;
         }
         if d.parallel_rounds > 0 {
             ps.last_round_rows = d.last_round_rows;
@@ -568,11 +939,41 @@ impl<'db> Evaluator<'db> {
         }
     }
 
-    fn execute_task(&self, task: Task<'_>, stats: &mut Stats, out: &mut DerivedBuf) {
+    fn execute_task(&self, task: Task<'_>, stats: &mut Stats, out: &mut ShardedDerivedBuf) {
         stats.rule_firings += 1;
         let mut slots = vec![Value::Int(0); task.plan.nslots];
         run_steps(self, task.plan, task.part, 0, &mut slots, stats, out);
     }
+}
+
+/// Scheduler-visible CPUs, sampled once per process: on Linux,
+/// `available_parallelism` re-reads cgroup files on every call (~10µs),
+/// which is too slow for a per-round cutover decision.
+fn machine_cpus() -> usize {
+    static CPUS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CPUS.get_or_init(|| std::thread::available_parallelism().map_or(1, usize::from))
+}
+
+/// Serial insertion path: drains a (single-shard or multi-shard) buffer
+/// straight into the relations, reusing the derivation-time hashes.
+fn drain_serial(
+    buf: ShardedDerivedBuf,
+    idb: &mut FxHashMap<Pred, Relation>,
+    stats: &mut Stats,
+) -> bool {
+    let mut any_new = false;
+    for shard in buf.shards {
+        for (j, &(pred, s, e)) in shard.index.iter().enumerate() {
+            let rel = idb
+                .get_mut(&pred)
+                .expect("derived tuple for unknown idb predicate");
+            if rel.insert_hashed(&shard.data[s as usize..e as usize], shard.hashes[j]) {
+                stats.inserted += 1;
+                any_new = true;
+            }
+        }
+    }
+    any_new
 }
 
 fn read(slots: &[Value], s: Source) -> Value {
@@ -589,7 +990,7 @@ fn run_steps(
     i: usize,
     slots: &mut [Value],
     stats: &mut Stats,
-    out: &mut DerivedBuf,
+    out: &mut ShardedDerivedBuf,
 ) {
     let Some(step) = plan.steps.get(i) else {
         stats.derived += 1;
@@ -665,7 +1066,7 @@ fn run_steps(
             let try_row = |row: &[Value],
                            slots: &mut [Value],
                            stats: &mut Stats,
-                           out: &mut DerivedBuf| {
+                           out: &mut ShardedDerivedBuf| {
                 stats.rows_scanned += 1;
                 if row.len() != arity {
                     return;
@@ -1106,7 +1507,8 @@ mod parallel_tests {
         let seq = seq.finish();
         let mut par = Evaluator::new(&db, &prog, Strategy::SemiNaive)
             .unwrap()
-            .with_parallelism(4);
+            .with_parallelism(4)
+            .with_cutover(Cutover::ForceParallel);
         par.run().unwrap();
         let par = par.finish();
         for p in ["t", "s"] {
@@ -1139,7 +1541,8 @@ mod parallel_tests {
         let a = a.finish();
         let mut b = Evaluator::new(&db, &prog, Strategy::SemiNaive)
             .unwrap()
-            .with_parallelism(3);
+            .with_parallelism(3)
+            .with_cutover(Cutover::ForceParallel);
         b.run().unwrap();
         let b = b.finish();
         for p in ["reach", "node", "island"] {
@@ -1178,14 +1581,17 @@ mod parallel_tests {
         seq.run().unwrap();
         let mut par = Evaluator::new(&db, &prog, Strategy::SemiNaive)
             .unwrap()
-            .with_parallelism(4);
+            .with_parallelism(4)
+            .with_cutover(Cutover::ForceParallel);
         par.run().unwrap();
         let ps = par.pool_stats();
         assert!(ps.parallel_rounds > 0, "pool must have run: {ps:?}");
+        assert_eq!(ps.shards, 4, "K = next_pow2(threads): {ps:?}");
         assert!(
-            ps.tasks > ps.parallel_rounds,
-            "large scans must split into multiple tasks: {ps:?}"
+            ps.tasks > ps.parallel_rounds + ps.parallel_rounds * ps.shards as u64,
+            "large scans must split beyond the per-shard merge jobs: {ps:?}"
         );
+        assert!(ps.merge_nanos > 0, "merge phase must be accounted: {ps:?}");
         let seq = seq.finish();
         let par = par.finish();
         for p in ["t", "u"] {
@@ -1207,7 +1613,8 @@ mod parallel_tests {
             .unwrap();
         let mut ev = Evaluator::new(&db, &prog, Strategy::SemiNaive)
             .unwrap()
-            .with_parallelism(2);
+            .with_parallelism(2)
+            .with_cutover(Cutover::ForceParallel);
         ev.run().unwrap();
         let ps = ev.pool_stats();
         assert!(ps.parallel_rounds > 0);
@@ -1218,6 +1625,99 @@ mod parallel_tests {
         let frac = ps.busy_fraction();
         assert!((0.0..=1.0).contains(&frac), "busy fraction {frac}");
         assert!(ps.rows_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn serial_rounds_report_throughput() {
+        // Satellite fix: threads=1 used to emit busy_fraction=0 and
+        // rows_per_sec=0, making the bench JSON incomparable across
+        // thread counts. Serial rounds now account wall time + seed rows.
+        let db = db();
+        let mut ev = Evaluator::new(&db, &tc(), Strategy::SemiNaive)
+            .unwrap()
+            .with_parallelism(1);
+        ev.run().unwrap();
+        let ps = ev.pool_stats();
+        assert!(ps.serial_rounds > 0, "{ps:?}");
+        assert_eq!(ps.parallel_rounds, 0, "{ps:?}");
+        assert!(ps.serial_nanos > 0, "{ps:?}");
+        assert!(ps.serial_rows > 0, "{ps:?}");
+        assert!(ps.rows_per_sec() > 0.0, "{ps:?}");
+        assert!(ps.busy_fraction() > 0.9, "one serial thread is ~fully busy: {ps:?}");
+    }
+
+    #[test]
+    fn auto_cutover_keeps_tiny_workloads_off_the_pool() {
+        // Every round of this workload is far below the pre-pool floor,
+        // so Auto mode must never spawn the pool — regardless of the
+        // machine's core count.
+        let db = db();
+        let mut ev = Evaluator::new(&db, &tc(), Strategy::SemiNaive)
+            .unwrap()
+            .with_parallelism(4); // Cutover::Auto is the default
+        ev.run().unwrap();
+        let ps = ev.pool_stats();
+        assert_eq!(ps.parallel_rounds, 0, "tiny deltas must stay serial: {ps:?}");
+        assert!(ps.serial_rounds > 0, "{ps:?}");
+        assert!(ps.rows_per_sec() > 0.0, "{ps:?}");
+        assert!(!ev.finish().relation("t").unwrap().is_empty());
+    }
+
+    #[test]
+    fn min_rows_cutover_is_respected() {
+        let db = db();
+        let mut hi = Evaluator::new(&db, &tc(), Strategy::SemiNaive)
+            .unwrap()
+            .with_parallelism(4)
+            .with_cutover(Cutover::MinRows(u64::MAX));
+        hi.run().unwrap();
+        let ps = hi.pool_stats();
+        assert_eq!(ps.parallel_rounds, 0, "{ps:?}");
+        assert_eq!(ps.cutover_rows, u64::MAX, "{ps:?}");
+
+        let mut lo = Evaluator::new(&db, &tc(), Strategy::SemiNaive)
+            .unwrap()
+            .with_parallelism(4)
+            .with_cutover(Cutover::MinRows(1));
+        lo.run().unwrap();
+        assert!(lo.pool_stats().parallel_rounds > 0, "{:?}", lo.pool_stats());
+        let hi = hi.finish();
+        let lo = lo.finish();
+        for p in ["t", "s"] {
+            assert_eq!(
+                hi.relation(p).unwrap().sorted_tuples(),
+                lo.relation(p).unwrap().sorted_tuples()
+            );
+        }
+    }
+
+    #[test]
+    fn shard_count_override_preserves_results() {
+        let db = db();
+        let prog = tc();
+        let mut base = Evaluator::new(&db, &prog, Strategy::SemiNaive).unwrap();
+        base.run().unwrap();
+        let base = base.finish();
+        for k in [1usize, 2, 8] {
+            let mut ev = Evaluator::new(&db, &prog, Strategy::SemiNaive)
+                .unwrap()
+                .with_parallelism(3)
+                .with_shards(k)
+                .with_cutover(Cutover::ForceParallel);
+            ev.run().unwrap();
+            let ps = ev.pool_stats();
+            assert_eq!(ps.shards, k.next_power_of_two(), "{ps:?}");
+            let got = ev.finish();
+            for p in ["t", "s"] {
+                assert_eq!(
+                    base.relation(p).unwrap().sorted_tuples(),
+                    got.relation(p).unwrap().sorted_tuples(),
+                    "IDB diverged at K={k}"
+                );
+            }
+            assert_eq!(base.stats.derived, got.stats.derived);
+            assert_eq!(base.stats.inserted, got.stats.inserted);
+        }
     }
 }
 

@@ -29,7 +29,7 @@ pub mod stats;
 
 pub use database::{int_tuple, Database};
 pub use error::EngineError;
-pub use eval::{evaluate, evaluate_parallel, EvalResult, Evaluator, Strategy};
+pub use eval::{evaluate, evaluate_parallel, Cutover, EvalResult, Evaluator, Strategy};
 pub use pool::WorkerPool;
 pub use relation::{Relation, RowRange, Tuple};
 pub use stats::{PoolStats, Stats};

@@ -50,10 +50,24 @@ pub struct WorkerPool {
     /// to structures owning the pool); batches serialize on it.
     done_rx: Mutex<Receiver<Done>>,
     handles: Vec<JoinHandle<()>>,
+    /// Measured per-job dispatch + completion overhead, in nanoseconds
+    /// (see [`WorkerPool::dispatch_cost_nanos`]).
+    dispatch_cost_nanos: u64,
 }
 
+/// Jobs per calibration batch (see [`WorkerPool::new`]).
+const CALIBRATION_JOBS: usize = 32;
+/// Calibration batches; the minimum wall time is kept (scheduling noise
+/// only ever inflates a batch, so the minimum is the cleanest estimate).
+const CALIBRATION_BATCHES: usize = 3;
+
 impl WorkerPool {
-    /// Spawns `n` (≥ 1) workers.
+    /// Spawns `n` (≥ 1) workers, then runs a short calibration — a few
+    /// batches of empty jobs — to measure this machine's per-job
+    /// dispatch cost. The evaluator derives its serial-cutover threshold
+    /// from that measurement instead of a hard-coded row count, so the
+    /// "too small to parallelize" decision tracks the hardware the pool
+    /// actually runs on.
     pub fn new(n: usize) -> WorkerPool {
         let n = n.max(1);
         let (done_tx, done_rx) = channel::<Done>();
@@ -69,16 +83,34 @@ impl WorkerPool {
             txs.push(tx);
             handles.push(handle);
         }
-        WorkerPool {
+        let mut pool = WorkerPool {
             txs,
             done_rx: Mutex::new(done_rx),
             handles,
+            dispatch_cost_nanos: 0,
+        };
+        let mut best = u64::MAX;
+        for _ in 0..CALIBRATION_BATCHES {
+            let jobs: Vec<Job<'_>> = (0..CALIBRATION_JOBS)
+                .map(|_| Box::new(|| {}) as Job<'_>)
+                .collect();
+            let stats = pool.run(jobs);
+            best = best.min(stats.wall_nanos / CALIBRATION_JOBS as u64);
         }
+        pool.dispatch_cost_nanos = best.max(1);
+        pool
     }
 
     /// Number of workers.
     pub fn workers(&self) -> usize {
         self.txs.len()
+    }
+
+    /// Measured cost of dispatching one (empty) job and collecting its
+    /// completion, in nanoseconds: the fixed tax a batch pays per job
+    /// before any useful work happens. Always ≥ 1.
+    pub fn dispatch_cost_nanos(&self) -> u64 {
+        self.dispatch_cost_nanos
     }
 
     /// Runs a batch of jobs on the pool, blocking until all complete.
@@ -89,33 +121,61 @@ impl WorkerPool {
     pub fn run(&self, jobs: Vec<Job<'_>>) -> BatchStats {
         let start = Instant::now();
         let n = jobs.len();
-        let done_rx = self.done_rx.lock().expect("pool batch lock poisoned");
-        for (i, job) in jobs.into_iter().enumerate() {
-            // Lifetime erasure: sound because this function joins all `n`
-            // completions below before returning, so the borrows captured
-            // by `job` are still live whenever it runs.
-            let job: StaticJob = unsafe {
-                std::mem::transmute::<Job<'_>, StaticJob>(job)
-            };
-            self.txs[i % self.txs.len()]
-                .send(job)
-                .expect("pool worker exited early");
-        }
         let mut stats = BatchStats {
             jobs: n as u64,
             ..BatchStats::default()
         };
         let mut any_panicked = false;
-        for _ in 0..n {
-            let done = done_rx
-                .recv()
-                .expect("pool worker exited without reporting");
-            stats.busy_nanos += done.busy_nanos;
-            any_panicked |= done.panicked;
+        {
+            // A poisoned lock only means an *earlier* batch panicked; that
+            // batch drained all of its completions before unwinding, so
+            // the channel is consistent and the pool stays usable.
+            let done_rx = self
+                .done_rx
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            for (i, job) in jobs.into_iter().enumerate() {
+                // Lifetime erasure: sound because this function joins all
+                // `n` completions below before returning, so the borrows
+                // captured by `job` are still live whenever it runs.
+                let job: StaticJob = unsafe {
+                    std::mem::transmute::<Job<'_>, StaticJob>(job)
+                };
+                self.txs[i % self.txs.len()]
+                    .send(job)
+                    .expect("pool worker exited early");
+            }
+            for _ in 0..n {
+                let done = done_rx
+                    .recv()
+                    .expect("pool worker exited without reporting");
+                stats.busy_nanos += done.busy_nanos;
+                any_panicked |= done.panicked;
+            }
+            // Guard dropped here, *before* the panic below, so the batch
+            // lock is never poisoned by a failing job.
         }
         stats.wall_nanos = start.elapsed().as_nanos() as u64;
         assert!(!any_panicked, "worker job panicked");
         stats
+    }
+
+    /// Runs a sequence of heterogeneous job batches with a full barrier
+    /// between consecutive phases: phase `i + 1` is not dispatched until
+    /// every job of phase `i` has completed. This is the evaluator's
+    /// two-phase round shape — a join batch producing shard-routed
+    /// buffers, then a merge batch with one job per shard — where the
+    /// barrier is what makes the per-shard dedup sets safely lock-free.
+    ///
+    /// Returns one [`BatchStats`] per phase, so callers can attribute
+    /// busy time to each phase separately.
+    ///
+    /// # Panics
+    /// Panics if any job panicked. The failing phase is still fully
+    /// drained first (every one of its jobs has finished), and no later
+    /// phase is ever dispatched.
+    pub fn run_phases(&self, phases: Vec<Vec<Job<'_>>>) -> Vec<BatchStats> {
+        phases.into_iter().map(|jobs| self.run(jobs)).collect()
     }
 }
 
@@ -224,5 +284,89 @@ mod tests {
             Box::new(|| {}),
         ];
         pool.run(jobs);
+    }
+
+    #[test]
+    fn calibration_measures_dispatch_cost() {
+        let pool = WorkerPool::new(2);
+        // An empty job still costs a send + a wakeup + a completion recv.
+        assert!(pool.dispatch_cost_nanos() >= 1);
+        // Sanity: far below a second per job on any machine.
+        assert!(pool.dispatch_cost_nanos() < 1_000_000_000);
+    }
+
+    #[test]
+    fn run_phases_reports_per_phase_stats() {
+        let pool = WorkerPool::new(3);
+        let counter = AtomicUsize::new(0);
+        let phase = |n: usize| -> Vec<Job<'_>> {
+            (0..n)
+                .map(|_| {
+                    let c = &counter;
+                    Box::new(move || {
+                        c.fetch_add(1, Ordering::SeqCst);
+                    }) as Job<'_>
+                })
+                .collect()
+        };
+        let stats = pool.run_phases(vec![phase(5), phase(3), phase(7)]);
+        assert_eq!(counter.load(Ordering::SeqCst), 15);
+        let jobs: Vec<u64> = stats.iter().map(|s| s.jobs).collect();
+        assert_eq!(jobs, vec![5, 3, 7]);
+    }
+
+    /// The two-phase contract the sharded merge relies on: every job of
+    /// the join phase completes before the merge phase starts, and a
+    /// panicking merge job aborts the batch without hanging — after its
+    /// own phase drained and without dispatching any later phase.
+    #[test]
+    fn phase_barrier_holds_under_panicking_merge_job() {
+        let pool = WorkerPool::new(4);
+        let joins_done = AtomicUsize::new(0);
+        let merges_started = AtomicUsize::new(0);
+        let late_phase_ran = AtomicUsize::new(0);
+        let join_jobs: Vec<Job<'_>> = (0..8)
+            .map(|_| {
+                let j = &joins_done;
+                Box::new(move || {
+                    // Stagger completions so a broken barrier would race.
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    j.fetch_add(1, Ordering::SeqCst);
+                }) as Job<'_>
+            })
+            .collect();
+        let merge_jobs: Vec<Job<'_>> = (0..4)
+            .map(|s| {
+                let j = &joins_done;
+                let m = &merges_started;
+                Box::new(move || {
+                    m.fetch_add(1, Ordering::SeqCst);
+                    // Barrier assertion: all 8 join jobs already ran.
+                    assert_eq!(j.load(Ordering::SeqCst), 8, "merge before join barrier");
+                    if s == 1 {
+                        panic!("merge shard failure");
+                    }
+                }) as Job<'_>
+            })
+            .collect();
+        let never: Vec<Job<'_>> = vec![Box::new(|| {
+            late_phase_ran.fetch_add(1, Ordering::SeqCst);
+        })];
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_phases(vec![join_jobs, merge_jobs, never]);
+        }));
+        assert!(result.is_err(), "merge panic must propagate");
+        assert_eq!(joins_done.load(Ordering::SeqCst), 8);
+        // The panicking phase was fully drained (all 4 merge jobs ran,
+        // including the ones dispatched after the panicking one)...
+        assert_eq!(merges_started.load(Ordering::SeqCst), 4);
+        // ...and the phase after the failure never started.
+        assert_eq!(late_phase_ran.load(Ordering::SeqCst), 0);
+        // The pool survives a panicked batch and stays usable.
+        let ok = AtomicUsize::new(0);
+        pool.run(vec![Box::new(|| {
+            ok.fetch_add(1, Ordering::SeqCst);
+        }) as Job<'_>]);
+        assert_eq!(ok.load(Ordering::SeqCst), 1);
     }
 }

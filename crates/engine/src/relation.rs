@@ -143,8 +143,15 @@ impl Relation {
     /// Panics if the tuple arity does not match the relation arity.
     pub fn insert(&mut self, t: impl AsRef<[Value]>) -> bool {
         let t = t.as_ref();
+        self.insert_hashed(t, hash_slice(t))
+    }
+
+    /// [`Relation::insert`] with the row-content hash already computed
+    /// (the fixpoint loop hashes each derived tuple once, at derivation
+    /// time, and reuses the hash for shard routing and insertion).
+    pub fn insert_hashed(&mut self, t: &[Value], h: u64) -> bool {
         assert_eq!(t.len(), self.arity, "tuple arity mismatch");
-        let h = hash_slice(t);
+        debug_assert_eq!(h, hash_slice(t), "stale row hash");
         let arity = self.arity;
         let data = &self.data;
         let bucket = self.dedup.entry(h).or_default();
@@ -162,13 +169,56 @@ impl Relation {
 
     /// Membership test.
     pub fn contains(&self, t: &[Value]) -> bool {
+        self.contains_hashed(t, hash_slice(t))
+    }
+
+    /// [`Relation::contains`] with the row hash already computed. Takes
+    /// `&self` only and touches nothing but the (round-immutable) dedup
+    /// buckets, so shard-merge workers can safely call it concurrently
+    /// while the control thread is blocked on the merge phase.
+    pub fn contains_hashed(&self, t: &[Value], h: u64) -> bool {
         if t.len() != self.arity {
             return false;
         }
-        match self.dedup.get(&hash_slice(t)) {
+        debug_assert_eq!(h, hash_slice(t), "stale row hash");
+        match self.dedup.get(&h) {
             None => false,
             Some(bucket) => bucket.iter().any(|&r| self.row(r) == t),
         }
+    }
+
+    /// Bulk-appends a pre-deduplicated segment of new rows: `data` holds
+    /// `hashes.len()` rows in flat layout and `hashes[i]` is the content
+    /// hash of row `i`. This is the control thread's shard-concat path:
+    /// the merge phase already guaranteed every row is absent from the
+    /// relation and the rows are pairwise distinct, so committing is one
+    /// `memcpy` plus a dedup-bucket push per row — no hashing, no
+    /// comparisons.
+    ///
+    /// Returns the number of rows appended.
+    ///
+    /// # Panics
+    /// Panics if `data` is not `hashes.len() * arity` values long. With
+    /// debug assertions, also panics if a row was already present (a
+    /// violated merge-phase contract would silently corrupt set
+    /// semantics otherwise).
+    pub fn commit_new_rows(&mut self, data: &[Value], hashes: &[u64]) -> usize {
+        assert_eq!(
+            data.len(),
+            hashes.len() * self.arity,
+            "segment length does not match hash count × arity"
+        );
+        for (i, &h) in hashes.iter().enumerate() {
+            let row = &data[i * self.arity..(i + 1) * self.arity];
+            debug_assert!(
+                !self.contains_hashed(row, h),
+                "commit_new_rows given a duplicate row"
+            );
+            self.dedup.entry(h).or_default().push(self.nrows as u32);
+            self.data.extend_from_slice(row);
+            self.nrows += 1;
+        }
+        hashes.len()
     }
 
     /// The tuple at `row`, as a slice into the flat store.

@@ -39,48 +39,77 @@ impl AddAssign for Stats {
     }
 }
 
-/// Counters for the persistent worker pool, accumulated across every
-/// parallel round of an evaluation. All zero in serial mode.
+/// Counters for round execution, accumulated across an evaluation.
+/// Parallel rounds account pool batches (with per-phase attribution);
+/// serial rounds — including parallel-mode rounds that the adaptive
+/// cutover routed to the control thread — account wall time and seed
+/// rows too, so throughput is comparable across thread counts.
 #[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
 pub struct PoolStats {
-    /// Rounds executed on the pool (rounds with a single indivisible task
-    /// run inline and are not counted).
+    /// Rounds executed on the pool.
     pub parallel_rounds: u64,
-    /// Tasks dispatched (a plan split across workers counts once per chunk).
+    /// Rounds executed serially on the control thread (always in serial
+    /// mode; in parallel mode, rounds below the adaptive cutover).
+    pub serial_rounds: u64,
+    /// Tasks dispatched (a plan split across workers counts once per
+    /// chunk; merge jobs count one per shard).
     pub tasks: u64,
     /// Sum of per-task execution time across workers, in nanoseconds.
     pub busy_nanos: u64,
     /// Sum of per-round wall-clock batch time, in nanoseconds.
     pub wall_nanos: u64,
+    /// Worker busy time spent in join-phase tasks, in nanoseconds.
+    pub join_nanos: u64,
+    /// Worker busy time spent in per-shard merge tasks, in nanoseconds.
+    pub merge_nanos: u64,
+    /// Control-thread time concatenating shard segments into relations.
+    pub concat_nanos: u64,
     /// Time spent eagerly building indexes before parallel phases.
     pub index_build_nanos: u64,
     /// Seed-scan rows dispatched across all parallel rounds.
     pub rows_dispatched: u64,
+    /// Wall-clock nanoseconds of serial rounds.
+    pub serial_nanos: u64,
+    /// Seed-scan rows processed by serial rounds.
+    pub serial_rows: u64,
     /// Seed-scan rows of the most recent parallel round.
     pub last_round_rows: u64,
     /// Wall-clock nanoseconds of the most recent parallel round.
     pub last_round_nanos: u64,
     /// Worker threads in the pool (0 until the pool first runs).
     pub workers: usize,
+    /// Merge shards per parallel round (0 until a parallel round runs).
+    pub shards: usize,
+    /// The adaptive serial-cutover threshold in seed rows (0 = parallel
+    /// evaluation disabled or not yet calibrated).
+    pub cutover_rows: u64,
 }
 
 impl PoolStats {
-    /// Fraction of worker capacity spent executing tasks: total busy time
-    /// over `workers ×` total batch wall time. 0 when no round ran.
+    /// Fraction of execution capacity spent on useful work: pool rounds
+    /// contribute `busy / (workers × wall)`; serial rounds run one thread
+    /// at full utilization and contribute `wall / wall`. 0 when no round
+    /// ran anywhere.
     pub fn busy_fraction(&self) -> f64 {
-        let capacity = self.wall_nanos.saturating_mul(self.workers as u64);
+        let capacity = self
+            .wall_nanos
+            .saturating_mul(self.workers as u64)
+            .saturating_add(self.serial_nanos);
         if capacity == 0 {
             return 0.0;
         }
-        (self.busy_nanos as f64 / capacity as f64).min(1.0)
+        let busy = self.busy_nanos.saturating_add(self.serial_nanos);
+        (busy as f64 / capacity as f64).min(1.0)
     }
 
-    /// Aggregate seed-scan rows per second over all parallel rounds.
+    /// Aggregate seed-scan rows per second over all rounds, parallel and
+    /// serial alike (wall-time based, so thread counts are comparable).
     pub fn rows_per_sec(&self) -> f64 {
-        if self.wall_nanos == 0 {
+        let nanos = self.wall_nanos + self.serial_nanos;
+        if nanos == 0 {
             return 0.0;
         }
-        self.rows_dispatched as f64 * 1e9 / self.wall_nanos as f64
+        (self.rows_dispatched + self.serial_rows) as f64 * 1e9 / nanos as f64
     }
 
     /// Seed-scan rows per second of the most recent parallel round.
@@ -96,12 +125,20 @@ impl fmt::Display for PoolStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "par_rounds={} tasks={} busy={:.0}% rows/s={:.0} index_ms={:.2}",
+            "par_rounds={} serial_rounds={} tasks={} shards={} busy={:.0}% \
+             rows/s={:.0} join_ms={:.2} merge_ms={:.2} concat_ms={:.2} \
+             index_ms={:.2} cutover_rows={}",
             self.parallel_rounds,
+            self.serial_rounds,
             self.tasks,
+            self.shards,
             self.busy_fraction() * 100.0,
             self.rows_per_sec(),
+            self.join_nanos as f64 / 1e6,
+            self.merge_nanos as f64 / 1e6,
+            self.concat_nanos as f64 / 1e6,
             self.index_build_nanos as f64 / 1e6,
+            self.cutover_rows,
         )
     }
 }

@@ -10,4 +10,8 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --offline
 cargo test -q --offline
-cargo run -p semrec-bench --release --offline --bin harness -- bench --json --quick
+# Scaling gate: fails if 4-thread fixpoint time exceeds 1-thread time by
+# >10% on any workload with rows_idb >= 50_000, so parallel regressions
+# can't merge silently. Runs without --json on purpose: the checked-in
+# BENCH_fixpoint.json is the full-size run, not the quick CI sizes.
+cargo run -p semrec-bench --release --offline --bin harness -- bench --quick --assert-scaling

@@ -4,7 +4,7 @@
 //! sorted-tuple maps) and identical workload counters.
 
 use semrec::datalog::{Pred, Program};
-use semrec::engine::{Database, Evaluator, Strategy, Tuple};
+use semrec::engine::{Cutover, Database, Evaluator, Strategy, Tuple};
 use semrec::gen::{fanout, genealogy, graphs, org, parse_scenario, university};
 use std::collections::BTreeMap;
 
@@ -19,6 +19,35 @@ fn idb_map(
         .unwrap()
         .with_parallelism(threads);
     ev.run().unwrap();
+    finish(ev)
+}
+
+/// Like [`idb_map`], but forces every round through the sharded pool
+/// path with an explicit merge-shard count (Auto cutover would route
+/// small rounds — or single-core machines — to the control thread and
+/// the sharded merge would never execute).
+fn idb_map_sharded(
+    db: &Database,
+    prog: &Program,
+    threads: usize,
+    shards: usize,
+) -> (BTreeMap<Pred, Vec<Tuple>>, semrec::engine::Stats) {
+    let mut ev = Evaluator::new(db, prog, Strategy::SemiNaive)
+        .unwrap()
+        .with_parallelism(threads)
+        .with_shards(shards)
+        .with_cutover(Cutover::ForceParallel);
+    ev.run().unwrap();
+    let ps = ev.pool_stats();
+    assert!(
+        ps.parallel_rounds > 0,
+        "ForceParallel must exercise the pool (shards={shards}): {ps:?}"
+    );
+    assert_eq!(ps.shards, shards, "shard override not honored: {ps:?}");
+    finish(ev)
+}
+
+fn finish(ev: Evaluator<'_>) -> (BTreeMap<Pred, Vec<Tuple>>, semrec::engine::Stats) {
     let res = ev.finish();
     let map = res
         .idb
@@ -110,6 +139,58 @@ fn parallel_agrees_with_serial_on_all_generators() {
                     "{name} ({strategy:?}): inserted drifted at {threads} threads"
                 );
             }
+        }
+    }
+}
+
+/// Sharded-merge agreement: hash-partitioning the IDB tuple space into
+/// K merge shards must not change the fixpoint. Pins IDB equality (and
+/// work-counter invariance) across K ∈ {1, 2, 4, 8} against the serial
+/// baseline on the genealogy and fanout generators.
+#[test]
+fn sharded_merge_agrees_across_shard_counts() {
+    let mut targets = Vec::new();
+    {
+        let s = parse_scenario(genealogy::PROGRAM);
+        let db = genealogy::generate(&genealogy::GenealogyParams {
+            families: 3,
+            depth: 4,
+            branching: 3,
+            seed: 13,
+        });
+        targets.push(("genealogy", s.program, db));
+    }
+    {
+        let s = parse_scenario(fanout::PROGRAM);
+        let db = fanout::generate(&fanout::FanoutParams {
+            nodes: 200,
+            extra_edges: 300,
+            fanout: 2,
+            seed: 14,
+        });
+        targets.push(("fanout", s.program, db));
+    }
+    for (name, prog, db) in targets {
+        let (base, base_stats) = idb_map(&db, &prog, Strategy::SemiNaive, 1);
+        assert!(
+            base.values().any(|rows| !rows.is_empty()),
+            "{name}: workload derived nothing — test is vacuous"
+        );
+        for shards in [1usize, 2, 4, 8] {
+            let (sharded, stats) = idb_map_sharded(&db, &prog, 4, shards);
+            assert_eq!(base, sharded, "{name}: IDB diverged at K={shards} shards");
+            assert_eq!(
+                base_stats.derived, stats.derived,
+                "{name}: derived drifted at K={shards}"
+            );
+            assert_eq!(
+                base_stats.inserted, stats.inserted,
+                "{name}: inserted drifted at K={shards}"
+            );
+            assert_eq!(
+                base_stats.iterations, stats.iterations,
+                "{name}: round count drifted at K={shards}"
+            );
         }
     }
 }
