@@ -11,7 +11,8 @@
 //! ```
 //!
 //! `bench` times the semi-naive fixpoint on the gen workloads at 1/2/4
-//! worker threads plus the end-to-end semantic (optimizer) speedup; with
+//! worker threads plus the end-to-end semantic (optimizer) speedup and
+//! the governance overhead (budget checks on vs off, E1 fanout); with
 //! `--json` it also writes `BENCH_fixpoint.json` at the repo root
 //! (`--quick` shrinks sizes for the CI gate). `--baseline <file>` diffs
 //! the fresh run against a prior JSON and prints per-workload speedups.
@@ -21,8 +22,8 @@
 use semrec_bench::baseline::{diff_table, parse_baseline};
 use semrec_bench::experiments::{run, Scale, ALL};
 use semrec_bench::fixpoint::{
-    check_scaling, run_fixpoint_bench_gated, run_semantic_bench, semantic_table,
-    to_json_with_semantic, to_table,
+    check_scaling, governance_table, run_fixpoint_bench_gated, run_governance_bench,
+    run_semantic_bench, semantic_table, to_json_full, to_table,
 };
 use std::path::Path;
 use std::process::ExitCode;
@@ -80,10 +81,12 @@ fn main() -> ExitCode {
         print!("{}", to_table(&results));
         let semantic = run_semantic_bench(quick);
         print!("{}", semantic_table(&semantic));
+        let governance = run_governance_bench(quick);
+        print!("{}", governance_table(&governance));
         if json {
             let out = Path::new(env!("CARGO_MANIFEST_DIR"))
                 .join("../../BENCH_fixpoint.json");
-            std::fs::write(&out, to_json_with_semantic(&results, &semantic))
+            std::fs::write(&out, to_json_full(&results, &semantic, &governance))
                 .expect("write BENCH_fixpoint.json");
             println!("wrote {}", out.display());
         }

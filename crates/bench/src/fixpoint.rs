@@ -7,7 +7,7 @@
 //! `Instant`-based wall timing, median of N runs.
 
 use semrec_datalog::program::Program;
-use semrec_engine::{evaluate, Database, Evaluator, Strategy};
+use semrec_engine::{evaluate, Budget, CancelToken, Database, Evaluator, Strategy};
 use semrec_gen::{fanout, org, parse_scenario, university};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -295,6 +295,119 @@ pub fn run_semantic_bench(quick: bool) -> Vec<SemanticResult> {
     out
 }
 
+/// One governance-overhead measurement: the identical workload evaluated
+/// with no budget vs a fully-armed budget that never trips (deadline,
+/// row cap, byte cap, cancel token), isolating the cost of the checks
+/// themselves — the round-boundary accounting plus the per-1024-row
+/// cooperative deadline/cancel poll.
+#[derive(Clone, Debug)]
+pub struct GovernanceResult {
+    /// Workload name.
+    pub workload: String,
+    /// Generator parameter label.
+    pub params: String,
+    /// Median fixpoint milliseconds without any budget.
+    pub ungoverned_millis: f64,
+    /// Median fixpoint milliseconds under the never-tripping budget.
+    pub governed_millis: f64,
+    /// IDB tuples out (identical in both).
+    pub rows_idb: usize,
+}
+
+impl GovernanceResult {
+    /// Governance overhead in percent (> 0 means governed is slower).
+    pub fn overhead_pct(&self) -> f64 {
+        (self.governed_millis / self.ungoverned_millis.max(1e-9) - 1.0) * 100.0
+    }
+}
+
+fn time_governance_once(db: &Database, prog: &Program, governed: bool) -> (f64, usize) {
+    let start = Instant::now();
+    let mut ev = Evaluator::new(db, prog, Strategy::SemiNaive).unwrap();
+    if governed {
+        ev = ev
+            .with_budget(
+                Budget::unlimited()
+                    .with_deadline(std::time::Duration::from_secs(3600))
+                    .with_max_idb_rows(u64::MAX)
+                    .with_max_resident_bytes(u64::MAX),
+            )
+            .with_cancel_token(CancelToken::new());
+    }
+    ev.run().unwrap();
+    let millis = start.elapsed().as_secs_f64() * 1e3;
+    let out: usize = ev.finish().idb.values().map(|r| r.len()).sum();
+    (millis, out)
+}
+
+/// Measures governance overhead on the E1 fanout scenario (EXPERIMENTS.md
+/// expects < 2%). Governed and ungoverned runs are interleaved so slow
+/// machine drift hits both sides equally.
+pub fn run_governance_bench(quick: bool) -> Vec<GovernanceResult> {
+    let runs = if quick { 3 } else { 5 };
+    let sizes: &[(usize, usize, usize)] = if quick {
+        &[(150, 80, 64)]
+    } else {
+        &[(150, 80, 64), (300, 160, 64)]
+    };
+    let s = parse_scenario(fanout::PROGRAM);
+    let mut out = Vec::new();
+    for &(nodes, extra, fo) in sizes {
+        let db = fanout::generate(&fanout::FanoutParams {
+            nodes,
+            extra_edges: extra,
+            fanout: fo,
+            seed: 1,
+        });
+        // Warmup both paths untimed.
+        time_governance_once(&db, &s.program, false);
+        time_governance_once(&db, &s.program, true);
+        let mut plain = Vec::new();
+        let mut governed = Vec::new();
+        let mut rows_idb = 0;
+        for _ in 0..runs {
+            let (ms, out_rows) = time_governance_once(&db, &s.program, false);
+            plain.push(ms);
+            let (ms, gov_rows) = time_governance_once(&db, &s.program, true);
+            governed.push(ms);
+            assert_eq!(out_rows, gov_rows, "governed run changed the answer");
+            rows_idb = out_rows;
+        }
+        plain.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        governed.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        out.push(GovernanceResult {
+            workload: "fanout".to_owned(),
+            params: format!("nodes={nodes} extra_edges={extra} fanout={fo}"),
+            ungoverned_millis: plain[plain.len() / 2],
+            governed_millis: governed[governed.len() / 2],
+            rows_idb,
+        });
+    }
+    out
+}
+
+/// A human-readable governance-overhead table.
+pub fn governance_table(results: &[GovernanceResult]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<10} {:<42} {:>12} {:>12} {:>9}",
+        "governance", "params", "plain ms", "governed ms", "overhead"
+    );
+    for r in results {
+        let _ = writeln!(
+            s,
+            "{:<10} {:<42} {:>12.2} {:>12.2} {:>8.2}%",
+            r.workload,
+            r.params,
+            r.ungoverned_millis,
+            r.governed_millis,
+            r.overhead_pct(),
+        );
+    }
+    s
+}
+
 /// The `--assert-scaling` gate: on every workload with at least
 /// [`SCALING_MIN_IDB_ROWS`] IDB rows, 4-thread time must not exceed
 /// 1-thread time by more than [`SCALING_MAX_RATIO`]. Returns a summary
@@ -379,6 +492,40 @@ pub fn to_json_with_semantic(results: &[WorkloadResult], semantic: &[SemanticRes
             r.rows_idb
         );
         s.push_str(if i + 1 < semantic.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Serializes the full benchmark document — workloads, semantic
+/// speedups, and governance overhead. Empty sections are omitted so the
+/// JSON stays compatible with older baselines.
+pub fn to_json_full(
+    results: &[WorkloadResult],
+    semantic: &[SemanticResult],
+    governance: &[GovernanceResult],
+) -> String {
+    let mut s = to_json_with_semantic(results, semantic);
+    if governance.is_empty() {
+        return s;
+    }
+    // Splice before the closing brace, like the semantic section.
+    let tail = s.rfind("  ]\n}").expect("serializer emits a closing array");
+    s.truncate(tail + 3);
+    s.push_str(",\n  \"governance_overhead\": [\n");
+    for (i, r) in governance.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"workload\": \"{}\", \"params\": \"{}\", \"ungoverned_millis\": {}, \
+             \"governed_millis\": {}, \"overhead_pct\": {}, \"rows_idb\": {}}}",
+            r.workload,
+            r.params,
+            json_f(r.ungoverned_millis),
+            json_f(r.governed_millis),
+            json_f(r.overhead_pct()),
+            r.rows_idb
+        );
+        s.push_str(if i + 1 < governance.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ]\n}\n");
     s
@@ -560,6 +707,54 @@ mod tests {
             doc.get("semantic").and_then(|s| s.as_arr()).map(<[_]>::len),
             Some(semantic.len())
         );
+    }
+
+    #[test]
+    fn governance_bench_runs_and_splices_into_json() {
+        let governance = run_governance_bench(true);
+        assert!(!governance.is_empty());
+        for r in &governance {
+            assert!(r.rows_idb > 0);
+            assert!(r.overhead_pct().is_finite());
+        }
+        let w = WorkloadResult {
+            name: "x".into(),
+            params: "p".into(),
+            rows_edb: 1,
+            rows_idb: 1,
+            rounds: 1,
+            timings: vec![Timing {
+                threads: 1,
+                millis: 1.0,
+                busy_fraction: 1.0,
+                rows_per_sec: 1.0,
+            }],
+        };
+        let sem = SemanticResult {
+            scenario: "s".into(),
+            params: "p".into(),
+            original_millis: 2.0,
+            optimized_millis: 1.0,
+            original_rows: 2,
+            optimized_rows: 1,
+            rows_idb: 1,
+        };
+        // All three sections coexist and the document still parses.
+        let json = to_json_full(&[w.clone()], &[sem], &governance);
+        assert!(json.contains("\"semantic\""));
+        assert!(json.contains("\"governance_overhead\""));
+        let doc = crate::baseline::parse_json(&json).expect("full JSON parses");
+        assert_eq!(
+            doc.get("governance_overhead")
+                .and_then(|g| g.as_arr())
+                .map(<[_]>::len),
+            Some(governance.len())
+        );
+        // Governance without semantic also parses.
+        let doc = crate::baseline::parse_json(&to_json_full(&[w], &[], &governance))
+            .expect("governance-only JSON parses");
+        assert!(doc.get("semantic").is_none());
+        assert!(doc.get("governance_overhead").is_some());
     }
 
     #[test]

@@ -26,5 +26,5 @@ pub mod subsume;
 
 pub use detect::{detect, Detection, DetectionMethod};
 pub use residue::{Residue, ResidueHead};
-pub use optimizer::{Optimizer, OptimizerConfig, Plan};
+pub use optimizer::{evaluate_governed, GovernedOutcome, Optimizer, OptimizerConfig, Plan};
 pub use sequence::{unfold, Unfolding};

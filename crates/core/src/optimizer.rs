@@ -119,6 +119,8 @@ impl Optimizer {
 
     /// Runs the pipeline.
     pub fn run(self) -> Result<Plan, Error> {
+        #[cfg(feature = "failpoints")]
+        semrec_engine::failpoint::hit("optimizer.push").map_err(Error::analysis)?;
         validate(&self.program, &self.ics)?;
         let (rectified, _) = rectify(&self.program);
         let infos = validate(&rectified, &self.ics)?;
@@ -283,6 +285,142 @@ fn choose_sequence(detections: &[&Detection], policy: &PushPolicy) -> Option<Vec
                 .then(sa.cmp(sb))
         })
         .map(|(seq, _)| seq)
+}
+
+/// The outcome of a governed, degradation-aware evaluation: the result
+/// (whose [`Route`](semrec_engine::Route) records which program
+/// answered) plus, when the optimized route was abandoned, why.
+#[derive(Debug)]
+pub struct GovernedOutcome {
+    /// The answer, from whichever route produced it.
+    pub result: semrec_engine::EvalResult,
+    /// Why the optimized route did not answer (panic, optimizer error,
+    /// or its budget slice running out), when degradation happened.
+    pub degraded: Option<String>,
+}
+
+/// Evaluates `program` under `budget` with the paper's semantic
+/// optimization — degrading instead of dying. The optimized route
+/// (residue detection → isolation → push → evaluate the optimized
+/// program) runs first under a slice of the budget: half the deadline
+/// when one is set, so the fallback always has room to answer. If that
+/// route panics, fails to compile, or exhausts its slice, the
+/// *rectified* program — the reference semantics the optimization must
+/// preserve — is evaluated under the remaining budget. Cancellation is
+/// honored, never degraded around: a [`EngineError::Cancelled`] from
+/// either route is final.
+pub fn evaluate_governed(
+    db: &semrec_engine::Database,
+    program: &Program,
+    ics: &[Constraint],
+    config: OptimizerConfig,
+    budget: semrec_engine::Budget,
+    cancel: semrec_engine::CancelToken,
+    threads: usize,
+) -> Result<GovernedOutcome, semrec_engine::EngineError> {
+    use semrec_engine::{EngineError, Route};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    let start = std::time::Instant::now();
+
+    // The optimized route's budget slice: half the deadline; row/byte
+    // caps apply whole (they bound the same materialized IDB either way).
+    let mut slice = budget;
+    if let Some(d) = budget.deadline {
+        slice.deadline = Some(d / 2);
+    }
+
+    let degraded: String;
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        Optimizer::new(program)
+            .with_constraints(ics)
+            .with_config(config)
+            .run()
+    }));
+    match attempt {
+        Ok(Ok(plan)) => {
+            let optimized = plan.any_applied();
+            match run_under(db, &plan.program, slice, cancel.clone(), threads) {
+                Ok(mut result) => {
+                    result.route = if optimized {
+                        Route::Optimized
+                    } else {
+                        Route::Direct
+                    };
+                    return Ok(GovernedOutcome {
+                        result,
+                        degraded: None,
+                    });
+                }
+                Err(EngineError::Cancelled) => return Err(EngineError::Cancelled),
+                Err(e) => degraded = format!("optimized route: {e}"),
+            }
+        }
+        Ok(Err(e)) => degraded = format!("optimizer failed: {e}"),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_owned());
+            degraded = format!("optimizer panicked: {msg}");
+        }
+    }
+
+    // Fallback: the rectified program under whatever budget remains.
+    let mut remaining = budget;
+    if let Some(d) = budget.deadline {
+        let left = d.saturating_sub(start.elapsed());
+        if left.is_zero() {
+            return Err(EngineError::DeadlineExceeded {
+                elapsed_ms: start.elapsed().as_millis() as u64,
+            });
+        }
+        remaining.deadline = Some(left);
+    }
+    let (rectified, _) = rectify(program);
+    let mut result = run_under(db, &rectified, remaining, cancel, threads)?;
+    result.route = Route::RectifiedFallback;
+    Ok(GovernedOutcome {
+        result,
+        degraded: Some(degraded),
+    })
+}
+
+/// One budgeted evaluation; a control-thread panic (as opposed to a
+/// worker panic, which the pool already converts) is caught and
+/// surfaced as [`EngineError::WorkerPanicked`] so the degradation
+/// policy can treat both alike.
+fn run_under(
+    db: &semrec_engine::Database,
+    program: &Program,
+    budget: semrec_engine::Budget,
+    cancel: semrec_engine::CancelToken,
+    threads: usize,
+) -> Result<semrec_engine::EvalResult, semrec_engine::EngineError> {
+    use semrec_engine::{EngineError, Evaluator, Strategy};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        let mut ev = Evaluator::new(db, program, Strategy::SemiNaive)?
+            .with_parallelism(threads)
+            .with_budget(budget)
+            .with_cancel_token(cancel);
+        ev.run()?;
+        Ok(ev.finish())
+    }));
+    match run {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_owned());
+            Err(EngineError::WorkerPanicked {
+                job: "eval".to_owned(),
+                payload: msg,
+            })
+        }
+    }
 }
 
 #[cfg(test)]

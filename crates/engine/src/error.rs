@@ -20,6 +20,33 @@ pub enum EngineError {
     NotStratified(String),
     /// A data import/export failure.
     Io(String),
+    /// The evaluation was cancelled through a
+    /// [`CancelToken`](crate::governor::CancelToken).
+    Cancelled,
+    /// The evaluation's wall-clock deadline passed. Cooperative checks
+    /// inside pool jobs make this fire mid-round, so `elapsed_ms` stays
+    /// close to the requested deadline even on long rounds.
+    DeadlineExceeded {
+        /// Wall-clock milliseconds elapsed when the deadline tripped.
+        elapsed_ms: u64,
+    },
+    /// A resource budget other than the deadline was exhausted.
+    BudgetExceeded {
+        /// Which budget tripped (`"idb_rows"` or `"resident_bytes"`).
+        resource: &'static str,
+        /// The configured limit.
+        limit: u64,
+        /// The measured usage that exceeded it.
+        used: u64,
+    },
+    /// A pool job panicked on a worker thread. The round's partial
+    /// derivations were discarded; committed relations stay valid.
+    WorkerPanicked {
+        /// The failing job kind (`"pool.join"` or `"pool.merge"`).
+        job: String,
+        /// The panic payload, stringified.
+        payload: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -34,6 +61,18 @@ impl fmt::Display for EngineError {
             }
             EngineError::NotStratified(msg) => write!(f, "not stratified: {msg}"),
             EngineError::Io(msg) => write!(f, "io error: {msg}"),
+            EngineError::Cancelled => write!(f, "evaluation cancelled"),
+            EngineError::DeadlineExceeded { elapsed_ms } => {
+                write!(f, "deadline exceeded after {elapsed_ms} ms")
+            }
+            EngineError::BudgetExceeded {
+                resource,
+                limit,
+                used,
+            } => write!(f, "budget exceeded: {resource} used {used} of limit {limit}"),
+            EngineError::WorkerPanicked { job, payload } => {
+                write!(f, "worker panicked in {job}: {payload}")
+            }
         }
     }
 }

@@ -36,6 +36,7 @@
 use crate::database::Database;
 use crate::error::EngineError;
 use crate::fxhash::{hash_slice, FxHashMap, PrehashedMap};
+use crate::governor::{Budget, CancelToken, Governor, POLL_MASK};
 use crate::plan::{compile_rule_with_sizes, ArgPat, CompiledRule, Source, Step, View};
 use crate::pool::{Job, WorkerPool};
 use crate::relation::{Relation, RowRange, Tuple};
@@ -58,6 +59,23 @@ pub enum Strategy {
     SemiNaive,
 }
 
+/// Which evaluation route produced an [`EvalResult`]. Plain evaluation
+/// always reports [`Route::Direct`]; the governed optimizing runner in
+/// `semrec-core` overwrites this to record whether the semantically
+/// optimized program answered or the degradation policy fell back to
+/// the rectified program.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Route {
+    /// The program was evaluated as given.
+    #[default]
+    Direct,
+    /// The semantically optimized (residue-pruned) program answered.
+    Optimized,
+    /// The optimized route failed or exhausted its budget slice; the
+    /// rectified program answered under the remaining budget.
+    RectifiedFallback,
+}
+
 /// The result of an evaluation: materialized IDB relations plus counters.
 #[derive(Debug)]
 pub struct EvalResult {
@@ -65,6 +83,8 @@ pub struct EvalResult {
     pub idb: BTreeMap<Pred, Relation>,
     /// Work counters.
     pub stats: Stats,
+    /// Which evaluation route produced these relations.
+    pub route: Route,
 }
 
 impl EvalResult {
@@ -313,6 +333,14 @@ pub struct Evaluator<'db> {
     pool_stats: PoolStats,
     round: u64,
     max_iterations: u64,
+    /// Resource limits for this evaluation (default: unlimited).
+    budget: Budget,
+    /// External cancellation, when the caller attached a token.
+    cancel: Option<CancelToken>,
+    /// Armed on the first [`Evaluator::step`] when a deadline or cancel
+    /// token needs cooperative checks; `None` keeps the hot-path poll a
+    /// single `Option` discriminant test.
+    gov: Option<Governor>,
     /// Number of worker threads for plan execution within a round.
     parallelism: usize,
     /// Lazily spawned persistent worker pool (parallel mode only).
@@ -349,6 +377,9 @@ impl<'db> Evaluator<'db> {
             pool_stats: PoolStats::default(),
             round: 0,
             max_iterations: u64::MAX,
+            budget: Budget::unlimited(),
+            cancel: None,
+            gov: None,
             parallelism: 1,
             pool: None,
             cutover: Cutover::Auto,
@@ -362,6 +393,29 @@ impl<'db> Evaluator<'db> {
     /// Caps the number of fixpoint rounds (default: unlimited).
     pub fn with_max_iterations(mut self, n: u64) -> Self {
         self.max_iterations = n;
+        self
+    }
+
+    /// Applies a resource [`Budget`]. Row, byte and iteration caps are
+    /// enforced at round boundaries on the control thread; a deadline is
+    /// also checked cooperatively inside scan loops and merge jobs, so
+    /// it can interrupt a round in flight. An aborted round's partial
+    /// derivations are discarded — the IDB stays exactly as the last
+    /// completed round left it.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        if let Some(n) = budget.max_iterations {
+            self.max_iterations = n;
+        }
+        self.budget = budget;
+        self
+    }
+
+    /// Attaches a [`CancelToken`]: calling
+    /// [`cancel`](CancelToken::cancel) on any clone of `token` makes the
+    /// evaluation return [`EngineError::Cancelled`] at its next
+    /// cooperative check, mid-round included.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 
@@ -514,7 +568,20 @@ impl<'db> Evaluator<'db> {
     /// stratum is saturated. Returns `true` if any new fact was derived
     /// (callers loop on this; see [`Evaluator::run`]).
     pub fn step(&mut self) -> Result<bool, EngineError> {
+        if self.gov.is_none() && (self.budget.deadline.is_some() || self.cancel.is_some()) {
+            self.gov = Some(Governor::new(
+                &self.budget,
+                self.cancel.clone().unwrap_or_default(),
+            ));
+        }
         loop {
+            if let Some(g) = &self.gov {
+                if g.should_abort() {
+                    return Err(g.reason().unwrap_or(EngineError::Cancelled));
+                }
+            }
+            #[cfg(feature = "failpoints")]
+            crate::failpoint::hit("eval.round").map_err(EngineError::Io)?;
             if self.round >= self.max_iterations {
                 return Err(EngineError::IterationLimit(self.max_iterations as usize));
             }
@@ -562,7 +629,20 @@ impl<'db> Evaluator<'db> {
             let parallel = !plan_seeds.is_empty() && self.decide_parallel(total_rows);
             let mut delta = PoolStats::default();
             let any_new = if parallel {
-                let (d, outs) = self.run_round_parallel(&plan_seeds, &mut stats);
+                let (d, outs) = match self.run_round_parallel(&plan_seeds, &mut stats) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        self.stats = stats;
+                        return Err(e);
+                    }
+                };
+                // A cooperative trip mid-round (deadline, cancellation)
+                // made the tasks bail early: discard the round's partial
+                // derivations by never committing them.
+                if let Some(err) = self.trip_reason() {
+                    self.stats = stats;
+                    return Err(err);
+                }
                 delta = d;
                 let concat_start = Instant::now();
                 let mut any_new = false;
@@ -582,8 +662,9 @@ impl<'db> Evaluator<'db> {
             } else {
                 let serial_start = Instant::now();
                 let mut buf = ShardedDerivedBuf::new(1);
+                let mut aborted = false;
                 for ps in &plan_seeds {
-                    self.execute_task(
+                    let done = self.execute_task(
                         Task {
                             plan: self.plan(ps.pref),
                             part: None,
@@ -591,6 +672,15 @@ impl<'db> Evaluator<'db> {
                         &mut stats,
                         &mut buf,
                     );
+                    if !done {
+                        aborted = true;
+                        break;
+                    }
+                }
+                if aborted {
+                    self.stats = stats;
+                    let err = self.trip_reason().unwrap_or(EngineError::Cancelled);
+                    return Err(err);
                 }
                 let any_new = drain_serial(buf, &mut self.idb, &mut stats);
                 delta.serial_rounds = 1;
@@ -616,6 +706,11 @@ impl<'db> Evaluator<'db> {
                 let (_, total_end) = self.marks[p];
                 self.marks.insert(*p, (total_end, rel.len() as u32));
             }
+            // Round-boundary budget checks: the round's rows stay
+            // committed (the IDB is consistent); evaluation just stops.
+            if let Some(err) = self.check_round_budget() {
+                return Err(err);
+            }
             if any_new {
                 return Ok(true);
             }
@@ -625,6 +720,58 @@ impl<'db> Evaluator<'db> {
             self.current_stratum += 1;
             self.stratum_fresh = true;
         }
+    }
+
+    /// The cooperative governance check, polled from hot loops behind
+    /// [`POLL_MASK`]. Ungoverned evaluations pay one `Option`
+    /// discriminant test.
+    #[inline]
+    fn should_abort(&self) -> bool {
+        match &self.gov {
+            Some(g) => g.should_abort(),
+            None => false,
+        }
+    }
+
+    /// The governor's trip reason, if a cooperative check fired.
+    fn trip_reason(&self) -> Option<EngineError> {
+        self.gov.as_ref().and_then(Governor::reason)
+    }
+
+    /// Round-boundary budget enforcement over the committed IDB state.
+    fn check_round_budget(&self) -> Option<EngineError> {
+        if let Some(limit) = self.budget.max_idb_rows {
+            let used: u64 = self.idb.values().map(|r| r.len() as u64).sum();
+            if used > limit {
+                return Some(EngineError::BudgetExceeded {
+                    resource: "idb_rows",
+                    limit,
+                    used,
+                });
+            }
+        }
+        if let Some(limit) = self.budget.max_resident_bytes {
+            let used: u64 = self.idb.values().map(Relation::estimated_bytes).sum();
+            if used > limit {
+                return Some(EngineError::BudgetExceeded {
+                    resource: "resident_bytes",
+                    limit,
+                    used,
+                });
+            }
+        }
+        None
+    }
+
+    /// Verifies every IDB relation's structural invariant (flat storage
+    /// and dedup index in sync — see [`Relation::check_invariant`]).
+    /// Fault-injection tests call this after aborted evaluations to
+    /// prove partial rounds were discarded cleanly.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (p, rel) in &self.idb {
+            rel.check_invariant().map_err(|e| format!("{p:?}: {e}"))?;
+        }
+        Ok(())
     }
 
     /// The compiled plan a [`PlanRef`] points at.
@@ -718,11 +865,13 @@ impl<'db> Evaluator<'db> {
     /// Returns the round's [`PoolStats`] delta and the accepted new-row
     /// segments per shard, which the caller commits (it holds `&mut
     /// self`; this method is `&self` so jobs may borrow the evaluator).
+    /// A worker panic fails the round with
+    /// [`EngineError::WorkerPanicked`]; nothing is committed.
     fn run_round_parallel(
         &self,
         plan_seeds: &[PlanSeed],
         stats: &mut Stats,
-    ) -> (PoolStats, Vec<ShardOut>) {
+    ) -> Result<(PoolStats, Vec<ShardOut>), EngineError> {
         let pool = self.pool.as_ref().expect("pool spawned by decide_parallel");
         let k = self.shard_count();
         let plans: Vec<&CompiledRule> =
@@ -771,15 +920,21 @@ impl<'db> Evaluator<'db> {
             .map(|&task| {
                 let stat_tx = stat_tx.clone();
                 Box::new(move || {
+                    #[cfg(feature = "failpoints")]
+                    crate::failpoint::hit_or_panic("pool.join");
                     let mut st = Stats::default();
                     let mut buf = ShardedDerivedBuf::new(k);
-                    ev.execute_task(task, &mut st, &mut buf);
-                    for (s, shard) in buf.shards.into_iter().enumerate() {
-                        if !shard.is_empty() {
-                            shard_bufs_ref[s]
-                                .lock()
-                                .expect("shard mailbox poisoned")
-                                .push(shard);
+                    // On a cooperative abort the task's partial shards
+                    // are dropped here; the control thread discards the
+                    // whole round anyway.
+                    if ev.execute_task(task, &mut st, &mut buf) {
+                        for (s, shard) in buf.shards.into_iter().enumerate() {
+                            if !shard.is_empty() {
+                                shard_bufs_ref[s]
+                                    .lock()
+                                    .expect("shard mailbox poisoned")
+                                    .push(shard);
+                            }
                         }
                     }
                     stat_tx.send(st).expect("round collector gone");
@@ -790,6 +945,8 @@ impl<'db> Evaluator<'db> {
             .map(|s| {
                 let out_tx = out_tx.clone();
                 Box::new(move || {
+                    #[cfg(feature = "failpoints")]
+                    crate::failpoint::hit_or_panic("pool.merge");
                     let bufs = std::mem::take(
                         &mut *shard_bufs_ref[s].lock().expect("shard mailbox poisoned"),
                     );
@@ -800,7 +957,22 @@ impl<'db> Evaluator<'db> {
             })
             .collect();
         let ntasks = (tasks.len() + k) as u64;
-        let phases = pool.run_phases(vec![join_jobs, merge_jobs]);
+        let phases = match pool.run_phases(vec![join_jobs, merge_jobs]) {
+            Ok(p) => p,
+            Err(p) => {
+                // The pool drained the failing phase and dispatched
+                // nothing after it; dropping the channels discards every
+                // partial derivation, so the IDB is untouched.
+                return Err(EngineError::WorkerPanicked {
+                    job: if p.phase == 0 {
+                        "pool.join".into()
+                    } else {
+                        "pool.merge".into()
+                    },
+                    payload: p.panic.payload,
+                });
+            }
+        };
         drop(stat_tx);
         drop(out_tx);
         for st in stat_rx {
@@ -822,7 +994,7 @@ impl<'db> Evaluator<'db> {
         delta.shards = k;
         delta.last_round_rows = rows_dispatched;
         delta.last_round_nanos = delta.wall_nanos;
-        (delta, outs.into_iter().flatten().collect())
+        Ok((delta, outs.into_iter().flatten().collect()))
     }
 
     /// One merge job: dedups every buffered tuple of one shard against
@@ -831,8 +1003,16 @@ impl<'db> Evaluator<'db> {
     /// hash, hence a shard) is what makes this safe without locks.
     fn merge_shard(&self, bufs: Vec<DerivedBuf>) -> ShardOut {
         let mut accs: BTreeMap<Pred, MergeAcc> = BTreeMap::new();
+        let mut polled: u64 = 0;
         for buf in &bufs {
             for (j, &(pred, s, e)) in buf.index.iter().enumerate() {
+                polled += 1;
+                if polled & POLL_MASK == 0 && self.should_abort() {
+                    // Mid-merge deadline/cancel: the round is doomed, so
+                    // the partial accumulators are as good as discarded —
+                    // stop burning the remaining tuples.
+                    return ShardOut { preds: Vec::new() };
+                }
                 let row = &buf.data[s as usize..e as usize];
                 let h = buf.hashes[j];
                 let rel = self
@@ -894,6 +1074,7 @@ impl<'db> Evaluator<'db> {
         EvalResult {
             idb: self.idb.into_iter().collect(),
             stats: self.stats,
+            route: Route::Direct,
         }
     }
 
@@ -939,10 +1120,18 @@ impl<'db> Evaluator<'db> {
         }
     }
 
-    fn execute_task(&self, task: Task<'_>, stats: &mut Stats, out: &mut ShardedDerivedBuf) {
+    /// Runs one task to completion. Returns `false` when a cooperative
+    /// governance check aborted the task mid-scan (its partial output
+    /// must be discarded).
+    fn execute_task(
+        &self,
+        task: Task<'_>,
+        stats: &mut Stats,
+        out: &mut ShardedDerivedBuf,
+    ) -> bool {
         stats.rule_firings += 1;
         let mut slots = vec![Value::Int(0); task.plan.nslots];
-        run_steps(self, task.plan, task.part, 0, &mut slots, stats, out);
+        run_steps(self, task.plan, task.part, 0, &mut slots, stats, out)
     }
 }
 
@@ -983,6 +1172,9 @@ fn read(slots: &[Value], s: Source) -> Value {
     }
 }
 
+/// Executes plan steps from `i` on. Returns `false` when a cooperative
+/// governance check tripped mid-scan; callers unwind immediately and the
+/// task's partial output is discarded at the round boundary.
 fn run_steps(
     ev: &Evaluator<'_>,
     plan: &CompiledRule,
@@ -991,11 +1183,11 @@ fn run_steps(
     slots: &mut [Value],
     stats: &mut Stats,
     out: &mut ShardedDerivedBuf,
-) {
+) -> bool {
     let Some(step) = plan.steps.get(i) else {
         stats.derived += 1;
         out.push(plan.head_pred, plan.head.iter().map(|&s| read(slots, s)));
-        return;
+        return true;
     };
     match step {
         Step::Compute(cs) => {
@@ -1004,7 +1196,7 @@ fn run_steps(
             match cs.bind {
                 None => {
                     if cs.op.check(vals[0], vals[1], vals[2]) {
-                        run_steps(ev, plan, part, i + 1, slots, stats, out);
+                        return run_steps(ev, plan, part, i + 1, slots, stats, out);
                     }
                 }
                 Some((pos, slot)) => {
@@ -1012,10 +1204,11 @@ fn run_steps(
                     opt[pos] = None;
                     if let Some(v) = cs.op.solve(opt) {
                         slots[slot] = v;
-                        run_steps(ev, plan, part, i + 1, slots, stats, out);
+                        return run_steps(ev, plan, part, i + 1, slots, stats, out);
                     }
                 }
             }
+            true
         }
         Step::Neg(n) => {
             stats.probes += 1;
@@ -1035,22 +1228,24 @@ fn run_steps(
                 }
             };
             if !exists {
-                run_steps(ev, plan, part, i + 1, slots, stats, out);
+                return run_steps(ev, plan, part, i + 1, slots, stats, out);
             }
+            true
         }
         Step::Filter(f) => {
             stats.cmp_evals += 1;
             if f.op.eval(&read(slots, f.lhs), &read(slots, f.rhs)) {
-                run_steps(ev, plan, part, i + 1, slots, stats, out);
+                return run_steps(ev, plan, part, i + 1, slots, stats, out);
             }
+            true
         }
         Step::Assign(a) => {
             slots[a.slot] = read(slots, a.from);
-            run_steps(ev, plan, part, i + 1, slots, stats, out);
+            run_steps(ev, plan, part, i + 1, slots, stats, out)
         }
         Step::Scan(s) => {
             let Some((rel, mut range)) = ev.resolve(s.pred, s.view) else {
-                return;
+                return true;
             };
             // Data-parallel partition: this task only covers a chunk of
             // the seed scan's rows.
@@ -1060,37 +1255,44 @@ fn run_steps(
                 }
             }
             if range.is_empty() {
-                return;
+                return true;
             }
             let arity = s.args.len();
             let try_row = |row: &[Value],
                            slots: &mut [Value],
                            stats: &mut Stats,
-                           out: &mut ShardedDerivedBuf| {
+                           out: &mut ShardedDerivedBuf|
+             -> bool {
                 stats.rows_scanned += 1;
+                // Cooperative governance poll: every POLL_MASK+1 rows.
+                if stats.rows_scanned & POLL_MASK == 0 && ev.should_abort() {
+                    return false;
+                }
                 if row.len() != arity {
-                    return;
+                    return true;
                 }
                 for (pat, &v) in s.args.iter().zip(row) {
                     match *pat {
                         ArgPat::Const(c) => {
                             if c != v {
-                                return;
+                                return true;
                             }
                         }
                         ArgPat::Bound(sl) => {
                             if slots[sl] != v {
-                                return;
+                                return true;
                             }
                         }
                         ArgPat::Bind(sl) => slots[sl] = v,
                     }
                 }
-                run_steps(ev, plan, part, i + 1, slots, stats, out);
+                run_steps(ev, plan, part, i + 1, slots, stats, out)
             };
             if s.key_cols.is_empty() {
                 for (_, row) in rel.iter_range(range) {
-                    try_row(row, slots, stats, out);
+                    if !try_row(row, slots, stats, out) {
+                        return false;
+                    }
                 }
             } else {
                 stats.probes += 1;
@@ -1100,9 +1302,12 @@ fn run_steps(
                     // the (tiny) row to a stack buffer is unnecessary —
                     // the borrow is read-only and `try_row` only reads.
                     let row = rel.row(r);
-                    try_row(row, slots, stats, out);
+                    if !try_row(row, slots, stats, out) {
+                        return false;
+                    }
                 }
             }
+            true
         }
     }
 }

@@ -103,6 +103,8 @@ pub fn load_dir(db: &mut Database, dir: &Path) -> Result<usize, EngineError> {
 
 /// Loads one CSV file into the named relation.
 pub fn load_file(db: &mut Database, pred: &str, path: &Path) -> Result<usize, EngineError> {
+    #[cfg(feature = "failpoints")]
+    crate::failpoint::hit("io.load").map_err(EngineError::Io)?;
     let f = std::fs::File::open(path)
         .map_err(|e| io_err(&format!("opening {}", path.display()), e))?;
     let mut inserted = 0;

@@ -17,7 +17,10 @@ pub mod database;
 pub mod error;
 pub mod eval;
 pub mod explain;
+#[cfg(feature = "failpoints")]
+pub mod failpoint;
 pub mod fxhash;
+pub mod governor;
 pub mod io;
 pub mod topdown;
 pub mod magic;
@@ -29,7 +32,8 @@ pub mod stats;
 
 pub use database::{int_tuple, Database};
 pub use error::EngineError;
-pub use eval::{evaluate, evaluate_parallel, Cutover, EvalResult, Evaluator, Strategy};
-pub use pool::WorkerPool;
+pub use eval::{evaluate, evaluate_parallel, Cutover, EvalResult, Evaluator, Route, Strategy};
+pub use governor::{Budget, CancelToken};
+pub use pool::{JobPanic, PhasePanic, WorkerPool};
 pub use relation::{Relation, RowRange, Tuple};
 pub use stats::{PoolStats, Stats};

@@ -25,11 +25,35 @@ pub type Job<'a> = Box<dyn FnOnce() + Send + 'a>;
 
 type StaticJob = Box<dyn FnOnce() + Send + 'static>;
 
-/// Completion report: nanoseconds the worker spent on the job, and whether
-/// the job panicked.
+/// Completion report: the job's batch index, nanoseconds the worker
+/// spent on it, and the panic payload if it panicked.
 struct Done {
+    job: usize,
     busy_nanos: u64,
-    panicked: bool,
+    panic: Option<String>,
+}
+
+/// A job panicked on a worker. The batch was still fully drained (every
+/// job ran to completion or panic) before this was returned, so the
+/// pool stays usable and no caller borrow is outstanding.
+#[derive(Clone, Debug)]
+pub struct JobPanic {
+    /// Index of the first panicking job within its batch.
+    pub job: usize,
+    /// The panic payload, stringified (`&str`/`String` payloads pass
+    /// through; anything else becomes a placeholder).
+    pub payload: String,
+}
+
+/// A job panicked during [`WorkerPool::run_phases`]: a [`JobPanic`]
+/// plus which phase it happened in. No phase after `phase` was
+/// dispatched.
+#[derive(Clone, Debug)]
+pub struct PhasePanic {
+    /// Index of the failing phase.
+    pub phase: usize,
+    /// The first panicking job of that phase.
+    pub panic: JobPanic,
 }
 
 /// Counters for one [`WorkerPool::run`] batch.
@@ -45,7 +69,7 @@ pub struct BatchStats {
 
 /// Long-lived `std::thread` workers fed over channels.
 pub struct WorkerPool {
-    txs: Vec<Sender<StaticJob>>,
+    txs: Vec<Sender<(usize, StaticJob)>>,
     /// Wrapped in a `Mutex` so the pool is `Sync` (jobs capture references
     /// to structures owning the pool); batches serialize on it.
     done_rx: Mutex<Receiver<Done>>,
@@ -74,7 +98,7 @@ impl WorkerPool {
         let mut txs = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
         for i in 0..n {
-            let (tx, rx) = channel::<StaticJob>();
+            let (tx, rx) = channel::<(usize, StaticJob)>();
             let done = done_tx.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("semrec-worker-{i}"))
@@ -114,22 +138,23 @@ impl WorkerPool {
     }
 
     /// Runs a batch of jobs on the pool, blocking until all complete.
-    /// Jobs are distributed round-robin across workers.
-    ///
-    /// # Panics
-    /// Panics if any job panicked on a worker.
-    pub fn run(&self, jobs: Vec<Job<'_>>) -> BatchStats {
+    /// Jobs are distributed round-robin across workers. A panicking job
+    /// is caught on its worker and surfaced as the `Err` variant —
+    /// after the whole batch has drained, so the pool (and every borrow
+    /// the jobs captured) is back in a consistent state either way.
+    pub fn try_run(&self, jobs: Vec<Job<'_>>) -> Result<BatchStats, JobPanic> {
         let start = Instant::now();
         let n = jobs.len();
         let mut stats = BatchStats {
             jobs: n as u64,
             ..BatchStats::default()
         };
-        let mut any_panicked = false;
+        let mut first_panic: Option<JobPanic> = None;
         {
-            // A poisoned lock only means an *earlier* batch panicked; that
-            // batch drained all of its completions before unwinding, so
-            // the channel is consistent and the pool stays usable.
+            // A poisoned lock only means an *earlier* batch panicked on
+            // the control thread mid-collection; every such batch drains
+            // all of its completions before returning, so the channel is
+            // consistent and the pool stays usable.
             let done_rx = self
                 .done_rx
                 .lock()
@@ -142,7 +167,7 @@ impl WorkerPool {
                     std::mem::transmute::<Job<'_>, StaticJob>(job)
                 };
                 self.txs[i % self.txs.len()]
-                    .send(job)
+                    .send((i, job))
                     .expect("pool worker exited early");
             }
             for _ in 0..n {
@@ -150,14 +175,38 @@ impl WorkerPool {
                     .recv()
                     .expect("pool worker exited without reporting");
                 stats.busy_nanos += done.busy_nanos;
-                any_panicked |= done.panicked;
+                if let Some(payload) = done.panic {
+                    // Keep the batch-order-first report for determinism.
+                    let first = match &first_panic {
+                        None => true,
+                        Some(p) => done.job < p.job,
+                    };
+                    if first {
+                        first_panic = Some(JobPanic {
+                            job: done.job,
+                            payload,
+                        });
+                    }
+                }
             }
-            // Guard dropped here, *before* the panic below, so the batch
-            // lock is never poisoned by a failing job.
         }
         stats.wall_nanos = start.elapsed().as_nanos() as u64;
-        assert!(!any_panicked, "worker job panicked");
-        stats
+        match first_panic {
+            None => Ok(stats),
+            Some(p) => Err(p),
+        }
+    }
+
+    /// [`WorkerPool::try_run`] for callers with no error path of their
+    /// own (calibration, simple fan-outs).
+    ///
+    /// # Panics
+    /// Panics if any job panicked on a worker.
+    pub fn run(&self, jobs: Vec<Job<'_>>) -> BatchStats {
+        match self.try_run(jobs) {
+            Ok(stats) => stats,
+            Err(p) => panic!("worker job panicked: job {}: {}", p.job, p.payload),
+        }
     }
 
     /// Runs a sequence of heterogeneous job batches with a full barrier
@@ -168,14 +217,20 @@ impl WorkerPool {
     /// barrier is what makes the per-shard dedup sets safely lock-free.
     ///
     /// Returns one [`BatchStats`] per phase, so callers can attribute
-    /// busy time to each phase separately.
-    ///
-    /// # Panics
-    /// Panics if any job panicked. The failing phase is still fully
-    /// drained first (every one of its jobs has finished), and no later
-    /// phase is ever dispatched.
-    pub fn run_phases(&self, phases: Vec<Vec<Job<'_>>>) -> Vec<BatchStats> {
-        phases.into_iter().map(|jobs| self.run(jobs)).collect()
+    /// busy time to each phase separately. A panicking job surfaces as
+    /// the `Err` variant (no `panic!` escalation on the control
+    /// thread): the failing phase is still fully drained first (every
+    /// one of its jobs has finished), no later phase is ever
+    /// dispatched, and the pool remains usable for subsequent batches.
+    pub fn run_phases(&self, phases: Vec<Vec<Job<'_>>>) -> Result<Vec<BatchStats>, PhasePanic> {
+        let mut out = Vec::with_capacity(phases.len());
+        for (i, jobs) in phases.into_iter().enumerate() {
+            match self.try_run(jobs) {
+                Ok(stats) => out.push(stats),
+                Err(panic) => return Err(PhasePanic { phase: i, panic }),
+            }
+        }
+        Ok(out)
     }
 }
 
@@ -189,17 +244,31 @@ impl Drop for WorkerPool {
     }
 }
 
-fn worker_main(rx: Receiver<StaticJob>, done: Sender<Done>) {
-    while let Ok(job) = rx.recv() {
+fn worker_main(rx: Receiver<(usize, StaticJob)>, done: Sender<Done>) {
+    while let Ok((job_idx, job)) = rx.recv() {
         let start = Instant::now();
         let result = catch_unwind(AssertUnwindSafe(job));
         let report = Done {
+            job: job_idx,
             busy_nanos: start.elapsed().as_nanos() as u64,
-            panicked: result.is_err(),
+            panic: result.err().map(|payload| payload_string(payload.as_ref())),
         };
         if done.send(report).is_err() {
             return; // pool gone; nothing left to report to
         }
+    }
+}
+
+/// Stringifies a caught panic payload: `panic!("...")` payloads are
+/// `&str` or `String`; anything else gets a placeholder rather than
+/// being dropped.
+fn payload_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
     }
 }
 
@@ -309,16 +378,38 @@ mod tests {
                 })
                 .collect()
         };
-        let stats = pool.run_phases(vec![phase(5), phase(3), phase(7)]);
+        let stats = pool
+            .run_phases(vec![phase(5), phase(3), phase(7)])
+            .expect("no job panics");
         assert_eq!(counter.load(Ordering::SeqCst), 15);
         let jobs: Vec<u64> = stats.iter().map(|s| s.jobs).collect();
         assert_eq!(jobs, vec![5, 3, 7]);
     }
 
+    #[test]
+    fn try_run_reports_first_panicking_job_and_payload() {
+        let pool = WorkerPool::new(2);
+        let jobs: Vec<Job<'_>> = vec![
+            Box::new(|| {}),
+            Box::new(|| panic!("first boom")),
+            Box::new(|| panic!("second boom {}", 7)),
+        ];
+        let err = pool.try_run(jobs).expect_err("jobs panicked");
+        assert_eq!(err.job, 1, "lowest batch index wins");
+        assert_eq!(err.payload, "first boom");
+        // A non-string payload is reported, not dropped.
+        let jobs: Vec<Job<'_>> = vec![Box::new(|| std::panic::panic_any(42u32))];
+        let err = pool.try_run(jobs).expect_err("job panicked");
+        assert_eq!(err.payload, "non-string panic payload");
+        // The pool is fully usable after caught panics.
+        assert_eq!(pool.run(vec![Box::new(|| {}) as Job<'_>]).jobs, 1);
+    }
+
     /// The two-phase contract the sharded merge relies on: every job of
     /// the join phase completes before the merge phase starts, and a
-    /// panicking merge job aborts the batch without hanging — after its
-    /// own phase drained and without dispatching any later phase.
+    /// panicking merge job fails the batch as an error return (no
+    /// control-thread panic) — after its own phase drained and without
+    /// dispatching any later phase.
     #[test]
     fn phase_barrier_holds_under_panicking_merge_job() {
         let pool = WorkerPool::new(4);
@@ -352,21 +443,37 @@ mod tests {
         let never: Vec<Job<'_>> = vec![Box::new(|| {
             late_phase_ran.fetch_add(1, Ordering::SeqCst);
         })];
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            pool.run_phases(vec![join_jobs, merge_jobs, never]);
-        }));
-        assert!(result.is_err(), "merge panic must propagate");
+        let err = pool
+            .run_phases(vec![join_jobs, merge_jobs, never])
+            .expect_err("merge panic must surface as an error");
+        assert_eq!(err.phase, 1, "failure attributed to the merge phase");
+        assert_eq!(err.panic.job, 1);
+        assert_eq!(err.panic.payload, "merge shard failure");
         assert_eq!(joins_done.load(Ordering::SeqCst), 8);
         // The panicking phase was fully drained (all 4 merge jobs ran,
         // including the ones dispatched after the panicking one)...
         assert_eq!(merges_started.load(Ordering::SeqCst), 4);
         // ...and the phase after the failure never started.
         assert_eq!(late_phase_ran.load(Ordering::SeqCst), 0);
-        // The pool survives a panicked batch and stays usable.
+        // The pool survives the caught panic and runs a full subsequent
+        // two-phase batch — no poisoned worker, channel, or lock.
         let ok = AtomicUsize::new(0);
-        pool.run(vec![Box::new(|| {
-            ok.fetch_add(1, Ordering::SeqCst);
-        }) as Job<'_>]);
-        assert_eq!(ok.load(Ordering::SeqCst), 1);
+        let again = |n: usize| -> Vec<Job<'_>> {
+            (0..n)
+                .map(|_| {
+                    let c = &ok;
+                    Box::new(move || {
+                        c.fetch_add(1, Ordering::SeqCst);
+                    }) as Job<'_>
+                })
+                .collect()
+        };
+        let stats = pool
+            .run_phases(vec![again(6), again(3)])
+            .expect("pool reusable after a caught panic");
+        assert_eq!(ok.load(Ordering::SeqCst), 9);
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].jobs, 6);
+        assert_eq!(stats[1].jobs, 3);
     }
 }

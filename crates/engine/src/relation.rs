@@ -322,6 +322,64 @@ impl Relation {
         v.sort();
         v
     }
+
+    /// Estimated resident bytes of this relation: the flat store's
+    /// capacity plus the dedup map's buckets and row-id entries. Column
+    /// indexes are excluded — they are derived caches, reconstructible
+    /// at any time, and counting them would make the memory budget
+    /// depend on which plans happened to probe. Used by the evaluator's
+    /// `max_resident_bytes` budget check; an estimate, not an allocator
+    /// census.
+    pub fn estimated_bytes(&self) -> u64 {
+        let data = self.data.capacity() * std::mem::size_of::<Value>();
+        // Per dedup bucket: one (u64 hash, Vec header) map slot; per
+        // row: one u32 id inside some bucket.
+        let dedup = self.dedup.len() * (8 + std::mem::size_of::<Vec<u32>>())
+            + self.nrows * std::mem::size_of::<u32>();
+        (data + dedup) as u64
+    }
+
+    /// Verifies the relation's structural invariants, returning a
+    /// description of the first violation: flat storage sized exactly
+    /// `nrows × arity`, every dedup entry pointing at an in-bounds row
+    /// whose content hash matches its bucket, exactly one dedup entry
+    /// per row, and no duplicate rows within a bucket. Budget, cancel,
+    /// and panic exits must leave every committed relation passing this
+    /// check — `tests/governance.rs` asserts it after every forced
+    /// abort.
+    pub fn check_invariant(&self) -> Result<(), String> {
+        if self.data.len() != self.nrows * self.arity {
+            return Err(format!(
+                "flat store holds {} values, want {} rows × {} arity",
+                self.data.len(),
+                self.nrows,
+                self.arity
+            ));
+        }
+        let mut entries = 0usize;
+        for (&h, bucket) in self.dedup.iter() {
+            for (i, &r) in bucket.iter().enumerate() {
+                if r as usize >= self.nrows {
+                    return Err(format!("dedup entry {r} out of bounds ({})", self.nrows));
+                }
+                let row = self.row(r);
+                if hash_slice(row) != h {
+                    return Err(format!("row {r} filed under wrong hash bucket"));
+                }
+                if bucket[..i].iter().any(|&q| self.row(q) == row) {
+                    return Err(format!("row {r} duplicates an earlier row"));
+                }
+                entries += 1;
+            }
+        }
+        if entries != self.nrows {
+            return Err(format!(
+                "dedup map holds {entries} entries for {} rows",
+                self.nrows
+            ));
+        }
+        Ok(())
+    }
 }
 
 impl Clone for Relation {

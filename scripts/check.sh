@@ -10,6 +10,12 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --offline
 cargo test -q --offline
+# Robustness suite: the deterministic fault-injection failpoints only
+# exist under this feature, so the agreement-or-typed-error property
+# (tests/fault_injection.rs) gets its own test leg.
+cargo test -q --offline --features failpoints
+# Lint gate: the workspace is warning-free; keep it that way.
+cargo clippy --all-targets --offline -- -D warnings
 # Scaling gate: fails if 4-thread fixpoint time exceeds 1-thread time by
 # >10% on any workload with rows_idb >= 50_000, so parallel regressions
 # can't merge silently. Runs without --json on purpose: the checked-in

@@ -4,6 +4,7 @@
 //! semrec optimize <file> [--small PRED]...        show the optimization plan
 //! semrec run <file> [--optimize] [--naive] [--query 'p(a, X)'] [--magic]
 //!            [--data DIR] [--save DIR] [--threads N] [--engine seminaive|naive|topdown|sld]
+//!            [--deadline-ms N] [--max-rows N] [--max-bytes N] [--max-iters N]
 //! semrec explain <file>                           residues per IC and sequence
 //! semrec describe <file> 'describe p(X) where q(X, c).'
 //! semrec why <file> 'anc(dan, 20, bob, 77)'       show one derivation of a fact
@@ -14,15 +15,82 @@
 //!
 //! `<file>` holds rules, ground facts, and `ic:` constraints in the
 //! Prolog-like syntax of `semrec_datalog::parser`.
+//!
+//! ## Exit codes
+//!
+//! Resource-governance failures get distinct non-zero exit codes so
+//! scripts can tell a timeout from a wrong invocation:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | success |
+//! | 1    | any other error (parse, analysis, I/O, …) |
+//! | 2    | usage error (bad command line) |
+//! | 3    | wall-clock deadline exceeded |
+//! | 4    | row/byte budget exceeded |
+//! | 5    | evaluation cancelled |
+//! | 6    | a worker panicked (partial round discarded) |
 
 use semrec::core::detect::{detect, DetectionMethod};
-use semrec::core::optimizer::{Optimizer, OptimizerConfig};
+use semrec::core::optimizer::{evaluate_governed, Optimizer, OptimizerConfig};
 use semrec::datalog::analysis::{classify_linear, rectify, validate};
 use semrec::datalog::parser::{parse_atom, parse_unit, Unit};
 use semrec::datalog::Pred;
 use semrec::engine::magic::evaluate_query;
-use semrec::engine::{evaluate, Database, Strategy};
+use semrec::engine::{
+    evaluate, Budget, CancelToken, Database, EngineError, Route, Strategy,
+};
 use std::process::ExitCode;
+
+/// A CLI failure, carrying enough type to pick the exit code.
+enum CliError {
+    /// Bad command line (exit 2).
+    Usage(String),
+    /// A typed engine failure (exit 3–6 for governance errors, else 1).
+    Engine(EngineError),
+    /// Anything else (exit 1).
+    Other(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Engine(EngineError::DeadlineExceeded { .. }) => 3,
+            CliError::Engine(EngineError::BudgetExceeded { .. }) => 4,
+            CliError::Engine(EngineError::Cancelled) => 5,
+            CliError::Engine(EngineError::WorkerPanicked { .. }) => 6,
+            CliError::Engine(_) | CliError::Other(_) => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Other(m) => write!(f, "{m}"),
+            CliError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(s: String) -> Self {
+        CliError::Other(s)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(s: &str) -> Self {
+        CliError::Other(s.to_owned())
+    }
+}
+
+impl From<EngineError> for CliError {
+    fn from(e: EngineError) -> Self {
+        CliError::Engine(e)
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,14 +98,14 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }
 
-fn dispatch(args: &[String]) -> Result<(), String> {
+fn dispatch(args: &[String]) -> Result<(), CliError> {
     let Some(cmd) = args.first() else {
-        return Err(usage());
+        return Err(CliError::Usage(usage()));
     };
     match cmd.as_str() {
         "optimize" => cmd_optimize(&args[1..]),
@@ -52,14 +120,18 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             println!("{}", usage());
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`\n{}", usage())),
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}`\n{}",
+            usage()
+        ))),
     }
 }
 
 fn usage() -> String {
     "usage:\n  semrec optimize <file> [--small PRED]...\n  \
      semrec run <file> [--optimize] [--naive] [--query ATOM] [--magic]\n  \
-             [--data DIR] [--save DIR] [--small PRED]...\n  \
+             [--data DIR] [--save DIR] [--small PRED]... [--threads N]\n  \
+             [--deadline-ms N] [--max-rows N] [--max-bytes N] [--max-iters N]\n  \
      semrec explain <file>\n  \
      semrec describe <file> QUERY\n  \
      semrec why <file> GROUND_ATOM\n  \
@@ -67,6 +139,10 @@ fn usage() -> String {
      semrec gen <org|university|genealogy|fanout|flights> <dir>\n  \
      semrec check <file>"
         .to_owned()
+}
+
+fn need_path(args: &[String]) -> Result<&String, CliError> {
+    args.first().ok_or_else(|| CliError::Usage(usage()))
 }
 
 fn load(path: &str) -> Result<Unit, String> {
@@ -87,20 +163,24 @@ fn small_preds(args: &[String]) -> Vec<Pred> {
     out
 }
 
-fn build_plan(unit: &Unit, args: &[String]) -> Result<semrec::core::Plan, String> {
+fn optimizer_config(args: &[String]) -> OptimizerConfig {
     let mut config = OptimizerConfig::default();
     for p in small_preds(args) {
         config.policy.small_relations.insert(p);
     }
+    config
+}
+
+fn build_plan(unit: &Unit, args: &[String]) -> Result<semrec::core::Plan, String> {
     Optimizer::new(&unit.program())
         .with_constraints(&unit.constraints)
-        .with_config(config)
+        .with_config(optimizer_config(args))
         .run()
         .map_err(|e| e.to_string())
 }
 
-fn cmd_optimize(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or_else(usage)?;
+fn cmd_optimize(args: &[String]) -> Result<(), CliError> {
+    let path = need_path(args)?;
     let unit = load(path)?;
     let plan = build_plan(&unit, args)?;
     print!("{plan}");
@@ -111,13 +191,42 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1))
 }
 
-fn cmd_run(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or_else(usage)?;
+/// Parses an optional `--flag N` u64 value, erroring (usage, exit 2) on
+/// a malformed number instead of silently ignoring the limit.
+fn flag_u64(args: &[String], flag: &str) -> Result<Option<u64>, CliError> {
+    flag_value(args, flag)
+        .map(|v| {
+            v.parse()
+                .map_err(|_| CliError::Usage(format!("bad {flag} value `{v}`")))
+        })
+        .transpose()
+}
+
+/// Assembles the evaluation [`Budget`] from the `run` budget flags.
+fn parse_budget(args: &[String]) -> Result<Budget, CliError> {
+    let mut b = Budget::unlimited();
+    if let Some(ms) = flag_u64(args, "--deadline-ms")? {
+        b = b.with_deadline(std::time::Duration::from_millis(ms));
+    }
+    if let Some(n) = flag_u64(args, "--max-rows")? {
+        b = b.with_max_idb_rows(n);
+    }
+    if let Some(n) = flag_u64(args, "--max-bytes")? {
+        b = b.with_max_resident_bytes(n);
+    }
+    if let Some(n) = flag_u64(args, "--max-iters")? {
+        b = b.with_max_iterations(n);
+    }
+    Ok(b)
+}
+
+fn cmd_run(args: &[String]) -> Result<(), CliError> {
+    let path = need_path(args)?;
     let unit = load(path)?;
     let mut db = Database::from_facts(&unit.facts);
     if let Some(dir) = flag_value(args, "--data") {
         let n = semrec::engine::io::load_dir(&mut db, std::path::Path::new(dir))
-            .map_err(|e| e.to_string())?;
+            .map_err(CliError::Engine)?;
         eprintln!("loaded {n} facts from {dir}");
     }
     let db = db;
@@ -126,7 +235,53 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     } else {
         Strategy::SemiNaive
     };
-    let program = if args.iter().any(|a| a == "--optimize") {
+    let budget = parse_budget(args)?;
+    let threads: usize = flag_value(args, "--threads")
+        .map(|t| {
+            t.parse()
+                .map_err(|_| CliError::Usage(format!("bad --threads value `{t}`")))
+        })
+        .transpose()?
+        .unwrap_or(1);
+    let optimize = args.iter().any(|a| a == "--optimize");
+
+    let query = args
+        .iter()
+        .position(|a| a == "--query")
+        .and_then(|i| args.get(i + 1))
+        .map(|q| parse_atom(q).map_err(|e| e.to_string()))
+        .transpose()?;
+
+    // The governed optimizing path: under a budget, `--optimize` runs
+    // the degradation policy — the optimized program gets a slice of
+    // the budget and the rectified program answers if that route fails.
+    if optimize && budget.is_limited() {
+        let outcome = evaluate_governed(
+            &db,
+            &unit.program(),
+            &unit.constraints,
+            optimizer_config(args),
+            budget,
+            CancelToken::new(),
+            threads,
+        )
+        .map_err(CliError::Engine)?;
+        if let Some(why) = &outcome.degraded {
+            eprintln!("degraded: {why}");
+        }
+        eprintln!(
+            "route: {}",
+            match outcome.result.route {
+                Route::Direct => "direct (no optimization applied)",
+                Route::Optimized => "optimized program",
+                Route::RectifiedFallback => "rectified fallback",
+            }
+        );
+        emit_result(&outcome.result, query.as_ref(), args)?;
+        return Ok(());
+    }
+
+    let program = if optimize {
         let plan = build_plan(&unit, args)?;
         for a in &plan.applied {
             eprintln!("applied {}: {}", a.kind, a.note);
@@ -136,17 +291,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         unit.program()
     };
 
-    let query = args
-        .iter()
-        .position(|a| a == "--query")
-        .and_then(|i| args.get(i + 1))
-        .map(|q| parse_atom(q).map_err(|e| e.to_string()))
-        .transpose()?;
-
     if args.iter().any(|a| a == "--magic") {
         let goal = query.ok_or("--magic requires --query")?;
         let (answers, res) =
-            evaluate_query(&db, &program, &goal, strategy).map_err(|e| e.to_string())?;
+            evaluate_query(&db, &program, &goal, strategy).map_err(CliError::Engine)?;
         for t in &answers {
             println!("{}", render(goal.pred, t));
         }
@@ -154,16 +302,12 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
 
-    let threads: usize = flag_value(args, "--threads")
-        .map(|t| t.parse().map_err(|_| format!("bad --threads value `{t}`")))
-        .transpose()?
-        .unwrap_or(1);
     match flag_value(args, "--engine").map(String::as_str) {
         Some("topdown") => {
             let goal = query.ok_or("--engine topdown requires --query")?;
             let (answers, stats) =
                 semrec::engine::topdown::query_topdown(&db, &program, &goal)
-                    .map_err(|e| e.to_string())?;
+                    .map_err(CliError::Engine)?;
             for t in &answers {
                 println!("{}", render(goal.pred, t));
             }
@@ -178,7 +322,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                 &goal,
                 semrec::engine::sld::SldConfig::default(),
             )
-            .map_err(|e| e.to_string())?;
+            .map_err(CliError::Engine)?;
             for t in &answers {
                 println!("{}", render(goal.pred, t));
             }
@@ -187,16 +331,30 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         }
         Some("seminaive") | Some("naive") | None => {}
         Some(other) => {
-            return Err(format!(
+            return Err(CliError::Usage(format!(
                 "unknown engine `{other}` (seminaive, naive, topdown, sld)"
-            ));
+            )));
         }
     }
-    let res = semrec::engine::evaluate_parallel(&db, &program, strategy, threads)
-        .map_err(|e| e.to_string())?;
+    let mut ev = semrec::engine::Evaluator::new(&db, &program, strategy)
+        .map_err(CliError::Engine)?
+        .with_parallelism(threads)
+        .with_budget(budget);
+    ev.run().map_err(CliError::Engine)?;
+    let res = ev.finish();
+    emit_result(&res, query.as_ref(), args)?;
+    Ok(())
+}
+
+/// Prints answers (or the whole IDB) and handles `--save`.
+fn emit_result(
+    res: &semrec::engine::EvalResult,
+    query: Option<&semrec::datalog::Atom>,
+    args: &[String],
+) -> Result<(), CliError> {
     match query {
         Some(goal) => {
-            let mut answers = res.answers(&goal);
+            let mut answers = res.answers(goal);
             answers.sort();
             for t in &answers {
                 println!("{}", render(goal.pred, t));
@@ -217,7 +375,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
         for (p, rel) in &res.idb {
             semrec::engine::io::save_relation(*p, rel.sorted_tuples().iter(), dir)
-                .map_err(|e| e.to_string())?;
+                .map_err(CliError::Engine)?;
         }
         eprintln!("saved IDB relations to {}", dir.display());
     }
@@ -229,8 +387,8 @@ fn render(p: Pred, t: &[semrec::datalog::Value]) -> String {
     format!("{}({}).", p, cells.join(", "))
 }
 
-fn cmd_explain(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or_else(usage)?;
+fn cmd_explain(args: &[String]) -> Result<(), CliError> {
+    let path = need_path(args)?;
     let unit = load(path)?;
     let program = unit.program();
     let infos = validate(&program, &unit.constraints).map_err(|e| e.to_string())?;
@@ -272,10 +430,10 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_describe(args: &[String]) -> Result<(), String> {
+fn cmd_describe(args: &[String]) -> Result<(), CliError> {
     let (path, qsrc) = match args {
         [p, q, ..] => (p, q),
-        _ => return Err(usage()),
+        _ => return Err(CliError::Usage(usage())),
     };
     let unit = load(path)?;
     let query = semrec::iqa::parse_describe(qsrc).map_err(|e| e.to_string())?;
@@ -289,13 +447,13 @@ fn cmd_describe(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_gen(args: &[String]) -> Result<(), String> {
+fn cmd_gen(args: &[String]) -> Result<(), CliError> {
     use semrec::gen::{
         export, fanout, flights, genealogy, org, parse_scenario, university,
     };
     let (name, dir) = match args {
         [n, d, ..] => (n.as_str(), std::path::Path::new(d)),
-        _ => return Err(usage()),
+        _ => return Err(CliError::Usage(usage())),
     };
     let (scenario, db) = match name {
         "org" => (
@@ -318,7 +476,7 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
             parse_scenario(flights::PROGRAM),
             flights::generate(&flights::FlightsParams::default()),
         ),
-        other => return Err(format!("unknown scenario `{other}`")),
+        other => return Err(CliError::Usage(format!("unknown scenario `{other}`"))),
     };
     export::write_bundle(&scenario, &db, dir, name).map_err(|e| e.to_string())?;
     println!(
@@ -330,8 +488,8 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_plan(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or_else(usage)?;
+fn cmd_plan(args: &[String]) -> Result<(), CliError> {
+    let path = need_path(args)?;
     let unit = load(path)?;
     let program = if args.iter().any(|a| a == "--optimize") {
         build_plan(&unit, args)?.program
@@ -359,10 +517,10 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_why(args: &[String]) -> Result<(), String> {
+fn cmd_why(args: &[String]) -> Result<(), CliError> {
     let (path, fact_src) = match args {
         [p, f, ..] => (p, f),
-        _ => return Err(usage()),
+        _ => return Err(CliError::Usage(usage())),
     };
     let unit = load(path)?;
     let program = unit.program();
@@ -371,18 +529,18 @@ fn cmd_why(args: &[String]) -> Result<(), String> {
         return Err("`why` needs a ground atom".into());
     }
     let db = Database::from_facts(&unit.facts);
-    let res = evaluate(&db, &program, Strategy::SemiNaive).map_err(|e| e.to_string())?;
+    let res = evaluate(&db, &program, Strategy::SemiNaive).map_err(CliError::Engine)?;
     match semrec::engine::explain::explain_fact(&db, &res, &program, &goal) {
         Some(d) => {
             print!("{d}");
             Ok(())
         }
-        None => Err(format!("{goal} is not derivable")),
+        None => Err(format!("{goal} is not derivable").into()),
     }
 }
 
-fn cmd_check(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or_else(usage)?;
+fn cmd_check(args: &[String]) -> Result<(), CliError> {
+    let path = need_path(args)?;
     let unit = load(path)?;
     let program = unit.program();
     match validate(&program, &unit.constraints) {
@@ -395,7 +553,7 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
                 infos.len()
             );
         }
-        Err(e) => return Err(e.to_string()),
+        Err(e) => return Err(e.to_string().into()),
     }
     // classify_linear double-checks; then verify IC satisfaction on facts.
     classify_linear(&program).map_err(|e| e.to_string())?;
@@ -414,7 +572,7 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
     if violated == 0 {
         println!("all constraints satisfied by the embedded facts.");
     } else {
-        return Err(format!("{violated} constraint(s) violated"));
+        return Err(format!("{violated} constraint(s) violated").into());
     }
     Ok(())
 }

@@ -1,0 +1,352 @@
+//! Fault-injected agreement suite (`cargo test --features failpoints`).
+//!
+//! Every run below drives the parallel evaluator — or the full governed
+//! optimizer entry point — through a seed-derived random failpoint
+//! schedule and must end in exactly one of two ways: the *exact*
+//! serial-reference answer, or a typed [`EngineError`]. Never a wrong
+//! answer, never a hang (a test-side watchdog bounds every run), and
+//! never a corrupted database (the flat-storage invariant is checked
+//! after both outcomes).
+
+#![cfg(feature = "failpoints")]
+
+use semrec::engine::failpoint::{self, FailAction};
+use semrec::engine::{
+    Budget, CancelToken, Cutover, Database, EngineError, Evaluator, Route, Strategy, Tuple,
+};
+use semrec::gen::rng::Rng;
+use semrec::gen::{fanout, genealogy, parse_scenario};
+use std::sync::mpsc;
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Failpoint schedules are process-global: every test serializes here
+/// and clears the registry on both sides of its run.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+const WATCHDOG: Duration = Duration::from_secs(120);
+
+#[derive(Clone, Copy)]
+enum Workload {
+    Fanout,
+    Genealogy,
+}
+
+impl Workload {
+    fn build(self) -> (semrec::datalog::Program, Database, &'static str) {
+        match self {
+            Workload::Fanout => {
+                let s = parse_scenario(fanout::PROGRAM);
+                let db = fanout::generate(&fanout::FanoutParams {
+                    nodes: 120,
+                    extra_edges: 60,
+                    fanout: 6,
+                    seed: 13,
+                });
+                (s.program, db, "reach")
+            }
+            Workload::Genealogy => {
+                let s = parse_scenario(genealogy::PROGRAM);
+                let db = genealogy::generate(&genealogy::GenealogyParams {
+                    families: 3,
+                    depth: 4,
+                    branching: 2,
+                    seed: 13,
+                });
+                (s.program, db, "anc")
+            }
+        }
+    }
+
+    /// Serial semi-naive reference answer for the query predicate.
+    fn reference(self) -> Vec<Tuple> {
+        let (prog, db, query) = self.build();
+        let mut ev = Evaluator::new(&db, &prog, Strategy::SemiNaive).unwrap();
+        ev.run().unwrap();
+        ev.finish().relation(query).unwrap().sorted_tuples()
+    }
+}
+
+/// What a watchdogged evaluation reported back.
+struct RunReport {
+    result: Result<Vec<Tuple>, EngineError>,
+    invariants: Result<(), String>,
+}
+
+/// Runs a parallel evaluation of `workload` on its own thread and waits
+/// at most [`WATCHDOG`]; a timeout or a panic escaping the evaluator is
+/// a test failure in its own words, never a hang.
+fn run_with_watchdog(workload: Workload) -> RunReport {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let (prog, db, query) = workload.build();
+        let mut ev = Evaluator::new(&db, &prog, Strategy::SemiNaive)
+            .unwrap()
+            .with_parallelism(4)
+            .with_cutover(Cutover::ForceParallel)
+            .with_budget(Budget::unlimited().with_deadline(Duration::from_secs(60)));
+        let run = ev.run();
+        let invariants = ev.check_invariants();
+        let result = match run {
+            Ok(()) => Ok(ev.finish().relation(query).unwrap().sorted_tuples()),
+            Err(e) => Err(e),
+        };
+        // A dropped receiver (watchdog already fired) is not our problem.
+        let _ = tx.send(RunReport { result, invariants });
+    });
+    match rx.recv_timeout(WATCHDOG) {
+        Ok(report) => report,
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            panic!("fault-injected evaluation hung past {WATCHDOG:?}")
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            panic!("evaluation panicked instead of returning a typed error")
+        }
+    }
+}
+
+/// Draws one schedule entry from the seed stream. `eval.round` lives on
+/// the control thread where a panic has no `catch_unwind` above it by
+/// design (the governed entry point adds one), so its drawn actions are
+/// limited to the site's error channel and delays.
+fn draw_schedule(rng: &mut Rng) -> (&'static str, u64, FailAction) {
+    let site = ["pool.join", "pool.merge", "eval.round"][rng.gen_range(0..3usize)];
+    let fire_at = rng.gen_range(0..6usize) as u64;
+    let action = match (site, rng.gen_range(0..3usize)) {
+        ("eval.round", 0) => FailAction::DelayMs(rng.gen_range(1..20usize) as u64),
+        (_, 0) => FailAction::Panic,
+        (_, 1) => FailAction::DelayMs(rng.gen_range(1..20usize) as u64),
+        (_, _) => FailAction::Err,
+    };
+    (site, fire_at, action)
+}
+
+fn typed(err: &EngineError) -> bool {
+    matches!(
+        err,
+        EngineError::WorkerPanicked { .. }
+            | EngineError::Io(_)
+            | EngineError::Cancelled
+            | EngineError::DeadlineExceeded { .. }
+            | EngineError::BudgetExceeded { .. }
+    )
+}
+
+/// The core agreement property: across ≥ 32 seeds and two workloads,
+/// every fault-injected parallel run either reproduces the serial
+/// reference exactly or fails with a typed error — and the database
+/// passes its invariant check either way.
+#[test]
+fn fault_injected_runs_agree_or_fail_typed() {
+    let _g = serial();
+    let references = [
+        Workload::Fanout.reference(),
+        Workload::Genealogy.reference(),
+    ];
+    let mut completed = 0u32;
+    let mut failed = 0u32;
+    for seed in 0..36u64 {
+        let workload = if seed % 2 == 0 {
+            Workload::Fanout
+        } else {
+            Workload::Genealogy
+        };
+        let reference = &references[(seed % 2) as usize];
+        let mut rng = Rng::seed_from_u64(seed);
+        let (site, fire_at, action) = draw_schedule(&mut rng);
+
+        failpoint::clear();
+        failpoint::arm(site, fire_at, action);
+        let report = run_with_watchdog(workload);
+        failpoint::clear();
+
+        report
+            .invariants
+            .unwrap_or_else(|e| panic!("seed {seed} ({site} {action:?}@{fire_at}): {e}"));
+        match report.result {
+            Ok(tuples) => {
+                completed += 1;
+                assert_eq!(
+                    &tuples, reference,
+                    "seed {seed} ({site} {action:?}@{fire_at}): wrong answer"
+                );
+            }
+            Err(err) => {
+                failed += 1;
+                assert!(
+                    typed(&err),
+                    "seed {seed} ({site} {action:?}@{fire_at}): untyped error {err:?}"
+                );
+            }
+        }
+    }
+    // The schedule mix must actually exercise both outcomes; an
+    // all-success (or all-failure) sweep means the sites went dead.
+    assert!(completed > 0, "no fault-injected run completed");
+    assert!(failed > 0, "no fault-injected run tripped a failure");
+}
+
+/// A panic inside a worker job surfaces as `WorkerPanicked` naming the
+/// phase, and the pool plus database remain usable for a clean rerun.
+#[test]
+fn worker_panic_is_typed_and_recoverable() {
+    let _g = serial();
+    for site in ["pool.join", "pool.merge"] {
+        failpoint::clear();
+        failpoint::arm(site, 0, FailAction::Panic);
+        let report = run_with_watchdog(Workload::Fanout);
+        failpoint::clear();
+        report.invariants.expect("invariants after worker panic");
+        match report.result {
+            Err(EngineError::WorkerPanicked { job, payload }) => {
+                assert_eq!(job, site);
+                assert!(payload.contains("injected panic"), "payload: {payload}");
+            }
+            other => panic!("{site}: expected WorkerPanicked, got {other:?}"),
+        }
+        // Disarmed registry: the same workload now runs to the exact
+        // reference answer.
+        let clean = run_with_watchdog(Workload::Fanout);
+        clean.invariants.expect("invariants after clean rerun");
+        assert_eq!(
+            clean.result.expect("clean rerun completes"),
+            Workload::Fanout.reference()
+        );
+    }
+}
+
+/// An injected error at the round boundary comes back as `Io` with the
+/// injection message, with all previously committed rounds intact.
+#[test]
+fn round_boundary_error_is_typed() {
+    let _g = serial();
+    failpoint::clear();
+    failpoint::arm("eval.round", 2, FailAction::Err);
+    let report = run_with_watchdog(Workload::Genealogy);
+    failpoint::clear();
+    report.invariants.expect("invariants after round error");
+    match report.result {
+        Err(EngineError::Io(msg)) => assert!(msg.contains("injected error"), "{msg}"),
+        other => panic!("expected Io, got {other:?}"),
+    }
+}
+
+/// The degradation policy end to end: when the optimizer's push stage
+/// fails (error or panic), `evaluate_governed` falls back to the
+/// rectified program and answers *identically* to the rectified
+/// serial reference.
+#[test]
+fn optimizer_failure_degrades_to_rectified_with_identical_answers() {
+    let _g = serial();
+    let s = parse_scenario(fanout::PROGRAM);
+    let db = fanout::generate(&fanout::FanoutParams {
+        nodes: 80,
+        extra_edges: 40,
+        fanout: 5,
+        seed: 21,
+    });
+    let reference = {
+        let (rect, _) = semrec::datalog::analysis::rectify(&s.program);
+        let mut ev = Evaluator::new(&db, &rect, Strategy::SemiNaive).unwrap();
+        ev.run().unwrap();
+        ev.finish().relation("reach").unwrap().sorted_tuples()
+    };
+    for action in [FailAction::Err, FailAction::Panic] {
+        failpoint::clear();
+        failpoint::arm("optimizer.push", 0, action);
+        let outcome = semrec::core::evaluate_governed(
+            &db,
+            &s.program,
+            &s.constraints,
+            semrec::core::OptimizerConfig::default(),
+            Budget::unlimited().with_deadline(Duration::from_secs(60)),
+            CancelToken::new(),
+            2,
+        );
+        failpoint::clear();
+        let outcome = outcome.unwrap_or_else(|e| panic!("{action:?}: fallback must answer: {e}"));
+        assert_eq!(outcome.result.route, Route::RectifiedFallback, "{action:?}");
+        let why = outcome
+            .degraded
+            .unwrap_or_else(|| panic!("{action:?}: degradation must be reported"));
+        assert!(!why.is_empty());
+        assert_eq!(
+            outcome.result.relation("reach").unwrap().sorted_tuples(),
+            reference,
+            "{action:?}: fallback answer diverges from rectified reference"
+        );
+    }
+}
+
+/// A panic *during evaluation* of the optimized route (injected at the
+/// round boundary, where no pool `catch_unwind` sits above it) is
+/// contained by the governed entry point, reported as degradation, and
+/// answered via the rectified program — the one-shot failpoint has
+/// fired by fallback time, so the rerun is clean.
+#[test]
+fn optimized_route_eval_panic_degrades_to_rectified() {
+    let _g = serial();
+    let s = parse_scenario(fanout::PROGRAM);
+    let db = fanout::generate(&fanout::FanoutParams {
+        nodes: 80,
+        extra_edges: 40,
+        fanout: 5,
+        seed: 21,
+    });
+    let reference = {
+        let (rect, _) = semrec::datalog::analysis::rectify(&s.program);
+        let mut ev = Evaluator::new(&db, &rect, Strategy::SemiNaive).unwrap();
+        ev.run().unwrap();
+        ev.finish().relation("reach").unwrap().sorted_tuples()
+    };
+    failpoint::clear();
+    failpoint::arm("eval.round", 1, FailAction::Panic);
+    let outcome = semrec::core::evaluate_governed(
+        &db,
+        &s.program,
+        &s.constraints,
+        semrec::core::OptimizerConfig::default(),
+        Budget::unlimited().with_deadline(Duration::from_secs(60)),
+        CancelToken::new(),
+        4,
+    );
+    failpoint::clear();
+    let outcome = outcome.expect("fallback must answer after evaluation panic");
+    assert_eq!(outcome.result.route, Route::RectifiedFallback);
+    assert!(outcome.degraded.is_some());
+    assert_eq!(
+        outcome.result.relation("reach").unwrap().sorted_tuples(),
+        reference
+    );
+}
+
+/// The `io.load` site surfaces the injected failure as a typed I/O
+/// error from CSV loading.
+#[test]
+fn io_load_failure_is_typed() {
+    let _g = serial();
+    let dir = std::env::temp_dir().join("semrec_fault_injection_io");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("edge.csv");
+    std::fs::write(&path, "1,2\n2,3\n").unwrap();
+
+    failpoint::clear();
+    failpoint::arm("io.load", 0, FailAction::Err);
+    let mut db = Database::new();
+    let err = semrec::engine::io::load_file(&mut db, "edge", &path)
+        .expect_err("armed io.load must fail");
+    failpoint::clear();
+    match err {
+        EngineError::Io(msg) => assert!(msg.contains("injected error"), "{msg}"),
+        other => panic!("expected Io, got {other:?}"),
+    }
+    // Disarmed, the same file loads.
+    assert_eq!(
+        semrec::engine::io::load_file(&mut db, "edge", &path).unwrap(),
+        2
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
