@@ -307,11 +307,7 @@ pub fn diff_table(fresh: &[WorkloadResult], baseline: &[BaselineWorkload]) -> St
             .iter()
             .find(|b| b.name == w.name && b.params == w.params);
         let Some(base) = base else {
-            let _ = writeln!(
-                s,
-                "{:<12} {:<42}   (not in baseline)",
-                w.name, w.params
-            );
+            let _ = writeln!(s, "{:<12} {:<42}   (not in baseline)", w.name, w.params);
             continue;
         };
         for t in &w.timings {
@@ -331,7 +327,10 @@ pub fn diff_table(fresh: &[WorkloadResult], baseline: &[BaselineWorkload]) -> St
         }
     }
     for b in baseline {
-        if !fresh.iter().any(|w| w.name == b.name && w.params == b.params) {
+        if !fresh
+            .iter()
+            .any(|w| w.name == b.name && w.params == b.params)
+        {
             let _ = writeln!(
                 s,
                 "{:<12} {:<42}   (baseline only; not re-run)",
@@ -348,11 +347,12 @@ mod tests {
 
     #[test]
     fn parses_scalars_and_nesting() {
-        let doc = parse_json(
-            r#"{"a": [1, -2.5, 3e2], "b": "x\ny A", "c": null, "d": true}"#,
-        )
-        .unwrap();
-        assert_eq!(doc.get("a").unwrap().as_arr().unwrap()[2].as_num(), Some(300.0));
+        let doc =
+            parse_json(r#"{"a": [1, -2.5, 3e2], "b": "x\ny A", "c": null, "d": true}"#).unwrap();
+        assert_eq!(
+            doc.get("a").unwrap().as_arr().unwrap()[2].as_num(),
+            Some(300.0)
+        );
         assert_eq!(doc.get("b").unwrap().as_str(), Some("x\ny A"));
         assert_eq!(doc.get("c"), Some(&Json::Null));
         assert_eq!(doc.get("d"), Some(&Json::Bool(true)));

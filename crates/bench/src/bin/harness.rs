@@ -84,8 +84,7 @@ fn main() -> ExitCode {
         let governance = run_governance_bench(quick);
         print!("{}", governance_table(&governance));
         if json {
-            let out = Path::new(env!("CARGO_MANIFEST_DIR"))
-                .join("../../BENCH_fixpoint.json");
+            let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_fixpoint.json");
             std::fs::write(&out, to_json_full(&results, &semantic, &governance))
                 .expect("write BENCH_fixpoint.json");
             println!("wrote {}", out.display());

@@ -72,7 +72,13 @@ pub fn e1(scale: Scale) -> Vec<Table> {
     let mut t = Table::new(
         "E1 — atom elimination (Ex. 4.1/3.2 + guarded reachability)",
         &[
-            "scenario", "k", "param", "orig time", "opt time", "orig rows", "opt rows",
+            "scenario",
+            "k",
+            "param",
+            "orig time",
+            "opt time",
+            "orig rows",
+            "opt rows",
             "rows saved",
         ],
     );
@@ -189,7 +195,12 @@ pub fn e2(scale: Scale) -> Vec<Table> {
     let mut t = Table::new(
         "E2 — atom introduction (Ex. 4.2: doctoral into eval_support)",
         &[
-            "rich_frac", "doctoral", "pays", "no-intro time", "intro time", "no-intro rows",
+            "rich_frac",
+            "doctoral",
+            "pays",
+            "no-intro time",
+            "intro time",
+            "no-intro rows",
             "intro rows",
         ],
     );
@@ -259,7 +270,10 @@ pub fn e3(scale: Scale) -> Vec<Table> {
     let rel = db.get(Pred::new("par")).unwrap();
     let mut ages = Vec::new();
     for probe in [|a: i64| a <= 50, |a: i64| a > 100] {
-        if let Some(t) = rel.iter().find(|t| matches!(t[3], Value::Int(a) if probe(a))) {
+        if let Some(t) = rel
+            .iter()
+            .find(|t| matches!(t[3], Value::Int(a) if probe(a)))
+        {
             if let Value::Int(a) = t[3] {
                 ages.push(a);
             }
@@ -285,14 +299,21 @@ pub fn e3(scale: Scale) -> Vec<Table> {
     let mut td = Table::new(
         "E3c — pruning × tabled top-down evaluation",
         &[
-            "bound age", "orig expansions", "pruned expansions", "orig resolutions",
-            "pruned resolutions", "answers",
+            "bound age",
+            "orig expansions",
+            "pruned expansions",
+            "orig resolutions",
+            "pruned resolutions",
+            "answers",
         ],
     );
     let rel = db.get(Pred::new("par")).unwrap();
     let mut ages = Vec::new();
     for probe in [|a: i64| a <= 50, |a: i64| a > 100] {
-        if let Some(tp) = rel.iter().find(|t| matches!(t[3], Value::Int(a) if probe(a))) {
+        if let Some(tp) = rel
+            .iter()
+            .find(|t| matches!(t[3], Value::Int(a) if probe(a)))
+        {
             if let Value::Int(a) = tp[3] {
                 ages.push(a);
             }
@@ -301,10 +322,8 @@ pub fn e3(scale: Scale) -> Vec<Table> {
     for age in ages {
         let mut goal = parse_atom("anc(X, Xa, Y, Ya)").unwrap();
         goal.args[3] = Term::Const(Value::Int(age));
-        let (a1, s1) =
-            semrec_engine::topdown::query_topdown(&db, &plan.rectified, &goal).unwrap();
-        let (a2, s2) =
-            semrec_engine::topdown::query_topdown(&db, &plan.program, &goal).unwrap();
+        let (a1, s1) = semrec_engine::topdown::query_topdown(&db, &plan.rectified, &goal).unwrap();
+        let (a2, s2) = semrec_engine::topdown::query_topdown(&db, &plan.program, &goal).unwrap();
         assert_eq!(a1, a2);
         td.row(vec![
             age.to_string(),
@@ -331,13 +350,20 @@ pub fn e3(scale: Scale) -> Vec<Table> {
     let mut sld = Table::new(
         "E3d — pruning × depth-bounded SLD (no tabling)",
         &[
-            "bound age", "orig expansions", "pruned expansions", "saved", "answers",
+            "bound age",
+            "orig expansions",
+            "pruned expansions",
+            "saved",
+            "answers",
         ],
     );
     let rel = small.get(Pred::new("par")).unwrap();
     let mut ages = Vec::new();
     for probe in [|a: i64| a <= 50, |a: i64| a > 100] {
-        if let Some(tp) = rel.iter().find(|t| matches!(t[3], Value::Int(a) if probe(a))) {
+        if let Some(tp) = rel
+            .iter()
+            .find(|t| matches!(t[3], Value::Int(a) if probe(a)))
+        {
             if let Value::Int(a) = tp[3] {
                 ages.push(a);
             }
@@ -371,8 +397,13 @@ pub fn e4(scale: Scale) -> Vec<Table> {
     let mut t = Table::new(
         "E4 — compile-time vs evaluation-based semantic optimization",
         &[
-            "scenario", "rounds", "compiled: optimize once", "compiled: eval",
-            "baseline: re-optimize total", "baseline: total", "residue computations",
+            "scenario",
+            "rounds",
+            "compiled: optimize once",
+            "compiled: eval",
+            "baseline: re-optimize total",
+            "baseline: total",
+            "residue computations",
         ],
     );
     let cases: Vec<(&str, Scenario, Database, &str)> = vec![
@@ -444,16 +475,20 @@ pub fn e4(scale: Scale) -> Vec<Table> {
 pub fn e5(scale: Scale) -> Vec<Table> {
     let mut t = Table::new(
         "E5 — residue detection: Algorithm 3.1 vs exhaustive enumeration",
-        &["ic atoms k", "sdgraph", "exhaustive", "speedup", "found (both)"],
+        &[
+            "ic atoms k",
+            "sdgraph",
+            "exhaustive",
+            "speedup",
+            "found (both)",
+        ],
     );
     let kmax = scale.pick(4, 5);
     for k in 2..=kmax {
         let (program, ic) = chain_detection_workload(k);
         let (prog, _) = rectify(&program);
         let info = classify_linear_pred(&prog, Pred::new("p")).unwrap();
-        let (sd, t_sd) = timed(|| {
-            detect(&prog, &info, &ic, DetectionMethod::SdGraph, 0).unwrap()
-        });
+        let (sd, t_sd) = timed(|| detect(&prog, &info, &ic, DetectionMethod::SdGraph, 0).unwrap());
         let (ex, t_ex) = timed(|| {
             detect(
                 &prog,
@@ -467,8 +502,8 @@ pub fn e5(scale: Scale) -> Vec<Table> {
         // Every SD detection is found exhaustively.
         for d in &sd {
             assert!(
-                ex.iter().any(|e| e.residue.seq == d.residue.seq
-                    && e.residue.head == d.residue.head),
+                ex.iter()
+                    .any(|e| e.residue.seq == d.residue.seq && e.residue.head == d.residue.head),
                 "missing {:?}",
                 d.residue.seq
             );
@@ -496,11 +531,11 @@ pub fn chain_detection_workload(k: usize) -> (Program, semrec_datalog::Constrain
     ";
     let program = parse_unit(src).unwrap().program();
     // IC: a(V1, V2), a(V2, V3), …, a(Vk, Vk+1) -> q(V1, Vk+1).
-    let atoms: Vec<String> = (0..k)
-        .map(|i| format!("a(V{}, V{})", i, i + 1))
-        .collect();
+    let atoms: Vec<String> = (0..k).map(|i| format!("a(V{}, V{})", i, i + 1)).collect();
     let ic_src = format!("ic: {} -> q(V0, V{k}).", atoms.join(", "));
-    let ic = semrec_datalog::parse_constraints(&ic_src).unwrap().remove(0);
+    let ic = semrec_datalog::parse_constraints(&ic_src)
+        .unwrap()
+        .remove(0);
     (program, ic)
 }
 
@@ -510,7 +545,11 @@ pub fn e6(_scale: Scale) -> Vec<Table> {
     let mut t = Table::new(
         "E6 — free (sequence) residues vs CGM rule-level residues",
         &[
-            "scenario", "ic", "CGM residues", "directly usable", "free detections",
+            "scenario",
+            "ic",
+            "CGM residues",
+            "directly usable",
+            "free detections",
             "useful/pushable",
         ],
     );
@@ -592,10 +631,7 @@ pub fn e7(scale: Scale) -> Vec<Table> {
 /// E8 — ablation: the cost of isolation alone (faithful Algorithm 4.1 and
 /// the full-commitment variant) with no optimization applied.
 pub fn e8(scale: Scale) -> Vec<Table> {
-    let unit = parse_unit(
-        "anc(X, Y) :- par(X, Y). anc(X, Y) :- anc(X, Z), par(Z, Y).",
-    )
-    .unwrap();
+    let unit = parse_unit("anc(X, Y) :- par(X, Y). anc(X, Y) :- anc(X, Z), par(Z, Y).").unwrap();
     let (prog, _) = rectify(&unit.program());
     let info = classify_linear_pred(&prog, Pred::new("anc")).unwrap();
     let db = semrec_gen::graphs::tree("par", scale.pick(2_000, 10_000), 2);
@@ -642,7 +678,14 @@ pub fn e9(_scale: Scale) -> Vec<Table> {
     .program();
     let mut t = Table::new(
         "E9 — intelligent query answering (Ex. 5.1)",
-        &["query", "relevant", "irrelevant", "qualified", "needs-more", "time"],
+        &[
+            "query",
+            "relevant",
+            "irrelevant",
+            "qualified",
+            "needs-more",
+            "time",
+        ],
     );
     for q in [
         "describe honors(S) where major(S, cs), graduated(S, C), topten(C), hobby(S, chess).",
@@ -682,11 +725,7 @@ pub fn e10(scale: Scale) -> Vec<Table> {
     // over disjoint edge relations.
     let k = 8usize;
     let rules: String = (0..k)
-        .map(|i| {
-            format!(
-                "t{i}(X, Y) :- e{i}(X, Y). t{i}(X, Y) :- e{i}(X, Z), t{i}(Z, Y).\n"
-            )
-        })
+        .map(|i| format!("t{i}(X, Y) :- e{i}(X, Y). t{i}(X, Y) :- e{i}(X, Z), t{i}(Z, Y).\n"))
         .collect();
     let program: Program = rules.parse().unwrap();
     let mut db = Database::new();
@@ -709,8 +748,7 @@ pub fn e10(scale: Scale) -> Vec<Table> {
     let mut base = None;
     for threads in [1usize, 2, 4] {
         let (res, d) = timed(|| {
-            semrec_engine::evaluate_parallel(&db, &program, Strategy::SemiNaive, threads)
-                .unwrap()
+            semrec_engine::evaluate_parallel(&db, &program, Strategy::SemiNaive, threads).unwrap()
         });
         let baseline = *base.get_or_insert(d.as_secs_f64());
         t.row(vec![

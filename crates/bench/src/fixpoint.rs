@@ -419,12 +419,7 @@ pub fn check_scaling(results: &[WorkloadResult]) -> Result<String, String> {
         if w.rows_idb < SCALING_MIN_IDB_ROWS {
             continue;
         }
-        let ms = |n: usize| {
-            w.timings
-                .iter()
-                .find(|t| t.threads == n)
-                .map(|t| t.millis)
-        };
+        let ms = |n: usize| w.timings.iter().find(|t| t.threads == n).map(|t| t.millis);
         let (Some(t1), Some(t4)) = (ms(1), ms(4)) else {
             continue;
         };
@@ -525,7 +520,11 @@ pub fn to_json_full(
             json_f(r.overhead_pct()),
             r.rows_idb
         );
-        s.push_str(if i + 1 < governance.len() { ",\n" } else { "\n" });
+        s.push_str(if i + 1 < governance.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     s.push_str("  ]\n}\n");
     s

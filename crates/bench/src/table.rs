@@ -43,10 +43,7 @@ impl Table {
         let mut out = String::new();
         out.push_str(&format!("### {}\n\n", self.title));
         out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
-        out.push_str(&format!(
-            "|{}\n",
-            "---|".repeat(self.headers.len())
-        ));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.headers.len())));
         for r in &self.rows {
             out.push_str(&format!("| {} |\n", r.join(" | ")));
         }
@@ -73,7 +70,11 @@ impl fmt::Display for Table {
             writeln!(f)
         };
         line(f, &self.headers)?;
-        writeln!(f, " {}", "-".repeat(widths.iter().sum::<usize>() + widths.len() - 1))?;
+        writeln!(
+            f,
+            " {}",
+            "-".repeat(widths.iter().sum::<usize>() + widths.len() - 1)
+        )?;
         for r in &self.rows {
             line(f, r)?;
         }

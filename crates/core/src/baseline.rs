@@ -358,8 +358,9 @@ mod tests {
             );
         }
         let base = evaluate(&db, &program, Strategy::SemiNaive).unwrap();
-        let rt = evaluate_with_runtime_semantics(&db, &program, &unit.constraints, Strategy::SemiNaive)
-            .unwrap();
+        let rt =
+            evaluate_with_runtime_semantics(&db, &program, &unit.constraints, Strategy::SemiNaive)
+                .unwrap();
         assert_eq!(
             base.relation("anc").unwrap().sorted_tuples(),
             rt.result.relation("anc").unwrap().sorted_tuples()
@@ -383,7 +384,10 @@ mod tests {
         let mut db = Database::new();
         db.insert(
             "p",
-            vec![semrec_datalog::Value::Int(1), semrec_datalog::Value::Int(50)],
+            vec![
+                semrec_datalog::Value::Int(1),
+                semrec_datalog::Value::Int(50),
+            ],
         );
         let a = evaluate(&db, &unit.program(), Strategy::SemiNaive).unwrap();
         let b = evaluate(&db, &rw, Strategy::SemiNaive).unwrap();

@@ -139,12 +139,7 @@ pub fn rule_residues(ic: &Constraint, rule: &Rule) -> Vec<StdResidue> {
     let apart: Subst = ic
         .vars()
         .into_iter()
-        .map(|v| {
-            (
-                v,
-                Term::Var(Symbol::intern(&format!("{v}`ic"))),
-            )
-        })
+        .map(|v| (v, Term::Var(Symbol::intern(&format!("{v}`ic")))))
         .collect();
     let ic = ic.apply(&apart);
     let ic = &ic;
@@ -245,11 +240,9 @@ mod tests {
 
     /// Example 2.1's program rule r0 and IC (primes written as W-variables).
     fn example_2_1() -> (Constraint, Rule) {
-        let ic = parse_constraints(
-            "ic: a(V1, V2, V3), b(V2, V4), c(V4, V5, V6) -> d(V6, V7).",
-        )
-        .unwrap()
-        .remove(0);
+        let ic = parse_constraints("ic: a(V1, V2, V3), b(V2, V4), c(V4, V5, V6) -> d(V6, V7).")
+            .unwrap()
+            .remove(0);
         let rule = parse_rule(
             "p(X1, X2, X3, X4, X5, X6) :- a(X1, X2, X4), b(W2, X3), c(W3, W4, X5),
              d(W5, X6), p(X1, W2, W3, W4, W5, W6).",
@@ -300,8 +293,10 @@ mod tests {
         assert!(best.body_atoms.is_empty());
         assert_eq!(best.body_cmps.len(), 2);
         let conds: Vec<String> = best.body_cmps.iter().map(|c| c.to_string()).collect();
-        assert!(conds.contains(&"W2 = X2".to_string()) || conds.contains(&"X2 = W2".to_string()),
-            "conds: {conds:?}");
+        assert!(
+            conds.contains(&"W2 = X2".to_string()) || conds.contains(&"X2 = W2".to_string()),
+            "conds: {conds:?}"
+        );
         let ResidueHead::Atom(h) = &best.head else {
             panic!("expected atom head")
         };
@@ -346,7 +341,9 @@ mod tests {
 
     #[test]
     fn denial_gives_null_residue() {
-        let ic = parse_constraints("ic: a(X, Y), X > 100 -> .").unwrap().remove(0);
+        let ic = parse_constraints("ic: a(X, Y), X > 100 -> .")
+            .unwrap()
+            .remove(0);
         let rule = parse_rule("p(U, V) :- a(U, V), b(V, U).").unwrap();
         let residues = rule_residues(&ic, &rule);
         let best = residues.iter().max_by_key(|r| r.matched).unwrap();

@@ -260,9 +260,7 @@ mod tests {
             .filter(|r| r.head.pred == q1)
             .collect();
         assert_eq!(q1_rules.len(), 1);
-        assert!(q1_rules[0]
-            .body_atoms()
-            .any(|a| a.pred == Pred::new("anc")));
+        assert!(q1_rules[0].body_atoms().any(|a| a.pred == Pred::new("anc")));
     }
 
     #[test]
@@ -284,7 +282,13 @@ mod tests {
     #[test]
     fn all_rules_range_restricted_and_connected() {
         let (p, info) = setup(ANC, "anc");
-        for seq in [vec![1], vec![1, 1], vec![1, 1, 1], vec![1, 0], vec![1, 1, 0]] {
+        for seq in [
+            vec![1],
+            vec![1, 1],
+            vec![1, 1, 1],
+            vec![1, 0],
+            vec![1, 1, 0],
+        ] {
             let u = unfold(&p, &info, &seq).unwrap();
             let iso = isolate(&p, &info, &u);
             for r in &iso.program.rules {

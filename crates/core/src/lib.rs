@@ -10,21 +10,21 @@
 
 #![warn(missing_docs)]
 
-pub mod detect;
 pub mod baseline;
 pub mod cleanup;
+pub mod detect;
+pub mod expand;
+pub mod graph;
+pub mod hom;
 pub mod isolate;
 pub mod minimize;
 pub mod optimizer;
 pub mod push;
-pub mod expand;
-pub mod graph;
-pub mod hom;
 pub mod residue;
 pub mod sequence;
 pub mod subsume;
 
 pub use detect::{detect, Detection, DetectionMethod};
-pub use residue::{Residue, ResidueHead};
 pub use optimizer::{evaluate_governed, GovernedOutcome, Optimizer, OptimizerConfig, Plan};
+pub use residue::{Residue, ResidueHead};
 pub use sequence::{unfold, Unfolding};

@@ -88,9 +88,7 @@ pub fn minimize_rule(rule: &Rule) -> Rule {
 /// literal of `general`·θ occurring in `specific`'s body. Then `specific`
 /// derives nothing `general` would not.
 pub fn rule_subsumes(general: &Rule, specific: &Rule) -> bool {
-    if general.head.pred != specific.head.pred
-        || general.head.arity() != specific.head.arity()
-    {
+    if general.head.pred != specific.head.pred || general.head.arity() != specific.head.arity() {
         return false;
     }
     let mut theta = Subst::new();
@@ -135,10 +133,14 @@ fn subsume_body(general: &Rule, specific: &Rule, i: usize, theta: Subst) -> bool
             if inst.is_trivially_true() {
                 return subsume_body(general, specific, i + 1, theta);
             }
-            let present = specific
-                .body_cmps()
-                .any(|sc| *sc == inst || (sc.lhs == inst.rhs && sc.rhs == inst.lhs && sc.op == inst.op.flip()));
-            if present && inst.vars().all(|v| theta.get(v).is_some() || specific.vars().contains(&v)) {
+            let present = specific.body_cmps().any(|sc| {
+                *sc == inst || (sc.lhs == inst.rhs && sc.rhs == inst.lhs && sc.op == inst.op.flip())
+            });
+            if present
+                && inst
+                    .vars()
+                    .all(|v| theta.get(v).is_some() || specific.vars().contains(&v))
+            {
                 subsume_body(general, specific, i + 1, theta)
             } else {
                 false
@@ -274,8 +276,10 @@ mod tests {
         .unwrap()
         .program();
         let m = minimize_program(&p);
-        assert!(m.rules.iter().map(|r| r.body.len()).sum::<usize>()
-            < p.rules.iter().map(|r| r.body.len()).sum::<usize>());
+        assert!(
+            m.rules.iter().map(|r| r.body.len()).sum::<usize>()
+                < p.rules.iter().map(|r| r.body.len()).sum::<usize>()
+        );
         let mut db = Database::new();
         for (a, b) in [(0, 1), (1, 2), (2, 0), (1, 3)] {
             db.insert("e", int_tuple(&[a, b]));

@@ -86,7 +86,11 @@ impl fmt::Display for Plan {
             writeln!(f, "skipped {}: {}", s.residue, s.reason)?;
         }
         if self.rule_level > 0 {
-            writeln!(f, "applied {} rule-level optimization(s) to non-recursive rules", self.rule_level)?;
+            writeln!(
+                f,
+                "applied {} rule-level optimization(s) to non-recursive rules",
+                self.rule_level
+            )?;
         }
         writeln!(f, "— optimized program —")?;
         write!(f, "{}", self.program)
@@ -182,9 +186,7 @@ impl Optimizer {
                 .program
                 .rules
                 .iter()
-                .filter(|r| {
-                    r.head.pred == info.pred || r.head.pred.name().contains('@')
-                })
+                .filter(|r| r.head.pred == info.pred || r.head.pred.name().contains('@'))
                 .cloned()
                 .collect();
             per_pred_rules.insert(info.pred, rules);
@@ -205,8 +207,7 @@ impl Optimizer {
         // Non-recursive rules need no isolation: push rule-level residues
         // (the k = 1 case, e.g. Example 4.2's eval_support rule) directly,
         // at compile time.
-        let recursive: std::collections::BTreeSet<Pred> =
-            infos.iter().map(|i| i.pred).collect();
+        let recursive: std::collections::BTreeSet<Pred> = infos.iter().map(|i| i.pred).collect();
         let non_recursive: std::collections::BTreeSet<Pred> = program
             .idb_preds()
             .into_iter()
@@ -279,10 +280,7 @@ fn choose_sequence(detections: &[&Detection], policy: &PushPolicy) -> Option<Vec
             // lexicographically larger (prefers all-recursive sequences
             // over exit-closed variants of the same length — they cover
             // arbitrarily deep trees rather than a single depth).
-            sb.len()
-                .cmp(&sa.len())
-                .then(a.cmp(b))
-                .then(sa.cmp(sb))
+            sb.len().cmp(&sa.len()).then(a.cmp(b)).then(sa.cmp(sb))
         })
         .map(|(seq, _)| seq)
 }
@@ -467,10 +465,8 @@ mod tests {
 
     #[test]
     fn no_ics_means_no_change() {
-        let unit = parse_unit(
-            "anc(X, Y) :- par(X, Y). anc(X, Y) :- anc(X, Z), par(Z, Y).",
-        )
-        .unwrap();
+        let unit =
+            parse_unit("anc(X, Y) :- par(X, Y). anc(X, Y) :- anc(X, Z), par(Z, Y).").unwrap();
         let plan = Optimizer::new(&unit.program()).run().unwrap();
         assert!(!plan.any_applied());
         assert_eq!(plan.program, plan.rectified);
@@ -570,9 +566,7 @@ mod minimize_integration_tests {
             .with_config(config)
             .run()
             .unwrap();
-        let atoms = |p: &Program| -> usize {
-            p.rules.iter().map(|r| r.body.len()).sum()
-        };
+        let atoms = |p: &Program| -> usize { p.rules.iter().map(|r| r.body.len()).sum() };
         assert!(atoms(&tidy.program) < atoms(&plain.program));
 
         let mut db = Database::new();

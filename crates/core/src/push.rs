@@ -411,10 +411,7 @@ impl<'a> Pusher<'a> {
     }
 
     fn level_rule_safe(&self, chain: &Chain, level: usize, unfolding: &Unfolding) -> bool {
-        let head = Atom::new(
-            Pred::new("chk@"),
-            unfolding.call_args[level - 1].clone(),
-        );
+        let head = Atom::new(Pred::new("chk@"), unfolding.call_args[level - 1].clone());
         let rule = Rule::new(head, chain.steps[level - 1].clone());
         rule.is_range_restricted() && safety::unsafe_vars(&rule).is_empty()
     }
@@ -522,10 +519,7 @@ impl<'a> Pusher<'a> {
     fn retarget(&self, rule: &Rule, p: Pred, target: Pred, level: usize, tag: usize) -> Rule {
         let mut sigma = Subst::new();
         for v in rule.local_vars() {
-            sigma.insert(
-                v,
-                Term::Var(Symbol::intern(&format!("{v}~v{level}t{tag}"))),
-            );
+            sigma.insert(v, Term::Var(Symbol::intern(&format!("{v}~v{level}t{tag}"))));
         }
         let body = rule
             .body
@@ -563,14 +557,7 @@ mod tests {
     use semrec_datalog::parser::parse_unit;
     use semrec_engine::{evaluate, Database, Strategy};
 
-    fn setup(
-        src: &str,
-        pred: &str,
-    ) -> (
-        Program,
-        RecursionInfo,
-        Vec<semrec_datalog::Constraint>,
-    ) {
+    fn setup(src: &str, pred: &str) -> (Program, RecursionInfo, Vec<semrec_datalog::Constraint>) {
         let unit = parse_unit(src).unwrap();
         let (p, _) = rectify(&unit.program());
         let info = classify_linear_pred(&p, Pred::new(pred)).unwrap();
@@ -688,7 +675,9 @@ mod tests {
             })
             .expect("strict chain entry");
         assert!(
-            !strict_level1.body_atoms().any(|a| a.pred == Pred::new("expert")),
+            !strict_level1
+                .body_atoms()
+                .any(|a| a.pred == Pred::new("expert")),
             "expert not eliminated: {strict_level1}"
         );
     }

@@ -115,19 +115,11 @@ impl fmt::Display for Residue {
 ///   point of use).
 ///
 /// A head comparison that is trivially *false* degrades to a null residue.
-pub fn build_residue(
-    ic: &Constraint,
-    unfolding: &Unfolding,
-    m: &Match,
-) -> Option<Residue> {
+pub fn build_residue(ic: &Constraint, unfolding: &Unfolding, m: &Match) -> Option<Residue> {
     debug_assert!(m.is_total());
     let theta = m.theta.clone();
 
-    let seq_vars: std::collections::BTreeSet<_> = unfolding
-        .to_rule()
-        .vars()
-        .into_iter()
-        .collect();
+    let seq_vars: std::collections::BTreeSet<_> = unfolding.to_rule().vars().into_iter().collect();
     let grounded = |c: &Cmp| c.vars().all(|v| seq_vars.contains(&v));
 
     // Conditions implied by the sequence's own comparisons are discharged:

@@ -225,7 +225,10 @@ mod tests {
         let u = unfold(&p, &info, &[1]).unwrap();
         assert_eq!(u.body.len(), 1);
         assert!(u.tail.is_some());
-        assert_eq!(u.to_rule().to_string(), "anc(X, Y) :- par(Z~1, Y), anc(X, Z~1).");
+        assert_eq!(
+            u.to_rule().to_string(),
+            "anc(X, Y) :- par(Z~1, Y), anc(X, Z~1)."
+        );
     }
 
     #[test]

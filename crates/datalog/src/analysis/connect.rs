@@ -57,11 +57,8 @@ pub fn rule_is_connected(rule: &Rule) -> bool {
 /// True if the constraint body (database atoms and comparisons together)
 /// is connected.
 pub fn constraint_is_connected(ic: &Constraint) -> bool {
-    let mut comps: Vec<BTreeSet<Symbol>> = ic
-        .body_atoms
-        .iter()
-        .map(|a| a.vars().collect())
-        .collect();
+    let mut comps: Vec<BTreeSet<Symbol>> =
+        ic.body_atoms.iter().map(|a| a.vars().collect()).collect();
     comps.extend(ic.body_cmps.iter().map(|c| c.vars().collect()));
     connected(comps)
 }
@@ -91,8 +88,7 @@ mod tests {
 
     #[test]
     fn connected_constraint() {
-        let ics =
-            parse_constraints("ic: a(X,Y), b(Y,Z), Z > 5 -> c(Z).").unwrap();
+        let ics = parse_constraints("ic: a(X,Y), b(Y,Z), Z > 5 -> c(Z).").unwrap();
         assert!(constraint_is_connected(&ics[0]));
         let ics = parse_constraints("ic: a(X), b(Y) -> .").unwrap();
         assert!(!constraint_is_connected(&ics[0]));

@@ -176,11 +176,7 @@ mod tests {
     fn sccs_in_reverse_topological_order() {
         let g = graph("a(X) :- b(X). b(X) :- c(X).");
         let sccs = g.sccs();
-        let pos = |p: &str| {
-            sccs.iter()
-                .position(|c| c.contains(&Pred::new(p)))
-                .unwrap()
-        };
+        let pos = |p: &str| sccs.iter().position(|c| c.contains(&Pred::new(p))).unwrap();
         assert!(pos("c") < pos("b"));
         assert!(pos("b") < pos("a"));
     }

@@ -3,14 +3,14 @@
 
 pub mod connect;
 pub mod deps;
-pub mod recursion;
 pub mod rectify;
+pub mod recursion;
 pub mod safety;
 pub mod validate;
 
 pub use connect::{constraint_is_connected, rule_is_connected};
 pub use deps::DepGraph;
-pub use recursion::{classify_linear, classify_linear_pred, reachable_preds, RecursionInfo};
 pub use rectify::{rectify, HeadVars};
+pub use recursion::{classify_linear, classify_linear_pred, reachable_preds, RecursionInfo};
 pub use safety::{bindable_vars, check_program_safety, program_is_safe, unsafe_vars};
 pub use validate::validate;

@@ -31,7 +31,9 @@ pub fn validate(
             )));
         }
         if !connect::rule_is_connected(r) {
-            return Err(Error::analysis(format!("rule {i} (`{r}`) is not connected")));
+            return Err(Error::analysis(format!(
+                "rule {i} (`{r}`) is not connected"
+            )));
         }
     }
     safety::check_program_safety(program)?;
@@ -45,7 +47,9 @@ pub fn validate(
             .map(|n| n.as_str().to_owned())
             .unwrap_or_else(|| ic.to_string());
         if !connect::constraint_is_connected(ic) {
-            return Err(Error::analysis(format!("constraint {label} is not connected")));
+            return Err(Error::analysis(format!(
+                "constraint {label} is not connected"
+            )));
         }
         for a in &ic.body_atoms {
             if idb.contains(&a.pred) {

@@ -122,11 +122,8 @@ impl Constraint {
     /// database atom, `1 < i < k`. Single-atom bodies trivially qualify.
     pub fn is_chain(&self) -> bool {
         let k = self.body_atoms.len();
-        let vars: Vec<BTreeSet<Symbol>> = self
-            .body_atoms
-            .iter()
-            .map(|a| a.vars().collect())
-            .collect();
+        let vars: Vec<BTreeSet<Symbol>> =
+            self.body_atoms.iter().map(|a| a.vars().collect()).collect();
         for i in 0..k {
             for j in (i + 1)..k {
                 let shares = !vars[i].is_disjoint(&vars[j]);
@@ -207,10 +204,7 @@ mod tests {
 
         // disconnected adjacent atoms: not a chain.
         let disc = Constraint::new(
-            vec![
-                Atom::new("a", vec![v("X")]),
-                Atom::new("b", vec![v("Y")]),
-            ],
+            vec![Atom::new("a", vec![v("X")]), Atom::new("b", vec![v("Y")])],
             vec![],
             IcHead::None,
         );

@@ -55,9 +55,6 @@ mod tests {
             Error::parse(3, 7, "expected ')'").to_string(),
             "parse error at 3:7: expected ')'"
         );
-        assert_eq!(
-            Error::analysis("boom").to_string(),
-            "analysis error: boom"
-        );
+        assert_eq!(Error::analysis("boom").to_string(), "analysis error: boom");
     }
 }

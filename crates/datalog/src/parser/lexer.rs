@@ -189,9 +189,9 @@ pub fn lex(src: &str) -> Result<Vec<Token>, Error> {
                     j += 1;
                 }
                 let text = &src[i..j];
-                let n: i64 = text
-                    .parse()
-                    .map_err(|_| Error::parse(line, col, format!("integer out of range: {text}")))?;
+                let n: i64 = text.parse().map_err(|_| {
+                    Error::parse(line, col, format!("integer out of range: {text}"))
+                })?;
                 let len = j - i;
                 push!(TokenKind::Int(n), len);
             }
@@ -213,7 +213,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>, Error> {
                 push!(kind, len);
             }
             _ => {
-                return Err(Error::parse(line, col, format!("unexpected character `{c}`")));
+                return Err(Error::parse(
+                    line,
+                    col,
+                    format!("unexpected character `{c}`"),
+                ));
             }
         }
     }

@@ -328,16 +328,18 @@ mod tests {
         .unwrap();
         assert_eq!(unit.rules.len(), 2);
         assert_eq!(unit.facts.len(), 1);
-        assert_eq!(unit.rules[1].to_string(), "anc(X, Y) :- anc(X, Z), par(Z, Y).");
+        assert_eq!(
+            unit.rules[1].to_string(),
+            "anc(X, Y) :- anc(X, Z), par(Z, Y)."
+        );
         assert_eq!(unit.facts[0].to_string(), "par(ann, bea)");
     }
 
     #[test]
     fn parse_constraint_with_head() {
-        let ics = parse_constraints(
-            "ic ic1: works_with(P2, P1), expert(P1, F1) -> expert(P2, F1).",
-        )
-        .unwrap();
+        let ics =
+            parse_constraints("ic ic1: works_with(P2, P1), expert(P1, F1) -> expert(P2, F1).")
+                .unwrap();
         assert_eq!(ics.len(), 1);
         assert_eq!(ics[0].body_atoms.len(), 2);
         assert!(!ics[0].is_denial());
@@ -397,9 +399,7 @@ mod tests {
 
     #[test]
     fn program_fromstr() {
-        let p: Program = "t(X) :- e(X). t(X) :- e0(X), t(X)."
-            .parse()
-            .unwrap();
+        let p: Program = "t(X) :- e(X). t(X) :- e0(X), t(X).".parse().unwrap();
         assert_eq!(p.len(), 2);
         assert!("ic: a(X) -> .".parse::<Program>().is_err());
     }

@@ -66,9 +66,7 @@ impl Program {
         let mut out: BTreeMap<Pred, usize> = BTreeMap::new();
         let mut check = |p: Pred, n: usize| -> Result<(), String> {
             match out.get(&p) {
-                Some(&m) if m != n => Err(format!(
-                    "predicate {p} used with arities {m} and {n}"
-                )),
+                Some(&m) if m != n => Err(format!("predicate {p} used with arities {m} and {n}")),
                 _ => {
                     out.insert(p, n);
                     Ok(())

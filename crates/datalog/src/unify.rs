@@ -122,11 +122,7 @@ mod tests {
 
     #[test]
     fn unify_failures() {
-        assert!(unify_atoms(
-            &a("p", &[Term::int(1)]),
-            &a("p", &[Term::int(2)])
-        )
-        .is_none());
+        assert!(unify_atoms(&a("p", &[Term::int(1)]), &a("p", &[Term::int(2)])).is_none());
         assert!(unify_atoms(&a("p", &[Term::int(1)]), &a("q", &[Term::int(1)])).is_none());
         // p(X, X) with p(1, 2) must fail.
         assert!(unify_atoms(
@@ -145,7 +141,10 @@ mod tests {
             &a("p", &[Term::var("X"), Term::var("X")]),
             &a("p", &[Term::var("Y"), Term::var("Y")]),
         ));
-        assert_eq!(s.get(crate::symbol::Symbol::intern("X")), Some(Term::var("Y")));
+        assert_eq!(
+            s.get(crate::symbol::Symbol::intern("X")),
+            Some(Term::var("Y"))
+        );
 
         // … but target variables are never bound: p(Z) does not match p(1)
         // in the reverse direction.

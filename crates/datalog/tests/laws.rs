@@ -134,9 +134,7 @@ fn matching_implies_unification_on_disjoint_vars() {
         let arity = 1 + rng.below(3) as usize;
         let target = Atom::new(
             "p",
-            (0..arity)
-                .map(|_| Term::int(rng.below(5) as i64))
-                .collect(),
+            (0..arity).map(|_| Term::int(rng.below(5) as i64)).collect(),
         );
         if pattern.arity() == target.arity() {
             let mut theta = Subst::new();

@@ -129,8 +129,14 @@ mod tests {
             Some(i(3))
         );
         // Inexact or zero divisions fail.
-        assert_eq!(BuiltinOp::Times.solve([Some(i(5)), None, Some(i(12))]), None);
-        assert_eq!(BuiltinOp::Times.solve([Some(i(0)), None, Some(i(12))]), None);
+        assert_eq!(
+            BuiltinOp::Times.solve([Some(i(5)), None, Some(i(12))]),
+            None
+        );
+        assert_eq!(
+            BuiltinOp::Times.solve([Some(i(0)), None, Some(i(12))]),
+            None
+        );
         assert_eq!(BuiltinOp::Times.solve([Some(i(0)), None, Some(i(0))]), None);
     }
 

@@ -198,12 +198,15 @@ mod tests {
 
     #[test]
     fn constraint_satisfaction_atom_head() {
-        let ics =
-            parse_constraints("ic: boss(E, B, R), R = executive -> experienced(B).").unwrap();
+        let ics = parse_constraints("ic: boss(E, B, R), R = executive -> experienced(B).").unwrap();
         let mut db = Database::new();
         db.insert(
             "boss",
-            vec![Value::str("eva"), Value::str("max"), Value::str("executive")],
+            vec![
+                Value::str("eva"),
+                Value::str("max"),
+                Value::str("executive"),
+            ],
         );
         assert!(!db.satisfies(&ics[0]));
         db.insert("experienced", vec![Value::str("max")]);

@@ -69,7 +69,10 @@ impl fmt::Display for EngineError {
                 resource,
                 limit,
                 used,
-            } => write!(f, "budget exceeded: {resource} used {used} of limit {limit}"),
+            } => write!(
+                f,
+                "budget exceeded: {resource} used {used} of limit {limit}"
+            ),
             EngineError::WorkerPanicked { job, payload } => {
                 write!(f, "worker panicked in {job}: {payload}")
             }

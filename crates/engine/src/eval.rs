@@ -614,9 +614,8 @@ impl<'db> Evaluator<'db> {
                         Step::Scan(sc) => Some((i, sc)),
                         _ => None,
                     });
-                    let resolved = seed.and_then(|(si, sc)| {
-                        self.resolve(sc.pred, sc.view).map(|(_, r)| (si, r))
-                    });
+                    let resolved = seed
+                        .and_then(|(si, sc)| self.resolve(sc.pred, sc.view).map(|(_, r)| (si, r)));
                     PlanSeed {
                         pref,
                         seed: resolved,
@@ -695,8 +694,7 @@ impl<'db> Evaluator<'db> {
                 } else {
                     delta.serial_nanos
                 };
-                let sample =
-                    (exec_nanos as f64 / total_rows as f64).clamp(5.0, 100_000.0);
+                let sample = (exec_nanos as f64 / total_rows as f64).clamp(5.0, 100_000.0);
                 self.row_nanos_ewma = 0.7 * self.row_nanos_ewma + 0.3 * sample;
             }
             self.stats = stats;
@@ -851,8 +849,7 @@ impl<'db> Evaluator<'db> {
             Cutover::ForceParallel => 2,
             _ => {
                 let pool = self.pool.as_ref().expect("pool spawned before split");
-                let rows =
-                    pool.dispatch_cost_nanos() as f64 / self.row_nanos_ewma.max(1.0);
+                let rows = pool.dispatch_cost_nanos() as f64 / self.row_nanos_ewma.max(1.0);
                 (rows.ceil() as usize).clamp(32, 1 << 16)
             }
         }
@@ -874,8 +871,7 @@ impl<'db> Evaluator<'db> {
     ) -> Result<(PoolStats, Vec<ShardOut>), EngineError> {
         let pool = self.pool.as_ref().expect("pool spawned by decide_parallel");
         let k = self.shard_count();
-        let plans: Vec<&CompiledRule> =
-            plan_seeds.iter().map(|ps| self.plan(ps.pref)).collect();
+        let plans: Vec<&CompiledRule> = plan_seeds.iter().map(|ps| self.plan(ps.pref)).collect();
         let build_start = Instant::now();
         self.prewarm_indexes(&plans);
         let mut delta = PoolStats {
@@ -1123,12 +1119,7 @@ impl<'db> Evaluator<'db> {
     /// Runs one task to completion. Returns `false` when a cooperative
     /// governance check aborted the task mid-scan (its partial output
     /// must be discarded).
-    fn execute_task(
-        &self,
-        task: Task<'_>,
-        stats: &mut Stats,
-        out: &mut ShardedDerivedBuf,
-    ) -> bool {
+    fn execute_task(&self, task: Task<'_>, stats: &mut Stats, out: &mut ShardedDerivedBuf) -> bool {
         stats.rule_firings += 1;
         let mut slots = vec![Value::Int(0); task.plan.nslots];
         run_steps(self, task.plan, task.part, 0, &mut slots, stats, out)
@@ -1218,8 +1209,7 @@ fn run_steps(
                     if range.is_empty() {
                         false
                     } else {
-                        let key: Vec<Value> =
-                            n.key.iter().map(|&v| read(slots, v)).collect();
+                        let key: Vec<Value> = n.key.iter().map(|&v| read(slots, v)).collect();
                         // Membership within the view: for Full/Total views
                         // covering the whole visible prefix, a plain
                         // contains + range check via probe.
@@ -1440,10 +1430,7 @@ mod tests {
         let res = evaluate(&db, &p, Strategy::SemiNaive).unwrap();
         assert_eq!(res.relation("big").unwrap().len(), 5);
         assert_eq!(res.relation("pick").unwrap().len(), 1);
-        assert!(res
-            .relation("pick")
-            .unwrap()
-            .contains(&int_tuple(&[4])));
+        assert!(res.relation("pick").unwrap().contains(&int_tuple(&[4])));
     }
 
     #[test]
@@ -1578,10 +1565,7 @@ mod negation_tests {
         let p: Program = "open(X, Y) :- e(X, Y), !blocked(X).".parse().unwrap();
         let res = evaluate(&db, &p, Strategy::SemiNaive).unwrap();
         assert_eq!(res.relation("open").unwrap().len(), 3);
-        assert!(!res
-            .relation("open")
-            .unwrap()
-            .contains(&int_tuple(&[2, 3])));
+        assert!(!res.relation("open").unwrap().contains(&int_tuple(&[2, 3])));
     }
 
     #[test]
@@ -1848,7 +1832,10 @@ mod parallel_tests {
         assert!(ps.serial_nanos > 0, "{ps:?}");
         assert!(ps.serial_rows > 0, "{ps:?}");
         assert!(ps.rows_per_sec() > 0.0, "{ps:?}");
-        assert!(ps.busy_fraction() > 0.9, "one serial thread is ~fully busy: {ps:?}");
+        assert!(
+            ps.busy_fraction() > 0.9,
+            "one serial thread is ~fully busy: {ps:?}"
+        );
     }
 
     #[test]
@@ -1862,7 +1849,10 @@ mod parallel_tests {
             .with_parallelism(4); // Cutover::Auto is the default
         ev.run().unwrap();
         let ps = ev.pool_stats();
-        assert_eq!(ps.parallel_rounds, 0, "tiny deltas must stay serial: {ps:?}");
+        assert_eq!(
+            ps.parallel_rounds, 0,
+            "tiny deltas must stay serial: {ps:?}"
+        );
         assert!(ps.serial_rounds > 0, "{ps:?}");
         assert!(ps.rows_per_sec() > 0.0, "{ps:?}");
         assert!(!ev.finish().relation("t").unwrap().is_empty());

@@ -204,7 +204,9 @@ fn match_body(
             if let Some(pos) = vals.iter().position(Option::is_none) {
                 if vals.iter().filter(|v| v.is_some()).count() == 2 {
                     if let Some(v) = op.solve([vals[0], vals[1], vals[2]]) {
-                        let Term::Var(x) = g.args[pos] else { return None };
+                        let Term::Var(x) = g.args[pos] else {
+                            return None;
+                        };
                         let mut t2 = theta.clone();
                         t2.insert(x, Term::Const(v));
                         return match_body(db, idb, program, rule, li + 1, t2, visiting);
@@ -234,9 +236,7 @@ fn match_body(
                 let Some(child) = go(db, idb, program, a.pred, row, visiting) else {
                     continue 'rows;
                 };
-                if let Some(mut rest) =
-                    match_body(db, idb, program, rule, li + 1, t2, visiting)
-                {
+                if let Some(mut rest) = match_body(db, idb, program, rule, li + 1, t2, visiting) {
                     let mut children = vec![child];
                     children.append(&mut rest);
                     return Some(children);

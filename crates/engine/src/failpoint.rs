@@ -80,27 +80,21 @@ fn intern(site: &str) -> Option<&'static str> {
 /// silently test nothing.
 pub fn arm(site: &str, fire_at: u64, action: FailAction) {
     let site = intern(site).unwrap_or_else(|| panic!("unknown failpoint `{site}`"));
-    registry()
-        .lock()
-        .unwrap_or_else(|e| e.into_inner())
-        .insert(
-            site,
-            Site {
-                action,
-                fire_at,
-                hits: 0,
-                armed: true,
-            },
-        );
+    registry().lock().unwrap_or_else(|e| e.into_inner()).insert(
+        site,
+        Site {
+            action,
+            fire_at,
+            hits: 0,
+            armed: true,
+        },
+    );
 }
 
 /// Disarms every site and resets all hit counters. Call between test
 /// cases; schedules are global process state.
 pub fn clear() {
-    registry()
-        .lock()
-        .unwrap_or_else(|e| e.into_inner())
-        .clear();
+    registry().lock().unwrap_or_else(|e| e.into_inner()).clear();
 }
 
 /// A failpoint call site. Returns `Err` with a description when the

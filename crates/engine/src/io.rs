@@ -105,8 +105,8 @@ pub fn load_dir(db: &mut Database, dir: &Path) -> Result<usize, EngineError> {
 pub fn load_file(db: &mut Database, pred: &str, path: &Path) -> Result<usize, EngineError> {
     #[cfg(feature = "failpoints")]
     crate::failpoint::hit("io.load").map_err(EngineError::Io)?;
-    let f = std::fs::File::open(path)
-        .map_err(|e| io_err(&format!("opening {}", path.display()), e))?;
+    let f =
+        std::fs::File::open(path).map_err(|e| io_err(&format!("opening {}", path.display()), e))?;
     let mut inserted = 0;
     let mut arity: Option<usize> = None;
     for (lineno, line) in BufReader::new(f).lines().enumerate() {
@@ -137,8 +137,7 @@ pub fn load_file(db: &mut Database, pred: &str, path: &Path) -> Result<usize, En
 
 /// Saves every relation of `db` into `dir` as `<predicate>.csv`.
 pub fn save_dir(db: &Database, dir: &Path) -> Result<(), EngineError> {
-    std::fs::create_dir_all(dir)
-        .map_err(|e| io_err(&format!("creating {}", dir.display()), e))?;
+    std::fs::create_dir_all(dir).map_err(|e| io_err(&format!("creating {}", dir.display()), e))?;
     for (pred, rel) in db.iter() {
         save_relation(pred, rel.sorted_tuples().iter(), dir)?;
     }
@@ -170,10 +169,7 @@ mod tests {
     use crate::database::int_tuple;
 
     fn tempdir(tag: &str) -> std::path::PathBuf {
-        let d = std::env::temp_dir().join(format!(
-            "semrec-io-{tag}-{}",
-            std::process::id()
-        ));
+        let d = std::env::temp_dir().join(format!("semrec-io-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&d);
         std::fs::create_dir_all(&d).unwrap();
         d
@@ -205,7 +201,11 @@ mod tests {
         // Tricky cells: embedded delimiter, quote, and a numeric string.
         db.insert(
             "t",
-            vec![Value::str("a,b"), Value::str("say \"hi\""), Value::str("42")],
+            vec![
+                Value::str("a,b"),
+                Value::str("say \"hi\""),
+                Value::str("42"),
+            ],
         );
         save_dir(&db, &dir).unwrap();
         let mut back = Database::new();

@@ -22,13 +22,13 @@ pub mod failpoint;
 pub mod fxhash;
 pub mod governor;
 pub mod io;
-pub mod topdown;
 pub mod magic;
 pub mod plan;
 pub mod pool;
 pub mod relation;
 pub mod sld;
 pub mod stats;
+pub mod topdown;
 
 pub use database::{int_tuple, Database};
 pub use error::EngineError;

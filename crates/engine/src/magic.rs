@@ -425,9 +425,10 @@ mod tests {
     #[test]
     fn comparisons_pass_bindings() {
         let db = chain_db(10);
-        let p: Program = "big(X, Y) :- t(X, Y), Y >= 8. t(X,Y) :- e(X,Y). t(X,Y) :- e(X,Z), t(Z,Y)."
-            .parse()
-            .unwrap();
+        let p: Program =
+            "big(X, Y) :- t(X, Y), Y >= 8. t(X,Y) :- e(X,Y). t(X,Y) :- e(X,Z), t(Z,Y)."
+                .parse()
+                .unwrap();
         let goal = parse_atom("big(0, Y)").unwrap();
         let (answers, _) = evaluate_query(&db, &p, &goal, Strategy::SemiNaive).unwrap();
         assert_eq!(answers.len(), 3); // 8, 9, 10

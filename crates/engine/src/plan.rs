@@ -237,19 +237,18 @@ impl<'a> Compiler<'a> {
                             continue;
                         }
                         let srcs: Vec<Source> = a.args.iter().map(|&t| self.source(t)).collect();
-                        let bound_count =
-                            srcs.iter().filter(|s| self.source_is_bound(**s)).count();
+                        let bound_count = srcs.iter().filter(|s| self.source_is_bound(**s)).count();
                         if bound_count >= 2 {
-                            let bind = srcs
-                                .iter()
-                                .position(|s| !self.source_is_bound(*s))
-                                .map(|pos| {
-                                    let Source::Slot(sl) = srcs[pos] else {
-                                        unreachable!("unbound source is a slot")
-                                    };
-                                    self.bound.insert(sl);
-                                    (pos, sl)
-                                });
+                            let bind =
+                                srcs.iter()
+                                    .position(|s| !self.source_is_bound(*s))
+                                    .map(|pos| {
+                                        let Source::Slot(sl) = srcs[pos] else {
+                                            unreachable!("unbound source is a slot")
+                                        };
+                                        self.bound.insert(sl);
+                                        (pos, sl)
+                                    });
                             self.steps.push(Step::Compute(ComputeStep {
                                 op,
                                 args: [srcs[0], srcs[1], srcs[2]],
@@ -265,14 +264,10 @@ impl<'a> Compiler<'a> {
                 if let Literal::Neg(a) = l {
                     let bound = a.args.iter().all(|t| match t {
                         Term::Const(_) => true,
-                        Term::Var(v) => self
-                            .slots
-                            .get(v)
-                            .is_some_and(|sl| self.bound.contains(sl)),
+                        Term::Var(v) => self.slots.get(v).is_some_and(|sl| self.bound.contains(sl)),
                     });
                     if bound {
-                        let key: Vec<Source> =
-                            a.args.iter().map(|&t| self.source(t)).collect();
+                        let key: Vec<Source> = a.args.iter().map(|&t| self.source(t)).collect();
                         self.steps.push(Step::Neg(NegStep {
                             pred: a.pred,
                             view: self.neg_views.get(&li).copied().unwrap_or(View::Full),
@@ -289,11 +284,8 @@ impl<'a> Compiler<'a> {
                 let lb = self.source_is_bound(lhs);
                 let rb = self.source_is_bound(rhs);
                 if lb && rb {
-                    self.steps.push(Step::Filter(FilterStep {
-                        lhs,
-                        op: c.op,
-                        rhs,
-                    }));
+                    self.steps
+                        .push(Step::Filter(FilterStep { lhs, op: c.op, rhs }));
                     done.insert(li);
                     progressed = true;
                 } else if c.op == CmpOp::Eq && (lb || rb) {
@@ -358,10 +350,7 @@ pub fn compile_rule_with_sizes(
         .body
         .iter()
         .enumerate()
-        .filter(|(_, l)| {
-            l.as_atom()
-                .is_some_and(|a| BuiltinOp::of(a.pred).is_none())
-        })
+        .filter(|(_, l)| l.as_atom().is_some_and(|a| BuiltinOp::of(a.pred).is_none()))
         .map(|(i, _)| i)
         .collect();
     let mut done: FxHashSet<usize> = FxHashSet::default();
@@ -453,9 +442,7 @@ pub fn compile_rule_with_sizes(
             Literal::Atom(a) if BuiltinOp::of(a.pred).is_some() => {
                 return Err(EngineError::UnsafeRule {
                     rule: rule.to_string(),
-                    detail: format!(
-                        "builtin `{a}` needs at least two bound arguments"
-                    ),
+                    detail: format!("builtin `{a}` needs at least two bound arguments"),
                 });
             }
             Literal::Atom(_) => {}
@@ -533,10 +520,7 @@ mod tests {
     #[test]
     fn assignment_from_equality() {
         let c = compile("p(X,Y) :- e(X), Y = X.");
-        assert!(c
-            .steps
-            .iter()
-            .any(|s| matches!(s, Step::Assign(_))));
+        assert!(c.steps.iter().any(|s| matches!(s, Step::Assign(_))));
     }
 
     #[test]
@@ -648,7 +632,13 @@ impl std::fmt::Display for CompiledRule {
                 }
                 Step::Neg(n) => {
                     let key: Vec<String> = n.key.iter().map(ToString::to_string).collect();
-                    writeln!(f, "  check absent {}({}) [{:?}]", n.pred, key.join(", "), n.view)?;
+                    writeln!(
+                        f,
+                        "  check absent {}({}) [{:?}]",
+                        n.pred,
+                        key.join(", "),
+                        n.view
+                    )?;
                 }
                 Step::Compute(cs) => {
                     let args: Vec<String> = cs.args.iter().map(ToString::to_string).collect();

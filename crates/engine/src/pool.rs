@@ -163,9 +163,7 @@ impl WorkerPool {
                 // Lifetime erasure: sound because this function joins all
                 // `n` completions below before returning, so the borrows
                 // captured by `job` are still live whenever it runs.
-                let job: StaticJob = unsafe {
-                    std::mem::transmute::<Job<'_>, StaticJob>(job)
-                };
+                let job: StaticJob = unsafe { std::mem::transmute::<Job<'_>, StaticJob>(job) };
                 self.txs[i % self.txs.len()]
                     .send((i, job))
                     .expect("pool worker exited early");
@@ -348,10 +346,7 @@ mod tests {
     #[should_panic(expected = "worker job panicked")]
     fn job_panic_propagates_without_hanging() {
         let pool = WorkerPool::new(2);
-        let jobs: Vec<Job<'_>> = vec![
-            Box::new(|| panic!("boom")),
-            Box::new(|| {}),
-        ];
+        let jobs: Vec<Job<'_>> = vec![Box::new(|| panic!("boom")), Box::new(|| {})];
         pool.run(jobs);
     }
 

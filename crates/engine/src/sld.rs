@@ -199,7 +199,9 @@ impl<'db> Sld<'db> {
                 } else if bound == 2 {
                     let pos = vals.iter().position(Option::is_none).unwrap();
                     if let Some(v) = op.solve([vals[0], vals[1], vals[2]]) {
-                        let Term::Var(x) = atom.args[pos] else { unreachable!() };
+                        let Term::Var(x) = atom.args[pos] else {
+                            unreachable!()
+                        };
                         let mut t2 = theta.clone();
                         t2.insert(x, Term::Const(v));
                         self.prove(&rest, &t2, root, depth);
@@ -246,11 +248,8 @@ impl<'db> Sld<'db> {
                 self.budget_exhausted = true;
                 return;
             }
-            let mut next: Vec<Literal> = renamed
-                .body
-                .iter()
-                .map(|l| mgu.apply_literal(l))
-                .collect();
+            let mut next: Vec<Literal> =
+                renamed.body.iter().map(|l| mgu.apply_literal(l)).collect();
             for l in &rest {
                 next.push(mgu.apply_literal(l));
             }
@@ -323,8 +322,13 @@ mod tests {
     #[test]
     fn complete_on_acyclic_data() {
         let db = chain_db(8);
-        let (answers, _, compl) =
-            query_sld(&db, &tc(), &parse_atom("t(X, Y)").unwrap(), SldConfig::default()).unwrap();
+        let (answers, _, compl) = query_sld(
+            &db,
+            &tc(),
+            &parse_atom("t(X, Y)").unwrap(),
+            SldConfig::default(),
+        )
+        .unwrap();
         assert_eq!(compl, Completeness::Complete);
         let full = evaluate(&db, &tc(), Strategy::SemiNaive).unwrap();
         assert_eq!(answers, full.relation("t").unwrap().sorted_tuples());
@@ -333,11 +337,21 @@ mod tests {
     #[test]
     fn ground_goal_and_failure() {
         let db = chain_db(6);
-        let (answers, _, _) =
-            query_sld(&db, &tc(), &parse_atom("t(1, 4)").unwrap(), SldConfig::default()).unwrap();
+        let (answers, _, _) = query_sld(
+            &db,
+            &tc(),
+            &parse_atom("t(1, 4)").unwrap(),
+            SldConfig::default(),
+        )
+        .unwrap();
         assert_eq!(answers, vec![int_tuple(&[1, 4])]);
-        let (answers, _, _) =
-            query_sld(&db, &tc(), &parse_atom("t(4, 1)").unwrap(), SldConfig::default()).unwrap();
+        let (answers, _, _) = query_sld(
+            &db,
+            &tc(),
+            &parse_atom("t(4, 1)").unwrap(),
+            SldConfig::default(),
+        )
+        .unwrap();
         assert!(answers.is_empty());
     }
 
@@ -374,8 +388,13 @@ mod tests {
         "
         .parse()
         .unwrap();
-        let (hits, cheap, _) =
-            query_sld(&db, &p, &parse_atom("g(0, Y, 1)").unwrap(), SldConfig::default()).unwrap();
+        let (hits, cheap, _) = query_sld(
+            &db,
+            &p,
+            &parse_atom("g(0, Y, 1)").unwrap(),
+            SldConfig::default(),
+        )
+        .unwrap();
         assert!(hits.is_empty());
         // Without eager comparison evaluation this would be ~10 levels of
         // expansion; the guard only lives in the exit rule here, so the
@@ -387,8 +406,13 @@ mod tests {
         "
         .parse()
         .unwrap();
-        let (hits2, guarded, _) =
-            query_sld(&db, &p2, &parse_atom("g(0, Y, 1)").unwrap(), SldConfig::default()).unwrap();
+        let (hits2, guarded, _) = query_sld(
+            &db,
+            &p2,
+            &parse_atom("g(0, Y, 1)").unwrap(),
+            SldConfig::default(),
+        )
+        .unwrap();
         assert!(hits2.is_empty());
         assert!(
             guarded.expansions < cheap.expansions,

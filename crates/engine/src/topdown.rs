@@ -199,11 +199,7 @@ impl<'db> TopDown<'db> {
                 continue;
             };
             self.stats.expansions += 1;
-            let body: Vec<Literal> = renamed
-                .body
-                .iter()
-                .map(|l| mgu.apply_literal(l))
-                .collect();
+            let body: Vec<Literal> = renamed.body.iter().map(|l| mgu.apply_literal(l)).collect();
             let head = mgu.apply_atom(&renamed.head);
             let mut answers: Vec<Tuple> = Vec::new();
             self.resolve_body(&body, &Subst::new(), &head, &mut answers, in_pass);
@@ -423,8 +419,7 @@ mod tests {
     #[test]
     fn bound_goal_is_goal_directed() {
         let db = chain_db(30);
-        let (answers, stats) =
-            query_topdown(&db, &tc(), &parse_atom("t(25, Y)").unwrap()).unwrap();
+        let (answers, stats) = query_topdown(&db, &tc(), &parse_atom("t(25, Y)").unwrap()).unwrap();
         assert_eq!(answers.len(), 5);
         // Only the suffix subgoals get tabled: far fewer than 30 nodes'
         // worth of full exploration.
@@ -448,8 +443,7 @@ mod tests {
                           t(X,Y) :- t(X,Z), e(Z,Y). t(X,Y) :- e(X,Y)."
             .parse()
             .unwrap();
-        let (answers, _) =
-            query_topdown(&db, &p, &parse_atom("big(0, Y)").unwrap()).unwrap();
+        let (answers, _) = query_topdown(&db, &p, &parse_atom("big(0, Y)").unwrap()).unwrap();
         assert_eq!(answers.len(), 3);
     }
 
@@ -496,8 +490,7 @@ mod builtin_tests {
         "
         .parse()
         .unwrap();
-        let (answers, _) =
-            query_topdown(&db, &p, &parse_atom("dist(0, Y, N)").unwrap()).unwrap();
+        let (answers, _) = query_topdown(&db, &p, &parse_atom("dist(0, Y, N)").unwrap()).unwrap();
         assert!(answers.contains(&int_tuple(&[0, 4, 4])));
         assert_eq!(answers.len(), 4);
     }

@@ -44,9 +44,8 @@ pub fn write_bundle(
     std::fs::create_dir_all(dir)
         .map_err(|e| EngineError::Io(format!("creating {}: {e}", dir.display())))?;
     let program_path = dir.join(format!("{name}.dl"));
-    std::fs::write(&program_path, to_dl(scenario, None)).map_err(|e| {
-        EngineError::Io(format!("writing {}: {e}", program_path.display()))
-    })?;
+    std::fs::write(&program_path, to_dl(scenario, None))
+        .map_err(|e| EngineError::Io(format!("writing {}: {e}", program_path.display())))?;
     io::save_dir(db, &dir.join(format!("{name}-data")))
 }
 

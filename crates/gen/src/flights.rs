@@ -82,7 +82,10 @@ pub fn generate(params: &FlightsParams) -> Database {
         }
         let carrier = Value::str(&format!("{}{}", carriers[f % carriers.len()], f % 7));
         let kind = Value::str(if intl { "intl" } else { "dom" });
-        db.insert("flight", vec![Value::Int(from), Value::Int(to), carrier, kind]);
+        db.insert(
+            "flight",
+            vec![Value::Int(from), Value::Int(to), carrier, kind],
+        );
     }
     db
 }
@@ -118,11 +121,7 @@ mod tests {
         });
         let count_kind = |db: &Database, kind: &str| {
             db.get(semrec_datalog::Pred::new("flight"))
-                .map(|r| {
-                    r.iter()
-                        .filter(|t| t[3] == Value::str(kind))
-                        .count()
-                })
+                .map(|r| r.iter().filter(|t| t[3] == Value::str(kind)).count())
                 .unwrap_or(0)
         };
         assert_eq!(count_kind(&dom, "intl"), 0);

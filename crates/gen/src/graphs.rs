@@ -31,7 +31,10 @@ pub fn tree(pred: &str, n: usize, b: usize) -> Database {
     let b = b.max(1);
     for child in 1..n {
         let parent = (child - 1) / b;
-        db.insert(pred, vec![Value::Int(parent as i64), Value::Int(child as i64)]);
+        db.insert(
+            pred,
+            vec![Value::Int(parent as i64), Value::Int(child as i64)],
+        );
     }
     db
 }

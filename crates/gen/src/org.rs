@@ -71,11 +71,7 @@ pub fn generate(params: &OrgParams) -> Database {
     for e in 1..n {
         let parent = (e - 1) / b;
         level[e] = level[parent] + 1;
-        let rank = if is_exec[parent] {
-            rank_exec
-        } else {
-            rank_mgr
-        };
+        let rank = if is_exec[parent] { rank_exec } else { rank_mgr };
         db.insert(
             "boss",
             vec![Value::Int(e as i64), Value::Int(parent as i64), rank],

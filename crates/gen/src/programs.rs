@@ -75,9 +75,7 @@ pub fn random_linear(params: &RandomLinearParams) -> Program {
         }
         // Recursive call: each position picks any variable (bound by the
         // chain, so the rule stays safe).
-        let call_args: Vec<Term> = (0..n)
-            .map(|_| vars[rng.gen_range(0..vars.len())])
-            .collect();
+        let call_args: Vec<Term> = (0..n).map(|_| vars[rng.gen_range(0..vars.len())]).collect();
         body.push(Literal::Atom(Atom::new("p", call_args)));
         rules.push(Rule::new(head.clone(), body));
     }

@@ -60,8 +60,7 @@ pub fn repair(db: &mut Database, ics: &[Constraint], max_rounds: usize) -> Repai
                     for v in &violations {
                         let a = v.apply_atom(&ic.body_atoms[0]);
                         if a.is_ground() {
-                            let t: Tuple =
-                                a.args.iter().map(|x| x.as_const().unwrap()).collect();
+                            let t: Tuple = a.args.iter().map(|x| x.as_const().unwrap()).collect();
                             to_remove.push((a.pred, t));
                         }
                     }
@@ -86,9 +85,7 @@ fn remove_facts(db: &mut Database, remove: &[(semrec_datalog::Pred, Tuple)]) {
     let mut next = Database::new();
     for (pred, rel) in db.iter() {
         for t in rel.iter() {
-            let drop = remove
-                .iter()
-                .any(|(p, r)| *p == pred && r.as_slice() == t);
+            let drop = remove.iter().any(|(p, r)| *p == pred && r.as_slice() == t);
             if !drop {
                 next.insert(pred, t.to_vec());
             }

@@ -89,12 +89,7 @@ impl fmt::Display for Answer {
                 TreeVerdict::NeedsMore { atoms, cmps } => {
                     let mut parts: Vec<String> = atoms.iter().map(|a| a.to_string()).collect();
                     parts.extend(cmps.iter().map(|c| c.to_string()));
-                    writeln!(
-                        f,
-                        "  [needs: {}] via {}",
-                        parts.join(" ∧ "),
-                        t.tree
-                    )?;
+                    writeln!(f, "  [needs: {}] via {}", parts.join(" ∧ "), t.tree)?;
                 }
                 TreeVerdict::Unrelated => {
                     writeln!(f, "  [unrelated to context] {}", t.tree)?;
@@ -109,10 +104,7 @@ impl fmt::Display for Answer {
 /// relevant when its predicate lies in the undirected dependency component
 /// of the query predicate (§5's reachability); comparisons are relevant
 /// when they share a variable with some relevant atom.
-pub fn relevant_context(
-    program: &Program,
-    query: &KnowledgeQuery,
-) -> (Vec<Literal>, Vec<Literal>) {
+pub fn relevant_context(program: &Program, query: &KnowledgeQuery) -> (Vec<Literal>, Vec<Literal>) {
     let graph = DepGraph::new(program);
     let component = graph.undirected_component(query.target.pred);
     let mut relevant = Vec::new();
@@ -154,7 +146,10 @@ pub fn answer(program: &Program, query: &KnowledgeQuery, max_depth: usize) -> An
         .iter()
         .filter_map(|l| l.as_atom().cloned())
         .collect();
-    let ctx_cmps: Vec<Cmp> = relevant.iter().filter_map(|l| l.as_cmp().copied()).collect();
+    let ctx_cmps: Vec<Cmp> = relevant
+        .iter()
+        .filter_map(|l| l.as_cmp().copied())
+        .collect();
 
     let trees = proof_trees(program, &query.target, max_depth);
     let mut out = Vec::new();
@@ -214,8 +209,7 @@ fn count_tree_matches(
     body.extend(tree.cmps.iter().copied().map(L::Cmp));
     let rule = Rule::new(head, body);
     let program = Program::new(vec![rule]);
-    let result =
-        semrec_engine::evaluate(db, &program, semrec_engine::Strategy::SemiNaive).ok()?;
+    let result = semrec_engine::evaluate(db, &program, semrec_engine::Strategy::SemiNaive).ok()?;
     result
         .relation(semrec_datalog::Pred::new(&format!("describe@{index}")))
         .map(semrec_engine::Relation::len)
@@ -245,9 +239,7 @@ fn best_verdict(tree: &ConjQuery, matches: &[Match], ctx_cmps: &[Cmp]) -> TreeVe
     let residue_cmps: Vec<Cmp> = tree
         .cmps
         .iter()
-        .filter(|c| {
-            !c.is_trivially_true() && !instantiated_ctx.iter().any(|ctx| ctx.implies(c))
-        })
+        .filter(|c| !c.is_trivially_true() && !instantiated_ctx.iter().any(|ctx| ctx.implies(c)))
         .copied()
         .collect();
     if residue_atoms.is_empty() && residue_cmps.is_empty() {
@@ -339,10 +331,7 @@ mod tests {
         let q = parse_describe("describe honors(S).").unwrap();
         let a = answer(&program(), &q, 4);
         assert!(!a.fully_qualified());
-        assert!(a
-            .trees
-            .iter()
-            .all(|t| t.verdict == TreeVerdict::Unrelated));
+        assert!(a.trees.iter().all(|t| t.verdict == TreeVerdict::Unrelated));
     }
 }
 
@@ -403,24 +392,20 @@ mod implication_discharge_tests {
 
     #[test]
     fn stronger_context_comparisons_discharge_tree_conditions() {
-        let program = parse_unit(
-            "honors(S) :- transcript(S, M, C, G), C >= 30, G >= 38.",
-        )
-        .unwrap()
-        .program();
+        let program = parse_unit("honors(S) :- transcript(S, M, C, G), C >= 30, G >= 38.")
+            .unwrap()
+            .program();
         // The context asserts MORE than the tree requires.
-        let q = parse_describe(
-            "describe honors(S) where transcript(S, M, C, G), C >= 60, G >= 40.",
-        )
-        .unwrap();
+        let q =
+            parse_describe("describe honors(S) where transcript(S, M, C, G), C >= 60, G >= 40.")
+                .unwrap();
         let a = answer(&program, &q, 3);
         assert!(a.fully_qualified(), "{a}");
 
         // A weaker context does not qualify.
-        let q = parse_describe(
-            "describe honors(S) where transcript(S, M, C, G), C >= 10, G >= 40.",
-        )
-        .unwrap();
+        let q =
+            parse_describe("describe honors(S) where transcript(S, M, C, G), C >= 10, G >= 40.")
+                .unwrap();
         let a = answer(&program, &q, 3);
         assert!(!a.fully_qualified());
     }

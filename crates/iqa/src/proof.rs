@@ -126,12 +126,7 @@ fn expand(
                     let fresh: Subst = rule
                         .vars()
                         .into_iter()
-                        .map(|v| {
-                            (
-                                v,
-                                Term::Var(Symbol::intern(&format!("{v}`{tag}"))),
-                            )
-                        })
+                        .map(|v| (v, Term::Var(Symbol::intern(&format!("{v}`{tag}")))))
                         .collect();
                     let head = fresh.apply_atom(&rule.head);
                     let Some(mgu) = unify_atoms(&head, &goal_atom) else {
@@ -235,11 +230,9 @@ mod negation_tests {
 
     #[test]
     fn negated_leaves_are_preserved() {
-        let p = parse_unit(
-            "eligible(S) :- applied(S), !banned(S).",
-        )
-        .unwrap()
-        .program();
+        let p = parse_unit("eligible(S) :- applied(S), !banned(S).")
+            .unwrap()
+            .program();
         let trees = proof_trees(&p, &parse_atom("eligible(S)").unwrap(), 2);
         assert_eq!(trees.len(), 1);
         assert_eq!(trees[0].negs.len(), 1);

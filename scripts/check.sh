@@ -14,6 +14,9 @@ cargo test -q --offline
 # exist under this feature, so the agreement-or-typed-error property
 # (tests/fault_injection.rs) gets its own test leg.
 cargo test -q --offline --features failpoints
+# Format gate: the whole workspace is rustfmt-clean; drift fails the
+# build before clippy ever runs.
+cargo fmt --check
 # Lint gate: the workspace is warning-free; keep it that way.
 cargo clippy --all-targets --offline -- -D warnings
 # Scaling gate: fails if 4-thread fixpoint time exceeds 1-thread time by

@@ -37,9 +37,7 @@ use semrec::datalog::analysis::{classify_linear, rectify, validate};
 use semrec::datalog::parser::{parse_atom, parse_unit, Unit};
 use semrec::datalog::Pred;
 use semrec::engine::magic::evaluate_query;
-use semrec::engine::{
-    evaluate, Budget, CancelToken, Database, EngineError, Route, Strategy,
-};
+use semrec::engine::{evaluate, Budget, CancelToken, Database, EngineError, Route, Strategy};
 use std::process::ExitCode;
 
 /// A CLI failure, carrying enough type to pick the exit code.
@@ -188,7 +186,9 @@ fn cmd_optimize(args: &[String]) -> Result<(), CliError> {
 }
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1))
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
 }
 
 /// Parses an optional `--flag N` u64 value, erroring (usage, exit 2) on
@@ -305,9 +305,8 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     match flag_value(args, "--engine").map(String::as_str) {
         Some("topdown") => {
             let goal = query.ok_or("--engine topdown requires --query")?;
-            let (answers, stats) =
-                semrec::engine::topdown::query_topdown(&db, &program, &goal)
-                    .map_err(CliError::Engine)?;
+            let (answers, stats) = semrec::engine::topdown::query_topdown(&db, &program, &goal)
+                .map_err(CliError::Engine)?;
             for t in &answers {
                 println!("{}", render(goal.pred, t));
             }
@@ -401,8 +400,8 @@ fn cmd_explain(args: &[String]) -> Result<(), CliError> {
         println!("  exit rules      {:?}", info.exit_rules);
         println!("  recursive rules {:?}", info.recursive_rules);
         for ic in &unit.constraints {
-            let ds = detect(&rect, &info, ic, DetectionMethod::SdGraph, 3)
-                .map_err(|e| e.to_string())?;
+            let ds =
+                detect(&rect, &info, ic, DetectionMethod::SdGraph, 3).map_err(|e| e.to_string())?;
             let label = ic
                 .name
                 .map(|n| n.as_str().to_owned())
@@ -448,9 +447,7 @@ fn cmd_describe(args: &[String]) -> Result<(), CliError> {
 }
 
 fn cmd_gen(args: &[String]) -> Result<(), CliError> {
-    use semrec::gen::{
-        export, fanout, flights, genealogy, org, parse_scenario, university,
-    };
+    use semrec::gen::{export, fanout, flights, genealogy, org, parse_scenario, university};
     let (name, dir) = match args {
         [n, d, ..] => (n.as_str(), std::path::Path::new(d)),
         _ => return Err(CliError::Usage(usage())),

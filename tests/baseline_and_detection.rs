@@ -44,9 +44,13 @@ fn runtime_baseline_agrees_on_all_scenarios() {
     ] {
         let s = parse_scenario(src);
         let base = evaluate(&gen_db, &s.program, Strategy::SemiNaive).unwrap();
-        let rt =
-            evaluate_with_runtime_semantics(&gen_db, &s.program, &s.constraints, Strategy::SemiNaive)
-                .unwrap();
+        let rt = evaluate_with_runtime_semantics(
+            &gen_db,
+            &s.program,
+            &s.constraints,
+            Strategy::SemiNaive,
+        )
+        .unwrap();
         for p in preds {
             assert_eq!(
                 base.relation(p).unwrap().sorted_tuples(),
@@ -204,7 +208,9 @@ fn multiple_residues_on_one_sequence() {
                 && r.body_atoms().any(|a| a.pred == Pred::new("reach"))
         })
         .expect("recursive rule");
-    assert!(!recursive.body_atoms().any(|a| a.pred == Pred::new("witness")));
+    assert!(!recursive
+        .body_atoms()
+        .any(|a| a.pred == Pred::new("witness")));
     assert!(!recursive.body_atoms().any(|a| a.pred == Pred::new("guard")));
 
     let mut db = Database::new();

@@ -33,13 +33,7 @@ fn run_plain_and_optimized_agree() {
     let file = sample("genealogy.dl");
     let (ok, plain, _) = semrec(&["run", &file, "--query", "anc(dan, A, Y, Ya)"]);
     assert!(ok);
-    let (ok, opt, stderr) = semrec(&[
-        "run",
-        &file,
-        "--optimize",
-        "--query",
-        "anc(dan, A, Y, Ya)",
-    ]);
+    let (ok, opt, stderr) = semrec(&["run", &file, "--optimize", "--query", "anc(dan, A, Y, Ya)"]);
     assert!(ok, "{stderr}");
     assert_eq!(plain, opt, "answers must agree");
     assert!(stderr.contains("subtree pruning"));
@@ -49,13 +43,7 @@ fn run_plain_and_optimized_agree() {
 #[test]
 fn run_with_magic() {
     let file = sample("genealogy.dl");
-    let (ok, out, _) = semrec(&[
-        "run",
-        &file,
-        "--magic",
-        "--query",
-        "anc(dan, A, Y, Ya)",
-    ]);
+    let (ok, out, _) = semrec(&["run", &file, "--magic", "--query", "anc(dan, A, Y, Ya)"]);
     assert!(ok);
     assert_eq!(out.lines().count(), 3);
 }
@@ -115,7 +103,11 @@ fn data_dir_loading_and_saving() {
     let _ = std::fs::remove_dir_all(&data);
     let _ = std::fs::remove_dir_all(&out);
     std::fs::create_dir_all(&data).unwrap();
-    std::fs::write(data.join("par.csv"), "fred,30,george,60\ngeorge,60,harry,95\n").unwrap();
+    std::fs::write(
+        data.join("par.csv"),
+        "fred,30,george,60\ngeorge,60,harry,95\n",
+    )
+    .unwrap();
     let (ok, stdout, stderr) = semrec(&[
         "run",
         &sample("genealogy.dl"),
@@ -157,7 +149,10 @@ fn plan_shows_physical_plans() {
     assert!(out.contains("index on cols"));
     let (ok, out, _) = semrec(&["plan", &sample("genealogy.dl"), "--optimize"]);
     assert!(ok);
-    assert!(out.contains("anc@"), "optimized plans include aux preds: {out}");
+    assert!(
+        out.contains("anc@"),
+        "optimized plans include aux preds: {out}"
+    );
 }
 
 #[test]

@@ -230,8 +230,7 @@ fn magic_query_complete() {
             semrec::datalog::parser::parse_atom(&format!("t(X, {value})")).unwrap()
         };
         let (mut answers, _) =
-            semrec::engine::magic::evaluate_query(&db, &prog, &goal, Strategy::SemiNaive)
-                .unwrap();
+            semrec::engine::magic::evaluate_query(&db, &prog, &goal, Strategy::SemiNaive).unwrap();
         answers.sort();
         let full = evaluate(&db, &prog, Strategy::SemiNaive).unwrap();
         let mut expected = full.answers(&goal);

@@ -336,8 +336,8 @@ fn io_load_failure_is_typed() {
     failpoint::clear();
     failpoint::arm("io.load", 0, FailAction::Err);
     let mut db = Database::new();
-    let err = semrec::engine::io::load_file(&mut db, "edge", &path)
-        .expect_err("armed io.load must fail");
+    let err =
+        semrec::engine::io::load_file(&mut db, "edge", &path).expect_err("armed io.load must fail");
     failpoint::clear();
     match err {
         EngineError::Io(msg) => assert!(msg.contains("injected error"), "{msg}"),

@@ -126,7 +126,9 @@ fn row_budget_trips_with_partial_sound_idb() {
     let err = ev.run().expect_err("row budget must trip");
     match err {
         EngineError::BudgetExceeded {
-            resource, limit, used,
+            resource,
+            limit,
+            used,
         } => {
             assert_eq!(resource, "idb_rows");
             assert_eq!(limit, 200);

@@ -38,7 +38,10 @@ fn example_2_1_expanded_vs_free_residues() {
     // variables clash — so its maximal matches cover proper subsets, e.g.
     // {a, c} leaving b(X2, W3) in the residue body (the paper's
     // "b(X2, X3') -> d(X5, V7)").
-    let targets: Vec<&semrec::datalog::Atom> = r0.body_atoms().filter(|a| a.pred != Pred::new("p")).collect();
+    let targets: Vec<&semrec::datalog::Atom> = r0
+        .body_atoms()
+        .filter(|a| a.pred != Pred::new("p"))
+        .collect();
     let free = semrec::core::subsume::maximal_partial_matches(&ic.body_atoms, &targets, 1);
     assert!(!free.is_empty());
     assert!(free.iter().all(|m| m.matched_count() < 3));
@@ -58,7 +61,14 @@ fn example_3_1_and_3_2_detection() {
     .unwrap();
     let (prog, _) = rectify(&unit.program());
     let info = classify_linear_pred(&prog, Pred::new("eval")).unwrap();
-    let ds = detect(&prog, &info, &unit.constraints[0], DetectionMethod::SdGraph, 2).unwrap();
+    let ds = detect(
+        &prog,
+        &info,
+        &unit.constraints[0],
+        DetectionMethod::SdGraph,
+        2,
+    )
+    .unwrap();
     let r = ds
         .iter()
         .map(|d| &d.residue)
@@ -120,7 +130,9 @@ fn example_4_2_atom_introduction() {
         .filter(|r| r.head.pred == Pred::new("eval_support"))
         .map(ToString::to_string)
         .collect();
-    assert!(es.iter().any(|r| r.contains("doctoral") && r.contains("M > 10000")));
+    assert!(es
+        .iter()
+        .any(|r| r.contains("doctoral") && r.contains("M > 10000")));
     assert!(es.iter().any(|r| r.contains("M <= 10000")));
 
     let db = university::generate(&university::UniversityParams::default());
