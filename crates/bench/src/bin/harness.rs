@@ -22,8 +22,9 @@
 use semrec_bench::baseline::{diff_table, parse_baseline};
 use semrec_bench::experiments::{run, Scale, ALL};
 use semrec_bench::fixpoint::{
-    check_scaling, governance_table, run_fixpoint_bench_gated, run_governance_bench,
-    run_semantic_bench, semantic_table, to_json_full, to_table,
+    check_scaling, governance_table, incremental_table, run_fixpoint_bench_gated,
+    run_governance_bench, run_incremental_bench, run_semantic_bench, semantic_table, to_json_full,
+    to_json_with_incremental, to_table,
 };
 use std::path::Path;
 use std::process::ExitCode;
@@ -83,10 +84,15 @@ fn main() -> ExitCode {
         print!("{}", semantic_table(&semantic));
         let governance = run_governance_bench(quick);
         print!("{}", governance_table(&governance));
+        let incremental = run_incremental_bench(quick);
+        print!("{}", incremental_table(&incremental));
         if json {
             let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_fixpoint.json");
-            std::fs::write(&out, to_json_full(&results, &semantic, &governance))
-                .expect("write BENCH_fixpoint.json");
+            let doc = to_json_with_incremental(
+                to_json_full(&results, &semantic, &governance),
+                &incremental,
+            );
+            std::fs::write(&out, doc).expect("write BENCH_fixpoint.json");
             println!("wrote {}", out.display());
         }
         if let (Some(base), Some(path)) = (&baseline, &baseline_path) {

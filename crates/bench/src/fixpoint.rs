@@ -625,6 +625,187 @@ pub fn to_table(results: &[WorkloadResult]) -> String {
     s
 }
 
+/// One incremental-maintenance measurement: a single transaction
+/// applied to a maintained E1 fanout materialization, vs re-answering
+/// the same post-transaction database from scratch.
+#[derive(Clone, Debug)]
+pub struct IncrementalResult {
+    /// Scenario name.
+    pub scenario: String,
+    /// Generator parameter label.
+    pub params: String,
+    /// What the transaction did (`insert`, `ic_violating_insert`).
+    pub op: String,
+    /// Median milliseconds for the incremental update.
+    pub update_millis: f64,
+    /// Median milliseconds for a from-scratch evaluation of the active
+    /// route's program over the post-transaction database.
+    pub scratch_millis: f64,
+    /// The route answering queries after the update.
+    pub route: String,
+    /// IDB tuples of the answer predicate after the update.
+    pub rows_idb: usize,
+}
+
+impl IncrementalResult {
+    /// From-scratch / incremental latency ratio (> 1: maintenance wins).
+    pub fn speedup(&self) -> f64 {
+        self.scratch_millis / self.update_millis.max(1e-9)
+    }
+}
+
+/// Runs the incremental-maintenance bench on the large E1 fanout
+/// workload: a single-tuple clean insert (must be far cheaper than
+/// re-evaluating) and an IC-violating insert (pays the route
+/// invalidation: the rectified program is rebuilt from scratch, so its
+/// latency is the honest worst case).
+pub fn run_incremental_bench(quick: bool) -> Vec<IncrementalResult> {
+    use semrec_core::maintain::MaintainedQuery;
+    use semrec_core::optimizer::OptimizerConfig;
+    use semrec_datalog::term::Value;
+    use semrec_engine::Tx;
+
+    let runs = if quick { 1 } else { 5 };
+    let (nodes, extra, fo) = if quick { (150, 80, 64) } else { (300, 160, 64) };
+    let s = parse_scenario(fanout::PROGRAM);
+    let params = format!("nodes={nodes} extra_edges={extra} fanout={fo}");
+    let db = fanout::generate(&fanout::FanoutParams {
+        nodes,
+        extra_edges: extra,
+        fanout: fo,
+        seed: 1,
+    });
+
+    // (op, edge to insert): the clean insert targets a witnessed node;
+    // the violating one targets a node the generator gave no witness.
+    let clean_target = (2..nodes as i64)
+        .find(|&b| {
+            !db.get("edge".into())
+                .is_some_and(|r| r.contains(&[Value::Int(0), Value::Int(b)]))
+        })
+        .expect("some witnessed node has no edge from 0");
+    let ops: [(&str, i64); 2] = [
+        ("insert", clean_target),
+        ("ic_violating_insert", nodes as i64 + 4242),
+    ];
+
+    let mut out = Vec::new();
+    for (op, target) in ops {
+        let mut update_ms = Vec::new();
+        let mut scratch_ms = Vec::new();
+        let mut route = String::new();
+        let mut rows_idb = 0;
+        for _ in 0..runs.max(1) {
+            // Fresh materialization per run: each measurement applies
+            // the identical transaction to the identical state.
+            let mut q = MaintainedQuery::new(
+                db.clone(),
+                &s.program,
+                &s.constraints,
+                OptimizerConfig::default(),
+                1,
+            )
+            .expect("fanout scenario optimizes");
+            let mut tx = Tx::new();
+            tx.insert("edge", vec![Value::Int(0), Value::Int(target)]);
+            let t = Instant::now();
+            let res = q
+                .apply(&tx, Budget::unlimited(), None)
+                .expect("unlimited-budget update succeeds");
+            update_ms.push(t.elapsed().as_secs_f64() * 1e3);
+            route = format!("{:?}", res.route);
+            rows_idb = q.relation("reach").map(|r| r.len()).unwrap_or(0);
+
+            // From-scratch comparison: evaluate the active route's
+            // program over the post-tx database.
+            let program = if q.on_optimized_route() {
+                &q.plan().program
+            } else {
+                &q.plan().rectified
+            };
+            let t = Instant::now();
+            let scratch =
+                evaluate(q.db(), program, Strategy::SemiNaive).expect("scratch evaluation");
+            scratch_ms.push(t.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(
+                q.relation("reach").map(|r| r.sorted_tuples()),
+                scratch.relation("reach").map(|r| r.sorted_tuples()),
+                "maintained answer diverged from scratch"
+            );
+        }
+        update_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        scratch_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        out.push(IncrementalResult {
+            scenario: "fanout".to_owned(),
+            params: params.clone(),
+            op: op.to_owned(),
+            update_millis: update_ms[update_ms.len() / 2],
+            scratch_millis: scratch_ms[scratch_ms.len() / 2],
+            route,
+            rows_idb,
+        });
+    }
+    out
+}
+
+/// A human-readable incremental-update latency table.
+pub fn incremental_table(results: &[IncrementalResult]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<12} {:<20} {:>10} {:>11} {:>8}  {}",
+        "incremental", "op", "update ms", "scratch ms", "speedup", "route"
+    );
+    for r in results {
+        let _ = writeln!(
+            s,
+            "{:<12} {:<20} {:>10.3} {:>11.2} {:>7.1}x  {}",
+            r.scenario,
+            r.op,
+            r.update_millis,
+            r.scratch_millis,
+            r.speedup(),
+            r.route
+        );
+    }
+    s
+}
+
+/// Splices the `incremental` section into an already-serialized
+/// benchmark document (the output of [`to_json_full`]). Empty input
+/// leaves the document unchanged.
+pub fn to_json_with_incremental(mut s: String, incremental: &[IncrementalResult]) -> String {
+    if incremental.is_empty() {
+        return s;
+    }
+    let tail = s.rfind("  ]\n}").expect("serializer emits a closing array");
+    s.truncate(tail + 3);
+    s.push_str(",\n  \"incremental\": [\n");
+    for (i, r) in incremental.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"scenario\": \"{}\", \"params\": \"{}\", \"op\": \"{}\", \
+             \"update_millis\": {}, \"scratch_millis\": {}, \"speedup\": {}, \
+             \"route\": \"{}\", \"rows_idb\": {}}}",
+            r.scenario,
+            r.params,
+            r.op,
+            json_f(r.update_millis),
+            json_f(r.scratch_millis),
+            json_f(r.speedup()),
+            r.route,
+            r.rows_idb
+        );
+        s.push_str(if i + 1 < incremental.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

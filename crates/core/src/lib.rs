@@ -17,6 +17,7 @@ pub mod expand;
 pub mod graph;
 pub mod hom;
 pub mod isolate;
+pub mod maintain;
 pub mod minimize;
 pub mod optimizer;
 pub mod push;
@@ -25,6 +26,7 @@ pub mod sequence;
 pub mod subsume;
 
 pub use detect::{detect, Detection, DetectionMethod};
+pub use maintain::{MaintainError, MaintainedQuery, UpdateOutcome};
 pub use optimizer::{evaluate_governed, GovernedOutcome, Optimizer, OptimizerConfig, Plan};
 pub use residue::{Residue, ResidueHead};
 pub use sequence::{unfold, Unfolding};

@@ -1,0 +1,548 @@
+//! Residue-guarded maintenance of an optimized query across EDB updates.
+//!
+//! The optimizer's output is only equivalent to the rectified program on
+//! databases that satisfy the integrity constraints whose residues it
+//! pushed. A [`MaintainedQuery`] therefore pairs the incremental engine
+//! ([`Materialized`]) with an **IC monitor** scoped to exactly those
+//! constraints:
+//!
+//! - While every monitored IC holds, each transaction is absorbed by
+//!   delta propagation / DRed on the *optimized* program's
+//!   materialization ([`Route::IncrementalOptimized`]).
+//! - The moment a transaction breaks a monitored IC, the optimized
+//!   materialization is invalidated — its cached relations may now be
+//!   unsound — and the query is re-answered from the *rectified*
+//!   program ([`Route::IncrementalInvalidated`]). Subsequent
+//!   transactions maintain the rectified materialization incrementally,
+//!   re-checking the broken constraints in full until they hold again.
+//! - When the violations clear, the optimized materialization is
+//!   rebuilt and incremental maintenance of the fast route resumes.
+//!
+//! The monitor is delta-driven: a constraint that held before the
+//! transaction is re-checked only against bindings the transaction's
+//! effective delta can have created (see `semrec_engine::incr`), not by
+//! re-enumerating the database.
+//!
+//! Transactions are atomic. Every mutation happens on working copies;
+//! the query's database, materialization, and monitor state advance
+//! together on success and are untouched on any error (budget
+//! exhaustion, cancellation, injected fault).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Instant;
+
+use semrec_datalog::atom::{Atom, Pred};
+use semrec_datalog::constraint::Constraint;
+use semrec_datalog::error::Error;
+use semrec_datalog::program::Program;
+use semrec_datalog::term::Value;
+use semrec_engine::eval::goal_matches;
+use semrec_engine::incr::{ic_still_satisfied, rollback_inserts};
+use semrec_engine::{
+    Budget, CancelToken, Database, EngineError, Materialized, Relation, Route, Tuple, Tx,
+    UpdateStats,
+};
+
+use crate::optimizer::{Optimizer, OptimizerConfig, Plan};
+
+/// Setup errors: the optimizer can reject the program/ICs, and the
+/// initial materialization can fail in the engine.
+#[derive(Debug)]
+pub enum MaintainError {
+    /// The optimizer rejected the program or constraints.
+    Optimizer(Error),
+    /// The initial evaluation failed.
+    Engine(EngineError),
+}
+
+impl fmt::Display for MaintainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MaintainError::Optimizer(e) => write!(f, "optimizer: {e}"),
+            MaintainError::Engine(e) => write!(f, "engine: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MaintainError {}
+
+impl From<Error> for MaintainError {
+    fn from(e: Error) -> Self {
+        MaintainError::Optimizer(e)
+    }
+}
+
+impl From<EngineError> for MaintainError {
+    fn from(e: EngineError) -> Self {
+        MaintainError::Engine(e)
+    }
+}
+
+/// What one applied transaction did.
+#[derive(Clone, Debug)]
+pub struct UpdateOutcome {
+    /// Which route answers queries after this transaction.
+    pub route: Route,
+    /// Engine counters for the maintenance work.
+    pub stats: UpdateStats,
+    /// True when the transaction switched routes and the new route's
+    /// materialization was rebuilt from scratch (invalidation or
+    /// recovery), rather than maintained by delta propagation.
+    pub rebuilt: bool,
+    /// Indices (into [`MaintainedQuery::monitored`]) of the constraints
+    /// violated after this transaction.
+    pub violated: Vec<usize>,
+}
+
+/// An optimized query kept answerable across EDB transactions, with the
+/// optimizer's constraint assumptions monitored per update.
+pub struct MaintainedQuery {
+    db: Database,
+    plan: Plan,
+    /// The constraints the optimized route's soundness depends on.
+    monitored: Vec<Constraint>,
+    /// Per monitored constraint: does it hold on the current database?
+    ic_ok: Vec<bool>,
+    /// The live materialization — of `plan.program` while every
+    /// monitored IC holds, of `plan.rectified` otherwise.
+    active: Materialized,
+    on_optimized: bool,
+    route: Route,
+    threads: usize,
+}
+
+/// The constraints whose residues the plan actually pushed, deduplicated.
+/// Rule-level rewrites are not attributed to individual constraints, so
+/// a plan that applied any monitors the full constraint set.
+fn monitored_ics(plan: &Plan, ics: &[Constraint]) -> Vec<Constraint> {
+    if plan.rule_level > 0 {
+        return ics.to_vec();
+    }
+    let mut out: Vec<Constraint> = Vec::new();
+    for a in &plan.applied {
+        if !out.contains(&a.residue.ic) {
+            out.push(a.residue.ic.clone());
+        }
+    }
+    out
+}
+
+impl MaintainedQuery {
+    /// Optimizes `program` under `ics` and materializes the appropriate
+    /// route over `db` (the optimized program if every monitored IC
+    /// holds, the rectified program otherwise).
+    pub fn new(
+        db: Database,
+        program: &Program,
+        ics: &[Constraint],
+        config: OptimizerConfig,
+        threads: usize,
+    ) -> Result<MaintainedQuery, MaintainError> {
+        let plan = Optimizer::new(program)
+            .with_constraints(ics)
+            .with_config(config)
+            .run()?;
+        let monitored = monitored_ics(&plan, ics);
+        let ic_ok: Vec<bool> = monitored.iter().map(|ic| db.satisfies(ic)).collect();
+        let on_optimized = ic_ok.iter().all(|&b| b);
+        let active_program = if on_optimized {
+            &plan.program
+        } else {
+            &plan.rectified
+        };
+        let active = Materialized::new(&db, active_program, threads)?;
+        let route = if !on_optimized {
+            Route::RectifiedFallback
+        } else if plan.any_applied() {
+            Route::Optimized
+        } else {
+            Route::Direct
+        };
+        Ok(MaintainedQuery {
+            db,
+            plan,
+            monitored,
+            ic_ok,
+            active,
+            on_optimized,
+            route,
+            threads,
+        })
+    }
+
+    /// Applies `tx` atomically: EDB update, delta IC re-check, route
+    /// transition if the monitored constraints changed truth value, and
+    /// incremental (or rebuild) maintenance of the active
+    /// materialization. On error nothing — database, materialization,
+    /// monitor state — has changed.
+    pub fn apply(
+        &mut self,
+        tx: &Tx,
+        budget: Budget,
+        cancel: Option<CancelToken>,
+    ) -> Result<UpdateOutcome, EngineError> {
+        let start = Instant::now();
+        if tx.deletes().values().all(Vec::is_empty) && self.active.is_incremental() {
+            return self.apply_insert_only(tx, budget, cancel, start);
+        }
+        let mut work = self.db.clone();
+        let delta = work.apply(tx);
+
+        // Monitor pass: constraints that held get the delta-driven
+        // check; constraints already broken need the full check (any
+        // delta class can repair a violation).
+        let mut ic_ok = Vec::with_capacity(self.monitored.len());
+        for (ic, &was_ok) in self.monitored.iter().zip(&self.ic_ok) {
+            let ok = if was_ok {
+                ic_still_satisfied(&work, &delta, ic)?
+            } else {
+                work.satisfies(ic)
+            };
+            ic_ok.push(ok);
+        }
+        let now_ok = ic_ok.iter().all(|&b| b);
+
+        let (stats, route, rebuilt) = if now_ok == self.on_optimized {
+            // Route unchanged: maintain the active materialization.
+            let stats = self
+                .active
+                .apply_delta(&self.db, &work, &delta, budget, cancel)?;
+            let route = if now_ok {
+                Route::IncrementalOptimized
+            } else {
+                Route::IncrementalInvalidated
+            };
+            (stats, route, false)
+        } else if now_ok {
+            // Violations cleared: the optimized route is sound again.
+            // Its cached results were discarded at invalidation, so the
+            // materialization is rebuilt from scratch.
+            let next = Materialized::new(&work, &self.plan.program, self.threads)?;
+            let stats = rebuild_stats(&next, start);
+            self.active = next;
+            (stats, Route::IncrementalOptimized, true)
+        } else {
+            // Newly violated: the optimized materialization's cached
+            // relations may be unsound on the updated database.
+            // Invalidate them and re-answer from the rectified program.
+            let next = Materialized::new(&work, &self.plan.rectified, self.threads)?;
+            let stats = rebuild_stats(&next, start);
+            self.active = next;
+            (stats, Route::IncrementalInvalidated, true)
+        };
+
+        work.compact();
+        self.db = work;
+        self.ic_ok = ic_ok;
+        self.on_optimized = now_ok;
+        self.route = route;
+        Ok(UpdateOutcome {
+            route,
+            stats,
+            rebuilt,
+            violated: self.violated(),
+        })
+    }
+
+    /// Insert-only fast path: the transaction is applied to the
+    /// database in place (appends only) and both the IC monitor and the
+    /// materialization work from the appended delta, so the
+    /// per-transaction cost is proportional to the delta rather than a
+    /// database clone. On any error the appends are truncated away
+    /// ([`rollback_inserts`]) and all state is as before the call.
+    fn apply_insert_only(
+        &mut self,
+        tx: &Tx,
+        budget: Budget,
+        cancel: Option<CancelToken>,
+        start: Instant,
+    ) -> Result<UpdateOutcome, EngineError> {
+        let delta = self.db.apply(tx);
+
+        let mut ic_ok = Vec::with_capacity(self.monitored.len());
+        for (ic, &was_ok) in self.monitored.iter().zip(&self.ic_ok) {
+            let ok = if was_ok {
+                match ic_still_satisfied(&self.db, &delta, ic) {
+                    Ok(ok) => ok,
+                    Err(e) => {
+                        rollback_inserts(&mut self.db, &delta);
+                        return Err(e);
+                    }
+                }
+            } else {
+                self.db.satisfies(ic)
+            };
+            ic_ok.push(ok);
+        }
+        let now_ok = ic_ok.iter().all(|&b| b);
+
+        let (stats, route, rebuilt) = if now_ok == self.on_optimized {
+            match self
+                .active
+                .apply_delta_appended(&self.db, &delta, budget, cancel)
+            {
+                Ok(stats) => {
+                    let route = if now_ok {
+                        Route::IncrementalOptimized
+                    } else {
+                        Route::IncrementalInvalidated
+                    };
+                    (stats, route, false)
+                }
+                Err(e) => {
+                    rollback_inserts(&mut self.db, &delta);
+                    return Err(e);
+                }
+            }
+        } else if now_ok {
+            match Materialized::new(&self.db, &self.plan.program, self.threads) {
+                Ok(next) => {
+                    let stats = rebuild_stats(&next, start);
+                    self.active = next;
+                    (stats, Route::IncrementalOptimized, true)
+                }
+                Err(e) => {
+                    rollback_inserts(&mut self.db, &delta);
+                    return Err(e);
+                }
+            }
+        } else {
+            match Materialized::new(&self.db, &self.plan.rectified, self.threads) {
+                Ok(next) => {
+                    let stats = rebuild_stats(&next, start);
+                    self.active = next;
+                    (stats, Route::IncrementalInvalidated, true)
+                }
+                Err(e) => {
+                    rollback_inserts(&mut self.db, &delta);
+                    return Err(e);
+                }
+            }
+        };
+
+        self.ic_ok = ic_ok;
+        self.on_optimized = now_ok;
+        self.route = route;
+        Ok(UpdateOutcome {
+            route,
+            stats,
+            rebuilt,
+            violated: self.violated(),
+        })
+    }
+
+    /// The current database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The optimizer's plan.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// The route that answers queries right now.
+    pub fn route(&self) -> Route {
+        self.route
+    }
+
+    /// The constraints the monitor watches (those the optimizer's
+    /// rewrites depend on).
+    pub fn monitored(&self) -> &[Constraint] {
+        &self.monitored
+    }
+
+    /// Indices of currently violated monitored constraints.
+    pub fn violated(&self) -> Vec<usize> {
+        self.ic_ok
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &ok)| (!ok).then_some(i))
+            .collect()
+    }
+
+    /// True while every monitored constraint holds (the optimized route
+    /// is live).
+    pub fn on_optimized_route(&self) -> bool {
+        self.on_optimized
+    }
+
+    /// The active materialization's IDB relations.
+    pub fn idb(&self) -> &BTreeMap<Pred, Relation> {
+        self.active.idb()
+    }
+
+    /// The active materialization's relation for `pred`.
+    pub fn relation(&self, pred: impl Into<Pred>) -> Option<&Relation> {
+        self.active.relation(pred)
+    }
+
+    /// Answers to a goal atom over the active materialization.
+    pub fn answers(&self, goal: &Atom) -> Vec<Tuple> {
+        let Some(rel) = self.active.relation(goal.pred) else {
+            return Vec::new();
+        };
+        rel.iter()
+            .filter(|row| goal_matches(goal, row))
+            .map(<[Value]>::to_vec)
+            .collect()
+    }
+}
+
+/// Synthesizes counters for a from-scratch route rebuild.
+fn rebuild_stats(next: &Materialized, start: Instant) -> UpdateStats {
+    UpdateStats {
+        from_scratch: true,
+        rounds: next.initial_rounds(),
+        elapsed_ms: start.elapsed().as_millis() as u64,
+        ..UpdateStats::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semrec_datalog::parser::parse_unit;
+    use semrec_engine::int_tuple;
+
+    /// The fanout scenario (guarded reachability): the IC lets the
+    /// optimizer eliminate the `witness` subgoal from the recursion, so
+    /// the optimized route's soundness depends on every edge target
+    /// keeping a witness.
+    fn fanout_query() -> MaintainedQuery {
+        let unit = parse_unit(
+            "reach(X, Y) :- edge(X, Y).\n\
+             reach(X, Y) :- edge(X, Z), witness(Z, W), reach(Z, Y).\n\
+             ic ic1: edge(X, Z) -> witness(Z, W).",
+        )
+        .expect("parse");
+        let mut db = Database::new();
+        for v in 0..6i64 {
+            db.insert("edge", int_tuple(&[v, v + 1]));
+        }
+        for v in 0..=6i64 {
+            db.insert("witness", int_tuple(&[v, v * 1000]));
+        }
+        let q = MaintainedQuery::new(
+            db,
+            &unit.program(),
+            &unit.constraints,
+            OptimizerConfig::default(),
+            1,
+        )
+        .expect("maintained query");
+        assert!(
+            !q.monitored().is_empty(),
+            "optimizer should eliminate the witness subgoal under ic1"
+        );
+        q
+    }
+
+    fn scratch_answers(q: &MaintainedQuery, goal: &Atom) -> Vec<Tuple> {
+        let res = semrec_engine::evaluate(
+            q.db(),
+            &q.plan().rectified,
+            semrec_engine::Strategy::SemiNaive,
+        )
+        .expect("scratch eval");
+        let mut a = res.answers(goal);
+        a.sort();
+        a
+    }
+
+    fn goal(src: &str) -> Atom {
+        semrec_datalog::parser::parse_atom(src).expect("goal parse")
+    }
+
+    #[test]
+    fn clean_inserts_stay_on_optimized_route() {
+        let mut q = fanout_query();
+        assert_eq!(q.route(), Route::Optimized);
+        assert!(q.on_optimized_route());
+        // Extend the chain with a witnessed node: the IC keeps holding.
+        let mut tx = Tx::new();
+        tx.insert("edge", int_tuple(&[6, 7]));
+        tx.insert("witness", int_tuple(&[7, 7000]));
+        let out = q.apply(&tx, Budget::unlimited(), None).expect("apply");
+        assert_eq!(out.route, Route::IncrementalOptimized);
+        assert!(!out.rebuilt);
+        assert!(out.violated.is_empty());
+        assert!(!out.stats.from_scratch);
+        let g = goal("reach(0, Y)");
+        let mut got = q.answers(&g);
+        got.sort();
+        assert_eq!(got, scratch_answers(&q, &g));
+        assert!(got.contains(&int_tuple(&[0, 7])));
+    }
+
+    #[test]
+    fn violating_insert_invalidates_then_recovers() {
+        let mut q = fanout_query();
+        let g = goal("reach(0, Y)");
+
+        // Insert an edge to a witness-less node: ic1 breaks, the
+        // optimized materialization is invalidated, and the rectified
+        // program answers (it still sees the new edge).
+        let mut tx = Tx::new();
+        tx.insert("edge", int_tuple(&[2, 50]));
+        let out = q.apply(&tx, Budget::unlimited(), None).expect("apply");
+        assert_eq!(out.route, Route::IncrementalInvalidated);
+        assert!(out.rebuilt);
+        assert_eq!(out.violated, vec![0]);
+        let mut got = q.answers(&g);
+        got.sort();
+        assert_eq!(got, scratch_answers(&q, &g));
+        assert!(got.contains(&int_tuple(&[0, 50])));
+
+        // While violated, further updates maintain the rectified
+        // materialization incrementally. The optimized program would
+        // (unsoundly) recurse through the witness-less node 50 and
+        // derive reach(0, 60); the rectified route must not.
+        let mut tx = Tx::new();
+        tx.insert("edge", int_tuple(&[50, 60]));
+        let out = q.apply(&tx, Budget::unlimited(), None).expect("apply");
+        assert_eq!(out.route, Route::IncrementalInvalidated);
+        assert!(!out.rebuilt);
+        let mut got = q.answers(&g);
+        got.sort();
+        assert_eq!(got, scratch_answers(&q, &g));
+        assert!(!got.contains(&int_tuple(&[0, 60])));
+
+        // Deleting the offending edges clears the violation; the
+        // optimized route is rebuilt and answering again.
+        let mut tx = Tx::new();
+        tx.delete("edge", int_tuple(&[2, 50]));
+        tx.delete("edge", int_tuple(&[50, 60]));
+        let out = q.apply(&tx, Budget::unlimited(), None).expect("apply");
+        assert_eq!(out.route, Route::IncrementalOptimized);
+        assert!(out.rebuilt);
+        assert!(out.violated.is_empty());
+        assert!(q.on_optimized_route());
+        let mut got = q.answers(&g);
+        got.sort();
+        assert_eq!(got, scratch_answers(&q, &g));
+        assert!(!got.contains(&int_tuple(&[0, 50])));
+    }
+
+    #[test]
+    fn budget_error_rolls_back_monitor_and_database() {
+        let mut q = fanout_query();
+        let before_edges = q.db().get("edge".into()).map(|r| r.len()).unwrap_or(0);
+        let before = q.answers(&goal("reach(0, Y)")).len();
+        let mut tx = Tx::new();
+        tx.insert("edge", int_tuple(&[6, 7]));
+        tx.insert("witness", int_tuple(&[7, 7000]));
+        let err = q
+            .apply(&tx, Budget::unlimited().with_max_iterations(0), None)
+            .expect_err("zero iteration budget must fail");
+        assert!(matches!(err, EngineError::IterationLimit(_)));
+        assert_eq!(
+            q.db().get("edge".into()).map(|r| r.len()).unwrap_or(0),
+            before_edges
+        );
+        assert_eq!(q.route(), Route::Optimized);
+        assert!(q.violated().is_empty());
+        assert_eq!(q.answers(&goal("reach(0, Y)")).len(), before);
+    }
+}

@@ -57,9 +57,33 @@ impl Database {
         db
     }
 
+    /// Deletes a fact (tombstoning its row — see [`Relation::delete`]).
+    /// Returns `true` if the fact was present.
+    pub fn delete(&mut self, pred: impl Into<Pred>, tuple: &[Value]) -> bool {
+        self.rels
+            .get_mut(&pred.into())
+            .is_some_and(|r| r.delete(tuple))
+    }
+
+    /// Compacts every relation that accumulated tombstones, reclaiming
+    /// deleted rows' storage and renumbering physical row ids. Callers
+    /// holding row-id watermarks (the incremental layer's transaction
+    /// marks) must refresh them afterwards.
+    pub fn compact(&mut self) {
+        for r in self.rels.values_mut() {
+            r.compact();
+        }
+    }
+
     /// The relation for `pred`, if present.
     pub fn get(&self, pred: Pred) -> Option<&Relation> {
         self.rels.get(&pred)
+    }
+
+    /// Mutable access to the relation for `pred`, if present. Used by the
+    /// incremental layer to roll back in-place appends on error.
+    pub fn get_mut(&mut self, pred: Pred) -> Option<&mut Relation> {
+        self.rels.get_mut(&pred)
     }
 
     /// Number of tuples for `pred` (0 if absent).

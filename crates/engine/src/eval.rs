@@ -74,6 +74,14 @@ pub enum Route {
     /// The optimized route failed or exhausted its budget slice; the
     /// rectified program answered under the remaining budget.
     RectifiedFallback,
+    /// An incremental maintenance pass (delta-insert and/or DRed) updated
+    /// the optimized program's materialization in place — the monitored
+    /// integrity constraints still hold.
+    IncrementalOptimized,
+    /// An update violated an integrity constraint the optimizer had
+    /// relied on: the optimized materialization was invalidated and the
+    /// answer re-derived from the rectified program.
+    IncrementalInvalidated,
 }
 
 /// The result of an evaluation: materialized IDB relations plus counters.
@@ -243,8 +251,13 @@ impl MergeAcc {
     }
 }
 
+#[derive(Clone)]
 struct RulePlans {
-    has_idb: bool,
+    /// True if the rule has at least one delta-capable body literal, so
+    /// its delta variants are worth scheduling on non-fresh rounds. In
+    /// batch mode that means an IDB subgoal; in incremental mode EDB
+    /// subgoals are delta-capable too (they seed rounds from the tx).
+    has_deltas: bool,
     full: CompiledRule,
     deltas: Vec<CompiledRule>,
 }
@@ -309,6 +322,65 @@ const PRE_POOL_FLOOR_ROWS: u64 = 512;
 /// Initial estimate of per-seed-row work, refined online per round.
 const INITIAL_ROW_NANOS: f64 = 150.0;
 
+/// A program compiled once for incremental evaluation and reusable
+/// across transactions: rule plans (full + delta variants, with EDB
+/// subgoals delta-capable), strata, and arities. Keyed by the caller on
+/// (program, strata) identity — the incremental maintenance layer
+/// builds one `Prepared` per maintained program and hands it to
+/// [`Evaluator::from_prepared`] for every transaction, skipping rule
+/// compilation on the per-update hot path.
+#[derive(Clone)]
+pub struct Prepared {
+    program: Program,
+    idb_preds: BTreeSet<Pred>,
+    plans: Vec<RulePlans>,
+    rule_stratum: Vec<usize>,
+    max_stratum: usize,
+    arities: BTreeMap<Pred, usize>,
+}
+
+impl Prepared {
+    /// Compiles `program` against `db` in incremental mode. The database
+    /// is used only for join-order size estimates; the plans stay valid
+    /// as the EDB evolves.
+    pub fn compile(db: &Database, program: &Program) -> Result<Prepared, EngineError> {
+        let arities = program.arities().map_err(EngineError::ArityMismatch)?;
+        let mut ev = Evaluator::new(db, &Program::default(), Strategy::SemiNaive)?;
+        ev.incremental = true;
+        ev.set_program(program)?;
+        Ok(Prepared {
+            program: ev.program,
+            idb_preds: ev.idb_preds,
+            plans: ev.plans,
+            rule_stratum: ev.rule_stratum,
+            max_stratum: ev.max_stratum,
+            arities,
+        })
+    }
+
+    /// Highest stratum in the prepared program (0 ⇔ negation-free).
+    /// Incremental propagation is only sound at stratum 0; callers fall
+    /// back to batch evaluation otherwise.
+    pub fn max_stratum(&self) -> usize {
+        self.max_stratum
+    }
+
+    /// The prepared program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The IDB predicates (head predicates plus any preloaded ones).
+    pub fn idb_preds(&self) -> &BTreeSet<Pred> {
+        &self.idb_preds
+    }
+
+    /// Declared arity of every predicate in the program.
+    pub fn arities(&self) -> &BTreeMap<Pred, usize> {
+        &self.arities
+    }
+}
+
 /// A resumable fixpoint evaluator over a fixed EDB.
 pub struct Evaluator<'db> {
     db: &'db Database,
@@ -349,6 +421,18 @@ pub struct Evaluator<'db> {
     cutover: Cutover,
     /// Merge-shard count override (default `next_pow2(parallelism)`).
     shards: Option<usize>,
+    /// Incremental mode: EDB subgoals become delta-capable and resolve
+    /// their old/delta views through `edb_marks` instead of the full row
+    /// range. Entered via [`Evaluator::new_incremental`] /
+    /// [`Evaluator::from_prepared`]; batch construction leaves it off
+    /// and nothing on the batch path changes.
+    incremental: bool,
+    /// Per EDB predicate, the physical-row watermark separating pre-tx
+    /// rows (`[0, mark)` = Old) from rows the current transaction
+    /// appended (`[mark, len)` = Delta). Predicates absent from the map
+    /// have an empty delta. Drained (mark := len) after each round so
+    /// later rounds see the post-tx EDB as Old.
+    edb_marks: FxHashMap<Pred, u32>,
     /// Online estimate of nanoseconds of round work per seed row,
     /// exponentially weighted over completed rounds.
     row_nanos_ewma: f64,
@@ -384,10 +468,111 @@ impl<'db> Evaluator<'db> {
             pool: None,
             cutover: Cutover::Auto,
             shards: None,
+            incremental: false,
+            edb_marks: FxHashMap::default(),
             row_nanos_ewma: INITIAL_ROW_NANOS,
         };
         ev.set_program(program)?;
         Ok(ev)
+    }
+
+    /// Builds an *incremental* evaluator: `idb` is a previously
+    /// materialized fixpoint of `program` over the pre-transaction EDB,
+    /// and `edb_marks` records, per EDB predicate, the physical row
+    /// watermark below which rows predate the transaction. Running this
+    /// evaluator to fixpoint performs semi-naive delta-insert
+    /// propagation: the first round is seeded from the EDB rows at or
+    /// above their watermark (plus any preloaded IDB rows beyond
+    /// `preloaded_old`, see [`Evaluator::from_prepared`]) rather than
+    /// from the whole database, and EDB watermarks drain after each
+    /// round.
+    ///
+    /// Only sound for positive programs (a stratified program's higher
+    /// strata would need full re-evaluation under changed lower strata);
+    /// construction fails with [`EngineError::NotStratified`]-free
+    /// programs only, and callers must check [`Prepared::max_stratum`]
+    /// or fall back to batch evaluation when negation is present.
+    ///
+    /// # Panics
+    /// In debug builds, panics if a preloaded relation has tombstones
+    /// (the incremental layer compacts before preloading) or if the
+    /// program has more than one stratum.
+    pub fn new_incremental(
+        db: &'db Database,
+        program: &Program,
+        idb: impl IntoIterator<Item = (Pred, Relation)>,
+        edb_marks: FxHashMap<Pred, u32>,
+    ) -> Result<Evaluator<'db>, EngineError> {
+        let mut ev = Evaluator::new(db, &Program::default(), Strategy::SemiNaive)?;
+        ev.incremental = true;
+        ev.edb_marks = edb_marks;
+        ev.preload(idb);
+        ev.set_program(program)?;
+        debug_assert_eq!(
+            ev.max_stratum, 0,
+            "incremental mode requires a positive program"
+        );
+        ev.stratum_fresh = false;
+        Ok(ev)
+    }
+
+    /// Like [`Evaluator::new_incremental`], but reuses the compiled
+    /// plans of a [`Prepared`] program instead of recompiling — the
+    /// prepared-plan cache path for repeated transactions against the
+    /// same program.
+    pub fn from_prepared(
+        db: &'db Database,
+        prepared: &Prepared,
+        idb: impl IntoIterator<Item = (Pred, Relation)>,
+        edb_marks: FxHashMap<Pred, u32>,
+    ) -> Result<Evaluator<'db>, EngineError> {
+        let mut ev = Evaluator::new(db, &Program::default(), Strategy::SemiNaive)?;
+        ev.incremental = true;
+        ev.edb_marks = edb_marks;
+        ev.preload(idb);
+        debug_assert_eq!(
+            prepared.max_stratum, 0,
+            "incremental mode requires a positive program"
+        );
+        ev.program = prepared.program.clone();
+        ev.idb_preds = prepared.idb_preds.clone();
+        ev.plans = prepared.plans.clone();
+        ev.rule_stratum = prepared.rule_stratum.clone();
+        ev.max_stratum = prepared.max_stratum;
+        for (&p, &n) in &prepared.arities {
+            if ev.idb_preds.contains(&p) {
+                ev.idb.entry(p).or_insert_with(|| Relation::new(n));
+                ev.marks.entry(p).or_insert((0, 0));
+            }
+        }
+        ev.stratum_fresh = false;
+        Ok(ev)
+    }
+
+    /// Adopts previously materialized IDB relations, marking every row
+    /// as Old (rows a caller appended *after* recording `preloaded_old`
+    /// become the first round's IDB delta — the DRed rederivation path
+    /// uses this to propagate re-inserted tuples).
+    fn preload(&mut self, idb: impl IntoIterator<Item = (Pred, Relation)>) {
+        for (p, rel) in idb {
+            // Tombstoned relations (DRed over-deletion) are fine: marks
+            // are physical-row watermarks, and every scan and probe
+            // path skips dead rows.
+            let end = rel.physical_rows() as u32;
+            self.marks.insert(p, (end, end));
+            self.idb.insert(p, rel);
+        }
+    }
+
+    /// Rewinds the preloaded-Old watermark of `pred` to `old_end`: rows
+    /// `[old_end, len)` become the first round's delta for that IDB
+    /// predicate. Used by the DRed pass to propagate tuples it
+    /// re-inserted after over-deletion.
+    pub fn set_idb_delta_start(&mut self, pred: Pred, old_end: u32) {
+        if let Some(rel) = self.idb.get(&pred) {
+            let total = rel.physical_rows() as u32;
+            self.marks.insert(pred, (old_end.min(total), total));
+        }
     }
 
     /// Caps the number of fixpoint rounds (default: unlimited).
@@ -478,13 +663,25 @@ impl<'db> Evaluator<'db> {
         for p in &idb_preds {
             sizes.remove(p);
         }
+        // Delta-capable body positions: IDB subgoals always; in
+        // incremental mode every non-builtin subgoal, so transaction-
+        // inserted EDB rows can seed the first round's delta plans
+        // (derived from the program, not the current EDB contents — a
+        // tx may insert into a predicate that is empty today). EDB
+        // deltas drain after one round (see `step`), so the extra
+        // variants are idle from round 2 on.
+        let incremental = self.incremental;
+        let delta_capable = |a: &Atom| {
+            idb_preds.contains(&a.pred)
+                || (incremental && crate::builtins::BuiltinOp::of(a.pred).is_none())
+        };
         let mut plans = Vec::with_capacity(program.len());
         for rule in &program.rules {
             let idb_lits: Vec<usize> = rule
                 .body
                 .iter()
                 .enumerate()
-                .filter(|(_, l)| l.as_atom().is_some_and(|a| idb_preds.contains(&a.pred)))
+                .filter(|(_, l)| l.as_atom().is_some_and(&delta_capable))
                 .map(|(i, _)| i)
                 .collect();
             // Negated IDB subgoals read the Total view of their (strictly
@@ -523,7 +720,7 @@ impl<'db> Evaluator<'db> {
                 deltas.push(compile_rule_with_sizes(rule, &v, Some(li), &sizes)?);
             }
             plans.push(RulePlans {
-                has_idb: !idb_lits.is_empty(),
+                has_deltas: !idb_lits.is_empty(),
                 full,
                 deltas,
             });
@@ -599,7 +796,7 @@ impl<'db> Evaluator<'db> {
                 let run_full = matches!(self.strategy, Strategy::Naive) || fresh;
                 if run_full {
                     to_run.push(PlanRef::Full(ri));
-                } else if rp.has_idb {
+                } else if rp.has_deltas {
                     to_run.extend((0..rp.deltas.len()).map(|di| PlanRef::Delta(ri, di)));
                 }
             }
@@ -702,7 +899,19 @@ impl<'db> Evaluator<'db> {
             // Advance delta windows.
             for (p, rel) in &self.idb {
                 let (_, total_end) = self.marks[p];
-                self.marks.insert(*p, (total_end, rel.len() as u32));
+                self.marks
+                    .insert(*p, (total_end, rel.physical_rows() as u32));
+            }
+            // Drain EDB deltas: the first round consumed the
+            // transaction's inserted rows; from now on the post-tx EDB
+            // is the Old view, so new-IDB × EDB joins in later rounds
+            // see every EDB row exactly once.
+            if self.incremental {
+                for (p, m) in self.edb_marks.iter_mut() {
+                    if let Some(rel) = self.db.get(*p) {
+                        *m = rel.physical_rows() as u32;
+                    }
+                }
             }
             // Round-boundary budget checks: the round's rows stay
             // committed (the IDB is consistent); evaluation just stops.
@@ -1112,7 +1321,26 @@ impl<'db> Evaluator<'db> {
             Some((rel, range))
         } else {
             let rel = self.db.get(pred)?;
-            Some((rel, rel.all_rows()))
+            let all = rel.all_rows();
+            if !self.incremental {
+                return Some((rel, all));
+            }
+            // Incremental mode: EDB old/delta views split at the
+            // transaction watermark. Predicates the tx never touched
+            // default to an empty delta.
+            let mark = self.edb_marks.get(&pred).copied().unwrap_or(all.end);
+            let range = match view {
+                View::Full | View::Total => all,
+                View::Old => RowRange {
+                    start: 0,
+                    end: mark,
+                },
+                View::Delta => RowRange {
+                    start: mark,
+                    end: all.end,
+                },
+            };
+            Some((rel, range))
         }
     }
 

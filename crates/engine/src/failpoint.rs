@@ -19,6 +19,8 @@
 //! | `eval.round`     | start of every fixpoint round            | `EngineError::Io` |
 //! | `optimizer.push` | before the optimizer's push stage        | analysis error |
 //! | `io.load`        | per CSV file in [`crate::io::load_file`] | `EngineError::Io` |
+//! | `incr.delete`    | before the DRed over-deletion pass of an incremental update | `EngineError::Io` |
+//! | `incr.icheck`    | before the delta IC re-check of an incremental update | `EngineError::Io` |
 //!
 //! A schedule entry is one-shot: after firing it disarms, so a single
 //! armed fault injects exactly one failure per evaluation regardless of
@@ -59,12 +61,14 @@ fn registry() -> &'static Mutex<HashMap<&'static str, Site>> {
 }
 
 /// The failpoint names the engine and optimizer embed.
-pub const SITES: [&str; 5] = [
+pub const SITES: [&str; 7] = [
     "pool.join",
     "pool.merge",
     "eval.round",
     "optimizer.push",
     "io.load",
+    "incr.delete",
+    "incr.icheck",
 ];
 
 fn intern(site: &str) -> Option<&'static str> {

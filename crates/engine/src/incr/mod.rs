@@ -1,0 +1,694 @@
+//! Incremental maintenance: transactional EDB updates that bring a
+//! materialized fixpoint to the post-transaction state without
+//! re-evaluating from scratch.
+//!
+//! The subsystem layers three pieces over the flat-storage engine:
+//!
+//! 1. **Transactions** — [`Tx`] batches inserts and deletes per
+//!    predicate; [`Database::apply`] applies one atomically *to the
+//!    database value it is called on* and reports the effective
+//!    [`TxDelta`] (tuples actually added/removed, plus per-predicate
+//!    physical-row watermarks separating pre-tx from inserted rows).
+//!    Callers wanting all-or-nothing semantics against failures apply
+//!    to a clone and swap on success — which is exactly what
+//!    [`Materialized::apply`] does.
+//! 2. **Delta propagation** — [`Materialized`] keeps the fixpoint of a
+//!    program materialized across transactions. Inserts seed a
+//!    semi-naive run whose first round scans only the delta
+//!    ([`Evaluator::from_prepared`], reusing compiled plans); deletes
+//!    run DRed over-deletion + re-derivation first (see [`mod@dred`]).
+//!    Programs with negation or arithmetic builtins fall back to a
+//!    governed from-scratch re-evaluation — transparently, with the
+//!    same transactional contract.
+//! 3. **Delta IC monitoring** — [`ic_still_satisfied`] re-checks a
+//!    constraint against the delta only, for the optimizer's
+//!    residue-guarded route invalidation (`semrec-core`'s
+//!    `MaintainedQuery`).
+//!
+//! Every phase respects the resource governor: budgets and cancel
+//! tokens thread through the DRed worklist and the propagation run, and
+//! any error (budget trip, cancellation, injected fault) leaves the
+//! caller-visible database and materialization exactly as they were
+//! before the transaction — `tests/fault_injection.rs` asserts
+//! commit-or-rollback under seeded schedules of the `incr.delete` and
+//! `incr.icheck` failpoints.
+
+mod dred;
+mod icheck;
+mod matcher;
+
+use crate::database::Database;
+use crate::error::EngineError;
+use crate::eval::{Evaluator, Prepared, Strategy};
+use crate::fxhash::FxHashMap;
+use crate::governor::{Budget, CancelToken, Governor};
+use crate::relation::{Relation, Tuple};
+use matcher::Poll;
+use semrec_datalog::atom::{Atom, Pred};
+use semrec_datalog::constraint::Constraint;
+use semrec_datalog::literal::Literal;
+use semrec_datalog::program::Program;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// A transactional batch of EDB changes: inserts and deletes grouped by
+/// predicate. Deletes apply before inserts, so a tx that removes and
+/// re-adds the same tuple nets to the tuple being present.
+#[derive(Clone, Debug, Default)]
+pub struct Tx {
+    inserts: BTreeMap<Pred, Vec<Tuple>>,
+    deletes: BTreeMap<Pred, Vec<Tuple>>,
+}
+
+impl Tx {
+    /// An empty transaction.
+    pub fn new() -> Tx {
+        Tx::default()
+    }
+
+    /// Queues a tuple insert.
+    pub fn insert(&mut self, pred: impl Into<Pred>, tuple: Tuple) {
+        self.inserts.entry(pred.into()).or_default().push(tuple);
+    }
+
+    /// Queues a tuple delete.
+    pub fn delete(&mut self, pred: impl Into<Pred>, tuple: Tuple) {
+        self.deletes.entry(pred.into()).or_default().push(tuple);
+    }
+
+    /// Queues inserting a ground atom.
+    ///
+    /// # Panics
+    /// Panics if the atom is not ground.
+    pub fn insert_atom(&mut self, atom: &Atom) {
+        self.insert(atom.pred, ground_tuple(atom));
+    }
+
+    /// Queues deleting a ground atom.
+    ///
+    /// # Panics
+    /// Panics if the atom is not ground.
+    pub fn delete_atom(&mut self, atom: &Atom) {
+        self.delete(atom.pred, ground_tuple(atom));
+    }
+
+    /// True if the transaction queues no changes.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+
+    /// Number of queued operations (inserts + deletes).
+    pub fn len(&self) -> usize {
+        self.inserts.values().map(Vec::len).sum::<usize>()
+            + self.deletes.values().map(Vec::len).sum::<usize>()
+    }
+
+    /// The queued inserts, per predicate.
+    pub fn inserts(&self) -> &BTreeMap<Pred, Vec<Tuple>> {
+        &self.inserts
+    }
+
+    /// The queued deletes, per predicate.
+    pub fn deletes(&self) -> &BTreeMap<Pred, Vec<Tuple>> {
+        &self.deletes
+    }
+}
+
+fn ground_tuple(atom: &Atom) -> Tuple {
+    atom.args
+        .iter()
+        .map(|t| t.as_const().expect("tx fact must be ground"))
+        .collect()
+}
+
+/// The *effective* changes one applied [`Tx`] made: inserts that were
+/// actually new, deletes that actually hit, and — for the semi-naive
+/// delta seeding — each inserted-into predicate's physical-row
+/// watermark from just before its inserts were appended.
+#[derive(Clone, Debug, Default)]
+pub struct TxDelta {
+    /// Tuples newly added, per predicate (duplicates of existing rows
+    /// are not listed).
+    pub inserted: BTreeMap<Pred, Vec<Tuple>>,
+    /// Tuples actually removed, per predicate.
+    pub deleted: BTreeMap<Pred, Vec<Tuple>>,
+    /// Per inserted-into predicate, the physical row count before the
+    /// inserts: rows `[mark, len)` are the predicate's delta.
+    pub edb_marks: FxHashMap<Pred, u32>,
+}
+
+impl TxDelta {
+    /// True if the transaction changed nothing.
+    pub fn is_empty(&self) -> bool {
+        self.inserted.is_empty() && self.deleted.is_empty()
+    }
+}
+
+impl Database {
+    /// Applies a transaction to this database: deletes first (tombstoned
+    /// in place), then inserts (appended past each relation's recorded
+    /// watermark). Returns the effective delta. Infallible — failure
+    /// atomicity is the caller's concern (apply to a clone and swap; see
+    /// [`Materialized::apply`]).
+    pub fn apply(&mut self, tx: &Tx) -> TxDelta {
+        let mut delta = TxDelta::default();
+        for (&p, ts) in &tx.deletes {
+            for t in ts {
+                if self.delete(p, t) {
+                    delta.deleted.entry(p).or_default().push(t.clone());
+                }
+            }
+        }
+        for (&p, ts) in &tx.inserts {
+            let mark = self.get(p).map_or(0, |r| r.physical_rows() as u32);
+            let mut any = false;
+            for t in ts {
+                if self.insert(p, t.clone()) {
+                    delta.inserted.entry(p).or_default().push(t.clone());
+                    any = true;
+                }
+            }
+            if any {
+                delta.edb_marks.insert(p, mark);
+            }
+        }
+        delta
+    }
+}
+
+/// Exactly undoes the EDB appends recorded in `delta` (which must come
+/// from an insert-only transaction): each touched relation is truncated
+/// back to its pre-transaction watermark. Used to restore the database
+/// after an in-place fast-path update fails mid-propagation.
+pub fn rollback_inserts(db: &mut Database, delta: &TxDelta) {
+    debug_assert!(delta.deleted.is_empty(), "rollback_inserts: tx had deletes");
+    for (&p, &mark) in &delta.edb_marks {
+        if let Some(rel) = db.get_mut(p) {
+            rel.truncate(mark as usize);
+        }
+    }
+}
+
+/// Re-checks a constraint that held before a transaction against the
+/// transaction's effective delta only (see [`mod@icheck`] for the case
+/// analysis). `post` is the post-transaction database. Hits the
+/// `incr.icheck` failpoint.
+pub fn ic_still_satisfied(
+    post: &Database,
+    delta: &TxDelta,
+    ic: &Constraint,
+) -> Result<bool, EngineError> {
+    icheck::still_satisfied(post, delta, ic, &mut Poll::new(None))
+}
+
+/// Counters for one applied transaction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// True when the update fell back to from-scratch re-evaluation
+    /// (program uses negation or builtins).
+    pub from_scratch: bool,
+    /// IDB tuples tombstoned by DRed over-deletion.
+    pub over_deleted: u64,
+    /// Over-deleted tuples re-derived from surviving support.
+    pub rederived: u64,
+    /// IDB rows added by the propagation run (includes re-derivations
+    /// it found transitively).
+    pub idb_inserted: u64,
+    /// Fixpoint rounds the propagation run took.
+    pub rounds: u64,
+    /// Wall-clock milliseconds for the whole update.
+    pub elapsed_ms: u64,
+}
+
+/// A program's fixpoint kept materialized across transactions.
+///
+/// Owns the IDB relations and a [`Prepared`] plan cache; each
+/// [`Materialized::apply`] call brings them to the post-transaction
+/// fixpoint by delta propagation (or governed re-evaluation for
+/// programs outside the incremental fragment). The EDB itself stays
+/// with the caller, who passes it mutably per transaction.
+pub struct Materialized {
+    prepared: Prepared,
+    idb: BTreeMap<Pred, Relation>,
+    threads: usize,
+    /// Set when the program uses negation or arithmetic builtins:
+    /// non-monotone (or non-enumerable) subgoals make delta propagation
+    /// unsound, so every tx re-evaluates from scratch.
+    fallback: bool,
+    /// Rounds of the initial batch evaluation (for reporting).
+    initial_rounds: u64,
+}
+
+/// True if the program is in the incrementally maintainable fragment:
+/// positive bodies (no negation) and no arithmetic builtins.
+fn incremental_capable(program: &Program) -> bool {
+    program.rules.iter().all(|r| {
+        r.body.iter().all(|l| match l {
+            Literal::Atom(a) => crate::builtins::BuiltinOp::of(a.pred).is_none(),
+            Literal::Cmp(_) => true,
+            Literal::Neg(_) => false,
+        })
+    })
+}
+
+impl Materialized {
+    /// Evaluates `program` over `db` from scratch (semi-naive, `threads`
+    /// workers) and keeps the result materialized for incremental
+    /// maintenance.
+    pub fn new(
+        db: &Database,
+        program: &Program,
+        threads: usize,
+    ) -> Result<Materialized, EngineError> {
+        let fallback = !incremental_capable(program);
+        let prepared = Prepared::compile(db, program)?;
+        let mut ev = Evaluator::new(db, program, Strategy::SemiNaive)?.with_parallelism(threads);
+        ev.run()?;
+        let initial_rounds = ev.rounds();
+        let res = ev.finish();
+        Ok(Materialized {
+            prepared,
+            idb: res.idb,
+            threads,
+            fallback,
+            initial_rounds,
+        })
+    }
+
+    /// The materialized IDB relations.
+    pub fn idb(&self) -> &BTreeMap<Pred, Relation> {
+        &self.idb
+    }
+
+    /// The materialized relation for `pred`, if the program defines it.
+    pub fn relation(&self, pred: impl Into<Pred>) -> Option<&Relation> {
+        self.idb.get(&pred.into())
+    }
+
+    /// The maintained program.
+    pub fn program(&self) -> &Program {
+        self.prepared.program()
+    }
+
+    /// True when transactions propagate incrementally; false when the
+    /// program is outside the incremental fragment and every update
+    /// re-evaluates from scratch.
+    pub fn is_incremental(&self) -> bool {
+        !self.fallback
+    }
+
+    /// Rounds of the initial from-scratch evaluation.
+    pub fn initial_rounds(&self) -> u64 {
+        self.initial_rounds
+    }
+
+    /// Applies `tx` to `db` and brings the materialization to the
+    /// post-transaction fixpoint. All-or-nothing: on any error (budget,
+    /// cancellation, injected fault) both `db` and the materialization
+    /// are left exactly as before the call.
+    ///
+    /// Insert-only transactions take an in-place fast path: the rows are
+    /// appended directly and rolled back by [`Relation::truncate`] on
+    /// error, so the per-transaction cost is proportional to the delta,
+    /// not to a clone of the database. Transactions with deletes use
+    /// clone-on-update (DRed needs the frozen pre-transaction state
+    /// anyway).
+    pub fn apply(
+        &mut self,
+        db: &mut Database,
+        tx: &Tx,
+        budget: Budget,
+        cancel: Option<CancelToken>,
+    ) -> Result<UpdateStats, EngineError> {
+        if !self.fallback && tx.deletes().values().all(Vec::is_empty) {
+            let delta = db.apply(tx);
+            return match self.apply_delta_appended(db, &delta, budget, cancel) {
+                Ok(stats) => Ok(stats),
+                Err(e) => {
+                    rollback_inserts(db, &delta);
+                    Err(e)
+                }
+            };
+        }
+        // Clone-on-update: all mutation happens on `work`; the caller's
+        // database is replaced only after every phase succeeded.
+        let mut work = db.clone();
+        let delta = work.apply(tx);
+        let stats = self.apply_delta(db, &work, &delta, budget, cancel)?;
+        work.compact();
+        *db = work;
+        Ok(stats)
+    }
+
+    /// The insert-only fast path: `post_db` already has `delta`'s rows
+    /// appended (and `delta.deleted` is empty). The materialized IDB is
+    /// moved — not cloned — into the propagation run; if the run fails,
+    /// every relation is truncated back to its pre-transaction watermark,
+    /// which exactly undoes an append-only run. The *caller* owns rolling
+    /// back the EDB appends (see [`rollback_inserts`]).
+    pub fn apply_delta_appended(
+        &mut self,
+        post_db: &Database,
+        delta: &TxDelta,
+        budget: Budget,
+        cancel: Option<CancelToken>,
+    ) -> Result<UpdateStats, EngineError> {
+        debug_assert!(delta.deleted.is_empty(), "fast path is insert-only");
+        debug_assert!(
+            !self.fallback,
+            "fast path requires the incremental fragment"
+        );
+        let start = Instant::now();
+        let idb_marks: Vec<(Pred, usize)> = self
+            .idb
+            .iter()
+            .map(|(&p, r)| (p, r.physical_rows()))
+            .collect();
+        let idb = std::mem::take(&mut self.idb);
+        let mut ev =
+            Evaluator::from_prepared(post_db, &self.prepared, idb, delta.edb_marks.clone())?
+                .with_parallelism(self.threads)
+                .with_budget(budget);
+        if let Some(c) = cancel {
+            ev = ev.with_cancel_token(c);
+        }
+        let run = ev.run();
+        let rounds = ev.rounds();
+        let res = ev.finish();
+        let idb_inserted = res.stats.inserted;
+        let mut idb: BTreeMap<Pred, Relation> = res.idb;
+        if let Err(e) = run {
+            // Append-only rollback: truncate to the watermarks, drop
+            // relations the run created for previously-empty predicates.
+            let mut restored = BTreeMap::new();
+            for (p, keep) in idb_marks {
+                if let Some(mut rel) = idb.remove(&p) {
+                    rel.truncate(keep);
+                    restored.insert(p, rel);
+                }
+            }
+            self.idb = restored;
+            return Err(e);
+        }
+        self.idb = idb;
+        Ok(UpdateStats {
+            from_scratch: false,
+            over_deleted: 0,
+            rederived: 0,
+            idb_inserted,
+            rounds,
+            elapsed_ms: start.elapsed().as_millis() as u64,
+        })
+    }
+
+    /// The lower-level entry: `pre_db` is the pre-transaction database,
+    /// `post_db` the post-transaction one (e.g. a clone that a
+    /// [`Database::apply`] call produced `delta` on). Replaces the
+    /// materialized IDB on success; leaves it untouched on any error.
+    pub fn apply_delta(
+        &mut self,
+        pre_db: &Database,
+        post_db: &Database,
+        delta: &TxDelta,
+        budget: Budget,
+        cancel: Option<CancelToken>,
+    ) -> Result<UpdateStats, EngineError> {
+        let start = Instant::now();
+        if self.fallback {
+            return self.recompute(post_db, budget, cancel, start);
+        }
+        let gov = (budget.is_limited() || cancel.is_some())
+            .then(|| Governor::new(&budget, cancel.clone().unwrap_or_default()));
+        let mut poll = Poll::new(gov.as_ref());
+
+        // Phase 1: DRed over-delete + re-derive on a working copy.
+        let mut work_idb = self.idb.clone();
+        let mut over_deleted = 0;
+        let mut rederived = 0;
+        let mut delta_starts = BTreeMap::new();
+        if !delta.deleted.is_empty() {
+            #[cfg(feature = "failpoints")]
+            crate::failpoint::hit("incr.delete").map_err(EngineError::Io)?;
+            let out = dred::delete_rederive(
+                pre_db,
+                &self.idb,
+                post_db,
+                &mut work_idb,
+                &delta.deleted,
+                self.prepared.program(),
+                &mut poll,
+            )?;
+            over_deleted = out.over_deleted;
+            rederived = out.rederived;
+            delta_starts = out.delta_starts;
+        }
+
+        // Phase 2: semi-naive insert propagation seeded from the tx's
+        // inserted EDB rows and the re-derived IDB rows, under whatever
+        // wall-clock remains.
+        let mut eval_budget = budget;
+        if let Some(d) = budget.deadline {
+            let left = d.saturating_sub(start.elapsed());
+            if left.is_zero() {
+                return Err(EngineError::DeadlineExceeded {
+                    elapsed_ms: start.elapsed().as_millis() as u64,
+                });
+            }
+            eval_budget.deadline = Some(left);
+        }
+        let mut ev =
+            Evaluator::from_prepared(post_db, &self.prepared, work_idb, delta.edb_marks.clone())?
+                .with_parallelism(self.threads)
+                .with_budget(eval_budget);
+        if let Some(c) = cancel {
+            ev = ev.with_cancel_token(c);
+        }
+        for (&p, &row) in &delta_starts {
+            ev.set_idb_delta_start(p, row);
+        }
+        ev.run()?;
+        let rounds = ev.rounds();
+        let res = ev.finish();
+        let idb_inserted = res.stats.inserted;
+        let mut idb = res.idb;
+        for rel in idb.values_mut() {
+            rel.compact();
+        }
+        self.idb = idb;
+        Ok(UpdateStats {
+            from_scratch: false,
+            over_deleted,
+            rederived,
+            idb_inserted,
+            rounds,
+            elapsed_ms: start.elapsed().as_millis() as u64,
+        })
+    }
+
+    /// Governed from-scratch re-evaluation over the post-tx database —
+    /// the sound fallback for programs outside the incremental fragment.
+    fn recompute(
+        &mut self,
+        post_db: &Database,
+        budget: Budget,
+        cancel: Option<CancelToken>,
+        start: Instant,
+    ) -> Result<UpdateStats, EngineError> {
+        let mut ev = Evaluator::new(post_db, self.prepared.program(), Strategy::SemiNaive)?
+            .with_parallelism(self.threads)
+            .with_budget(budget);
+        if let Some(c) = cancel {
+            ev = ev.with_cancel_token(c);
+        }
+        ev.run()?;
+        let rounds = ev.rounds();
+        let res = ev.finish();
+        self.idb = res.idb;
+        Ok(UpdateStats {
+            from_scratch: true,
+            over_deleted: 0,
+            rederived: 0,
+            idb_inserted: res.stats.inserted,
+            rounds,
+            elapsed_ms: start.elapsed().as_millis() as u64,
+        })
+    }
+}
+
+/// Parses a transaction file: one operation per line — `+fact(…).` to
+/// insert, `-fact(…).` to delete — with `commit.` lines separating
+/// transactions (a trailing transaction without `commit.` is included).
+/// Blank lines and lines starting with `%` or `#` are comments.
+pub fn parse_txs(src: &str) -> Result<Vec<Tx>, String> {
+    let mut txs = Vec::new();
+    let mut cur = Tx::new();
+    for (ln, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('%') || line.starts_with('#') {
+            continue;
+        }
+        if line == "commit." || line == "commit" {
+            if !cur.is_empty() {
+                txs.push(std::mem::take(&mut cur));
+            }
+            continue;
+        }
+        let (insert, rest) = match (line.strip_prefix('+'), line.strip_prefix('-')) {
+            (Some(r), _) => (true, r),
+            (_, Some(r)) => (false, r),
+            _ => {
+                return Err(format!(
+                    "line {}: expected `+fact(…).`, `-fact(…).`, or `commit.`",
+                    ln + 1
+                ))
+            }
+        };
+        let unit = semrec_datalog::parser::parse_unit(rest.trim())
+            .map_err(|e| format!("line {}: {e}", ln + 1))?;
+        if unit.facts.len() != 1
+            || !unit.rules.is_empty()
+            || !unit.constraints.is_empty()
+            || !unit.facts[0].is_ground()
+        {
+            return Err(format!("line {}: expected exactly one ground fact", ln + 1));
+        }
+        if insert {
+            cur.insert_atom(&unit.facts[0]);
+        } else {
+            cur.delete_atom(&unit.facts[0]);
+        }
+    }
+    if !cur.is_empty() {
+        txs.push(cur);
+    }
+    Ok(txs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::int_tuple;
+    use semrec_datalog::parser::parse_unit;
+
+    fn db(facts: &str) -> Database {
+        Database::from_facts(&parse_unit(facts).unwrap().facts)
+    }
+
+    fn program(src: &str) -> Program {
+        parse_unit(src).unwrap().program()
+    }
+
+    fn eval_scratch(db: &Database, p: &Program) -> BTreeMap<Pred, Relation> {
+        let mut ev = Evaluator::new(db, p, Strategy::SemiNaive).unwrap();
+        ev.run().unwrap();
+        ev.finish().idb
+    }
+
+    const TC: &str = "t(X, Y) :- e(X, Y). t(X, Y) :- e(X, Z), t(Z, Y).";
+
+    #[test]
+    fn insert_propagates_incrementally() {
+        let mut d = db("e(1, 2). e(2, 3).");
+        let p = program(TC);
+        let mut m = Materialized::new(&d, &p, 1).unwrap();
+        assert!(m.is_incremental());
+        let mut tx = Tx::new();
+        tx.insert("e", int_tuple(&[3, 4]));
+        let stats = m.apply(&mut d, &tx, Budget::unlimited(), None).unwrap();
+        assert!(!stats.from_scratch);
+        assert!(stats.idb_inserted > 0);
+        assert_eq!(m.idb(), &eval_scratch(&d, &p));
+        assert!(m.relation("t").unwrap().contains(&int_tuple(&[1, 4])));
+    }
+
+    #[test]
+    fn delete_runs_dred_and_agrees_with_scratch() {
+        let mut d = db("e(1, 2). e(2, 3). e(3, 4). e(1, 3).");
+        let p = program(TC);
+        let mut m = Materialized::new(&d, &p, 1).unwrap();
+        let mut tx = Tx::new();
+        tx.delete("e", int_tuple(&[2, 3]));
+        let stats = m.apply(&mut d, &tx, Budget::unlimited(), None).unwrap();
+        assert!(stats.over_deleted > 0);
+        // t(1,3) survives via e(1,3); t(1,4) is re-derived through it.
+        assert_eq!(m.idb(), &eval_scratch(&d, &p));
+        assert!(m.relation("t").unwrap().contains(&int_tuple(&[1, 4])));
+        assert!(!m.relation("t").unwrap().contains(&int_tuple(&[2, 4])));
+    }
+
+    #[test]
+    fn mixed_tx_nets_out() {
+        let mut d = db("e(1, 2). e(2, 3).");
+        let p = program(TC);
+        let mut m = Materialized::new(&d, &p, 1).unwrap();
+        let mut tx = Tx::new();
+        tx.delete("e", int_tuple(&[2, 3]));
+        tx.insert("e", int_tuple(&[2, 4]));
+        tx.insert("e", int_tuple(&[4, 3]));
+        m.apply(&mut d, &tx, Budget::unlimited(), None).unwrap();
+        assert_eq!(m.idb(), &eval_scratch(&d, &p));
+        assert!(m.relation("t").unwrap().contains(&int_tuple(&[1, 3])));
+    }
+
+    #[test]
+    fn delete_and_reinsert_same_tuple_is_net_noop() {
+        let mut d = db("e(1, 2). e(2, 3).");
+        let p = program(TC);
+        let mut m = Materialized::new(&d, &p, 1).unwrap();
+        let before = eval_scratch(&d, &p);
+        let mut tx = Tx::new();
+        tx.delete("e", int_tuple(&[2, 3]));
+        tx.insert("e", int_tuple(&[2, 3]));
+        m.apply(&mut d, &tx, Budget::unlimited(), None).unwrap();
+        assert_eq!(m.idb(), &before);
+    }
+
+    #[test]
+    fn negation_falls_back_to_scratch() {
+        let mut d = db("e(1, 2). v(1). v(2). v(3).");
+        let p = program("r(X) :- e(_, X). u(X) :- v(X), !r(X).");
+        let mut m = Materialized::new(&d, &p, 1).unwrap();
+        assert!(!m.is_incremental());
+        let mut tx = Tx::new();
+        tx.insert("e", int_tuple(&[2, 3]));
+        let stats = m.apply(&mut d, &tx, Budget::unlimited(), None).unwrap();
+        assert!(stats.from_scratch);
+        assert_eq!(m.idb(), &eval_scratch(&d, &p));
+        assert!(!m.relation("u").unwrap().contains(&int_tuple(&[3])));
+    }
+
+    #[test]
+    fn delta_ic_check_matches_full_check() {
+        let ics = semrec_datalog::parser::parse_constraints("ic: e(X, Y) -> w(Y).").unwrap();
+        let mut d = db("e(1, 2). w(2). w(3).");
+        assert!(d.satisfies(&ics[0]));
+        let mut tx = Tx::new();
+        tx.insert("e", int_tuple(&[2, 3]));
+        let delta = d.apply(&tx);
+        assert!(ic_still_satisfied(&d, &delta, &ics[0]).unwrap());
+        let mut tx2 = Tx::new();
+        tx2.insert("e", int_tuple(&[3, 9]));
+        let delta2 = d.apply(&tx2);
+        assert!(!ic_still_satisfied(&d, &delta2, &ics[0]).unwrap());
+        assert!(!d.satisfies(&ics[0]));
+    }
+
+    #[test]
+    fn delta_ic_check_catches_head_witness_deletion() {
+        let ics = semrec_datalog::parser::parse_constraints("ic: e(X, Y) -> w(Y).").unwrap();
+        let mut d = db("e(1, 2). w(2).");
+        let mut tx = Tx::new();
+        tx.delete("w", int_tuple(&[2]));
+        let delta = d.apply(&tx);
+        assert!(!ic_still_satisfied(&d, &delta, &ics[0]).unwrap());
+    }
+
+    #[test]
+    fn parse_txs_roundtrip() {
+        let txs = parse_txs("% a comment\n+e(1, 2).\n-e(3, 4).\ncommit.\n+w(5).\n").unwrap();
+        assert_eq!(txs.len(), 2);
+        assert_eq!(txs[0].len(), 2);
+        assert_eq!(txs[1].len(), 1);
+        assert!(parse_txs("e(1, 2).").is_err());
+    }
+}

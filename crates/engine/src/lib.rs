@@ -21,6 +21,7 @@ pub mod explain;
 pub mod failpoint;
 pub mod fxhash;
 pub mod governor;
+pub mod incr;
 pub mod io;
 pub mod magic;
 pub mod plan;
@@ -32,8 +33,11 @@ pub mod topdown;
 
 pub use database::{int_tuple, Database};
 pub use error::EngineError;
-pub use eval::{evaluate, evaluate_parallel, Cutover, EvalResult, Evaluator, Route, Strategy};
+pub use eval::{
+    evaluate, evaluate_parallel, Cutover, EvalResult, Evaluator, Prepared, Route, Strategy,
+};
 pub use governor::{Budget, CancelToken};
+pub use incr::{Materialized, Tx, TxDelta, UpdateStats};
 pub use pool::{JobPanic, PhasePanic, WorkerPool};
 pub use relation::{Relation, RowRange, Tuple};
 pub use stats::{PoolStats, Stats};

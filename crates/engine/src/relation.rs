@@ -9,9 +9,16 @@
 //! precomputed FxHash (see [`crate::fxhash`]) and verify candidates by
 //! comparing the flat slices, so they never own key vectors either.
 //!
-//! Rows are never removed, which makes semi-naive evaluation's
+//! Rows are never *moved*, which makes semi-naive evaluation's
 //! old/delta/total views simple row-id ranges: `old = [0, watermark)`,
-//! `delta = [watermark, len)`, `total = [0, len)`.
+//! `delta = [watermark, len)`, `total = [0, len)`. Deletion — needed by
+//! the incremental maintenance layer's DRed pass — is by tombstone: the
+//! row's dedup entry is removed and a dead bit set, so physical row ids
+//! stay stable and membership stays correct, while iteration and probes
+//! skip dead rows. [`Relation::compact`] rebuilds the flat store to
+//! reclaim tombstones; the evaluator itself only ever sees compacted
+//! (tombstone-free) relations, so its range views never straddle a
+//! dead row.
 
 use crate::fxhash::{hash_slice, FxHashMap, PrehashedMap};
 use semrec_datalog::term::Value;
@@ -95,8 +102,15 @@ pub struct Relation {
     /// Flat row storage, `nrows * arity` values.
     data: Vec<Value>,
     nrows: usize,
-    /// Row-content hash → candidate row ids (set semantics).
+    /// Row-content hash → candidate row ids (set semantics). Holds only
+    /// *live* rows: deleting a row removes its entry here first.
     dedup: PrehashedMap<Vec<u32>>,
+    /// Tombstone bitset over physical rows, one bit per row, lazily
+    /// allocated on first delete. Empty ⇔ no row was ever deleted since
+    /// the last compaction.
+    dead: Vec<u64>,
+    /// Number of set bits in `dead`.
+    ndead: usize,
     indexes: RwLock<FxHashMap<Vec<usize>, ColumnIndex>>,
 }
 
@@ -108,6 +122,8 @@ impl Relation {
             data: Vec::new(),
             nrows: 0,
             dedup: PrehashedMap::default(),
+            dead: Vec::new(),
+            ndead: 0,
             indexes: RwLock::new(FxHashMap::default()),
         }
     }
@@ -117,17 +133,40 @@ impl Relation {
         self.arity
     }
 
-    /// Number of (distinct) tuples.
+    /// Number of live (distinct) tuples.
     pub fn len(&self) -> usize {
+        self.nrows - self.ndead
+    }
+
+    /// True if the relation holds no live tuples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of physical rows in the flat store, including tombstoned
+    /// ones. Row-range views are expressed over physical ids, so marks
+    /// and watermarks must use this, not [`Relation::len`]. Equal to
+    /// `len()` whenever the relation is compacted.
+    pub fn physical_rows(&self) -> usize {
         self.nrows
     }
 
-    /// True if the relation holds no tuples.
-    pub fn is_empty(&self) -> bool {
-        self.nrows == 0
+    /// True if some rows are tombstoned (delete since last compaction).
+    pub fn has_tombstones(&self) -> bool {
+        self.ndead != 0
     }
 
-    /// The full row range.
+    /// True if physical row `r` is tombstoned.
+    #[inline]
+    pub fn is_dead(&self, r: u32) -> bool {
+        self.ndead != 0
+            && self
+                .dead
+                .get(r as usize / 64)
+                .is_some_and(|w| w & (1u64 << (r as usize % 64)) != 0)
+    }
+
+    /// The full (physical) row range.
     pub fn all_rows(&self) -> RowRange {
         RowRange {
             start: 0,
@@ -187,6 +226,106 @@ impl Relation {
         }
     }
 
+    /// Deletes a tuple by tombstoning its physical row; returns `true`
+    /// if the tuple was present (and live). The flat store keeps the
+    /// row's bytes — only the dedup entry goes away and the dead bit is
+    /// set — so earlier row ids held by callers stay valid. A later
+    /// [`Relation::insert`] of an equal tuple appends a *fresh* physical
+    /// row; set semantics hold over live rows throughout.
+    pub fn delete(&mut self, t: &[Value]) -> bool {
+        self.delete_hashed(t, hash_slice(t))
+    }
+
+    /// [`Relation::delete`] with the row-content hash already computed.
+    pub fn delete_hashed(&mut self, t: &[Value], h: u64) -> bool {
+        if t.len() != self.arity {
+            return false;
+        }
+        debug_assert_eq!(h, hash_slice(t), "stale row hash");
+        let arity = self.arity;
+        let data = &self.data;
+        let Some(bucket) = self.dedup.get_mut(&h) else {
+            return false;
+        };
+        let Some(pos) = bucket
+            .iter()
+            .position(|&r| &data[r as usize * arity..(r as usize + 1) * arity] == t)
+        else {
+            return false;
+        };
+        let r = bucket.swap_remove(pos) as usize;
+        if bucket.is_empty() {
+            self.dedup.remove(&h);
+        }
+        if self.dead.len() * 64 < self.nrows {
+            self.dead.resize(self.nrows.div_ceil(64), 0);
+        }
+        self.dead[r / 64] |= 1u64 << (r % 64);
+        self.ndead += 1;
+        true
+    }
+
+    /// Removes every row with physical id `keep` and above, exactly
+    /// undoing a run of appends: the rows' dedup entries are unhashed,
+    /// the flat store and tombstone bitset are truncated, and the column
+    /// indexes are dropped (they may cache the removed ids). This is the
+    /// incremental layer's cheap rollback — O(rows removed), not
+    /// O(relation) — for transactions that only appended.
+    pub fn truncate(&mut self, keep: usize) {
+        if keep >= self.nrows {
+            return;
+        }
+        for r in keep..self.nrows {
+            let h = hash_slice(&self.data[r * self.arity..(r + 1) * self.arity]);
+            if let Some(bucket) = self.dedup.get_mut(&h) {
+                if let Some(pos) = bucket.iter().position(|&id| id == r as u32) {
+                    bucket.swap_remove(pos);
+                }
+                if bucket.is_empty() {
+                    self.dedup.remove(&h);
+                }
+            }
+        }
+        self.data.truncate(keep * self.arity);
+        self.nrows = keep;
+        self.dead.truncate(keep.div_ceil(64));
+        if !keep.is_multiple_of(64) {
+            if let Some(last) = self.dead.last_mut() {
+                *last &= (1u64 << (keep % 64)) - 1;
+            }
+        }
+        self.ndead = self.dead.iter().map(|w| w.count_ones() as usize).sum();
+        self.indexes.write().expect("index lock poisoned").clear();
+    }
+
+    /// Rebuilds the flat store without tombstoned rows, renumbering the
+    /// surviving rows in order and rebuilding the dedup map. Column
+    /// indexes are dropped (they cache stale row ids) and rebuilt lazily
+    /// on the next probe. No-op when there are no tombstones.
+    pub fn compact(&mut self) {
+        if self.ndead == 0 {
+            return;
+        }
+        let mut data = Vec::with_capacity((self.nrows - self.ndead) * self.arity);
+        let mut dedup = PrehashedMap::<Vec<u32>>::default();
+        let mut next = 0u32;
+        for r in 0..self.nrows as u32 {
+            if self.is_dead(r) {
+                continue;
+            }
+            let row = self.row(r);
+            data.extend_from_slice(row);
+            dedup.entry(hash_slice(row)).or_default().push(next);
+            next += 1;
+        }
+        self.nrows = next as usize;
+        self.data = data;
+        self.dedup = dedup;
+        self.dead.clear();
+        self.ndead = 0;
+        self.indexes.write().expect("index lock poisoned").clear();
+    }
+
     /// Bulk-appends a pre-deduplicated segment of new rows: `data` holds
     /// `hashes.len()` rows in flat layout and `hashes[i]` is the content
     /// hash of row `i`. This is the control thread's shard-concat path:
@@ -227,14 +366,18 @@ impl Relation {
         &self.data[r * self.arity..(r + 1) * self.arity]
     }
 
-    /// Iterates over all tuples in insertion order.
+    /// Iterates over all live tuples in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = &[Value]> {
-        (0..self.nrows as u32).map(move |r| self.row(r))
+        (0..self.nrows as u32)
+            .filter(move |&r| !self.is_dead(r))
+            .map(move |r| self.row(r))
     }
 
-    /// Iterates over the tuples of a row range.
+    /// Iterates over the live tuples of a row range.
     pub fn iter_range(&self, range: RowRange) -> impl Iterator<Item = (u32, &[Value])> {
-        (range.start..range.end.min(self.nrows as u32)).map(move |r| (r, self.row(r)))
+        (range.start..range.end.min(self.nrows as u32))
+            .filter(move |&r| !self.is_dead(r))
+            .map(move |r| (r, self.row(r)))
     }
 
     /// Row ids within `range` whose columns `cols` equal `key`, using (and
@@ -265,7 +408,7 @@ impl Relation {
                 .iter()
                 .copied()
                 .filter(|&r| {
-                    range.contains(r) && {
+                    range.contains(r) && !self.is_dead(r) && {
                         let row = self.row(r);
                         idx.cols.iter().zip(key).all(|(&c, k)| row[c] == *k)
                     }
@@ -335,15 +478,17 @@ impl Relation {
         // Per dedup bucket: one (u64 hash, Vec header) map slot; per
         // row: one u32 id inside some bucket.
         let dedup = self.dedup.len() * (8 + std::mem::size_of::<Vec<u32>>())
-            + self.nrows * std::mem::size_of::<u32>();
-        (data + dedup) as u64
+            + (self.nrows - self.ndead) * std::mem::size_of::<u32>();
+        let tombstones = self.dead.capacity() * std::mem::size_of::<u64>();
+        (data + dedup + tombstones) as u64
     }
 
     /// Verifies the relation's structural invariants, returning a
     /// description of the first violation: flat storage sized exactly
-    /// `nrows × arity`, every dedup entry pointing at an in-bounds row
-    /// whose content hash matches its bucket, exactly one dedup entry
-    /// per row, and no duplicate rows within a bucket. Budget, cancel,
+    /// `nrows × arity`, every dedup entry pointing at an in-bounds *live*
+    /// row whose content hash matches its bucket, exactly one dedup
+    /// entry per live row, no duplicate rows within a bucket, and the
+    /// tombstone population count matching the bitset. Budget, cancel,
     /// and panic exits must leave every committed relation passing this
     /// check — `tests/governance.rs` asserts it after every forced
     /// abort.
@@ -356,11 +501,34 @@ impl Relation {
                 self.arity
             ));
         }
+        let popcount: usize = self
+            .dead
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum::<usize>();
+        if popcount != self.ndead {
+            return Err(format!(
+                "tombstone bitset holds {popcount} bits for ndead = {}",
+                self.ndead
+            ));
+        }
+        if self.ndead > self.nrows {
+            return Err(format!(
+                "more tombstones ({}) than rows ({})",
+                self.ndead, self.nrows
+            ));
+        }
         let mut entries = 0usize;
         for (&h, bucket) in self.dedup.iter() {
+            if bucket.is_empty() {
+                return Err(format!("empty dedup bucket left behind for hash {h:#x}"));
+            }
             for (i, &r) in bucket.iter().enumerate() {
                 if r as usize >= self.nrows {
                     return Err(format!("dedup entry {r} out of bounds ({})", self.nrows));
+                }
+                if self.is_dead(r) {
+                    return Err(format!("dedup entry {r} points at a tombstoned row"));
                 }
                 let row = self.row(r);
                 if hash_slice(row) != h {
@@ -372,10 +540,10 @@ impl Relation {
                 entries += 1;
             }
         }
-        if entries != self.nrows {
+        if entries != self.nrows - self.ndead {
             return Err(format!(
-                "dedup map holds {entries} entries for {} rows",
-                self.nrows
+                "dedup map holds {entries} entries for {} live rows",
+                self.nrows - self.ndead
             ));
         }
         Ok(())
@@ -389,6 +557,8 @@ impl Clone for Relation {
             data: self.data.clone(),
             nrows: self.nrows,
             dedup: self.dedup.clone(),
+            dead: self.dead.clone(),
+            ndead: self.ndead,
             indexes: RwLock::new(FxHashMap::default()),
         }
     }
@@ -397,7 +567,7 @@ impl Clone for Relation {
 impl PartialEq for Relation {
     fn eq(&self, other: &Self) -> bool {
         self.arity == other.arity
-            && self.nrows == other.nrows
+            && self.len() == other.len()
             && self.iter().all(|row| other.contains(row))
     }
 }
@@ -552,5 +722,162 @@ mod tests {
     fn arity_mismatch_panics() {
         let mut r = Relation::new(2);
         r.insert(t(&[1]));
+    }
+
+    #[test]
+    fn delete_tombstones_and_membership() {
+        let mut r = Relation::new(2);
+        r.insert(t(&[1, 2]));
+        r.insert(t(&[3, 4]));
+        r.insert(t(&[5, 6]));
+        assert!(r.delete(&t(&[3, 4])));
+        assert!(!r.delete(&t(&[3, 4])), "double delete must be a no-op");
+        assert!(!r.delete(&t(&[9, 9])), "deleting an absent row is false");
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.physical_rows(), 3);
+        assert!(r.has_tombstones());
+        assert!(!r.contains(&t(&[3, 4])));
+        assert!(r.contains(&t(&[1, 2])));
+        assert!(r.contains(&t(&[5, 6])));
+        let live: Vec<Tuple> = r.iter().map(<[Value]>::to_vec).collect();
+        assert_eq!(live, vec![t(&[1, 2]), t(&[5, 6])]);
+        r.check_invariant().unwrap();
+    }
+
+    #[test]
+    fn truncate_undoes_appends_and_probes_stay_consistent() {
+        let mut r = Relation::new(2);
+        r.insert(t(&[1, 2]));
+        r.insert(t(&[3, 4]));
+        // Warm an index, then append past the watermark.
+        assert_eq!(r.probe(&[0], &[Value::Int(1)], r.all_rows()).len(), 1);
+        let mark = r.physical_rows();
+        r.insert(t(&[5, 6]));
+        r.insert(t(&[7, 8]));
+        r.truncate(mark);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.physical_rows(), 2);
+        assert!(!r.contains(&t(&[5, 6])));
+        assert!(r.contains(&t(&[1, 2])));
+        r.check_invariant().unwrap();
+        // The removed tuple can be re-inserted as a fresh row and probed.
+        assert!(r.insert(t(&[5, 6])));
+        assert_eq!(r.probe(&[0], &[Value::Int(5)], r.all_rows()).len(), 1);
+        assert_eq!(r.sorted_tuples(), vec![t(&[1, 2]), t(&[3, 4]), t(&[5, 6])]);
+        r.check_invariant().unwrap();
+        // Truncating to the current size (or past it) is a no-op.
+        r.truncate(r.physical_rows());
+        assert_eq!(r.len(), 3);
+        r.check_invariant().unwrap();
+    }
+
+    #[test]
+    fn truncate_with_tombstones_below_keep_preserves_them() {
+        let mut r = Relation::new(2);
+        r.insert(t(&[1, 2]));
+        r.insert(t(&[3, 4]));
+        assert!(r.delete(&t(&[1, 2])));
+        let mark = r.physical_rows();
+        r.insert(t(&[5, 6]));
+        r.truncate(mark);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.physical_rows(), 2);
+        assert!(r.has_tombstones());
+        assert_eq!(r.sorted_tuples(), vec![t(&[3, 4])]);
+        r.check_invariant().unwrap();
+    }
+
+    #[test]
+    fn insert_after_delete_of_equal_row_does_not_duplicate() {
+        let mut r = Relation::new(2);
+        r.insert(t(&[1, 2]));
+        r.insert(t(&[3, 4]));
+        assert!(r.delete(&t(&[1, 2])));
+        // Re-inserting the equal row appends a fresh physical row; the
+        // old one stays dead, so the live set holds exactly one copy.
+        assert!(r.insert(t(&[1, 2])), "row was deleted, reinsert is new");
+        assert!(!r.insert(t(&[1, 2])), "second reinsert must dedup");
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.physical_rows(), 3);
+        assert_eq!(r.sorted_tuples(), vec![t(&[1, 2]), t(&[3, 4])]);
+        r.check_invariant().unwrap();
+        // Compaction reclaims the tombstone and keeps the same live set.
+        r.compact();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.physical_rows(), 2);
+        assert!(!r.has_tombstones());
+        assert_eq!(r.sorted_tuples(), vec![t(&[1, 2]), t(&[3, 4])]);
+        r.check_invariant().unwrap();
+    }
+
+    #[test]
+    fn probes_skip_tombstoned_rows() {
+        let mut r = Relation::new(2);
+        r.insert(t(&[1, 2]));
+        r.insert(t(&[1, 3]));
+        r.insert(t(&[1, 4]));
+        // Build the column index first, then delete: index_hits must
+        // filter the dead row id even though the index still lists it.
+        let hits = r.probe(&[0], &[Value::Int(1)], r.all_rows());
+        assert_eq!(hits, vec![0, 1, 2]);
+        assert!(r.delete(&t(&[1, 3])));
+        let hits = r.probe(&[0], &[Value::Int(1)], r.all_rows());
+        assert_eq!(hits, vec![0, 2]);
+        // Dedup-backed exact probe also skips the dead row.
+        let range = RowRange { start: 0, end: 2 };
+        assert!(r.probe_all_columns(&t(&[1, 3]), range).is_empty());
+        assert!(r.probe_all_columns(&t(&[1, 3]), r.all_rows()).is_empty());
+        r.check_invariant().unwrap();
+    }
+
+    #[test]
+    fn compact_after_deletes_keeps_dedup_and_index_consistent() {
+        let mut r = Relation::new(2);
+        for i in 0..100i64 {
+            r.insert(t(&[i % 10, i]));
+        }
+        for i in (0..100i64).step_by(3) {
+            assert!(r.delete(&t(&[i % 10, i])));
+        }
+        let before = r.sorted_tuples();
+        r.check_invariant().unwrap();
+        r.compact();
+        r.check_invariant().unwrap();
+        assert_eq!(r.sorted_tuples(), before);
+        assert_eq!(r.physical_rows(), r.len());
+        // Post-compaction probes rebuild the index over renumbered rows.
+        for t_ in &before {
+            assert!(r.contains(t_));
+            assert!(!r.probe(&[0, 1], t_, r.all_rows()).is_empty());
+        }
+        assert!(!r.contains(&t(&[0, 0])));
+        // Deleted rows must not resurface through any probe path.
+        assert!(r.probe(&[1], &[Value::Int(0)], r.all_rows()).is_empty());
+    }
+
+    #[test]
+    fn clone_carries_tombstones() {
+        let mut r = Relation::new(1);
+        r.insert(t(&[1]));
+        r.insert(t(&[2]));
+        r.delete(&t(&[1]));
+        let c = r.clone();
+        assert_eq!(c.len(), 1);
+        assert!(!c.contains(&t(&[1])));
+        assert_eq!(r, c);
+        c.check_invariant().unwrap();
+    }
+
+    #[test]
+    fn equality_ignores_tombstones() {
+        let mut a = Relation::new(1);
+        a.insert(t(&[1]));
+        a.insert(t(&[2]));
+        a.delete(&t(&[2]));
+        let mut b = Relation::new(1);
+        b.insert(t(&[1]));
+        assert_eq!(a, b);
+        a.compact();
+        assert_eq!(a, b);
     }
 }

@@ -9,6 +9,9 @@
 //! semrec describe <file> 'describe p(X) where q(X, c).'
 //! semrec why <file> 'anc(dan, 20, bob, 77)'       show one derivation of a fact
 //! semrec check <file>                             validate assumptions + IC satisfaction
+//! semrec update <file> <txfile> [--optimize] [--query 'p(a, X)'] [--threads N]
+//!            [--deadline-ms N] [--max-rows N] [--max-bytes N] [--max-iters N]
+//!                                                 apply transactions incrementally
 //! semrec plan <file> [--optimize]                 show compiled physical plans (EXPLAIN)
 //! semrec gen <scenario> <dir>                     write a generated workload bundle
 //! ```
@@ -114,6 +117,7 @@ fn dispatch(args: &[String]) -> Result<(), CliError> {
         "plan" => cmd_plan(&args[1..]),
         "gen" => cmd_gen(&args[1..]),
         "check" => cmd_check(&args[1..]),
+        "update" => cmd_update(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())
@@ -135,7 +139,9 @@ fn usage() -> String {
      semrec why <file> GROUND_ATOM\n  \
      semrec plan <file> [--optimize]\n  \
      semrec gen <org|university|genealogy|fanout|flights> <dir>\n  \
-     semrec check <file>"
+     semrec check <file>\n  \
+     semrec update <file> <txfile> [--optimize] [--query ATOM] [--data DIR]\n  \
+             [--threads N] [--deadline-ms N] [--max-rows N] [--max-bytes N] [--max-iters N]"
         .to_owned()
 }
 
@@ -269,14 +275,7 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
         if let Some(why) = &outcome.degraded {
             eprintln!("degraded: {why}");
         }
-        eprintln!(
-            "route: {}",
-            match outcome.result.route {
-                Route::Direct => "direct (no optimization applied)",
-                Route::Optimized => "optimized program",
-                Route::RectifiedFallback => "rectified fallback",
-            }
-        );
+        eprintln!("route: {}", route_name(outcome.result.route));
         emit_result(&outcome.result, query.as_ref(), args)?;
         return Ok(());
     }
@@ -343,6 +342,144 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let res = ev.finish();
     emit_result(&res, query.as_ref(), args)?;
     Ok(())
+}
+
+/// Human-readable name for an evaluation route.
+fn route_name(r: Route) -> &'static str {
+    match r {
+        Route::Direct => "direct (no optimization applied)",
+        Route::Optimized => "optimized program",
+        Route::RectifiedFallback => "rectified fallback",
+        Route::IncrementalOptimized => "incremental (optimized program maintained)",
+        Route::IncrementalInvalidated => "incremental (IC violated: rectified program)",
+    }
+}
+
+/// `semrec update <file> <txfile>`: materializes the file's program,
+/// then applies each transaction from the tx file incrementally. With
+/// `--optimize`, the optimized program is maintained under IC
+/// monitoring — a transaction that violates a constraint the optimizer
+/// relied on invalidates the optimized route and re-answers from the
+/// rectified program. Transactions are atomic; the first failing one
+/// stops the stream with the corresponding governance exit code.
+fn cmd_update(args: &[String]) -> Result<(), CliError> {
+    let [path, txpath, ..] = args else {
+        return Err(CliError::Usage(usage()));
+    };
+    let unit = load(path)?;
+    let txsrc = std::fs::read_to_string(txpath).map_err(|e| format!("reading {txpath}: {e}"))?;
+    let txs = semrec::engine::incr::parse_txs(&txsrc).map_err(|e| format!("{txpath}: {e}"))?;
+    let mut db = Database::from_facts(&unit.facts);
+    if let Some(dir) = flag_value(args, "--data") {
+        let n = semrec::engine::io::load_dir(&mut db, std::path::Path::new(dir))
+            .map_err(CliError::Engine)?;
+        eprintln!("loaded {n} facts from {dir}");
+    }
+    let budget = parse_budget(args)?;
+    let threads: usize = flag_value(args, "--threads")
+        .map(|t| {
+            t.parse()
+                .map_err(|_| CliError::Usage(format!("bad --threads value `{t}`")))
+        })
+        .transpose()?
+        .unwrap_or(1);
+    let query = flag_value(args, "--query")
+        .map(|q| parse_atom(q).map_err(|e| e.to_string()))
+        .transpose()?;
+
+    let report = |i: usize, route: Route, stats: &semrec::engine::UpdateStats| {
+        eprintln!(
+            "tx {}: route: {}; {} over-deleted, {} re-derived, {} inserted, {} round(s), {} ms{}",
+            i + 1,
+            route_name(route),
+            stats.over_deleted,
+            stats.rederived,
+            stats.idb_inserted,
+            stats.rounds,
+            stats.elapsed_ms,
+            if stats.from_scratch {
+                " (from scratch)"
+            } else {
+                ""
+            },
+        );
+    };
+
+    if args.iter().any(|a| a == "--optimize") {
+        let mut q = semrec::core::maintain::MaintainedQuery::new(
+            db,
+            &unit.program(),
+            &unit.constraints,
+            optimizer_config(args),
+            threads,
+        )
+        .map_err(|e| match e {
+            semrec::core::maintain::MaintainError::Engine(e) => CliError::Engine(e),
+            semrec::core::maintain::MaintainError::Optimizer(e) => CliError::Other(e.to_string()),
+        })?;
+        eprintln!("route: {}", route_name(q.route()));
+        for (i, tx) in txs.iter().enumerate() {
+            let out = q.apply(tx, budget, None).map_err(CliError::Engine)?;
+            report(i, out.route, &out.stats);
+        }
+        emit_idb(q.idb(), query.as_ref());
+        return Ok(());
+    }
+
+    let mut m = semrec::engine::Materialized::new(&db, &unit.program(), threads)
+        .map_err(CliError::Engine)?;
+    if !m.is_incremental() {
+        eprintln!("program uses negation or builtins: every tx re-evaluates from scratch");
+    }
+    for (i, tx) in txs.iter().enumerate() {
+        let stats = m
+            .apply(&mut db, tx, budget, None)
+            .map_err(CliError::Engine)?;
+        report(
+            i,
+            if stats.from_scratch {
+                Route::Direct
+            } else {
+                Route::IncrementalOptimized
+            },
+            &stats,
+        );
+    }
+    emit_idb(m.idb(), query.as_ref());
+    Ok(())
+}
+
+/// Prints a maintained IDB: the goal's answers if a query was given,
+/// every relation otherwise.
+fn emit_idb(
+    idb: &std::collections::BTreeMap<Pred, semrec::engine::Relation>,
+    query: Option<&semrec::datalog::Atom>,
+) {
+    match query {
+        Some(goal) => {
+            let Some(rel) = idb.get(&goal.pred) else {
+                eprintln!("-- 0 answers");
+                return;
+            };
+            let mut answers: Vec<_> = rel
+                .iter()
+                .filter(|row| semrec::engine::eval::goal_matches(goal, row))
+                .map(<[semrec::datalog::Value]>::to_vec)
+                .collect();
+            answers.sort();
+            for t in &answers {
+                println!("{}", render(goal.pred, t));
+            }
+            eprintln!("-- {} answers", answers.len());
+        }
+        None => {
+            for (p, rel) in idb {
+                for t in rel.sorted_tuples() {
+                    println!("{}", render(*p, &t));
+                }
+            }
+        }
+    }
 }
 
 /// Prints answers (or the whole IDB) and handles `--save`.

@@ -350,3 +350,223 @@ fn io_load_failure_is_typed() {
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Snapshot of everything an incremental transaction may touch: the
+/// EDB relations, the maintained IDB, and (for the maintained-query
+/// tests) the active route.
+fn edb_snapshot(db: &Database, preds: &[&str]) -> Vec<(String, Vec<Tuple>)> {
+    preds
+        .iter()
+        .map(|p| {
+            let t = db
+                .get((*p).into())
+                .map(|r| r.sorted_tuples())
+                .unwrap_or_default();
+            ((*p).to_string(), t)
+        })
+        .collect()
+}
+
+fn idb_snapshot(
+    idb: &std::collections::BTreeMap<semrec::datalog::Pred, semrec::engine::Relation>,
+) -> Vec<(String, Vec<Tuple>)> {
+    idb.iter()
+        .map(|(p, r)| (p.to_string(), r.sorted_tuples()))
+        .collect()
+}
+
+/// A seeded schedule over the `incr.delete` site: every transaction
+/// with deletes either commits exactly (maintained IDB == from-scratch
+/// evaluation of the post-tx database) or rolls back fully (database,
+/// IDB, and invariants untouched). The schedule varies the fire round,
+/// so some applies survive (the site stays unfired) and some abort.
+#[test]
+fn incr_delete_fault_commits_exactly_or_rolls_back() {
+    let _g = serial();
+    let s = parse_scenario(fanout::PROGRAM);
+    let mut db = fanout::generate(&fanout::FanoutParams {
+        nodes: 30,
+        extra_edges: 15,
+        fanout: 3,
+        seed: 5,
+    });
+    let mut m = semrec::engine::incr::Materialized::new(&db, &s.program, 2).unwrap();
+    let mut committed = 0u32;
+    let mut rolled_back = 0u32;
+    for seed in 0..10u64 {
+        let mut rng = Rng::seed_from_u64(0xD0 + seed);
+        // fire_at 0 hits this apply's single site visit; 1 never fires.
+        let fire_at = rng.gen_range(0..2usize) as u64;
+        let action = if rng.gen_bool(0.5) {
+            FailAction::Err
+        } else {
+            FailAction::DelayMs(rng.gen_range(1..10usize) as u64)
+        };
+        let victim = db
+            .get("edge".into())
+            .unwrap()
+            .sorted_tuples()
+            .swap_remove(rng.gen_range(0..db.get("edge".into()).unwrap().len()));
+        let mut tx = semrec::engine::Tx::new();
+        tx.delete("edge", victim);
+        tx.insert(
+            "edge",
+            vec![
+                semrec::datalog::Value::Int(rng.gen_range(0..30i64)),
+                semrec::datalog::Value::Int(rng.gen_range(0..30i64)),
+            ],
+        );
+        let pre_edb = edb_snapshot(&db, &["edge", "witness"]);
+        let pre_idb = idb_snapshot(m.idb());
+
+        failpoint::clear();
+        failpoint::arm("incr.delete", fire_at, action);
+        let result = m.apply(&mut db, &tx, Budget::unlimited(), None);
+        failpoint::clear();
+
+        match result {
+            Ok(_) => {
+                committed += 1;
+                let scratch = semrec::engine::evaluate(&db, &s.program, Strategy::SemiNaive)
+                    .unwrap()
+                    .relation("reach")
+                    .unwrap()
+                    .sorted_tuples();
+                assert_eq!(
+                    m.idb()[&"reach".into()].sorted_tuples(),
+                    scratch,
+                    "seed {seed}: committed tx diverged from scratch"
+                );
+            }
+            Err(EngineError::Io(msg)) => {
+                rolled_back += 1;
+                assert!(msg.contains("injected error"), "seed {seed}: {msg}");
+                assert_eq!(
+                    edb_snapshot(&db, &["edge", "witness"]),
+                    pre_edb,
+                    "seed {seed}: EDB changed on rollback"
+                );
+                assert_eq!(
+                    idb_snapshot(m.idb()),
+                    pre_idb,
+                    "seed {seed}: IDB changed on rollback"
+                );
+            }
+            Err(other) => panic!("seed {seed}: unexpected error {other:?}"),
+        }
+        for rel in m.idb().values() {
+            rel.check_invariant().expect("maintained IDB invariant");
+        }
+    }
+    assert!(committed > 0, "no incr.delete schedule committed");
+    assert!(rolled_back > 0, "no incr.delete schedule rolled back");
+}
+
+/// A seeded schedule over the `incr.icheck` site, driven through the
+/// residue-guarded maintenance layer: a fault inside the delta IC
+/// monitor must leave the maintained query — database, route, answers —
+/// exactly as before the transaction.
+#[test]
+fn incr_icheck_fault_commits_exactly_or_rolls_back() {
+    let _g = serial();
+    let s = parse_scenario(fanout::PROGRAM);
+    let db = fanout::generate(&fanout::FanoutParams {
+        nodes: 30,
+        extra_edges: 15,
+        fanout: 3,
+        seed: 6,
+    });
+    let mut q = semrec::core::maintain::MaintainedQuery::new(
+        db,
+        &s.program,
+        &s.constraints,
+        semrec::core::optimizer::OptimizerConfig::default(),
+        2,
+    )
+    .unwrap();
+    assert_eq!(q.route(), Route::Optimized);
+    let mut committed = 0u32;
+    let mut rolled_back = 0u32;
+    let mut next_node = 1000i64;
+    for seed in 0..10u64 {
+        let mut rng = Rng::seed_from_u64(0x1C + seed);
+        let fire_at = rng.gen_range(0..2usize) as u64;
+        let action = if rng.gen_bool(0.5) {
+            FailAction::Err
+        } else {
+            FailAction::DelayMs(rng.gen_range(1..10usize) as u64)
+        };
+        // A fresh witnessed node keeps ic1 holding, so a surviving
+        // apply stays on the incremental optimized route.
+        let v = next_node;
+        next_node += 1;
+        let mut tx = semrec::engine::Tx::new();
+        tx.insert(
+            "edge",
+            vec![
+                semrec::datalog::Value::Int(rng.gen_range(0..30i64)),
+                semrec::datalog::Value::Int(v),
+            ],
+        );
+        tx.insert(
+            "witness",
+            vec![
+                semrec::datalog::Value::Int(v),
+                semrec::datalog::Value::Int(v * 1000),
+            ],
+        );
+        let pre_edb = edb_snapshot(q.db(), &["edge", "witness"]);
+        let pre_idb = idb_snapshot(q.idb());
+        let pre_route = q.route();
+
+        failpoint::clear();
+        failpoint::arm("incr.icheck", fire_at, action);
+        let result = q.apply(&tx, Budget::unlimited(), None);
+        failpoint::clear();
+
+        match result {
+            Ok(out) => {
+                committed += 1;
+                assert_eq!(out.route, Route::IncrementalOptimized, "seed {seed}");
+                let scratch =
+                    semrec::engine::evaluate(q.db(), &q.plan().rectified, Strategy::SemiNaive)
+                        .unwrap()
+                        .relation("reach")
+                        .unwrap()
+                        .sorted_tuples();
+                assert_eq!(
+                    q.idb()[&"reach".into()].sorted_tuples(),
+                    scratch,
+                    "seed {seed}: committed tx diverged from scratch"
+                );
+            }
+            Err(EngineError::Io(msg)) => {
+                rolled_back += 1;
+                assert!(msg.contains("injected error"), "seed {seed}: {msg}");
+                // The inserted node is rolled back with everything else,
+                // so the next iteration can reuse nothing stale.
+                assert_eq!(
+                    edb_snapshot(q.db(), &["edge", "witness"]),
+                    pre_edb,
+                    "seed {seed}: EDB changed on rollback"
+                );
+                assert_eq!(
+                    idb_snapshot(q.idb()),
+                    pre_idb,
+                    "seed {seed}: IDB changed on rollback"
+                );
+                assert_eq!(
+                    q.route(),
+                    pre_route,
+                    "seed {seed}: route changed on rollback"
+                );
+            }
+            Err(other) => panic!("seed {seed}: unexpected error {other:?}"),
+        }
+        for rel in q.idb().values() {
+            rel.check_invariant().expect("maintained IDB invariant");
+        }
+    }
+    assert!(committed > 0, "no incr.icheck schedule committed");
+    assert!(rolled_back > 0, "no incr.icheck schedule rolled back");
+}
