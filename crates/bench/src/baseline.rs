@@ -257,6 +257,9 @@ pub struct BaselineWorkload {
     pub params: String,
     /// `(threads, millis)` pairs.
     pub timings: Vec<(usize, f64)>,
+    /// `(threads, rows_per_sec)` pairs (NaN when the baseline predates
+    /// the field — the throughput gate skips those).
+    pub rows_per_sec: Vec<(usize, f64)>,
 }
 
 /// Extracts the workload timings from a parsed `BENCH_fixpoint.json`.
@@ -279,15 +282,22 @@ pub fn parse_baseline(src: &str) -> Result<Vec<BaselineWorkload>, String> {
             .ok_or("workload missing `params`")?
             .to_owned();
         let mut timings = Vec::new();
+        let mut rows_per_sec = Vec::new();
         for t in w.get("timings").and_then(Json::as_arr).unwrap_or(&[]) {
             let threads = t.get("threads").and_then(Json::as_num).unwrap_or(0.0) as usize;
             let millis = t.get("millis").and_then(Json::as_num).unwrap_or(f64::NAN);
             timings.push((threads, millis));
+            let rps = t
+                .get("rows_per_sec")
+                .and_then(Json::as_num)
+                .unwrap_or(f64::NAN);
+            rows_per_sec.push((threads, rps));
         }
         out.push(BaselineWorkload {
             name,
             params,
             timings,
+            rows_per_sec,
         });
     }
     Ok(out)
@@ -341,9 +351,75 @@ pub fn diff_table(fresh: &[WorkloadResult], baseline: &[BaselineWorkload]) -> St
     s
 }
 
+/// The `--assert-throughput <pct>` gate: on every fresh workload whose
+/// baseline records a finite single-thread `rows_per_sec`, the fresh
+/// single-thread throughput must not fall more than `tolerance_pct`
+/// percent below the baseline's. Returns a summary of the checked
+/// workloads, or a report of the violations. Checking zero workloads is
+/// itself an error — a baseline without throughput fields would
+/// otherwise silently disarm the gate.
+pub fn check_throughput(
+    fresh: &[WorkloadResult],
+    baseline: &[BaselineWorkload],
+    tolerance_pct: f64,
+) -> Result<String, String> {
+    let mut checked = 0usize;
+    let mut violations = String::new();
+    for w in fresh {
+        let Some(base) = baseline
+            .iter()
+            .find(|b| b.name == w.name && b.params == w.params)
+        else {
+            continue;
+        };
+        let Some(&(_, base_rps)) = base.rows_per_sec.iter().find(|(n, _)| *n == 1) else {
+            continue;
+        };
+        if !base_rps.is_finite() || base_rps <= 0.0 {
+            continue;
+        }
+        let Some(fresh_rps) = w
+            .timings
+            .iter()
+            .find(|t| t.threads == 1)
+            .map(|t| t.rows_per_sec)
+        else {
+            continue;
+        };
+        checked += 1;
+        let floor = base_rps * (1.0 - tolerance_pct / 100.0);
+        if fresh_rps < floor {
+            let _ = writeln!(
+                violations,
+                "  {} {}: t1 {:.0} rows/s < floor {:.0} (baseline {:.0} - {tolerance_pct}%)",
+                w.name, w.params, fresh_rps, floor, base_rps,
+            );
+        }
+    }
+    if checked == 0 {
+        return Err(
+            "throughput gate FAILED: no workload overlapped the baseline with a finite \
+             single-thread rows_per_sec"
+                .to_owned(),
+        );
+    }
+    if violations.is_empty() {
+        Ok(format!(
+            "throughput gate: {checked} workload(s) within {tolerance_pct}% of baseline \
+             single-thread rows/sec"
+        ))
+    } else {
+        Err(format!(
+            "throughput gate FAILED (t1 rows/sec more than {tolerance_pct}% below baseline):\n\
+             {violations}"
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fixpoint::Timing;
 
     #[test]
     fn parses_scalars_and_nesting() {
@@ -381,6 +457,55 @@ mod tests {
         assert_eq!(ws.len(), 1);
         assert_eq!(ws[0].name, "fanout");
         assert_eq!(ws[0].timings, vec![(1, 2.5), (4, 1.0)]);
+        // Pre-throughput baselines parse with NaN rows/sec markers.
+        assert!(ws[0].rows_per_sec.iter().all(|(_, r)| r.is_nan()));
+    }
+
+    #[test]
+    fn extracts_rows_per_sec_when_present() {
+        let src = r#"{"workloads": [
+            {"name": "fanout", "params": "p",
+             "timings": [{"threads": 1, "millis": 2.0, "rows_per_sec": 5000.0}]}
+        ]}"#;
+        let ws = parse_baseline(src).unwrap();
+        assert_eq!(ws[0].rows_per_sec, vec![(1, 5000.0)]);
+    }
+
+    #[test]
+    fn throughput_gate_flags_regressions_and_passes_parity() {
+        let mk_fresh = |rps: f64| WorkloadResult {
+            name: "w".into(),
+            params: "p".into(),
+            rows_edb: 0,
+            rows_idb: 0,
+            rounds: 1,
+            timings: vec![Timing {
+                threads: 1,
+                millis: 1.0,
+                busy_fraction: 1.0,
+                rows_per_sec: rps,
+            }],
+        };
+        let base = BaselineWorkload {
+            name: "w".into(),
+            params: "p".into(),
+            timings: vec![(1, 1.0)],
+            rows_per_sec: vec![(1, 100_000.0)],
+        };
+        // Within tolerance and genuinely faster both pass.
+        assert!(check_throughput(&[mk_fresh(95_000.0)], &[base.clone()], 10.0).is_ok());
+        assert!(check_throughput(&[mk_fresh(250_000.0)], &[base.clone()], 10.0).is_ok());
+        // A regression beyond the tolerance fails with a report.
+        let err = check_throughput(&[mk_fresh(80_000.0)], &[base.clone()], 10.0).unwrap_err();
+        assert!(err.contains("FAILED"), "{err}");
+        assert!(err.contains("80000"), "{err}");
+        // A baseline without throughput fields cannot silently disarm
+        // the gate: checking zero workloads is an error.
+        let old = BaselineWorkload {
+            rows_per_sec: vec![(1, f64::NAN)],
+            ..base
+        };
+        assert!(check_throughput(&[mk_fresh(80_000.0)], &[old], 10.0).is_err());
     }
 
     #[test]

@@ -18,13 +18,16 @@
 //! the fresh run against a prior JSON and prints per-workload speedups.
 //! `--assert-scaling` exits nonzero if 4-thread time exceeds 1-thread
 //! time by more than 10% on any workload with `rows_idb >= 50_000`.
+//! `--assert-throughput <pct>` (requires `--baseline`) exits nonzero if
+//! any workload's single-thread rows/sec falls more than `<pct>` percent
+//! below the baseline's.
 
-use semrec_bench::baseline::{diff_table, parse_baseline};
+use semrec_bench::baseline::{check_throughput, diff_table, parse_baseline};
 use semrec_bench::experiments::{run, Scale, ALL};
 use semrec_bench::fixpoint::{
-    check_scaling, governance_table, incremental_table, run_fixpoint_bench_gated,
-    run_governance_bench, run_incremental_bench, run_semantic_bench, semantic_table, to_json_full,
-    to_json_with_incremental, to_table,
+    check_scaling, governance_table, incremental_table, kernel_table, run_fixpoint_bench_gated,
+    run_governance_bench, run_incremental_bench, run_kernel_bench, run_semantic_bench,
+    semantic_table, to_json_full, to_json_with_incremental, to_json_with_kernels, to_table,
 };
 use std::path::Path;
 use std::process::ExitCode;
@@ -32,6 +35,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut baseline_path: Option<String> = None;
+    let mut assert_throughput: Option<f64> = None;
     let mut args: Vec<String> = Vec::new();
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
@@ -40,6 +44,14 @@ fn main() -> ExitCode {
                 Some(p) => baseline_path = Some(p),
                 None => {
                     eprintln!("--baseline requires a file argument");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if a == "--assert-throughput" {
+            match it.next().and_then(|p| p.parse::<f64>().ok()) {
+                Some(pct) if pct >= 0.0 => assert_throughput = Some(pct),
+                _ => {
+                    eprintln!("--assert-throughput requires a tolerance percentage");
                     return ExitCode::FAILURE;
                 }
             }
@@ -86,11 +98,16 @@ fn main() -> ExitCode {
         print!("{}", governance_table(&governance));
         let incremental = run_incremental_bench(quick);
         print!("{}", incremental_table(&incremental));
+        let kernels = run_kernel_bench(quick);
+        print!("{}", kernel_table(&kernels));
         if json {
             let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_fixpoint.json");
-            let doc = to_json_with_incremental(
-                to_json_full(&results, &semantic, &governance),
-                &incremental,
+            let doc = to_json_with_kernels(
+                to_json_with_incremental(
+                    to_json_full(&results, &semantic, &governance),
+                    &incremental,
+                ),
+                &kernels,
             );
             std::fs::write(&out, doc).expect("write BENCH_fixpoint.json");
             println!("wrote {}", out.display());
@@ -101,6 +118,19 @@ fn main() -> ExitCode {
         }
         if assert_scaling {
             match check_scaling(&results) {
+                Ok(summary) => println!("{summary}"),
+                Err(report) => {
+                    eprintln!("{report}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if let Some(pct) = assert_throughput {
+            let Some(base) = &baseline else {
+                eprintln!("--assert-throughput requires --baseline <file>");
+                return ExitCode::FAILURE;
+            };
+            match check_throughput(&results, base, pct) {
                 Ok(summary) => println!("{summary}"),
                 Err(report) => {
                     eprintln!("{report}");

@@ -7,7 +7,7 @@
 //! `Instant`-based wall timing, median of N runs.
 
 use semrec_datalog::program::Program;
-use semrec_engine::{evaluate, Budget, CancelToken, Database, Evaluator, Strategy};
+use semrec_engine::{evaluate, Budget, CancelToken, Database, Evaluator, Stats, Strategy};
 use semrec_gen::{fanout, org, parse_scenario, university};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -202,6 +202,214 @@ pub fn run_fixpoint_bench_gated(quick: bool, with_gate_workload: bool) -> Vec<Wo
     }
 
     results
+}
+
+/// One interpreter-vs-kernel comparison: the same workload evaluated
+/// single-threaded with the specialized join kernels disabled (general
+/// step machine only) and enabled, plus the kernel telemetry counters
+/// from the enabled run.
+#[derive(Clone, Debug)]
+pub struct KernelBenchResult {
+    /// Workload name.
+    pub name: String,
+    /// Generator parameter label.
+    pub params: String,
+    /// IDB tuples out (identical in both modes).
+    pub rows_idb: usize,
+    /// Median single-thread wall ms, kernels disabled.
+    pub interp_millis: f64,
+    /// Median single-thread wall ms, kernels enabled.
+    pub kernel_millis: f64,
+    /// Seed-scan rows/sec, kernels disabled.
+    pub interp_rows_per_sec: f64,
+    /// Seed-scan rows/sec, kernels enabled.
+    pub kernel_rows_per_sec: f64,
+    /// Plan executions routed to a specialized kernel (enabled run).
+    pub kernel_firings: u64,
+    /// Plan executions that fell back to the step machine (enabled run).
+    pub interp_firings: u64,
+    /// Index probes issued (enabled run).
+    pub probes: u64,
+    /// Rows yielded by index probes after lazy filtering (enabled run).
+    pub probe_hits: u64,
+    /// High-water bytes of reusable task scratch (enabled run) — flat
+    /// and tiny regardless of derived-row count: the zero-allocation
+    /// witness.
+    pub scratch_hw_bytes: u64,
+}
+
+impl KernelBenchResult {
+    /// Kernel-over-interpreter throughput ratio (> 1: kernels win).
+    pub fn speedup(&self) -> f64 {
+        self.kernel_rows_per_sec / self.interp_rows_per_sec.max(1e-9)
+    }
+}
+
+fn time_kernels_once(db: &Database, prog: &Program, kernels: bool) -> (f64, f64, Stats, usize) {
+    let start = Instant::now();
+    let mut ev = Evaluator::new(db, prog, Strategy::SemiNaive)
+        .unwrap()
+        .with_kernels(kernels);
+    ev.run().unwrap();
+    let millis = start.elapsed().as_secs_f64() * 1e3;
+    let rps = ev.pool_stats().rows_per_sec();
+    let stats = ev.stats();
+    let out: usize = ev.finish().idb.values().map(|r| r.len()).sum();
+    (millis, rps, stats, out)
+}
+
+/// Runs the kernels-vs-interpreter bench: every gen workload evaluated
+/// single-threaded with [`Evaluator::with_kernels`] off and on,
+/// interleaved, medians reported. The ISSUE 5 acceptance number — ≥1.5x
+/// single-thread rows/sec on fanout nodes=300 fanout=64 — comes from
+/// this section's `kernel_rows_per_sec`.
+pub fn run_kernel_bench(quick: bool) -> Vec<KernelBenchResult> {
+    let runs = if quick { 1 } else { 3 };
+    let mut specs: Vec<(String, String, Database, Program)> = Vec::new();
+
+    let fanout_sizes: &[(usize, usize, usize)] = if quick {
+        &[(150, 80, 64)]
+    } else {
+        &[(150, 80, 64), (300, 160, 64)]
+    };
+    let s = parse_scenario(fanout::PROGRAM);
+    for &(nodes, extra, fo) in fanout_sizes {
+        let db = fanout::generate(&fanout::FanoutParams {
+            nodes,
+            extra_edges: extra,
+            fanout: fo,
+            seed: 1,
+        });
+        specs.push((
+            "fanout".into(),
+            format!("nodes={nodes} extra_edges={extra} fanout={fo}"),
+            db,
+            s.program.clone(),
+        ));
+    }
+    let s = parse_scenario(org::PROGRAM);
+    let db = org::generate(&org::OrgParams {
+        employees: 400,
+        seed: 2,
+        ..org::OrgParams::default()
+    });
+    specs.push(("org".into(), "employees=400".into(), db, s.program.clone()));
+    let s = parse_scenario(university::PROGRAM);
+    let db = university::generate(&university::UniversityParams {
+        professors: 60,
+        students: 200,
+        seed: 3,
+        ..university::UniversityParams::default()
+    });
+    specs.push((
+        "university".into(),
+        "professors=60 students=200".into(),
+        db,
+        s.program.clone(),
+    ));
+
+    let mut out = Vec::new();
+    for (name, params, db, prog) in &specs {
+        // Untimed warmup of both modes.
+        time_kernels_once(db, prog, false);
+        time_kernels_once(db, prog, true);
+        let mut interp_ms = Vec::new();
+        let mut kernel_ms = Vec::new();
+        let mut interp_rps = 0.0;
+        let mut kernel_rps = 0.0;
+        let mut kstats = Stats::default();
+        let mut rows_idb = 0;
+        for _ in 0..runs.max(1) {
+            let (ms, rps, _, interp_rows) = time_kernels_once(db, prog, false);
+            interp_ms.push(ms);
+            interp_rps = rps;
+            let (ms, rps, st, kernel_rows) = time_kernels_once(db, prog, true);
+            kernel_ms.push(ms);
+            kernel_rps = rps;
+            kstats = st;
+            assert_eq!(interp_rows, kernel_rows, "kernels changed the answer");
+            rows_idb = kernel_rows;
+        }
+        interp_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        kernel_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        out.push(KernelBenchResult {
+            name: name.clone(),
+            params: params.clone(),
+            rows_idb,
+            interp_millis: interp_ms[interp_ms.len() / 2],
+            kernel_millis: kernel_ms[kernel_ms.len() / 2],
+            interp_rows_per_sec: interp_rps,
+            kernel_rows_per_sec: kernel_rps,
+            kernel_firings: kstats.kernel_firings,
+            interp_firings: kstats.interp_firings,
+            probes: kstats.probes,
+            probe_hits: kstats.probe_hits,
+            scratch_hw_bytes: kstats.scratch_hw_bytes,
+        });
+    }
+    out
+}
+
+/// A human-readable kernels-vs-interpreter table.
+pub fn kernel_table(results: &[KernelBenchResult]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<10} {:<42} {:>10} {:>10} {:>8} {:>11} {:>11} {:>10}",
+        "kernels", "params", "interp ms", "kernel ms", "speedup", "krows/s", "irows/s", "scratch"
+    );
+    for r in results {
+        let _ = writeln!(
+            s,
+            "{:<10} {:<42} {:>10.2} {:>10.2} {:>7.2}x {:>11.0} {:>11.0} {:>9}B",
+            r.name,
+            r.params,
+            r.interp_millis,
+            r.kernel_millis,
+            r.speedup(),
+            r.kernel_rows_per_sec,
+            r.interp_rows_per_sec,
+            r.scratch_hw_bytes,
+        );
+    }
+    s
+}
+
+/// Splices the `kernels` section into an already-serialized benchmark
+/// document. Empty input leaves the document unchanged.
+pub fn to_json_with_kernels(mut s: String, kernels: &[KernelBenchResult]) -> String {
+    if kernels.is_empty() {
+        return s;
+    }
+    let tail = s.rfind("  ]\n}").expect("serializer emits a closing array");
+    s.truncate(tail + 3);
+    s.push_str(",\n  \"kernels\": [\n");
+    for (i, r) in kernels.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"name\": \"{}\", \"params\": \"{}\", \"rows_idb\": {}, \
+             \"interp_millis\": {}, \"kernel_millis\": {}, \
+             \"interp_rows_per_sec\": {}, \"kernel_rows_per_sec\": {}, \
+             \"speedup\": {}, \"kernel_firings\": {}, \"interp_firings\": {}, \
+             \"probes\": {}, \"probe_hits\": {}, \"scratch_hw_bytes\": {}}}",
+            r.name,
+            r.params,
+            r.rows_idb,
+            json_f(r.interp_millis),
+            json_f(r.kernel_millis),
+            json_f(r.interp_rows_per_sec),
+            json_f(r.kernel_rows_per_sec),
+            json_f(r.speedup()),
+            r.kernel_firings,
+            r.interp_firings,
+            r.probes,
+            r.probe_hits,
+            r.scratch_hw_bytes
+        );
+        s.push_str(if i + 1 < kernels.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
 }
 
 /// One end-to-end semantic-optimization measurement: the same workload

@@ -5,10 +5,19 @@
 //! `u32` comparisons. Interned strings are leaked (the set of distinct
 //! identifiers in a Datalog workload is small and bounded), which lets
 //! [`Symbol::as_str`] hand out `&'static str` without lifetime plumbing.
+//!
+//! Writes (`intern`) serialize on a `Mutex`, but reads (`as_str`) are
+//! lock-free: resolved strings live in an append-only chunked slab whose
+//! visible length is published with a release store after the slot is
+//! written. A `Symbol` only exists once its slot has been published, so an
+//! acquire load of the length is enough to make the slot contents visible —
+//! `Value::Ord` on string constants (two resolutions per comparison) never
+//! touches a lock.
 
+use std::cell::UnsafeCell;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 /// An interned string. Cheap to copy, compare and hash.
@@ -17,9 +26,46 @@ use std::sync::{Mutex, OnceLock};
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Symbol(u32);
 
+const CHUNK_BITS: u32 = 12;
+const CHUNK: usize = 1 << CHUNK_BITS; // 4096 symbols per chunk
+const MAX_CHUNKS: usize = 1 << 12; // up to ~16.7M symbols
+
+/// One fixed-size block of resolved strings. Slots are written exactly once
+/// (under the intern mutex) before being published; readers never see an
+/// unpublished slot, so the plain (non-atomic) array is race-free.
+struct Chunk {
+    slots: UnsafeCell<[&'static str; CHUNK]>,
+}
+
+// SAFETY: slots are written only by the single writer holding the intern
+// mutex, and only at indexes >= the published length; readers only touch
+// indexes < the published length (acquire-ordered against the writer's
+// release store), so no two threads ever access the same slot concurrently
+// with a write.
+unsafe impl Sync for Chunk {}
+
+/// Append-only slab: chunk pointers are installed once (release) and the
+/// total number of readable slots is published via `len` (release) after
+/// each slot write.
+struct Slab {
+    chunks: Vec<AtomicPtr<Chunk>>,
+    len: AtomicU32,
+}
+
 struct Interner {
     map: HashMap<&'static str, u32>,
-    strings: Vec<&'static str>,
+}
+
+fn slab() -> &'static Slab {
+    static SLAB: OnceLock<Slab> = OnceLock::new();
+    SLAB.get_or_init(|| {
+        let mut chunks = Vec::with_capacity(MAX_CHUNKS);
+        chunks.resize_with(MAX_CHUNKS, || AtomicPtr::new(std::ptr::null_mut()));
+        Slab {
+            chunks,
+            len: AtomicU32::new(0),
+        }
+    })
 }
 
 fn interner() -> &'static Mutex<Interner> {
@@ -27,7 +73,6 @@ fn interner() -> &'static Mutex<Interner> {
     INTERNER.get_or_init(|| {
         Mutex::new(Interner {
             map: HashMap::new(),
-            strings: Vec::new(),
         })
     })
 }
@@ -40,16 +85,49 @@ impl Symbol {
             return Symbol(id);
         }
         let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
-        let id = g.strings.len() as u32;
-        g.strings.push(leaked);
+        let slab = slab();
+        let id = slab.len.load(Ordering::Relaxed);
+        let (ci, si) = ((id >> CHUNK_BITS) as usize, (id as usize) & (CHUNK - 1));
+        assert!(
+            ci < MAX_CHUNKS,
+            "interner full ({MAX_CHUNKS}x{CHUNK} symbols)"
+        );
+        let mut chunk = slab.chunks[ci].load(Ordering::Acquire);
+        if chunk.is_null() {
+            chunk = Box::into_raw(Box::new(Chunk {
+                slots: UnsafeCell::new([""; CHUNK]),
+            }));
+            slab.chunks[ci].store(chunk, Ordering::Release);
+        }
+        // SAFETY: we hold the intern mutex (single writer) and `id` is not
+        // yet published, so no reader can be looking at this slot.
+        unsafe {
+            (*(*chunk).slots.get())[si] = leaked;
+        }
+        // Publish: release-store makes the slot write (and the chunk
+        // pointer store above) visible to any reader that acquires a
+        // length covering `id`.
+        slab.len.store(id + 1, Ordering::Release);
         g.map.insert(leaked, id);
         Symbol(id)
     }
 
-    /// The interned string.
+    /// The interned string. Lock-free: one acquire load of the published
+    /// length plus an acquire load of the chunk pointer.
     pub fn as_str(self) -> &'static str {
-        let g = interner().lock().expect("interner poisoned");
-        g.strings[self.0 as usize]
+        let slab = slab();
+        let n = slab.len.load(Ordering::Acquire);
+        assert!(self.0 < n, "symbol {} not interned", self.0);
+        let (ci, si) = (
+            (self.0 >> CHUNK_BITS) as usize,
+            (self.0 as usize) & (CHUNK - 1),
+        );
+        let chunk = slab.chunks[ci].load(Ordering::Acquire);
+        debug_assert!(!chunk.is_null());
+        // SAFETY: self.0 < published len, so the slot was fully written
+        // before the release store we just acquired; published slots are
+        // never written again.
+        unsafe { (*(*chunk).slots.get())[si] }
     }
 
     /// A process-unique fresh symbol with the given prefix, guaranteed not to
@@ -111,5 +189,46 @@ mod tests {
         // never mention a fresh symbol by accident.
         let f = Symbol::fresh("X");
         assert!(f.as_str().contains('#'));
+    }
+
+    #[test]
+    fn concurrent_intern_and_resolve() {
+        // Hammer intern (writer lock) and as_str (lock-free read) from
+        // several threads; every handed-out symbol must resolve to the
+        // string it was interned from.
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    for i in 0..2_000 {
+                        let s = format!("cc-{t}-{i}");
+                        let sym = Symbol::intern(&s);
+                        assert_eq!(sym.as_str(), s);
+                        // Re-resolve an older symbol from this thread too.
+                        if i > 0 {
+                            let prev = Symbol::intern(&format!("cc-{t}-{}", i - 1));
+                            assert_eq!(prev.as_str(), format!("cc-{t}-{}", i - 1));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn crosses_chunk_boundary() {
+        // Intern enough distinct strings to spill into a second chunk and
+        // make sure resolution still round-trips.
+        let syms: Vec<(Symbol, String)> = (0..CHUNK + 16)
+            .map(|i| {
+                let s = format!("chunk-spill-{i}");
+                (Symbol::intern(&s), s)
+            })
+            .collect();
+        for (sym, s) in &syms {
+            assert_eq!(sym.as_str(), s.as_str());
+        }
     }
 }

@@ -37,9 +37,12 @@ use crate::database::Database;
 use crate::error::EngineError;
 use crate::fxhash::{hash_slice, FxHashMap, PrehashedMap};
 use crate::governor::{Budget, CancelToken, Governor, POLL_MASK};
-use crate::plan::{compile_rule_with_sizes, ArgPat, CompiledRule, Source, Step, View};
+use crate::plan::{
+    compile_rule_with_sizes, ArgPat, CompiledRule, KernelSrc, LinearKernel, Source, Step, View,
+    MAX_KERNEL_PROBES,
+};
 use crate::pool::{Job, WorkerPool};
-use crate::relation::{Relation, RowRange, Tuple};
+use crate::relation::{ProbeHandle, Relation, RowRange, Tuple};
 use crate::stats::{PoolStats, Stats};
 use semrec_datalog::atom::{Atom, Pred};
 use semrec_datalog::program::Program;
@@ -436,6 +439,10 @@ pub struct Evaluator<'db> {
     /// Online estimate of nanoseconds of round work per seed row,
     /// exponentially weighted over completed rounds.
     row_nanos_ewma: f64,
+    /// Route plans with a compiled [`LinearKernel`] to the specialized
+    /// kernel executor (default). Off forces every plan through the
+    /// general step machine — the agreement tests compare both routes.
+    kernels: bool,
 }
 
 impl<'db> Evaluator<'db> {
@@ -471,6 +478,7 @@ impl<'db> Evaluator<'db> {
             incremental: false,
             edb_marks: FxHashMap::default(),
             row_nanos_ewma: INITIAL_ROW_NANOS,
+            kernels: true,
         };
         ev.set_program(program)?;
         Ok(ev)
@@ -624,6 +632,15 @@ impl<'db> Evaluator<'db> {
     /// computed IDB — see `tests/parallel_agreement.rs`.
     pub fn with_shards(mut self, k: usize) -> Self {
         self.shards = Some(k.max(1).next_power_of_two());
+        self
+    }
+
+    /// Enables or disables the specialized join kernels (default: on).
+    /// With kernels off, every plan runs on the general step machine;
+    /// the computed IDB is identical either way (see
+    /// `tests/kernel_agreement.rs`).
+    pub fn with_kernels(mut self, enabled: bool) -> Self {
+        self.kernels = enabled;
         self
     }
 
@@ -1349,8 +1366,36 @@ impl<'db> Evaluator<'db> {
     /// must be discarded).
     fn execute_task(&self, task: Task<'_>, stats: &mut Stats, out: &mut ShardedDerivedBuf) -> bool {
         stats.rule_firings += 1;
-        let mut slots = vec![Value::Int(0); task.plan.nslots];
-        run_steps(self, task.plan, task.part, 0, &mut slots, stats, out)
+        TASK_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            let ok = match &task.plan.kernel {
+                Some(k) if self.kernels => {
+                    stats.kernel_firings += 1;
+                    run_kernel(self, task.plan, k, task.part, scratch, stats, out)
+                }
+                _ => {
+                    stats.interp_firings += 1;
+                    run_machine(self, task.plan, task.part, scratch, stats, out)
+                }
+            };
+            stats.scratch_hw_bytes = stats.scratch_hw_bytes.max(scratch.resident_bytes());
+            ok
+        })
+    }
+
+    /// A current [`ProbeHandle`] on `cols` of `rel`, building the index
+    /// first if needed. During parallel phases [`prewarm_indexes`]
+    /// (crate::eval::Evaluator::prewarm_indexes) has already built every
+    /// index, so this is one uncontended read-lock acquisition.
+    fn handle_for(&self, rel: &Relation, cols: &[usize]) -> ProbeHandle {
+        match rel.probe_handle(cols) {
+            Some(h) => h,
+            None => {
+                rel.ensure_index(cols);
+                rel.probe_handle(cols)
+                    .expect("index is current immediately after ensure_index")
+            }
+        }
     }
 }
 
@@ -1391,143 +1436,486 @@ fn read(slots: &[Value], s: Source) -> Value {
     }
 }
 
-/// Executes plan steps from `i` on. Returns `false` when a cooperative
-/// governance check tripped mid-scan; callers unwind immediately and the
-/// task's partial output is discarded at the round boundary.
-fn run_steps(
+/// Reusable per-worker scratch for task execution: the slot frame, the
+/// scan-cursor stack, the probe-key arena and the negation key. Held in
+/// a thread-local so the control thread and every pool worker reuse one
+/// allocation set across all tasks and rounds — steady-state execution
+/// does zero heap allocation per derived row. [`Stats::scratch_hw_bytes`]
+/// reports the high-water resident size as the observable witness:
+/// it plateaus after warm-up no matter how many rows derive.
+#[derive(Default)]
+struct TaskScratch {
+    /// Variable slots of the plan being executed.
+    slots: Vec<Value>,
+    /// One frame per active `Scan` step.
+    frames: Vec<Frame>,
+    /// Flat arena of probe keys. Frames address it by offset (not by
+    /// pointer), so growth never invalidates outer frames' keys.
+    key_buf: Vec<Value>,
+    /// Staging buffer for `Step::Neg` membership keys.
+    neg_key: Vec<Value>,
+}
+
+impl TaskScratch {
+    /// Resident heap footprint of the scratch buffers, in bytes.
+    fn resident_bytes(&self) -> u64 {
+        (self.slots.capacity() * std::mem::size_of::<Value>()
+            + self.frames.capacity() * std::mem::size_of::<Frame>()
+            + self.key_buf.capacity() * std::mem::size_of::<Value>()
+            + self.neg_key.capacity() * std::mem::size_of::<Value>()) as u64
+    }
+}
+
+thread_local! {
+    static TASK_SCRATCH: std::cell::RefCell<TaskScratch> =
+        std::cell::RefCell::new(TaskScratch::default());
+}
+
+/// Iteration state of one active `Scan` step in the step machine.
+struct Frame {
+    /// Index of the scan step in the plan.
+    step: u32,
+    /// Offset of this frame's probe key in [`TaskScratch::key_buf`]
+    /// (keyless scans own zero key slots).
+    key_start: u32,
+    cursor: Cursor,
+}
+
+/// Where a frame's next candidate row comes from.
+enum Cursor {
+    /// Full scan over a row range.
+    Range { next: u32, end: u32 },
+    /// Borrowed index bucket, stored as raw slice parts. Sound because
+    /// relations and their indexes are frozen while a round's tasks run
+    /// (inserts commit only between rounds); see [`ProbeHandle`].
+    Bucket { ptr: *const u32, len: u32, pos: u32 },
+}
+
+/// A scan step's relation, visible row range and (for keyed scans)
+/// probe handle, resolved once per task instead of once per binding.
+struct ScanRel<'a> {
+    rel: &'a Relation,
+    range: RowRange,
+    handle: Option<ProbeHandle>,
+}
+
+/// Resolves every `Scan` step of `plan` once: relation, visible range
+/// (with the task's data-parallel partition applied), and a probe handle
+/// for keyed scans. Returns `None` when some scan's relation is missing
+/// or its range is empty — the conjunction can produce no rows and the
+/// whole task is a no-op.
+fn resolve_scans<'a>(
+    ev: &'a Evaluator<'_>,
+    steps: &[Step],
+    part: Option<(usize, RowRange)>,
+) -> Option<Vec<Option<ScanRel<'a>>>> {
+    let mut srels: Vec<Option<ScanRel<'a>>> = Vec::with_capacity(steps.len());
+    for (i, step) in steps.iter().enumerate() {
+        let Step::Scan(s) = step else {
+            srels.push(None);
+            continue;
+        };
+        let (rel, mut range) = ev.resolve(s.pred, s.view)?;
+        if let Some((pi, pr)) = part {
+            if pi == i {
+                range = range.intersect(pr);
+            }
+        }
+        if range.is_empty() {
+            return None;
+        }
+        let handle = (!s.key_cols.is_empty()).then(|| ev.handle_for(rel, &s.key_cols));
+        srels.push(Some(ScanRel { rel, range, handle }));
+    }
+    Some(srels)
+}
+
+/// The iterative step machine: executes a compiled plan with an explicit
+/// cursor stack (one [`Frame`] per active `Scan` step) instead of the
+/// former recursive dispatcher. Keyed scans iterate borrowed index
+/// buckets with lazy range/tombstone/key filtering; all mutable state
+/// lives in the caller's reusable [`TaskScratch`]. Returns `false` when
+/// a cooperative governance check tripped mid-scan; the task's partial
+/// output is discarded at the round boundary.
+fn run_machine(
     ev: &Evaluator<'_>,
     plan: &CompiledRule,
     part: Option<(usize, RowRange)>,
-    i: usize,
-    slots: &mut [Value],
+    scratch: &mut TaskScratch,
     stats: &mut Stats,
     out: &mut ShardedDerivedBuf,
 ) -> bool {
-    let Some(step) = plan.steps.get(i) else {
-        stats.derived += 1;
-        out.push(plan.head_pred, plan.head.iter().map(|&s| read(slots, s)));
+    let steps = &plan.steps;
+    let Some(srels) = resolve_scans(ev, steps, part) else {
         return true;
     };
-    match step {
-        Step::Compute(cs) => {
-            stats.cmp_evals += 1;
-            let vals = cs.args.map(|a| read(slots, a));
-            match cs.bind {
-                None => {
-                    if cs.op.check(vals[0], vals[1], vals[2]) {
-                        return run_steps(ev, plan, part, i + 1, slots, stats, out);
+    let TaskScratch {
+        slots,
+        frames,
+        key_buf,
+        neg_key,
+    } = scratch;
+    slots.clear();
+    slots.resize(plan.nslots, Value::Int(0));
+    frames.clear();
+    key_buf.clear();
+
+    let mut i = 0usize; // next step to execute
+    'machine: loop {
+        // Forward: run straight-line steps until a scan opens a frame,
+        // a step fails, or the plan ends (emit one head tuple). Every
+        // exit falls through to the backtrack loop below.
+        loop {
+            let Some(step) = steps.get(i) else {
+                stats.derived += 1;
+                out.push(plan.head_pred, plan.head.iter().map(|&s| read(slots, s)));
+                break;
+            };
+            match step {
+                Step::Compute(cs) => {
+                    stats.cmp_evals += 1;
+                    let vals = cs.args.map(|a| read(slots, a));
+                    let ok = match cs.bind {
+                        None => cs.op.check(vals[0], vals[1], vals[2]),
+                        Some((pos, slot)) => {
+                            let mut opt = vals.map(Some);
+                            opt[pos] = None;
+                            match cs.op.solve(opt) {
+                                Some(v) => {
+                                    slots[slot] = v;
+                                    true
+                                }
+                                None => false,
+                            }
+                        }
+                    };
+                    if !ok {
+                        break;
                     }
+                    i += 1;
                 }
-                Some((pos, slot)) => {
-                    let mut opt = vals.map(Some);
-                    opt[pos] = None;
-                    if let Some(v) = cs.op.solve(opt) {
-                        slots[slot] = v;
-                        return run_steps(ev, plan, part, i + 1, slots, stats, out);
+                Step::Neg(n) => {
+                    stats.probes += 1;
+                    let exists = match ev.resolve(n.pred, n.view) {
+                        None => false,
+                        Some((rel, range)) => {
+                            !range.is_empty() && {
+                                neg_key.clear();
+                                neg_key.extend(n.key.iter().map(|&v| read(slots, v)));
+                                rel.contains_in_range(neg_key, hash_slice(neg_key), range)
+                            }
+                        }
+                    };
+                    if exists {
+                        break;
                     }
+                    i += 1;
                 }
-            }
-            true
-        }
-        Step::Neg(n) => {
-            stats.probes += 1;
-            let exists = match ev.resolve(n.pred, n.view) {
-                None => false,
-                Some((rel, range)) => {
-                    if range.is_empty() {
-                        false
+                Step::Filter(f) => {
+                    stats.cmp_evals += 1;
+                    if !f.op.eval(&read(slots, f.lhs), &read(slots, f.rhs)) {
+                        break;
+                    }
+                    i += 1;
+                }
+                Step::Assign(a) => {
+                    slots[a.slot] = read(slots, a.from);
+                    i += 1;
+                }
+                Step::Scan(s) => {
+                    let sr = srels[i].as_ref().expect("scan resolved at task start");
+                    let key_start = key_buf.len() as u32;
+                    let cursor = if s.key_cols.is_empty() {
+                        Cursor::Range {
+                            next: sr.range.start,
+                            end: sr.range.end.min(sr.rel.physical_rows() as u32),
+                        }
                     } else {
-                        let key: Vec<Value> = n.key.iter().map(|&v| read(slots, v)).collect();
-                        // Membership within the view: for Full/Total views
-                        // covering the whole visible prefix, a plain
-                        // contains + range check via probe.
-                        !rel.probe_all_columns(&key, range).is_empty()
-                    }
+                        stats.probes += 1;
+                        key_buf.extend(s.key_vals.iter().map(|&v| read(slots, v)));
+                        let key = &key_buf[key_start as usize..];
+                        let handle = sr.handle.as_ref().expect("keyed scan has a handle");
+                        debug_assert_eq!(handle.generation(), sr.rel.physical_rows());
+                        // SAFETY: relations and indexes are frozen while
+                        // a round's tasks run (see `ProbeHandle` docs).
+                        let bucket = unsafe { handle.bucket(hash_slice(key)) };
+                        Cursor::Bucket {
+                            ptr: bucket.as_ptr(),
+                            len: bucket.len() as u32,
+                            pos: 0,
+                        }
+                    };
+                    frames.push(Frame {
+                        step: i as u32,
+                        key_start,
+                        cursor,
+                    });
+                    break;
                 }
-            };
-            if !exists {
-                return run_steps(ev, plan, part, i + 1, slots, stats, out);
             }
-            true
         }
-        Step::Filter(f) => {
-            stats.cmp_evals += 1;
-            if f.op.eval(&read(slots, f.lhs), &read(slots, f.rhs)) {
-                return run_steps(ev, plan, part, i + 1, slots, stats, out);
-            }
-            true
-        }
-        Step::Assign(a) => {
-            slots[a.slot] = read(slots, a.from);
-            run_steps(ev, plan, part, i + 1, slots, stats, out)
-        }
-        Step::Scan(s) => {
-            let Some((rel, mut range)) = ev.resolve(s.pred, s.view) else {
+        // Backtrack: advance the innermost frame to its next matching
+        // row and resume forward from the step after it; pop exhausted
+        // frames; the task is done when the stack empties.
+        loop {
+            let Some(f) = frames.last_mut() else {
                 return true;
             };
-            // Data-parallel partition: this task only covers a chunk of
-            // the seed scan's rows.
-            if let Some((pi, pr)) = part {
-                if pi == i {
-                    range = range.intersect(pr);
-                }
-            }
-            if range.is_empty() {
-                return true;
-            }
-            let arity = s.args.len();
-            let try_row = |row: &[Value],
-                           slots: &mut [Value],
-                           stats: &mut Stats,
-                           out: &mut ShardedDerivedBuf|
-             -> bool {
-                stats.rows_scanned += 1;
-                // Cooperative governance poll: every POLL_MASK+1 rows.
-                if stats.rows_scanned & POLL_MASK == 0 && ev.should_abort() {
-                    return false;
-                }
-                if row.len() != arity {
-                    return true;
-                }
-                for (pat, &v) in s.args.iter().zip(row) {
-                    match *pat {
-                        ArgPat::Const(c) => {
-                            if c != v {
-                                return true;
-                            }
-                        }
-                        ArgPat::Bound(sl) => {
-                            if slots[sl] != v {
-                                return true;
-                            }
-                        }
-                        ArgPat::Bind(sl) => slots[sl] = v,
-                    }
-                }
-                run_steps(ev, plan, part, i + 1, slots, stats, out)
+            let Step::Scan(s) = &steps[f.step as usize] else {
+                unreachable!("frames only stack on scan steps")
             };
-            if s.key_cols.is_empty() {
-                for (_, row) in rel.iter_range(range) {
-                    if !try_row(row, slots, stats, out) {
-                        return false;
+            let sr = srels[f.step as usize]
+                .as_ref()
+                .expect("scan resolved at task start");
+            let next = loop {
+                match &mut f.cursor {
+                    Cursor::Range { next, end } => {
+                        if *next >= *end {
+                            break None;
+                        }
+                        let r = *next;
+                        *next += 1;
+                        if sr.rel.is_dead(r) {
+                            continue;
+                        }
+                        break Some(r);
+                    }
+                    Cursor::Bucket { ptr, len, pos } => {
+                        if *pos >= *len {
+                            break None;
+                        }
+                        // SAFETY: bucket storage is frozen for the round.
+                        let r = unsafe { *ptr.add(*pos as usize) };
+                        *pos += 1;
+                        let ks = f.key_start as usize;
+                        let key = &key_buf[ks..ks + s.key_cols.len()];
+                        if !sr.rel.probe_hit(r, &s.key_cols, key, sr.range) {
+                            continue;
+                        }
+                        stats.probe_hits += 1;
+                        break Some(r);
                     }
                 }
-            } else {
-                stats.probes += 1;
-                let key: Vec<Value> = s.key_vals.iter().map(|&v| read(slots, v)).collect();
-                for r in rel.probe(&s.key_cols, &key, range) {
-                    // Rows are slices of the relation's flat store; copy
-                    // the (tiny) row to a stack buffer is unnecessary —
-                    // the borrow is read-only and `try_row` only reads.
-                    let row = rel.row(r);
-                    if !try_row(row, slots, stats, out) {
-                        return false;
+            };
+            let Some(r) = next else {
+                key_buf.truncate(f.key_start as usize);
+                frames.pop();
+                continue;
+            };
+            stats.rows_scanned += 1;
+            // Cooperative governance poll: every POLL_MASK+1 rows.
+            if stats.rows_scanned & POLL_MASK == 0 && ev.should_abort() {
+                return false;
+            }
+            let row = sr.rel.row(r);
+            if row.len() != s.args.len() {
+                continue;
+            }
+            let mut ok = true;
+            for (pat, &v) in s.args.iter().zip(row) {
+                match *pat {
+                    ArgPat::Const(c) => {
+                        if c != v {
+                            ok = false;
+                            break;
+                        }
                     }
+                    ArgPat::Bound(sl) => {
+                        if slots[sl] != v {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    ArgPat::Bind(sl) => slots[sl] = v,
                 }
             }
-            true
+            if ok {
+                i = f.step as usize + 1;
+                continue 'machine;
+            }
         }
     }
+}
+
+/// Executes a [`LinearKernel`]: a seed scan driving a fixed-depth chain
+/// of borrowed-bucket probes with direct head projection — no step
+/// dispatch, no slot traffic, no per-row heap allocation. Per-depth keys
+/// live at fixed offsets in the scratch key arena; cursors and matched
+/// row ids are stack arrays. Work-counter semantics match the step
+/// machine (same probes/rows_scanned/probe_hits/derived counts and the
+/// same governance poll cadence) except at existential probe depths,
+/// where the kernel stops at the first match instead of enumerating
+/// duplicate-producing bucket rows — counters then reflect the smaller
+/// amount of work actually done.
+fn run_kernel(
+    ev: &Evaluator<'_>,
+    plan: &CompiledRule,
+    k: &LinearKernel,
+    part: Option<(usize, RowRange)>,
+    scratch: &mut TaskScratch,
+    stats: &mut Stats,
+    out: &mut ShardedDerivedBuf,
+) -> bool {
+    let Some((seed_rel, mut seed_range)) = ev.resolve(k.seed_pred, k.seed_view) else {
+        return true;
+    };
+    if let Some((pi, pr)) = part {
+        // Kernel plans are all-scan, so the partitioned seed is step 0.
+        debug_assert_eq!(pi, 0, "kernel plans seed at step 0");
+        if pi == 0 {
+            seed_range = seed_range.intersect(pr);
+        }
+    }
+    seed_range.end = seed_range.end.min(seed_rel.physical_rows() as u32);
+    if seed_range.is_empty() {
+        return true;
+    }
+    let np = k.probes.len();
+    debug_assert!(np <= MAX_KERNEL_PROBES);
+    let mut prels: [Option<(&Relation, RowRange, ProbeHandle)>; MAX_KERNEL_PROBES] =
+        [None; MAX_KERNEL_PROBES];
+    for (d, p) in k.probes.iter().enumerate() {
+        let Some((rel, range)) = ev.resolve(p.pred, p.view) else {
+            return true;
+        };
+        if range.is_empty() {
+            return true;
+        }
+        let handle = ev.handle_for(rel, &p.key_cols);
+        debug_assert_eq!(handle.generation(), rel.physical_rows());
+        prels[d] = Some((rel, range, handle));
+    }
+    // Fixed per-depth key offsets into the reused arena.
+    let mut key_off = [0usize; MAX_KERNEL_PROBES + 1];
+    for (d, p) in k.probes.iter().enumerate() {
+        key_off[d + 1] = key_off[d] + p.key.len();
+    }
+    let key_buf = &mut scratch.key_buf;
+    key_buf.clear();
+    key_buf.resize(key_off[np], Value::Int(0));
+    let mut cursors = [(std::ptr::null::<u32>(), 0u32, 0u32); MAX_KERNEL_PROBES];
+    let mut rowids = [0u32; MAX_KERNEL_PROBES];
+
+    // Resolves a kernel source against the current seed row and the
+    // per-depth matched rows.
+    let src_val =
+        |src: KernelSrc, seed_row: &[Value], rowids: &[u32; MAX_KERNEL_PROBES]| -> Value {
+            match src {
+                KernelSrc::Const(c) => c,
+                KernelSrc::Seed(c) => seed_row[c],
+                KernelSrc::Probe(d, c) => {
+                    let (rel, _, _) = prels[d].as_ref().expect("probe depth resolved");
+                    rel.row(rowids[d])[c]
+                }
+            }
+        };
+
+    'seed: for r in seed_range.start..seed_range.end {
+        if seed_rel.is_dead(r) {
+            continue;
+        }
+        stats.rows_scanned += 1;
+        // Cooperative governance poll: every POLL_MASK+1 rows.
+        if stats.rows_scanned & POLL_MASK == 0 && ev.should_abort() {
+            return false;
+        }
+        let seed_row = seed_rel.row(r);
+        if seed_row.len() != k.seed_arity {
+            continue;
+        }
+        for &(c, src) in &k.seed_checks {
+            if seed_row[c] != src_val(src, seed_row, &rowids) {
+                continue 'seed;
+            }
+        }
+        if np == 0 {
+            stats.derived += 1;
+            out.push(
+                plan.head_pred,
+                k.head.iter().map(|&s| src_val(s, seed_row, &rowids)),
+            );
+            continue;
+        }
+        let mut d = 0usize;
+        let mut entering = true;
+        loop {
+            let p = &k.probes[d];
+            let (rel, range, handle) = prels[d].as_ref().expect("probe depth resolved");
+            if entering {
+                stats.probes += 1;
+                let (ks, ke) = (key_off[d], key_off[d + 1]);
+                for (slot, &src) in key_buf[ks..ke].iter_mut().zip(&p.key) {
+                    *slot = src_val(src, seed_row, &rowids);
+                }
+                // SAFETY: relations and indexes are frozen while a
+                // round's tasks run (see `ProbeHandle` docs).
+                let bucket = unsafe { handle.bucket(hash_slice(&key_buf[ks..ke])) };
+                cursors[d] = (bucket.as_ptr(), bucket.len() as u32, 0);
+                entering = false;
+            }
+            // Advance depth d to its next matching row.
+            let key = &key_buf[key_off[d]..key_off[d + 1]];
+            let mut matched = false;
+            {
+                let (ptr, len, pos) = &mut cursors[d];
+                while *pos < *len {
+                    // SAFETY: bucket storage is frozen for the round.
+                    let rid = unsafe { *ptr.add(*pos as usize) };
+                    *pos += 1;
+                    if !rel.probe_hit(rid, &p.key_cols, key, *range) {
+                        continue;
+                    }
+                    stats.probe_hits += 1;
+                    stats.rows_scanned += 1;
+                    if stats.rows_scanned & POLL_MASK == 0 && ev.should_abort() {
+                        return false;
+                    }
+                    let row = rel.row(rid);
+                    if row.len() != p.arity {
+                        continue;
+                    }
+                    rowids[d] = rid;
+                    let mut ok = true;
+                    for &(c, src) in &p.checks {
+                        if row[c] != src_val(src, seed_row, &rowids) {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if !ok {
+                        continue;
+                    }
+                    matched = true;
+                    break;
+                }
+            }
+            if matched {
+                if p.existential {
+                    // A pure existence test (nothing downstream reads this
+                    // row): further bucket rows can only replay identical
+                    // downstream work, so exhaust the cursor — the next
+                    // advance at this depth backtracks straight away.
+                    cursors[d].2 = cursors[d].1;
+                }
+                if d + 1 < np {
+                    d += 1;
+                    entering = true;
+                    continue;
+                }
+                stats.derived += 1;
+                out.push(
+                    plan.head_pred,
+                    k.head.iter().map(|&s| src_val(s, seed_row, &rowids)),
+                );
+                // Stay at the deepest depth and advance for more matches.
+            } else if d == 0 {
+                continue 'seed;
+            } else {
+                d -= 1;
+            }
+        }
+    }
+    true
 }
 
 /// Computes the stratum of each IDB predicate: a rule head is at least its

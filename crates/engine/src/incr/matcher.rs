@@ -62,11 +62,30 @@ pub(crate) fn unify_row(atom: &Atom, row: &[Value], theta: &mut Subst) -> bool {
 pub(crate) struct Poll<'a> {
     gov: Option<&'a Governor>,
     rows: u64,
+    /// Pooled probe-hit buffers, one per active recursion depth: the
+    /// matcher probes with [`Relation::probe_into`] instead of the
+    /// allocating [`Relation::probe`], so steady-state maintenance
+    /// passes reuse these buffers instead of allocating per probe.
+    bufs: Vec<Vec<u32>>,
 }
 
 impl<'a> Poll<'a> {
     pub fn new(gov: Option<&'a Governor>) -> Poll<'a> {
-        Poll { gov, rows: 0 }
+        Poll {
+            gov,
+            rows: 0,
+            bufs: Vec::new(),
+        }
+    }
+
+    /// A cleared hit buffer from the pool (or a fresh one).
+    fn take_buf(&mut self) -> Vec<u32> {
+        self.bufs.pop().unwrap_or_default()
+    }
+
+    /// Returns a hit buffer to the pool for reuse.
+    fn put_buf(&mut self, buf: Vec<u32>) {
+        self.bufs.push(buf);
     }
 
     #[inline]
@@ -151,15 +170,27 @@ fn match_atoms(
             }
         }
     } else {
-        for r in rel.probe(&cols, &key, rel.all_rows()) {
-            poll.tick()?;
+        let mut hits = poll.take_buf();
+        rel.probe_into(&cols, &key, rel.all_rows(), &mut hits);
+        let mut res = Ok(true);
+        for &r in &hits {
+            if let Err(e) = poll.tick() {
+                res = Err(e);
+                break;
+            }
             let mut snap = theta.clone();
-            if unify_row(atom, rel.row(r), &mut snap)
-                && !match_atoms(state, atoms, i + 1, cmps, &mut snap, poll, f)?
-            {
-                return Ok(false);
+            if unify_row(atom, rel.row(r), &mut snap) {
+                match match_atoms(state, atoms, i + 1, cmps, &mut snap, poll, f) {
+                    Ok(true) => {}
+                    stop_or_err => {
+                        res = stop_or_err;
+                        break;
+                    }
+                }
             }
         }
+        poll.put_buf(hits);
+        return res;
     }
     Ok(true)
 }

@@ -129,6 +129,77 @@ pub enum Step {
     Assign(AssignStep),
 }
 
+/// Where a kernel value comes from, resolved at plan-compile time so the
+/// kernel's inner loop never routes through variable slots: a constant, a
+/// column of the current seed row, or a column of the current row at an
+/// earlier probe depth.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum KernelSrc {
+    /// The constant.
+    Const(Value),
+    /// Column of the seed row.
+    Seed(usize),
+    /// `(probe depth, column)` of a probe row already matched.
+    Probe(usize, usize),
+}
+
+/// One indexed probe in a [`LinearKernel`] chain.
+#[derive(Clone, Debug)]
+pub struct KernelProbe {
+    /// The probed predicate.
+    pub pred: Pred,
+    /// Which view to read.
+    pub view: View,
+    /// Expected row width (the atom's arity); rows of any other width
+    /// never match.
+    pub arity: usize,
+    /// Index key columns (same as the originating scan step's).
+    pub key_cols: Vec<usize>,
+    /// Key value sources, parallel to `key_cols`; all refer to the seed
+    /// row, earlier probe depths, or constants.
+    pub key: Vec<KernelSrc>,
+    /// Residual equality checks on non-key columns (repeated variables
+    /// first bound within this same atom).
+    pub checks: Vec<(usize, KernelSrc)>,
+    /// `true` when no later probe key, later check, or head term reads a
+    /// column of this probe's matched row: the probe is a pure existence
+    /// test (a semijoin), and the kernel stops at its first match instead
+    /// of enumerating every duplicate-producing bucket row. This is the
+    /// witness-guard shape the paper's isolating rules introduce —
+    /// `witness(Z, W)` with `W` otherwise unused.
+    pub existential: bool,
+}
+
+/// A compile-time specialization of the dominant plan shape the paper's
+/// isolating rules produce: a key-less seed scan followed by a short
+/// chain of indexed probes, with the head projected straight from row
+/// columns and constants. The canonical instance is the linear recursive
+/// rule `T(x,z) :- T(x,y), E(y,z)` — delta-seed scan of `T`, one probe
+/// of `E`, direct projection — but a chain of up to
+/// [`MAX_KERNEL_PROBES`] probes (e.g. a residue witness join) also
+/// qualifies. Plans with negation, builtins, filters, assignments, or a
+/// keyed seed fall back to the general step machine.
+#[derive(Clone, Debug)]
+pub struct LinearKernel {
+    /// The seed predicate.
+    pub seed_pred: Pred,
+    /// The seed view (Delta for semi-naive variants).
+    pub seed_view: View,
+    /// Expected seed row width.
+    pub seed_arity: usize,
+    /// Constant / repeated-variable checks on the seed row.
+    pub seed_checks: Vec<(usize, KernelSrc)>,
+    /// The probe chain, outermost first.
+    pub probes: Vec<KernelProbe>,
+    /// Head projection.
+    pub head: Vec<KernelSrc>,
+}
+
+/// Upper bound on a kernel's probe-chain length; the kernel executor
+/// keeps its cursors in fixed-size arrays of this length. Longer chains
+/// fall back to the step machine.
+pub const MAX_KERNEL_PROBES: usize = 4;
+
 /// A fully compiled rule.
 #[derive(Clone, Debug)]
 pub struct CompiledRule {
@@ -142,6 +213,103 @@ pub struct CompiledRule {
     pub nslots: usize,
     /// Variable name of each slot (diagnostics).
     pub slot_vars: Vec<Symbol>,
+    /// Specialized execution for the linear seed-plus-probe-chain shape,
+    /// derived from `steps` at compile time; `None` means the general
+    /// step machine runs this plan.
+    pub kernel: Option<LinearKernel>,
+}
+
+/// Derives a [`LinearKernel`] from a compiled step sequence, or `None`
+/// when the shape doesn't qualify. Selection rules: every step is a
+/// `Scan`; the first scan is key-less (it seeds the iteration and is the
+/// step data-parallel partitions split); every later scan has a
+/// non-empty index key; the chain has at most [`MAX_KERNEL_PROBES`]
+/// probes; and every head term resolves to a constant or a row column.
+fn derive_kernel(steps: &[Step], head: &[Source], nslots: usize) -> Option<LinearKernel> {
+    let mut scans = Vec::with_capacity(steps.len());
+    for step in steps {
+        match step {
+            Step::Scan(s) => scans.push(s),
+            _ => return None,
+        }
+    }
+    let (&seed, probes_in) = scans.split_first()?;
+    if !seed.key_cols.is_empty() || probes_in.len() > MAX_KERNEL_PROBES {
+        return None;
+    }
+    // Track where each slot was first bound, in step order — the same
+    // order the step machine binds them.
+    let mut bindings: Vec<Option<KernelSrc>> = vec![None; nslots];
+    let mut seed_checks = Vec::new();
+    for (col, pat) in seed.args.iter().enumerate() {
+        match *pat {
+            ArgPat::Const(c) => seed_checks.push((col, KernelSrc::Const(c))),
+            ArgPat::Bind(sl) => bindings[sl] = Some(KernelSrc::Seed(col)),
+            // A repeated variable within the seed atom: equality with the
+            // column that bound it.
+            ArgPat::Bound(sl) => seed_checks.push((col, bindings[sl]?)),
+        }
+    }
+    let mut probes = Vec::with_capacity(probes_in.len());
+    for (d, s) in probes_in.iter().enumerate() {
+        if s.key_cols.is_empty() {
+            return None;
+        }
+        let key = s
+            .key_vals
+            .iter()
+            .map(|&v| match v {
+                Source::Const(c) => Some(KernelSrc::Const(c)),
+                Source::Slot(sl) => bindings[sl],
+            })
+            .collect::<Option<Vec<KernelSrc>>>()?;
+        let mut checks = Vec::new();
+        for (col, pat) in s.args.iter().enumerate() {
+            if s.key_cols.contains(&col) {
+                continue; // enforced by the lazy key comparison
+            }
+            match *pat {
+                ArgPat::Const(c) => checks.push((col, KernelSrc::Const(c))),
+                ArgPat::Bind(sl) => bindings[sl] = Some(KernelSrc::Probe(d, col)),
+                ArgPat::Bound(sl) => checks.push((col, bindings[sl]?)),
+            }
+        }
+        probes.push(KernelProbe {
+            pred: s.pred,
+            view: s.view,
+            arity: s.args.len(),
+            key_cols: s.key_cols.clone(),
+            key,
+            checks,
+            existential: false,
+        });
+    }
+    let head = head
+        .iter()
+        .map(|&h| match h {
+            Source::Const(c) => Some(KernelSrc::Const(c)),
+            Source::Slot(sl) => bindings[sl],
+        })
+        .collect::<Option<Vec<KernelSrc>>>()?;
+    // A probe depth nothing downstream reads is an existence test: once
+    // one bucket row matches, every further match emits the exact same
+    // head tuples, so the executor may short-circuit. `checks` *within*
+    // a depth run while matching that depth and don't pin it.
+    let reads = |src: &KernelSrc, d: usize| matches!(*src, KernelSrc::Probe(dd, _) if dd == d);
+    for d in 0..probes.len() {
+        let in_later = probes[d + 1..].iter().any(|p| {
+            p.key.iter().any(|s| reads(s, d)) || p.checks.iter().any(|(_, s)| reads(s, d))
+        });
+        probes[d].existential = !in_later && !head.iter().any(|s| reads(s, d));
+    }
+    Some(LinearKernel {
+        seed_pred: seed.pred,
+        seed_view: seed.view,
+        seed_arity: seed.args.len(),
+        seed_checks,
+        probes,
+        head,
+    })
 }
 
 struct Compiler<'a> {
@@ -462,12 +630,14 @@ pub fn compile_rule_with_sizes(
         head.push(s);
     }
 
+    let kernel = derive_kernel(&c.steps, &head, c.slot_vars.len());
     Ok(CompiledRule {
         head_pred: rule.head.pred,
         head,
         nslots: c.slot_vars.len(),
         slot_vars: c.slot_vars,
         steps: c.steps,
+        kernel,
     })
 }
 
@@ -554,6 +724,72 @@ mod tests {
     fn ground_head_constant_projection() {
         let c = compile("p(X, 3) :- e(X).");
         assert_eq!(c.head[1], Source::Const(Value::Int(3)));
+    }
+
+    #[test]
+    fn linear_shape_gets_a_kernel() {
+        // The canonical linear recursive shape: key-less seed, one
+        // indexed probe, direct head projection.
+        let c = compile("t(X,Z) :- t0(X,Y), e(Y,Z).");
+        let k = c.kernel.as_ref().expect("linear shape should kernelize");
+        assert_eq!(k.seed_pred, Pred::new("t0"));
+        assert_eq!(k.probes.len(), 1);
+        assert_eq!(k.probes[0].pred, Pred::new("e"));
+        assert_eq!(k.probes[0].key_cols, vec![0]);
+        assert_eq!(k.probes[0].key, vec![KernelSrc::Seed(1)]);
+        assert_eq!(k.head, vec![KernelSrc::Seed(0), KernelSrc::Probe(0, 1)]);
+    }
+
+    #[test]
+    fn probe_chain_gets_a_kernel() {
+        // Seed plus two chained probes (the fanout witness shape).
+        let c = compile("r(X,Y) :- d(Z,Y), e(X,Z), w(Z,W).");
+        let k = c.kernel.as_ref().expect("chain should kernelize");
+        assert_eq!(k.probes.len(), 2);
+        for p in &k.probes {
+            assert!(!p.key_cols.is_empty());
+        }
+        // `e` binds `X`, which the head reads; `w` binds only the unused
+        // `W`, so it is a pure existence test.
+        let e = k.probes.iter().position(|p| p.pred == Pred::new("e"));
+        let w = k.probes.iter().position(|p| p.pred == Pred::new("w"));
+        assert!(!k.probes[e.unwrap()].existential);
+        assert!(k.probes[w.unwrap()].existential);
+    }
+
+    #[test]
+    fn probe_read_by_later_key_is_not_existential() {
+        // `f` binds nothing the head reads, but its `Y` keys the later
+        // `g` probe — short-circuiting `f` would drop bindings.
+        let c = compile("p(X,Z) :- s(X), f(X,Y), g(Y,Z).");
+        let k = c.kernel.as_ref().expect("shape should kernelize");
+        assert_eq!(k.probes.len(), 2);
+        assert!(!k.probes[0].existential);
+        assert!(!k.probes[1].existential);
+    }
+
+    #[test]
+    fn kernel_captures_repeats_within_a_probe() {
+        // `Y` is first bound at probe column 1 and repeated at column 2:
+        // the kernel must carry a residual equality check, not a key col.
+        let c = compile("p(X,Y) :- s(X), e(X, Y, Y).");
+        let k = c.kernel.as_ref().expect("shape should kernelize");
+        assert_eq!(k.probes[0].key_cols, vec![0]);
+        assert_eq!(k.probes[0].checks, vec![(2, KernelSrc::Probe(0, 1))]);
+    }
+
+    #[test]
+    fn non_linear_shapes_have_no_kernel() {
+        // Filters, builtins, negation, and keyed seeds all disqualify.
+        assert!(compile("p(X,Y) :- e(X,Z), Z > 3, f(Z,Y).").kernel.is_none());
+        assert!(compile("p(X) :- e(X,Y), plus(X, Y, _Z).").kernel.is_none());
+        let r = parse_rule("p(X) :- e(X,Y), !blocked(X,Y).").unwrap();
+        let c = compile_rule(&r, &BTreeMap::new(), None).unwrap();
+        assert!(c.kernel.is_none());
+        // Constant in the seed atom makes the seed scan keyed.
+        assert!(compile("p(X) :- e(3, X).").kernel.is_none());
+        // A cross product (key-less second scan) also falls back.
+        assert!(compile("p(X,Y) :- e(X), f(Y).").kernel.is_none());
     }
 
     #[test]
@@ -657,6 +893,15 @@ impl std::fmt::Display for CompiledRule {
                 Step::Filter(c) => writeln!(f, "  filter {} {} {}", c.lhs, c.op, c.rhs)?,
                 Step::Assign(a) => writeln!(f, "  assign ${} := {}", a.slot, a.from)?,
             }
+        }
+        if let Some(k) = &self.kernel {
+            writeln!(
+                f,
+                "  kernel: linear (seed {} + {} probe{})",
+                k.seed_pred,
+                k.probes.len(),
+                if k.probes.len() == 1 { "" } else { "s" }
+            )?;
         }
         Ok(())
     }

@@ -80,12 +80,59 @@ impl RowRange {
 
 /// A hash index on a column subset: bucket rows by the FxHash of their key
 /// columns; collisions are resolved by comparing the actual columns.
+///
+/// Stored boxed in the index cache so that a [`ProbeHandle`] can point at
+/// it directly: cache-map rehashes move the box pointer, never the index.
 #[derive(Debug)]
 struct ColumnIndex {
     cols: Vec<usize>,
     map: PrehashedMap<Vec<u32>>,
     /// Rows `[0, built)` have been added to `map`.
     built: usize,
+}
+
+/// A generation-checked raw handle to a current column index, acquired
+/// once per task (one read-lock acquisition) and then probed lock-free:
+/// [`ProbeHandle::bucket`] returns the borrowed row-id bucket for a key
+/// hash, and the caller filters range/tombstone/key-collision lazily at
+/// iteration time ([`Relation::probe_hit`]). This is the evaluator's
+/// zero-allocation probe path: no per-probe lock, no per-probe `Vec`.
+///
+/// # Validity
+/// The handle is valid only while the relation and the index are not
+/// mutated: no row inserts/deletes/compaction, and no index extension.
+/// The evaluator guarantees this per round — relations are immutable
+/// while tasks run, new rows commit only between rounds, and
+/// `ensure_index` on an already-current index does not touch bucket
+/// storage. [`ProbeHandle::generation`] records the row count at
+/// acquisition so callers can `debug_assert` currency before use.
+#[derive(Clone, Copy, Debug)]
+pub struct ProbeHandle {
+    idx: *const ColumnIndex,
+    built: usize,
+}
+
+impl ProbeHandle {
+    /// Physical row count the index covered when the handle was taken.
+    pub fn generation(&self) -> usize {
+        self.built
+    }
+
+    /// The candidate row-id bucket for a key hash (empty slice if none).
+    /// Candidates still need [`Relation::probe_hit`] filtering.
+    ///
+    /// # Safety
+    /// The relation and index must not have been mutated since
+    /// [`Relation::probe_handle`] returned this handle (see type docs).
+    #[inline]
+    pub unsafe fn bucket(&self, key_hash: u64) -> &[u32] {
+        // SAFETY: caller guarantees the index (and the cache map slot
+        // holding its box) outlives and is not mutated during this call.
+        match unsafe { &*self.idx }.map.get(&key_hash) {
+            Some(rows) => rows,
+            None => &[],
+        }
+    }
 }
 
 /// An append-only relation of fixed arity with set semantics over flat
@@ -111,7 +158,7 @@ pub struct Relation {
     dead: Vec<u64>,
     /// Number of set bits in `dead`.
     ndead: usize,
-    indexes: RwLock<FxHashMap<Vec<usize>, ColumnIndex>>,
+    indexes: RwLock<FxHashMap<Vec<usize>, Box<ColumnIndex>>>,
 }
 
 impl Relation {
@@ -381,53 +428,86 @@ impl Relation {
     }
 
     /// Row ids within `range` whose columns `cols` equal `key`, using (and
-    /// if necessary extending) the hash index on `cols`.
+    /// if necessary extending) the hash index on `cols`. Convenience
+    /// wrapper over [`Relation::probe_into`]; the evaluator's hot path
+    /// uses [`Relation::probe_handle`] + [`ProbeHandle::bucket`] instead
+    /// to avoid the per-probe allocation.
     ///
     /// Probing with an empty `cols` is an error — use [`Relation::iter_range`].
     pub fn probe(&self, cols: &[usize], key: &[Value], range: RowRange) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.probe_into(cols, key, range, &mut out);
+        out
+    }
+
+    /// [`Relation::probe`] writing the hits into a caller-owned buffer
+    /// (cleared first), so repeat probes reuse one allocation. On an
+    /// index miss the build-then-probe happens under a single write-lock
+    /// acquisition — no drop-read/take-write/re-take-read dance.
+    pub fn probe_into(&self, cols: &[usize], key: &[Value], range: RowRange, out: &mut Vec<u32>) {
         debug_assert!(!cols.is_empty(), "probe with no bound columns");
         debug_assert_eq!(cols.len(), key.len());
+        out.clear();
         // Fast path: the index exists and is current — shared read lock.
         {
             let indexes = self.indexes.read().expect("index lock poisoned");
             if let Some(idx) = indexes.get(cols) {
                 if idx.built == self.nrows {
-                    return self.index_hits(idx, key, range);
+                    self.index_hits_into(idx, key, range, out);
+                    return;
                 }
             }
         }
-        self.ensure_index(cols);
-        let indexes = self.indexes.read().expect("index lock poisoned");
-        self.index_hits(&indexes[cols], key, range)
+        // Miss: build (or extend) and probe under one write acquisition.
+        let mut indexes = self.indexes.write().expect("index lock poisoned");
+        let idx = Self::entry_index(&mut indexes, cols);
+        self.extend_index(idx);
+        self.index_hits_into(idx, key, range, out);
     }
 
-    fn index_hits(&self, idx: &ColumnIndex, key: &[Value], range: RowRange) -> Vec<u32> {
-        match idx.map.get(&hash_slice(key)) {
-            None => Vec::new(),
-            Some(rows) => rows
-                .iter()
-                .copied()
-                .filter(|&r| {
-                    range.contains(r) && !self.is_dead(r) && {
-                        let row = self.row(r);
-                        idx.cols.iter().zip(key).all(|(&c, k)| row[c] == *k)
-                    }
-                })
-                .collect(),
+    fn index_hits_into(
+        &self,
+        idx: &ColumnIndex,
+        key: &[Value],
+        range: RowRange,
+        out: &mut Vec<u32>,
+    ) {
+        if let Some(rows) = idx.map.get(&hash_slice(key)) {
+            out.extend(
+                rows.iter()
+                    .copied()
+                    .filter(|&r| self.probe_hit(r, &idx.cols, key, range)),
+            );
         }
     }
 
-    /// Builds (or extends) the hash index on `cols` so that subsequent
-    /// probes only take the shared read lock. Called automatically by
-    /// [`Relation::probe`]; call it eagerly before sharing the relation
-    /// across threads.
-    pub fn ensure_index(&self, cols: &[usize]) {
-        let mut indexes = self.indexes.write().expect("index lock poisoned");
-        let idx = indexes.entry(cols.to_vec()).or_insert_with(|| ColumnIndex {
-            cols: cols.to_vec(),
-            map: PrehashedMap::default(),
-            built: 0,
-        });
+    /// The lazy per-candidate filter matching what an eager probe would
+    /// have applied: candidate `r` is a real hit iff it lies in `range`,
+    /// is live, and its `cols` columns equal `key` (hash-collision
+    /// check). Used by [`ProbeHandle`] consumers iterating borrowed
+    /// buckets.
+    #[inline]
+    pub fn probe_hit(&self, r: u32, cols: &[usize], key: &[Value], range: RowRange) -> bool {
+        range.contains(r) && !self.is_dead(r) && {
+            let row = self.row(r);
+            cols.iter().zip(key).all(|(&c, k)| row[c] == *k)
+        }
+    }
+
+    fn entry_index<'a>(
+        indexes: &'a mut FxHashMap<Vec<usize>, Box<ColumnIndex>>,
+        cols: &[usize],
+    ) -> &'a mut ColumnIndex {
+        indexes.entry(cols.to_vec()).or_insert_with(|| {
+            Box::new(ColumnIndex {
+                cols: cols.to_vec(),
+                map: PrehashedMap::default(),
+                built: 0,
+            })
+        })
+    }
+
+    fn extend_index(&self, idx: &mut ColumnIndex) {
         let mut key: Vec<Value> = Vec::with_capacity(idx.cols.len());
         for r in idx.built..self.nrows {
             let row = &self.data[r * self.arity..(r + 1) * self.arity];
@@ -436,6 +516,32 @@ impl Relation {
             idx.map.entry(hash_slice(&key)).or_default().push(r as u32);
         }
         idx.built = self.nrows;
+    }
+
+    /// Builds (or extends) the hash index on `cols` so that subsequent
+    /// probes only take the shared read lock. Called automatically by
+    /// [`Relation::probe_into`]; call it eagerly before sharing the
+    /// relation across threads or taking a [`ProbeHandle`].
+    pub fn ensure_index(&self, cols: &[usize]) {
+        let mut indexes = self.indexes.write().expect("index lock poisoned");
+        let idx = Self::entry_index(&mut indexes, cols);
+        self.extend_index(idx);
+    }
+
+    /// A raw borrowed handle to the current index on `cols`, or `None`
+    /// if the index is missing or stale (call [`Relation::ensure_index`]
+    /// and retry). One shared-lock acquisition; see [`ProbeHandle`] for
+    /// the validity contract.
+    pub fn probe_handle(&self, cols: &[usize]) -> Option<ProbeHandle> {
+        let indexes = self.indexes.read().expect("index lock poisoned");
+        let idx = indexes.get(cols)?;
+        if idx.built != self.nrows {
+            return None;
+        }
+        Some(ProbeHandle {
+            idx: &**idx as *const ColumnIndex,
+            built: idx.built,
+        })
     }
 
     /// Row ids within `range` exactly equal to `key` (all columns bound).
@@ -456,6 +562,26 @@ impl Relation {
                 .copied()
                 .filter(|&r| range.contains(r) && self.row(r) == key)
                 .collect(),
+        }
+    }
+
+    /// Existence test for an exact tuple within a row range, iterating
+    /// the borrowed dedup bucket directly — the allocation-free form of
+    /// [`Relation::probe_all_columns`] used by negation steps. Dedup
+    /// buckets hold only live rows, so no tombstone check is needed.
+    pub fn contains_in_range(&self, key: &[Value], h: u64, range: RowRange) -> bool {
+        if key.len() != self.arity {
+            return false;
+        }
+        debug_assert_eq!(h, hash_slice(key), "stale key hash");
+        if range.start == 0 && range.end as usize >= self.nrows {
+            return self.contains_hashed(key, h);
+        }
+        match self.dedup.get(&h) {
+            None => false,
+            Some(bucket) => bucket
+                .iter()
+                .any(|&r| range.contains(r) && self.row(r) == key),
         }
     }
 
@@ -866,6 +992,72 @@ mod tests {
         assert!(!c.contains(&t(&[1])));
         assert_eq!(r, c);
         c.check_invariant().unwrap();
+    }
+
+    #[test]
+    fn probe_into_reuses_buffer_and_matches_probe() {
+        let mut r = Relation::new(2);
+        r.insert(t(&[1, 2]));
+        r.insert(t(&[1, 3]));
+        r.insert(t(&[2, 3]));
+        let mut buf = Vec::new();
+        // First call hits the miss path (build + probe under one write
+        // lock); the second reuses the warm index and the same buffer.
+        r.probe_into(&[0], &[Value::Int(1)], r.all_rows(), &mut buf);
+        assert_eq!(buf, vec![0, 1]);
+        r.probe_into(&[0], &[Value::Int(2)], r.all_rows(), &mut buf);
+        assert_eq!(buf, vec![2]);
+        assert_eq!(buf, r.probe(&[0], &[Value::Int(2)], r.all_rows()));
+    }
+
+    #[test]
+    fn probe_handle_buckets_filter_lazily() {
+        let mut r = Relation::new(2);
+        r.insert(t(&[1, 2]));
+        r.insert(t(&[1, 3]));
+        r.insert(t(&[2, 3]));
+        assert!(r.probe_handle(&[0]).is_none(), "no index built yet");
+        r.ensure_index(&[0]);
+        let h = r.probe_handle(&[0]).expect("index is current");
+        assert_eq!(h.generation(), 3);
+        let key = [Value::Int(1)];
+        let bucket = unsafe { h.bucket(hash_slice(&key)) };
+        let hits: Vec<u32> = bucket
+            .iter()
+            .copied()
+            .filter(|&row| r.probe_hit(row, &[0], &key, r.all_rows()))
+            .collect();
+        assert_eq!(hits, vec![0, 1]);
+        // Range and tombstone filtering happen at iteration time.
+        let delta = RowRange { start: 1, end: 3 };
+        let hits: Vec<u32> = bucket
+            .iter()
+            .copied()
+            .filter(|&row| r.probe_hit(row, &[0], &key, delta))
+            .collect();
+        assert_eq!(hits, vec![1]);
+        let _ = h;
+        // Appending makes handles unavailable until re-ensured.
+        r.insert(t(&[1, 9]));
+        assert!(r.probe_handle(&[0]).is_none(), "index went stale");
+        r.ensure_index(&[0]);
+        assert!(r.probe_handle(&[0]).is_some());
+    }
+
+    #[test]
+    fn contains_in_range_matches_probe_all_columns() {
+        let mut r = Relation::new(2);
+        r.insert(t(&[1, 2]));
+        r.insert(t(&[3, 4]));
+        r.insert(t(&[5, 6]));
+        let delta = RowRange { start: 1, end: 3 };
+        let h = |t_: &Tuple| crate::fxhash::hash_slice(t_);
+        assert!(r.contains_in_range(&t(&[3, 4]), h(&t(&[3, 4])), delta));
+        assert!(!r.contains_in_range(&t(&[1, 2]), h(&t(&[1, 2])), delta));
+        assert!(r.contains_in_range(&t(&[1, 2]), h(&t(&[1, 2])), r.all_rows()));
+        // Deleted rows never resurface.
+        r.delete(&t(&[3, 4]));
+        assert!(!r.contains_in_range(&t(&[3, 4]), h(&t(&[3, 4])), delta));
     }
 
     #[test]

@@ -25,6 +25,18 @@ pub struct Stats {
     pub derived: u64,
     /// Head tuples that were new.
     pub inserted: u64,
+    /// Rows yielded by index probes after lazy bucket filtering (a
+    /// subset of `rows_scanned`; full scans don't count here).
+    pub probe_hits: u64,
+    /// Plan executions routed to a specialized join kernel.
+    pub kernel_firings: u64,
+    /// Plan executions routed to the general step machine.
+    pub interp_firings: u64,
+    /// High-water mark of reusable per-worker task scratch, in bytes.
+    /// Max-merged (not summed) across workers; steady-state rounds must
+    /// keep this flat — it is the observable witness that the join
+    /// kernels do zero heap allocation per derived row.
+    pub scratch_hw_bytes: u64,
 }
 
 impl AddAssign for Stats {
@@ -36,6 +48,10 @@ impl AddAssign for Stats {
         self.cmp_evals += rhs.cmp_evals;
         self.derived += rhs.derived;
         self.inserted += rhs.inserted;
+        self.probe_hits += rhs.probe_hits;
+        self.kernel_firings += rhs.kernel_firings;
+        self.interp_firings += rhs.interp_firings;
+        self.scratch_hw_bytes = self.scratch_hw_bytes.max(rhs.scratch_hw_bytes);
     }
 }
 
@@ -147,14 +163,19 @@ impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "iters={} firings={} probes={} rows={} cmps={} derived={} inserted={}",
+            "iters={} firings={} probes={} hits={} rows={} cmps={} derived={} \
+             inserted={} kernel={} interp={} scratch_hw={}B",
             self.iterations,
             self.rule_firings,
             self.probes,
+            self.probe_hits,
             self.rows_scanned,
             self.cmp_evals,
             self.derived,
-            self.inserted
+            self.inserted,
+            self.kernel_firings,
+            self.interp_firings,
+            self.scratch_hw_bytes
         )
     }
 }
@@ -178,5 +199,23 @@ mod tests {
         assert_eq!(a.iterations, 3);
         assert_eq!(a.rows_scanned, 10);
         assert_eq!(a.derived, 5);
+    }
+
+    #[test]
+    fn scratch_high_water_merges_by_max() {
+        let mut a = Stats {
+            scratch_hw_bytes: 4096,
+            ..Stats::default()
+        };
+        a += Stats {
+            scratch_hw_bytes: 1024,
+            ..Stats::default()
+        };
+        assert_eq!(a.scratch_hw_bytes, 4096, "hw is a max, not a sum");
+        a += Stats {
+            scratch_hw_bytes: 8192,
+            ..Stats::default()
+        };
+        assert_eq!(a.scratch_hw_bytes, 8192);
     }
 }

@@ -198,7 +198,13 @@ fn fanout_elimination_wins() {
         base.relation("reach").unwrap().sorted_tuples(),
         opt.relation("reach").unwrap().sorted_tuples()
     );
-    assert!(opt.stats.rows_scanned * 2 < base.stats.rows_scanned);
+    // The static elimination removes the witness atom outright, halving
+    // the number of index probes; the engine's existential-probe
+    // short-circuit narrows the rows-scanned gap at runtime (it stops a
+    // witness probe at its first hit) but still pays one probe and one
+    // scanned row per existence check that the rewrite avoids entirely.
+    assert!(opt.stats.probes * 2 < base.stats.probes);
+    assert!(opt.stats.rows_scanned < base.stats.rows_scanned);
 }
 
 /// Example 5.1: intelligent query answering.
