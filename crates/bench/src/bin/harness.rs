@@ -20,14 +20,17 @@
 //! time by more than 10% on any workload with `rows_idb >= 50_000`.
 //! `--assert-throughput <pct>` (requires `--baseline`) exits nonzero if
 //! any workload's single-thread rows/sec falls more than `<pct>` percent
-//! below the baseline's.
+//! below the baseline's. `--assert-kernel-coverage <pct>` exits nonzero
+//! if any kernel-bench workload routes fewer than `<pct>` percent of its
+//! plan executions through the batch kernels.
 
 use semrec_bench::baseline::{check_throughput, diff_table, parse_baseline};
 use semrec_bench::experiments::{run, Scale, ALL};
 use semrec_bench::fixpoint::{
-    check_scaling, governance_table, incremental_table, kernel_table, run_fixpoint_bench_gated,
-    run_governance_bench, run_incremental_bench, run_kernel_bench, run_semantic_bench,
-    semantic_table, to_json_full, to_json_with_incremental, to_json_with_kernels, to_table,
+    check_kernel_coverage, check_scaling, governance_table, incremental_table, kernel_table,
+    run_fixpoint_bench_gated, run_governance_bench, run_incremental_bench, run_kernel_bench,
+    run_semantic_bench, semantic_table, to_json_full, to_json_with_incremental,
+    to_json_with_kernels, to_table,
 };
 use std::path::Path;
 use std::process::ExitCode;
@@ -36,6 +39,7 @@ fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut baseline_path: Option<String> = None;
     let mut assert_throughput: Option<f64> = None;
+    let mut assert_kernel_coverage: Option<f64> = None;
     let mut args: Vec<String> = Vec::new();
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
@@ -52,6 +56,14 @@ fn main() -> ExitCode {
                 Some(pct) if pct >= 0.0 => assert_throughput = Some(pct),
                 _ => {
                     eprintln!("--assert-throughput requires a tolerance percentage");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if a == "--assert-kernel-coverage" {
+            match it.next().and_then(|p| p.parse::<f64>().ok()) {
+                Some(pct) if (0.0..=100.0).contains(&pct) => assert_kernel_coverage = Some(pct),
+                _ => {
+                    eprintln!("--assert-kernel-coverage requires a percentage in 0..=100");
                     return ExitCode::FAILURE;
                 }
             }
@@ -131,6 +143,15 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             };
             match check_throughput(&results, base, pct) {
+                Ok(summary) => println!("{summary}"),
+                Err(report) => {
+                    eprintln!("{report}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if let Some(pct) = assert_kernel_coverage {
+            match check_kernel_coverage(&kernels, pct) {
                 Ok(summary) => println!("{summary}"),
                 Err(report) => {
                     eprintln!("{report}");

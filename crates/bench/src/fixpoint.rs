@@ -243,6 +243,18 @@ impl KernelBenchResult {
     pub fn speedup(&self) -> f64 {
         self.kernel_rows_per_sec / self.interp_rows_per_sec.max(1e-9)
     }
+
+    /// Fraction of plan executions that ran through a batch kernel in
+    /// the kernels-enabled run — the eligibility-coverage metric
+    /// `kernel_firings / (kernel_firings + interp_firings)`. A workload
+    /// that never fires either (empty delta) counts as full coverage.
+    pub fn coverage(&self) -> f64 {
+        let total = self.kernel_firings + self.interp_firings;
+        if total == 0 {
+            return 1.0;
+        }
+        self.kernel_firings as f64 / total as f64
+    }
 }
 
 fn time_kernels_once(db: &Database, prog: &Program, kernels: bool) -> (f64, f64, Stats, usize) {
@@ -355,13 +367,21 @@ pub fn kernel_table(results: &[KernelBenchResult]) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
-        "{:<10} {:<42} {:>10} {:>10} {:>8} {:>11} {:>11} {:>10}",
-        "kernels", "params", "interp ms", "kernel ms", "speedup", "krows/s", "irows/s", "scratch"
+        "{:<10} {:<42} {:>10} {:>10} {:>8} {:>11} {:>11} {:>9} {:>10}",
+        "kernels",
+        "params",
+        "interp ms",
+        "kernel ms",
+        "speedup",
+        "krows/s",
+        "irows/s",
+        "coverage",
+        "scratch"
     );
     for r in results {
         let _ = writeln!(
             s,
-            "{:<10} {:<42} {:>10.2} {:>10.2} {:>7.2}x {:>11.0} {:>11.0} {:>9}B",
+            "{:<10} {:<42} {:>10.2} {:>10.2} {:>7.2}x {:>11.0} {:>11.0} {:>8.1}% {:>9}B",
             r.name,
             r.params,
             r.interp_millis,
@@ -369,6 +389,7 @@ pub fn kernel_table(results: &[KernelBenchResult]) -> String {
             r.speedup(),
             r.kernel_rows_per_sec,
             r.interp_rows_per_sec,
+            100.0 * r.coverage(),
             r.scratch_hw_bytes,
         );
     }
@@ -391,6 +412,7 @@ pub fn to_json_with_kernels(mut s: String, kernels: &[KernelBenchResult]) -> Str
              \"interp_millis\": {}, \"kernel_millis\": {}, \
              \"interp_rows_per_sec\": {}, \"kernel_rows_per_sec\": {}, \
              \"speedup\": {}, \"kernel_firings\": {}, \"interp_firings\": {}, \
+             \"kernel_coverage\": {}, \
              \"probes\": {}, \"probe_hits\": {}, \"scratch_hw_bytes\": {}}}",
             r.name,
             r.params,
@@ -402,6 +424,7 @@ pub fn to_json_with_kernels(mut s: String, kernels: &[KernelBenchResult]) -> Str
             json_f(r.speedup()),
             r.kernel_firings,
             r.interp_firings,
+            json_f(r.coverage()),
             r.probes,
             r.probe_hits,
             r.scratch_hw_bytes
@@ -655,6 +678,37 @@ pub fn check_scaling(results: &[WorkloadResult]) -> Result<String, String> {
         Err(format!(
             "scaling gate FAILED (t4 > {:.0}% of t1 on rows_idb >= {SCALING_MIN_IDB_ROWS}):\n{violations}",
             SCALING_MAX_RATIO * 100.0
+        ))
+    }
+}
+
+/// CI gate: every kernel-bench workload must route at least `min_pct`
+/// percent of its plan executions through the batch kernels (see
+/// [`KernelBenchResult::coverage`]). Returns a pass summary or a
+/// per-workload violation report.
+pub fn check_kernel_coverage(
+    results: &[KernelBenchResult],
+    min_pct: f64,
+) -> Result<String, String> {
+    let mut violations = String::new();
+    for r in results {
+        let pct = 100.0 * r.coverage();
+        if pct < min_pct {
+            let _ = writeln!(
+                violations,
+                "  {} {}: coverage {:.1}% < {:.0}% ({} kernel vs {} interpreter firings)",
+                r.name, r.params, pct, min_pct, r.kernel_firings, r.interp_firings,
+            );
+        }
+    }
+    if violations.is_empty() {
+        Ok(format!(
+            "kernel coverage gate: {} workload(s) at >= {min_pct:.0}% kernel firings",
+            results.len()
+        ))
+    } else {
+        Err(format!(
+            "kernel coverage gate FAILED (< {min_pct:.0}% of plan executions through kernels):\n{violations}"
         ))
     }
 }

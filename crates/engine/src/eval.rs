@@ -38,9 +38,11 @@ use crate::error::EngineError;
 use crate::fxhash::{hash_slice, FxHashMap, PrehashedMap};
 use crate::governor::{Budget, CancelToken, Governor, POLL_MASK};
 use crate::plan::{
-    compile_rule_with_sizes, ArgPat, CompiledRule, KernelSrc, LinearKernel, Source, Step, View,
-    MAX_KERNEL_PROBES,
+    compile_rule_with_sizes, ArgPat, BatchKernel, CompiledRule, KernelGuard, KernelSrc, Source,
+    Step, View, MAX_KERNEL_PROBES,
 };
+#[cfg(doc)]
+use crate::plan::{KernelCompute, MAX_KERNEL_COMPUTES};
 use crate::pool::{Job, WorkerPool};
 use crate::relation::{ProbeHandle, Relation, RowRange, Tuple};
 use crate::stats::{PoolStats, Stats};
@@ -150,30 +152,82 @@ pub fn goal_matches(goal: &Atom, row: &[Value]) -> bool {
     true
 }
 
+/// One run of consecutive same-predicate tuples in a [`DerivedBuf`]:
+/// rows `[row_start, next run's row_start)` (or to the buffer's end),
+/// laid out back to back from `data_start` with `arity` values each.
+#[derive(Clone, Copy, Debug)]
+struct DerivedRun {
+    pred: Pred,
+    row_start: u32,
+    data_start: u32,
+    arity: u32,
+}
+
 /// Flat buffer of derived head tuples: one `Vec<Value>` shared by every
 /// tuple a task derives, instead of one heap allocation per tuple. Each
 /// tuple's FxHash is computed once at derivation time and carried along,
 /// so shard routing, merge dedup, and final insertion all reuse it.
+/// Tasks emit rule-at-a-time, so tuples form long single-predicate runs;
+/// recording one [`DerivedRun`] per run instead of a `(pred, start,
+/// end)` entry per tuple keeps the steady-state emission cost at the 40
+/// bytes of data+hash.
 #[derive(Default, Debug)]
 pub(crate) struct DerivedBuf {
-    /// `(pred, start, end)` offsets into `data`.
-    index: Vec<(Pred, u32, u32)>,
-    /// `hashes[i]` is the content hash of the `i`-th tuple in `index`.
+    /// Non-empty runs, in emission order.
+    runs: Vec<DerivedRun>,
+    /// `hashes[i]` is the content hash of the `i`-th tuple.
     hashes: Vec<u64>,
     data: Vec<Value>,
 }
 
 impl DerivedBuf {
+    /// Books one row whose `arity` values were just appended to `data`,
+    /// extending the current run or opening a new one.
     #[inline]
-    fn push_hashed(&mut self, pred: Pred, row: &[Value], h: u64) {
-        let start = self.data.len() as u32;
-        self.data.extend_from_slice(row);
-        self.index.push((pred, start, self.data.len() as u32));
+    fn note_row(&mut self, pred: Pred, arity: u32, h: u64) {
+        let run = matches!(self.runs.last(), Some(r) if r.pred == pred && r.arity == arity);
+        if !run {
+            self.runs.push(DerivedRun {
+                pred,
+                row_start: self.hashes.len() as u32,
+                data_start: self.data.len() as u32 - arity,
+                arity,
+            });
+        }
         self.hashes.push(h);
     }
 
+    #[inline]
+    fn push_hashed(&mut self, pred: Pred, row: &[Value], h: u64) {
+        self.data.extend_from_slice(row);
+        self.note_row(pred, row.len() as u32, h);
+    }
+
+    /// Iterates `(pred, row, hash)` over every buffered tuple.
+    fn rows(&self) -> impl Iterator<Item = (Pred, &[Value], u64)> + '_ {
+        let nrows = self.hashes.len();
+        self.runs.iter().enumerate().flat_map(move |(ri, run)| {
+            let row_end = self
+                .runs
+                .get(ri + 1)
+                .map_or(nrows, |r| r.row_start as usize);
+            let (base, arity) = (run.data_start as usize, run.arity as usize);
+            (run.row_start as usize..row_end).map(move |j| {
+                let s = base + (j - run.row_start as usize) * arity;
+                (run.pred, &self.data[s..s + arity], self.hashes[j])
+            })
+        })
+    }
+
     fn is_empty(&self) -> bool {
-        self.index.is_empty()
+        self.hashes.is_empty()
+    }
+
+    /// Empties the buffer, keeping every allocation for reuse.
+    fn clear(&mut self) {
+        self.runs.clear();
+        self.hashes.clear();
+        self.data.clear();
     }
 }
 
@@ -200,8 +254,43 @@ impl ShardedDerivedBuf {
         }
     }
 
+    /// Empties every shard, keeping allocations for the next round.
+    fn clear(&mut self) {
+        for shard in &mut self.shards {
+            shard.clear();
+        }
+    }
+
+    /// [`ShardedDerivedBuf::push`] for a row already materialized in a
+    /// caller buffer: one hash, one slice copy, no staging iterator.
+    #[inline]
+    fn push_row(&mut self, pred: Pred, row: &[Value]) {
+        self.push_prehashed(pred, row, hash_slice(row));
+    }
+
+    /// [`ShardedDerivedBuf::push_row`] with the content hash already
+    /// known (e.g. a stored row re-emitted verbatim).
+    #[inline]
+    fn push_prehashed(&mut self, pred: Pred, row: &[Value], h: u64) {
+        debug_assert_eq!(h, hash_slice(row), "stale row hash");
+        let shard = (h & self.mask) as usize;
+        self.shards[shard].push_hashed(pred, row, h);
+    }
+
     #[inline]
     fn push(&mut self, pred: Pred, vals: impl Iterator<Item = Value>) {
+        if self.mask == 0 {
+            // Single shard: no routing decision, so head values stream
+            // straight into the buffer and are hashed in place — the
+            // staging copy exists only to route by hash.
+            let buf = &mut self.shards[0];
+            let start = buf.data.len();
+            buf.data.extend(vals);
+            let arity = (buf.data.len() - start) as u32;
+            let h = hash_slice(&buf.data[start..]);
+            buf.note_row(pred, arity, h);
+            return;
+        }
         self.scratch.clear();
         self.scratch.extend(vals);
         let h = hash_slice(&self.scratch);
@@ -439,10 +528,15 @@ pub struct Evaluator<'db> {
     /// Online estimate of nanoseconds of round work per seed row,
     /// exponentially weighted over completed rounds.
     row_nanos_ewma: f64,
-    /// Route plans with a compiled [`LinearKernel`] to the specialized
-    /// kernel executor (default). Off forces every plan through the
+    /// Route plans with a compiled [`BatchKernel`] to the specialized
+    /// batch executor (default). Off forces every plan through the
     /// general step machine — the agreement tests compare both routes.
     kernels: bool,
+    /// The serial round's persistent output buffer: cleared (capacity
+    /// kept) after each drain, so a many-round fixpoint with small
+    /// deltas — a long chain derives a few hundred rows per round —
+    /// pays its emission-buffer growth once, not once per round.
+    serial_buf: ShardedDerivedBuf,
 }
 
 impl<'db> Evaluator<'db> {
@@ -479,6 +573,7 @@ impl<'db> Evaluator<'db> {
             edb_marks: FxHashMap::default(),
             row_nanos_ewma: INITIAL_ROW_NANOS,
             kernels: true,
+            serial_buf: ShardedDerivedBuf::new(1),
         };
         ev.set_program(program)?;
         Ok(ev)
@@ -874,7 +969,10 @@ impl<'db> Evaluator<'db> {
                 any_new
             } else {
                 let serial_start = Instant::now();
-                let mut buf = ShardedDerivedBuf::new(1);
+                // Reuse the evaluator-owned single-shard buffer: taken
+                // out for the round (its field borrow would conflict
+                // with `execute_task`'s `&self`) and restored cleared.
+                let mut buf = std::mem::replace(&mut self.serial_buf, ShardedDerivedBuf::new(1));
                 let mut aborted = false;
                 for ps in &plan_seeds {
                     let done = self.execute_task(
@@ -895,7 +993,9 @@ impl<'db> Evaluator<'db> {
                     let err = self.trip_reason().unwrap_or(EngineError::Cancelled);
                     return Err(err);
                 }
-                let any_new = drain_serial(buf, &mut self.idb, &mut stats);
+                let any_new = drain_serial(&buf, &mut self.idb, &mut stats);
+                buf.clear();
+                self.serial_buf = buf;
                 delta.serial_rounds = 1;
                 delta.serial_rows = total_rows;
                 delta.serial_nanos = serial_start.elapsed().as_nanos() as u64;
@@ -1227,7 +1327,7 @@ impl<'db> Evaluator<'db> {
         let mut accs: BTreeMap<Pred, MergeAcc> = BTreeMap::new();
         let mut polled: u64 = 0;
         for buf in &bufs {
-            for (j, &(pred, s, e)) in buf.index.iter().enumerate() {
+            for (pred, row, h) in buf.rows() {
                 polled += 1;
                 if polled & POLL_MASK == 0 && self.should_abort() {
                     // Mid-merge deadline/cancel: the round is doomed, so
@@ -1235,8 +1335,6 @@ impl<'db> Evaluator<'db> {
                     // stop burning the remaining tuples.
                     return ShardOut { preds: Vec::new() };
                 }
-                let row = &buf.data[s as usize..e as usize];
-                let h = buf.hashes[j];
                 let rel = self
                     .idb
                     .get(&pred)
@@ -1410,19 +1508,39 @@ fn machine_cpus() -> usize {
 /// Serial insertion path: drains a (single-shard or multi-shard) buffer
 /// straight into the relations, reusing the derivation-time hashes.
 fn drain_serial(
-    buf: ShardedDerivedBuf,
+    buf: &ShardedDerivedBuf,
     idb: &mut FxHashMap<Pred, Relation>,
     stats: &mut Stats,
 ) -> bool {
+    // How far ahead of the insert cursor to prefetch membership slots:
+    // far enough to cover a memory round-trip, near enough that the
+    // lines survive in L1 (a grow() between issue and use only wastes
+    // the hint).
+    const PREFETCH: usize = 8;
     let mut any_new = false;
-    for shard in buf.shards {
-        for (j, &(pred, s, e)) in shard.index.iter().enumerate() {
+    for shard in &buf.shards {
+        // The buffer is already run-length encoded by predicate:
+        // resolve the relation once per run, then drive the run with
+        // hash prefetches ahead of the dedup probes.
+        let nrows = shard.hashes.len();
+        for (ri, run) in shard.runs.iter().enumerate() {
+            let row_end = shard
+                .runs
+                .get(ri + 1)
+                .map_or(nrows, |r| r.row_start as usize);
+            let (base, arity) = (run.data_start as usize, run.arity as usize);
             let rel = idb
-                .get_mut(&pred)
+                .get_mut(&run.pred)
                 .expect("derived tuple for unknown idb predicate");
-            if rel.insert_hashed(&shard.data[s as usize..e as usize], shard.hashes[j]) {
-                stats.inserted += 1;
-                any_new = true;
+            for i in run.row_start as usize..row_end {
+                if i + PREFETCH < row_end {
+                    rel.prefetch_hash(shard.hashes[i + PREFETCH]);
+                }
+                let s = base + (i - run.row_start as usize) * arity;
+                if rel.insert_hashed(&shard.data[s..s + arity], shard.hashes[i]) {
+                    stats.inserted += 1;
+                    any_new = true;
+                }
             }
         }
     }
@@ -1454,6 +1572,11 @@ struct TaskScratch {
     key_buf: Vec<Value>,
     /// Staging buffer for `Step::Neg` membership keys.
     neg_key: Vec<Value>,
+    /// The batch kernel's gathered seed chunk: packed `depth-0 key hash
+    /// high half | seed row id` words (see [`pack_seed`]), sorted so
+    /// rows sharing a probe key form runs. Capacity is bounded by
+    /// [`KERNEL_CHUNK`], never by data size.
+    chunk: Vec<u64>,
 }
 
 impl TaskScratch {
@@ -1462,7 +1585,8 @@ impl TaskScratch {
         (self.slots.capacity() * std::mem::size_of::<Value>()
             + self.frames.capacity() * std::mem::size_of::<Frame>()
             + self.key_buf.capacity() * std::mem::size_of::<Value>()
-            + self.neg_key.capacity() * std::mem::size_of::<Value>()) as u64
+            + self.neg_key.capacity() * std::mem::size_of::<Value>()
+            + self.chunk.capacity() * std::mem::size_of::<u64>()) as u64
     }
 }
 
@@ -1554,6 +1678,7 @@ fn run_machine(
         frames,
         key_buf,
         neg_key,
+        ..
     } = scratch;
     slots.clear();
     slots.resize(plan.nslots, Value::Int(0));
@@ -1638,11 +1763,22 @@ fn run_machine(
                         debug_assert_eq!(handle.generation(), sr.rel.physical_rows());
                         // SAFETY: relations and indexes are frozen while
                         // a round's tasks run (see `ProbeHandle` docs).
-                        let bucket = unsafe { handle.bucket(hash_slice(key)) };
-                        Cursor::Bucket {
-                            ptr: bucket.as_ptr(),
-                            len: bucket.len() as u32,
-                            pos: 0,
+                        match unsafe { handle.encode(hash_slice(key), key) } {
+                            Some(code) => {
+                                // SAFETY: as above; the group slice stays
+                                // valid for the round.
+                                let group = unsafe { handle.group(code) };
+                                Cursor::Bucket {
+                                    ptr: group.as_ptr(),
+                                    len: group.len() as u32,
+                                    pos: 0,
+                                }
+                            }
+                            None => Cursor::Bucket {
+                                ptr: std::ptr::null(),
+                                len: 0,
+                                pos: 0,
+                            },
                         }
                     };
                     frames.push(Frame {
@@ -1684,12 +1820,14 @@ fn run_machine(
                         if *pos >= *len {
                             break None;
                         }
-                        // SAFETY: bucket storage is frozen for the round.
+                        // SAFETY: group storage is frozen for the round.
                         let r = unsafe { *ptr.add(*pos as usize) };
                         *pos += 1;
-                        let ks = f.key_start as usize;
-                        let key = &key_buf[ks..ks + s.key_cols.len()];
-                        if !sr.rel.probe_hit(r, &s.key_cols, key, sr.range) {
+                        // Every row in a dictionary group carries exactly
+                        // the probed key (codes are minted per distinct
+                        // key tuple), so visibility is the only residual
+                        // filter — no per-row key comparison.
+                        if !sr.rel.row_visible(r, sr.range) {
                             continue;
                         }
                         stats.probe_hits += 1;
@@ -1737,20 +1875,319 @@ fn run_machine(
     }
 }
 
-/// Executes a [`LinearKernel`]: a seed scan driving a fixed-depth chain
-/// of borrowed-bucket probes with direct head projection — no step
-/// dispatch, no slot traffic, no per-row heap allocation. Per-depth keys
-/// live at fixed offsets in the scratch key arena; cursors and matched
-/// row ids are stack arrays. Work-counter semantics match the step
-/// machine (same probes/rows_scanned/probe_hits/derived counts and the
-/// same governance poll cadence) except at existential probe depths,
-/// where the kernel stops at the first match instead of enumerating
-/// duplicate-producing bucket rows — counters then reflect the smaller
-/// amount of work actually done.
+/// Seed rows per batch-kernel chunk. The gather/sort/group pipeline
+/// processes the seed scan this many rows at a time, so per-worker
+/// scratch stays a small constant while dictionary lookups amortize
+/// across every gathered row that shares a probe key.
+const KERNEL_CHUNK: usize = 1024;
+
+/// Packs the high half of a depth-0 key hash with a seed row id into one
+/// sortable word. Sorting the packed words groups equal keys adjacently
+/// at half the memory traffic of `(hash, id)` pairs — the group walk
+/// re-verifies keys by value, so 32 hash bits are plenty (a high-half
+/// collision merely splits a run, and per-member count replay makes a
+/// split group equivalent) — with the row id as a deterministic
+/// tiebreak.
+#[inline]
+fn pack_seed(h: u64, r: u32) -> u64 {
+    (h & 0xFFFF_FFFF_0000_0000) | r as u64
+}
+
+/// Immutable per-task context of a batch-kernel execution: the kernel,
+/// the resolved probe relations, the fixed per-depth key offsets into
+/// the scratch arena, and the invariant/dependent depth split.
+struct KernelCtx<'a> {
+    plan: &'a CompiledRule,
+    k: &'a BatchKernel,
+    prels: [Option<(&'a Relation, RowRange, ProbeHandle)>; MAX_KERNEL_PROBES],
+    key_off: [usize; MAX_KERNEL_PROBES + 1],
+    /// First member-dependent probe depth. Depths `[0, split)` read only
+    /// constants, seed columns that are part of the depth-0 (grouping)
+    /// key — equal across a group by construction — or rows matched at
+    /// earlier invariant depths, so the group phase enumerates them once
+    /// per distinct key and replays their logical work counts per
+    /// member. Depths `[split, np)` run per member, tuple-style.
+    split: usize,
+    np: usize,
+}
+
+impl KernelCtx<'_> {
+    /// Resolves a kernel source against a seed row and the per-depth
+    /// matched rows.
+    #[inline]
+    fn src_val(
+        &self,
+        src: KernelSrc,
+        seed_row: &[Value],
+        rowids: &[u32; MAX_KERNEL_PROBES],
+    ) -> Value {
+        match src {
+            KernelSrc::Const(c) => c,
+            KernelSrc::Seed(c) => seed_row[c],
+            KernelSrc::Probe(d, c) => {
+                let (rel, _, _) = self.prels[d].as_ref().expect("probe depth resolved");
+                rel.row(rowids[d])[c]
+            }
+            // Recompute on demand: computes read only constants, seed
+            // columns and earlier computes, so the value is a pure
+            // function of the seed row. The gather phase already
+            // evaluated (and counted) every compute for this row and
+            // dropped it on failure, so solving again here is silent
+            // and infallible.
+            KernelSrc::Computed(ci) => self
+                .compute_val(ci, seed_row)
+                .expect("compute verified at gather"),
+        }
+    }
+
+    /// Evaluates the `ci`-th hoisted binding builtin against a seed row;
+    /// `None` means the builtin has no solution there (ill-typed
+    /// operand, …) and the gather must drop the row before anything
+    /// reads `KernelSrc::Computed(ci)`.
+    #[inline]
+    fn compute_val(&self, ci: usize, seed_row: &[Value]) -> Option<Value> {
+        let c = &self.k.computes[ci];
+        let mut vals = [None; 3];
+        for (j, (v, &s)) in vals.iter_mut().zip(&c.args).enumerate() {
+            if j != c.bind {
+                // Compute args never reference probe rows (planner
+                // invariant), so a zeroed rowid array is never read.
+                *v = Some(self.src_val(s, seed_row, &[0; MAX_KERNEL_PROBES]));
+            }
+        }
+        c.op.solve(vals)
+    }
+
+    /// Evaluates one comparison / pure-builtin guard.
+    #[inline]
+    fn guard_ok(
+        &self,
+        g: &KernelGuard,
+        seed_row: &[Value],
+        rowids: &[u32; MAX_KERNEL_PROBES],
+    ) -> bool {
+        match *g {
+            KernelGuard::Cmp(l, op, r) => op.eval(
+                &self.src_val(l, seed_row, rowids),
+                &self.src_val(r, seed_row, rowids),
+            ),
+            KernelGuard::Builtin(op, args) => op.check(
+                self.src_val(args[0], seed_row, rowids),
+                self.src_val(args[1], seed_row, rowids),
+                self.src_val(args[2], seed_row, rowids),
+            ),
+        }
+    }
+
+    /// The per-member tail of one group-phase prefix match: for each
+    /// member seed row, either emit the head directly (`split == np`,
+    /// the match is already complete) or drive the dependent probe
+    /// suffix `[split, np)` tuple-at-a-time. A dependent depth 0 reuses
+    /// the group's pre-fetched dictionary group `depth0` instead of
+    /// re-encoding per member. Returns `false` on a governance abort.
+    #[allow(clippy::too_many_arguments)]
+    fn member_tail(
+        &self,
+        ev: &Evaluator<'_>,
+        seed_rel: &Relation,
+        members: &[u64],
+        depth0: (*const u32, u32),
+        key_buf: &mut [Value],
+        cursors: &mut [(*const u32, u32, u32); MAX_KERNEL_PROBES],
+        rowids: &mut [u32; MAX_KERNEL_PROBES],
+        ticks: &mut u64,
+        stats: &mut Stats,
+        out: &mut ShardedDerivedBuf,
+    ) -> bool {
+        let (k, np, split) = (self.k, self.np, self.split);
+        // Member row ids are hash-ordered, i.e. scattered through the
+        // seed store; stay a few rows ahead of the walk.
+        const MEMBER_PREFETCH: usize = 4;
+        if split == np {
+            // Fully invariant chain: the match is already complete and
+            // only the head still reads member columns. Resolve the
+            // invariant head entries once into a stack template; per
+            // member, fill the seed-dependent entries, hash, and copy —
+            // the emission loop touches no probe state.
+            const HEAD_TMPL: usize = 8;
+            let hl = k.head.len();
+            if hl == 0 || hl > HEAD_TMPL {
+                // Degenerate widths: per-member full resolve.
+                for (mi, &e) in members.iter().enumerate() {
+                    if let Some(&ne) = members.get(mi + MEMBER_PREFETCH) {
+                        seed_rel.prefetch_row(ne as u32);
+                    }
+                    let seed_row = seed_rel.row(e as u32);
+                    *ticks += 1;
+                    if *ticks & POLL_MASK == 0 && ev.should_abort() {
+                        return false;
+                    }
+                    stats.derived += 1;
+                    out.push(
+                        self.plan.head_pred,
+                        k.head.iter().map(|&s| self.src_val(s, seed_row, rowids)),
+                    );
+                }
+                return true;
+            }
+            let mut tmpl = [Value::Int(0); HEAD_TMPL];
+            let mut dyns = [(0usize, k.head[0]); HEAD_TMPL];
+            let mut nd = 0usize;
+            for (j, &s) in k.head.iter().enumerate() {
+                match s {
+                    KernelSrc::Seed(_) | KernelSrc::Computed(_) => {
+                        dyns[nd] = (j, s);
+                        nd += 1;
+                    }
+                    // Constants and probe rows are fixed for the whole
+                    // match; the empty seed slice is never read.
+                    _ => tmpl[j] = self.src_val(s, &[], rowids),
+                }
+            }
+            for (mi, &e) in members.iter().enumerate() {
+                if let Some(&ne) = members.get(mi + MEMBER_PREFETCH) {
+                    seed_rel.prefetch_row(ne as u32);
+                }
+                let seed_row = seed_rel.row(e as u32);
+                *ticks += 1;
+                if *ticks & POLL_MASK == 0 && ev.should_abort() {
+                    return false;
+                }
+                stats.derived += 1;
+                for &(j, s) in &dyns[..nd] {
+                    tmpl[j] = self.src_val(s, seed_row, rowids);
+                }
+                out.push_row(self.plan.head_pred, &tmpl[..hl]);
+            }
+            return true;
+        }
+        for (mi, &e) in members.iter().enumerate() {
+            if let Some(&ne) = members.get(mi + MEMBER_PREFETCH) {
+                seed_rel.prefetch_row(ne as u32);
+            }
+            let seed_row = seed_rel.row(e as u32);
+            let mut d = split;
+            let mut entering = true;
+            loop {
+                let p = &k.probes[d];
+                let (rel, range, handle) = self.prels[d].as_ref().expect("probe depth resolved");
+                if entering {
+                    stats.probes += 1;
+                    if d == 0 {
+                        // Shared dictionary group: encoded once per
+                        // group; member-dependent checks and guards
+                        // still run below.
+                        cursors[0] = (depth0.0, depth0.1, 0);
+                    } else {
+                        let (ks, ke) = (self.key_off[d], self.key_off[d + 1]);
+                        for (j, &src) in p.key.iter().enumerate() {
+                            key_buf[ks + j] = self.src_val(src, seed_row, rowids);
+                        }
+                        let key = &key_buf[ks..ke];
+                        // SAFETY: relations and indexes are frozen while
+                        // a round's tasks run (see `ProbeHandle` docs).
+                        cursors[d] = match unsafe { handle.encode(hash_slice(key), key) } {
+                            Some(code) => {
+                                let g = unsafe { handle.group(code) };
+                                (g.as_ptr(), g.len() as u32, 0)
+                            }
+                            None => (std::ptr::null(), 0, 0),
+                        };
+                    }
+                    entering = false;
+                }
+                // Advance depth d to its next matching row.
+                let mut matched = false;
+                {
+                    let (ptr, len, pos) = &mut cursors[d];
+                    while *pos < *len {
+                        // SAFETY: group storage is frozen for the round.
+                        let rid = unsafe { *ptr.add(*pos as usize) };
+                        *pos += 1;
+                        // Dictionary groups hold exactly the probed key,
+                        // so visibility is the only residual filter.
+                        if !rel.row_visible(rid, *range) {
+                            continue;
+                        }
+                        stats.probe_hits += 1;
+                        stats.rows_scanned += 1;
+                        *ticks += 1;
+                        if *ticks & POLL_MASK == 0 && ev.should_abort() {
+                            return false;
+                        }
+                        let row = rel.row(rid);
+                        if row.len() != p.arity {
+                            continue;
+                        }
+                        rowids[d] = rid;
+                        let mut ok = true;
+                        for &(c, src) in &p.checks {
+                            if row[c] != self.src_val(src, seed_row, rowids) {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            for g in &p.guards {
+                                stats.cmp_evals += 1;
+                                if !self.guard_ok(g, seed_row, rowids) {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                        }
+                        if !ok {
+                            continue;
+                        }
+                        matched = true;
+                        break;
+                    }
+                }
+                if matched {
+                    if p.existential {
+                        // Nothing downstream reads this row: exhaust the
+                        // cursor so the next advance backtracks at once.
+                        cursors[d].2 = cursors[d].1;
+                    }
+                    if d + 1 < np {
+                        d += 1;
+                        entering = true;
+                        continue;
+                    }
+                    stats.derived += 1;
+                    out.push(
+                        self.plan.head_pred,
+                        k.head.iter().map(|&s| self.src_val(s, seed_row, rowids)),
+                    );
+                    // Stay at the deepest depth and advance for more.
+                } else if d == split {
+                    break;
+                } else {
+                    d -= 1;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Executes a [`BatchKernel`]: the seed scan is gathered into
+/// [`KERNEL_CHUNK`]-row chunks of packed key-hash/row-id words and
+/// sorted so rows sharing a probe key form groups; each group then pays
+/// its dictionary lookups once. The invariant probe prefix (see
+/// [`KernelCtx::split`]) is enumerated once per group — including the
+/// existential short-circuit, which becomes a group-level first-hit —
+/// with its logical work counters replayed per member, so
+/// `derived`/`rows_scanned`/`probe_hits` stay partition-invariant and
+/// equal to per-tuple execution. The dependent suffix runs per member
+/// over pre-fetched dictionary groups. Governance polls ride a local
+/// per-row tick (bulk counter updates would break the global
+/// `rows_scanned` cadence). Returns `false` when a poll aborted the
+/// task; its partial output is discarded at the round boundary.
 fn run_kernel(
     ev: &Evaluator<'_>,
     plan: &CompiledRule,
-    k: &LinearKernel,
+    k: &BatchKernel,
     part: Option<(usize, RowRange)>,
     scratch: &mut TaskScratch,
     stats: &mut Stats,
@@ -1759,12 +2196,11 @@ fn run_kernel(
     let Some((seed_rel, mut seed_range)) = ev.resolve(k.seed_pred, k.seed_view) else {
         return true;
     };
-    if let Some((pi, pr)) = part {
-        // Kernel plans are all-scan, so the partitioned seed is step 0.
-        debug_assert_eq!(pi, 0, "kernel plans seed at step 0");
-        if pi == 0 {
-            seed_range = seed_range.intersect(pr);
-        }
+    if let Some((_, pr)) = part {
+        // The scheduler partitions the plan's first Scan step, which is
+        // by construction the kernel's seed scan (assignments and guards
+        // may precede it in the step sequence).
+        seed_range = seed_range.intersect(pr);
     }
     seed_range.end = seed_range.end.min(seed_rel.physical_rows() as u32);
     if seed_range.is_empty() {
@@ -1785,134 +2221,376 @@ fn run_kernel(
         debug_assert_eq!(handle.generation(), rel.physical_rows());
         prels[d] = Some((rel, range, handle));
     }
+    // A constant-keyed seed enumerates one dictionary group instead of
+    // the row range; an absent key derives nothing.
+    let seed_handle =
+        (!k.seed_key_cols.is_empty()).then(|| ev.handle_for(seed_rel, &k.seed_key_cols));
+    let seed_group: Option<&[u32]> = match &seed_handle {
+        None => None,
+        Some(h) => {
+            debug_assert_eq!(h.generation(), seed_rel.physical_rows());
+            stats.probes += 1;
+            // SAFETY: relations and indexes are frozen while a round's
+            // tasks run (see `ProbeHandle` docs).
+            match unsafe { h.encode(hash_slice(&k.seed_key), &k.seed_key) } {
+                Some(code) => Some(unsafe { h.group(code) }),
+                None => return true,
+            }
+        }
+    };
     // Fixed per-depth key offsets into the reused arena.
     let mut key_off = [0usize; MAX_KERNEL_PROBES + 1];
     for (d, p) in k.probes.iter().enumerate() {
         key_off[d + 1] = key_off[d] + p.key.len();
     }
-    let key_buf = &mut scratch.key_buf;
+    // Invariant/dependent split (see [`KernelCtx::split`]): keys may
+    // read rows of strictly earlier depths; checks and guards at depth
+    // `d` may also read the row being matched at `d` itself. A source is
+    // invariant when every member of a depth-0 key group yields the
+    // same value: constants always, seed columns exactly when they are
+    // part of the grouping key (group formation verifies key equality
+    // by value), and computes when they are themselves a grouping-key
+    // source or read only invariant inputs. `comp_inv` is a bitmask
+    // over compute indices (the planner caps them at
+    // [`MAX_KERNEL_COMPUTES`]), filled in order since computes only
+    // read earlier computes.
+    let in_group_key = |s: KernelSrc| k.probes.first().is_some_and(|p| p.key.contains(&s));
+    let mut comp_inv = 0u64;
+    for (ci, c) in k.computes.iter().enumerate() {
+        let inv = in_group_key(KernelSrc::Computed(ci))
+            || c.args.iter().enumerate().all(|(j, &s)| {
+                j == c.bind
+                    || match s {
+                        KernelSrc::Const(_) => true,
+                        KernelSrc::Seed(_) => in_group_key(s),
+                        KernelSrc::Computed(cj) => comp_inv & (1 << cj) != 0,
+                        KernelSrc::Probe(..) => false,
+                    }
+            });
+        if inv {
+            comp_inv |= 1 << ci;
+        }
+    }
+    let inv_src = |s: KernelSrc, below: usize| match s {
+        KernelSrc::Const(_) => true,
+        KernelSrc::Seed(_) => in_group_key(s),
+        KernelSrc::Probe(dd, _) => dd < below,
+        KernelSrc::Computed(ci) => comp_inv & (1 << ci) != 0,
+    };
+    let mut split = 0usize;
+    while split < np {
+        let p = &k.probes[split];
+        let inv = p.key.iter().all(|&s| inv_src(s, split))
+            && p.checks.iter().all(|&(_, s)| inv_src(s, split + 1))
+            && p.guards.iter().all(|g| match *g {
+                KernelGuard::Cmp(l, _, r) => inv_src(l, split + 1) && inv_src(r, split + 1),
+                KernelGuard::Builtin(_, args) => args.iter().all(|&s| inv_src(s, split + 1)),
+            });
+        if !inv {
+            break;
+        }
+        split += 1;
+    }
+    let ctx = KernelCtx {
+        plan,
+        k,
+        prels,
+        key_off,
+        split,
+        np,
+    };
+    let TaskScratch { key_buf, chunk, .. } = scratch;
     key_buf.clear();
     key_buf.resize(key_off[np], Value::Int(0));
     let mut cursors = [(std::ptr::null::<u32>(), 0u32, 0u32); MAX_KERNEL_PROBES];
     let mut rowids = [0u32; MAX_KERNEL_PROBES];
+    let mut ticks = 0u64;
+    let w0 = if np > 0 { k.probes[0].key.len() } else { 0 };
 
-    // Resolves a kernel source against the current seed row and the
-    // per-depth matched rows.
-    let src_val =
-        |src: KernelSrc, seed_row: &[Value], rowids: &[u32; MAX_KERNEL_PROBES]| -> Value {
-            match src {
-                KernelSrc::Const(c) => c,
-                KernelSrc::Seed(c) => seed_row[c],
-                KernelSrc::Probe(d, c) => {
-                    let (rel, _, _) = prels[d].as_ref().expect("probe depth resolved");
-                    rel.row(rowids[d])[c]
+    let mut range_next = seed_range.start;
+    let mut group_pos = 0usize;
+    'chunks: loop {
+        // Gather: fill one chunk with visible seed rows that pass the
+        // seed checks and guards, hashing each row's depth-0 probe key.
+        chunk.clear();
+        while chunk.len() < KERNEL_CHUNK {
+            let r = match seed_group {
+                None => {
+                    if range_next >= seed_range.end {
+                        break;
+                    }
+                    let r = range_next;
+                    range_next += 1;
+                    if seed_rel.is_dead(r) {
+                        continue;
+                    }
+                    r
                 }
-            }
-        };
-
-    'seed: for r in seed_range.start..seed_range.end {
-        if seed_rel.is_dead(r) {
-            continue;
-        }
-        stats.rows_scanned += 1;
-        // Cooperative governance poll: every POLL_MASK+1 rows.
-        if stats.rows_scanned & POLL_MASK == 0 && ev.should_abort() {
-            return false;
-        }
-        let seed_row = seed_rel.row(r);
-        if seed_row.len() != k.seed_arity {
-            continue;
-        }
-        for &(c, src) in &k.seed_checks {
-            if seed_row[c] != src_val(src, seed_row, &rowids) {
-                continue 'seed;
-            }
-        }
-        if np == 0 {
-            stats.derived += 1;
-            out.push(
-                plan.head_pred,
-                k.head.iter().map(|&s| src_val(s, seed_row, &rowids)),
-            );
-            continue;
-        }
-        let mut d = 0usize;
-        let mut entering = true;
-        loop {
-            let p = &k.probes[d];
-            let (rel, range, handle) = prels[d].as_ref().expect("probe depth resolved");
-            if entering {
-                stats.probes += 1;
-                let (ks, ke) = (key_off[d], key_off[d + 1]);
-                for (slot, &src) in key_buf[ks..ke].iter_mut().zip(&p.key) {
-                    *slot = src_val(src, seed_row, &rowids);
+                Some(g) => {
+                    let Some(&r) = g.get(group_pos) else { break };
+                    group_pos += 1;
+                    if !seed_rel.row_visible(r, seed_range) {
+                        continue;
+                    }
+                    r
                 }
-                // SAFETY: relations and indexes are frozen while a
-                // round's tasks run (see `ProbeHandle` docs).
-                let bucket = unsafe { handle.bucket(hash_slice(&key_buf[ks..ke])) };
-                cursors[d] = (bucket.as_ptr(), bucket.len() as u32, 0);
-                entering = false;
+            };
+            stats.rows_scanned += 1;
+            ticks += 1;
+            if ticks & POLL_MASK == 0 && ev.should_abort() {
+                return false;
             }
-            // Advance depth d to its next matching row.
-            let key = &key_buf[key_off[d]..key_off[d + 1]];
-            let mut matched = false;
-            {
-                let (ptr, len, pos) = &mut cursors[d];
-                while *pos < *len {
-                    // SAFETY: bucket storage is frozen for the round.
-                    let rid = unsafe { *ptr.add(*pos as usize) };
-                    *pos += 1;
-                    if !rel.probe_hit(rid, &p.key_cols, key, *range) {
-                        continue;
-                    }
-                    stats.probe_hits += 1;
-                    stats.rows_scanned += 1;
-                    if stats.rows_scanned & POLL_MASK == 0 && ev.should_abort() {
-                        return false;
-                    }
-                    let row = rel.row(rid);
-                    if row.len() != p.arity {
-                        continue;
-                    }
-                    rowids[d] = rid;
-                    let mut ok = true;
-                    for &(c, src) in &p.checks {
-                        if row[c] != src_val(src, seed_row, &rowids) {
-                            ok = false;
-                            break;
-                        }
-                    }
-                    if !ok {
-                        continue;
-                    }
-                    matched = true;
+            let seed_row = seed_rel.row(r);
+            if seed_row.len() != k.seed_arity {
+                continue;
+            }
+            // Hoisted binding builtins: evaluate-or-drop, first — once a
+            // row survives, every later `Computed` read re-solves
+            // silently and infallibly.
+            let mut ok = true;
+            for ci in 0..k.computes.len() {
+                stats.cmp_evals += 1;
+                if ctx.compute_val(ci, seed_row).is_none() {
+                    ok = false;
                     break;
                 }
             }
-            if matched {
-                if p.existential {
-                    // A pure existence test (nothing downstream reads this
-                    // row): further bucket rows can only replay identical
-                    // downstream work, so exhaust the cursor — the next
-                    // advance at this depth backtracks straight away.
-                    cursors[d].2 = cursors[d].1;
+            if ok {
+                for &(c, src) in &k.seed_checks {
+                    if seed_row[c] != ctx.src_val(src, seed_row, &rowids) {
+                        ok = false;
+                        break;
+                    }
                 }
-                if d + 1 < np {
-                    d += 1;
-                    entering = true;
+            }
+            if ok {
+                for g in &k.seed_guards {
+                    stats.cmp_evals += 1;
+                    if !ctx.guard_ok(g, seed_row, &rowids) {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            let h = if np > 0 {
+                for (j, &src) in k.probes[0].key.iter().enumerate() {
+                    key_buf[j] = ctx.src_val(src, seed_row, &rowids);
+                }
+                hash_slice(&key_buf[..w0])
+            } else {
+                0
+            };
+            chunk.push(pack_seed(h, r));
+        }
+        if chunk.is_empty() {
+            break 'chunks;
+        }
+        if np == 0 {
+            // Pure seed scan: the gather is the whole pipeline; emit.
+            // A head that copies the seed row verbatim (the ubiquitous
+            // base-rule shape `p(X,Y) :- e(X,Y).`) re-emits stored rows,
+            // so their derivation-time hashes are reusable as-is.
+            let identity = k.head.len() == k.seed_arity
+                && k.head
+                    .iter()
+                    .enumerate()
+                    .all(|(j, &s)| s == KernelSrc::Seed(j));
+            for &e in chunk.iter() {
+                let r = e as u32;
+                let seed_row = seed_rel.row(r);
+                stats.derived += 1;
+                if identity {
+                    out.push_prehashed(plan.head_pred, seed_row, seed_rel.row_hash_at(r));
+                } else {
+                    out.push(
+                        plan.head_pred,
+                        k.head.iter().map(|&s| ctx.src_val(s, seed_row, &rowids)),
+                    );
+                }
+            }
+            continue 'chunks;
+        }
+        // Sort-group: rows sharing the depth-0 key become one run (hash
+        // order with row-id tiebreak keeps runs deterministic).
+        chunk.sort_unstable();
+        let mut gs = 0usize;
+        while gs < chunk.len() {
+            // Re-resolve the representative's depth-0 key into the arena
+            // (the gather staged the last row's key there).
+            let ghi = pack_seed(chunk[gs], 0);
+            let rep_row = seed_rel.row(chunk[gs] as u32);
+            for (j, &src) in k.probes[0].key.iter().enumerate() {
+                key_buf[j] = ctx.src_val(src, rep_row, &rowids);
+            }
+            // The packed words carry only the hash's high half, so runs
+            // can mix distinct keys; verify by value so every group
+            // holds exactly one key. A colliding row simply starts its
+            // own group — per-member count replay makes that equivalent.
+            let mut ge = gs + 1;
+            while ge < chunk.len() && pack_seed(chunk[ge], 0) == ghi {
+                let row = seed_rel.row(chunk[ge] as u32);
+                let same = k.probes[0]
+                    .key
+                    .iter()
+                    .enumerate()
+                    .all(|(j, &src)| ctx.src_val(src, row, &rowids) == key_buf[j]);
+                if !same {
+                    break;
+                }
+                ge += 1;
+            }
+            let members = &chunk[gs..ge];
+            let m = members.len() as u64;
+            gs = ge;
+            // One dictionary lookup per group — the amortized probe.
+            // (The full key hash is recomputed from the verified key:
+            // the packed chunk word kept only its high half.)
+            let gh = hash_slice(&key_buf[..w0]);
+            let (rel0, _, h0) = ctx.prels[0].as_ref().expect("probe depth resolved");
+            debug_assert_eq!(h0.generation(), rel0.physical_rows());
+            // SAFETY: frozen for the round (see `ProbeHandle` docs).
+            let depth0 = match unsafe { h0.encode(gh, &key_buf[..w0]) } {
+                Some(code) => {
+                    let g = unsafe { h0.group(code) };
+                    (g.as_ptr(), g.len() as u32)
+                }
+                None => {
+                    // No depth-0 rows for this key: every member opens
+                    // and at once exhausts the probe.
+                    stats.probes += m;
                     continue;
                 }
-                stats.derived += 1;
-                out.push(
-                    plan.head_pred,
-                    k.head.iter().map(|&s| src_val(s, seed_row, &rowids)),
-                );
-                // Stay at the deepest depth and advance for more matches.
-            } else if d == 0 {
-                continue 'seed;
-            } else {
-                d -= 1;
+            };
+            if split == 0 {
+                // Member-dependent depth 0: per-member enumeration over
+                // the shared pre-fetched group.
+                if !ctx.member_tail(
+                    ev,
+                    seed_rel,
+                    members,
+                    depth0,
+                    key_buf,
+                    &mut cursors,
+                    &mut rowids,
+                    &mut ticks,
+                    stats,
+                    out,
+                ) {
+                    return false;
+                }
+                continue;
             }
+            // Group phase: enumerate the invariant prefix once against
+            // the representative row; local counters replay ×members.
+            let (mut lp, mut lph, mut lrs, mut lce) = (1u64, 0u64, 0u64, 0u64);
+            cursors[0] = (depth0.0, depth0.1, 0);
+            let mut d = 0usize;
+            let mut entering = false; // depth-0 cursor pre-opened
+            loop {
+                let p = &k.probes[d];
+                let (rel, range, handle) = ctx.prels[d].as_ref().expect("probe depth resolved");
+                if entering {
+                    lp += 1;
+                    let (ks, ke) = (key_off[d], key_off[d + 1]);
+                    for (j, &src) in p.key.iter().enumerate() {
+                        key_buf[ks + j] = ctx.src_val(src, rep_row, &rowids);
+                    }
+                    let key = &key_buf[ks..ke];
+                    // SAFETY: frozen for the round (`ProbeHandle` docs).
+                    cursors[d] = match unsafe { handle.encode(hash_slice(key), key) } {
+                        Some(code) => {
+                            let g = unsafe { handle.group(code) };
+                            (g.as_ptr(), g.len() as u32, 0)
+                        }
+                        None => (std::ptr::null(), 0, 0),
+                    };
+                    entering = false;
+                }
+                // Advance depth d to its next matching row.
+                let mut matched = false;
+                {
+                    let (ptr, len, pos) = &mut cursors[d];
+                    while *pos < *len {
+                        // SAFETY: group storage is frozen for the round.
+                        let rid = unsafe { *ptr.add(*pos as usize) };
+                        *pos += 1;
+                        if !rel.row_visible(rid, *range) {
+                            continue;
+                        }
+                        lph += 1;
+                        lrs += 1;
+                        ticks += 1;
+                        if ticks & POLL_MASK == 0 && ev.should_abort() {
+                            return false;
+                        }
+                        let row = rel.row(rid);
+                        if row.len() != p.arity {
+                            continue;
+                        }
+                        rowids[d] = rid;
+                        let mut ok = true;
+                        for &(c, src) in &p.checks {
+                            if row[c] != ctx.src_val(src, rep_row, &rowids) {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            for g in &p.guards {
+                                lce += 1;
+                                if !ctx.guard_ok(g, rep_row, &rowids) {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                        }
+                        if !ok {
+                            continue;
+                        }
+                        matched = true;
+                        break;
+                    }
+                }
+                if matched {
+                    if p.existential {
+                        // Invariant existential: the first hit serves
+                        // every member — a group-level short-circuit.
+                        cursors[d].2 = cursors[d].1;
+                    }
+                    if d + 1 < split {
+                        d += 1;
+                        entering = true;
+                        continue;
+                    }
+                    // Full invariant prefix match: per-member tail.
+                    if !ctx.member_tail(
+                        ev,
+                        seed_rel,
+                        members,
+                        depth0,
+                        key_buf,
+                        &mut cursors,
+                        &mut rowids,
+                        &mut ticks,
+                        stats,
+                        out,
+                    ) {
+                        return false;
+                    }
+                    // Stay at the deepest invariant depth and advance.
+                } else if d == 0 {
+                    break;
+                } else {
+                    d -= 1;
+                }
+            }
+            stats.probes += lp * m;
+            stats.probe_hits += lph * m;
+            stats.rows_scanned += lrs * m;
+            stats.cmp_evals += lce * m;
         }
     }
     true

@@ -2,9 +2,12 @@
 //! state, used by the incremental layer's DRed pass and the delta IC
 //! monitor. Unlike the compiled fixpoint plans, these enumerations are
 //! seeded from a *single known tuple* (a deleted fact, an inserted
-//! fact), so a recursive matcher over [`Relation::probe`] indexes is
-//! both simpler and fast enough: the seed binds most variables, and
-//! every remaining subgoal probes an indexed column subset.
+//! fact), so a recursive matcher over [`Relation::probe_into`] is both
+//! simpler and fast enough: the seed binds most variables, and every
+//! remaining subgoal probes an indexed column subset. The probes hit
+//! the same dictionary indexes the batch kernels borrow (key → dense
+//! code → row group), so maintenance passes reuse — and keep warm —
+//! the fixpoint's own key views rather than building private ones.
 
 use crate::database::Database;
 use crate::error::EngineError;

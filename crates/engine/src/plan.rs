@@ -141,9 +141,43 @@ pub enum KernelSrc {
     Seed(usize),
     /// `(probe depth, column)` of a probe row already matched.
     Probe(usize, usize),
+    /// Result of the `i`-th [`KernelCompute`]: a value-binding builtin
+    /// hoisted to the seed phase, a pure function of the seed row.
+    Computed(usize),
 }
 
-/// One indexed probe in a [`LinearKernel`] chain.
+/// A value-binding builtin hoisted into a batch kernel's seed phase
+/// (`plus(Y, 1, Z)` solving for `Z`). Only computes positioned before
+/// the first probe whose read arguments resolve to constants, seed
+/// columns, or earlier computes qualify — so each is a pure function of
+/// the seed row, evaluated once per gathered row. A row whose compute
+/// fails (type error, no solution) is dropped, exactly as the step
+/// machine drops it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct KernelCompute {
+    /// The operation.
+    pub op: BuiltinOp,
+    /// Argument sources; the entry at `bind` is the solved position and
+    /// is never read.
+    pub args: [KernelSrc; 3],
+    /// The argument position the builtin solves for.
+    pub bind: usize,
+}
+
+/// A pure filter riding a batch-kernel depth: a comparison or an
+/// all-bound builtin check whose operands resolved to kernel sources at
+/// compile time. Guards never bind anything — they only pass or fail a
+/// candidate row — so the batch executor can evaluate them wherever
+/// their sources are available.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum KernelGuard {
+    /// A comparison filter (`Y > 50`).
+    Cmp(KernelSrc, CmpOp, KernelSrc),
+    /// An all-bound arithmetic builtin check (`plus(X, 7, Y)`).
+    Builtin(BuiltinOp, [KernelSrc; 3]),
+}
+
+/// One indexed probe in a [`BatchKernel`] chain.
 #[derive(Clone, Debug)]
 pub struct KernelProbe {
     /// The probed predicate.
@@ -161,34 +195,51 @@ pub struct KernelProbe {
     /// Residual equality checks on non-key columns (repeated variables
     /// first bound within this same atom).
     pub checks: Vec<(usize, KernelSrc)>,
-    /// `true` when no later probe key, later check, or head term reads a
-    /// column of this probe's matched row: the probe is a pure existence
-    /// test (a semijoin), and the kernel stops at its first match instead
-    /// of enumerating every duplicate-producing bucket row. This is the
-    /// witness-guard shape the paper's isolating rules introduce —
-    /// `witness(Z, W)` with `W` otherwise unused.
+    /// Filter/builtin-check guards the planner placed directly after
+    /// this probe; they may read this depth and anything bound earlier.
+    pub guards: Vec<KernelGuard>,
+    /// `true` when no later probe key, later check or guard, or head
+    /// term reads a column of this probe's matched row: the probe is a
+    /// pure existence test (a semijoin), and the kernel stops at its
+    /// first match instead of enumerating every duplicate-producing
+    /// group row. This is the witness-guard shape the paper's isolating
+    /// rules introduce — `witness(Z, W)` with `W` otherwise unused.
     pub existential: bool,
 }
 
-/// A compile-time specialization of the dominant plan shape the paper's
-/// isolating rules produce: a key-less seed scan followed by a short
-/// chain of indexed probes, with the head projected straight from row
-/// columns and constants. The canonical instance is the linear recursive
-/// rule `T(x,z) :- T(x,y), E(y,z)` — delta-seed scan of `T`, one probe
-/// of `E`, direct projection — but a chain of up to
-/// [`MAX_KERNEL_PROBES`] probes (e.g. a residue witness join) also
-/// qualifies. Plans with negation, builtins, filters, assignments, or a
-/// keyed seed fall back to the general step machine.
+/// A compile-time specialization of the plan shapes the paper's programs
+/// produce: a seed scan (key-less, or keyed by constants resolved at
+/// compile time) followed by a short chain of indexed probes with
+/// optional comparison/builtin-check guards, the head projected straight
+/// from row columns and constants. The canonical instance is the linear
+/// recursive rule `T(x,z) :- T(x,y), E(y,z)` — delta-seed scan of `T`,
+/// one probe of `E`, direct projection — but multi-recursive rules (two
+/// IDB occurrences), constant-key seeds, and builtin-check tails also
+/// qualify, up to [`MAX_KERNEL_PROBES`] probes. Value-binding builtins
+/// qualify when they are pure functions of the seed row (hoisted as
+/// [`KernelCompute`]s); plans with negation, probe-dependent binding
+/// builtins, or longer chains fall back to the general step machine.
 #[derive(Clone, Debug)]
-pub struct LinearKernel {
+pub struct BatchKernel {
     /// The seed predicate.
     pub seed_pred: Pred,
     /// The seed view (Delta for semi-naive variants).
     pub seed_view: View,
     /// Expected seed row width.
     pub seed_arity: usize,
+    /// Index key columns on the seed scan (empty = full range scan).
+    pub seed_key_cols: Vec<usize>,
+    /// Constant key values, parallel to `seed_key_cols`; a keyed seed
+    /// only qualifies when every key value resolves to a constant.
+    pub seed_key: Vec<Value>,
     /// Constant / repeated-variable checks on the seed row.
     pub seed_checks: Vec<(usize, KernelSrc)>,
+    /// Guards evaluable from the seed row alone (placed before any
+    /// probe).
+    pub seed_guards: Vec<KernelGuard>,
+    /// Hoisted value-binding builtins, evaluated per seed row at gather
+    /// time in order (later computes may read earlier ones).
+    pub computes: Vec<KernelCompute>,
     /// The probe chain, outermost first.
     pub probes: Vec<KernelProbe>,
     /// Head projection.
@@ -199,6 +250,11 @@ pub struct LinearKernel {
 /// keeps its cursors in fixed-size arrays of this length. Longer chains
 /// fall back to the step machine.
 pub const MAX_KERNEL_PROBES: usize = 4;
+
+/// Upper bound on a kernel's hoisted computes; the executor tracks
+/// their group-invariance in a `u64` bitmask. More fall back to the
+/// step machine (no real program gets anywhere near this).
+pub const MAX_KERNEL_COMPUTES: usize = 64;
 
 /// A fully compiled rule.
 #[derive(Clone, Debug)]
@@ -213,100 +269,206 @@ pub struct CompiledRule {
     pub nslots: usize,
     /// Variable name of each slot (diagnostics).
     pub slot_vars: Vec<Symbol>,
-    /// Specialized execution for the linear seed-plus-probe-chain shape,
+    /// Specialized batch execution for seed-plus-probe-chain shapes,
     /// derived from `steps` at compile time; `None` means the general
     /// step machine runs this plan.
-    pub kernel: Option<LinearKernel>,
+    pub kernel: Option<BatchKernel>,
 }
 
-/// Derives a [`LinearKernel`] from a compiled step sequence, or `None`
-/// when the shape doesn't qualify. Selection rules: every step is a
-/// `Scan`; the first scan is key-less (it seeds the iteration and is the
-/// step data-parallel partitions split); every later scan has a
-/// non-empty index key; the chain has at most [`MAX_KERNEL_PROBES`]
-/// probes; and every head term resolves to a constant or a row column.
-fn derive_kernel(steps: &[Step], head: &[Source], nslots: usize) -> Option<LinearKernel> {
-    let mut scans = Vec::with_capacity(steps.len());
-    for step in steps {
-        match step {
-            Step::Scan(s) => scans.push(s),
-            _ => return None,
-        }
-    }
-    let (&seed, probes_in) = scans.split_first()?;
-    if !seed.key_cols.is_empty() || probes_in.len() > MAX_KERNEL_PROBES {
-        return None;
-    }
+/// Derives a [`BatchKernel`] from a compiled step sequence, or `None`
+/// when the shape doesn't qualify. Selection rules: steps are scans,
+/// assignments, filters, pure builtin checks, and seed-phase
+/// value-binding builtins (negation and probe-dependent bindings fall
+/// back); the first scan seeds the iteration
+/// (it is the step data-parallel partitions split) and may carry an
+/// index key only if every key value resolves to a constant; every
+/// later scan has a non-empty index key; the chain has at most
+/// [`MAX_KERNEL_PROBES`] probes; and every head term resolves to a
+/// constant or a row column. Filters and builtin checks become guards
+/// attached to the most recent probe (or the seed), preserving the
+/// planner's evaluation point.
+fn derive_kernel(steps: &[Step], head: &[Source], nslots: usize) -> Option<BatchKernel> {
     // Track where each slot was first bound, in step order — the same
     // order the step machine binds them.
     let mut bindings: Vec<Option<KernelSrc>> = vec![None; nslots];
-    let mut seed_checks = Vec::new();
-    for (col, pat) in seed.args.iter().enumerate() {
-        match *pat {
-            ArgPat::Const(c) => seed_checks.push((col, KernelSrc::Const(c))),
-            ArgPat::Bind(sl) => bindings[sl] = Some(KernelSrc::Seed(col)),
-            // A repeated variable within the seed atom: equality with the
-            // column that bound it.
-            ArgPat::Bound(sl) => seed_checks.push((col, bindings[sl]?)),
+    let resolve = |bindings: &[Option<KernelSrc>], v: Source| match v {
+        Source::Const(c) => Some(KernelSrc::Const(c)),
+        Source::Slot(sl) => bindings[sl],
+    };
+
+    struct SeedInfo {
+        pred: Pred,
+        view: View,
+        arity: usize,
+        key_cols: Vec<usize>,
+        key: Vec<Value>,
+        checks: Vec<(usize, KernelSrc)>,
+        guards: Vec<KernelGuard>,
+    }
+    let mut seed: Option<SeedInfo> = None;
+    let mut computes: Vec<KernelCompute> = Vec::new();
+    let mut probes: Vec<KernelProbe> = Vec::new();
+
+    for step in steps {
+        match step {
+            Step::Assign(a) => {
+                bindings[a.slot] = Some(resolve(&bindings, a.from)?);
+            }
+            Step::Filter(fs) => {
+                let g = KernelGuard::Cmp(
+                    resolve(&bindings, fs.lhs)?,
+                    fs.op,
+                    resolve(&bindings, fs.rhs)?,
+                );
+                match probes.last_mut() {
+                    Some(p) => p.guards.push(g),
+                    None => seed.as_mut()?.guards.push(g),
+                }
+            }
+            Step::Compute(cs) => match cs.bind {
+                // The pure-check form becomes a guard at the planner's
+                // evaluation point.
+                None => {
+                    let mut args = [KernelSrc::Seed(0); 3];
+                    for (slot, &a) in args.iter_mut().zip(&cs.args) {
+                        *slot = resolve(&bindings, a)?;
+                    }
+                    let g = KernelGuard::Builtin(cs.op, args);
+                    match probes.last_mut() {
+                        Some(p) => p.guards.push(g),
+                        None => seed.as_mut()?.guards.push(g),
+                    }
+                }
+                // The value-binding form qualifies only in the seed
+                // phase (before any probe, so every read resolves to a
+                // constant, seed column, or earlier compute): the batch
+                // executor then evaluates it once per gathered seed
+                // row, matching the step machine's per-row
+                // evaluate-or-drop. A binding after a probe would run
+                // per join combination — fall back.
+                Some((pos, slot)) => {
+                    if !probes.is_empty() || computes.len() == MAX_KERNEL_COMPUTES {
+                        return None;
+                    }
+                    let mut args = [KernelSrc::Seed(0); 3];
+                    for (j, (dst, &a)) in args.iter_mut().zip(&cs.args).enumerate() {
+                        if j == pos {
+                            continue; // the solved position is never read
+                        }
+                        *dst = resolve(&bindings, a)?;
+                    }
+                    let ci = computes.len();
+                    computes.push(KernelCompute {
+                        op: cs.op,
+                        args,
+                        bind: pos,
+                    });
+                    bindings[slot] = Some(KernelSrc::Computed(ci));
+                }
+            },
+            Step::Neg(_) => return None,
+            Step::Scan(s) if seed.is_none() => {
+                // A keyed seed qualifies only when the whole key is
+                // constant (e.g. a pre-seed assignment `R = executive`
+                // pushed into the index key): the batch executor then
+                // enumerates one dictionary group instead of the range.
+                let key = s
+                    .key_vals
+                    .iter()
+                    .map(|&v| match resolve(&bindings, v)? {
+                        KernelSrc::Const(c) => Some(c),
+                        _ => None,
+                    })
+                    .collect::<Option<Vec<Value>>>()?;
+                let mut checks = Vec::new();
+                for (col, pat) in s.args.iter().enumerate() {
+                    if s.key_cols.contains(&col) {
+                        continue; // enforced by the dictionary code match
+                    }
+                    match *pat {
+                        ArgPat::Const(c) => checks.push((col, KernelSrc::Const(c))),
+                        ArgPat::Bind(sl) => bindings[sl] = Some(KernelSrc::Seed(col)),
+                        // A repeated variable within the seed atom:
+                        // equality with the column that bound it.
+                        ArgPat::Bound(sl) => checks.push((col, bindings[sl]?)),
+                    }
+                }
+                seed = Some(SeedInfo {
+                    pred: s.pred,
+                    view: s.view,
+                    arity: s.args.len(),
+                    key_cols: s.key_cols.clone(),
+                    key,
+                    checks,
+                    guards: Vec::new(),
+                });
+            }
+            Step::Scan(s) => {
+                if s.key_cols.is_empty() || probes.len() == MAX_KERNEL_PROBES {
+                    return None;
+                }
+                let d = probes.len();
+                let key = s
+                    .key_vals
+                    .iter()
+                    .map(|&v| resolve(&bindings, v))
+                    .collect::<Option<Vec<KernelSrc>>>()?;
+                let mut checks = Vec::new();
+                for (col, pat) in s.args.iter().enumerate() {
+                    if s.key_cols.contains(&col) {
+                        continue; // enforced by the dictionary code match
+                    }
+                    match *pat {
+                        ArgPat::Const(c) => checks.push((col, KernelSrc::Const(c))),
+                        ArgPat::Bind(sl) => bindings[sl] = Some(KernelSrc::Probe(d, col)),
+                        ArgPat::Bound(sl) => checks.push((col, bindings[sl]?)),
+                    }
+                }
+                probes.push(KernelProbe {
+                    pred: s.pred,
+                    view: s.view,
+                    arity: s.args.len(),
+                    key_cols: s.key_cols.clone(),
+                    key,
+                    checks,
+                    guards: Vec::new(),
+                    existential: false,
+                });
+            }
         }
     }
-    let mut probes = Vec::with_capacity(probes_in.len());
-    for (d, s) in probes_in.iter().enumerate() {
-        if s.key_cols.is_empty() {
-            return None;
-        }
-        let key = s
-            .key_vals
-            .iter()
-            .map(|&v| match v {
-                Source::Const(c) => Some(KernelSrc::Const(c)),
-                Source::Slot(sl) => bindings[sl],
-            })
-            .collect::<Option<Vec<KernelSrc>>>()?;
-        let mut checks = Vec::new();
-        for (col, pat) in s.args.iter().enumerate() {
-            if s.key_cols.contains(&col) {
-                continue; // enforced by the lazy key comparison
-            }
-            match *pat {
-                ArgPat::Const(c) => checks.push((col, KernelSrc::Const(c))),
-                ArgPat::Bind(sl) => bindings[sl] = Some(KernelSrc::Probe(d, col)),
-                ArgPat::Bound(sl) => checks.push((col, bindings[sl]?)),
-            }
-        }
-        probes.push(KernelProbe {
-            pred: s.pred,
-            view: s.view,
-            arity: s.args.len(),
-            key_cols: s.key_cols.clone(),
-            key,
-            checks,
-            existential: false,
-        });
-    }
+    let seed = seed?;
     let head = head
         .iter()
-        .map(|&h| match h {
-            Source::Const(c) => Some(KernelSrc::Const(c)),
-            Source::Slot(sl) => bindings[sl],
-        })
+        .map(|&h| resolve(&bindings, h))
         .collect::<Option<Vec<KernelSrc>>>()?;
     // A probe depth nothing downstream reads is an existence test: once
-    // one bucket row matches, every further match emits the exact same
-    // head tuples, so the executor may short-circuit. `checks` *within*
-    // a depth run while matching that depth and don't pin it.
+    // one group row matches, every further match emits the exact same
+    // head tuples, so the executor may short-circuit. `checks` and
+    // `guards` *within* a depth run while matching that depth and don't
+    // pin it.
     let reads = |src: &KernelSrc, d: usize| matches!(*src, KernelSrc::Probe(dd, _) if dd == d);
+    let guard_reads = |g: &KernelGuard, d: usize| match g {
+        KernelGuard::Cmp(l, _, r) => reads(l, d) || reads(r, d),
+        KernelGuard::Builtin(_, args) => args.iter().any(|s| reads(s, d)),
+    };
     for d in 0..probes.len() {
         let in_later = probes[d + 1..].iter().any(|p| {
-            p.key.iter().any(|s| reads(s, d)) || p.checks.iter().any(|(_, s)| reads(s, d))
+            p.key.iter().any(|s| reads(s, d))
+                || p.checks.iter().any(|(_, s)| reads(s, d))
+                || p.guards.iter().any(|g| guard_reads(g, d))
         });
         probes[d].existential = !in_later && !head.iter().any(|s| reads(s, d));
     }
-    Some(LinearKernel {
+    Some(BatchKernel {
         seed_pred: seed.pred,
         seed_view: seed.view,
-        seed_arity: seed.args.len(),
-        seed_checks,
+        seed_arity: seed.arity,
+        seed_key_cols: seed.key_cols,
+        seed_key: seed.key,
+        seed_checks: seed.checks,
+        seed_guards: seed.guards,
+        computes,
         probes,
         head,
     })
@@ -779,17 +941,116 @@ mod tests {
     }
 
     #[test]
-    fn non_linear_shapes_have_no_kernel() {
-        // Filters, builtins, negation, and keyed seeds all disqualify.
-        assert!(compile("p(X,Y) :- e(X,Z), Z > 3, f(Z,Y).").kernel.is_none());
-        assert!(compile("p(X) :- e(X,Y), plus(X, Y, _Z).").kernel.is_none());
+    fn non_kernel_shapes_fall_back() {
+        // Negation and probe-dependent value-binding builtins disqualify
+        // (a binding that reads a probe row would run per join
+        // combination, not per seed row).
+        assert!(compile("p(X) :- e(X,Y), f(Y,W), plus(W, 1, _Z).")
+            .kernel
+            .is_none());
         let r = parse_rule("p(X) :- e(X,Y), !blocked(X,Y).").unwrap();
         let c = compile_rule(&r, &BTreeMap::new(), None).unwrap();
         assert!(c.kernel.is_none());
-        // Constant in the seed atom makes the seed scan keyed.
-        assert!(compile("p(X) :- e(3, X).").kernel.is_none());
         // A cross product (key-less second scan) also falls back.
         assert!(compile("p(X,Y) :- e(X), f(Y).").kernel.is_none());
+    }
+
+    #[test]
+    fn filter_between_scans_becomes_probe_guard() {
+        // A comparison after the seed scan guards the seed phase; a
+        // pure-check builtin after a probe guards that probe.
+        let c = compile("p(X,Y) :- e(X,Z), Z > 3, f(Z,Y).");
+        let k = c.kernel.as_ref().expect("guarded chain should kernelize");
+        assert_eq!(k.seed_guards.len(), 1);
+        assert!(matches!(
+            k.seed_guards[0],
+            KernelGuard::Cmp(KernelSrc::Seed(1), _, KernelSrc::Const(_))
+        ));
+        assert_eq!(k.probes.len(), 1);
+        assert!(k.probes[0].guards.is_empty());
+    }
+
+    #[test]
+    fn builtin_tail_becomes_hoisted_compute() {
+        // The planner hoists `plus(X, 1, Y)` as a binding compute right
+        // after the seed scan (solving for `Y`) and pushes `Y` into the
+        // `e` probe's index key — the kernel carries it as a
+        // `KernelCompute` read through `KernelSrc::Computed`.
+        let c = compile("p(X,Y) :- s(X), e(X,Y), plus(X, 1, Y).");
+        let k = c.kernel.as_ref().expect("builtin tail should kernelize");
+        assert_eq!(k.computes.len(), 1);
+        assert_eq!(k.computes[0].op, BuiltinOp::Plus);
+        assert_eq!(k.computes[0].bind, 2);
+        assert_eq!(k.probes.len(), 1);
+        assert!(k.probes[0].key.contains(&KernelSrc::Computed(0)));
+    }
+
+    #[test]
+    fn seed_only_binding_builtin_kernelizes() {
+        // No probe at all: seed scan + hoisted compute + head read.
+        let c = compile("succ_t(X,Z) :- t(X,Y), plus(Y, 1, Z).");
+        let k = c.kernel.as_ref().expect("seed-phase binding kernelizes");
+        assert!(k.probes.is_empty());
+        assert_eq!(k.computes.len(), 1);
+        assert_eq!(k.head, vec![KernelSrc::Seed(0), KernelSrc::Computed(0)]);
+    }
+
+    #[test]
+    fn probe_dependent_binding_builtin_falls_back() {
+        // The binding compute reads `Y`, bound by the `e` probe — it
+        // would run per join combination, so the shape falls back.
+        let c = compile("p(X,Z) :- s(X), e(X,Y), plus(Y, 1, Z).");
+        assert!(c.kernel.is_none());
+    }
+
+    #[test]
+    fn own_guard_does_not_pin_existential() {
+        // `w` binds only `W`, unused downstream — the `plus` check reads
+        // it, but the planner attaches that guard to the `w` probe
+        // itself, where it runs per candidate row *before* the first-hit
+        // short-circuit. Nothing after the probe reads its columns, so
+        // the probe stays existential.
+        let c = compile("p(X) :- s(X), w(X, W), plus(W, 0, W).");
+        let k = c.kernel.as_ref().expect("shape should kernelize");
+        assert_eq!(k.probes[0].guards.len(), 1);
+        assert!(k.probes[0].existential);
+    }
+
+    #[test]
+    fn later_guard_read_pins_probe_non_existential() {
+        // Here the pinning is real: the comparison also reads `F` from
+        // the *later* `f` probe, so the planner evaluates it at depth 1
+        // — short-circuiting depth 0 would drop `W` bindings the guard
+        // still needs.
+        let c = compile("p(X) :- s(X), w(X, W), f(X, F), W < F.");
+        let k = c.kernel.as_ref().expect("shape should kernelize");
+        assert_eq!(k.probes.len(), 2);
+        assert!(!k.probes[0].existential);
+        assert!(k.probes[1].guards.len() == 1);
+        assert!(k.probes[1].existential);
+    }
+
+    #[test]
+    fn constant_seed_key_kernelizes() {
+        // Constant in the seed atom makes the seed scan keyed; the whole
+        // key is constant, so the batch kernel enumerates one dictionary
+        // group.
+        let c = compile("p(X) :- e(3, X).");
+        let k = c.kernel.as_ref().expect("constant-key seed kernelizes");
+        assert_eq!(k.seed_key_cols, vec![0]);
+        assert_eq!(k.seed_key, vec![Value::Int(3)]);
+        assert!(k.probes.is_empty());
+        assert_eq!(k.head, vec![KernelSrc::Seed(1)]);
+    }
+
+    #[test]
+    fn multi_recursive_rule_kernelizes() {
+        // Two IDB occurrences: seed on the first, probe on the second.
+        let c = compile("t(X,Z) :- t(X,Y), t(Y,Z).");
+        let k = c.kernel.as_ref().expect("multi-recursive kernelizes");
+        assert_eq!(k.seed_pred, Pred::new("t"));
+        assert_eq!(k.probes.len(), 1);
+        assert_eq!(k.probes[0].pred, Pred::new("t"));
     }
 
     #[test]
@@ -897,7 +1158,7 @@ impl std::fmt::Display for CompiledRule {
         if let Some(k) = &self.kernel {
             writeln!(
                 f,
-                "  kernel: linear (seed {} + {} probe{})",
+                "  kernel: batch (seed {} + {} probe{})",
                 k.seed_pred,
                 k.probes.len(),
                 if k.probes.len() == 1 { "" } else { "s" }

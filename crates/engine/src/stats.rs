@@ -25,10 +25,14 @@ pub struct Stats {
     pub derived: u64,
     /// Head tuples that were new.
     pub inserted: u64,
-    /// Rows yielded by index probes after lazy bucket filtering (a
-    /// subset of `rows_scanned`; full scans don't count here).
+    /// Rows yielded by index probes after lazy liveness/range filtering
+    /// of dictionary groups (a subset of `rows_scanned`; full scans
+    /// don't count here). Batch kernels charge group-level probe work
+    /// per member — a split or batched group reports the same counts as
+    /// tuple-at-a-time execution would.
     pub probe_hits: u64,
-    /// Plan executions routed to a specialized join kernel.
+    /// Plan executions routed to the batch kernel pipeline (chunked
+    /// gather → sort-group → probe-run → emit; DESIGN.md §13).
     pub kernel_firings: u64,
     /// Plan executions routed to the general step machine.
     pub interp_firings: u64,

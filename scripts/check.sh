@@ -33,5 +33,9 @@ cargo clippy --all-targets --offline -- -D warnings
 # full sizes, so the gate matches workloads by name+params and only
 # checks those present in both — the quick-mode fanout/org/university
 # workloads are sized to overlap the baseline set.
+# Kernel coverage gate: every kernel-bench workload must route >=90% of
+# its plan executions through the batch kernels, so eligibility
+# regressions (a shape silently falling back to the step machine) fail
+# CI instead of just slowing it down.
 cargo run -p semrec-bench --release --offline --bin harness -- bench --quick --assert-scaling \
-  --baseline BENCH_fixpoint.json --assert-throughput 50
+  --baseline BENCH_fixpoint.json --assert-throughput 50 --assert-kernel-coverage 90

@@ -16,8 +16,8 @@ use std::time::{Duration, Instant};
 fn heavy_fanout() -> (Program, Database) {
     let s = parse_scenario(fanout::PROGRAM);
     let db = fanout::generate(&fanout::FanoutParams {
-        nodes: 400,
-        extra_edges: 300,
+        nodes: 1000,
+        extra_edges: 800,
         fanout: 64,
         seed: 7,
     });

@@ -1,11 +1,13 @@
 //! Kernel-vs-machine agreement: for every `gen` workload generator plus
-//! hand-built shapes that exercise negation, builtins, and constants in
-//! index keys, evaluation with the specialized linear-rule kernels
-//! enabled must produce the identical IDB (tuple for tuple) as the
-//! general step machine, under both the `Auto` cutover and
-//! `ForceParallel` through the worker pool. Also pins the allocation
-//! discipline: the per-worker scratch high-water mark stays bounded by a
-//! small constant no matter how many rows a workload derives.
+//! hand-built shapes that exercise negation, builtins, filters,
+//! constants in index keys, and multi-recursive rules, evaluation with
+//! the batch kernels enabled must produce the identical IDB (tuple for
+//! tuple) as the general step machine, under both the `Auto` cutover
+//! and `ForceParallel` through the worker pool. A seeded chunk-boundary
+//! test pins the gather/sort/group pipeline at delta sizes straddling
+//! the chunk constant. Also pins the allocation discipline: the
+//! per-worker scratch high-water mark stays bounded by a small constant
+//! (the chunk buffers) no matter how many rows a workload derives.
 
 use semrec::datalog::{Pred, Program, Value};
 use semrec::engine::{Cutover, Database, Evaluator, Stats, Strategy, Tuple};
@@ -40,10 +42,12 @@ fn idb_map(
 }
 
 /// The generator workloads plus handwritten programs covering the plan
-/// features kernels must *not* mishandle: stratified negation, builtin
-/// computes, filters, and constants in both seed and probe index keys
-/// (all of which fall back to the step machine), alongside the pure
-/// seed-plus-probe-chain shapes kernels specialize.
+/// features batch kernels must *not* mishandle: stratified negation and
+/// value-binding builtins (which fall back to the step machine), and the
+/// widened kernel-eligible shapes — comparison filters and pure builtin
+/// checks compiled to guards, constants in seed and probe index keys,
+/// and multi-recursive rules — alongside the pure seed-plus-probe-chain
+/// shapes.
 fn workloads() -> Vec<(&'static str, Program, Database)> {
     let mut w = Vec::new();
     {
@@ -78,7 +82,8 @@ fn workloads() -> Vec<(&'static str, Program, Database)> {
     }
     {
         // The witness-guard shape: the kernel's existential short-circuit
-        // must not change the fixpoint, only skip duplicate derivations.
+        // (group-level in batch execution) must not change the fixpoint,
+        // only skip duplicate derivations.
         let s = parse_scenario(fanout::PROGRAM);
         let db = fanout::generate(&fanout::FanoutParams {
             nodes: 120,
@@ -96,6 +101,16 @@ fn workloads() -> Vec<(&'static str, Program, Database)> {
         w.push(("random_digraph", prog, db));
     }
     {
+        // Multi-recursive closure: two IDB occurrences in one rule, so
+        // semi-naive differentiation yields delta variants whose probe
+        // depth is itself the recursive predicate — newly kernel-eligible.
+        let prog: Program = "t(X,Y) :- e(X,Y). t(X,Z) :- t(X,Y), t(Y,Z)."
+            .parse()
+            .unwrap();
+        let db = graphs::random_digraph("e", 40, 90, 29);
+        w.push(("multi_recursive", prog, db));
+    }
+    {
         // Stratified negation: the Neg step only runs in the machine.
         let prog: Program = "reach(X,Y) :- edge(X,Y).
              reach(X,Y) :- reach(X,Z), edge(Z,Y).
@@ -109,13 +124,16 @@ fn workloads() -> Vec<(&'static str, Program, Database)> {
         w.push(("negation", prog, db));
     }
     {
-        // Builtin compute + comparison filter: both disqualify a kernel,
-        // so these rules pin the machine fallback inside a mixed program
-        // where the recursive rule still kernelizes.
+        // Builtin compute vs builtin check: the value-*binding* form
+        // (`plus` solving for Z) is hoisted into the kernel seed phase
+        // when no probe precedes it, while the comparison filter and
+        // the pure-check form compile to guards — all routes must agree
+        // inside one mixed program.
         let prog: Program = "t(X,Y) :- e(X,Y).
              t(X,Y) :- e(X,Z), t(Z,Y).
              succ_t(X,Z) :- t(X,Y), plus(Y, 1, Z).
-             big(X,Y) :- t(X,Y), Y > 50."
+             big(X,Y) :- t(X,Y), Y > 50.
+             incr(X,Y) :- t(X,Y), plus(X, 1, Y)."
             .parse()
             .unwrap();
         let db = graphs::random_digraph("e", 80, 200, 27);
@@ -123,8 +141,8 @@ fn workloads() -> Vec<(&'static str, Program, Database)> {
     }
     {
         // Constants in index keys: a constant seed column makes the seed
-        // scan keyed (no kernel); a constant probe column rides the probe
-        // key of a kernelizable chain.
+        // scan keyed — the batch kernel enumerates one dictionary group —
+        // and a constant probe column rides the probe key of a chain.
         let prog: Program = "from3(X) :- e(3, X).
              hop3(X,Y) :- e(X,Z), e(Z,Y), e(3, Z).
              t(X,Y) :- e(X,Y).
@@ -157,11 +175,91 @@ fn kernels_agree_with_machine_on_all_workloads() {
     }
 }
 
-/// The allocation discipline the kernels PR claims: task execution does
+/// The eligibility widening is real, not just permitted: programs made
+/// only of multi-recursive, constant-key, filter-guard, builtin-check
+/// and seed-bound binding-builtin shapes execute entirely through
+/// kernels (no interpreter firings).
+#[test]
+fn widened_shapes_fire_kernels_not_interpreter() {
+    let shapes: [(&str, &str); 5] = [
+        (
+            "multi_recursive",
+            "t(X,Y) :- e(X,Y). t(X,Z) :- t(X,Y), t(Y,Z).",
+        ),
+        ("const_seed_key", "from3(X) :- e(3, X)."),
+        ("filter_guard", "big(X,Y) :- e(X,Z), Z > 2, e(Z,Y)."),
+        ("builtin_check_tail", "incr(X,Y) :- e(X,Y), plus(X, 1, Y)."),
+        (
+            "binding_builtin_tail",
+            "succ(X,Z) :- e(X,Y), plus(Y, 1, Z).",
+        ),
+    ];
+    for (name, src) in shapes {
+        let prog: Program = src.parse().unwrap();
+        let mut db = graphs::random_digraph("e", 30, 60, 31);
+        // The random graph may miss node 3's out-edges; the constant-key
+        // shape needs them to derive anything.
+        db.insert("e", vec![Value::Int(3), Value::Int(7)]);
+        db.insert("e", vec![Value::Int(3), Value::Int(4)]);
+        let (idb, stats) = idb_map(&db, &prog, true, Cutover::Auto);
+        assert!(
+            idb.values().any(|rows| !rows.is_empty()),
+            "{name}: derived nothing — test is vacuous"
+        );
+        assert!(stats.kernel_firings > 0, "{name}: kernel never fired");
+        assert_eq!(
+            stats.interp_firings, 0,
+            "{name}: fell back to the interpreter"
+        );
+    }
+}
+
+/// Chunk-boundary pinning: the batch pipeline gathers seed rows in
+/// fixed-size chunks, so off-by-one bugs live exactly at delta sizes of
+/// 1, chunk−1, chunk, chunk+1 and a few whole chunks. Build a seed
+/// relation of each size (keys from a seeded LCG so groups straddle
+/// chunk edges), join it through a probe, and require tuple-for-tuple
+/// agreement with the step machine under both cutovers.
+#[test]
+fn chunk_boundary_sizes_agree() {
+    const CHUNK: usize = 1024; // mirrors the executor's KERNEL_CHUNK
+    for n in [1, CHUNK - 1, CHUNK, CHUNK + 1, 3 * CHUNK] {
+        let mut db = Database::default();
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        for i in 0..n {
+            // xorshift64*: deterministic, scattered keys with repeats.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let key = (state % 97) as i64;
+            db.insert("e", vec![Value::Int(i as i64), Value::Int(key)]);
+        }
+        for j in 0..97i64 {
+            db.insert("w", vec![Value::Int(j), Value::Int(j + 1)]);
+            if j % 3 == 0 {
+                db.insert("w", vec![Value::Int(j), Value::Int(j + 2)]);
+            }
+        }
+        let prog: Program = "out(X,Z) :- e(X,Y), w(Y,Z).".parse().unwrap();
+        let (base, _) = idb_map(&db, &prog, false, Cutover::Auto);
+        assert!(
+            base.values().any(|rows| !rows.is_empty()),
+            "n={n}: derived nothing — test is vacuous"
+        );
+        for cutover in [Cutover::Auto, Cutover::ForceParallel] {
+            let (idb, stats) = idb_map(&db, &prog, true, cutover);
+            assert_eq!(base, idb, "n={n}: IDB diverged (cutover={cutover:?})");
+            assert!(stats.kernel_firings > 0, "n={n}: kernel never fired");
+        }
+    }
+}
+
+/// The allocation discipline the kernels claim: task execution does
 /// zero per-derived-row heap allocation, so the per-worker scratch
-/// high-water mark is a function of plan shape (slot count, probe-chain
-/// key widths), not of data size. Deriving ~100k rows must leave the
-/// high-water mark at a few hundred bytes.
+/// high-water mark is a function of plan shape and the fixed chunk
+/// constant (the gather buffer is KERNEL_CHUNK entries), never of data
+/// size. Deriving ~100k rows must leave the high-water mark under the
+/// chunk budget.
 #[test]
 fn scratch_high_water_is_bounded_by_plan_shape_not_data() {
     let s = parse_scenario(fanout::PROGRAM);
@@ -179,8 +277,11 @@ fn scratch_high_water_is_bounded_by_plan_shape_not_data() {
             stats.scratch_hw_bytes > 0,
             "scratch telemetry never reported (kernels={kernels})"
         );
+        // 1024-entry chunk of packed u64 hash/row-id words = 8 KiB,
+        // plus the key arena and frames; 32 KiB bounds it with headroom
+        // while still failing fast if any buffer ever scales with data.
         assert!(
-            stats.scratch_hw_bytes <= 4096,
+            stats.scratch_hw_bytes <= 32 * 1024,
             "scratch high-water {}B grew with data (kernels={kernels})",
             stats.scratch_hw_bytes
         );
