@@ -248,6 +248,27 @@ pub fn parse_json(src: &str) -> Result<Json, String> {
     Ok(v)
 }
 
+/// Checks a prior `BENCH_fixpoint.json` against the harness's current
+/// [`crate::fixpoint::SCHEMA_VERSION`]. A missing or older
+/// `schema_version` means the checked-in artifact predates a schema
+/// change the CI gates read — the fix is regenerating it with
+/// `harness bench --json`, not loosening the gate.
+pub fn check_schema_version(src: &str) -> Result<String, String> {
+    let current = crate::fixpoint::SCHEMA_VERSION;
+    let doc = parse_json(src)?;
+    match doc.get("schema_version").and_then(Json::as_num) {
+        Some(v) if v == current as f64 => Ok(format!("baseline schema v{current} is current")),
+        Some(v) => Err(format!(
+            "baseline schema v{v} is stale (harness emits v{current}); regenerate with \
+             `harness bench --json`"
+        )),
+        None => Err(format!(
+            "baseline has no `schema_version` (harness emits v{current}); regenerate with \
+             `harness bench --json`"
+        )),
+    }
+}
+
 /// One workload row recovered from a prior `BENCH_fixpoint.json`.
 #[derive(Clone, Debug)]
 pub struct BaselineWorkload {

@@ -24,12 +24,13 @@
 //! if any kernel-bench workload routes fewer than `<pct>` percent of its
 //! plan executions through the batch kernels.
 
-use semrec_bench::baseline::{check_throughput, diff_table, parse_baseline};
+use semrec_bench::baseline::{check_schema_version, check_throughput, diff_table, parse_baseline};
 use semrec_bench::experiments::{run, Scale, ALL};
 use semrec_bench::fixpoint::{
-    check_kernel_coverage, check_scaling, governance_table, incremental_table, kernel_table,
-    run_fixpoint_bench_gated, run_governance_bench, run_incremental_bench, run_kernel_bench,
-    run_semantic_bench, semantic_table, to_json_full, to_json_with_incremental,
+    check_kernel_coverage, check_no_regrow, check_scaling, dict_table, governance_table,
+    incremental_table, kernel_table, run_dict_bench, run_fixpoint_bench_gated,
+    run_governance_bench, run_incremental_bench, run_kernel_bench, run_semantic_bench,
+    semantic_table, to_json_full, to_json_with_dict, to_json_with_incremental,
     to_json_with_kernels, to_table,
 };
 use std::path::Path;
@@ -40,6 +41,7 @@ fn main() -> ExitCode {
     let mut baseline_path: Option<String> = None;
     let mut assert_throughput: Option<f64> = None;
     let mut assert_kernel_coverage: Option<f64> = None;
+    let mut assert_no_regrow: Option<u64> = None;
     let mut args: Vec<String> = Vec::new();
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
@@ -56,6 +58,14 @@ fn main() -> ExitCode {
                 Some(pct) if pct >= 0.0 => assert_throughput = Some(pct),
                 _ => {
                     eprintln!("--assert-throughput requires a tolerance percentage");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if a == "--assert-no-regrow" {
+            match it.next().and_then(|p| p.parse::<u64>().ok()) {
+                Some(max) => assert_no_regrow = Some(max),
+                None => {
+                    eprintln!("--assert-no-regrow requires a max-regrow count");
                     return ExitCode::FAILURE;
                 }
             }
@@ -81,18 +91,34 @@ fn main() -> ExitCode {
         .map(String::as_str)
         .collect();
 
+    if ids.contains(&"dict") {
+        print!("{}", dict_table(&run_dict_bench(quick)));
+        return ExitCode::SUCCESS;
+    }
+
     if ids.contains(&"bench") {
         // Read the baseline up front: --json may overwrite the very file
         // (the usual flow diffs a fresh run against the checked-in one).
         let baseline = match &baseline_path {
             Some(path) => match std::fs::read_to_string(path) {
-                Ok(src) => match parse_baseline(&src) {
-                    Ok(base) => Some(base),
-                    Err(e) => {
-                        eprintln!("cannot parse baseline {path}: {e}");
-                        return ExitCode::FAILURE;
+                Ok(src) => {
+                    // A stale schema fails before any timing runs: the
+                    // gates below read fields the old artifact lacks.
+                    match check_schema_version(&src) {
+                        Ok(summary) => println!("{summary}"),
+                        Err(e) => {
+                            eprintln!("baseline {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
                     }
-                },
+                    match parse_baseline(&src) {
+                        Ok(base) => Some(base),
+                        Err(e) => {
+                            eprintln!("cannot parse baseline {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
                 Err(e) => {
                     eprintln!("cannot read baseline {path}: {e}");
                     return ExitCode::FAILURE;
@@ -112,14 +138,19 @@ fn main() -> ExitCode {
         print!("{}", incremental_table(&incremental));
         let kernels = run_kernel_bench(quick);
         print!("{}", kernel_table(&kernels));
+        let dict = run_dict_bench(quick);
+        print!("{}", dict_table(&dict));
         if json {
             let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_fixpoint.json");
-            let doc = to_json_with_kernels(
-                to_json_with_incremental(
-                    to_json_full(&results, &semantic, &governance),
-                    &incremental,
+            let doc = to_json_with_dict(
+                to_json_with_kernels(
+                    to_json_with_incremental(
+                        to_json_full(&results, &semantic, &governance),
+                        &incremental,
+                    ),
+                    &kernels,
                 ),
-                &kernels,
+                &dict,
             );
             std::fs::write(&out, doc).expect("write BENCH_fixpoint.json");
             println!("wrote {}", out.display());
@@ -143,6 +174,15 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             };
             match check_throughput(&results, base, pct) {
+                Ok(summary) => println!("{summary}"),
+                Err(report) => {
+                    eprintln!("{report}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if let Some(max) = assert_no_regrow {
+            match check_no_regrow(&kernels, max) {
                 Ok(summary) => println!("{summary}"),
                 Err(report) => {
                     eprintln!("{report}");

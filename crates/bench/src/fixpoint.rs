@@ -7,10 +7,18 @@
 //! `Instant`-based wall timing, median of N runs.
 
 use semrec_datalog::program::Program;
-use semrec_engine::{evaluate, Budget, CancelToken, Database, Evaluator, Stats, Strategy};
+use semrec_engine::fxhash::{hash_one, PrehashedMap};
+use semrec_engine::{evaluate, Budget, CancelToken, CodeMap, Database, Evaluator, Stats, Strategy};
 use semrec_gen::{fanout, org, parse_scenario, university};
 use std::fmt::Write as _;
 use std::time::Instant;
+
+/// Version of the `BENCH_fixpoint.json` schema this harness emits
+/// (`"schema_version"` in the document header). Bump it whenever a
+/// section or field the CI gates read is added or changed; `check.sh`
+/// fails when the checked-in baseline's version differs, forcing a
+/// regeneration with `harness bench --json` in the same PR.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// IDB-size floor for the `--assert-scaling` gate: workloads below this
 /// finish in a few ms and are dominated by noise, not by scaling.
@@ -236,6 +244,15 @@ pub struct KernelBenchResult {
     /// and tiny regardless of derived-row count: the zero-allocation
     /// witness.
     pub scratch_hw_bytes: u64,
+    /// Dictionary-map walks the enabled run actually paid (memo misses
+    /// and unmemoized resolutions).
+    pub dict_probes: u64,
+    /// Key→code resolutions served from the EDB-stable kernel memos
+    /// instead of the dictionary (enabled run).
+    pub dict_memo_hits: u64,
+    /// Mid-insert dedup-table rehashes during drains (enabled run); 0
+    /// means the EWMA pre-sizing held on every round.
+    pub dedup_regrows: u64,
 }
 
 impl KernelBenchResult {
@@ -357,6 +374,9 @@ pub fn run_kernel_bench(quick: bool) -> Vec<KernelBenchResult> {
             probes: kstats.probes,
             probe_hits: kstats.probe_hits,
             scratch_hw_bytes: kstats.scratch_hw_bytes,
+            dict_probes: kstats.dict_probes,
+            dict_memo_hits: kstats.dict_memo_hits,
+            dedup_regrows: kstats.dedup_regrows,
         });
     }
     out
@@ -367,7 +387,7 @@ pub fn kernel_table(results: &[KernelBenchResult]) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
-        "{:<10} {:<42} {:>10} {:>10} {:>8} {:>11} {:>11} {:>9} {:>10}",
+        "{:<10} {:<42} {:>10} {:>10} {:>8} {:>11} {:>11} {:>9} {:>10} {:>9} {:>9} {:>8}",
         "kernels",
         "params",
         "interp ms",
@@ -376,12 +396,15 @@ pub fn kernel_table(results: &[KernelBenchResult]) -> String {
         "krows/s",
         "irows/s",
         "coverage",
-        "scratch"
+        "scratch",
+        "dict",
+        "memo",
+        "regrows"
     );
     for r in results {
         let _ = writeln!(
             s,
-            "{:<10} {:<42} {:>10.2} {:>10.2} {:>7.2}x {:>11.0} {:>11.0} {:>8.1}% {:>9}B",
+            "{:<10} {:<42} {:>10.2} {:>10.2} {:>7.2}x {:>11.0} {:>11.0} {:>8.1}% {:>9}B {:>9} {:>9} {:>8}",
             r.name,
             r.params,
             r.interp_millis,
@@ -391,6 +414,9 @@ pub fn kernel_table(results: &[KernelBenchResult]) -> String {
             r.interp_rows_per_sec,
             100.0 * r.coverage(),
             r.scratch_hw_bytes,
+            r.dict_probes,
+            r.dict_memo_hits,
+            r.dedup_regrows,
         );
     }
     s
@@ -413,7 +439,8 @@ pub fn to_json_with_kernels(mut s: String, kernels: &[KernelBenchResult]) -> Str
              \"interp_rows_per_sec\": {}, \"kernel_rows_per_sec\": {}, \
              \"speedup\": {}, \"kernel_firings\": {}, \"interp_firings\": {}, \
              \"kernel_coverage\": {}, \
-             \"probes\": {}, \"probe_hits\": {}, \"scratch_hw_bytes\": {}}}",
+             \"probes\": {}, \"probe_hits\": {}, \"scratch_hw_bytes\": {}, \
+             \"dict_probes\": {}, \"dict_memo_hits\": {}, \"dedup_regrows\": {}}}",
             r.name,
             r.params,
             r.rows_idb,
@@ -427,7 +454,10 @@ pub fn to_json_with_kernels(mut s: String, kernels: &[KernelBenchResult]) -> Str
             json_f(r.coverage()),
             r.probes,
             r.probe_hits,
-            r.scratch_hw_bytes
+            r.scratch_hw_bytes,
+            r.dict_probes,
+            r.dict_memo_hits,
+            r.dedup_regrows
         );
         s.push_str(if i + 1 < kernels.len() { ",\n" } else { "\n" });
     }
@@ -713,6 +743,197 @@ pub fn check_kernel_coverage(
     }
 }
 
+/// CI gate: no kernel-bench workload may exceed `max_regrows` mid-drain
+/// dedup-table rehashes (`dedup_regrows`) in its kernels-enabled run —
+/// `--assert-no-regrow 0` pins the EWMA pre-sizing promise on the gen
+/// workloads. Returns a pass summary or a per-workload violation report.
+pub fn check_no_regrow(results: &[KernelBenchResult], max_regrows: u64) -> Result<String, String> {
+    let mut violations = String::new();
+    for r in results {
+        if r.dedup_regrows > max_regrows {
+            let _ = writeln!(
+                violations,
+                "  {} {}: dedup_regrows {} > {max_regrows}",
+                r.name, r.params, r.dedup_regrows,
+            );
+        }
+    }
+    if violations.is_empty() {
+        Ok(format!(
+            "regrow gate: {} workload(s) at <= {max_regrows} mid-drain dedup rehashes",
+            results.len()
+        ))
+    } else {
+        Err(format!(
+            "regrow gate FAILED (dedup pre-sizing missed; drains rehashed mid-insert):\n{violations}"
+        ))
+    }
+}
+
+/// One dictionary-map microbenchmark row: [`CodeMap`] vs `PrehashedMap`
+/// over the same synthetic key population, nanoseconds per operation.
+/// "Insert" builds the map from empty; "hit" looks up every resident
+/// key; "miss" looks up as many absent keys.
+#[derive(Clone, Debug)]
+pub struct DictBenchResult {
+    /// Resident keys in the map.
+    pub keys: usize,
+    /// ns/op building a `CodeMap` from empty.
+    pub codemap_insert_ns: f64,
+    /// ns/op for resident-key lookups on `CodeMap`.
+    pub codemap_hit_ns: f64,
+    /// ns/op for absent-key lookups on `CodeMap`.
+    pub codemap_miss_ns: f64,
+    /// ns/op building a `PrehashedMap` from empty.
+    pub prehashed_insert_ns: f64,
+    /// ns/op for resident-key lookups on `PrehashedMap`.
+    pub prehashed_hit_ns: f64,
+    /// ns/op for absent-key lookups on `PrehashedMap`.
+    pub prehashed_miss_ns: f64,
+}
+
+/// Runs the `harness dict` microbenchmark: `CodeMap` vs the
+/// `PrehashedMap` it replaced as the dictionary-encoding map, on
+/// insert / lookup-hit / lookup-miss mixes at 1k / 100k / 1M resident
+/// keys (`quick` drops the 1M row). Key `i` hashes via `hash_one(i)` —
+/// the same Fx mixing the relation stores use — and codes are the key
+/// indices, so the `CodeMap` equality closure is an O(1) array check,
+/// isolating the probe-walk cost the tables differ on.
+pub fn run_dict_bench(quick: bool) -> Vec<DictBenchResult> {
+    let sizes: &[usize] = if quick {
+        &[1_000, 100_000]
+    } else {
+        &[1_000, 100_000, 1_000_000]
+    };
+    let mut out = Vec::new();
+    for &n in sizes {
+        // Repeat small populations so every cell measures a similar
+        // total op count (≥ ~1M) and the per-op quotient is stable.
+        let reps = (1_000_000 / n).max(1);
+        let hashes: Vec<u64> = (0..2 * n as u64).map(hash_one).collect();
+        let per_op = |nanos: u128| nanos as f64 / (reps * n) as f64;
+
+        let mut cm = CodeMap::default();
+        let t = Instant::now();
+        for _ in 0..reps {
+            cm.clear();
+            for i in 0..n {
+                cm.insert(hashes[i], i as u32, |c| hashes[c as usize]);
+            }
+        }
+        let codemap_insert_ns = per_op(t.elapsed().as_nanos());
+        let mut found = 0u64;
+        let t = Instant::now();
+        for _ in 0..reps {
+            for i in 0..n {
+                found += u64::from(cm.get(hashes[i], |c| c as usize == i).is_some());
+            }
+        }
+        let codemap_hit_ns = per_op(t.elapsed().as_nanos());
+        assert_eq!(std::hint::black_box(found), (reps * n) as u64);
+        let t = Instant::now();
+        for _ in 0..reps {
+            for i in n..2 * n {
+                found += u64::from(cm.get(hashes[i], |c| c as usize == i).is_some());
+            }
+        }
+        let codemap_miss_ns = per_op(t.elapsed().as_nanos());
+        assert_eq!(std::hint::black_box(found), (reps * n) as u64, "misses hit");
+
+        let mut pm: PrehashedMap<u32> = PrehashedMap::default();
+        let t = Instant::now();
+        for _ in 0..reps {
+            pm.clear();
+            for i in 0..n {
+                pm.insert(hashes[i], i as u32);
+            }
+        }
+        let prehashed_insert_ns = per_op(t.elapsed().as_nanos());
+        let mut found = 0u64;
+        let t = Instant::now();
+        for _ in 0..reps {
+            for i in 0..n {
+                found += u64::from(pm.get(&hashes[i]).is_some());
+            }
+        }
+        let prehashed_hit_ns = per_op(t.elapsed().as_nanos());
+        assert_eq!(std::hint::black_box(found), (reps * n) as u64);
+        let t = Instant::now();
+        for _ in 0..reps {
+            for i in n..2 * n {
+                found += u64::from(pm.get(&hashes[i]).is_some());
+            }
+        }
+        let prehashed_miss_ns = per_op(t.elapsed().as_nanos());
+        assert_eq!(std::hint::black_box(found), (reps * n) as u64, "misses hit");
+
+        out.push(DictBenchResult {
+            keys: n,
+            codemap_insert_ns,
+            codemap_hit_ns,
+            codemap_miss_ns,
+            prehashed_insert_ns,
+            prehashed_hit_ns,
+            prehashed_miss_ns,
+        });
+    }
+    out
+}
+
+/// A human-readable dictionary-microbenchmark table (ns per operation).
+pub fn dict_table(results: &[DictBenchResult]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "dict", "keys", "cm ins", "cm hit", "cm miss", "pm ins", "pm hit", "pm miss"
+    );
+    for r in results {
+        let _ = writeln!(
+            s,
+            "{:<10} {:>10} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            "ns/op",
+            r.keys,
+            r.codemap_insert_ns,
+            r.codemap_hit_ns,
+            r.codemap_miss_ns,
+            r.prehashed_insert_ns,
+            r.prehashed_hit_ns,
+            r.prehashed_miss_ns,
+        );
+    }
+    s
+}
+
+/// Splices the `dict` section into an already-serialized benchmark
+/// document. Empty input leaves the document unchanged.
+pub fn to_json_with_dict(mut s: String, dict: &[DictBenchResult]) -> String {
+    if dict.is_empty() {
+        return s;
+    }
+    let tail = s.rfind("  ]\n}").expect("serializer emits a closing array");
+    s.truncate(tail + 3);
+    s.push_str(",\n  \"dict\": [\n");
+    for (i, r) in dict.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"keys\": {}, \"codemap_insert_ns\": {}, \"codemap_hit_ns\": {}, \
+             \"codemap_miss_ns\": {}, \"prehashed_insert_ns\": {}, \
+             \"prehashed_hit_ns\": {}, \"prehashed_miss_ns\": {}}}",
+            r.keys,
+            json_f(r.codemap_insert_ns),
+            json_f(r.codemap_hit_ns),
+            json_f(r.codemap_miss_ns),
+            json_f(r.prehashed_insert_ns),
+            json_f(r.prehashed_hit_ns),
+            json_f(r.prehashed_miss_ns)
+        );
+        s.push_str(if i + 1 < dict.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 fn json_f(x: f64) -> String {
     if x.is_finite() {
         format!("{x:.3}")
@@ -819,6 +1040,7 @@ pub fn semantic_table(results: &[SemanticResult]) -> String {
 pub fn to_json(results: &[WorkloadResult]) -> String {
     let mut s = String::new();
     s.push_str("{\n  \"benchmark\": \"fixpoint\",\n");
+    let _ = writeln!(s, "  \"schema_version\": {SCHEMA_VERSION},");
     let _ = writeln!(
         s,
         "  \"strategy\": \"SemiNaive\",\n  \"available_parallelism\": {},",

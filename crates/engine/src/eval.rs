@@ -44,7 +44,7 @@ use crate::plan::{
 #[cfg(doc)]
 use crate::plan::{KernelCompute, MAX_KERNEL_COMPUTES};
 use crate::pool::{Job, WorkerPool};
-use crate::relation::{ProbeHandle, Relation, RowRange, Tuple};
+use crate::relation::{CodeMap, ProbeHandle, Relation, RowRange, Tuple};
 use crate::stats::{PoolStats, Stats};
 use semrec_datalog::atom::{Atom, Pred};
 use semrec_datalog::program::Program;
@@ -365,6 +365,46 @@ enum PlanRef {
     Delta(usize, usize),
 }
 
+/// Per probe-depth key→code memo for one compiled plan variant.
+///
+/// The batch pipeline resolves each sort-group's probe key to a dense
+/// dictionary code through [`ProbeHandle::encode`] — one random access
+/// into the relation's [`CodeMap`] per group. For *static* relations
+/// (EDB predicates never change mid-fixpoint outside incremental mode)
+/// the resolution is identical every round, so the serial path caches
+/// positive resolutions here and replays them without touching the
+/// dictionary. Invalidation is by relation generation: `gen` records
+/// the probed relation's physical row count when the memo was filled,
+/// and any mismatch (an incremental transaction appended EDB rows)
+/// clears the memo wholesale before the task runs. Cached codes are
+/// re-verified against live dictionary key storage on every hit
+/// ([`ProbeHandle::code_key`]), so a stale code can never alias a
+/// different key — the generation check exists to keep the memo from
+/// accumulating dead entries, not for soundness.
+#[derive(Clone)]
+struct DepthMemo {
+    /// Cached key→code resolutions, keyed by the same full key hash
+    /// the dictionary itself uses.
+    map: CodeMap,
+    /// The probed relation's physical row count when `map` was last
+    /// (in)validated; a mismatch clears. `usize::MAX` initially, so
+    /// the first use always stamps.
+    gen: usize,
+    /// True when this depth probes a non-IDB (EDB) relation. IDB
+    /// dictionaries grow almost every round, which would clear the
+    /// memo before it ever hits, so only EDB depths are armed.
+    edb: bool,
+}
+
+/// Kernel memos for one rule's plan variants, parallel to
+/// [`RulePlans`]: one [`DepthMemo`] per probe depth of each variant's
+/// [`BatchKernel`] (empty for plans without a kernel).
+#[derive(Clone, Default)]
+struct RuleMemos {
+    full: Vec<DepthMemo>,
+    deltas: Vec<Vec<DepthMemo>>,
+}
+
 /// A plan scheduled for the current round, with its seed scan resolved:
 /// `seed` is the first `Scan` step's index and visible row range, `rows`
 /// that range's length (0 when the plan has no resolvable seed scan).
@@ -537,6 +577,12 @@ pub struct Evaluator<'db> {
     /// deltas — a long chain derives a few hundred rows per round —
     /// pays its emission-buffer growth once, not once per round.
     serial_buf: ShardedDerivedBuf,
+    /// EDB-stable key→code memos, parallel to `plans` (one entry per
+    /// probe depth of each plan variant's kernel; see [`DepthMemo`]).
+    /// Serial rounds thread the scheduled plan's memo through
+    /// [`run_kernel`]; parallel rounds pass `None` (round jobs share
+    /// `&self`, and the pool path amortizes differently anyway).
+    memos: Vec<RuleMemos>,
 }
 
 impl<'db> Evaluator<'db> {
@@ -574,6 +620,7 @@ impl<'db> Evaluator<'db> {
             row_nanos_ewma: INITIAL_ROW_NANOS,
             kernels: true,
             serial_buf: ShardedDerivedBuf::new(1),
+            memos: Vec::new(),
         };
         ev.set_program(program)?;
         Ok(ev)
@@ -642,6 +689,7 @@ impl<'db> Evaluator<'db> {
         ev.plans = prepared.plans.clone();
         ev.rule_stratum = prepared.rule_stratum.clone();
         ev.max_stratum = prepared.max_stratum;
+        ev.build_memos();
         for (&p, &n) in &prepared.arities {
             if ev.idb_preds.contains(&p) {
                 ev.idb.entry(p).or_insert_with(|| Relation::new(n));
@@ -848,7 +896,37 @@ impl<'db> Evaluator<'db> {
         self.program = program.clone();
         self.idb_preds = idb_preds;
         self.plans = plans;
+        self.build_memos();
         Ok(())
+    }
+
+    /// (Re)derives the kernel memo table from the current plans: one
+    /// [`DepthMemo`] per probe depth of each variant's kernel, armed
+    /// only for EDB depths. Called whenever `plans` is replaced — both
+    /// [`set_program`](Evaluator::set_program) and the prepared-plan
+    /// copy in [`Evaluator::from_prepared`].
+    fn build_memos(&mut self) {
+        let depth_memos = |rule: &CompiledRule| -> Vec<DepthMemo> {
+            rule.kernel.as_ref().map_or_else(Vec::new, |k| {
+                k.probes
+                    .iter()
+                    .map(|p| DepthMemo {
+                        map: CodeMap::default(),
+                        gen: usize::MAX,
+                        edb: !self.idb_preds.contains(&p.pred),
+                    })
+                    .collect()
+            })
+        };
+        let memos = self
+            .plans
+            .iter()
+            .map(|rp| RuleMemos {
+                full: depth_memos(&rp.full),
+                deltas: rp.deltas.iter().map(depth_memos).collect(),
+            })
+            .collect();
+        self.memos = memos;
     }
 
     /// The current (partial) contents of an IDB relation.
@@ -960,7 +1038,9 @@ impl<'db> Evaluator<'db> {
                             .idb
                             .get_mut(&pred)
                             .expect("derived tuple for unknown idb predicate");
+                        let before = rel.regrows();
                         let n = rel.commit_new_rows(&data, &hashes);
+                        stats.dedup_regrows += rel.regrows() - before;
                         stats.inserted += n as u64;
                         any_new |= n > 0;
                     }
@@ -973,8 +1053,15 @@ impl<'db> Evaluator<'db> {
                 // out for the round (its field borrow would conflict
                 // with `execute_task`'s `&self`) and restored cleared.
                 let mut buf = std::mem::replace(&mut self.serial_buf, ShardedDerivedBuf::new(1));
+                // Kernel memos are serial-only evaluator state, taken
+                // out the same way and restored after the round.
+                let mut memos = std::mem::take(&mut self.memos);
                 let mut aborted = false;
                 for ps in &plan_seeds {
+                    let memo = match ps.pref {
+                        PlanRef::Full(ri) => &mut memos[ri].full,
+                        PlanRef::Delta(ri, di) => &mut memos[ri].deltas[di],
+                    };
                     let done = self.execute_task(
                         Task {
                             plan: self.plan(ps.pref),
@@ -982,12 +1069,14 @@ impl<'db> Evaluator<'db> {
                         },
                         &mut stats,
                         &mut buf,
+                        Some(memo),
                     );
                     if !done {
                         aborted = true;
                         break;
                     }
                 }
+                self.memos = memos;
                 if aborted {
                     self.stats = stats;
                     let err = self.trip_reason().unwrap_or(EngineError::Cancelled);
@@ -997,6 +1086,11 @@ impl<'db> Evaluator<'db> {
                 buf.clear();
                 self.serial_buf = buf;
                 delta.serial_rounds = 1;
+                // Parallel mode, serial round: the adaptive cutover (or
+                // the single-CPU guard) vetoed pool dispatch — record
+                // the decision so staying-serial-on-small-rounds is
+                // observable in `PoolStats`, not inferred from timing.
+                delta.cutover_serial_rounds = (self.parallelism > 1) as u64;
                 delta.serial_rows = total_rows;
                 delta.serial_nanos = serial_start.elapsed().as_nanos() as u64;
                 any_new
@@ -1249,7 +1343,7 @@ impl<'db> Evaluator<'db> {
                     // On a cooperative abort the task's partial shards
                     // are dropped here; the control thread discards the
                     // whole round anyway.
-                    if ev.execute_task(task, &mut st, &mut buf) {
+                    if ev.execute_task(task, &mut st, &mut buf, None) {
                         for (s, shard) in buf.shards.into_iter().enumerate() {
                             if !shard.is_empty() {
                                 shard_bufs_ref[s]
@@ -1371,6 +1465,7 @@ impl<'db> Evaluator<'db> {
         ps.rows_dispatched += d.rows_dispatched;
         ps.serial_nanos += d.serial_nanos;
         ps.serial_rows += d.serial_rows;
+        ps.cutover_serial_rounds += d.cutover_serial_rounds;
         if d.workers > 0 {
             ps.workers = d.workers;
         }
@@ -1462,14 +1557,20 @@ impl<'db> Evaluator<'db> {
     /// Runs one task to completion. Returns `false` when a cooperative
     /// governance check aborted the task mid-scan (its partial output
     /// must be discarded).
-    fn execute_task(&self, task: Task<'_>, stats: &mut Stats, out: &mut ShardedDerivedBuf) -> bool {
+    fn execute_task(
+        &self,
+        task: Task<'_>,
+        stats: &mut Stats,
+        out: &mut ShardedDerivedBuf,
+        memo: Option<&mut Vec<DepthMemo>>,
+    ) -> bool {
         stats.rule_firings += 1;
         TASK_SCRATCH.with(|cell| {
             let scratch = &mut *cell.borrow_mut();
             let ok = match &task.plan.kernel {
                 Some(k) if self.kernels => {
                     stats.kernel_firings += 1;
-                    run_kernel(self, task.plan, k, task.part, scratch, stats, out)
+                    run_kernel(self, task.plan, k, task.part, scratch, stats, out, memo)
                 }
                 _ => {
                     stats.interp_firings += 1;
@@ -1517,6 +1618,36 @@ fn drain_serial(
     // lines survive in L1 (a grow() between issue and use only wastes
     // the hint).
     const PREFETCH: usize = 8;
+    // Pre-size the dedup tables: per target predicate, scale the
+    // round's derived-row count by the relation's learned unique
+    // fraction ([`Relation::reserve_for_derived`]) and reserve once up
+    // front, so steady-state drains never grow mid-insert. `tallies`
+    // doubles as the per-predicate derived/inserted count pair feeding
+    // the post-drain EWMA update — a round touches a handful of
+    // predicates, so a linear scan beats a map.
+    let mut tallies: Vec<(Pred, usize, usize)> = Vec::new();
+    for shard in &buf.shards {
+        let nrows = shard.hashes.len();
+        for (ri, run) in shard.runs.iter().enumerate() {
+            let row_end = shard
+                .runs
+                .get(ri + 1)
+                .map_or(nrows, |r| r.row_start as usize);
+            let cnt = row_end - run.row_start as usize;
+            match tallies.iter_mut().find(|(p, ..)| *p == run.pred) {
+                Some(t) => t.1 += cnt,
+                None => tallies.push((run.pred, cnt, 0)),
+            }
+        }
+    }
+    let mut regrow_delta = 0u64;
+    for &(p, derived, _) in &tallies {
+        let rel = idb
+            .get_mut(&p)
+            .expect("derived tuple for unknown idb predicate");
+        regrow_delta = regrow_delta.wrapping_sub(rel.regrows());
+        rel.reserve_for_derived(derived);
+    }
     let mut any_new = false;
     for shard in &buf.shards {
         // The buffer is already run-length encoded by predicate:
@@ -1532,18 +1663,34 @@ fn drain_serial(
             let rel = idb
                 .get_mut(&run.pred)
                 .expect("derived tuple for unknown idb predicate");
+            let mut ins = 0usize;
             for i in run.row_start as usize..row_end {
                 if i + PREFETCH < row_end {
                     rel.prefetch_hash(shard.hashes[i + PREFETCH]);
                 }
                 let s = base + (i - run.row_start as usize) * arity;
                 if rel.insert_hashed(&shard.data[s..s + arity], shard.hashes[i]) {
-                    stats.inserted += 1;
-                    any_new = true;
+                    ins += 1;
                 }
+            }
+            stats.inserted += ins as u64;
+            any_new |= ins > 0;
+            if let Some(t) = tallies.iter_mut().find(|(p, ..)| *p == run.pred) {
+                t.2 += ins;
             }
         }
     }
+    // Feed the observed duplicate rate back into each relation's EWMA
+    // and report any mid-drain regrows (the stall the reservation
+    // exists to eliminate; see [`Stats::dedup_regrows`]).
+    for &(p, derived, inserted) in &tallies {
+        let rel = idb
+            .get_mut(&p)
+            .expect("derived tuple for unknown idb predicate");
+        regrow_delta = regrow_delta.wrapping_add(rel.regrows());
+        rel.note_drain(derived, inserted);
+    }
+    stats.dedup_regrows += regrow_delta;
     any_new
 }
 
@@ -1577,6 +1724,17 @@ struct TaskScratch {
     /// rows sharing a probe key form runs. Capacity is bounded by
     /// [`KERNEL_CHUNK`], never by data size.
     chunk: Vec<u64>,
+    /// Ring of upcoming sort-group starts (indexes into
+    /// [`TaskScratch::chunk`]): the boundary scan runs a fixed number of
+    /// packed runs ahead of the group walk, prefetching each run's
+    /// dictionary (or memo) slot as it is resolved. Fixed-size ring, not
+    /// chunk-sized.
+    group_starts: Vec<u32>,
+    /// Full depth-0 key hash of each ring entry's representative.
+    group_hashes: Vec<u64>,
+    /// Resolved representative keys of the ring entries (ring slot ×
+    /// depth-0 key width), so the walk never re-gathers a run head's key.
+    group_keys: Vec<Value>,
 }
 
 impl TaskScratch {
@@ -1586,7 +1744,10 @@ impl TaskScratch {
             + self.frames.capacity() * std::mem::size_of::<Frame>()
             + self.key_buf.capacity() * std::mem::size_of::<Value>()
             + self.neg_key.capacity() * std::mem::size_of::<Value>()
-            + self.chunk.capacity() * std::mem::size_of::<u64>()) as u64
+            + self.chunk.capacity() * std::mem::size_of::<u64>()
+            + self.group_starts.capacity() * std::mem::size_of::<u32>()
+            + self.group_hashes.capacity() * std::mem::size_of::<u64>()
+            + self.group_keys.capacity() * std::mem::size_of::<Value>()) as u64
     }
 }
 
@@ -2084,6 +2245,7 @@ impl KernelCtx<'_> {
                             key_buf[ks + j] = self.src_val(src, seed_row, rowids);
                         }
                         let key = &key_buf[ks..ke];
+                        stats.dict_probes += 1;
                         // SAFETY: relations and indexes are frozen while
                         // a round's tasks run (see `ProbeHandle` docs).
                         cursors[d] = match unsafe { handle.encode(hash_slice(key), key) } {
@@ -2184,6 +2346,7 @@ impl KernelCtx<'_> {
 /// per-row tick (bulk counter updates would break the global
 /// `rows_scanned` cadence). Returns `false` when a poll aborted the
 /// task; its partial output is discarded at the round boundary.
+#[allow(clippy::too_many_arguments)]
 fn run_kernel(
     ev: &Evaluator<'_>,
     plan: &CompiledRule,
@@ -2192,6 +2355,7 @@ fn run_kernel(
     scratch: &mut TaskScratch,
     stats: &mut Stats,
     out: &mut ShardedDerivedBuf,
+    memo: Option<&mut Vec<DepthMemo>>,
 ) -> bool {
     let Some((seed_rel, mut seed_range)) = ev.resolve(k.seed_pred, k.seed_view) else {
         return true;
@@ -2221,6 +2385,26 @@ fn run_kernel(
         debug_assert_eq!(handle.generation(), rel.physical_rows());
         prels[d] = Some((rel, range, handle));
     }
+    // Arm the per-depth memos: stamp generations, clear stale maps, and
+    // keep only EDB depths (IDB dictionaries change every round, so
+    // filling a memo for them is pure overhead).
+    let mut depth_memos: [Option<&mut DepthMemo>; MAX_KERNEL_PROBES] =
+        std::array::from_fn(|_| None);
+    if let Some(memos) = memo {
+        debug_assert_eq!(memos.len(), np);
+        for (d, m) in memos.iter_mut().enumerate().take(np) {
+            if !m.edb {
+                continue;
+            }
+            let (rel, _, _) = prels[d].as_ref().expect("probe depth resolved");
+            let gen = rel.physical_rows();
+            if m.gen != gen {
+                m.map.clear();
+                m.gen = gen;
+            }
+            depth_memos[d] = Some(m);
+        }
+    }
     // A constant-keyed seed enumerates one dictionary group instead of
     // the row range; an absent key derives nothing.
     let seed_handle =
@@ -2230,6 +2414,7 @@ fn run_kernel(
         Some(h) => {
             debug_assert_eq!(h.generation(), seed_rel.physical_rows());
             stats.probes += 1;
+            stats.dict_probes += 1;
             // SAFETY: relations and indexes are frozen while a round's
             // tasks run (see `ProbeHandle` docs).
             match unsafe { h.encode(hash_slice(&k.seed_key), &k.seed_key) } {
@@ -2239,10 +2424,7 @@ fn run_kernel(
         }
     };
     // Fixed per-depth key offsets into the reused arena.
-    let mut key_off = [0usize; MAX_KERNEL_PROBES + 1];
-    for (d, p) in k.probes.iter().enumerate() {
-        key_off[d + 1] = key_off[d] + p.key.len();
-    }
+    let key_off = k.key_offsets();
     // Invariant/dependent split (see [`KernelCtx::split`]): keys may
     // read rows of strictly earlier depths; checks and guards at depth
     // `d` may also read the row being matched at `d` itself. A source is
@@ -2299,7 +2481,14 @@ fn run_kernel(
         split,
         np,
     };
-    let TaskScratch { key_buf, chunk, .. } = scratch;
+    let TaskScratch {
+        key_buf,
+        chunk,
+        group_starts,
+        group_hashes,
+        group_keys,
+        ..
+    } = scratch;
     key_buf.clear();
     key_buf.resize(key_off[np], Value::Int(0));
     let mut cursors = [(std::ptr::null::<u32>(), 0u32, 0u32); MAX_KERNEL_PROBES];
@@ -2416,156 +2605,119 @@ fn run_kernel(
         // Sort-group: rows sharing the depth-0 key become one run (hash
         // order with row-id tiebreak keeps runs deterministic).
         chunk.sort_unstable();
-        let mut gs = 0usize;
-        while gs < chunk.len() {
-            // Re-resolve the representative's depth-0 key into the arena
-            // (the gather staged the last row's key there).
-            let ghi = pack_seed(chunk[gs], 0);
-            let rep_row = seed_rel.row(chunk[gs] as u32);
-            for (j, &src) in k.probes[0].key.iter().enumerate() {
-                key_buf[j] = ctx.src_val(src, rep_row, &rowids);
+        let (rel0, _, h0) = ctx.prels[0].as_ref().expect("probe depth resolved");
+        debug_assert_eq!(h0.generation(), rel0.physical_rows());
+        // Pipelined group walk: the boundary scan runs a ring's worth of
+        // packed runs ahead of the walk, resolving each run's
+        // representative key and full hash exactly once and prefetching
+        // the map slot that hash will probe — the warm memo when one is
+        // armed, the dictionary otherwise. By the time the walk reaches
+        // a run, its line has had several groups' worth of join work to
+        // arrive, so the per-group random access overlaps with useful
+        // work instead of serializing one cache miss per group.
+        const GROUP_RING: usize = 16;
+        group_starts.clear();
+        group_starts.resize(GROUP_RING, 0);
+        group_hashes.clear();
+        group_hashes.resize(GROUP_RING, 0);
+        group_keys.clear();
+        group_keys.resize(GROUP_RING * w0, Value::Int(0));
+        let mut fill_pos = 0usize; // chunk index where the scan resumes
+        let mut filled = 0usize; // packed runs resolved so far
+        let mut walk = 0usize; // next run to walk
+        while walk < filled || fill_pos < chunk.len() {
+            // Top up the ring. One slot stays free so the run being
+            // walked and its successor (whose start is the walked run's
+            // end) are never overwritten by the scan.
+            while fill_pos < chunk.len() && filled - walk < GROUP_RING - 1 {
+                let slot = filled & (GROUP_RING - 1);
+                let ghi = pack_seed(chunk[fill_pos], 0);
+                let rep_row = seed_rel.row(chunk[fill_pos] as u32);
+                let ks = slot * w0;
+                for (j, &src) in k.probes[0].key.iter().enumerate() {
+                    group_keys[ks + j] = ctx.src_val(src, rep_row, &rowids);
+                }
+                let gh = hash_slice(&group_keys[ks..ks + w0]);
+                group_starts[slot] = fill_pos as u32;
+                group_hashes[slot] = gh;
+                match &depth_memos[0] {
+                    Some(m) if !m.map.is_empty() => m.map.prefetch(gh),
+                    // SAFETY: frozen for the round (`ProbeHandle` docs).
+                    _ => unsafe { h0.prefetch_key(gh) },
+                }
+                fill_pos += 1;
+                while fill_pos < chunk.len() && pack_seed(chunk[fill_pos], 0) == ghi {
+                    fill_pos += 1;
+                }
+                filled += 1;
             }
-            // The packed words carry only the hash's high half, so runs
-            // can mix distinct keys; verify by value so every group
+            let slot = walk & (GROUP_RING - 1);
+            let run_start = group_starts[slot] as usize;
+            let run_end = if walk + 1 < filled {
+                group_starts[(walk + 1) & (GROUP_RING - 1)] as usize
+            } else {
+                chunk.len()
+            };
+            key_buf[..w0].copy_from_slice(&group_keys[slot * w0..slot * w0 + w0]);
+            let run_hash = group_hashes[slot];
+            walk += 1;
+            // The packed words carry only the hash's high half, so a
+            // run can mix distinct keys; verify by value so every group
             // holds exactly one key. A colliding row simply starts its
             // own group — per-member count replay makes that equivalent.
-            let mut ge = gs + 1;
-            while ge < chunk.len() && pack_seed(chunk[ge], 0) == ghi {
-                let row = seed_rel.row(chunk[ge] as u32);
-                let same = k.probes[0]
-                    .key
-                    .iter()
-                    .enumerate()
-                    .all(|(j, &src)| ctx.src_val(src, row, &rowids) == key_buf[j]);
-                if !same {
-                    break;
-                }
-                ge += 1;
-            }
-            let members = &chunk[gs..ge];
-            let m = members.len() as u64;
-            gs = ge;
-            // One dictionary lookup per group — the amortized probe.
-            // (The full key hash is recomputed from the verified key:
-            // the packed chunk word kept only its high half.)
-            let gh = hash_slice(&key_buf[..w0]);
-            let (rel0, _, h0) = ctx.prels[0].as_ref().expect("probe depth resolved");
-            debug_assert_eq!(h0.generation(), rel0.physical_rows());
-            // SAFETY: frozen for the round (see `ProbeHandle` docs).
-            let depth0 = match unsafe { h0.encode(gh, &key_buf[..w0]) } {
-                Some(code) => {
-                    let g = unsafe { h0.group(code) };
-                    (g.as_ptr(), g.len() as u32)
-                }
-                None => {
-                    // No depth-0 rows for this key: every member opens
-                    // and at once exhausts the probe.
-                    stats.probes += m;
-                    continue;
-                }
-            };
-            if split == 0 {
-                // Member-dependent depth 0: per-member enumeration over
-                // the shared pre-fetched group.
-                if !ctx.member_tail(
-                    ev,
-                    seed_rel,
-                    members,
-                    depth0,
-                    key_buf,
-                    &mut cursors,
-                    &mut rowids,
-                    &mut ticks,
-                    stats,
-                    out,
-                ) {
-                    return false;
-                }
-                continue;
-            }
-            // Group phase: enumerate the invariant prefix once against
-            // the representative row; local counters replay ×members.
-            let (mut lp, mut lph, mut lrs, mut lce) = (1u64, 0u64, 0u64, 0u64);
-            cursors[0] = (depth0.0, depth0.1, 0);
-            let mut d = 0usize;
-            let mut entering = false; // depth-0 cursor pre-opened
-            loop {
-                let p = &k.probes[d];
-                let (rel, range, handle) = ctx.prels[d].as_ref().expect("probe depth resolved");
-                if entering {
-                    lp += 1;
-                    let (ks, ke) = (key_off[d], key_off[d + 1]);
-                    for (j, &src) in p.key.iter().enumerate() {
-                        key_buf[ks + j] = ctx.src_val(src, rep_row, &rowids);
+            let mut gs = run_start;
+            while gs < run_end {
+                let rep_row = seed_rel.row(chunk[gs] as u32);
+                if gs != run_start {
+                    // A collision subgroup resolves its own key; the
+                    // run head's came from the ring.
+                    for (j, &src) in k.probes[0].key.iter().enumerate() {
+                        key_buf[j] = ctx.src_val(src, rep_row, &rowids);
                     }
-                    let key = &key_buf[ks..ke];
-                    // SAFETY: frozen for the round (`ProbeHandle` docs).
-                    cursors[d] = match unsafe { handle.encode(hash_slice(key), key) } {
-                        Some(code) => {
-                            let g = unsafe { handle.group(code) };
-                            (g.as_ptr(), g.len() as u32, 0)
-                        }
-                        None => (std::ptr::null(), 0, 0),
-                    };
-                    entering = false;
                 }
-                // Advance depth d to its next matching row.
-                let mut matched = false;
-                {
-                    let (ptr, len, pos) = &mut cursors[d];
-                    while *pos < *len {
-                        // SAFETY: group storage is frozen for the round.
-                        let rid = unsafe { *ptr.add(*pos as usize) };
-                        *pos += 1;
-                        if !rel.row_visible(rid, *range) {
-                            continue;
-                        }
-                        lph += 1;
-                        lrs += 1;
-                        ticks += 1;
-                        if ticks & POLL_MASK == 0 && ev.should_abort() {
-                            return false;
-                        }
-                        let row = rel.row(rid);
-                        if row.len() != p.arity {
-                            continue;
-                        }
-                        rowids[d] = rid;
-                        let mut ok = true;
-                        for &(c, src) in &p.checks {
-                            if row[c] != ctx.src_val(src, rep_row, &rowids) {
-                                ok = false;
-                                break;
-                            }
-                        }
-                        if ok {
-                            for g in &p.guards {
-                                lce += 1;
-                                if !ctx.guard_ok(g, rep_row, &rowids) {
-                                    ok = false;
-                                    break;
-                                }
-                            }
-                        }
-                        if !ok {
-                            continue;
-                        }
-                        matched = true;
+                let mut ge = gs + 1;
+                while ge < run_end {
+                    let row = seed_rel.row(chunk[ge] as u32);
+                    let same = k.probes[0]
+                        .key
+                        .iter()
+                        .enumerate()
+                        .all(|(j, &src)| ctx.src_val(src, row, &rowids) == key_buf[j]);
+                    if !same {
                         break;
                     }
+                    ge += 1;
                 }
-                if matched {
-                    if p.existential {
-                        // Invariant existential: the first hit serves
-                        // every member — a group-level short-circuit.
-                        cursors[d].2 = cursors[d].1;
+                let members = &chunk[gs..ge];
+                let m = members.len() as u64;
+                // The run head reuses the hash the scan computed; a
+                // collision-split subgroup recomputes its own.
+                let gh = if gs == run_start {
+                    run_hash
+                } else {
+                    hash_slice(&key_buf[..w0])
+                };
+                gs = ge;
+                // One key→code resolution per group — the amortized
+                // probe, served from the EDB memo when armed.
+                // SAFETY: frozen for the round (see `ProbeHandle` docs).
+                let depth0 = match unsafe {
+                    encode_memoized(h0, depth_memos[0].as_deref_mut(), gh, &key_buf[..w0], stats)
+                } {
+                    Some(code) => {
+                        let g = unsafe { h0.group(code) };
+                        (g.as_ptr(), g.len() as u32)
                     }
-                    if d + 1 < split {
-                        d += 1;
-                        entering = true;
+                    None => {
+                        // No depth-0 rows for this key: every member
+                        // opens and at once exhausts the probe.
+                        stats.probes += m;
                         continue;
                     }
-                    // Full invariant prefix match: per-member tail.
+                };
+                if split == 0 {
+                    // Member-dependent depth 0: per-member enumeration
+                    // over the shared pre-fetched group.
                     if !ctx.member_tail(
                         ev,
                         seed_rel,
@@ -2580,20 +2732,169 @@ fn run_kernel(
                     ) {
                         return false;
                     }
-                    // Stay at the deepest invariant depth and advance.
-                } else if d == 0 {
-                    break;
-                } else {
-                    d -= 1;
+                    continue;
                 }
+                // Group phase: enumerate the invariant prefix once
+                // against the representative row; local counters replay
+                // ×members.
+                let (mut lp, mut lph, mut lrs, mut lce) = (1u64, 0u64, 0u64, 0u64);
+                cursors[0] = (depth0.0, depth0.1, 0);
+                let mut d = 0usize;
+                let mut entering = false; // depth-0 cursor pre-opened
+                loop {
+                    let p = &k.probes[d];
+                    let (rel, range, handle) = ctx.prels[d].as_ref().expect("probe depth resolved");
+                    if entering {
+                        lp += 1;
+                        let (ks, ke) = (key_off[d], key_off[d + 1]);
+                        for (j, &src) in p.key.iter().enumerate() {
+                            key_buf[ks + j] = ctx.src_val(src, rep_row, &rowids);
+                        }
+                        let key = &key_buf[ks..ke];
+                        let kh = hash_slice(key);
+                        // SAFETY: frozen for the round (`ProbeHandle`
+                        // docs).
+                        cursors[d] = match unsafe {
+                            encode_memoized(handle, depth_memos[d].as_deref_mut(), kh, key, stats)
+                        } {
+                            Some(code) => {
+                                let g = unsafe { handle.group(code) };
+                                (g.as_ptr(), g.len() as u32, 0)
+                            }
+                            None => (std::ptr::null(), 0, 0),
+                        };
+                        entering = false;
+                    }
+                    // Advance depth d to its next matching row.
+                    let mut matched = false;
+                    {
+                        let (ptr, len, pos) = &mut cursors[d];
+                        while *pos < *len {
+                            // SAFETY: group storage is frozen for the
+                            // round.
+                            let rid = unsafe { *ptr.add(*pos as usize) };
+                            *pos += 1;
+                            if !rel.row_visible(rid, *range) {
+                                continue;
+                            }
+                            lph += 1;
+                            lrs += 1;
+                            ticks += 1;
+                            if ticks & POLL_MASK == 0 && ev.should_abort() {
+                                return false;
+                            }
+                            let row = rel.row(rid);
+                            if row.len() != p.arity {
+                                continue;
+                            }
+                            rowids[d] = rid;
+                            let mut ok = true;
+                            for &(c, src) in &p.checks {
+                                if row[c] != ctx.src_val(src, rep_row, &rowids) {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                            if ok {
+                                for g in &p.guards {
+                                    lce += 1;
+                                    if !ctx.guard_ok(g, rep_row, &rowids) {
+                                        ok = false;
+                                        break;
+                                    }
+                                }
+                            }
+                            if !ok {
+                                continue;
+                            }
+                            matched = true;
+                            break;
+                        }
+                    }
+                    if matched {
+                        if p.existential {
+                            // Invariant existential: the first hit
+                            // serves every member — a group-level
+                            // short-circuit.
+                            cursors[d].2 = cursors[d].1;
+                        }
+                        if d + 1 < split {
+                            d += 1;
+                            entering = true;
+                            continue;
+                        }
+                        // Full invariant prefix match: per-member tail.
+                        if !ctx.member_tail(
+                            ev,
+                            seed_rel,
+                            members,
+                            depth0,
+                            key_buf,
+                            &mut cursors,
+                            &mut rowids,
+                            &mut ticks,
+                            stats,
+                            out,
+                        ) {
+                            return false;
+                        }
+                        // Stay at the deepest invariant depth, advance.
+                    } else if d == 0 {
+                        break;
+                    } else {
+                        d -= 1;
+                    }
+                }
+                stats.probes += lp * m;
+                stats.probe_hits += lph * m;
+                stats.rows_scanned += lrs * m;
+                stats.cmp_evals += lce * m;
             }
-            stats.probes += lp * m;
-            stats.probe_hits += lph * m;
-            stats.rows_scanned += lrs * m;
-            stats.cmp_evals += lce * m;
         }
     }
     true
+}
+
+/// Resolves `key` (with full hash `hash`) to its dictionary code,
+/// through the armed per-depth memo when one exists. A memo hit skips
+/// the dictionary walk entirely — the cached code is still verified
+/// against live key storage, so hits can never alias — while a miss
+/// walks the dictionary and caches a positive resolution for later
+/// rounds. Counter discipline: `dict_memo_hits` counts served-from-memo
+/// resolutions, `dict_probes` counts real dictionary walks; both are
+/// physical-event counters, not replayed per group member like the
+/// logical work counters.
+///
+/// # Safety
+/// Same contract as [`ProbeHandle::encode`]: the index behind `handle`
+/// must be frozen for the duration of the call.
+#[inline]
+unsafe fn encode_memoized(
+    handle: &ProbeHandle,
+    memo: Option<&mut DepthMemo>,
+    hash: u64,
+    key: &[Value],
+    stats: &mut Stats,
+) -> Option<u32> {
+    if let Some(m) = memo {
+        // SAFETY: forwarded from the caller.
+        if let Some(c) = m.map.get(hash, |c| unsafe { handle.code_key(c) } == key) {
+            stats.dict_memo_hits += 1;
+            return Some(c);
+        }
+        stats.dict_probes += 1;
+        // SAFETY: forwarded from the caller.
+        let resolved = unsafe { handle.encode(hash, key) };
+        if let Some(c) = resolved {
+            // SAFETY: forwarded from the caller.
+            m.map
+                .insert(hash, c, |cc| hash_slice(unsafe { handle.code_key(cc) }));
+        }
+        return resolved;
+    }
+    stats.dict_probes += 1;
+    // SAFETY: forwarded from the caller.
+    unsafe { handle.encode(hash, key) }
 }
 
 /// Computes the stratum of each IDB predicate: a rule head is at least its

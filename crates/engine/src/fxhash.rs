@@ -87,6 +87,16 @@ pub fn hash_slice<T: Hash>(items: &[T]) -> u64 {
     h.finish()
 }
 
+/// Hashes one 64-bit word with [`FxHasher`] — the single-key variant of
+/// [`hash_slice`], for callers whose key is already a machine word (the
+/// dictionary microbenchmark's synthetic keys, packed row ids).
+#[inline]
+pub fn hash_one(x: u64) -> u64 {
+    let mut h = FxHasher::default();
+    x.hash(&mut h);
+    h.finish()
+}
+
 /// A pass-through hasher for keys that are *already* hashes (`u64`).
 /// Rehashing a hash wastes cycles and does not improve distribution.
 #[derive(Clone, Copy, Default)]

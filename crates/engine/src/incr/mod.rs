@@ -43,6 +43,7 @@ use crate::eval::{Evaluator, Prepared, Strategy};
 use crate::fxhash::FxHashMap;
 use crate::governor::{Budget, CancelToken, Governor};
 use crate::relation::{Relation, Tuple};
+use crate::stats::Stats;
 use matcher::Poll;
 use semrec_datalog::atom::{Atom, Pred};
 use semrec_datalog::constraint::Constraint;
@@ -218,6 +219,10 @@ pub struct UpdateStats {
     pub rounds: u64,
     /// Wall-clock milliseconds for the whole update.
     pub elapsed_ms: u64,
+    /// Work counters of the propagation (or fallback re-evaluation)
+    /// run — the same [`Stats`] a batch evaluation reports, so callers
+    /// can observe e.g. `dict_memo_hits` on the incremental path.
+    pub stats: Stats,
 }
 
 /// A program's fixpoint kept materialized across transactions.
@@ -375,6 +380,7 @@ impl Materialized {
         let run = ev.run();
         let rounds = ev.rounds();
         let res = ev.finish();
+        let eval_stats = res.stats;
         let idb_inserted = res.stats.inserted;
         let mut idb: BTreeMap<Pred, Relation> = res.idb;
         if let Err(e) = run {
@@ -398,6 +404,7 @@ impl Materialized {
             idb_inserted,
             rounds,
             elapsed_ms: start.elapsed().as_millis() as u64,
+            stats: eval_stats,
         })
     }
 
@@ -482,6 +489,7 @@ impl Materialized {
             idb_inserted,
             rounds,
             elapsed_ms: start.elapsed().as_millis() as u64,
+            stats: res.stats,
         })
     }
 
@@ -511,6 +519,7 @@ impl Materialized {
             idb_inserted: res.stats.inserted,
             rounds,
             elapsed_ms: start.elapsed().as_millis() as u64,
+            stats: res.stats,
         })
     }
 }

@@ -39,5 +39,5 @@ pub use eval::{
 pub use governor::{Budget, CancelToken};
 pub use incr::{Materialized, Tx, TxDelta, UpdateStats};
 pub use pool::{JobPanic, PhasePanic, WorkerPool};
-pub use relation::{Relation, RowRange, Tuple};
+pub use relation::{CodeMap, Relation, RowRange, Tuple};
 pub use stats::{PoolStats, Stats};

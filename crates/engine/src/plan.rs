@@ -246,6 +246,20 @@ pub struct BatchKernel {
     pub head: Vec<KernelSrc>,
 }
 
+impl BatchKernel {
+    /// Cumulative probe-key offsets into a packed key buffer:
+    /// `key_offsets()[d]..key_offsets()[d + 1]` is depth `d`'s key
+    /// slice, and the entry at `probes.len()` is the total key width —
+    /// the per-task buffer length the batch executor reserves.
+    pub fn key_offsets(&self) -> [usize; MAX_KERNEL_PROBES + 1] {
+        let mut off = [0usize; MAX_KERNEL_PROBES + 1];
+        for (d, p) in self.probes.iter().enumerate() {
+            off[d + 1] = off[d] + p.key.len();
+        }
+        off
+    }
+}
+
 /// Upper bound on a kernel's probe-chain length; the kernel executor
 /// keeps its cursors in fixed-size arrays of this length. Longer chains
 /// fall back to the step machine.

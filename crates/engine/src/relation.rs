@@ -22,7 +22,7 @@
 //! (tombstone-free) relations, so its range views never straddle a
 //! dead row.
 
-use crate::fxhash::{hash_slice, FxHashMap, PrehashedMap};
+use crate::fxhash::{hash_slice, FxHashMap};
 use semrec_datalog::term::Value;
 use std::sync::RwLock;
 
@@ -80,11 +80,8 @@ impl RowRange {
     }
 }
 
-/// Terminator for the intrusive same-hash chains (dedup rows, dictionary
-/// codes). Doubles as the "no predecessor" marker during unlinking.
-const NONE: u32 = u32::MAX;
-
-/// Empty slot marker in [`RowSet`] (the slot's id half).
+/// Empty slot marker in [`RowSet`] and [`CodeMap`] (the slot's low
+/// half).
 const EMPTY: u32 = u32::MAX;
 /// Deleted-slot marker in [`RowSet`] (the slot's id half): does not stop
 /// a probe walk, may be reused by a later insert.
@@ -132,12 +129,13 @@ impl RowSet {
         (h & FP_MASK) | id as u64
     }
 
-    /// Grows (or initially sizes) the table so one more insert keeps the
-    /// load factor at most ½, re-inserting every live row id. `row_hash`
-    /// is the relation's per-row hash column.
+    /// Grows (or initially sizes) the table to an explicit power-of-two
+    /// capacity, re-inserting every live row id; `row_hash` is the
+    /// relation's per-row hash column. A caller that knows how many
+    /// inserts are coming jumps here once instead of paying a chain of
+    /// doubling rehashes mid-drain ([`Relation::grow_for_insert`]).
     #[cold]
-    fn grow(&mut self, row_hash: &[u64]) {
-        let cap = (4 * (self.live + 1)).next_power_of_two();
+    fn grow_to(&mut self, cap: usize, row_hash: &[u64]) {
         let old = std::mem::replace(&mut self.slots, vec![EMPTY as u64; cap]);
         self.mask = cap - 1;
         self.tombs = 0;
@@ -183,6 +181,155 @@ impl RowSet {
     }
 }
 
+/// A purpose-built flat open-addressing map from key-tuple hashes to
+/// dictionary codes: the [`RowSet`] slot discipline (packed
+/// `fingerprint << 32 | code` words, linear probing from the hash's low
+/// bits) applied to the dictionary side of the probe path. Compared to
+/// the `PrehashedMap` it replaces, the slot array is a plain `Vec<u64>`
+/// the caller can software-prefetch by hash ([`CodeMap::prefetch`]
+/// mirrors [`Relation::prefetch_hash`]) — a std `HashMap` hides its
+/// control bytes behind an opaque allocation, so the per-sort-group
+/// random access behind [`ProbeHandle::encode`] could never be
+/// overlapped. Dictionaries never delete, so there is no tombstone
+/// state: every slot is either vacant or a live fingerprint|code pair,
+/// and probe walks terminate at the first vacant slot.
+///
+/// The map does not store keys; lookups verify fingerprint matches
+/// through a caller closure comparing the candidate code's key tuple,
+/// and grows re-derive each entry's hash the same way. Full 64-bit hash
+/// collisions are therefore handled by the probe walk itself: a
+/// fingerprint match whose key comparison fails just keeps walking.
+#[derive(Debug, Clone, Default)]
+pub struct CodeMap {
+    /// Power-of-two array of `fingerprint << 32 | code` slots; the code
+    /// half is `u32::MAX` for vacant slots.
+    slots: Vec<u64>,
+    mask: usize,
+    /// Occupied slots.
+    len: usize,
+}
+
+impl CodeMap {
+    /// First slot of the probe sequence for hash `h`.
+    #[inline]
+    fn start(&self, h: u64) -> usize {
+        (h as usize) & self.mask
+    }
+
+    /// Packs a code with its key hash's fingerprint half.
+    #[inline]
+    fn entry(h: u64, code: u32) -> u64 {
+        (h & FP_MASK) | code as u64
+    }
+
+    /// Number of stored codes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no code is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The code filed under `hash` whose key the caller confirms via
+    /// `eq` (called with a candidate code, almost always once), or
+    /// `None`. `eq` must compare the candidate's key tuple against the
+    /// probe key — fingerprints are 32 bits, so a match is necessary but
+    /// not sufficient.
+    #[inline]
+    pub fn get(&self, hash: u64, mut eq: impl FnMut(u32) -> bool) -> Option<u32> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let fp = hash & FP_MASK;
+        let mut s = self.start(hash);
+        loop {
+            let slot = self.slots[s];
+            let code = slot as u32;
+            if code == EMPTY {
+                return None;
+            }
+            if slot & FP_MASK == fp && eq(code) {
+                return Some(code);
+            }
+            s = (s + 1) & self.mask;
+        }
+    }
+
+    /// Files `code` under `hash`. The caller must have verified absence
+    /// (via [`CodeMap::get`]) first — the map holds one entry per
+    /// distinct key. `key_hash` re-derives the hash of an existing code
+    /// when the insert forces a grow.
+    pub fn insert(&mut self, hash: u64, code: u32, key_hash: impl Fn(u32) -> u64) {
+        debug_assert_ne!(code, EMPTY, "code u32::MAX is the vacant-slot marker");
+        let cap = self.slots.len();
+        if cap == 0 || 2 * (self.len + 1) > cap {
+            self.grow(&key_hash);
+        }
+        let mut s = self.start(hash);
+        while self.slots[s] as u32 != EMPTY {
+            s = (s + 1) & self.mask;
+        }
+        self.slots[s] = CodeMap::entry(hash, code);
+        self.len += 1;
+    }
+
+    /// Grows (or initially sizes) the slot array so one more insert
+    /// keeps the load factor at most ½, re-filing every code under the
+    /// hash `key_hash` derives for it.
+    #[cold]
+    fn grow(&mut self, key_hash: &impl Fn(u32) -> u64) {
+        let cap = (4 * (self.len + 1)).next_power_of_two();
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY as u64; cap]);
+        self.mask = cap - 1;
+        for slot in old {
+            let code = slot as u32;
+            if code == EMPTY {
+                continue;
+            }
+            let h = key_hash(code);
+            let mut s = self.start(h);
+            while self.slots[s] as u32 != EMPTY {
+                s = (s + 1) & self.mask;
+            }
+            self.slots[s] = CodeMap::entry(h, code);
+        }
+    }
+
+    /// Drops every entry but keeps the slot allocation, for memo
+    /// invalidation: the next fill cycle reuses the array.
+    pub fn clear(&mut self) {
+        self.slots.fill(EMPTY as u64);
+        self.len = 0;
+    }
+
+    /// Prefetches the slot-array cache line `hash` will probe first, so
+    /// a caller resolving a batch of keys can overlap the map's cold
+    /// misses instead of stalling on each in turn. Purely a hint; no-op
+    /// off x86-64.
+    #[inline]
+    pub fn prefetch(&self, hash: u64) {
+        #[cfg(target_arch = "x86_64")]
+        if !self.slots.is_empty() {
+            // SAFETY: `start` is masked into bounds; prefetch reads no
+            // memory architecturally.
+            unsafe {
+                core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(
+                    self.slots.as_ptr().add(self.start(hash)) as *const i8,
+                );
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = hash;
+    }
+
+    /// Resident bytes of the slot array.
+    pub fn heap_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
 /// A dictionary index on a column subset: every distinct key tuple gets a
 /// dense `u32` *code*, rows are grouped per code, and each physical row
 /// carries its code in a dense column (`row_codes`) — the relation's
@@ -196,13 +343,10 @@ impl RowSet {
 #[derive(Debug)]
 struct ColumnIndex {
     cols: Vec<usize>,
-    /// Key-tuple hash → first code with that hash; hash-colliding codes
-    /// (nearly nonexistent) chain through `code_next`. Storing the code
-    /// inline in the map slot keeps the single-candidate hit path — the
-    /// overwhelmingly common one — free of a bucket-`Vec` indirection.
-    map: PrehashedMap<u32>,
-    /// Per code: the next code sharing its key hash, or [`NONE`].
-    code_next: Vec<u32>,
+    /// Key-tuple hash → code, a prefetchable flat [`CodeMap`]. Lookups
+    /// verify candidates against `keys`, and same-hash codes simply
+    /// occupy adjacent probe slots — no chain storage.
+    map: CodeMap,
     /// Flat store of the distinct key tuples, `cols.len()` stride; code
     /// `c`'s tuple is at `c * cols.len()`.
     keys: Vec<Value>,
@@ -217,22 +361,19 @@ struct ColumnIndex {
 }
 
 impl ColumnIndex {
+    /// The key tuple code `c` encodes.
+    #[inline]
+    fn key_of(&self, c: u32) -> &[Value] {
+        let w = self.cols.len();
+        let at = c as usize * w;
+        &self.keys[at..at + w]
+    }
+
     /// The code of `key` (whose hash is `key_hash`), or `None` if no row
     /// ever carried it.
     #[inline]
     fn encode(&self, key_hash: u64, key: &[Value]) -> Option<u32> {
-        let w = self.cols.len();
-        let mut c = *self.map.get(&key_hash)?;
-        loop {
-            let at = c as usize * w;
-            if &self.keys[at..at + w] == key {
-                return Some(c);
-            }
-            c = self.code_next[c as usize];
-            if c == NONE {
-                return None;
-            }
-        }
+        self.map.get(key_hash, |c| self.key_of(c) == key)
     }
 
     /// The code of `key`, minting a fresh one on first sight.
@@ -241,10 +382,13 @@ impl ColumnIndex {
             return c;
         }
         let c = self.groups.len() as u32;
-        let head = self.map.insert(key_hash, c).unwrap_or(NONE);
-        self.code_next.push(head);
         self.keys.extend_from_slice(key);
         self.groups.push(Vec::new());
+        let w = self.cols.len();
+        let keys = &self.keys;
+        self.map.insert(key_hash, c, |code| {
+            hash_slice(&keys[code as usize * w..(code as usize + 1) * w])
+        });
         c
     }
 }
@@ -292,6 +436,31 @@ impl ProbeHandle {
         unsafe { &*self.idx }.encode(key_hash, key)
     }
 
+    /// Prefetches the dictionary-map cache line `key_hash` will probe
+    /// first, so a batch caller can overlap the per-group random access
+    /// [`ProbeHandle::encode`] would otherwise stall on. Purely a hint.
+    ///
+    /// # Safety
+    /// Same contract as [`ProbeHandle::encode`].
+    #[inline]
+    pub unsafe fn prefetch_key(&self, key_hash: u64) {
+        // SAFETY: as in `encode`.
+        unsafe { &*self.idx }.map.prefetch(key_hash);
+    }
+
+    /// The key tuple a dictionary code encodes, for callers verifying a
+    /// memoized key→code pair against the live dictionary.
+    ///
+    /// # Safety
+    /// Same contract as [`ProbeHandle::encode`]; `code` must have come
+    /// from this index's [`ProbeHandle::encode`] (codes are dense, so
+    /// any out-of-range code panics on the slice).
+    #[inline]
+    pub unsafe fn code_key(&self, code: u32) -> &[Value] {
+        // SAFETY: as in `encode`.
+        unsafe { &*self.idx }.key_of(code)
+    }
+
     /// The row-id group of a dictionary code. Every group row's key
     /// columns equal the code's key tuple; callers still filter range
     /// and tombstones ([`Relation::row_visible`]).
@@ -332,6 +501,22 @@ pub struct Relation {
     dead: Vec<u64>,
     /// Number of set bits in `dead`.
     ndead: usize,
+    /// Learned fraction of derived rows that survive dedup, an EWMA over
+    /// drain rounds (see [`Relation::reserve_for_derived`]). Starts at
+    /// 1.0 — assume everything is new until a round proves otherwise —
+    /// so the first reservation can only over-size, never under-size.
+    uniq_ewma: f64,
+    /// Dedup-table rehashes forced mid-insert after the table was first
+    /// sized — the stall [`Relation::reserve_for_derived`] exists to
+    /// eliminate (surfaced as `Stats::dedup_regrows`).
+    regrows: u64,
+    /// Pending reservation: the slot capacity [`Relation::reserve_rows`]
+    /// computed, consumed by the next grow-triggering insert (0 = none).
+    /// Deferring the jump to the natural ½-load trigger keeps the rehash
+    /// on the lazy schedule — the table is warm from the very probes
+    /// that tripped the trigger — while still replacing a chain of
+    /// doublings with one sized jump.
+    reserve_hint: usize,
     indexes: RwLock<FxHashMap<Vec<usize>, Box<ColumnIndex>>>,
 }
 
@@ -346,6 +531,9 @@ impl Relation {
             row_hash: Vec::new(),
             dead: Vec::new(),
             ndead: 0,
+            uniq_ewma: 1.0,
+            regrows: 0,
+            reserve_hint: 0,
             indexes: RwLock::new(FxHashMap::default()),
         }
     }
@@ -414,7 +602,7 @@ impl Relation {
         assert_eq!(t.len(), self.arity, "tuple arity mismatch");
         debug_assert_eq!(h, hash_slice(t), "stale row hash");
         if self.set.needs_grow() {
-            self.set.grow(&self.row_hash);
+            self.grow_for_insert();
         }
         let arity = self.arity;
         let mut s = self.set.start(h);
@@ -669,6 +857,10 @@ impl Relation {
             hashes.len() * self.arity,
             "segment length does not match hash count × arity"
         );
+        // The segment is pre-deduplicated, so its exact row count is
+        // known: size the table once up front instead of doubling
+        // mid-append.
+        self.reserve_rows(hashes.len());
         for (i, &h) in hashes.iter().enumerate() {
             let row = &data[i * self.arity..(i + 1) * self.arity];
             debug_assert!(
@@ -676,7 +868,7 @@ impl Relation {
                 "commit_new_rows given a duplicate row"
             );
             if self.set.needs_grow() {
-                self.set.grow(&self.row_hash);
+                self.grow_for_insert();
             }
             let mut s = self.set.start(h);
             while !matches!(self.set.slots[s] as u32, EMPTY | TOMB) {
@@ -692,6 +884,73 @@ impl Relation {
             self.nrows += 1;
         }
         hashes.len()
+    }
+
+    /// Reserves dedup-table capacity for `extra` more live rows: records
+    /// the smallest power-of-two capacity whose ½-load grow trigger
+    /// `live + extra` stays under, to be consumed by the next
+    /// grow-triggering insert ([`Relation::grow_for_insert`]). The
+    /// reservation is *deferred*, not executed here: rehashing eagerly
+    /// would scan a cache-cold table between rounds, while the natural
+    /// trigger fires mid-insert when the table is warm from the very
+    /// probes that tripped it. The target stays on the lazy doubling
+    /// schedule — pre-sizing must not inflate the table beyond it, or
+    /// every insert probe pays the cache footprint of a map twice as
+    /// large.
+    pub fn reserve_rows(&mut self, extra: usize) {
+        let cap = (2 * (self.set.live + extra + 1)).next_power_of_two();
+        let cur = self.set.slots.len();
+        // Also arm when tombstones alone would trip the ¾ live+tombs
+        // trigger during the run (the jump reclaims them).
+        if cap > cur || 4 * (self.set.live + self.set.tombs + extra + 1) > 3 * cur {
+            self.reserve_hint = self.reserve_hint.max(cap.max(cur));
+        }
+    }
+
+    /// Grows the dedup table for one more insert: a pending reservation
+    /// jumps straight to its recorded capacity (not a regrow — this is
+    /// the reservation executing); an unreserved or reservation-exceeding
+    /// grow is the mid-insert stall `Stats::dedup_regrows` surfaces.
+    #[cold]
+    fn grow_for_insert(&mut self) {
+        let natural = (4 * (self.set.live + 1)).next_power_of_two();
+        self.regrows += (self.reserve_hint == 0 && !self.set.slots.is_empty()) as u64;
+        let target = natural.max(self.reserve_hint);
+        self.reserve_hint = 0;
+        self.set.grow_to(target, &self.row_hash);
+    }
+
+    /// Pre-sizes the dedup table for a drain of `derived` rows *before
+    /// dedup*, scaled by the unique-fraction EWMA learned from earlier
+    /// rounds — the fix for the duplicate-inflation overshoot of sizing
+    /// by raw derived counts: a fanout round deriving 10× duplicates
+    /// would otherwise allocate a table 10× too big every round. The
+    /// reservation doubles the expectation (capped at `derived`, the
+    /// true upper bound), so the no-regrow guarantee survives a ~2×
+    /// under-estimate while steady-state capacity stays on the lazy
+    /// doubling schedule — the headroom rides on the round's expected
+    /// inserts, not on the whole live set.
+    pub fn reserve_for_derived(&mut self, derived: usize) {
+        let expect = (derived as f64 * self.uniq_ewma).ceil() as usize;
+        self.reserve_rows((2 * expect).min(derived));
+    }
+
+    /// Folds a finished drain round's observed unique fraction
+    /// (`inserted` of `derived` rows survived dedup) into the EWMA
+    /// consulted by [`Relation::reserve_for_derived`].
+    pub fn note_drain(&mut self, derived: usize, inserted: usize) {
+        if derived == 0 {
+            return;
+        }
+        let frac = (inserted as f64 / derived as f64).clamp(0.05, 1.0);
+        self.uniq_ewma = 0.7 * self.uniq_ewma + 0.3 * frac;
+    }
+
+    /// Number of mid-insert dedup-table rehashes since creation. A
+    /// correctly pre-sized drain keeps this flat across rounds
+    /// (`Stats::dedup_regrows` samples it before/after each drain).
+    pub fn regrows(&self) -> u64 {
+        self.regrows
     }
 
     /// The tuple at `row`, as a slice into the flat store.
@@ -796,8 +1055,7 @@ impl Relation {
         indexes.entry(cols.to_vec()).or_insert_with(|| {
             Box::new(ColumnIndex {
                 cols: cols.to_vec(),
-                map: PrehashedMap::default(),
-                code_next: Vec::new(),
+                map: CodeMap::default(),
                 keys: Vec::new(),
                 groups: Vec::new(),
                 row_codes: Vec::new(),
@@ -905,9 +1163,8 @@ impl Relation {
         let tombstones = self.dead.capacity() * std::mem::size_of::<u64>();
         let mut indexes = 0usize;
         for idx in self.indexes.read().expect("index lock poisoned").values() {
-            // Map slots (hash → head code) plus the per-code chain links.
-            indexes += idx.map.len() * (8 + std::mem::size_of::<u32>())
-                + idx.code_next.capacity() * std::mem::size_of::<u32>();
+            // The flat hash → code slot array.
+            indexes += idx.map.heap_bytes();
             // Distinct-key store, per-code group headers and their row
             // ids, and the dense per-row code column.
             indexes += idx.keys.capacity() * std::mem::size_of::<Value>()
@@ -1038,6 +1295,9 @@ impl Clone for Relation {
             row_hash: self.row_hash.clone(),
             dead: self.dead.clone(),
             ndead: self.ndead,
+            uniq_ewma: self.uniq_ewma,
+            regrows: self.regrows,
+            reserve_hint: self.reserve_hint,
             indexes: RwLock::new(FxHashMap::default()),
         }
     }
@@ -1415,6 +1675,107 @@ mod tests {
         // Deleted rows never resurface.
         r.delete(&t(&[3, 4]));
         assert!(!r.contains_in_range(&t(&[3, 4]), h(&t(&[3, 4])), delta));
+    }
+
+    /// A deterministic but scattered per-code hash for driving CodeMap
+    /// directly (the map never sees keys, only hashes + a verifier).
+    fn code_hash(c: u32) -> u64 {
+        (c as u64)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .rotate_left(17)
+    }
+
+    #[test]
+    fn codemap_grow_preserves_every_entry() {
+        let mut m = CodeMap::default();
+        for c in 0..5000u32 {
+            assert_eq!(m.get(code_hash(c), |got| got == c), None);
+            m.insert(code_hash(c), c, code_hash);
+        }
+        assert_eq!(m.len(), 5000);
+        // Every code survives the doubling chain and resolves under its
+        // own hash with the verifier confirming identity.
+        for c in 0..5000u32 {
+            assert_eq!(m.get(code_hash(c), |got| got == c), Some(c));
+        }
+        // A hash never inserted terminates at an empty slot.
+        assert_eq!(m.get(code_hash(9999), |_| true), None);
+    }
+
+    #[test]
+    fn codemap_fingerprint_collisions_resolved_by_verifier() {
+        // Two codes filed under the *identical* 64-bit hash: same probe
+        // start, same fingerprint. Only the eq closure separates them.
+        let mut m = CodeMap::default();
+        let h = 0xDEAD_BEEF_CAFE_F00Du64;
+        m.insert(h, 1, |_| h);
+        m.insert(h, 2, |_| h);
+        assert_eq!(m.get(h, |c| c == 1), Some(1));
+        assert_eq!(m.get(h, |c| c == 2), Some(2));
+        assert_eq!(m.get(h, |c| c == 3), None, "verifier rejects all");
+        // Same fingerprint, different probe start (low bits differ): the
+        // walk from the other start must not see code 1 or 2.
+        let h2 = h ^ 1;
+        assert_eq!(m.get(h2, |_| true), None);
+        m.insert(h2, 3, move |c| if c == 3 { h2 } else { h });
+        assert_eq!(m.get(h2, |c| c == 3), Some(3));
+    }
+
+    #[test]
+    fn codemap_is_tombstone_free_and_clear_retains_capacity() {
+        let mut m = CodeMap::default();
+        for c in 0..100u32 {
+            m.insert(code_hash(c), c, code_hash);
+        }
+        // No delete API exists, so every slot is either vacant or a live
+        // entry and the occupancy count is exact — the invariant that
+        // keeps probe walks short without tombstone reclamation.
+        let live = m.slots.iter().filter(|&&s| s as u32 != EMPTY).count();
+        assert_eq!(live, m.len());
+        assert!(2 * m.len() <= m.slots.len(), "load factor stays ≤ ½");
+        let cap = m.heap_bytes();
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.heap_bytes(), cap, "clear keeps the allocation");
+        assert_eq!(m.get(code_hash(7), |_| true), None);
+        m.insert(code_hash(7), 7, code_hash);
+        assert_eq!(m.get(code_hash(7), |c| c == 7), Some(7));
+    }
+
+    #[test]
+    fn reserve_rows_eliminates_mid_drain_regrows() {
+        // Unreserved: a thousand inserts pay a chain of doubling grows.
+        let mut cold = Relation::new(2);
+        for i in 0..1000i64 {
+            cold.insert(t(&[i, i + 1]));
+        }
+        assert!(cold.regrows() > 0, "unreserved inserts must have regrown");
+        // Reserved up front: the same inserts never rehash.
+        let mut warm = Relation::new(2);
+        warm.reserve_rows(1000);
+        for i in 0..1000i64 {
+            warm.insert(t(&[i, i + 1]));
+        }
+        assert_eq!(warm.regrows(), 0, "pre-sized table must not regrow");
+        assert_eq!(warm.len(), cold.len());
+        warm.check_invariant().unwrap();
+    }
+
+    #[test]
+    fn derived_reservation_follows_learned_unique_fraction() {
+        let mut r = Relation::new(1);
+        // Teach the EWMA that only ~10% of derived rows are new.
+        for _ in 0..20 {
+            r.note_drain(100, 10);
+        }
+        // A 2000-row derived burst then expects ~200 unique; the ¼-load
+        // sizing tolerates up to ~2× that before any rehash.
+        r.reserve_for_derived(2000);
+        for i in 0..350i64 {
+            r.insert(t(&[i]));
+        }
+        assert_eq!(r.regrows(), 0, "2x under-estimate must stay regrow-free");
+        r.check_invariant().unwrap();
     }
 
     #[test]

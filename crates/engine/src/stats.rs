@@ -41,6 +41,18 @@ pub struct Stats {
     /// keep this flat — it is the observable witness that the join
     /// kernels do zero heap allocation per derived row.
     pub scratch_hw_bytes: u64,
+    /// Dictionary-map probes the batch pipeline actually paid (a
+    /// [`crate::relation::CodeMap`] walk behind `ProbeHandle::encode`).
+    /// Memo hits are *not* counted here — `dict_probes + dict_memo_hits`
+    /// is the total key→code resolution demand.
+    pub dict_probes: u64,
+    /// Key→code resolutions served from the per-plan EDB-stable memo
+    /// instead of the dictionary map (DESIGN.md §13).
+    pub dict_memo_hits: u64,
+    /// Mid-insert dedup-table rehashes during drains — the stall the
+    /// EWMA pre-sizing exists to eliminate. Non-zero means a round's
+    /// unique-row estimate was off by more than the 2× sizing headroom.
+    pub dedup_regrows: u64,
 }
 
 impl AddAssign for Stats {
@@ -56,6 +68,9 @@ impl AddAssign for Stats {
         self.kernel_firings += rhs.kernel_firings;
         self.interp_firings += rhs.interp_firings;
         self.scratch_hw_bytes = self.scratch_hw_bytes.max(rhs.scratch_hw_bytes);
+        self.dict_probes += rhs.dict_probes;
+        self.dict_memo_hits += rhs.dict_memo_hits;
+        self.dedup_regrows += rhs.dedup_regrows;
     }
 }
 
@@ -103,6 +118,13 @@ pub struct PoolStats {
     /// The adaptive serial-cutover threshold in seed rows (0 = parallel
     /// evaluation disabled or not yet calibrated).
     pub cutover_rows: u64,
+    /// Rounds where parallel evaluation was *requested* (`parallelism >
+    /// 1`) but the adaptive cutover routed the round to the control
+    /// thread anyway — the seed volume was below the dispatch-cost
+    /// threshold, or the machine has a single schedulable CPU. A subset
+    /// of `serial_rounds`; records the per-round decision so negative
+    /// scaling fixed by staying serial is observable, not inferred.
+    pub cutover_serial_rounds: u64,
 }
 
 impl PoolStats {
@@ -147,7 +169,7 @@ impl fmt::Display for PoolStats {
             f,
             "par_rounds={} serial_rounds={} tasks={} shards={} busy={:.0}% \
              rows/s={:.0} join_ms={:.2} merge_ms={:.2} concat_ms={:.2} \
-             index_ms={:.2} cutover_rows={}",
+             index_ms={:.2} cutover_rows={} cutover_serial={}",
             self.parallel_rounds,
             self.serial_rounds,
             self.tasks,
@@ -159,6 +181,7 @@ impl fmt::Display for PoolStats {
             self.concat_nanos as f64 / 1e6,
             self.index_build_nanos as f64 / 1e6,
             self.cutover_rows,
+            self.cutover_serial_rounds,
         )
     }
 }
@@ -168,7 +191,8 @@ impl fmt::Display for Stats {
         write!(
             f,
             "iters={} firings={} probes={} hits={} rows={} cmps={} derived={} \
-             inserted={} kernel={} interp={} scratch_hw={}B",
+             inserted={} kernel={} interp={} scratch_hw={}B dict={} memo={} \
+             regrows={}",
             self.iterations,
             self.rule_firings,
             self.probes,
@@ -179,7 +203,10 @@ impl fmt::Display for Stats {
             self.inserted,
             self.kernel_firings,
             self.interp_firings,
-            self.scratch_hw_bytes
+            self.scratch_hw_bytes,
+            self.dict_probes,
+            self.dict_memo_hits,
+            self.dedup_regrows
         )
     }
 }

@@ -10,7 +10,9 @@
 //! (the chunk buffers) no matter how many rows a workload derives.
 
 use semrec::datalog::{Pred, Program, Value};
-use semrec::engine::{Cutover, Database, Evaluator, Stats, Strategy, Tuple};
+use semrec::engine::{
+    Budget, Cutover, Database, Evaluator, Materialized, Stats, Strategy, Tuple, Tx,
+};
 use semrec::gen::{fanout, genealogy, graphs, org, parse_scenario, university};
 use std::collections::BTreeMap;
 
@@ -212,6 +214,111 @@ fn widened_shapes_fire_kernels_not_interpreter() {
             "{name}: fell back to the interpreter"
         );
     }
+}
+
+/// Memo invalidation across EDB deltas: a materialized fanout fixpoint
+/// takes two insert transactions through the incremental path, so each
+/// propagation run evaluates over an EDB whose physical rows changed
+/// since the previous run built (and warmed) its key→code memos. The
+/// maintained IDB must stay tuple-for-tuple equal to a kernels-off
+/// from-scratch evaluation of the post-transaction database, and the
+/// propagation runs must actually exercise the memo path
+/// (`dict_memo_hits > 0`) — stale codes surviving a delta would diverge
+/// the answer, not just the counters.
+#[test]
+fn incremental_edb_deltas_agree_and_memos_stay_sound() {
+    let s = parse_scenario(fanout::PROGRAM);
+    let mut db = fanout::generate(&fanout::FanoutParams {
+        nodes: 150,
+        extra_edges: 0,
+        fanout: 8,
+        seed: 33,
+    });
+    let mut m = Materialized::new(&db, &s.program, 1).unwrap();
+    assert!(m.is_incremental(), "fanout program is in the fragment");
+    // Each tx adds two back edges (the chain runs 0→1→…→149, so late
+    // nodes gain reach to the early chain): the new facts cascade
+    // backward through the predecessor chain, and the two fronts reach
+    // shared mid-chain nodes in different rounds — so the propagation
+    // run re-resolves the same witness/edge keys across rounds, the
+    // case the EDB-stable memo exists for.
+    for [(a1, b1), (a2, b2)] in [[(140i64, 10i64), (100i64, 30i64)], [(120, 2), (80, 40)]] {
+        let mut tx = Tx::new();
+        tx.insert("edge", vec![Value::Int(a1), Value::Int(b1)]);
+        tx.insert("edge", vec![Value::Int(a2), Value::Int(b2)]);
+        let st = m.apply(&mut db, &tx, Budget::unlimited(), None).unwrap();
+        assert!(!st.from_scratch, "insert-only tx takes the delta path");
+        assert!(
+            st.stats.dict_memo_hits > 0,
+            "propagation run never hit the EDB-stable memo (dict={}, rounds={})",
+            st.stats.dict_probes,
+            st.rounds
+        );
+        let (base, _) = idb_map(&db, &s.program, false, Cutover::Auto);
+        let maintained: BTreeMap<Pred, Vec<Tuple>> = m
+            .idb()
+            .iter()
+            .map(|(&p, rel)| (p, rel.sorted_tuples()))
+            .collect();
+        assert_eq!(
+            base, maintained,
+            "maintained IDB diverged from scratch after edge({a1},{b1}), edge({a2},{b2})"
+        );
+    }
+}
+
+/// Dedup pre-size underestimate: rounds of duplicate-heavy derivation
+/// teach the drain's unique-fraction EWMA a low estimate, then one
+/// round derives a burst of all-unique rows far past the reserved
+/// headroom — the dedup table must fall back to its natural mid-insert
+/// grow schedule (observable as `dedup_regrows > 0`) without losing or
+/// duplicating a tuple versus the step machine.
+#[test]
+fn dedup_presize_underestimate_agrees_and_regrows() {
+    let mut db = Database::default();
+    // Stage 0 seeds; stages 1..=5 are duplicate-heavy (each of the 200
+    // stage-k+1 nodes is re-derived from 4 distinct stage-k nodes);
+    // stage 6 explodes into 100 fresh unique nodes per source — far
+    // past both the learned estimate and the one sized jump a consumed
+    // reservation buys, so the drain must fall back to natural grows.
+    let node = |stage: i64, i: i64| Value::Int(stage * 100_000 + i);
+    for i in 0..200i64 {
+        db.insert("s0", vec![node(0, i)]);
+    }
+    for stage in 0..5i64 {
+        for i in 0..200i64 {
+            for j in 0..4i64 {
+                // In-degree 4 per target: derived = 800, inserted = 200.
+                db.insert(
+                    "hop",
+                    vec![node(stage, (i + 53 * j) % 200), node(stage + 1, i)],
+                );
+            }
+        }
+    }
+    for i in 0..200i64 {
+        for j in 0..100i64 {
+            db.insert("hop", vec![node(5, i), node(6, i * 100 + j)]);
+        }
+    }
+    let prog: Program = "p(Y) :- s0(Y). p(Z) :- p(Y), hop(Y, Z).".parse().unwrap();
+    let (base, _) = idb_map(&db, &prog, false, Cutover::Auto);
+    let rows: usize = base.values().map(Vec::len).sum();
+    assert_eq!(
+        rows,
+        6 * 200 + 20_000,
+        "stages 0..=5 contribute 200 each, stage 6 its 20k"
+    );
+    let (idb, stats) = idb_map(&db, &prog, true, Cutover::Auto);
+    assert_eq!(base, idb, "IDB diverged under the underestimate");
+    assert!(stats.kernel_firings > 0, "kernel never fired");
+    assert!(
+        stats.dedup_regrows > 0,
+        "the all-unique burst should outrun the EWMA reservation \
+         (derived={}, inserted={})",
+        stats.derived,
+        stats.inserted
+    );
 }
 
 /// Chunk-boundary pinning: the batch pipeline gathers seed rows in
