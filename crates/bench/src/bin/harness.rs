@@ -8,6 +8,8 @@
 //! cargo run -p semrec-bench --release --bin harness -- bench --json
 //! cargo run -p semrec-bench --release --bin harness -- bench --baseline BENCH_fixpoint.json
 //! cargo run -p semrec-bench --release --bin harness -- bench --quick --assert-scaling
+//! cargo run -p semrec-bench --release --bin harness -- serve-bench --json
+//! cargo run -p semrec-bench --release --bin harness -- serve-bench --quick --baseline BENCH_serve.json
 //! ```
 //!
 //! `bench` times the semi-naive fixpoint on the gen workloads at 1/2/4
@@ -33,6 +35,7 @@ use semrec_bench::fixpoint::{
     semantic_table, to_json_full, to_json_with_dict, to_json_with_incremental,
     to_json_with_kernels, to_table,
 };
+use semrec_bench::serve::{check_serve_baseline, run_serve_bench, serve_table, serve_to_json};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -93,6 +96,34 @@ fn main() -> ExitCode {
 
     if ids.contains(&"dict") {
         print!("{}", dict_table(&run_dict_bench(quick)));
+        return ExitCode::SUCCESS;
+    }
+
+    if ids.contains(&"serve-bench") {
+        // With --baseline, validate the checked-in artifact's schema
+        // before the timing run — a stale BENCH_serve.json fails fast.
+        if let Some(path) = &baseline_path {
+            match std::fs::read_to_string(path).map_err(|e| e.to_string()) {
+                Ok(src) => match check_serve_baseline(&src) {
+                    Ok(summary) => println!("{summary}"),
+                    Err(e) => {
+                        eprintln!("baseline {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                Err(e) => {
+                    eprintln!("cannot read baseline {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let result = run_serve_bench(quick);
+        print!("{}", serve_table(&result));
+        if json {
+            let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
+            std::fs::write(&out, serve_to_json(&result)).expect("write BENCH_serve.json");
+            println!("wrote {}", out.display());
+        }
         return ExitCode::SUCCESS;
     }
 
@@ -218,7 +249,7 @@ fn main() -> ExitCode {
                 }
             }
             None => eprintln!(
-                "unknown experiment `{id}` (known: bench, {})",
+                "unknown experiment `{id}` (known: bench, serve-bench, {})",
                 ALL.join(", ")
             ),
         }

@@ -17,4 +17,5 @@
 pub mod baseline;
 pub mod experiments;
 pub mod fixpoint;
+pub mod serve;
 pub mod table;

@@ -1,0 +1,378 @@
+//! Serving-daemon benchmark (`harness serve-bench`): read latency
+//! percentiles and throughput against a live [`semrec_serve::Server`],
+//! commit latency on the single-writer path, and overload shedding
+//! under a deliberately tiny admission gate — emitted as
+//! `BENCH_serve.json` at the repo root.
+//!
+//! The artifact carries its own schema version ([`SERVE_SCHEMA_VERSION`],
+//! independent of the fixpoint bench's) so `check.sh` can fail on a
+//! stale checked-in file, and records the box's
+//! `available_parallelism` plus the evaluator thread count the run
+//! used, so cross-machine numbers are interpretable.
+
+use crate::baseline::{parse_json, Json};
+use semrec_datalog::parser::{parse_atom, parse_unit, Unit};
+use semrec_engine::{int_tuple, Tuning, Tx};
+use semrec_serve::{AdmissionConfig, ServeConfig, ServeError, Server};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Schema version of `BENCH_serve.json`. Bump whenever a field the
+/// `check.sh` serve leg reads is added or changed; the leg fails when
+/// the checked-in artifact's version differs, forcing a regeneration
+/// with `harness serve-bench --json` in the same PR.
+pub const SERVE_SCHEMA_VERSION: u64 = 1;
+
+/// One timed section's latency digest, microseconds.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencyDigest {
+    /// Samples taken.
+    pub count: usize,
+    /// Median latency.
+    pub p50_us: f64,
+    /// 99th-percentile latency.
+    pub p99_us: f64,
+    /// Operations per second over the section's wall clock.
+    pub per_sec: f64,
+}
+
+/// Everything one `serve-bench` run measured.
+#[derive(Clone, Debug, Default)]
+pub struct ServeBenchResult {
+    /// Chain length of the workload EDB.
+    pub chain: usize,
+    /// Evaluator worker threads the daemon ran with.
+    pub threads: usize,
+    /// Single-client read latency/throughput at the latest epoch.
+    pub read: LatencyDigest,
+    /// Commit latency/throughput on the writer path (WAL off: the run
+    /// measures the apply+publish pipeline, not this box's fsync).
+    pub write: LatencyDigest,
+    /// Concurrent-phase reads that answered (all verified non-empty).
+    pub concurrent_reads: u64,
+    /// Concurrent-phase commits that landed.
+    pub concurrent_commits: u64,
+    /// Aggregate reads/sec across readers in the concurrent phase.
+    pub concurrent_qps: f64,
+    /// Requests shed with the typed `Overloaded` by the tiny-gate
+    /// overload phase (must be nonzero — shedding is the feature).
+    pub overloaded: u64,
+    /// Requests the overload phase still answered.
+    pub overload_answered: u64,
+}
+
+fn digest(mut samples: Vec<f64>, elapsed: Duration) -> LatencyDigest {
+    if samples.is_empty() {
+        return LatencyDigest::default();
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let pick = |q: f64| samples[((samples.len() - 1) as f64 * q).round() as usize];
+    LatencyDigest {
+        count: samples.len(),
+        p50_us: pick(0.50),
+        p99_us: pick(0.99),
+        per_sec: samples.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+    }
+}
+
+/// A witnessed-chain unit of `n` edges: the guarded transitive closure
+/// the optimizer can push the witness residue out of, so the serve path
+/// runs on the incrementally maintained optimized route.
+fn chain_unit(n: usize) -> Unit {
+    let mut src = String::from(
+        "reach(X, Y) :- edge(X, Y).\n\
+         reach(X, Y) :- edge(X, Z), witness(Z, W), reach(Z, Y).\n\
+         ic ic1: edge(X, Z) -> witness(Z, W).\n",
+    );
+    for i in 0..n {
+        let _ = writeln!(src, "edge({i}, {}).", i + 1);
+        let _ = writeln!(src, "witness({i}, {}).", 10_000 + i);
+    }
+    let _ = writeln!(src, "witness({n}, {}).", 10_000 + n);
+    parse_unit(&src).expect("generated unit parses")
+}
+
+/// Runs the serving benchmark. `quick` shrinks the workload for the CI
+/// gate; the checked-in `BENCH_serve.json` is a full-size run.
+pub fn run_serve_bench(quick: bool) -> ServeBenchResult {
+    let (chain, reads, commits, readers, window_ms) = if quick {
+        (300, 400, 40, 2, 150)
+    } else {
+        (2_000, 2_000, 200, 4, 1_000)
+    };
+    let tuning = Tuning::default();
+    let unit = chain_unit(chain);
+    let cfg = ServeConfig {
+        tuning,
+        retain_epochs: 8,
+        ..ServeConfig::default()
+    };
+    let (server, _) = Server::open(&unit, cfg, None).expect("serve bench open");
+    let goal = parse_atom("reach(0, Y)").expect("goal");
+
+    let mut result = ServeBenchResult {
+        chain,
+        threads: tuning.threads,
+        ..ServeBenchResult::default()
+    };
+
+    // Phase 1: single-client read latency at the latest epoch.
+    let mut samples = Vec::with_capacity(reads);
+    let started = Instant::now();
+    for _ in 0..reads {
+        let t = Instant::now();
+        let reply = server.query(&goal, None, None).expect("bench read");
+        samples.push(t.elapsed().as_secs_f64() * 1e6);
+        assert_eq!(reply.tuples.len(), chain, "closure from node 0");
+    }
+    result.read = digest(samples, started.elapsed());
+
+    // Phase 2: writer commit latency (witnessed edge appends).
+    let mut samples = Vec::with_capacity(commits);
+    let started = Instant::now();
+    for i in 0..commits {
+        let next = (chain + i + 1) as i64;
+        let mut tx = Tx::new();
+        tx.insert("edge", int_tuple(&[next - 1, next]));
+        tx.insert("witness", int_tuple(&[next, 10_000 + next]));
+        let t = Instant::now();
+        server.commit(&tx).expect("bench commit");
+        samples.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    result.write = digest(samples, started.elapsed());
+
+    // Phase 3: concurrent readers while the writer keeps committing —
+    // the serving scenario the epoch registry exists for.
+    let done = Arc::new(AtomicBool::new(false));
+    let read_count = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..readers)
+        .map(|_| {
+            let server = Arc::clone(&server);
+            let done = Arc::clone(&done);
+            let read_count = Arc::clone(&read_count);
+            let goal = goal.clone();
+            std::thread::spawn(move || {
+                while !done.load(Ordering::Acquire) {
+                    let reply = server.query(&goal, None, None).expect("concurrent read");
+                    assert!(!reply.tuples.is_empty());
+                    read_count.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+    let window = Duration::from_millis(window_ms);
+    let started = Instant::now();
+    let mut concurrent_commits = 0u64;
+    while started.elapsed() < window {
+        let next = (chain + commits) as i64 + concurrent_commits as i64 + 1;
+        let mut tx = Tx::new();
+        tx.insert("edge", int_tuple(&[next - 1, next]));
+        tx.insert("witness", int_tuple(&[next, 10_000 + next]));
+        server.commit(&tx).expect("concurrent commit");
+        concurrent_commits += 1;
+    }
+    done.store(true, Ordering::Release);
+    let elapsed = started.elapsed();
+    for h in handles {
+        h.join().expect("reader thread");
+    }
+    result.concurrent_reads = read_count.load(Ordering::Relaxed);
+    result.concurrent_commits = concurrent_commits;
+    result.concurrent_qps = result.concurrent_reads as f64 / elapsed.as_secs_f64().max(1e-9);
+
+    // Phase 4: overload shedding through a deliberately tiny gate. Two
+    // held permits fill it; every query sheds typed until they drop.
+    let tiny = ServeConfig {
+        tuning,
+        admission: AdmissionConfig {
+            max_inflight: 2,
+            ..AdmissionConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let (small, _) = Server::open(&chain_unit(50), tiny, None).expect("overload open");
+    let goal50 = parse_atom("reach(0, Y)").expect("goal");
+    let held: Vec<_> = (0..2)
+        .map(|_| small.admission().admit(None).expect("fill the gate"))
+        .collect();
+    for _ in 0..100 {
+        match small.query(&goal50, None, None) {
+            Err(ServeError::Overloaded { .. }) => result.overloaded += 1,
+            Ok(_) => result.overload_answered += 1,
+            Err(other) => panic!("overload phase: unexpected {other}"),
+        }
+    }
+    drop(held);
+    for _ in 0..20 {
+        small.query(&goal50, None, None).expect("gate reopened");
+        result.overload_answered += 1;
+    }
+    result
+}
+
+/// Renders the result as the `BENCH_serve.json` document.
+pub fn serve_to_json(r: &ServeBenchResult) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"schema_version\": {SERVE_SCHEMA_VERSION},");
+    let _ = writeln!(
+        s,
+        "  \"available_parallelism\": {},",
+        std::thread::available_parallelism().map_or(0, usize::from)
+    );
+    let _ = writeln!(s, "  \"threads\": {},", r.threads);
+    let _ = writeln!(s, "  \"chain\": {},", r.chain);
+    let section = |s: &mut String, name: &str, d: &LatencyDigest, trailing: &str| {
+        let _ = writeln!(s, "  \"{name}\": {{");
+        let _ = writeln!(s, "    \"count\": {},", d.count);
+        let _ = writeln!(s, "    \"p50_us\": {:.1},", d.p50_us);
+        let _ = writeln!(s, "    \"p99_us\": {:.1},", d.p99_us);
+        let _ = writeln!(s, "    \"per_sec\": {:.1}", d.per_sec);
+        let _ = writeln!(s, "  }}{trailing}");
+    };
+    section(&mut s, "read", &r.read, ",");
+    section(&mut s, "write", &r.write, ",");
+    let _ = writeln!(s, "  \"concurrent\": {{");
+    let _ = writeln!(s, "    \"readers_qps\": {:.1},", r.concurrent_qps);
+    let _ = writeln!(s, "    \"reads\": {},", r.concurrent_reads);
+    let _ = writeln!(s, "    \"commits\": {}", r.concurrent_commits);
+    let _ = writeln!(s, "  }},");
+    let _ = writeln!(s, "  \"overload\": {{");
+    let _ = writeln!(s, "    \"shed\": {},", r.overloaded);
+    let _ = writeln!(s, "    \"answered\": {}", r.overload_answered);
+    let _ = writeln!(s, "  }}");
+    s.push_str("}\n");
+    s
+}
+
+/// Human-readable summary table for the terminal.
+pub fn serve_table(r: &ServeBenchResult) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "\nserve bench (chain {}, {} evaluator thread(s)):",
+        r.chain, r.threads
+    );
+    let _ = writeln!(
+        s,
+        "  read   p50 {:>8.1}us  p99 {:>8.1}us  {:>10.1}/s  ({} samples)",
+        r.read.p50_us, r.read.p99_us, r.read.per_sec, r.read.count
+    );
+    let _ = writeln!(
+        s,
+        "  write  p50 {:>8.1}us  p99 {:>8.1}us  {:>10.1}/s  ({} samples)",
+        r.write.p50_us, r.write.p99_us, r.write.per_sec, r.write.count
+    );
+    let _ = writeln!(
+        s,
+        "  mixed  {:>10.1} reads/s across readers, {} commits alongside",
+        r.concurrent_qps, r.concurrent_commits
+    );
+    let _ = writeln!(
+        s,
+        "  gate   {} shed typed, {} answered",
+        r.overloaded, r.overload_answered
+    );
+    s
+}
+
+/// Validates a checked-in `BENCH_serve.json`: parses, checks the schema
+/// version, and requires the fields the serve gate reads. Returns a
+/// one-line summary on success.
+pub fn check_serve_baseline(src: &str) -> Result<String, String> {
+    let doc = parse_json(src)?;
+    match doc.get("schema_version").and_then(Json::as_num) {
+        Some(v) if v == SERVE_SCHEMA_VERSION as f64 => {}
+        Some(v) => {
+            return Err(format!(
+                "BENCH_serve.json schema v{v} is stale (harness emits v{SERVE_SCHEMA_VERSION}); \
+                 regenerate with `harness serve-bench --json`"
+            ))
+        }
+        None => {
+            return Err(format!(
+                "BENCH_serve.json has no `schema_version` (harness emits \
+                 v{SERVE_SCHEMA_VERSION}); regenerate with `harness serve-bench --json`"
+            ))
+        }
+    }
+    for key in ["available_parallelism", "threads", "chain"] {
+        if doc.get(key).and_then(Json::as_num).is_none() {
+            return Err(format!("BENCH_serve.json is missing numeric `{key}`"));
+        }
+    }
+    for sec in ["read", "write"] {
+        let obj = doc
+            .get(sec)
+            .ok_or_else(|| format!("BENCH_serve.json is missing section `{sec}`"))?;
+        for key in ["count", "p50_us", "p99_us", "per_sec"] {
+            if obj.get(key).and_then(Json::as_num).is_none() {
+                return Err(format!("BENCH_serve.json `{sec}` is missing `{key}`"));
+            }
+        }
+    }
+    let shed = doc
+        .get("overload")
+        .and_then(|o| o.get("shed"))
+        .and_then(Json::as_num)
+        .ok_or("BENCH_serve.json is missing `overload.shed`")?;
+    if shed < 1.0 {
+        return Err(
+            "BENCH_serve.json records zero shed requests — the overload phase \
+                    did not exercise admission control"
+                .to_string(),
+        );
+    }
+    if doc
+        .get("concurrent")
+        .and_then(|o| o.get("readers_qps"))
+        .and_then(Json::as_num)
+        .is_none()
+    {
+        return Err("BENCH_serve.json is missing `concurrent.readers_qps`".to_string());
+    }
+    Ok(format!(
+        "BENCH_serve.json schema v{SERVE_SCHEMA_VERSION} is current"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_emits_a_self_validating_artifact() {
+        let r = run_serve_bench(true);
+        assert!(r.read.count > 0 && r.write.count > 0);
+        assert!(r.overloaded > 0, "tiny gate must shed");
+        assert!(r.concurrent_reads > 0);
+        let json = serve_to_json(&r);
+        let summary = check_serve_baseline(&json).expect("fresh artifact validates");
+        assert!(summary.contains("current"));
+    }
+
+    #[test]
+    fn stale_or_mangled_artifacts_are_rejected() {
+        assert!(check_serve_baseline("{}").is_err());
+        assert!(check_serve_baseline("{\"schema_version\": 0}").is_err());
+        let r = ServeBenchResult {
+            overloaded: 0,
+            ..ServeBenchResult::default()
+        };
+        let json = serve_to_json(&r);
+        let err = check_serve_baseline(&json).expect_err("zero shed must fail");
+        assert!(err.contains("shed"));
+    }
+
+    #[test]
+    fn digest_percentiles_are_ordered() {
+        let d = digest(
+            (1..=100).map(|i| i as f64).collect(),
+            Duration::from_secs(1),
+        );
+        assert_eq!(d.count, 100);
+        assert!(d.p50_us <= d.p99_us);
+        assert_eq!(d.per_sec, 100.0);
+    }
+}

@@ -40,7 +40,7 @@ use semrec_datalog::term::Value;
 use semrec_engine::eval::goal_matches;
 use semrec_engine::incr::{ic_still_satisfied, rollback_inserts};
 use semrec_engine::{
-    Budget, CancelToken, Database, EngineError, Materialized, Relation, Route, Tuple, Tx,
+    Budget, CancelToken, Database, EngineError, Materialized, Relation, Route, Tuning, Tuple, Tx,
     UpdateStats,
 };
 
@@ -109,7 +109,7 @@ pub struct MaintainedQuery {
     active: Materialized,
     on_optimized: bool,
     route: Route,
-    threads: usize,
+    tuning: Tuning,
 }
 
 /// The constraints whose residues the plan actually pushed, deduplicated.
@@ -139,6 +139,21 @@ impl MaintainedQuery {
         config: OptimizerConfig,
         threads: usize,
     ) -> Result<MaintainedQuery, MaintainError> {
+        MaintainedQuery::new_tuned(db, program, ics, config, Tuning::with_threads(threads))
+    }
+
+    /// [`MaintainedQuery::new`] with the full evaluator [`Tuning`]
+    /// bundle: the initial materialization and every later update or
+    /// route-transition rebuild run under it, so a serving daemon's
+    /// configuration (threads × cutover × kernels) governs the whole
+    /// maintained lifetime.
+    pub fn new_tuned(
+        db: Database,
+        program: &Program,
+        ics: &[Constraint],
+        config: OptimizerConfig,
+        tuning: Tuning,
+    ) -> Result<MaintainedQuery, MaintainError> {
         let plan = Optimizer::new(program)
             .with_constraints(ics)
             .with_config(config)
@@ -151,7 +166,7 @@ impl MaintainedQuery {
         } else {
             &plan.rectified
         };
-        let active = Materialized::new(&db, active_program, threads)?;
+        let active = Materialized::new_tuned(&db, active_program, tuning)?;
         let route = if !on_optimized {
             Route::RectifiedFallback
         } else if plan.any_applied() {
@@ -167,7 +182,7 @@ impl MaintainedQuery {
             active,
             on_optimized,
             route,
-            threads,
+            tuning,
         })
     }
 
@@ -218,7 +233,7 @@ impl MaintainedQuery {
             // Violations cleared: the optimized route is sound again.
             // Its cached results were discarded at invalidation, so the
             // materialization is rebuilt from scratch.
-            let next = Materialized::new(&work, &self.plan.program, self.threads)?;
+            let next = Materialized::new_tuned(&work, &self.plan.program, self.tuning)?;
             let stats = rebuild_stats(&next, start);
             self.active = next;
             (stats, Route::IncrementalOptimized, true)
@@ -226,7 +241,7 @@ impl MaintainedQuery {
             // Newly violated: the optimized materialization's cached
             // relations may be unsound on the updated database.
             // Invalidate them and re-answer from the rectified program.
-            let next = Materialized::new(&work, &self.plan.rectified, self.threads)?;
+            let next = Materialized::new_tuned(&work, &self.plan.rectified, self.tuning)?;
             let stats = rebuild_stats(&next, start);
             self.active = next;
             (stats, Route::IncrementalInvalidated, true)
@@ -296,7 +311,7 @@ impl MaintainedQuery {
                 }
             }
         } else if now_ok {
-            match Materialized::new(&self.db, &self.plan.program, self.threads) {
+            match Materialized::new_tuned(&self.db, &self.plan.program, self.tuning) {
                 Ok(next) => {
                     let stats = rebuild_stats(&next, start);
                     self.active = next;
@@ -308,7 +323,7 @@ impl MaintainedQuery {
                 }
             }
         } else {
-            match Materialized::new(&self.db, &self.plan.rectified, self.threads) {
+            match Materialized::new_tuned(&self.db, &self.plan.rectified, self.tuning) {
                 Ok(next) => {
                     let stats = rebuild_stats(&next, start);
                     self.active = next;

@@ -374,22 +374,24 @@ enum PlanRef {
 /// the resolution is identical every round, so the serial path caches
 /// positive resolutions here and replays them without touching the
 /// dictionary. Invalidation is by relation generation: `gen` records
-/// the probed relation's physical row count when the memo was filled,
-/// and any mismatch (an incremental transaction appended EDB rows)
-/// clears the memo wholesale before the task runs. Cached codes are
-/// re-verified against live dictionary key storage on every hit
-/// ([`ProbeHandle::code_key`]), so a stale code can never alias a
-/// different key — the generation check exists to keep the memo from
-/// accumulating dead entries, not for soundness.
+/// the probed relation's [`Relation::generation`] counter when the
+/// memo was filled, and any mismatch (an incremental transaction
+/// mutated the EDB — including truncate/reinsert sequences that leave
+/// the row count unchanged) clears the memo wholesale before the task
+/// runs. Cached codes are re-verified against live dictionary key
+/// storage on every hit ([`ProbeHandle::code_key`]), so a stale code
+/// can never alias a different key — the generation check keeps the
+/// memo from accumulating dead entries and is what lets the serving
+/// layer carry memos across published epochs soundly.
 #[derive(Clone)]
 struct DepthMemo {
     /// Cached key→code resolutions, keyed by the same full key hash
     /// the dictionary itself uses.
     map: CodeMap,
-    /// The probed relation's physical row count when `map` was last
-    /// (in)validated; a mismatch clears. `usize::MAX` initially, so
+    /// The probed relation's mutation counter when `map` was last
+    /// (in)validated; a mismatch clears. `u64::MAX` initially, so
     /// the first use always stamps.
-    gen: usize,
+    gen: u64,
     /// True when this depth probes a non-IDB (EDB) relation. IDB
     /// dictionaries grow almost every round, which would clear the
     /// memo before it ever hits, so only EDB depths are armed.
@@ -443,6 +445,41 @@ pub enum Cutover {
     /// A fixed seed-row threshold (the pre-cutover behavior, kept for
     /// experiments).
     MinRows(u64),
+}
+
+/// The evaluator knobs a long-lived owner re-applies to every internal
+/// evaluation it launches — the incremental materialization layer and
+/// the serving daemon construct many [`Evaluator`]s over a program's
+/// lifetime, and agreement tests need all of them to run under the same
+/// configuration (threads × [`Cutover`] × kernels on/off).
+#[derive(Clone, Copy, Debug)]
+pub struct Tuning {
+    /// Worker threads ([`Evaluator::with_parallelism`]).
+    pub threads: usize,
+    /// Pool cutover policy ([`Evaluator::with_cutover`]).
+    pub cutover: Cutover,
+    /// Batch kernels on/off ([`Evaluator::with_kernels`]).
+    pub kernels: bool,
+}
+
+impl Default for Tuning {
+    fn default() -> Self {
+        Tuning {
+            threads: 1,
+            cutover: Cutover::Auto,
+            kernels: true,
+        }
+    }
+}
+
+impl Tuning {
+    /// Default tuning with `threads` workers.
+    pub fn with_threads(threads: usize) -> Tuning {
+        Tuning {
+            threads,
+            ..Tuning::default()
+        }
+    }
 }
 
 /// Rounds below this many seed rows never spawn the pool in
@@ -770,6 +807,15 @@ impl<'db> Evaluator<'db> {
         self
     }
 
+    /// Applies a whole [`Tuning`] bundle (threads, cutover, kernels) in
+    /// one call — the entry point for owners that thread one tuning
+    /// value through every evaluation they launch.
+    pub fn with_tuning(self, t: Tuning) -> Self {
+        self.with_parallelism(t.threads)
+            .with_cutover(t.cutover)
+            .with_kernels(t.kernels)
+    }
+
     /// Overrides the merge-shard count (rounded up to a power of two;
     /// default `next_pow2(parallelism)`). Shard count never affects the
     /// computed IDB — see `tests/parallel_agreement.rs`.
@@ -912,7 +958,7 @@ impl<'db> Evaluator<'db> {
                     .iter()
                     .map(|p| DepthMemo {
                         map: CodeMap::default(),
-                        gen: usize::MAX,
+                        gen: u64::MAX,
                         edb: !self.idb_preds.contains(&p.pred),
                     })
                     .collect()
@@ -2397,7 +2443,7 @@ fn run_kernel(
                 continue;
             }
             let (rel, _, _) = prels[d].as_ref().expect("probe depth resolved");
-            let gen = rel.physical_rows();
+            let gen = rel.generation();
             if m.gen != gen {
                 m.map.clear();
                 m.gen = gen;

@@ -21,6 +21,11 @@
 //! | `io.load`        | per CSV file in [`crate::io::load_file`] | `EngineError::Io` |
 //! | `incr.delete`    | before the DRed over-deletion pass of an incremental update | `EngineError::Io` |
 //! | `incr.icheck`    | before the delta IC re-check of an incremental update | `EngineError::Io` |
+//! | `serve.accept`   | per accepted server connection (`semrec-serve`) | connection refused, daemon lives |
+//! | `serve.reader`   | at the start of every admitted read query  | typed I/O error to that client |
+//! | `wal.append`     | before a WAL record write                  | commit rejected, log truncated back |
+//! | `wal.fsync`      | before the WAL fsync-on-commit             | commit rejected, log truncated back |
+//! | `snapshot.publish` | before an epoch snapshot is published    | commit durable+applied, publish deferred |
 //!
 //! A schedule entry is one-shot: after firing it disarms, so a single
 //! armed fault injects exactly one failure per evaluation regardless of
@@ -61,7 +66,7 @@ fn registry() -> &'static Mutex<HashMap<&'static str, Site>> {
 }
 
 /// The failpoint names the engine and optimizer embed.
-pub const SITES: [&str; 7] = [
+pub const SITES: [&str; 12] = [
     "pool.join",
     "pool.merge",
     "eval.round",
@@ -69,6 +74,11 @@ pub const SITES: [&str; 7] = [
     "io.load",
     "incr.delete",
     "incr.icheck",
+    "serve.accept",
+    "serve.reader",
+    "wal.append",
+    "wal.fsync",
+    "snapshot.publish",
 ];
 
 fn intern(site: &str) -> Option<&'static str> {

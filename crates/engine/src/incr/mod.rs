@@ -39,7 +39,7 @@ mod matcher;
 
 use crate::database::Database;
 use crate::error::EngineError;
-use crate::eval::{Evaluator, Prepared, Strategy};
+use crate::eval::{Evaluator, Prepared, Strategy, Tuning};
 use crate::fxhash::FxHashMap;
 use crate::governor::{Budget, CancelToken, Governor};
 use crate::relation::{Relation, Tuple};
@@ -235,7 +235,7 @@ pub struct UpdateStats {
 pub struct Materialized {
     prepared: Prepared,
     idb: BTreeMap<Pred, Relation>,
-    threads: usize,
+    tuning: Tuning,
     /// Set when the program uses negation or arithmetic builtins:
     /// non-monotone (or non-enumerable) subgoals make delta propagation
     /// unsound, so every tx re-evaluates from scratch.
@@ -265,16 +265,28 @@ impl Materialized {
         program: &Program,
         threads: usize,
     ) -> Result<Materialized, EngineError> {
+        Materialized::new_tuned(db, program, Tuning::with_threads(threads))
+    }
+
+    /// [`Materialized::new`] with the full evaluator [`Tuning`] bundle;
+    /// the initial evaluation and every later propagation run use it,
+    /// so agreement tests can pin the whole configuration (threads ×
+    /// cutover × kernels on/off) for a materialization's lifetime.
+    pub fn new_tuned(
+        db: &Database,
+        program: &Program,
+        tuning: Tuning,
+    ) -> Result<Materialized, EngineError> {
         let fallback = !incremental_capable(program);
         let prepared = Prepared::compile(db, program)?;
-        let mut ev = Evaluator::new(db, program, Strategy::SemiNaive)?.with_parallelism(threads);
+        let mut ev = Evaluator::new(db, program, Strategy::SemiNaive)?.with_tuning(tuning);
         ev.run()?;
         let initial_rounds = ev.rounds();
         let res = ev.finish();
         Ok(Materialized {
             prepared,
             idb: res.idb,
-            threads,
+            tuning,
             fallback,
             initial_rounds,
         })
@@ -372,7 +384,7 @@ impl Materialized {
         let idb = std::mem::take(&mut self.idb);
         let mut ev =
             Evaluator::from_prepared(post_db, &self.prepared, idb, delta.edb_marks.clone())?
-                .with_parallelism(self.threads)
+                .with_tuning(self.tuning)
                 .with_budget(budget);
         if let Some(c) = cancel {
             ev = ev.with_cancel_token(c);
@@ -465,7 +477,7 @@ impl Materialized {
         }
         let mut ev =
             Evaluator::from_prepared(post_db, &self.prepared, work_idb, delta.edb_marks.clone())?
-                .with_parallelism(self.threads)
+                .with_tuning(self.tuning)
                 .with_budget(eval_budget);
         if let Some(c) = cancel {
             ev = ev.with_cancel_token(c);
@@ -503,7 +515,7 @@ impl Materialized {
         start: Instant,
     ) -> Result<UpdateStats, EngineError> {
         let mut ev = Evaluator::new(post_db, self.prepared.program(), Strategy::SemiNaive)?
-            .with_parallelism(self.threads)
+            .with_tuning(self.tuning)
             .with_budget(budget);
         if let Some(c) = cancel {
             ev = ev.with_cancel_token(c);
@@ -524,51 +536,201 @@ impl Materialized {
     }
 }
 
+/// A typed transaction-stream parse error: which line was rejected and
+/// why. Unlike a batch parse failure, a stream error condemns only the
+/// transaction it occurred in — the parser stays usable for the next
+/// transaction, which is what keeps a serving connection alive across a
+/// client's malformed line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TxStreamError {
+    /// 1-based line number within the stream.
+    pub line: u64,
+    /// What was wrong with the line.
+    pub msg: String,
+}
+
+impl std::fmt::Display for TxStreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for TxStreamError {}
+
+/// What one fed line did to the stream state.
+#[derive(Clone, Debug)]
+pub enum TxStreamEvent {
+    /// The line queued an operation into (or was a comment within) the
+    /// current transaction.
+    Queued,
+    /// The line was `commit.`: the finished transaction is handed out
+    /// and the parser is reset for the next one. An empty transaction
+    /// commits as `None` (nothing to apply).
+    Committed(Option<Tx>),
+}
+
+/// An incremental `+fact./-fact./commit.` parser for transaction
+/// *streams* — the serving daemon's write protocol, where lines arrive
+/// one at a time over a long-lived connection and a malformed line must
+/// reject **that transaction** with a typed error instead of tearing
+/// down the stream (the batch-file behavior of [`parse_txs`]).
+///
+/// Error discipline: a malformed line returns its [`TxStreamError`]
+/// immediately *and* poisons the in-progress transaction; subsequent
+/// operation lines are swallowed (the transaction is already doomed)
+/// and the eventual `commit.` returns the original error again — so a
+/// pipelining client that missed the first rejection still sees a typed
+/// failure at the commit it is waiting on. Either way the parser resets
+/// and the next transaction parses cleanly.
+#[derive(Debug, Default)]
+pub struct TxStreamParser {
+    cur: Tx,
+    poisoned: Option<TxStreamError>,
+    line: u64,
+}
+
+impl TxStreamParser {
+    /// A fresh parser at line 0 with an empty transaction.
+    pub fn new() -> TxStreamParser {
+        TxStreamParser::default()
+    }
+
+    /// True when the in-progress transaction has been condemned by an
+    /// earlier malformed line and will fail at its `commit.`.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
+    }
+
+    /// Queued operation count of the in-progress transaction.
+    pub fn pending_ops(&self) -> usize {
+        self.cur.len()
+    }
+
+    /// Hands out the in-progress transaction (e.g. a trailing
+    /// transaction at end of input), resetting the parser. Errors if
+    /// the transaction was poisoned.
+    pub fn take_pending(&mut self) -> Result<Option<Tx>, TxStreamError> {
+        if let Some(e) = self.poisoned.take() {
+            self.cur = Tx::new();
+            return Err(e);
+        }
+        let cur = std::mem::take(&mut self.cur);
+        Ok((!cur.is_empty()).then_some(cur))
+    }
+
+    /// Feeds one line. Blank lines and `%`/`#` comments are queued
+    /// no-ops; `+fact(…).`/`-fact(…).` queue operations; `commit.`
+    /// (or bare `commit`) completes the transaction.
+    pub fn feed(&mut self, raw: &str) -> Result<TxStreamEvent, TxStreamError> {
+        self.line += 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('%') || line.starts_with('#') {
+            return Ok(TxStreamEvent::Queued);
+        }
+        if line == "commit." || line == "commit" {
+            if let Some(e) = self.poisoned.take() {
+                self.cur = Tx::new();
+                return Err(e);
+            }
+            let cur = std::mem::take(&mut self.cur);
+            return Ok(TxStreamEvent::Committed((!cur.is_empty()).then_some(cur)));
+        }
+        if self.poisoned.is_some() {
+            // The tx is already condemned; swallow its remaining
+            // operations so the error surfaces exactly at the commit.
+            return Ok(TxStreamEvent::Queued);
+        }
+        match parse_tx_op(line) {
+            Ok((insert, fact)) => {
+                if insert {
+                    self.cur.insert_atom(&fact);
+                } else {
+                    self.cur.delete_atom(&fact);
+                }
+                Ok(TxStreamEvent::Queued)
+            }
+            Err(msg) => {
+                let err = TxStreamError {
+                    line: self.line,
+                    msg,
+                };
+                self.poisoned = Some(err.clone());
+                Err(err)
+            }
+        }
+    }
+}
+
+/// Parses one `+fact(…).` / `-fact(…).` operation line (already
+/// trimmed, known not to be blank/comment/commit).
+fn parse_tx_op(line: &str) -> Result<(bool, Atom), String> {
+    let (insert, rest) = match (line.strip_prefix('+'), line.strip_prefix('-')) {
+        (Some(r), _) => (true, r),
+        (_, Some(r)) => (false, r),
+        _ => return Err("expected `+fact(…).`, `-fact(…).`, or `commit.`".to_string()),
+    };
+    let unit = semrec_datalog::parser::parse_unit(rest.trim()).map_err(|e| e.to_string())?;
+    if unit.facts.len() != 1
+        || !unit.rules.is_empty()
+        || !unit.constraints.is_empty()
+        || !unit.facts[0].is_ground()
+    {
+        return Err("expected exactly one ground fact".to_string());
+    }
+    Ok((insert, unit.facts.into_iter().next().expect("checked len")))
+}
+
+/// Renders a transaction in the `+fact(…)./-fact(…)./commit.` line
+/// format [`parse_txs`] accepts — the write-ahead log's record payload,
+/// chosen over a binary encoding so a WAL is inspectable with `cat` and
+/// replayable through the same parser the live stream uses. Deletes
+/// render first, matching [`Database::apply`]'s application order.
+pub fn tx_to_stream(tx: &Tx) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let mut emit = |sign: char, pred: &Pred, ts: &[Tuple]| {
+        for t in ts {
+            let _ = write!(s, "{sign}{pred}(");
+            for (i, v) in t.iter().enumerate() {
+                let _ = if i == 0 {
+                    write!(s, "{v}")
+                } else {
+                    write!(s, ", {v}")
+                };
+            }
+            s.push_str(").\n");
+        }
+    };
+    for (p, ts) in &tx.deletes {
+        emit('-', p, ts);
+    }
+    for (p, ts) in &tx.inserts {
+        emit('+', p, ts);
+    }
+    s.push_str("commit.\n");
+    s
+}
+
 /// Parses a transaction file: one operation per line — `+fact(…).` to
 /// insert, `-fact(…).` to delete — with `commit.` lines separating
 /// transactions (a trailing transaction without `commit.` is included).
 /// Blank lines and lines starting with `%` or `#` are comments.
+///
+/// Batch semantics: the first malformed line fails the whole parse.
+/// Stream consumers that must survive malformed input use
+/// [`TxStreamParser`] directly.
 pub fn parse_txs(src: &str) -> Result<Vec<Tx>, String> {
+    let mut parser = TxStreamParser::new();
     let mut txs = Vec::new();
-    let mut cur = Tx::new();
-    for (ln, raw) in src.lines().enumerate() {
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('%') || line.starts_with('#') {
-            continue;
-        }
-        if line == "commit." || line == "commit" {
-            if !cur.is_empty() {
-                txs.push(std::mem::take(&mut cur));
-            }
-            continue;
-        }
-        let (insert, rest) = match (line.strip_prefix('+'), line.strip_prefix('-')) {
-            (Some(r), _) => (true, r),
-            (_, Some(r)) => (false, r),
-            _ => {
-                return Err(format!(
-                    "line {}: expected `+fact(…).`, `-fact(…).`, or `commit.`",
-                    ln + 1
-                ))
-            }
-        };
-        let unit = semrec_datalog::parser::parse_unit(rest.trim())
-            .map_err(|e| format!("line {}: {e}", ln + 1))?;
-        if unit.facts.len() != 1
-            || !unit.rules.is_empty()
-            || !unit.constraints.is_empty()
-            || !unit.facts[0].is_ground()
-        {
-            return Err(format!("line {}: expected exactly one ground fact", ln + 1));
-        }
-        if insert {
-            cur.insert_atom(&unit.facts[0]);
-        } else {
-            cur.delete_atom(&unit.facts[0]);
+    for raw in src.lines() {
+        match parser.feed(raw).map_err(|e| e.to_string())? {
+            TxStreamEvent::Queued => {}
+            TxStreamEvent::Committed(Some(tx)) => txs.push(tx),
+            TxStreamEvent::Committed(None) => {}
         }
     }
-    if !cur.is_empty() {
-        txs.push(cur);
+    if let Some(tx) = parser.take_pending().map_err(|e| e.to_string())? {
+        txs.push(tx);
     }
     Ok(txs)
 }
@@ -699,5 +861,74 @@ mod tests {
         assert_eq!(txs[0].len(), 2);
         assert_eq!(txs[1].len(), 1);
         assert!(parse_txs("e(1, 2).").is_err());
+    }
+
+    #[test]
+    fn stream_parser_rejects_one_tx_and_recovers() {
+        let mut p = TxStreamParser::new();
+        assert!(matches!(p.feed("+e(1, 2)."), Ok(TxStreamEvent::Queued)));
+        // Malformed line: immediate typed error, tx poisoned.
+        let err = p.feed("garbage here").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(p.is_poisoned());
+        // Later operations of the doomed tx are swallowed…
+        assert!(matches!(p.feed("+e(2, 3)."), Ok(TxStreamEvent::Queued)));
+        // …and the commit fails with the original error, then resets.
+        let at_commit = p.feed("commit.").unwrap_err();
+        assert_eq!(at_commit, err);
+        assert!(!p.is_poisoned());
+        // The next transaction parses cleanly — the stream survived.
+        assert!(matches!(p.feed("+e(5, 6)."), Ok(TxStreamEvent::Queued)));
+        match p.feed("commit.").unwrap() {
+            TxStreamEvent::Committed(Some(tx)) => assert_eq!(tx.len(), 1),
+            other => panic!("expected a committed tx, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stream_parser_empty_commit_is_a_noop_commit() {
+        let mut p = TxStreamParser::new();
+        match p.feed("commit.").unwrap() {
+            TxStreamEvent::Committed(None) => {}
+            other => panic!("expected an empty commit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stream_parser_take_pending_surfaces_poison() {
+        let mut p = TxStreamParser::new();
+        p.feed("+e(1, 2).").unwrap();
+        assert!(p.feed("nope").is_err());
+        assert!(p.take_pending().is_err());
+        // Reset after the error: a fresh trailing tx hands out fine.
+        p.feed("+e(3, 4).").unwrap();
+        assert_eq!(p.take_pending().unwrap().unwrap().len(), 1);
+        assert!(p.take_pending().unwrap().is_none());
+    }
+
+    #[test]
+    fn stream_parser_rejects_non_ground_and_multi_fact_lines() {
+        for bad in [
+            "+e(X, 2).",
+            "+e(1, 2). e(3, 4).",
+            "+r(X) :- e(X, _).",
+            "e(1, 2).",
+        ] {
+            let mut p = TxStreamParser::new();
+            assert!(p.feed(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn tx_to_stream_roundtrips_through_parse_txs() {
+        let mut tx = Tx::new();
+        tx.insert("e", int_tuple(&[1, 2]));
+        tx.insert("w", vec![semrec_datalog::term::Value::str("hello world")]);
+        tx.delete("e", int_tuple(&[3, 4]));
+        let text = tx_to_stream(&tx);
+        let txs = parse_txs(&text).unwrap();
+        assert_eq!(txs.len(), 1);
+        assert_eq!(txs[0].inserts(), tx.inserts());
+        assert_eq!(txs[0].deletes(), tx.deletes());
     }
 }

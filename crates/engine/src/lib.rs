@@ -34,10 +34,13 @@ pub mod topdown;
 pub use database::{int_tuple, Database};
 pub use error::EngineError;
 pub use eval::{
-    evaluate, evaluate_parallel, Cutover, EvalResult, Evaluator, Prepared, Route, Strategy,
+    evaluate, evaluate_parallel, Cutover, EvalResult, Evaluator, Prepared, Route, Strategy, Tuning,
 };
 pub use governor::{Budget, CancelToken};
-pub use incr::{Materialized, Tx, TxDelta, UpdateStats};
+pub use incr::{
+    tx_to_stream, Materialized, Tx, TxDelta, TxStreamError, TxStreamEvent, TxStreamParser,
+    UpdateStats,
+};
 pub use pool::{JobPanic, PhasePanic, WorkerPool};
 pub use relation::{CodeMap, Relation, RowRange, Tuple};
 pub use stats::{PoolStats, Stats};

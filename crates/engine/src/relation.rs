@@ -517,6 +517,20 @@ pub struct Relation {
     /// that tripped the trigger — while still replacing a chain of
     /// doublings with one sized jump.
     reserve_hint: usize,
+    /// Monotonic mutation counter: bumped by every call that changes the
+    /// live tuple set (insert, delete, truncate, compact, bulk commit).
+    /// Unlike [`Relation::physical_rows`] — which a truncate-then-insert
+    /// sequence can return to its old value — two observations of an
+    /// equal generation guarantee the relation content is unchanged, so
+    /// generation stamps are what the kernel memos and the serving
+    /// layer's copy-on-write snapshots key change detection on.
+    generation: u64,
+    /// Snapshot publication mark: `(epoch, row watermark)` recorded by
+    /// [`Relation::publish_epoch`]. Rows below the watermark are the
+    /// immutable per-epoch view readers iterate via
+    /// [`Relation::snapshot_rows`]; `None` means never published (the
+    /// snapshot view is then the full live relation).
+    published: Option<(u64, u32)>,
     indexes: RwLock<FxHashMap<Vec<usize>, Box<ColumnIndex>>>,
 }
 
@@ -534,8 +548,59 @@ impl Relation {
             uniq_ewma: 1.0,
             regrows: 0,
             reserve_hint: 0,
+            generation: 0,
+            published: None,
             indexes: RwLock::new(FxHashMap::default()),
         }
+    }
+
+    /// The monotonic mutation counter: strictly increases on every
+    /// content change and never repeats, so callers caching work derived
+    /// from this relation (kernel key→code memos, published snapshots)
+    /// can compare generations to detect *any* intervening mutation —
+    /// including truncate-then-reinsert sequences that leave
+    /// [`Relation::physical_rows`] unchanged.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Marks the current contents as the published snapshot for `epoch`:
+    /// records the epoch id and the current physical row watermark.
+    /// Under the serving layer's copy-on-write discipline the published
+    /// relation object is never mutated again, so rows below the
+    /// watermark form an immutable row-range view concurrent readers
+    /// iterate without coordination ([`Relation::snapshot_rows`]).
+    pub fn publish_epoch(&mut self, epoch: u64) {
+        self.published = Some((epoch, self.nrows as u32));
+    }
+
+    /// The epoch this relation was published at, or `None` if
+    /// [`Relation::publish_epoch`] was never called on it.
+    pub fn published_epoch(&self) -> Option<u64> {
+        self.published.map(|(e, _)| e)
+    }
+
+    /// The published row-range snapshot: physical rows below the
+    /// watermark recorded by the last [`Relation::publish_epoch`], or
+    /// the full row range if never published. Iterate it with
+    /// [`Relation::iter_range`]; tombstones are filtered there as usual.
+    pub fn snapshot_rows(&self) -> RowRange {
+        match self.published {
+            Some((_, end)) => RowRange { start: 0, end },
+            None => self.all_rows(),
+        }
+    }
+
+    /// Live tuples of the published snapshot, sorted, for deterministic
+    /// comparisons against a serial replay at the same epoch.
+    pub fn snapshot_sorted_tuples(&self) -> Vec<Tuple> {
+        let mut v: Vec<Tuple> = self
+            .iter_range(self.snapshot_rows())
+            .map(|(_, row)| row.to_vec())
+            .collect();
+        v.sort();
+        v
     }
 
     /// The arity.
@@ -633,6 +698,7 @@ impl Relation {
         self.row_hash.push(h);
         self.data.extend_from_slice(t);
         self.nrows += 1;
+        self.generation += 1;
         true
     }
 
@@ -755,6 +821,7 @@ impl Relation {
         }
         self.dead[r / 64] |= 1u64 << (r % 64);
         self.ndead += 1;
+        self.generation += 1;
         true
     }
 
@@ -806,6 +873,7 @@ impl Relation {
             }
         }
         self.ndead = self.dead.iter().map(|w| w.count_ones() as usize).sum();
+        self.generation += 1;
         self.indexes.write().expect("index lock poisoned").clear();
     }
 
@@ -833,6 +901,7 @@ impl Relation {
         self.set.rebuild(&self.row_hash);
         self.dead.clear();
         self.ndead = 0;
+        self.generation += 1;
         self.indexes.write().expect("index lock poisoned").clear();
     }
 
@@ -883,6 +952,7 @@ impl Relation {
             self.data.extend_from_slice(row);
             self.nrows += 1;
         }
+        self.generation += hashes.len() as u64;
         hashes.len()
     }
 
@@ -1298,6 +1368,11 @@ impl Clone for Relation {
             uniq_ewma: self.uniq_ewma,
             regrows: self.regrows,
             reserve_hint: self.reserve_hint,
+            // The clone starts content-identical, so it inherits the
+            // generation: a snapshot publisher comparing a clone's
+            // generation against the original must see "unchanged".
+            generation: self.generation,
+            published: self.published,
             indexes: RwLock::new(FxHashMap::default()),
         }
     }
@@ -1789,5 +1864,79 @@ mod tests {
         assert_eq!(a, b);
         a.compact();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generation_advances_on_every_content_change() {
+        let mut r = Relation::new(1);
+        let g0 = r.generation();
+        assert!(r.insert(t(&[1])));
+        let g1 = r.generation();
+        assert!(g1 > g0, "insert must bump the generation");
+        // A duplicate insert changes nothing and must not bump.
+        assert!(!r.insert(t(&[1])));
+        assert_eq!(r.generation(), g1);
+        assert!(r.delete(&t(&[1])));
+        let g2 = r.generation();
+        assert!(g2 > g1, "delete must bump the generation");
+        // A miss delete changes nothing.
+        assert!(!r.delete(&t(&[9])));
+        assert_eq!(r.generation(), g2);
+        r.compact();
+        assert!(r.generation() > g2, "compact must bump the generation");
+    }
+
+    #[test]
+    fn generation_distinguishes_truncate_reinsert_from_no_op() {
+        // `physical_rows` alone cannot tell these states apart — the
+        // whole reason the counter exists (kernel memos, COW snapshots).
+        let mut r = Relation::new(1);
+        r.insert(t(&[1]));
+        r.insert(t(&[2]));
+        let rows = r.physical_rows();
+        let gen = r.generation();
+        r.truncate(1);
+        r.insert(t(&[3]));
+        assert_eq!(r.physical_rows(), rows, "row count returned to old value");
+        assert!(r.generation() > gen, "generation must not");
+    }
+
+    #[test]
+    fn truncate_noop_keeps_generation() {
+        let mut r = Relation::new(1);
+        r.insert(t(&[1]));
+        let gen = r.generation();
+        r.truncate(5); // keep >= nrows: nothing to undo
+        assert_eq!(r.generation(), gen);
+        r.compact(); // no tombstones: no-op
+        assert_eq!(r.generation(), gen);
+    }
+
+    #[test]
+    fn publish_epoch_freezes_a_row_range_view() {
+        let mut r = Relation::new(1);
+        r.insert(t(&[1]));
+        r.insert(t(&[2]));
+        assert_eq!(r.published_epoch(), None);
+        assert_eq!(r.snapshot_rows(), r.all_rows());
+        r.publish_epoch(7);
+        assert_eq!(r.published_epoch(), Some(7));
+        // Later appends land above the published watermark: the
+        // snapshot view still shows exactly the two published rows.
+        r.insert(t(&[3]));
+        assert_eq!(r.snapshot_rows(), RowRange { start: 0, end: 2 });
+        assert_eq!(r.snapshot_sorted_tuples(), vec![t(&[1]), t(&[2])]);
+        assert_eq!(r.sorted_tuples(), vec![t(&[1]), t(&[2]), t(&[3])]);
+    }
+
+    #[test]
+    fn clone_preserves_generation_and_publication() {
+        let mut r = Relation::new(1);
+        r.insert(t(&[1]));
+        r.publish_epoch(3);
+        let c = r.clone();
+        assert_eq!(c.generation(), r.generation());
+        assert_eq!(c.published_epoch(), Some(3));
+        assert_eq!(c.snapshot_rows(), r.snapshot_rows());
     }
 }

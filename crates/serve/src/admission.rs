@@ -1,0 +1,322 @@
+//! Admission control: a bounded in-flight gate with typed overload
+//! shedding and a slow-reader watchdog.
+//!
+//! ## State machine
+//!
+//! A request is in exactly one of four states:
+//!
+//! ```text
+//!            gate full or no deadline headroom
+//!   arrive ────────────────────────────────────▶ REJECTED (Overloaded + retry-after)
+//!     │
+//!     │ slot acquired
+//!     ▼
+//!  ADMITTED ──── finishes ──▶ DONE (slot freed, latency folded into EWMA)
+//!     │
+//!     │ runs past the watchdog threshold
+//!     ▼
+//!  CANCELLED (cooperative: the reader observes its CancelToken and
+//!             returns EpochReclaimed; the slot frees as usual)
+//! ```
+//!
+//! Rejection happens **before** any work: an overloaded daemon sheds
+//! load in O(1) per request instead of queueing unboundedly. The
+//! retry-after hint is the EWMA of recently completed request
+//! latencies — an estimate of when one slot frees.
+//!
+//! The watchdog exists for epoch reclamation, not fairness: a reader
+//! pins its epoch's `Arc` for as long as it runs, so a stuck reader
+//! would hold an arbitrarily old snapshot in memory forever. Cancelling
+//! it (cooperatively, at the reader's next poll) bounds that window
+//! without ever making the writer wait.
+
+use crate::error::ServeError;
+use semrec_engine::CancelToken;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Gate configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionConfig {
+    /// Maximum concurrently admitted requests; the gate sheds beyond it.
+    pub max_inflight: usize,
+    /// Requests whose effective deadline is below this are rejected
+    /// outright — they could not finish in time, so starting them only
+    /// steals capacity from requests that can.
+    pub min_headroom: Duration,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline: Option<Duration>,
+    /// Cancel admitted requests still running after this long (the
+    /// slow-reader watchdog); `None` disables it.
+    pub watchdog_after: Option<Duration>,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_inflight: 64,
+            min_headroom: Duration::ZERO,
+            default_deadline: None,
+            watchdog_after: None,
+        }
+    }
+}
+
+struct ActiveEntry {
+    cancel: CancelToken,
+    started: Instant,
+    reclaimed: Arc<AtomicBool>,
+}
+
+/// The admission gate. Shared (`Arc`) between connection handlers and
+/// the watchdog.
+pub struct Admission {
+    cfg: AdmissionConfig,
+    inflight: AtomicUsize,
+    /// EWMA of completed-request latency, in microseconds (×1000 fixed
+    /// point would be overkill; µs resolution is plenty for a hint).
+    ewma_us: AtomicU64,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    watchdog_cancelled: AtomicU64,
+    next_id: AtomicU64,
+    active: Mutex<HashMap<u64, ActiveEntry>>,
+}
+
+impl Admission {
+    /// A gate with the given configuration.
+    pub fn new(cfg: AdmissionConfig) -> Arc<Admission> {
+        Arc::new(Admission {
+            cfg,
+            inflight: AtomicUsize::new(0),
+            ewma_us: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            watchdog_cancelled: AtomicU64::new(0),
+            next_id: AtomicU64::new(0),
+            active: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The gate's configuration.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.cfg
+    }
+
+    /// Total requests admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Total requests shed with `Overloaded`.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Total admitted requests the watchdog cancelled.
+    pub fn watchdog_cancelled(&self) -> u64 {
+        self.watchdog_cancelled.load(Ordering::Relaxed)
+    }
+
+    /// The retry-after hint: the latency EWMA, floored at 1ms.
+    fn retry_after_ms(&self) -> u64 {
+        (self.ewma_us.load(Ordering::Relaxed) / 1000).max(1)
+    }
+
+    /// Tries to admit a request. `deadline` is the client's own bound,
+    /// if any; the configured default applies otherwise. Returns the
+    /// typed `Overloaded` rejection when the gate is full or the
+    /// effective deadline is under the headroom floor.
+    pub fn admit(self: &Arc<Self>, deadline: Option<Duration>) -> Result<Permit, ServeError> {
+        let effective = deadline.or(self.cfg.default_deadline);
+        if let Some(d) = effective {
+            if d < self.cfg.min_headroom {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::Overloaded {
+                    inflight: self.inflight.load(Ordering::Relaxed),
+                    limit: self.cfg.max_inflight,
+                    retry_after_ms: self.retry_after_ms(),
+                });
+            }
+        }
+        // Optimistic increment; back out on overshoot. Two racers both
+        // overshooting both back out — strictly bounded, never stuck.
+        let prev = self.inflight.fetch_add(1, Ordering::AcqRel);
+        if prev >= self.cfg.max_inflight {
+            self.inflight.fetch_sub(1, Ordering::AcqRel);
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Overloaded {
+                inflight: prev,
+                limit: self.cfg.max_inflight,
+                retry_after_ms: self.retry_after_ms(),
+            });
+        }
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let cancel = CancelToken::new();
+        let reclaimed = Arc::new(AtomicBool::new(false));
+        self.active.lock().expect("admission lock").insert(
+            id,
+            ActiveEntry {
+                cancel: cancel.clone(),
+                started: Instant::now(),
+                reclaimed: Arc::clone(&reclaimed),
+            },
+        );
+        Ok(Permit {
+            gate: Arc::clone(self),
+            id,
+            started: Instant::now(),
+            cancel,
+            reclaimed,
+            deadline: effective,
+        })
+    }
+
+    /// One watchdog sweep: cancels every admitted request running
+    /// longer than `older_than`, marking it reclaimed so the reader can
+    /// distinguish watchdog cancellation (`EpochReclaimed`) from a
+    /// client abort (`Cancelled`). Returns how many were cancelled.
+    pub fn reap_slow(&self, older_than: Duration) -> usize {
+        let now = Instant::now();
+        let mut n = 0;
+        let active = self.active.lock().expect("admission lock");
+        for entry in active.values() {
+            if now.duration_since(entry.started) >= older_than && !entry.cancel.is_cancelled() {
+                entry.reclaimed.store(true, Ordering::Release);
+                entry.cancel.cancel();
+                n += 1;
+            }
+        }
+        self.watchdog_cancelled
+            .fetch_add(n as u64, Ordering::Relaxed);
+        n
+    }
+
+    fn finish(&self, id: u64, elapsed: Duration) {
+        self.active.lock().expect("admission lock").remove(&id);
+        self.inflight.fetch_sub(1, Ordering::AcqRel);
+        // EWMA fold, α = 1/4. Racy read-modify-write is fine for a hint.
+        let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        let old = self.ewma_us.load(Ordering::Relaxed);
+        let new = if old == 0 { us } else { old - old / 4 + us / 4 };
+        self.ewma_us.store(new, Ordering::Relaxed);
+    }
+}
+
+/// An admitted request's slot. Dropping it frees the slot and folds the
+/// request latency into the retry-after estimate.
+pub struct Permit {
+    gate: Arc<Admission>,
+    id: u64,
+    started: Instant,
+    cancel: CancelToken,
+    reclaimed: Arc<AtomicBool>,
+    deadline: Option<Duration>,
+}
+
+impl Permit {
+    /// The cancel token the request's evaluation must poll.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// The effective deadline (request's own, or the configured
+    /// default).
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// Time left before the effective deadline (`None` = unbounded).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_sub(self.started.elapsed()))
+    }
+
+    /// True once the watchdog cancelled this request to unblock epoch
+    /// reclamation — the reader should surface `EpochReclaimed`, not
+    /// plain `Cancelled`.
+    pub fn was_reclaimed(&self) -> bool {
+        self.reclaimed.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        self.gate.finish(self.id, self.started.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_sheds_beyond_capacity_with_retry_hint() {
+        let gate = Admission::new(AdmissionConfig {
+            max_inflight: 2,
+            ..AdmissionConfig::default()
+        });
+        let a = gate.admit(None).unwrap();
+        let _b = gate.admit(None).unwrap();
+        let err = gate.admit(None).map(|_| ()).expect_err("gate is full");
+        match err {
+            ServeError::Overloaded {
+                limit,
+                retry_after_ms,
+                ..
+            } => {
+                assert_eq!(limit, 2);
+                assert!(retry_after_ms >= 1);
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!(gate.rejected(), 1);
+        drop(a);
+        // A slot freed: admission works again.
+        let _c = gate.admit(None).unwrap();
+        assert_eq!(gate.admitted(), 3);
+    }
+
+    #[test]
+    fn deadline_headroom_floor_rejects_unfinishable_requests() {
+        let gate = Admission::new(AdmissionConfig {
+            max_inflight: 8,
+            min_headroom: Duration::from_millis(10),
+            ..AdmissionConfig::default()
+        });
+        assert!(matches!(
+            gate.admit(Some(Duration::from_millis(1))),
+            Err(ServeError::Overloaded { .. })
+        ));
+        assert!(gate.admit(Some(Duration::from_millis(50))).is_ok());
+        // No deadline at all is unbounded: admitted.
+        assert!(gate.admit(None).is_ok());
+    }
+
+    #[test]
+    fn watchdog_cancels_old_readers_and_marks_them_reclaimed() {
+        let gate = Admission::new(AdmissionConfig::default());
+        let p = gate.admit(None).unwrap();
+        assert!(!p.cancel_token().is_cancelled());
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(gate.reap_slow(Duration::from_millis(1)), 1);
+        assert!(p.cancel_token().is_cancelled());
+        assert!(p.was_reclaimed());
+        assert_eq!(gate.watchdog_cancelled(), 1);
+        // Already-cancelled entries are not double-counted.
+        assert_eq!(gate.reap_slow(Duration::from_millis(1)), 0);
+    }
+
+    #[test]
+    fn default_deadline_applies_when_request_has_none() {
+        let gate = Admission::new(AdmissionConfig {
+            default_deadline: Some(Duration::from_millis(30)),
+            ..AdmissionConfig::default()
+        });
+        let p = gate.admit(None).unwrap();
+        assert_eq!(p.deadline(), Some(Duration::from_millis(30)));
+    }
+}

@@ -1,0 +1,231 @@
+//! Epoch snapshots: copy-on-write publication and reader pinning.
+//!
+//! Every committed transaction publishes a new [`EpochState`]: the
+//! epoch id, the route answering queries at that epoch, and an
+//! immutable set of relations. Publication is copy-on-write over the
+//! previous epoch — only relations whose [`Relation::generation`]
+//! changed since the last publish are cloned (and stamped via
+//! [`Relation::publish_epoch`]); untouched ones share their `Arc`
+//! across epochs, so a commit that inserts one `edge` fact clones the
+//! `edge` and `reach` relations and shares everything else.
+//!
+//! Readers pin an epoch by cloning its `Arc` out of the registry — a
+//! pointer copy under a briefly-held read lock, never blocked by the
+//! writer's evaluation work — and answer against the pinned state for
+//! the whole request, no matter how many commits land meanwhile. The
+//! writer's publish is a ring push under a briefly-held write lock,
+//! never blocked by however slowly a reader is scanning. An epoch's
+//! memory is reclaimed when it both falls off the retention ring and
+//! the last pinned reader drops its `Arc`; the slow-reader watchdog
+//! ([`crate::admission`]) cancels readers that would otherwise hold
+//! reclamation hostage.
+
+use crate::error::ServeError;
+use semrec_datalog::atom::Pred;
+use semrec_engine::{Relation, Route};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, RwLock};
+
+/// One published epoch: an immutable, consistent view of every
+/// relation (EDB and IDB) at a commit boundary.
+#[derive(Clone, Debug)]
+pub struct EpochState {
+    /// The epoch id: 0 for the initial materialization, +1 per
+    /// published commit. Process-local — epochs restart at the replayed
+    /// commit count after recovery.
+    pub epoch: u64,
+    /// The maintenance route answering queries at this epoch (optimized
+    /// vs rectified-after-invalidation etc.).
+    pub route: Route,
+    /// Every relation visible at this epoch. The `Relation` values are
+    /// frozen: nothing mutates them after publication, so readers
+    /// iterate [`Relation::snapshot_rows`] without locks.
+    pub rels: BTreeMap<Pred, Arc<Relation>>,
+}
+
+impl EpochState {
+    /// The relation for `pred` at this epoch, if any.
+    pub fn relation(&self, pred: Pred) -> Option<&Arc<Relation>> {
+        self.rels.get(&pred)
+    }
+
+    /// Builds the successor epoch copy-on-write: relations whose
+    /// generation is unchanged from `self` share their `Arc`; changed
+    /// (or new) ones are cloned and stamped with the new epoch.
+    /// Relations absent from `current` are dropped (the writer deleted
+    /// the predicate — does not happen today, but the view must follow
+    /// the writer, not accrete).
+    pub fn cow_successor<'a>(
+        &self,
+        epoch: u64,
+        route: Route,
+        current: impl Iterator<Item = (Pred, &'a Relation)>,
+    ) -> EpochState {
+        let mut rels = BTreeMap::new();
+        for (p, rel) in current {
+            let reuse = self
+                .rels
+                .get(&p)
+                .filter(|prev| prev.generation() == rel.generation());
+            let arc = match reuse {
+                Some(prev) => Arc::clone(prev),
+                None => {
+                    let mut frozen = rel.clone();
+                    frozen.publish_epoch(epoch);
+                    Arc::new(frozen)
+                }
+            };
+            rels.insert(p, arc);
+        }
+        EpochState { epoch, route, rels }
+    }
+}
+
+/// The ring of recently published epochs.
+#[derive(Debug)]
+pub struct EpochRegistry {
+    ring: RwLock<VecDeque<Arc<EpochState>>>,
+    retain: usize,
+}
+
+impl EpochRegistry {
+    /// A registry seeded with `initial` (epoch 0), retaining up to
+    /// `retain` epochs (at least 1 — the latest is always pinnable).
+    pub fn new(initial: EpochState, retain: usize) -> EpochRegistry {
+        let mut ring = VecDeque::new();
+        ring.push_back(Arc::new(initial));
+        EpochRegistry {
+            ring: RwLock::new(ring),
+            retain: retain.max(1),
+        }
+    }
+
+    /// Publishes `state` as the newest epoch, dropping the oldest
+    /// beyond the retention bound. Hits the `snapshot.publish`
+    /// failpoint first: an injected failure leaves the ring unchanged
+    /// (the commit stays durable and applied; publication is retried by
+    /// the next commit, whose epoch subsumes this one).
+    pub fn publish(&self, state: EpochState) -> Result<Arc<EpochState>, ServeError> {
+        #[cfg(feature = "failpoints")]
+        semrec_engine::failpoint::hit("snapshot.publish")
+            .map_err(|m| ServeError::Io(format!("snapshot publish: {m}")))?;
+        let arc = Arc::new(state);
+        let mut ring = self.ring.write().expect("epoch ring poisoned");
+        debug_assert!(ring.back().is_none_or(|b| b.epoch < arc.epoch));
+        ring.push_back(Arc::clone(&arc));
+        while ring.len() > self.retain {
+            ring.pop_front();
+        }
+        Ok(arc)
+    }
+
+    /// Pins the newest epoch.
+    pub fn latest(&self) -> Arc<EpochState> {
+        let ring = self.ring.read().expect("epoch ring poisoned");
+        Arc::clone(ring.back().expect("registry seeded at construction"))
+    }
+
+    /// The oldest retained epoch id.
+    pub fn oldest(&self) -> u64 {
+        let ring = self.ring.read().expect("epoch ring poisoned");
+        ring.front().expect("registry seeded at construction").epoch
+    }
+
+    /// Pins a specific epoch (`None` = latest). A request for an epoch
+    /// that fell off the ring is the typed
+    /// [`ServeError::EpochReclaimed`]; a request ahead of the newest
+    /// published epoch is a protocol error (the client invented it).
+    pub fn pin(&self, epoch: Option<u64>) -> Result<Arc<EpochState>, ServeError> {
+        let ring = self.ring.read().expect("epoch ring poisoned");
+        let newest = ring.back().expect("registry seeded at construction");
+        let Some(e) = epoch else {
+            return Ok(Arc::clone(newest));
+        };
+        if e > newest.epoch {
+            return Err(ServeError::Protocol(format!(
+                "epoch {e} not yet published (latest: {})",
+                newest.epoch
+            )));
+        }
+        match ring.iter().find(|s| s.epoch == e) {
+            Some(s) => Ok(Arc::clone(s)),
+            None => Err(ServeError::EpochReclaimed {
+                requested: e,
+                oldest: ring.front().expect("non-empty").epoch,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semrec_engine::int_tuple;
+
+    fn rel(tuples: &[[i64; 2]]) -> Relation {
+        let mut r = Relation::new(2);
+        for t in tuples {
+            r.insert(int_tuple(t));
+        }
+        r
+    }
+
+    fn state(epoch: u64, edges: &[[i64; 2]]) -> EpochState {
+        let mut rels = BTreeMap::new();
+        let mut e = rel(edges);
+        e.publish_epoch(epoch);
+        rels.insert(Pred::from("edge"), Arc::new(e));
+        EpochState {
+            epoch,
+            route: Route::Direct,
+            rels,
+        }
+    }
+
+    #[test]
+    fn cow_shares_unchanged_and_clones_changed() {
+        let s0 = state(0, &[[1, 2]]);
+        let mut w = rel(&[[1, 2]]);
+        // A clone keeps the generation, so sharing kicks in for `edge`.
+        let edge_same_gen = (**s0.relation(Pred::from("edge")).unwrap()).clone();
+        w.insert(int_tuple(&[9, 9]));
+        let current: Vec<(Pred, &Relation)> =
+            vec![(Pred::from("edge"), &edge_same_gen), (Pred::from("w"), &w)];
+        let s1 = s0.cow_successor(1, Route::Direct, current.into_iter());
+        assert!(Arc::ptr_eq(
+            s1.relation(Pred::from("edge")).unwrap(),
+            s0.relation(Pred::from("edge")).unwrap()
+        ));
+        let wp = s1.relation(Pred::from("w")).unwrap();
+        assert_eq!(wp.published_epoch(), Some(1));
+        assert_eq!(wp.len(), 2);
+    }
+
+    #[test]
+    fn registry_retains_and_reclaims() {
+        let reg = EpochRegistry::new(state(0, &[[1, 2]]), 2);
+        reg.publish(state(1, &[[1, 2], [2, 3]])).unwrap();
+        reg.publish(state(2, &[[1, 2], [2, 3], [3, 4]])).unwrap();
+        assert_eq!(reg.latest().epoch, 2);
+        assert_eq!(reg.oldest(), 1);
+        assert_eq!(reg.pin(Some(1)).unwrap().epoch, 1);
+        match reg.pin(Some(0)) {
+            Err(ServeError::EpochReclaimed { requested, oldest }) => {
+                assert_eq!((requested, oldest), (0, 1));
+            }
+            other => panic!("expected EpochReclaimed, got {other:?}"),
+        }
+        assert!(matches!(reg.pin(Some(9)), Err(ServeError::Protocol(_))));
+        // A pinned Arc outlives reclamation: readers on epoch 1 keep
+        // their snapshot even after two more publishes push it off.
+        let pinned = reg.pin(Some(1)).unwrap();
+        reg.publish(state(3, &[])).unwrap();
+        reg.publish(state(4, &[])).unwrap();
+        assert_eq!(pinned.epoch, 1);
+        assert_eq!(
+            pinned.relation(Pred::from("edge")).unwrap().len(),
+            2,
+            "pinned snapshot unchanged"
+        );
+    }
+}

@@ -1,0 +1,301 @@
+//! The line protocol: one request per line, one framed reply per
+//! request.
+//!
+//! ## Requests
+//!
+//! | line | meaning |
+//! |---|---|
+//! | `query goal(args).` | answer `goal` at the latest epoch |
+//! | `query@E goal(args).` | answer `goal` pinned at epoch `E` |
+//! | `+p(a, b).` / `-p(a, b).` | queue an insert / delete into the open transaction |
+//! | `commit.` | commit the queued transaction through WAL + apply + publish |
+//! | `epoch.` | report the latest and oldest pinnable epochs |
+//! | `stats.` | report server counters |
+//! | `ping.` | liveness check |
+//! | `quit.` | close the connection |
+//!
+//! Blank lines and `%`/`#` comments are ignored (so a WAL or a tx file
+//! can be replayed over the wire verbatim).
+//!
+//! ## Replies
+//!
+//! Queries answer `ok epoch=E route=R rows=N`, then one rendered fact
+//! per line, then `end`. Commits answer `ok epoch=E route=R` (plus
+//! `violated=i,j` when the commit broke monitored constraints and the
+//! daemon degraded to the rectified route). Errors answer a single
+//! `err kind=<kind> msg=…` line — `kind` is [`ServeError::kind`], with
+//! `retry_after_ms=N` added for `overloaded` — and the connection stays
+//! alive: a malformed line rejects *that* request (or poisons the open
+//! transaction until its `commit.`, which reports the error and resets),
+//! never the session.
+
+use crate::error::ServeError;
+use crate::server::Server;
+use semrec_datalog::atom::Pred;
+use semrec_datalog::parser::parse_atom;
+use semrec_engine::incr::TxStreamEvent;
+use semrec_engine::{Route, Tuple, TxStreamParser};
+use std::sync::Arc;
+
+/// What a handled line sends back.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Nothing (the line was queued, a comment, or blank).
+    None,
+    /// Reply lines to write back.
+    Lines(Vec<String>),
+    /// Close the connection.
+    Quit,
+}
+
+/// A stable lowercase tag for each route, used on the wire.
+pub fn route_tag(route: Route) -> &'static str {
+    match route {
+        Route::Direct => "direct",
+        Route::Optimized => "optimized",
+        Route::RectifiedFallback => "rectified-fallback",
+        Route::IncrementalOptimized => "incr-optimized",
+        Route::IncrementalInvalidated => "incr-invalidated",
+    }
+}
+
+/// Renders one tuple of `pred` back into fact syntax, `pred(a, b).` —
+/// the same surface the parser accepts, so replies round-trip.
+pub fn render_fact(pred: Pred, tuple: &Tuple) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = write!(s, "{pred}(");
+    for (i, v) in tuple.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "{v}");
+    }
+    s.push_str(").");
+    s
+}
+
+/// Renders an error as the single-line `err` reply.
+pub fn render_err(e: &ServeError) -> String {
+    let msg = e.to_string().replace('\n', " ");
+    match e {
+        ServeError::Overloaded { retry_after_ms, .. } => {
+            format!(
+                "err kind={} retry_after_ms={retry_after_ms} msg={msg}",
+                e.kind()
+            )
+        }
+        _ => format!("err kind={} msg={msg}", e.kind()),
+    }
+}
+
+/// One client session: a transaction stream parser plus a handle to the
+/// server. Connections are independent; each holds its own open
+/// transaction.
+pub struct Connection {
+    server: Arc<Server>,
+    parser: TxStreamParser,
+}
+
+impl Connection {
+    /// A fresh session against `server`.
+    pub fn new(server: Arc<Server>) -> Connection {
+        Connection {
+            server,
+            parser: TxStreamParser::new(),
+        }
+    }
+
+    /// Facts queued in the open (uncommitted) transaction.
+    pub fn pending_ops(&self) -> usize {
+        self.parser.pending_ops()
+    }
+
+    /// Handles one request line.
+    pub fn handle_line(&mut self, raw: &str) -> Response {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('%') || line.starts_with('#') {
+            return Response::None;
+        }
+        if line == "quit." {
+            return Response::Quit;
+        }
+        if line == "ping." {
+            return Response::Lines(vec!["ok pong".to_string()]);
+        }
+        if line == "epoch." {
+            let stats = self.server.stats();
+            return Response::Lines(vec![format!(
+                "ok epoch={} oldest={}",
+                stats.epoch, stats.oldest_epoch
+            )]);
+        }
+        if line == "stats." {
+            let s = self.server.stats();
+            return Response::Lines(vec![format!(
+                "ok commits={} epoch={} oldest={} admitted={} rejected={} reaped={}",
+                s.commits, s.epoch, s.oldest_epoch, s.admitted, s.rejected, s.watchdog_cancelled
+            )]);
+        }
+        if let Some(rest) = line.strip_prefix("query") {
+            return self.handle_query(rest);
+        }
+        // Everything else is a transaction-stream line (+fact./-fact./
+        // commit.), validated by the shared parser.
+        self.handle_tx_line(line)
+    }
+
+    /// `query goal(args).` / `query@E goal(args).`
+    fn handle_query(&mut self, rest: &str) -> Response {
+        let (at, goal_src) = match rest.strip_prefix('@') {
+            None => (None, rest),
+            Some(tail) => {
+                let end = tail
+                    .find(|c: char| !c.is_ascii_digit())
+                    .unwrap_or(tail.len());
+                match tail[..end].parse::<u64>() {
+                    Ok(e) => (Some(e), &tail[end..]),
+                    Err(_) => {
+                        return Response::Lines(vec![render_err(&ServeError::Protocol(
+                            "query@ needs a numeric epoch".to_string(),
+                        ))]);
+                    }
+                }
+            }
+        };
+        let goal_src = goal_src.trim().trim_end_matches('.');
+        let goal = match parse_atom(goal_src) {
+            Ok(g) => g,
+            Err(e) => {
+                return Response::Lines(vec![render_err(&ServeError::Protocol(format!(
+                    "bad goal: {e}"
+                )))]);
+            }
+        };
+        match self.server.query(&goal, at, None) {
+            Ok(reply) => {
+                let mut lines = Vec::with_capacity(reply.tuples.len() + 2);
+                lines.push(format!(
+                    "ok epoch={} route={} rows={}",
+                    reply.epoch,
+                    route_tag(reply.route),
+                    reply.tuples.len()
+                ));
+                for t in &reply.tuples {
+                    lines.push(render_fact(goal.pred, t));
+                }
+                lines.push("end".to_string());
+                Response::Lines(lines)
+            }
+            Err(e) => Response::Lines(vec![render_err(&e)]),
+        }
+    }
+
+    /// `+fact.` / `-fact.` / `commit.` through the shared stream parser:
+    /// a malformed line poisons only the open transaction; its `commit.`
+    /// reports the error and the next transaction starts clean.
+    fn handle_tx_line(&mut self, line: &str) -> Response {
+        match self.parser.feed(line) {
+            Ok(TxStreamEvent::Queued) => Response::None,
+            Ok(TxStreamEvent::Committed(None)) => {
+                let stats = self.server.stats();
+                Response::Lines(vec![format!("ok epoch={} empty", stats.epoch)])
+            }
+            Ok(TxStreamEvent::Committed(Some(tx))) => match self.server.commit(&tx) {
+                Ok(reply) => {
+                    let mut msg =
+                        format!("ok epoch={} route={}", reply.epoch, route_tag(reply.route));
+                    if !reply.violated.is_empty() {
+                        use std::fmt::Write as _;
+                        let _ = write!(msg, " violated=");
+                        for (i, v) in reply.violated.iter().enumerate() {
+                            if i > 0 {
+                                msg.push(',');
+                            }
+                            let _ = write!(msg, "{v}");
+                        }
+                    }
+                    Response::Lines(vec![msg])
+                }
+                Err(e) => Response::Lines(vec![render_err(&e)]),
+            },
+            Err(e) => Response::Lines(vec![render_err(&ServeError::Protocol(e.to_string()))]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServeConfig;
+    use semrec_datalog::parser::parse_unit;
+
+    fn conn() -> Connection {
+        let unit = parse_unit(
+            "reach(X, Y) :- edge(X, Y).\n\
+             reach(X, Y) :- edge(X, Z), reach(Z, Y).\n\
+             edge(1, 2). edge(2, 3).",
+        )
+        .expect("parse");
+        let (server, _) = Server::open(&unit, ServeConfig::default(), None).expect("open");
+        Connection::new(server)
+    }
+
+    fn lines(r: Response) -> Vec<String> {
+        match r {
+            Response::Lines(l) => l,
+            other => panic!("expected lines, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn query_commit_query_session() {
+        let mut c = conn();
+        let out = lines(c.handle_line("query reach(1, Y)."));
+        assert_eq!(out[0], "ok epoch=0 route=direct rows=2");
+        assert_eq!(out[1], "reach(1, 2).");
+        assert_eq!(out.last().unwrap(), "end");
+
+        assert_eq!(c.handle_line("+edge(3, 4)."), Response::None);
+        let out = lines(c.handle_line("commit."));
+        assert!(out[0].starts_with("ok epoch=1"), "{out:?}");
+
+        let out = lines(c.handle_line("query@0 reach(1, Y)."));
+        assert_eq!(out[0], "ok epoch=0 route=direct rows=2");
+        let out = lines(c.handle_line("query reach(1, Y)."));
+        assert!(out[0].contains("rows=3"), "{out:?}");
+    }
+
+    #[test]
+    fn malformed_tx_line_rejects_only_that_transaction() {
+        let mut c = conn();
+        assert_eq!(c.handle_line("+edge(7, 8)."), Response::None);
+        let out = lines(c.handle_line("+edge(oops"));
+        assert!(out[0].starts_with("err kind=protocol"), "{out:?}");
+        // The poisoned transaction reports the error at commit and
+        // resets; nothing was applied.
+        let out = lines(c.handle_line("commit."));
+        assert!(out[0].starts_with("err kind=protocol"), "{out:?}");
+        let out = lines(c.handle_line("query reach(1, Y)."));
+        assert!(out[0].contains("epoch=0"), "{out:?}");
+        // The connection is alive and the next transaction is clean.
+        assert_eq!(c.handle_line("+edge(3, 4)."), Response::None);
+        let out = lines(c.handle_line("commit."));
+        assert!(out[0].starts_with("ok epoch=1"), "{out:?}");
+    }
+
+    #[test]
+    fn control_lines() {
+        let mut c = conn();
+        assert_eq!(lines(c.handle_line("ping."))[0], "ok pong");
+        assert_eq!(lines(c.handle_line("epoch."))[0], "ok epoch=0 oldest=0");
+        assert!(lines(c.handle_line("stats."))[0].starts_with("ok commits=0"));
+        assert_eq!(c.handle_line("% comment"), Response::None);
+        assert_eq!(c.handle_line("   "), Response::None);
+        assert_eq!(c.handle_line("quit."), Response::Quit);
+        let out = lines(c.handle_line("query@banana reach(1, Y)."));
+        assert!(out[0].starts_with("err kind=protocol"), "{out:?}");
+        let out = lines(c.handle_line("commit."));
+        assert!(out[0].contains("empty"), "{out:?}");
+    }
+}

@@ -1,0 +1,497 @@
+//! The daemon core: one writer applying transactions through the
+//! maintained incremental path, many readers answering against pinned
+//! epoch snapshots.
+//!
+//! ## Commit ordering
+//!
+//! ```text
+//! WAL append + fsync  →  MaintainedQuery::apply  →  COW epoch publish
+//! ```
+//!
+//! * An append/fsync failure rejects the commit before anything is
+//!   applied — the log rolls back to its pre-append length.
+//! * An apply failure (budget trip, injected fault) truncates the
+//!   just-written record back out of the log, so the WAL and the applied
+//!   history stay byte-for-byte in step; `MaintainedQuery::apply` is
+//!   itself atomic-on-error, so the in-memory state is untouched too.
+//! * A publish failure (injected `snapshot.publish` fault) leaves the
+//!   commit durable *and* applied but unpublished: the epoch id does not
+//!   advance, and the next successful publish — whose copy-on-write diff
+//!   is taken against the last *published* epoch — subsumes it. Readers
+//!   meanwhile keep answering at the last published epoch, which is a
+//!   consistent (merely stale) snapshot.
+//! * A crash between fsync and apply leaves the record in the log;
+//!   replay re-applies it on restart. Restart state is *defined* as the
+//!   serial replay of the surviving log, so this is convergent, not a
+//!   divergence.
+//!
+//! Readers take no part in any of this: a read pins an epoch `Arc` out
+//! of the registry (a pointer clone under a briefly-held read lock) and
+//! scans frozen relations. The writer's mutex is never on a read path.
+
+use crate::admission::{Admission, AdmissionConfig, Permit};
+use crate::epoch::{EpochRegistry, EpochState};
+use crate::error::ServeError;
+use crate::wal::Wal;
+use semrec_core::{MaintainedQuery, OptimizerConfig};
+use semrec_datalog::atom::{Atom, Pred};
+use semrec_datalog::parser::Unit;
+use semrec_engine::eval::goal_matches;
+use semrec_engine::{tx_to_stream, Budget, Database, Route, Tuning, Tuple, Tx, UpdateStats};
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How often a reader's scan loop polls its cancel token and deadline.
+const POLL_EVERY_ROWS: usize = 1024;
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Evaluator tuning (threads × cutover × kernels) for the initial
+    /// materialization and every maintenance pass.
+    pub tuning: Tuning,
+    /// Optimizer configuration for the maintained plan.
+    pub optimizer: OptimizerConfig,
+    /// Admission gate configuration.
+    pub admission: AdmissionConfig,
+    /// How many published epochs stay pinnable (at least 1).
+    pub retain_epochs: usize,
+    /// Budget applied to each transaction's maintenance work.
+    pub write_budget: Budget,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            tuning: Tuning::default(),
+            optimizer: OptimizerConfig::default(),
+            admission: AdmissionConfig::default(),
+            retain_epochs: 8,
+            write_budget: Budget::unlimited(),
+        }
+    }
+}
+
+/// What [`Server::open`] recovered before going live.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RecoveryReport {
+    /// Committed transactions replayed from the WAL.
+    pub replayed_commits: usize,
+    /// Byte offset a torn trailing WAL record was truncated back to,
+    /// if one was found.
+    pub truncated_tail: Option<u64>,
+    /// The epoch the daemon starts serving at (the replayed commit
+    /// count; epochs are process-local).
+    pub epoch: u64,
+}
+
+/// One answered query.
+#[derive(Clone, Debug)]
+pub struct QueryReply {
+    /// The epoch the answer is exact at.
+    pub epoch: u64,
+    /// The route that materialized the relations at that epoch.
+    pub route: Route,
+    /// Matching tuples, sorted.
+    pub tuples: Vec<Tuple>,
+}
+
+/// One acknowledged commit.
+#[derive(Clone, Debug)]
+pub struct CommitReply {
+    /// The newly published epoch.
+    pub epoch: u64,
+    /// The route answering queries from this epoch on.
+    pub route: Route,
+    /// Maintenance counters.
+    pub stats: UpdateStats,
+    /// Indices of monitored constraints violated after this commit
+    /// (non-empty means the daemon degraded to the rectified route).
+    pub violated: Vec<usize>,
+}
+
+/// A point-in-time counters snapshot ([`Server::stats`]).
+#[derive(Clone, Copy, Debug)]
+pub struct ServerStats {
+    /// Commits acknowledged since startup (excluding replay).
+    pub commits: u64,
+    /// The newest published epoch.
+    pub epoch: u64,
+    /// The oldest still-pinnable epoch.
+    pub oldest_epoch: u64,
+    /// Requests admitted by the gate.
+    pub admitted: u64,
+    /// Requests shed with `Overloaded`.
+    pub rejected: u64,
+    /// Readers cancelled by the slow-reader watchdog.
+    pub watchdog_cancelled: u64,
+}
+
+/// The single-writer state, held under one mutex so WAL append, apply,
+/// and publish are a serial critical section.
+struct WriterState {
+    query: MaintainedQuery,
+    wal: Option<Wal>,
+    /// The epoch id the *next successful publish* will carry. Does not
+    /// advance on a failed publish — the following publish subsumes.
+    next_epoch: u64,
+}
+
+/// The serving daemon: shared between connection handlers via `Arc`.
+pub struct Server {
+    writer: Mutex<WriterState>,
+    registry: EpochRegistry,
+    admission: Arc<Admission>,
+    cfg: ServeConfig,
+    commits: AtomicU64,
+}
+
+/// Every relation visible right now: EDB first, then the IDB
+/// materialization (authoritative for derived predicates).
+fn live_relations(q: &MaintainedQuery) -> Vec<(Pred, &semrec_engine::Relation)> {
+    let mut out: Vec<(Pred, &semrec_engine::Relation)> = q.db().iter().collect();
+    out.extend(q.idb().iter().map(|(&p, r)| (p, r)));
+    out
+}
+
+impl Server {
+    /// Builds the daemon from a parsed unit: the EDB from its facts,
+    /// the maintained materialization from its program + constraints.
+    /// With a WAL path, surviving log records are replayed through the
+    /// same parser and apply path as live traffic before the first
+    /// epoch is published, so the daemon resumes exactly where the
+    /// acknowledged history left off.
+    pub fn open(
+        unit: &Unit,
+        cfg: ServeConfig,
+        wal_path: Option<&Path>,
+    ) -> Result<(Arc<Server>, RecoveryReport), ServeError> {
+        let db = Database::from_facts(&unit.facts);
+        let mut query = MaintainedQuery::new_tuned(
+            db,
+            &unit.program(),
+            &unit.constraints,
+            cfg.optimizer.clone(),
+            cfg.tuning,
+        )
+        .map_err(|e| ServeError::Io(format!("initial materialization: {e}")))?;
+
+        let mut report = RecoveryReport::default();
+        let wal = match wal_path {
+            None => None,
+            Some(path) => {
+                let (wal, replay) = Wal::open(path)?;
+                report.truncated_tail = replay.truncated_tail;
+                for (i, record) in replay.records.iter().enumerate() {
+                    let txs = semrec_engine::incr::parse_txs(record).map_err(|msg| {
+                        ServeError::WalCorrupt {
+                            offset: 0,
+                            detail: format!("record {i} does not parse: {msg}"),
+                        }
+                    })?;
+                    for tx in &txs {
+                        query
+                            .apply(tx, Budget::unlimited(), None)
+                            .map_err(ServeError::Engine)?;
+                        report.replayed_commits += 1;
+                    }
+                }
+                Some(wal)
+            }
+        };
+
+        report.epoch = report.replayed_commits as u64;
+        let route = query.route();
+        let seed = EpochState {
+            epoch: 0,
+            route,
+            rels: BTreeMap::new(),
+        };
+        let initial = seed.cow_successor(report.epoch, route, live_relations(&query).into_iter());
+        let registry = EpochRegistry::new(initial, cfg.retain_epochs);
+        let admission = Admission::new(cfg.admission);
+        let server = Arc::new(Server {
+            writer: Mutex::new(WriterState {
+                query,
+                wal,
+                next_epoch: report.epoch + 1,
+            }),
+            registry,
+            admission,
+            cfg,
+            commits: AtomicU64::new(0),
+        });
+        Ok((server, report))
+    }
+
+    /// The daemon's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// The admission gate (shared with the watchdog).
+    pub fn admission(&self) -> &Arc<Admission> {
+        &self.admission
+    }
+
+    /// The epoch registry.
+    pub fn registry(&self) -> &EpochRegistry {
+        &self.registry
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            commits: self.commits.load(Ordering::Relaxed),
+            epoch: self.registry.latest().epoch,
+            oldest_epoch: self.registry.oldest(),
+            admitted: self.admission.admitted(),
+            rejected: self.admission.rejected(),
+            watchdog_cancelled: self.admission.watchdog_cancelled(),
+        }
+    }
+
+    /// Answers `goal` at epoch `at` (`None` = latest) under admission
+    /// control: the request may be shed with `Overloaded`, cancelled by
+    /// the watchdog (surfacing `EpochReclaimed`), or cut off by its
+    /// deadline — and otherwise returns exactly the pinned epoch's
+    /// tuples, sorted.
+    pub fn query(
+        &self,
+        goal: &Atom,
+        at: Option<u64>,
+        deadline: Option<Duration>,
+    ) -> Result<QueryReply, ServeError> {
+        let permit = self.admission.admit(deadline)?;
+        #[cfg(feature = "failpoints")]
+        semrec_engine::failpoint::hit("serve.reader")
+            .map_err(|m| ServeError::Io(format!("reader: {m}")))?;
+        let state = self.registry.pin(at)?;
+        let tuples = self.scan(&state, goal, &permit)?;
+        Ok(QueryReply {
+            epoch: state.epoch,
+            route: state.route,
+            tuples,
+        })
+    }
+
+    /// Scans the pinned snapshot for `goal`, polling cancellation and
+    /// the deadline every [`POLL_EVERY_ROWS`] rows.
+    fn scan(
+        &self,
+        state: &EpochState,
+        goal: &Atom,
+        permit: &Permit,
+    ) -> Result<Vec<Tuple>, ServeError> {
+        let Some(rel) = state.relation(goal.pred) else {
+            return Ok(Vec::new());
+        };
+        let cancel = permit.cancel_token();
+        let mut out = Vec::new();
+        for (i, (_, row)) in rel.iter_range(rel.snapshot_rows()).enumerate() {
+            if i % POLL_EVERY_ROWS == 0 {
+                if cancel.is_cancelled() {
+                    return Err(if permit.was_reclaimed() {
+                        ServeError::EpochReclaimed {
+                            requested: state.epoch,
+                            oldest: self.registry.oldest(),
+                        }
+                    } else {
+                        ServeError::Engine(semrec_engine::EngineError::Cancelled)
+                    });
+                }
+                if permit.remaining() == Some(Duration::ZERO) {
+                    return Err(ServeError::Overloaded {
+                        inflight: 0,
+                        limit: self.admission.config().max_inflight,
+                        retry_after_ms: 1,
+                    });
+                }
+            }
+            if goal_matches(goal, row) {
+                out.push(row.to_vec());
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Applies one transaction through the full commit pipeline: WAL
+    /// append + fsync, maintained apply, copy-on-write epoch publish.
+    /// Serialized with other writers; never blocked by readers.
+    pub fn commit(&self, tx: &Tx) -> Result<CommitReply, ServeError> {
+        let mut ws = self.writer.lock().expect("writer lock poisoned");
+        let ws = &mut *ws;
+
+        // 1. Durability first: the commit is acknowledged only after the
+        //    record is on disk, and applied only after it is durable.
+        let pre_len = ws.wal.as_ref().map(Wal::len);
+        if let Some(wal) = ws.wal.as_mut() {
+            wal.append_commit(&tx_to_stream(tx))?;
+        }
+
+        // 2. Apply. On failure the record written in step 1 is
+        //    truncated back out, keeping WAL == applied history.
+        let outcome = match ws.query.apply(tx, self.cfg.write_budget, None) {
+            Ok(o) => o,
+            Err(e) => {
+                if let (Some(wal), Some(pre)) = (ws.wal.as_mut(), pre_len) {
+                    wal.rollback_to(pre);
+                }
+                return Err(ServeError::Engine(e));
+            }
+        };
+
+        // 3. Publish. Copy-on-write against the last *published* epoch:
+        //    after a failed publish the diff naturally widens to cover
+        //    the unpublished commits too.
+        let epoch = ws.next_epoch;
+        let prev = self.registry.latest();
+        let successor =
+            prev.cow_successor(epoch, outcome.route, live_relations(&ws.query).into_iter());
+        self.registry.publish(successor)?;
+        ws.next_epoch = epoch + 1;
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        Ok(CommitReply {
+            epoch,
+            route: outcome.route,
+            stats: outcome.stats,
+            violated: outcome.violated,
+        })
+    }
+
+    /// Spawns the slow-reader watchdog thread, sweeping at half the
+    /// configured threshold. No-op (returns `None`) when the watchdog
+    /// is disabled. The thread exits when the server is dropped.
+    pub fn spawn_watchdog(self: &Arc<Self>) -> Option<std::thread::JoinHandle<()>> {
+        let after = self.cfg.admission.watchdog_after?;
+        let weak = Arc::downgrade(self);
+        let interval = (after / 2).max(Duration::from_millis(1));
+        Some(std::thread::spawn(move || {
+            while let Some(server) = weak.upgrade() {
+                server.admission.reap_slow(after);
+                drop(server);
+                std::thread::sleep(interval);
+            }
+        }))
+    }
+
+    /// Serves connections from a TCP listener, one thread per
+    /// connection, until accept fails. The `serve.accept` failpoint
+    /// drops the affected connection; the daemon keeps accepting.
+    pub fn serve_listener(
+        self: &Arc<Self>,
+        listener: &std::net::TcpListener,
+    ) -> std::io::Result<()> {
+        use std::io::{BufRead, BufReader, Write};
+        loop {
+            let (stream, _) = listener.accept()?;
+            #[cfg(feature = "failpoints")]
+            if semrec_engine::failpoint::hit("serve.accept").is_err() {
+                drop(stream);
+                continue;
+            }
+            let server = Arc::clone(self);
+            std::thread::spawn(move || {
+                let mut conn = crate::protocol::Connection::new(server);
+                let reader = BufReader::new(match stream.try_clone() {
+                    Ok(s) => s,
+                    Err(_) => return,
+                });
+                let mut out = stream;
+                for line in reader.lines() {
+                    let Ok(line) = line else { break };
+                    match conn.handle_line(&line) {
+                        crate::protocol::Response::None => {}
+                        crate::protocol::Response::Lines(lines) => {
+                            for l in lines {
+                                if writeln!(out, "{l}").is_err() {
+                                    return;
+                                }
+                            }
+                            if out.flush().is_err() {
+                                return;
+                            }
+                        }
+                        crate::protocol::Response::Quit => return,
+                    }
+                }
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semrec_datalog::parser::{parse_atom, parse_unit};
+    use semrec_engine::int_tuple;
+
+    fn chain_unit() -> Unit {
+        parse_unit(
+            "reach(X, Y) :- edge(X, Y).\n\
+             reach(X, Y) :- edge(X, Z), reach(Z, Y).\n\
+             edge(1, 2). edge(2, 3).",
+        )
+        .expect("parse")
+    }
+
+    #[test]
+    fn readers_pin_their_epoch_across_commits() {
+        let (server, report) = Server::open(&chain_unit(), ServeConfig::default(), None).unwrap();
+        assert_eq!(report.epoch, 0);
+        let goal = parse_atom("reach(1, Y)").unwrap();
+        let r0 = server.query(&goal, None, None).unwrap();
+        assert_eq!(r0.epoch, 0);
+        assert_eq!(r0.tuples, vec![int_tuple(&[1, 2]), int_tuple(&[1, 3])]);
+
+        let mut tx = Tx::new();
+        tx.insert("edge", int_tuple(&[3, 4]));
+        let c = server.commit(&tx).unwrap();
+        assert_eq!(c.epoch, 1);
+
+        // Latest sees the new fact; epoch 0 still answers as before.
+        let r1 = server.query(&goal, None, None).unwrap();
+        assert_eq!(r1.epoch, 1);
+        assert!(r1.tuples.contains(&int_tuple(&[1, 4])));
+        let r0_again = server.query(&goal, Some(0), None).unwrap();
+        assert_eq!(r0_again.tuples, r0.tuples);
+    }
+
+    #[test]
+    fn wal_replay_reconverges_after_restart() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("semrec-serve-test-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let goal = parse_atom("reach(1, Y)").unwrap();
+        let expect;
+        {
+            let (server, _) =
+                Server::open(&chain_unit(), ServeConfig::default(), Some(&path)).unwrap();
+            let mut tx = Tx::new();
+            tx.insert("edge", int_tuple(&[3, 4]));
+            server.commit(&tx).unwrap();
+            let mut tx = Tx::new();
+            tx.delete("edge", int_tuple(&[1, 2]));
+            server.commit(&tx).unwrap();
+            expect = server.query(&goal, None, None).unwrap().tuples;
+        }
+        let (server, report) =
+            Server::open(&chain_unit(), ServeConfig::default(), Some(&path)).unwrap();
+        assert_eq!(report.replayed_commits, 2);
+        assert_eq!(report.epoch, 2);
+        let got = server.query(&goal, None, None).unwrap();
+        assert_eq!(got.tuples, expect, "replayed state == pre-restart state");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn query_on_missing_predicate_is_empty_not_error() {
+        let (server, _) = Server::open(&chain_unit(), ServeConfig::default(), None).unwrap();
+        let goal = parse_atom("nosuch(X)").unwrap();
+        assert!(server.query(&goal, None, None).unwrap().tuples.is_empty());
+    }
+}

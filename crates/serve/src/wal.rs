@@ -1,0 +1,321 @@
+//! The write-ahead transaction log: fsync-on-commit durability with
+//! torn-write detection.
+//!
+//! ## Format
+//!
+//! A WAL is a sequence of framed records:
+//!
+//! ```text
+//! [len: u32 LE][checksum: u64 LE][payload: len bytes]
+//! ```
+//!
+//! The payload is the transaction rendered in the same
+//! `+fact./-fact./commit.` line format the live stream uses
+//! ([`semrec_engine::tx_to_stream`]) — a WAL is `cat`-inspectable and
+//! replays through the very parser that accepted the original stream.
+//! The checksum is the workspace FxHash over the payload bytes.
+//!
+//! ## Crash discipline
+//!
+//! A record is appended and `fdatasync`ed **before** the commit is
+//! acknowledged, so the set of acknowledged transactions is always a
+//! prefix of the log. On replay:
+//!
+//! * an *incomplete* trailing frame (fewer bytes than the header, or
+//!   than the header's declared length) is a **torn write** — the crash
+//!   interrupted an unacknowledged append. It is detected, truncated
+//!   away, and replay succeeds with the acknowledged prefix;
+//! * a *complete* frame that fails verification (checksum mismatch,
+//!   absurd length, non-UTF-8 payload) is **corruption** of acknowledged
+//!   history, and replay refuses with [`ServeError::WalCorrupt`] —
+//!   silently skipping it would serve answers that diverge from what
+//!   clients were told was committed.
+//!
+//! A failed live append (injected `wal.append`/`wal.fsync` fault or a
+//! real I/O error) truncates the log back to its pre-append length so
+//! the file never carries a half-written record into the next commit;
+//! if even that truncation fails the log is poisoned and every later
+//! commit is refused, rather than risking an inconsistent tail.
+
+use crate::error::ServeError;
+use semrec_engine::fxhash::FxHasher;
+use std::fs::{File, OpenOptions};
+use std::hash::Hasher;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Frame header bytes: u32 length + u64 checksum.
+const HEADER: usize = 12;
+
+/// Upper bound on a single record's payload. The writer never emits
+/// more (a transaction is bounded by the request size); a length above
+/// this in the log can only be corruption.
+pub const MAX_RECORD: u32 = 1 << 26;
+
+/// FxHash over raw bytes — the record checksum.
+fn checksum(payload: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(payload);
+    h.finish()
+}
+
+/// What [`Wal::open`] recovered from an existing log.
+#[derive(Clone, Debug, Default)]
+pub struct Replay {
+    /// The surviving records' payloads, in append order.
+    pub records: Vec<String>,
+    /// Set when a torn trailing frame was detected: the byte offset the
+    /// log was truncated back to.
+    pub truncated_tail: Option<u64>,
+}
+
+/// An append-only write-ahead log.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    len: u64,
+    poisoned: bool,
+}
+
+impl Wal {
+    /// Opens (creating if absent) the log at `path`, replaying and
+    /// verifying every record. A torn trailing frame is truncated away
+    /// and reported in the [`Replay`]; verified corruption of a
+    /// complete record fails with [`ServeError::WalCorrupt`].
+    pub fn open(path: &Path) -> Result<(Wal, Replay), ServeError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| ServeError::Io(format!("{}: {e}", path.display())))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)
+            .map_err(|e| ServeError::Io(format!("{}: {e}", path.display())))?;
+        let mut replay = Replay::default();
+        let mut off = 0usize;
+        while off < bytes.len() {
+            let remaining = bytes.len() - off;
+            if remaining < HEADER {
+                replay.truncated_tail = Some(off as u64);
+                break;
+            }
+            let len = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes"));
+            let sum = u64::from_le_bytes(bytes[off + 4..off + 12].try_into().expect("8 bytes"));
+            if len > MAX_RECORD {
+                return Err(ServeError::WalCorrupt {
+                    offset: off as u64,
+                    detail: format!("record length {len} exceeds maximum {MAX_RECORD}"),
+                });
+            }
+            if remaining < HEADER + len as usize {
+                replay.truncated_tail = Some(off as u64);
+                break;
+            }
+            let payload = &bytes[off + HEADER..off + HEADER + len as usize];
+            if checksum(payload) != sum {
+                return Err(ServeError::WalCorrupt {
+                    offset: off as u64,
+                    detail: "checksum mismatch on a complete record".to_string(),
+                });
+            }
+            let text = std::str::from_utf8(payload).map_err(|_| ServeError::WalCorrupt {
+                offset: off as u64,
+                detail: "payload is not valid UTF-8".to_string(),
+            })?;
+            replay.records.push(text.to_string());
+            off += HEADER + len as usize;
+        }
+        if let Some(keep) = replay.truncated_tail {
+            file.set_len(keep).map_err(|e| {
+                ServeError::Io(format!("{}: truncating torn tail: {e}", path.display()))
+            })?;
+            file.sync_data()
+                .map_err(|e| ServeError::Io(format!("{}: {e}", path.display())))?;
+            off = keep as usize;
+        }
+        file.seek(SeekFrom::Start(off as u64))
+            .map_err(|e| ServeError::Io(e.to_string()))?;
+        Ok((
+            Wal {
+                file,
+                path: path.to_path_buf(),
+                len: off as u64,
+                poisoned: false,
+            },
+            replay,
+        ))
+    }
+
+    /// Current log length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends one commit record and fsyncs it. On any failure —
+    /// injected `wal.append`/`wal.fsync` fault or real I/O error — the
+    /// log is rolled back to its pre-append length (or poisoned if the
+    /// rollback itself fails) and the error is returned; the commit
+    /// must then be rejected, not applied.
+    pub fn append_commit(&mut self, payload: &str) -> Result<(), ServeError> {
+        if self.poisoned {
+            return Err(ServeError::WalCorrupt {
+                offset: self.len,
+                detail: "log poisoned by an earlier failed rollback".to_string(),
+            });
+        }
+        let pre = self.len;
+        let result = self.try_append(payload.as_bytes());
+        match result {
+            Ok(()) => {
+                self.len = pre + (HEADER + payload.len()) as u64;
+                Ok(())
+            }
+            Err(e) => {
+                // Scrub any partial frame so the next append starts on
+                // a clean record boundary.
+                if self.file.set_len(pre).is_err() || self.file.seek(SeekFrom::Start(pre)).is_err()
+                {
+                    self.poisoned = true;
+                } else {
+                    let _ = self.file.sync_data();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Truncates the log back to `len` — the commit pipeline's undo for
+    /// a record whose transaction failed to apply (the record was never
+    /// acknowledged, and it is by construction the last one). Poisons
+    /// the log if the truncation fails.
+    pub fn rollback_to(&mut self, len: u64) {
+        debug_assert!(len <= self.len);
+        if self.file.set_len(len).is_err() || self.file.seek(SeekFrom::Start(len)).is_err() {
+            self.poisoned = true;
+            return;
+        }
+        let _ = self.file.sync_data();
+        self.len = len;
+    }
+
+    fn try_append(&mut self, payload: &[u8]) -> Result<(), ServeError> {
+        #[cfg(feature = "failpoints")]
+        semrec_engine::failpoint::hit("wal.append")
+            .map_err(|m| ServeError::Io(format!("wal append: {m}")))?;
+        assert!(
+            payload.len() as u64 <= MAX_RECORD as u64,
+            "record too large"
+        );
+        let mut frame = Vec::with_capacity(HEADER + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&checksum(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file
+            .write_all(&frame)
+            .map_err(|e| ServeError::Io(format!("{}: {e}", self.path.display())))?;
+        #[cfg(feature = "failpoints")]
+        semrec_engine::failpoint::hit("wal.fsync")
+            .map_err(|m| ServeError::Io(format!("wal fsync: {m}")))?;
+        self.file
+            .sync_data()
+            .map_err(|e| ServeError::Io(format!("{}: {e}", self.path.display())))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("semrec-wal-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn append_then_reopen_replays_in_order() {
+        let path = tmp("roundtrip");
+        {
+            let (mut wal, replay) = Wal::open(&path).unwrap();
+            assert!(replay.records.is_empty());
+            wal.append_commit("+e(1, 2).\ncommit.\n").unwrap();
+            wal.append_commit("-e(1, 2).\ncommit.\n").unwrap();
+        }
+        let (wal, replay) = Wal::open(&path).unwrap();
+        assert_eq!(replay.records.len(), 2);
+        assert!(replay.records[0].starts_with("+e"));
+        assert!(replay.records[1].starts_with("-e"));
+        assert!(replay.truncated_tail.is_none());
+        assert!(!wal.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let path = tmp("torn");
+        let full_len;
+        {
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            wal.append_commit("+e(1, 2).\ncommit.\n").unwrap();
+            wal.append_commit("+e(2, 3).\ncommit.\n").unwrap();
+            full_len = wal.len();
+            // Simulate a torn append: drop the tail of the last record.
+            wal.file.set_len(full_len - 5).unwrap();
+        }
+        let (wal, replay) = Wal::open(&path).unwrap();
+        assert_eq!(replay.records.len(), 1, "torn record dropped");
+        assert!(replay.truncated_tail.is_some());
+        assert!(wal.len() < full_len);
+        // Reopening again is clean: the tail is gone for good.
+        drop(wal);
+        let (_, replay2) = Wal::open(&path).unwrap();
+        assert_eq!(replay2.records.len(), 1);
+        assert!(replay2.truncated_tail.is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mid_file_corruption_is_typed_wal_corrupt() {
+        let path = tmp("corrupt");
+        {
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            wal.append_commit("+e(1, 2).\ncommit.\n").unwrap();
+            wal.append_commit("+e(2, 3).\ncommit.\n").unwrap();
+        }
+        // Flip a payload byte of the *first* record: complete frame,
+        // bad checksum.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[HEADER] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        match Wal::open(&path) {
+            Err(ServeError::WalCorrupt { offset, .. }) => assert_eq!(offset, 0),
+            other => panic!("expected WalCorrupt, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn absurd_length_is_corrupt_not_torn() {
+        let path = tmp("badlen");
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&u32::MAX.to_le_bytes());
+        frame.extend_from_slice(&0u64.to_le_bytes());
+        frame.extend_from_slice(b"xx");
+        std::fs::write(&path, &frame).unwrap();
+        assert!(matches!(
+            Wal::open(&path),
+            Err(ServeError::WalCorrupt { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+}

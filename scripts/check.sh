@@ -48,3 +48,61 @@ cargo clippy --all-targets --offline -- -D warnings
 cargo run -p semrec-bench --release --offline --bin harness -- bench --quick --assert-scaling \
   --baseline BENCH_fixpoint.json --assert-throughput 40 --assert-kernel-coverage 90 \
   --assert-no-regrow 0
+
+# ---- serve leg -------------------------------------------------------
+# Deterministic fault schedules over the server sites (serve.accept,
+# serve.reader, wal.append, wal.fsync, snapshot.publish): every seeded
+# schedule must end in the exact serial-replay answer or a typed error.
+# (The blanket failpoints leg above runs these too; the explicit leg
+# keeps the serve suite a named, individually-runnable gate.)
+cargo test -q --offline --features failpoints --test serve_faults
+cargo test -q --offline --test serve_agreement
+
+# Kill-and-recover WAL smoke test through the real CLI: commit via a
+# script session, restart and observe the replay, tear the log's tail
+# (recovers with the acknowledged prefix), then corrupt acknowledged
+# history (must refuse with exit code 8, never serve diverged answers).
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+cat > "$SMOKE/prog.dl" <<'EOF'
+reach(X, Y) :- edge(X, Y).
+reach(X, Y) :- edge(X, Z), reach(Z, Y).
+edge(1, 2). edge(2, 3).
+EOF
+printf '+edge(3, 4).\ncommit.\nquery reach(1, Y).\nquit.\n' > "$SMOKE/write.txt"
+printf 'query reach(1, Y).\nquit.\n' > "$SMOKE/read.txt"
+# Replies are captured to files, not piped: `grep -q` on a live pipe
+# exits at first match and races the daemon's remaining writes.
+SEMREC=target/release/semrec
+"$SEMREC" serve "$SMOKE/prog.dl" --wal "$SMOKE/serve.wal" --script "$SMOKE/write.txt" \
+  > "$SMOKE/write.out"
+grep -q 'reach(1, 4)\.' "$SMOKE/write.out" \
+  || { echo "serve smoke: commit not visible" >&2; exit 1; }
+"$SEMREC" serve "$SMOKE/prog.dl" --wal "$SMOKE/serve.wal" --script "$SMOKE/read.txt" \
+  > "$SMOKE/replay.out" 2> "$SMOKE/replay.err"
+grep -q 'reach(1, 4)\.' "$SMOKE/replay.out" \
+  || { echo "serve smoke: replay lost the commit" >&2; exit 1; }
+grep -q '1 commit(s) replayed' "$SMOKE/replay.err" \
+  || { echo "serve smoke: restart did not replay the WAL" >&2; exit 1; }
+cp "$SMOKE/serve.wal" "$SMOKE/corrupt.wal"
+# Torn tail: drop the last 5 bytes — an interrupted, unacknowledged
+# append. Recovery truncates it away and serves the surviving prefix.
+truncate -s -5 "$SMOKE/serve.wal"
+"$SEMREC" serve "$SMOKE/prog.dl" --wal "$SMOKE/serve.wal" --script "$SMOKE/read.txt" \
+  2> "$SMOKE/torn.err" > /dev/null \
+  || { echo "serve smoke: torn tail must recover" >&2; exit 1; }
+grep -q 'torn WAL tail truncated' "$SMOKE/torn.err" \
+  || { echo "serve smoke: torn tail not reported" >&2; exit 1; }
+# Corruption: flip a payload byte of the acknowledged record. This is
+# not recoverable history — the daemon must refuse with exit code 8.
+printf '\xff' | dd of="$SMOKE/corrupt.wal" bs=1 seek=12 conv=notrunc status=none
+rc=0
+"$SEMREC" serve "$SMOKE/prog.dl" --wal "$SMOKE/corrupt.wal" --script "$SMOKE/read.txt" \
+  > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 8 ] || { echo "serve smoke: corrupt WAL exited $rc, want 8" >&2; exit 1; }
+
+# BENCH_serve.json freshness: the quick serve bench validates the
+# checked-in artifact's schema_version and required fields before its
+# own timing pass (overload shed count must be recorded nonzero).
+cargo run -p semrec-bench --release --offline --bin harness -- serve-bench --quick \
+  --baseline BENCH_serve.json

@@ -14,6 +14,10 @@
 //!                                                 apply transactions incrementally
 //! semrec plan <file> [--optimize]                 show compiled physical plans (EXPLAIN)
 //! semrec gen <scenario> <dir>                     write a generated workload bundle
+//! semrec serve <file> [--wal PATH] [--script PATH | --listen ADDR] [--threads N]
+//!            [--max-inflight N] [--retain-epochs N] [--watchdog-ms N]
+//!            [--request-deadline-ms N] [--deadline-ms N] [--max-rows N]
+//!            [--max-bytes N] [--max-iters N]      run the serving daemon
 //! ```
 //!
 //! `<file>` holds rules, ground facts, and `ic:` constraints in the
@@ -33,6 +37,14 @@
 //! | 4    | row/byte budget exceeded |
 //! | 5    | evaluation cancelled |
 //! | 6    | a worker panicked (partial round discarded) |
+//! | 7    | serve: admission control shed the request (overloaded) |
+//! | 8    | serve: the write-ahead log is corrupt (torn tails recover; this does not) |
+//! | 9    | serve: the pinned epoch was reclaimed |
+//!
+//! In `serve` script/stdin mode, per-request errors are reported on the
+//! wire (`err kind=…`) and the session continues; the process exit code
+//! reflects the most severe serving error seen across the whole session
+//! (wal-corrupt > epoch-reclaimed > overloaded), or 0.
 
 use semrec::core::detect::{detect, DetectionMethod};
 use semrec::core::optimizer::{evaluate_governed, Optimizer, OptimizerConfig};
@@ -40,7 +52,10 @@ use semrec::datalog::analysis::{classify_linear, rectify, validate};
 use semrec::datalog::parser::{parse_atom, parse_unit, Unit};
 use semrec::datalog::Pred;
 use semrec::engine::magic::evaluate_query;
-use semrec::engine::{evaluate, Budget, CancelToken, Database, EngineError, Route, Strategy};
+use semrec::engine::{
+    evaluate, Budget, CancelToken, Database, EngineError, Route, Strategy, Tuning,
+};
+use semrec::serve::{Connection, Response, ServeConfig, ServeError, Server};
 use std::process::ExitCode;
 
 /// A CLI failure, carrying enough type to pick the exit code.
@@ -49,19 +64,43 @@ enum CliError {
     Usage(String),
     /// A typed engine failure (exit 3–6 for governance errors, else 1).
     Engine(EngineError),
+    /// A typed serving failure (exit 7–9 for the serving-specific
+    /// conditions, the engine mapping for wrapped engine errors, else 1).
+    Serve(ServeError),
     /// Anything else (exit 1).
     Other(String),
+}
+
+/// Exit code for a typed engine failure (shared by `run`/`update` and
+/// engine errors surfacing through `serve`).
+fn engine_exit_code(e: &EngineError) -> u8 {
+    match e {
+        EngineError::DeadlineExceeded { .. } => 3,
+        EngineError::BudgetExceeded { .. } => 4,
+        EngineError::Cancelled => 5,
+        EngineError::WorkerPanicked { .. } => 6,
+        _ => 1,
+    }
+}
+
+/// Exit code for a serving error kind tag (see `ServeError::kind`).
+fn serve_kind_exit_code(kind: &str) -> u8 {
+    match kind {
+        "overloaded" => 7,
+        "wal-corrupt" => 8,
+        "epoch-reclaimed" => 9,
+        _ => 1,
+    }
 }
 
 impl CliError {
     fn exit_code(&self) -> u8 {
         match self {
             CliError::Usage(_) => 2,
-            CliError::Engine(EngineError::DeadlineExceeded { .. }) => 3,
-            CliError::Engine(EngineError::BudgetExceeded { .. }) => 4,
-            CliError::Engine(EngineError::Cancelled) => 5,
-            CliError::Engine(EngineError::WorkerPanicked { .. }) => 6,
-            CliError::Engine(_) | CliError::Other(_) => 1,
+            CliError::Engine(e) => engine_exit_code(e),
+            CliError::Serve(ServeError::Engine(e)) => engine_exit_code(e),
+            CliError::Serve(e) => serve_kind_exit_code(e.kind()),
+            CliError::Other(_) => 1,
         }
     }
 }
@@ -71,6 +110,7 @@ impl std::fmt::Display for CliError {
         match self {
             CliError::Usage(m) | CliError::Other(m) => write!(f, "{m}"),
             CliError::Engine(e) => write!(f, "{e}"),
+            CliError::Serve(e) => write!(f, "{e}"),
         }
     }
 }
@@ -118,6 +158,7 @@ fn dispatch(args: &[String]) -> Result<(), CliError> {
         "gen" => cmd_gen(&args[1..]),
         "check" => cmd_check(&args[1..]),
         "update" => cmd_update(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())
@@ -141,7 +182,11 @@ fn usage() -> String {
      semrec gen <org|university|genealogy|fanout|flights> <dir>\n  \
      semrec check <file>\n  \
      semrec update <file> <txfile> [--optimize] [--query ATOM] [--data DIR]\n  \
-             [--threads N] [--deadline-ms N] [--max-rows N] [--max-bytes N] [--max-iters N]"
+             [--threads N] [--deadline-ms N] [--max-rows N] [--max-bytes N] [--max-iters N]\n  \
+     semrec serve <file> [--wal PATH] [--script PATH | --listen ADDR] [--threads N]\n  \
+             [--max-inflight N] [--retain-epochs N] [--watchdog-ms N]\n  \
+             [--request-deadline-ms N] [--deadline-ms N] [--max-rows N]\n  \
+             [--max-bytes N] [--max-iters N]"
         .to_owned()
 }
 
@@ -671,6 +716,135 @@ fn cmd_why(args: &[String]) -> Result<(), CliError> {
         }
         None => Err(format!("{goal} is not derivable").into()),
     }
+}
+
+/// `semrec serve <file>`: the serving daemon. Three drive modes:
+///
+/// * `--listen ADDR` — accept TCP connections, one session per
+///   connection, until killed;
+/// * `--script PATH` — run the protocol lines from a file (replies to
+///   stdout) and exit: the mode used by tests and the check harness;
+/// * neither — read protocol lines from stdin (replies to stdout).
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    use std::io::BufRead;
+
+    let path = need_path(args)?;
+    let unit = load(path)?;
+    let threads: usize = flag_value(args, "--threads")
+        .map(|t| {
+            t.parse()
+                .map_err(|_| CliError::Usage(format!("bad --threads value `{t}`")))
+        })
+        .transpose()?
+        .unwrap_or(1);
+    let mut cfg = ServeConfig {
+        tuning: Tuning::with_threads(threads),
+        optimizer: optimizer_config(args),
+        write_budget: parse_budget(args)?,
+        ..ServeConfig::default()
+    };
+    if let Some(n) = flag_u64(args, "--max-inflight")? {
+        cfg.admission.max_inflight = n as usize;
+    }
+    if let Some(n) = flag_u64(args, "--retain-epochs")? {
+        cfg.retain_epochs = n as usize;
+    }
+    if let Some(ms) = flag_u64(args, "--watchdog-ms")? {
+        cfg.admission.watchdog_after = Some(std::time::Duration::from_millis(ms));
+    }
+    if let Some(ms) = flag_u64(args, "--request-deadline-ms")? {
+        cfg.admission.default_deadline = Some(std::time::Duration::from_millis(ms));
+    }
+    let wal = flag_value(args, "--wal").map(std::path::PathBuf::from);
+
+    let (server, report) = Server::open(&unit, cfg, wal.as_deref()).map_err(CliError::Serve)?;
+    eprintln!(
+        "serving {path}: epoch {} ({} commit(s) replayed{}), route {}",
+        report.epoch,
+        report.replayed_commits,
+        match report.truncated_tail {
+            Some(off) => format!(", torn WAL tail truncated at byte {off}"),
+            None => String::new(),
+        },
+        route_name(server.registry().latest().route),
+    );
+    let _watchdog = server.spawn_watchdog();
+
+    if let Some(addr) = flag_value(args, "--listen") {
+        let listener = std::net::TcpListener::bind(addr.as_str())
+            .map_err(|e| format!("binding {addr}: {e}"))?;
+        eprintln!(
+            "listening on {}",
+            listener.local_addr().map_err(|e| e.to_string())?
+        );
+        server
+            .serve_listener(&listener)
+            .map_err(|e| format!("accept loop: {e}"))?;
+        return Ok(());
+    }
+
+    // Script / stdin mode: one session over the same protocol, replies
+    // to stdout. Per-request errors keep the session going; the exit
+    // code reports the most severe serving condition seen.
+    let reader: Box<dyn BufRead> = match flag_value(args, "--script") {
+        Some(p) => Box::new(std::io::BufReader::new(
+            std::fs::File::open(p).map_err(|e| format!("reading {p}: {e}"))?,
+        )),
+        None => Box::new(std::io::BufReader::new(std::io::stdin())),
+    };
+    let mut conn = Connection::new(server);
+    // Severity rank of the worst error seen (0 = none): overloaded <
+    // epoch-reclaimed < wal-corrupt.
+    let mut worst: (u8, Option<String>) = (0, None);
+    for line in reader.lines() {
+        let line = line.map_err(|e| format!("reading request: {e}"))?;
+        match conn.handle_line(&line) {
+            Response::None => {}
+            Response::Quit => break,
+            Response::Lines(lines) => {
+                for l in &lines {
+                    println!("{l}");
+                    if let Some(rest) = l.strip_prefix("err kind=") {
+                        let kind = rest.split_whitespace().next().unwrap_or("");
+                        let rank = match kind {
+                            "wal-corrupt" => 3,
+                            "epoch-reclaimed" => 2,
+                            "overloaded" => 1,
+                            _ => 0,
+                        };
+                        if rank > worst.0 {
+                            worst = (rank, Some(l.clone()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if let (rank, Some(line)) = worst {
+        let kind = match rank {
+            3 => "wal-corrupt",
+            2 => "epoch-reclaimed",
+            _ => "overloaded",
+        };
+        // Re-raise with the matching exit code; the wire line already
+        // went to stdout, so the message names the condition only.
+        return Err(match serve_kind_exit_code(kind) {
+            8 => CliError::Serve(ServeError::WalCorrupt {
+                offset: 0,
+                detail: line,
+            }),
+            9 => CliError::Serve(ServeError::EpochReclaimed {
+                requested: 0,
+                oldest: 0,
+            }),
+            _ => CliError::Serve(ServeError::Overloaded {
+                inflight: 0,
+                limit: 0,
+                retry_after_ms: 1,
+            }),
+        });
+    }
+    Ok(())
 }
 
 fn cmd_check(args: &[String]) -> Result<(), CliError> {

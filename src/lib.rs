@@ -9,7 +9,9 @@
 //!   magic sets, explanation, CSV I/O);
 //! * [`core`] — residue detection (Algorithm 3.1) and pushing (§4);
 //! * [`iqa`] — intelligent query answering (§5);
-//! * [`gen`] — IC-consistent workload generators.
+//! * [`gen`] — IC-consistent workload generators;
+//! * [`serve`] — the crash-safe concurrent serving daemon (`semrec
+//!   serve`): epoch snapshots, WAL durability, admission control.
 //!
 //! ## Example
 //!
@@ -53,3 +55,4 @@ pub use semrec_datalog as datalog;
 pub use semrec_engine as engine;
 pub use semrec_gen as gen;
 pub use semrec_iqa as iqa;
+pub use semrec_serve as serve;

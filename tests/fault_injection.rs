@@ -487,7 +487,6 @@ fn incr_icheck_fault_commits_exactly_or_rolls_back() {
     assert_eq!(q.route(), Route::Optimized);
     let mut committed = 0u32;
     let mut rolled_back = 0u32;
-    let mut next_node = 1000i64;
     for seed in 0..10u64 {
         let mut rng = Rng::seed_from_u64(0x1C + seed);
         let fire_at = rng.gen_range(0..2usize) as u64;
@@ -498,8 +497,7 @@ fn incr_icheck_fault_commits_exactly_or_rolls_back() {
         };
         // A fresh witnessed node keeps ic1 holding, so a surviving
         // apply stays on the incremental optimized route.
-        let v = next_node;
-        next_node += 1;
+        let v = 1000 + seed as i64;
         let mut tx = semrec::engine::Tx::new();
         tx.insert(
             "edge",
