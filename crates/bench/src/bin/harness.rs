@@ -24,16 +24,19 @@
 //! any workload's single-thread rows/sec falls more than `<pct>` percent
 //! below the baseline's. `--assert-kernel-coverage <pct>` exits nonzero
 //! if any kernel-bench workload routes fewer than `<pct>` percent of its
-//! plan executions through the batch kernels.
+//! plan executions through the batch kernels. `--assert-routing` exits
+//! nonzero if the cost planner's chosen route runs slower than the fixed
+//! ladder (beyond noise), mispredicts cardinality by more than 10x, or
+//! spends over 2% of evaluation time planning.
 
 use semrec_bench::baseline::{check_schema_version, check_throughput, diff_table, parse_baseline};
 use semrec_bench::experiments::{run, Scale, ALL};
 use semrec_bench::fixpoint::{
-    check_kernel_coverage, check_no_regrow, check_scaling, dict_table, governance_table,
-    incremental_table, kernel_table, run_dict_bench, run_fixpoint_bench_gated,
-    run_governance_bench, run_incremental_bench, run_kernel_bench, run_semantic_bench,
-    semantic_table, to_json_full, to_json_with_dict, to_json_with_incremental,
-    to_json_with_kernels, to_table,
+    check_kernel_coverage, check_no_regrow, check_routing, check_scaling, dict_table,
+    governance_table, incremental_table, kernel_table, routing_table, run_dict_bench,
+    run_fixpoint_bench_gated, run_governance_bench, run_incremental_bench, run_kernel_bench,
+    run_routing_bench, run_semantic_bench, semantic_table, to_json_full, to_json_with_dict,
+    to_json_with_incremental, to_json_with_kernels, to_json_with_routing, to_table,
 };
 use semrec_bench::serve::{check_serve_baseline, run_serve_bench, serve_table, serve_to_json};
 use std::path::Path;
@@ -88,6 +91,7 @@ fn main() -> ExitCode {
     let markdown = args.iter().any(|a| a == "--markdown");
     let json = args.iter().any(|a| a == "--json");
     let assert_scaling = args.iter().any(|a| a == "--assert-scaling");
+    let assert_routing = args.iter().any(|a| a == "--assert-routing");
     let mut ids: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -167,6 +171,8 @@ fn main() -> ExitCode {
         print!("{}", governance_table(&governance));
         let incremental = run_incremental_bench(quick);
         print!("{}", incremental_table(&incremental));
+        let routing = run_routing_bench(quick);
+        print!("{}", routing_table(&routing));
         let kernels = run_kernel_bench(quick);
         print!("{}", kernel_table(&kernels));
         let dict = run_dict_bench(quick);
@@ -175,9 +181,12 @@ fn main() -> ExitCode {
             let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_fixpoint.json");
             let doc = to_json_with_dict(
                 to_json_with_kernels(
-                    to_json_with_incremental(
-                        to_json_full(&results, &semantic, &governance),
-                        &incremental,
+                    to_json_with_routing(
+                        to_json_with_incremental(
+                            to_json_full(&results, &semantic, &governance),
+                            &incremental,
+                        ),
+                        &routing,
                     ),
                     &kernels,
                 ),
@@ -192,6 +201,15 @@ fn main() -> ExitCode {
         }
         if assert_scaling {
             match check_scaling(&results) {
+                Ok(summary) => println!("{summary}"),
+                Err(report) => {
+                    eprintln!("{report}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if assert_routing {
+            match check_routing(&routing) {
                 Ok(summary) => println!("{summary}"),
                 Err(report) => {
                     eprintln!("{report}");

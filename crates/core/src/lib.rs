@@ -27,6 +27,9 @@ pub mod subsume;
 
 pub use detect::{detect, Detection, DetectionMethod};
 pub use maintain::{MaintainError, MaintainedQuery, UpdateOutcome};
-pub use optimizer::{evaluate_governed, GovernedOutcome, Optimizer, OptimizerConfig, Plan};
+pub use optimizer::{
+    evaluate_governed, evaluate_routed, route_alternatives, GovernedOutcome, Optimizer,
+    OptimizerConfig, Plan,
+};
 pub use residue::{Residue, ResidueHead};
 pub use sequence::{unfold, Unfolding};

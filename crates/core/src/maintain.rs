@@ -40,8 +40,8 @@ use semrec_datalog::term::Value;
 use semrec_engine::eval::goal_matches;
 use semrec_engine::incr::{ic_still_satisfied, rollback_inserts};
 use semrec_engine::{
-    Budget, CancelToken, Database, EngineError, Materialized, Relation, Route, Tuning, Tuple, Tx,
-    UpdateStats,
+    AlternativeKind, Budget, CancelToken, CostMemo, Database, EdbStats, EngineError, Materialized,
+    Relation, Route, RouteChoice, Tuning, Tuple, Tx, UpdateStats,
 };
 
 use crate::optimizer::{Optimizer, OptimizerConfig, Plan};
@@ -93,6 +93,10 @@ pub struct UpdateOutcome {
     /// Indices (into [`MaintainedQuery::monitored`]) of the constraints
     /// violated after this transaction.
     pub violated: Vec<usize>,
+    /// True when this transaction re-consulted the cost planner (route
+    /// transition, or EDB drift past the replan threshold) and refreshed
+    /// the recorded [`RouteChoice`].
+    pub replanned: bool,
 }
 
 /// An optimized query kept answerable across EDB transactions, with the
@@ -104,12 +108,61 @@ pub struct MaintainedQuery {
     monitored: Vec<Constraint>,
     /// Per monitored constraint: does it hold on the current database?
     ic_ok: Vec<bool>,
-    /// The live materialization — of `plan.program` while every
-    /// monitored IC holds, of `plan.rectified` otherwise.
+    /// The live materialization — the cost planner's pick among the
+    /// *sound* programs: while every monitored IC holds that is the
+    /// cheaper of `plan.program` and `plan.rectified`; under a violation
+    /// only `plan.rectified` is sound.
     active: Materialized,
+    /// Monitor state: every monitored IC holds.
     on_optimized: bool,
+    /// Which sound program `active` materializes: true = `plan.program`
+    /// (residue-pushed), false = `plan.rectified`.
+    active_opt: bool,
     route: Route,
     tuning: Tuning,
+    /// Generation-keyed EDB statistics shared across replanning passes.
+    edb_stats: EdbStats,
+    /// The planner's latest verdict (None when pricing failed).
+    choice: Option<RouteChoice>,
+    /// Total EDB rows when the planner last ran; drifting past 2× in
+    /// either direction triggers a replan on the next transaction.
+    planned_rows: u64,
+    /// Planner consultations over this query's lifetime.
+    replans: u64,
+}
+
+/// Total physical EDB rows (the planner's drift metric).
+fn edb_rows(db: &Database) -> u64 {
+    db.iter().map(|(_, r)| r.len() as u64).sum()
+}
+
+/// Prices the sound alternatives of `plan` on `db`. Under a violation
+/// (`ics_hold` false) only the rectified program is sound; otherwise
+/// the residue-pushed program (when the optimizer applied anything)
+/// competes with it. When pricing fails the fixed IC-driven choice is
+/// returned with no recorded verdict.
+fn plan_route(
+    db: &Database,
+    plan: &Plan,
+    stats: &mut EdbStats,
+    ics_hold: bool,
+) -> (AlternativeKind, Option<RouteChoice>) {
+    let mut alts: Vec<(AlternativeKind, Program)> = Vec::new();
+    if ics_hold && plan.any_applied() {
+        alts.push((AlternativeKind::ResiduePushed, plan.program.clone()));
+    }
+    alts.push((AlternativeKind::Rectified, plan.rectified.clone()));
+    match CostMemo::build(db, stats, alts) {
+        Ok(memo) => (memo.best().kind, Some(memo.choice())),
+        Err(_) => (
+            if ics_hold && plan.any_applied() {
+                AlternativeKind::ResiduePushed
+            } else {
+                AlternativeKind::Rectified
+            },
+            None,
+        ),
+    }
 }
 
 /// The constraints whose residues the plan actually pushed, deduplicated.
@@ -161,7 +214,12 @@ impl MaintainedQuery {
         let monitored = monitored_ics(&plan, ics);
         let ic_ok: Vec<bool> = monitored.iter().map(|ic| db.satisfies(ic)).collect();
         let on_optimized = ic_ok.iter().all(|&b| b);
-        let active_program = if on_optimized {
+        // Initial consultation: among the sound programs, materialize
+        // the planner's pick.
+        let mut edb_stats = EdbStats::new();
+        let (kind, choice) = plan_route(&db, &plan, &mut edb_stats, on_optimized);
+        let active_opt = kind == AlternativeKind::ResiduePushed;
+        let active_program = if active_opt {
             &plan.program
         } else {
             &plan.rectified
@@ -169,11 +227,16 @@ impl MaintainedQuery {
         let active = Materialized::new_tuned(&db, active_program, tuning)?;
         let route = if !on_optimized {
             Route::RectifiedFallback
-        } else if plan.any_applied() {
+        } else if active_opt {
             Route::Optimized
+        } else if plan.any_applied() {
+            // ICs hold but the planner priced rectified cheaper: the
+            // rectified program answers by choice, not degradation.
+            Route::RectifiedFallback
         } else {
             Route::Direct
         };
+        let planned_rows = edb_rows(&db);
         Ok(MaintainedQuery {
             db,
             plan,
@@ -181,9 +244,23 @@ impl MaintainedQuery {
             ic_ok,
             active,
             on_optimized,
+            active_opt,
             route,
             tuning,
+            edb_stats,
+            choice,
+            planned_rows,
+            replans: 1,
         })
+    }
+
+    /// True when total EDB rows have drifted past 2× (either direction)
+    /// since the planner last ran — large transactions can invert the
+    /// cost ranking, so the next update re-consults.
+    fn stats_drifted(&self) -> bool {
+        let rows = edb_rows(&self.db);
+        self.planned_rows > 0
+            && (rows > self.planned_rows.saturating_mul(2) || rows < self.planned_rows / 2)
     }
 
     /// Applies `tx` atomically: EDB update, delta IC re-check, route
@@ -218,8 +295,11 @@ impl MaintainedQuery {
         }
         let now_ok = ic_ok.iter().all(|&b| b);
 
-        let (stats, route, rebuilt) = if now_ok == self.on_optimized {
-            // Route unchanged: maintain the active materialization.
+        let mut replanned = false;
+        let mut new_active: Option<(Materialized, bool)> = None;
+        let mut plan_commit: Option<(Option<RouteChoice>, u64)> = None;
+        let (stats, route, mut rebuilt) = if now_ok == self.on_optimized {
+            // IC state unchanged: maintain the active materialization.
             let stats = self
                 .active
                 .apply_delta(&self.db, &work, &delta, budget, cancel)?;
@@ -230,21 +310,47 @@ impl MaintainedQuery {
             };
             (stats, route, false)
         } else if now_ok {
-            // Violations cleared: the optimized route is sound again.
-            // Its cached results were discarded at invalidation, so the
-            // materialization is rebuilt from scratch.
-            let next = Materialized::new_tuned(&work, &self.plan.program, self.tuning)?;
-            let stats = rebuild_stats(&next, start);
-            self.active = next;
-            (stats, Route::IncrementalOptimized, true)
+            // Violations cleared: the residue-pushed program is sound
+            // again. Re-consult the planner among the sound set; its
+            // pick is materialized (the optimized route's cached results
+            // were discarded at invalidation, so a switch rebuilds from
+            // scratch — staying on rectified just maintains it).
+            let (kind, choice) = plan_route(&work, &self.plan, &mut self.edb_stats, true);
+            replanned = true;
+            plan_commit = Some((choice, edb_rows(&work)));
+            if kind == AlternativeKind::ResiduePushed {
+                let next = Materialized::new_tuned(&work, &self.plan.program, self.tuning)?;
+                let stats = rebuild_stats(&next, start);
+                new_active = Some((next, true));
+                (stats, Route::IncrementalOptimized, true)
+            } else {
+                let stats = self
+                    .active
+                    .apply_delta(&self.db, &work, &delta, budget, cancel)?;
+                (stats, Route::IncrementalOptimized, false)
+            }
         } else {
             // Newly violated: the optimized materialization's cached
             // relations may be unsound on the updated database.
-            // Invalidate them and re-answer from the rectified program.
-            let next = Materialized::new_tuned(&work, &self.plan.rectified, self.tuning)?;
-            let stats = rebuild_stats(&next, start);
-            self.active = next;
-            (stats, Route::IncrementalInvalidated, true)
+            // Invalidate them and re-answer from the rectified program,
+            // re-consulting the planner for fresh post-degradation
+            // estimates (only the rectified program is sound now).
+            let (_, choice) = plan_route(&work, &self.plan, &mut self.edb_stats, false);
+            replanned = true;
+            plan_commit = Some((choice, edb_rows(&work)));
+            if self.active_opt {
+                let next = Materialized::new_tuned(&work, &self.plan.rectified, self.tuning)?;
+                let stats = rebuild_stats(&next, start);
+                new_active = Some((next, false));
+                (stats, Route::IncrementalInvalidated, true)
+            } else {
+                // The planner had already put us on the rectified
+                // program: nothing to invalidate, just maintain it.
+                let stats = self
+                    .active
+                    .apply_delta(&self.db, &work, &delta, budget, cancel)?;
+                (stats, Route::IncrementalInvalidated, false)
+            }
         };
 
         work.compact();
@@ -252,12 +358,61 @@ impl MaintainedQuery {
         self.ic_ok = ic_ok;
         self.on_optimized = now_ok;
         self.route = route;
+        if let Some((next, opt)) = new_active {
+            self.active = next;
+            self.active_opt = opt;
+        }
+        if let Some((choice, rows)) = plan_commit {
+            if choice.is_some() {
+                self.choice = choice;
+            }
+            self.planned_rows = rows;
+            self.replans += 1;
+        }
+        if !replanned {
+            let (r, rb) = self.drift_replan(now_ok);
+            replanned = r;
+            rebuilt |= rb;
+        }
         Ok(UpdateOutcome {
             route,
             stats,
             rebuilt,
             violated: self.violated(),
+            replanned,
         })
+    }
+
+    /// Post-commit drift check: when total EDB rows moved past 2× since
+    /// the last consultation, re-price the sound alternatives and — if
+    /// the ranking inverted — switch the active materialization to the
+    /// planner's new pick. The switch is best-effort: a rebuild failure
+    /// keeps the current (still consistent) materialization.
+    fn drift_replan(&mut self, ics_hold: bool) -> (bool, bool) {
+        if !self.stats_drifted() {
+            return (false, false);
+        }
+        let (kind, choice) = plan_route(&self.db, &self.plan, &mut self.edb_stats, ics_hold);
+        if choice.is_some() {
+            self.choice = choice;
+        }
+        self.planned_rows = edb_rows(&self.db);
+        self.replans += 1;
+        let want_opt = kind == AlternativeKind::ResiduePushed;
+        let mut rebuilt = false;
+        if want_opt != self.active_opt {
+            let prog = if want_opt {
+                &self.plan.program
+            } else {
+                &self.plan.rectified
+            };
+            if let Ok(next) = Materialized::new_tuned(&self.db, prog, self.tuning) {
+                self.active = next;
+                self.active_opt = want_opt;
+                rebuilt = true;
+            }
+        }
+        (true, rebuilt)
     }
 
     /// Insert-only fast path: the transaction is applied to the
@@ -292,7 +447,9 @@ impl MaintainedQuery {
         }
         let now_ok = ic_ok.iter().all(|&b| b);
 
-        let (stats, route, rebuilt) = if now_ok == self.on_optimized {
+        let mut replanned = false;
+        let mut plan_commit: Option<(Option<RouteChoice>, u64)> = None;
+        let (stats, route, mut rebuilt) = if now_ok == self.on_optimized {
             match self
                 .active
                 .apply_delta_appended(&self.db, &delta, budget, cancel)
@@ -311,27 +468,68 @@ impl MaintainedQuery {
                 }
             }
         } else if now_ok {
-            match Materialized::new_tuned(&self.db, &self.plan.program, self.tuning) {
-                Ok(next) => {
-                    let stats = rebuild_stats(&next, start);
-                    self.active = next;
-                    (stats, Route::IncrementalOptimized, true)
+            // Violations cleared: re-consult the planner; its pick among
+            // the sound set is materialized (a switch to the
+            // residue-pushed program rebuilds, staying on rectified just
+            // maintains the current materialization).
+            let (kind, choice) = plan_route(&self.db, &self.plan, &mut self.edb_stats, true);
+            replanned = true;
+            plan_commit = Some((choice, edb_rows(&self.db)));
+            if kind == AlternativeKind::ResiduePushed {
+                match Materialized::new_tuned(&self.db, &self.plan.program, self.tuning) {
+                    Ok(next) => {
+                        let stats = rebuild_stats(&next, start);
+                        self.active = next;
+                        self.active_opt = true;
+                        (stats, Route::IncrementalOptimized, true)
+                    }
+                    Err(e) => {
+                        rollback_inserts(&mut self.db, &delta);
+                        return Err(e);
+                    }
                 }
-                Err(e) => {
-                    rollback_inserts(&mut self.db, &delta);
-                    return Err(e);
+            } else {
+                match self
+                    .active
+                    .apply_delta_appended(&self.db, &delta, budget, cancel)
+                {
+                    Ok(stats) => (stats, Route::IncrementalOptimized, false),
+                    Err(e) => {
+                        rollback_inserts(&mut self.db, &delta);
+                        return Err(e);
+                    }
                 }
             }
         } else {
-            match Materialized::new_tuned(&self.db, &self.plan.rectified, self.tuning) {
-                Ok(next) => {
-                    let stats = rebuild_stats(&next, start);
-                    self.active = next;
-                    (stats, Route::IncrementalInvalidated, true)
+            // Newly violated: only the rectified program is sound;
+            // re-consult the planner for fresh post-degradation
+            // estimates.
+            let (_, choice) = plan_route(&self.db, &self.plan, &mut self.edb_stats, false);
+            replanned = true;
+            plan_commit = Some((choice, edb_rows(&self.db)));
+            if self.active_opt {
+                match Materialized::new_tuned(&self.db, &self.plan.rectified, self.tuning) {
+                    Ok(next) => {
+                        let stats = rebuild_stats(&next, start);
+                        self.active = next;
+                        self.active_opt = false;
+                        (stats, Route::IncrementalInvalidated, true)
+                    }
+                    Err(e) => {
+                        rollback_inserts(&mut self.db, &delta);
+                        return Err(e);
+                    }
                 }
-                Err(e) => {
-                    rollback_inserts(&mut self.db, &delta);
-                    return Err(e);
+            } else {
+                match self
+                    .active
+                    .apply_delta_appended(&self.db, &delta, budget, cancel)
+                {
+                    Ok(stats) => (stats, Route::IncrementalInvalidated, false),
+                    Err(e) => {
+                        rollback_inserts(&mut self.db, &delta);
+                        return Err(e);
+                    }
                 }
             }
         };
@@ -339,11 +537,24 @@ impl MaintainedQuery {
         self.ic_ok = ic_ok;
         self.on_optimized = now_ok;
         self.route = route;
+        if let Some((choice, rows)) = plan_commit {
+            if choice.is_some() {
+                self.choice = choice;
+            }
+            self.planned_rows = rows;
+            self.replans += 1;
+        }
+        if !replanned {
+            let (r, rb) = self.drift_replan(now_ok);
+            replanned = r;
+            rebuilt |= rb;
+        }
         Ok(UpdateOutcome {
             route,
             stats,
             rebuilt,
             violated: self.violated(),
+            replanned,
         })
     }
 
@@ -360,6 +571,23 @@ impl MaintainedQuery {
     /// The route that answers queries right now.
     pub fn route(&self) -> Route {
         self.route
+    }
+
+    /// The cost planner's latest verdict (`None` when every pricing
+    /// pass failed).
+    pub fn route_choice(&self) -> Option<&RouteChoice> {
+        self.choice.as_ref()
+    }
+
+    /// Planner consultations over this query's lifetime (initial
+    /// materialization, route transitions, drift replans).
+    pub fn replans(&self) -> u64 {
+        self.replans
+    }
+
+    /// The generation-keyed EDB statistics cache the planner reads.
+    pub fn edb_stats(&self) -> &EdbStats {
+        &self.edb_stats
     }
 
     /// The constraints the monitor watches (those the optimizer's

@@ -6,11 +6,12 @@ use crate::detect::{detect, Detection, DetectionMethod};
 use crate::push::{Applied, PushPolicy, Pusher, Skipped};
 use crate::sequence::unfold;
 use semrec_datalog::analysis::{rectify, validate};
-use semrec_datalog::atom::Pred;
+use semrec_datalog::atom::{Atom, Pred};
 use semrec_datalog::constraint::Constraint;
 use semrec_datalog::error::Error;
 use semrec_datalog::program::Program;
 use semrec_datalog::rule::Rule;
+use semrec_engine::{AlternativeKind, CostMemo, EdbStats};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -297,16 +298,40 @@ pub struct GovernedOutcome {
     pub degraded: Option<String>,
 }
 
+/// The rewrite alternatives the cost-based router prices for one query:
+/// the program as written, its rectified normal form (when it differs),
+/// the residue-pushed program (when the optimizer applied anything), and
+/// — when a goal directs evaluation — the magic-sets rewriting. Returns
+/// the alternatives plus, when a magic variant was enumerated, the
+/// adorned predicate holding the goal's answers.
+pub fn route_alternatives(
+    program: &Program,
+    plan: &Plan,
+    goal: Option<&Atom>,
+) -> (Vec<(AlternativeKind, Program)>, Option<Pred>) {
+    let mut alts = vec![(AlternativeKind::Original, program.clone())];
+    if plan.rectified != *program {
+        alts.push((AlternativeKind::Rectified, plan.rectified.clone()));
+    }
+    if plan.any_applied() {
+        alts.push((AlternativeKind::ResiduePushed, plan.program.clone()));
+    }
+    let mut magic_answer = None;
+    if let Some(goal) = goal {
+        // Magic prices only the goal-relevant subset; an unrewritable
+        // program (negation, EDB goal) just isn't enumerated.
+        if let Ok(m) = semrec_engine::magic::magic_rewrite(program, goal) {
+            magic_answer = Some(m.answer_pred);
+            alts.push((AlternativeKind::Magic, m.program));
+        }
+    }
+    (alts, magic_answer)
+}
+
 /// Evaluates `program` under `budget` with the paper's semantic
-/// optimization — degrading instead of dying. The optimized route
-/// (residue detection → isolation → push → evaluate the optimized
-/// program) runs first under a slice of the budget: half the deadline
-/// when one is set, so the fallback always has room to answer. If that
-/// route panics, fails to compile, or exhausts its slice, the
-/// *rectified* program — the reference semantics the optimization must
-/// preserve — is evaluated under the remaining budget. Cancellation is
-/// honored, never degraded around: a [`EngineError::Cancelled`] from
-/// either route is final.
+/// optimization — degrading instead of dying. See [`evaluate_routed`];
+/// this entry point routes without a goal (so no magic-sets
+/// alternative is priced).
 pub fn evaluate_governed(
     db: &semrec_engine::Database,
     program: &Program,
@@ -316,11 +341,44 @@ pub fn evaluate_governed(
     cancel: semrec_engine::CancelToken,
     threads: usize,
 ) -> Result<GovernedOutcome, semrec_engine::EngineError> {
+    evaluate_routed(db, program, ics, config, budget, cancel, threads, None)
+}
+
+/// The cost-routed, governed evaluation entry point. The optimizer runs
+/// first (residue detection → isolation → push); its rewrite
+/// alternatives are then priced by the [`CostMemo`] against the
+/// database's statistics, and the *cheapest* alternative — not a fixed
+/// ladder — runs under a slice of the budget: half the deadline when
+/// one is set, so the fallback always has room to answer. If that route
+/// panics, fails to compile, or exhausts its slice, the *rectified*
+/// program — the reference semantics the optimization must preserve —
+/// is evaluated under the remaining budget. Cancellation is honored,
+/// never degraded around: a [`EngineError::Cancelled`] from either
+/// route is final.
+///
+/// The planner's verdict rides on the result:
+/// [`EvalResult::choice`](semrec_engine::EvalResult) records every
+/// priced alternative and the runner-up, and `stats.plan_nanos` the
+/// planning wall time. When pricing itself fails, the fixed ladder
+/// (optimized-then-rectified) runs unchanged with no choice recorded.
+///
+/// [`EngineError::Cancelled`]: semrec_engine::EngineError::Cancelled
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_routed(
+    db: &semrec_engine::Database,
+    program: &Program,
+    ics: &[Constraint],
+    config: OptimizerConfig,
+    budget: semrec_engine::Budget,
+    cancel: semrec_engine::CancelToken,
+    threads: usize,
+    goal: Option<&Atom>,
+) -> Result<GovernedOutcome, semrec_engine::EngineError> {
     use semrec_engine::{EngineError, Route};
     use std::panic::{catch_unwind, AssertUnwindSafe};
     let start = std::time::Instant::now();
 
-    // The optimized route's budget slice: half the deadline; row/byte
+    // The chosen route's budget slice: half the deadline; row/byte
     // caps apply whole (they bound the same materialized IDB either way).
     let mut slice = budget;
     if let Some(d) = budget.deadline {
@@ -336,21 +394,48 @@ pub fn evaluate_governed(
     }));
     match attempt {
         Ok(Ok(plan)) => {
-            let optimized = plan.any_applied();
-            match run_under(db, &plan.program, slice, cancel.clone(), threads) {
-                Ok(mut result) => {
-                    result.route = if optimized {
-                        Route::Optimized
+            let (alts, magic_answer) = route_alternatives(program, &plan, goal);
+            let mut stats = EdbStats::new();
+            let (run_program, kind, choice) = match CostMemo::build(db, &mut stats, alts) {
+                Ok(memo) => {
+                    let best = memo.best();
+                    (best.program.clone(), best.kind, Some(memo.choice()))
+                }
+                // Pricing failed: the fixed ladder (optimized program
+                // first) runs exactly as before cost routing existed.
+                Err(_) => {
+                    let kind = if plan.any_applied() {
+                        AlternativeKind::ResiduePushed
                     } else {
-                        Route::Direct
+                        AlternativeKind::Original
                     };
+                    (plan.program.clone(), kind, None)
+                }
+            };
+            match run_under(db, &run_program, slice, cancel.clone(), threads) {
+                Ok(mut result) => {
+                    result.route = kind.route();
+                    if let Some(c) = choice {
+                        result.stats.plan_nanos = c.plan_nanos;
+                        result.choice = Some(c);
+                    }
+                    // Magic computes the goal's answers under the adorned
+                    // predicate; surface them under the goal's own
+                    // predicate so `answers(goal)` works unchanged.
+                    if kind == AlternativeKind::Magic {
+                        if let (Some(goal), Some(ans)) = (goal, magic_answer) {
+                            if let Some(rel) = result.idb.get(&ans).cloned() {
+                                result.idb.insert(goal.pred, rel);
+                            }
+                        }
+                    }
                     return Ok(GovernedOutcome {
                         result,
                         degraded: None,
                     });
                 }
                 Err(EngineError::Cancelled) => return Err(EngineError::Cancelled),
-                Err(e) => degraded = format!("optimized route: {e}"),
+                Err(e) => degraded = format!("{kind} route: {e}"),
             }
         }
         Ok(Err(e)) => degraded = format!("optimizer failed: {e}"),

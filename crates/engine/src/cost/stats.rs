@@ -1,0 +1,242 @@
+//! EDB statistics for the cost planner, cached per relation generation.
+//!
+//! Everything here is read off structures the engine already maintains:
+//! row counts and arities from the relation headers, distinct-value
+//! counts and fanout histograms from the dictionary indexes
+//! ([`Relation::key_distribution`] — one pass over group headers, no row
+//! data touched), and integer ranges from the index key stores. Each
+//! cached entry is stamped with the relation's
+//! [`Relation::generation`] at collection time; a later lookup against a
+//! mutated relation recollects just that entry, so incremental
+//! transactions invalidate exactly the statistics they made stale.
+
+use crate::database::Database;
+use crate::fxhash::FxHashMap;
+use crate::relation::Relation;
+use semrec_datalog::atom::Pred;
+
+/// Per-relation summary statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RelationStats {
+    /// Live tuples.
+    pub rows: u64,
+    /// Column count.
+    pub arity: usize,
+    /// Estimated resident bytes ([`Relation::estimated_bytes`]).
+    pub bytes: u64,
+    /// The relation's mutation counter when these numbers were read.
+    pub generation: u64,
+}
+
+/// Distinct-count / fanout summary of one column subset, read off the
+/// dictionary index on those columns.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ColumnGroupStats {
+    /// Distinct key tuples.
+    pub distinct: u64,
+    /// Largest key group (worst-case probe fanout).
+    pub max_group: u64,
+    /// Mean rows per distinct key (average probe fanout).
+    pub mean_fanout: f64,
+    /// log2 histogram of group sizes (bucket `i`: sizes in
+    /// `[2^i, 2^(i+1))`, last bucket open-ended).
+    pub histogram: [usize; 16],
+}
+
+/// A cached integer min/max: the stamping generation plus the range
+/// (`None` when the column held no integers).
+type CachedRange = (u64, Option<(i64, i64)>);
+
+/// The statistics collector: lazily gathered, generation-invalidated
+/// summaries of every EDB relation the estimator asks about.
+#[derive(Debug, Default)]
+pub struct EdbStats {
+    rels: FxHashMap<Pred, RelationStats>,
+    groups: FxHashMap<(Pred, Vec<usize>), (u64, ColumnGroupStats)>,
+    ranges: FxHashMap<(Pred, usize), CachedRange>,
+    /// Fresh collections performed (index walks paid).
+    pub collected: u64,
+    /// Lookups served from a generation-current cache entry.
+    pub reused: u64,
+    /// Cache entries discarded because the relation mutated.
+    pub invalidated: u64,
+}
+
+impl EdbStats {
+    /// An empty collector.
+    pub fn new() -> EdbStats {
+        EdbStats::default()
+    }
+
+    fn rel(db: &Database, pred: Pred) -> Option<&Relation> {
+        db.get(pred)
+    }
+
+    /// Row/arity/bytes summary for `pred`, recollected if the relation
+    /// mutated since the cached entry was stamped. `None` when the
+    /// database has no such relation (the estimator treats it as empty).
+    pub fn relation(&mut self, db: &Database, pred: Pred) -> Option<RelationStats> {
+        let rel = Self::rel(db, pred)?;
+        let generation = rel.generation();
+        if let Some(cached) = self.rels.get(&pred) {
+            if cached.generation == generation {
+                self.reused += 1;
+                return Some(*cached);
+            }
+            self.invalidated += 1;
+        }
+        let fresh = RelationStats {
+            rows: rel.len() as u64,
+            arity: rel.arity(),
+            bytes: rel.estimated_bytes(),
+            generation,
+        };
+        self.collected += 1;
+        self.rels.insert(pred, fresh);
+        Some(fresh)
+    }
+
+    /// Distinct/fanout statistics for the dictionary index on `cols` of
+    /// `pred`, building the index on first ask and recollecting when the
+    /// relation mutated. `None` when the relation is absent.
+    pub fn group(&mut self, db: &Database, pred: Pred, cols: &[usize]) -> Option<ColumnGroupStats> {
+        let rel = Self::rel(db, pred)?;
+        let generation = rel.generation();
+        let key = (pred, cols.to_vec());
+        if let Some((g, cached)) = self.groups.get(&key) {
+            if *g == generation {
+                self.reused += 1;
+                return Some(cached.clone());
+            }
+            self.invalidated += 1;
+        }
+        let d = rel.key_distribution(cols);
+        let fresh = ColumnGroupStats {
+            distinct: d.distinct as u64,
+            max_group: d.max_group as u64,
+            mean_fanout: d.mean_fanout(),
+            histogram: d.histogram,
+        };
+        self.collected += 1;
+        self.groups.insert(key, (generation, fresh.clone()));
+        Some(fresh)
+    }
+
+    /// Min/max integer value of column `col` of `pred`, read off the
+    /// single-column dictionary (cached like [`EdbStats::group`]).
+    /// `None` when the relation is absent or the column holds no ints.
+    pub fn int_range(&mut self, db: &Database, pred: Pred, col: usize) -> Option<(i64, i64)> {
+        let rel = Self::rel(db, pred)?;
+        let generation = rel.generation();
+        let key = (pred, col);
+        if let Some((g, cached)) = self.ranges.get(&key) {
+            if *g == generation {
+                self.reused += 1;
+                return *cached;
+            }
+            self.invalidated += 1;
+        }
+        let fresh = rel.column_int_range(col);
+        self.collected += 1;
+        self.ranges.insert(key, (generation, fresh));
+        fresh
+    }
+
+    /// Drops every cache entry whose relation has mutated (or vanished)
+    /// since collection. Call after applying a transaction batch so the
+    /// next estimate pays recollection only for the touched relations.
+    pub fn refresh(&mut self, db: &Database) {
+        let stale_rel = |pred: &Pred, gen: u64| match Self::rel(db, *pred) {
+            Some(rel) => rel.generation() != gen,
+            None => true,
+        };
+        let before = self.rels.len() + self.groups.len() + self.ranges.len();
+        self.rels.retain(|p, s| !stale_rel(p, s.generation));
+        self.groups.retain(|(p, _), (g, _)| !stale_rel(p, *g));
+        self.ranges.retain(|(p, _), (g, _)| !stale_rel(p, *g));
+        let after = self.rels.len() + self.groups.len() + self.ranges.len();
+        self.invalidated += (before - after) as u64;
+    }
+
+    /// Number of live cache entries (all three kinds), for tests.
+    pub fn cached_entries(&self) -> usize {
+        self.rels.len() + self.groups.len() + self.ranges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::int_tuple;
+
+    fn db_with_edges(pairs: &[(i64, i64)]) -> Database {
+        let mut db = Database::new();
+        for &(a, b) in pairs {
+            db.insert("edge", int_tuple(&[a, b]));
+        }
+        db
+    }
+
+    #[test]
+    fn collects_and_reuses_until_generation_changes() {
+        let mut db = db_with_edges(&[(1, 2), (1, 3), (2, 3)]);
+        let mut stats = EdbStats::new();
+        let edge: Pred = "edge".into();
+
+        let r = stats.relation(&db, edge).unwrap();
+        assert_eq!(r.rows, 3);
+        assert_eq!(r.arity, 2);
+        let g = stats.group(&db, edge, &[0]).unwrap();
+        assert_eq!(g.distinct, 2);
+        assert_eq!(g.max_group, 2);
+        assert!((g.mean_fanout - 1.5).abs() < 1e-9);
+        assert_eq!(stats.int_range(&db, edge, 1), Some((2, 3)));
+        let collected = stats.collected;
+
+        // Same generation: everything served from cache.
+        stats.relation(&db, edge).unwrap();
+        stats.group(&db, edge, &[0]).unwrap();
+        stats.int_range(&db, edge, 1);
+        assert_eq!(stats.collected, collected);
+        assert_eq!(stats.reused, 3);
+
+        // A mutation invalidates on next lookup.
+        db.insert("edge", int_tuple(&[9, 9]));
+        let r = stats.relation(&db, edge).unwrap();
+        assert_eq!(r.rows, 4);
+        let g = stats.group(&db, edge, &[0]).unwrap();
+        assert_eq!(g.distinct, 3);
+        assert_eq!(stats.int_range(&db, edge, 1), Some((2, 9)));
+        assert!(stats.invalidated >= 3);
+    }
+
+    #[test]
+    fn refresh_drops_only_stale_entries() {
+        let mut db = db_with_edges(&[(1, 2)]);
+        for i in 0..4 {
+            db.insert("node", int_tuple(&[i]));
+        }
+        let mut stats = EdbStats::new();
+        stats.relation(&db, "edge".into()).unwrap();
+        stats.relation(&db, "node".into()).unwrap();
+        stats.group(&db, "edge".into(), &[0]).unwrap();
+        assert_eq!(stats.cached_entries(), 3);
+
+        db.insert("node", int_tuple(&[99]));
+        stats.refresh(&db);
+        // Only the node entry dropped; edge stats survive untouched.
+        assert_eq!(stats.cached_entries(), 2);
+        let reused_before = stats.reused;
+        stats.relation(&db, "edge".into()).unwrap();
+        assert_eq!(stats.reused, reused_before + 1);
+    }
+
+    #[test]
+    fn missing_relation_is_none() {
+        let db = Database::new();
+        let mut stats = EdbStats::new();
+        assert!(stats.relation(&db, "ghost".into()).is_none());
+        assert!(stats.group(&db, "ghost".into(), &[0]).is_none());
+        assert!(stats.int_range(&db, "ghost".into(), 0).is_none());
+    }
+}

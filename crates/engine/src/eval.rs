@@ -98,6 +98,10 @@ pub struct EvalResult {
     pub stats: Stats,
     /// Which evaluation route produced these relations.
     pub route: Route,
+    /// The cost planner's verdict, when the route was chosen by cost
+    /// (the governed runner in `semrec-core`); `None` for plain
+    /// evaluation.
+    pub choice: Option<crate::cost::RouteChoice>,
 }
 
 impl EvalResult {
@@ -1536,6 +1540,7 @@ impl<'db> Evaluator<'db> {
             idb: self.idb.into_iter().collect(),
             stats: self.stats,
             route: Route::Direct,
+            choice: None,
         }
     }
 

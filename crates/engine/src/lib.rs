@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod builtins;
+pub mod cost;
 pub mod database;
 pub mod error;
 pub mod eval;
@@ -31,6 +32,10 @@ pub mod sld;
 pub mod stats;
 pub mod topdown;
 
+pub use cost::{
+    AlternativeKind, ColumnGroupStats, CostMemo, EdbStats, Estimator, PlanAlternative,
+    ProgramEstimate, RelationStats, RouteChoice, RuleEstimate,
+};
 pub use database::{int_tuple, Database};
 pub use error::EngineError;
 pub use eval::{

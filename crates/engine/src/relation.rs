@@ -474,6 +474,37 @@ impl ProbeHandle {
     }
 }
 
+/// A summary of one dictionary index's key-group shape, read by the
+/// cost planner's statistics collector ([`Relation::key_distribution`]).
+/// All counts are over *physical* rows (tombstones included), so every
+/// number is an upper bound on the live distribution — the direction
+/// size-bound estimation needs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KeyDistribution {
+    /// Distinct key tuples ever inserted under the indexed columns.
+    pub distinct: usize,
+    /// Physical rows in the largest key group (the worst-case probe
+    /// fanout).
+    pub max_group: usize,
+    /// Total physical rows indexed (sum of group sizes).
+    pub rows: usize,
+    /// log2 histogram of group sizes: bucket `i` counts groups of size
+    /// in `[2^i, 2^(i+1))`; the last bucket absorbs everything larger.
+    pub histogram: [usize; 16],
+}
+
+impl KeyDistribution {
+    /// Mean rows per distinct key (the average probe fanout), 0 when the
+    /// index is empty.
+    pub fn mean_fanout(&self) -> f64 {
+        if self.distinct == 0 {
+            0.0
+        } else {
+            self.rows as f64 / self.distinct as f64
+        }
+    }
+}
+
 /// An append-only relation of fixed arity with set semantics over flat
 /// columnar storage.
 ///
@@ -1171,6 +1202,58 @@ impl Relation {
             idx: &**idx as *const ColumnIndex,
             built: idx.built,
         })
+    }
+
+    /// Reads the key-group distribution of the dictionary index on
+    /// `cols`, building or extending the index first (so on an
+    /// already-indexed relation this is one pass over the group
+    /// headers, no row data touched). This is the cost planner's
+    /// statistics source: `distinct` bounds join selectivity from
+    /// below, `max_group`/the histogram bound per-probe fanout from
+    /// above. Groups count *physical* rows — tombstoned rows inflate
+    /// the totals until [`Relation::compact`] — which keeps the numbers
+    /// valid as upper bounds, the direction the size-bound estimator
+    /// needs.
+    pub fn key_distribution(&self, cols: &[usize]) -> KeyDistribution {
+        let mut indexes = self.indexes.write().expect("index lock poisoned");
+        let idx = Self::entry_index(&mut indexes, cols);
+        self.extend_index(idx);
+        let mut d = KeyDistribution {
+            distinct: idx.groups.len(),
+            ..KeyDistribution::default()
+        };
+        for g in &idx.groups {
+            let n = g.len();
+            d.rows += n;
+            d.max_group = d.max_group.max(n);
+            if n > 0 {
+                let bucket = (usize::BITS - 1 - n.leading_zeros()) as usize;
+                d.histogram[bucket.min(d.histogram.len() - 1)] += 1;
+            }
+        }
+        d
+    }
+
+    /// The min/max integer value ever inserted in column `col`, read off
+    /// the single-column dictionary index's distinct-key store (one pass
+    /// over `distinct` keys, not rows). `None` if the column holds no
+    /// integer values. Like [`Relation::key_distribution`], deleted
+    /// values stay in the dictionary until compaction, so the range is
+    /// an over-approximation — sound for bounding.
+    pub fn column_int_range(&self, col: usize) -> Option<(i64, i64)> {
+        let mut indexes = self.indexes.write().expect("index lock poisoned");
+        let idx = Self::entry_index(&mut indexes, &[col]);
+        self.extend_index(idx);
+        let mut range: Option<(i64, i64)> = None;
+        for v in &idx.keys {
+            if let Value::Int(i) = v {
+                range = Some(match range {
+                    Some((lo, hi)) => (lo.min(*i), hi.max(*i)),
+                    None => (*i, *i),
+                });
+            }
+        }
+        range
     }
 
     /// Row ids within `range` exactly equal to `key` (all columns bound).

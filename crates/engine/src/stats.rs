@@ -53,6 +53,11 @@ pub struct Stats {
     /// EWMA pre-sizing exists to eliminate. Non-zero means a round's
     /// unique-row estimate was off by more than the 2× sizing headroom.
     pub dedup_regrows: u64,
+    /// Wall nanoseconds spent in the cost planner (statistics
+    /// collection, alternative estimation, route selection) before
+    /// evaluation started. 0 for unplanned (direct) evaluations. Gated
+    /// in the bench harness at <2% of evaluation time.
+    pub plan_nanos: u64,
 }
 
 impl AddAssign for Stats {
@@ -71,6 +76,7 @@ impl AddAssign for Stats {
         self.dict_probes += rhs.dict_probes;
         self.dict_memo_hits += rhs.dict_memo_hits;
         self.dedup_regrows += rhs.dedup_regrows;
+        self.plan_nanos += rhs.plan_nanos;
     }
 }
 
@@ -192,7 +198,7 @@ impl fmt::Display for Stats {
             f,
             "iters={} firings={} probes={} hits={} rows={} cmps={} derived={} \
              inserted={} kernel={} interp={} scratch_hw={}B dict={} memo={} \
-             regrows={}",
+             regrows={} plan_ms={:.3}",
             self.iterations,
             self.rule_firings,
             self.probes,
@@ -206,7 +212,8 @@ impl fmt::Display for Stats {
             self.scratch_hw_bytes,
             self.dict_probes,
             self.dict_memo_hits,
-            self.dedup_regrows
+            self.dedup_regrows,
+            self.plan_nanos as f64 / 1e6
         )
     }
 }

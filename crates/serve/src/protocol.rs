@@ -22,7 +22,8 @@
 //! Queries answer `ok epoch=E route=R rows=N`, then one rendered fact
 //! per line, then `end`. Commits answer `ok epoch=E route=R` (plus
 //! `violated=i,j` when the commit broke monitored constraints and the
-//! daemon degraded to the rectified route). Errors answer a single
+//! daemon degraded to the rectified route, and a trailing `replanned`
+//! tag when the commit re-consulted the cost planner). Errors answer a single
 //! `err kind=<kind> msg=…` line — `kind` is [`ServeError::kind`], with
 //! `retry_after_ms=N` added for `overloaded` — and the connection stays
 //! alive: a malformed line rejects *that* request (or poisons the open
@@ -214,6 +215,9 @@ impl Connection {
                             }
                             let _ = write!(msg, "{v}");
                         }
+                    }
+                    if reply.replanned {
+                        msg.push_str(" replanned");
                     }
                     Response::Lines(vec![msg])
                 }

@@ -111,6 +111,9 @@ pub struct CommitReply {
     /// Indices of monitored constraints violated after this commit
     /// (non-empty means the daemon degraded to the rectified route).
     pub violated: Vec<usize>,
+    /// True when this commit re-consulted the cost planner (route
+    /// transition or EDB drift past the replan threshold).
+    pub replanned: bool,
 }
 
 /// A point-in-time counters snapshot ([`Server::stats`]).
@@ -360,6 +363,7 @@ impl Server {
             route: outcome.route,
             stats: outcome.stats,
             violated: outcome.violated,
+            replanned: outcome.replanned,
         })
     }
 

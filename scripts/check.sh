@@ -41,13 +41,19 @@ cargo clippy --all-targets --offline -- -D warnings
 # Regrow gate: the EWMA drain pre-sizing must keep mid-insert dedup
 # rehashes at zero on every generated workload; a non-zero count means
 # the unique-rate estimator or the deferred-reservation plumbing broke.
+# Routing gate: the cost planner's chosen route must not run slower
+# than the fixed rewrite ladder (beyond a 25% + 2 ms noise band), must
+# keep cardinality mispredictions within 10x on every routed scenario,
+# and must spend under 2% of evaluation time planning on the large
+# fanout workload — so a broken estimator or a planner that taxes the
+# hot path fails CI rather than silently degrading the default route.
 # Baseline freshness: loading --baseline also verifies the checked-in
 # JSON carries the harness's current schema_version, so a stale
 # BENCH_fixpoint.json (missing new sections/fields) fails here instead
 # of silently gating against fields that no longer line up.
 cargo run -p semrec-bench --release --offline --bin harness -- bench --quick --assert-scaling \
-  --baseline BENCH_fixpoint.json --assert-throughput 40 --assert-kernel-coverage 90 \
-  --assert-no-regrow 0
+  --assert-routing --baseline BENCH_fixpoint.json --assert-throughput 40 \
+  --assert-kernel-coverage 90 --assert-no-regrow 0
 
 # ---- serve leg -------------------------------------------------------
 # Deterministic fault schedules over the server sites (serve.accept,

@@ -5,7 +5,8 @@
 //! semrec run <file> [--optimize] [--naive] [--query 'p(a, X)'] [--magic]
 //!            [--data DIR] [--save DIR] [--threads N] [--engine seminaive|naive|topdown|sld]
 //!            [--deadline-ms N] [--max-rows N] [--max-bytes N] [--max-iters N]
-//! semrec explain <file>                           residues per IC and sequence
+//! semrec explain <file> [--run] [--query ATOM] [--data DIR]
+//!                        residues per IC + per-alternative route costs
 //! semrec describe <file> 'describe p(X) where q(X, c).'
 //! semrec why <file> 'anc(dan, 20, bob, 77)'       show one derivation of a fact
 //! semrec check <file>                             validate assumptions + IC satisfaction
@@ -175,7 +176,7 @@ fn usage() -> String {
      semrec run <file> [--optimize] [--naive] [--query ATOM] [--magic]\n  \
              [--data DIR] [--save DIR] [--small PRED]... [--threads N]\n  \
              [--deadline-ms N] [--max-rows N] [--max-bytes N] [--max-iters N]\n  \
-     semrec explain <file>\n  \
+     semrec explain <file> [--run] [--query ATOM] [--data DIR] [--small PRED]...\n  \
      semrec describe <file> QUERY\n  \
      semrec why <file> GROUND_ATOM\n  \
      semrec plan <file> [--optimize]\n  \
@@ -606,6 +607,85 @@ fn cmd_explain(args: &[String]) -> Result<(), CliError> {
                     if r.is_useful() { ", useful" } else { "" },
                 );
             }
+        }
+    }
+    explain_routing(&unit, args)
+}
+
+/// The `semrec explain` routing section: prices every rewrite
+/// alternative against the file's data (embedded facts plus `--data`),
+/// prints the per-alternative estimates and the planner's choice, and
+/// with `--run` evaluates the chosen program to report actual
+/// cardinalities next to the prediction.
+fn explain_routing(unit: &Unit, args: &[String]) -> Result<(), CliError> {
+    let program = unit.program();
+    let plan = build_plan(unit, args)?;
+    let mut db = Database::from_facts(&unit.facts);
+    if let Some(dir) = flag_value(args, "--data") {
+        let n = semrec::engine::io::load_dir(&mut db, std::path::Path::new(dir))
+            .map_err(CliError::Engine)?;
+        eprintln!("loaded {n} facts from {dir}");
+    }
+    let goal = flag_value(args, "--query")
+        .map(|q| parse_atom(q).map_err(|e| e.to_string()))
+        .transpose()?;
+    let (alts, _) = semrec::core::route_alternatives(&program, &plan, goal.as_ref());
+    let mut stats = semrec::engine::EdbStats::new();
+    let memo = match semrec::engine::CostMemo::build(&db, &mut stats, alts) {
+        Ok(m) => m,
+        Err(e) => {
+            println!("— route plan — (cost routing unavailable: {e})");
+            return Ok(());
+        }
+    };
+    println!("— route plan —");
+    for a in &memo.alternatives {
+        println!(
+            "  {:<14} est_work={:<12.0} est_rows={:<10.0} est_bytes={:<12.0} rounds={}{}",
+            a.kind.name(),
+            a.estimate.work,
+            a.estimate.rows,
+            a.estimate.bytes,
+            a.estimate.rounds,
+            if a.estimate.capped { " (capped)" } else { "" },
+        );
+    }
+    let choice = memo.choice();
+    let best = memo.best();
+    println!(
+        "chosen: {} → route {} (predicted {:.0} rows, {:.0} work)",
+        choice.chosen,
+        route_name(choice.chosen.route()),
+        choice.predicted_rows,
+        choice.predicted_work,
+    );
+    if let Some((kind, work)) = choice.runner_up {
+        println!("runner-up: {kind} ({work:.0} work)");
+    }
+    println!(
+        "planning: {} alternative(s), {} shared subplan(s), {} ordering(s) considered, {:.3} ms",
+        memo.alternatives.len(),
+        memo.shared_subplans,
+        best.estimate.orderings_considered,
+        memo.plan_nanos as f64 / 1e6,
+    );
+    if args.iter().any(|a| a == "--run") {
+        let res = evaluate(&db, &best.program, Strategy::SemiNaive).map_err(CliError::Engine)?;
+        let actual: u64 = res.idb.values().map(|r| r.len() as u64).sum();
+        println!(
+            "actual: {} rows in {} round(s) (misprediction ×{:.2})",
+            actual,
+            res.stats.iterations,
+            choice.misprediction(actual),
+        );
+        for (p, rel) in &res.idb {
+            let predicted = best.estimate.per_pred.get(p).copied().unwrap_or(0.0);
+            println!(
+                "  {:<20} actual={:<8} predicted={:.0}",
+                p,
+                rel.len(),
+                predicted
+            );
         }
     }
     Ok(())
