@@ -38,7 +38,9 @@ use semrec_bench::fixpoint::{
     run_routing_bench, run_semantic_bench, semantic_table, to_json_full, to_json_with_dict,
     to_json_with_incremental, to_json_with_kernels, to_json_with_routing, to_table,
 };
-use semrec_bench::serve::{check_serve_baseline, run_serve_bench, serve_table, serve_to_json};
+use semrec_bench::serve::{
+    check_serve_baseline, check_serve_read, run_serve_bench, serve_table, serve_to_json,
+};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -123,6 +125,15 @@ fn main() -> ExitCode {
         }
         let result = run_serve_bench(quick);
         print!("{}", serve_table(&result));
+        if args.iter().any(|a| a == "--assert-serve-read") {
+            match check_serve_read(&result) {
+                Ok(summary) => println!("{summary}"),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
         if json {
             let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
             std::fs::write(&out, serve_to_json(&result)).expect("write BENCH_serve.json");

@@ -11,6 +11,7 @@
 //! used, so cross-machine numbers are interpretable.
 
 use crate::baseline::{parse_json, Json};
+use semrec_datalog::atom::Atom;
 use semrec_datalog::parser::{parse_atom, parse_unit, Unit};
 use semrec_engine::{int_tuple, Tuning, Tx};
 use semrec_serve::{AdmissionConfig, ServeConfig, ServeError, Server};
@@ -23,7 +24,11 @@ use std::time::{Duration, Instant};
 /// `check.sh` serve leg reads is added or changed; the leg fails when
 /// the checked-in artifact's version differs, forcing a regeneration
 /// with `harness serve-bench --json` in the same PR.
-pub const SERVE_SCHEMA_VERSION: u64 = 1;
+///
+/// v2 added the indexed-read sections (`read_indexed`, `read_scan`),
+/// the `answer_cache` section, and the `batched_write` section; v1
+/// artifacts predate the indexed serve read path and are rejected.
+pub const SERVE_SCHEMA_VERSION: u64 = 2;
 
 /// One timed section's latency digest, microseconds.
 #[derive(Clone, Copy, Debug, Default)]
@@ -45,11 +50,34 @@ pub struct ServeBenchResult {
     pub chain: usize,
     /// Evaluator worker threads the daemon ran with.
     pub threads: usize,
-    /// Single-client read latency/throughput at the latest epoch.
+    /// Single-client read latency/throughput at the latest epoch
+    /// (server defaults: index + cache on, same goal repeated).
     pub read: LatencyDigest,
     /// Commit latency/throughput on the writer path (WAL off: the run
     /// measures the apply+publish pipeline, not this box's fsync).
     pub write: LatencyDigest,
+    /// Bound-goal reads through the dictionary-probe path (cache off,
+    /// cycling distinct goals so every read computes its answer).
+    pub read_indexed: LatencyDigest,
+    /// The same bound-goal cycle through the full-relation scan path
+    /// (`index_reads` off, cache off) — the v1 read path, kept as the
+    /// comparison baseline the `--assert-serve-read` gate divides by.
+    pub read_scan: LatencyDigest,
+    /// Repeated-goal reads against the answer cache (cache on).
+    pub cache_read: LatencyDigest,
+    /// Cache hit rate over the repeated-goal leg.
+    pub cache_hit_rate: f64,
+    /// Concurrent-writer group-commit throughput (batching on).
+    pub batched_write: LatencyDigest,
+    /// Writer threads driving the batched leg.
+    pub batched_writers: usize,
+    /// Mean transactions per batch the leg achieved.
+    pub avg_batch: f64,
+    /// One writer committing the identical transaction set serially —
+    /// the like-for-like baseline `batched_speedup` divides by.
+    pub serial_write: LatencyDigest,
+    /// Batched concurrent throughput over serial same-shape throughput.
+    pub batched_speedup: f64,
     /// Concurrent-phase reads that answered (all verified non-empty).
     pub concurrent_reads: u64,
     /// Concurrent-phase commits that landed.
@@ -143,6 +171,161 @@ pub fn run_serve_bench(quick: bool) -> ServeBenchResult {
     }
     result.write = digest(samples, started.elapsed());
 
+    // Phase 2b: indexed vs scan bound-goal reads, both with the answer
+    // cache off and cycling distinct goals, so every read computes its
+    // answer and the two legs differ only in routing. A warmup query
+    // pays the one-time dictionary index build outside the timings.
+    let goals: Vec<Atom> = (0..chain)
+        .map(|i| parse_atom(&format!("reach({i}, Y)")).expect("bound goal"))
+        .collect();
+    let indexed_cfg = ServeConfig {
+        tuning,
+        answer_cache: false,
+        ..ServeConfig::default()
+    };
+    let (indexed, _) = Server::open(&unit, indexed_cfg, None).expect("indexed open");
+    indexed.query(&goals[0], None, None).expect("index warmup");
+    let mut samples = Vec::with_capacity(reads);
+    let started = Instant::now();
+    for k in 0..reads {
+        let i = k % chain;
+        let t = Instant::now();
+        let reply = indexed.query(&goals[i], None, None).expect("indexed read");
+        samples.push(t.elapsed().as_secs_f64() * 1e6);
+        assert_eq!(reply.tuples.len(), chain - i, "closure from node {i}");
+    }
+    result.read_indexed = digest(samples, started.elapsed());
+
+    let scan_reads = (reads / 10).max(10);
+    let scan_cfg = ServeConfig {
+        tuning,
+        index_reads: false,
+        answer_cache: false,
+        ..ServeConfig::default()
+    };
+    let (scan, _) = Server::open(&unit, scan_cfg, None).expect("scan open");
+    let mut samples = Vec::with_capacity(scan_reads);
+    let started = Instant::now();
+    for k in 0..scan_reads {
+        let i = k % chain;
+        let t = Instant::now();
+        let reply = scan.query(&goals[i], None, None).expect("scan read");
+        samples.push(t.elapsed().as_secs_f64() * 1e6);
+        assert_eq!(reply.tuples.len(), chain - i, "closure from node {i}");
+    }
+    result.read_scan = digest(samples, started.elapsed());
+
+    // Phase 2c: the answer cache on a repeated goal — one miss computes,
+    // everything after is a generation-keyed hit.
+    let (cached, _) = Server::open(
+        &unit,
+        ServeConfig {
+            tuning,
+            ..ServeConfig::default()
+        },
+        None,
+    )
+    .expect("cache open");
+    let mut samples = Vec::with_capacity(reads);
+    let started = Instant::now();
+    for _ in 0..reads {
+        let t = Instant::now();
+        let reply = cached.query(&goals[0], None, None).expect("cached read");
+        samples.push(t.elapsed().as_secs_f64() * 1e6);
+        assert_eq!(reply.tuples.len(), chain);
+    }
+    result.cache_read = digest(samples, started.elapsed());
+    let s = cached.stats();
+    let lookups = s.cache_hits + s.cache_misses;
+    result.cache_hit_rate = if lookups > 0 {
+        s.cache_hits as f64 / lookups as f64
+    } else {
+        0.0
+    };
+
+    // Phase 2d: group-commit throughput. Disjoint two-node fragments
+    // keep the deltas small and the monitored IC satisfied, so the
+    // per-commit cost is dominated by the COW epoch publication — the
+    // exact cost batching amortizes. One fresh server commits the whole
+    // transaction set serially (the like-for-like baseline); a second
+    // takes the same set from concurrent writers whose transactions the
+    // leader sweeps into shared maintenance passes (one fsync window,
+    // one publish each).
+    // Batch size is capped by writer concurrency (each writer has one
+    // outstanding commit), so 8 writers give the leader up to 8-tx
+    // sweeps; the publication cost they share is what the speedup
+    // measures.
+    let writers = 8usize;
+    let per_writer = (commits / writers).max(1);
+    let fragment_tx = |w: usize, k: usize| {
+        let base = 1_000_000 * (w as i64 + 1) + 2 * k as i64;
+        let mut tx = Tx::new();
+        tx.insert("edge", int_tuple(&[base, base + 1]));
+        tx.insert("witness", int_tuple(&[base + 1, base + 500_000]));
+        tx
+    };
+    let (serial, _) = Server::open(
+        &unit,
+        ServeConfig {
+            tuning,
+            ..ServeConfig::default()
+        },
+        None,
+    )
+    .expect("serial open");
+    let mut samples = Vec::with_capacity(writers * per_writer);
+    let started = Instant::now();
+    for w in 0..writers {
+        for k in 0..per_writer {
+            let tx = fragment_tx(w, k);
+            let t = Instant::now();
+            serial.commit(&tx).expect("serial fragment commit");
+            samples.push(t.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+    result.serial_write = digest(samples, started.elapsed());
+
+    let (batched, _) = Server::open(
+        &unit,
+        ServeConfig {
+            tuning,
+            ..ServeConfig::default()
+        },
+        None,
+    )
+    .expect("batched open");
+    let before = batched.stats();
+    let started = Instant::now();
+    let handles: Vec<_> = (0..writers)
+        .map(|w| {
+            let server = Arc::clone(&batched);
+            std::thread::spawn(move || {
+                let mut lat = Vec::with_capacity(per_writer);
+                for k in 0..per_writer {
+                    let tx = fragment_tx(w, k);
+                    let t = Instant::now();
+                    server.commit(&tx).expect("batched commit");
+                    lat.push(t.elapsed().as_secs_f64() * 1e6);
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut samples = Vec::new();
+    for h in handles {
+        samples.extend(h.join().expect("writer thread"));
+    }
+    result.batched_write = digest(samples, started.elapsed());
+    result.batched_writers = writers;
+    let after = batched.stats();
+    let batches = after.batches - before.batches;
+    result.avg_batch = if batches > 0 {
+        (after.batched_txs - before.batched_txs) as f64 / batches as f64
+    } else {
+        0.0
+    };
+    result.batched_speedup = result.batched_write.per_sec / result.serial_write.per_sec.max(1e-9);
+
     // Phase 3: concurrent readers while the writer keeps committing —
     // the serving scenario the epoch registry exists for.
     let done = Arc::new(AtomicBool::new(false));
@@ -233,6 +416,25 @@ pub fn serve_to_json(r: &ServeBenchResult) -> String {
     };
     section(&mut s, "read", &r.read, ",");
     section(&mut s, "write", &r.write, ",");
+    section(&mut s, "read_indexed", &r.read_indexed, ",");
+    section(&mut s, "read_scan", &r.read_scan, ",");
+    let _ = writeln!(s, "  \"answer_cache\": {{");
+    let _ = writeln!(s, "    \"count\": {},", r.cache_read.count);
+    let _ = writeln!(s, "    \"p50_us\": {:.1},", r.cache_read.p50_us);
+    let _ = writeln!(s, "    \"p99_us\": {:.1},", r.cache_read.p99_us);
+    let _ = writeln!(s, "    \"per_sec\": {:.1},", r.cache_read.per_sec);
+    let _ = writeln!(s, "    \"hit_rate\": {:.4}", r.cache_hit_rate);
+    let _ = writeln!(s, "  }},");
+    section(&mut s, "serial_write", &r.serial_write, ",");
+    let _ = writeln!(s, "  \"batched_write\": {{");
+    let _ = writeln!(s, "    \"count\": {},", r.batched_write.count);
+    let _ = writeln!(s, "    \"p50_us\": {:.1},", r.batched_write.p50_us);
+    let _ = writeln!(s, "    \"p99_us\": {:.1},", r.batched_write.p99_us);
+    let _ = writeln!(s, "    \"per_sec\": {:.1},", r.batched_write.per_sec);
+    let _ = writeln!(s, "    \"writers\": {},", r.batched_writers);
+    let _ = writeln!(s, "    \"avg_batch\": {:.2},", r.avg_batch);
+    let _ = writeln!(s, "    \"speedup\": {:.2}", r.batched_speedup);
+    let _ = writeln!(s, "  }},");
     let _ = writeln!(s, "  \"concurrent\": {{");
     let _ = writeln!(s, "    \"readers_qps\": {:.1},", r.concurrent_qps);
     let _ = writeln!(s, "    \"reads\": {},", r.concurrent_reads);
@@ -263,6 +465,39 @@ pub fn serve_table(r: &ServeBenchResult) -> String {
         s,
         "  write  p50 {:>8.1}us  p99 {:>8.1}us  {:>10.1}/s  ({} samples)",
         r.write.p50_us, r.write.p99_us, r.write.per_sec, r.write.count
+    );
+    let _ = writeln!(
+        s,
+        "  probe  p50 {:>8.1}us  p99 {:>8.1}us  {:>10.1}/s  ({} samples, indexed bound goals)",
+        r.read_indexed.p50_us, r.read_indexed.p99_us, r.read_indexed.per_sec, r.read_indexed.count
+    );
+    let _ = writeln!(
+        s,
+        "  fscan  p50 {:>8.1}us  p99 {:>8.1}us  {:>10.1}/s  ({} samples, scan fallback)",
+        r.read_scan.p50_us, r.read_scan.p99_us, r.read_scan.per_sec, r.read_scan.count
+    );
+    let _ = writeln!(
+        s,
+        "  cache  p50 {:>8.1}us  p99 {:>8.1}us  {:>10.1}/s  (hit rate {:.1}%)",
+        r.cache_read.p50_us,
+        r.cache_read.p99_us,
+        r.cache_read.per_sec,
+        r.cache_hit_rate * 100.0
+    );
+    let _ = writeln!(
+        s,
+        "  wser   p50 {:>8.1}us  p99 {:>8.1}us  {:>10.1}/s  ({} samples, serial baseline)",
+        r.serial_write.p50_us, r.serial_write.p99_us, r.serial_write.per_sec, r.serial_write.count
+    );
+    let _ = writeln!(
+        s,
+        "  batch  p50 {:>8.1}us  p99 {:>8.1}us  {:>10.1}/s  ({} writers, {:.2} tx/batch, {:.2}x vs serial)",
+        r.batched_write.p50_us,
+        r.batched_write.p99_us,
+        r.batched_write.per_sec,
+        r.batched_writers,
+        r.avg_batch,
+        r.batched_speedup
     );
     let _ = writeln!(
         s,
@@ -302,7 +537,14 @@ pub fn check_serve_baseline(src: &str) -> Result<String, String> {
             return Err(format!("BENCH_serve.json is missing numeric `{key}`"));
         }
     }
-    for sec in ["read", "write"] {
+    for sec in [
+        "read",
+        "write",
+        "read_indexed",
+        "read_scan",
+        "serial_write",
+        "batched_write",
+    ] {
         let obj = doc
             .get(sec)
             .ok_or_else(|| format!("BENCH_serve.json is missing section `{sec}`"))?;
@@ -311,6 +553,30 @@ pub fn check_serve_baseline(src: &str) -> Result<String, String> {
                 return Err(format!("BENCH_serve.json `{sec}` is missing `{key}`"));
             }
         }
+    }
+    if doc
+        .get("answer_cache")
+        .and_then(|o| o.get("hit_rate"))
+        .and_then(Json::as_num)
+        .is_none()
+    {
+        return Err("BENCH_serve.json is missing `answer_cache.hit_rate`".to_string());
+    }
+    if doc
+        .get("batched_write")
+        .and_then(|o| o.get("avg_batch"))
+        .and_then(Json::as_num)
+        .is_none()
+    {
+        return Err("BENCH_serve.json is missing `batched_write.avg_batch`".to_string());
+    }
+    if doc
+        .get("batched_write")
+        .and_then(|o| o.get("speedup"))
+        .and_then(Json::as_num)
+        .is_none()
+    {
+        return Err("BENCH_serve.json is missing `batched_write.speedup`".to_string());
     }
     let shed = doc
         .get("overload")
@@ -337,6 +603,41 @@ pub fn check_serve_baseline(src: &str) -> Result<String, String> {
     ))
 }
 
+/// The `--assert-serve-read` CI gate: on a fresh (quick) run, the
+/// indexed bound-goal read path must come in at ≤ 20% of the scan
+/// path's median, and the repeated-goal leg must hit the answer cache
+/// at least 90% of the time. Returns the one-line verdict on success.
+pub fn check_serve_read(r: &ServeBenchResult) -> Result<String, String> {
+    if r.read_indexed.count == 0 || r.read_scan.count == 0 {
+        return Err("serve read gate: indexed/scan legs recorded no samples".to_string());
+    }
+    let ratio = r.read_indexed.p50_us / r.read_scan.p50_us.max(1e-9);
+    if ratio > 0.20 {
+        return Err(format!(
+            "serve read gate: indexed bound-goal p50 {:.1}us is {:.0}% of scan p50 {:.1}us \
+             (must be <= 20%)",
+            r.read_indexed.p50_us,
+            ratio * 100.0,
+            r.read_scan.p50_us
+        ));
+    }
+    if r.cache_hit_rate < 0.90 {
+        return Err(format!(
+            "serve read gate: answer cache hit rate {:.1}% on the repeated-goal leg \
+             (must be >= 90%)",
+            r.cache_hit_rate * 100.0
+        ));
+    }
+    Ok(format!(
+        "serve read gate: indexed p50 {:.1}us = {:.1}% of scan p50 {:.1}us, \
+         cache hit rate {:.1}%",
+        r.read_indexed.p50_us,
+        ratio * 100.0,
+        r.read_scan.p50_us,
+        r.cache_hit_rate * 100.0
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -345,6 +646,9 @@ mod tests {
     fn quick_bench_emits_a_self_validating_artifact() {
         let r = run_serve_bench(true);
         assert!(r.read.count > 0 && r.write.count > 0);
+        assert!(r.read_indexed.count > 0 && r.read_scan.count > 0);
+        assert!(r.cache_read.count > 0);
+        assert!(r.batched_write.count > 0);
         assert!(r.overloaded > 0, "tiny gate must shed");
         assert!(r.concurrent_reads > 0);
         let json = serve_to_json(&r);
@@ -356,6 +660,9 @@ mod tests {
     fn stale_or_mangled_artifacts_are_rejected() {
         assert!(check_serve_baseline("{}").is_err());
         assert!(check_serve_baseline("{\"schema_version\": 0}").is_err());
+        let v1 = check_serve_baseline("{\"schema_version\": 1}")
+            .expect_err("v1 artifacts predate the indexed read path");
+        assert!(v1.contains("stale"));
         let r = ServeBenchResult {
             overloaded: 0,
             ..ServeBenchResult::default()
@@ -363,6 +670,42 @@ mod tests {
         let json = serve_to_json(&r);
         let err = check_serve_baseline(&json).expect_err("zero shed must fail");
         assert!(err.contains("shed"));
+    }
+
+    #[test]
+    fn read_gate_rejects_slow_probes_and_cold_caches() {
+        let good = ServeBenchResult {
+            read_indexed: LatencyDigest {
+                count: 10,
+                p50_us: 100.0,
+                ..LatencyDigest::default()
+            },
+            read_scan: LatencyDigest {
+                count: 10,
+                p50_us: 10_000.0,
+                ..LatencyDigest::default()
+            },
+            cache_hit_rate: 0.99,
+            ..ServeBenchResult::default()
+        };
+        assert!(check_serve_read(&good).is_ok());
+        let slow = ServeBenchResult {
+            read_indexed: LatencyDigest {
+                count: 10,
+                p50_us: 5_000.0,
+                ..LatencyDigest::default()
+            },
+            ..good.clone()
+        };
+        assert!(check_serve_read(&slow).expect_err("ratio").contains("20%"));
+        let cold = ServeBenchResult {
+            cache_hit_rate: 0.5,
+            ..good
+        };
+        assert!(check_serve_read(&cold)
+            .expect_err("hit rate")
+            .contains("90%"));
+        assert!(check_serve_read(&ServeBenchResult::default()).is_err());
     }
 
     #[test]

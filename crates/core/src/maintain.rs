@@ -36,8 +36,7 @@ use semrec_datalog::atom::{Atom, Pred};
 use semrec_datalog::constraint::Constraint;
 use semrec_datalog::error::Error;
 use semrec_datalog::program::Program;
-use semrec_datalog::term::Value;
-use semrec_engine::eval::goal_matches;
+use semrec_engine::eval::answer_goal;
 use semrec_engine::incr::{ic_still_satisfied, rollback_inserts};
 use semrec_engine::{
     AlternativeKind, Budget, CancelToken, CostMemo, Database, EdbStats, EngineError, Materialized,
@@ -621,15 +620,14 @@ impl MaintainedQuery {
         self.active.relation(pred)
     }
 
-    /// Answers to a goal atom over the active materialization.
+    /// Answers to a goal atom over the active materialization. Bound
+    /// goal arguments probe the relation's dictionary index
+    /// ([`answer_goal`]) instead of filtering a full scan.
     pub fn answers(&self, goal: &Atom) -> Vec<Tuple> {
         let Some(rel) = self.active.relation(goal.pred) else {
             return Vec::new();
         };
-        rel.iter()
-            .filter(|row| goal_matches(goal, row))
-            .map(<[Value]>::to_vec)
-            .collect()
+        answer_goal(rel, goal, rel.all_rows())
     }
 }
 

@@ -111,15 +111,14 @@ impl EvalResult {
     }
 
     /// Answers to a goal atom: tuples of the goal predicate matching the
-    /// goal's constants (and repeated-variable equalities).
+    /// goal's constants (and repeated-variable equalities). Bound goal
+    /// arguments route through the relation's dictionary index
+    /// ([`answer_goal`]) instead of filtering a full scan.
     pub fn answers(&self, goal: &Atom) -> Vec<Tuple> {
         let Some(rel) = self.idb.get(&goal.pred) else {
             return Vec::new();
         };
-        rel.iter()
-            .filter(|row| goal_matches(goal, row))
-            .map(<[Value]>::to_vec)
-            .collect()
+        answer_goal(rel, goal, rel.all_rows())
     }
 }
 
@@ -154,6 +153,129 @@ pub fn goal_matches(goal: &Atom, row: &[Value]) -> bool {
         }
     }
     true
+}
+
+/// The binding pattern of a query goal, classified for index routing:
+/// bound (constant) argument positions with their key values, plus
+/// whether residual per-row checks remain after an index probe on the
+/// bound columns (repeated variables impose equalities the dictionary
+/// index cannot express).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GoalBindings {
+    /// Argument positions carrying a constant, ascending.
+    pub cols: Vec<usize>,
+    /// The constants at those positions, parallel to `cols`.
+    pub key: Vec<Value>,
+    /// True when some variable occurs more than once: probe hits must
+    /// still be verified with [`goal_matches`].
+    pub residual: bool,
+}
+
+impl GoalBindings {
+    /// True when no argument is bound — only a scan can answer.
+    pub fn all_free(&self) -> bool {
+        self.cols.is_empty()
+    }
+}
+
+/// Classifies `goal`'s arguments into the bound-column key an index
+/// probe can route and the residual equalities it cannot.
+pub fn goal_bindings(goal: &Atom) -> GoalBindings {
+    let mut b = GoalBindings::default();
+    for (i, t) in goal.args.iter().enumerate() {
+        match t {
+            Term::Const(c) => {
+                b.cols.push(i);
+                b.key.push(*c);
+            }
+            Term::Var(x) => {
+                if goal.args[..i]
+                    .iter()
+                    .any(|u| matches!(u, Term::Var(y) if y == x))
+                {
+                    b.residual = true;
+                }
+            }
+        }
+    }
+    b
+}
+
+/// How often [`answer_goal_polled`] invokes its poll callback while
+/// walking rows (scan fallback and large probe groups alike).
+const ANSWER_POLL_EVERY: usize = 1024;
+
+/// Answers a goal atom against one relation, routing bound arguments
+/// through the dictionary index instead of scanning:
+///
+/// * **some arguments bound** — one [`Relation::probe_into`] on the
+///   bound columns (building the index on first use; later queries pay
+///   one dictionary lookup plus the matching row group), residual
+///   repeated-variable equalities verified per hit;
+/// * **all arguments bound** — a dedup-table membership test, no index
+///   at all;
+/// * **all free** — the scan fallback, filtering only when repeated
+///   variables demand it.
+///
+/// Tuples come back in physical-row (insertion) order, exactly like the
+/// scan the probe replaces. `poll` runs every [`ANSWER_POLL_EVERY`]
+/// examined rows with the count of rows walked so far; returning an
+/// error aborts the answer (the serving daemon maps this onto its
+/// cancellation and deadline checks).
+pub fn answer_goal_polled<E>(
+    rel: &Relation,
+    goal: &Atom,
+    range: RowRange,
+    mut poll: impl FnMut(usize) -> Result<(), E>,
+) -> Result<Vec<Tuple>, E> {
+    if goal.args.len() != rel.arity() {
+        return Ok(Vec::new());
+    }
+    let b = goal_bindings(goal);
+    // All bound: the goal names one exact tuple (no variables, so no
+    // residual equalities are possible).
+    if !b.cols.is_empty() && b.cols.len() == rel.arity() {
+        let hit = rel.contains_in_range(&b.key, hash_slice(&b.key), range);
+        return Ok(if hit { vec![b.key] } else { Vec::new() });
+    }
+    let mut out = Vec::new();
+    if b.all_free() {
+        // Scan fallback: nothing for an index to grab.
+        for (i, (_, row)) in rel.iter_range(range).enumerate() {
+            if i % ANSWER_POLL_EVERY == 0 {
+                poll(i)?;
+            }
+            if !b.residual || goal_matches(goal, row) {
+                out.push(row.to_vec());
+            }
+        }
+        return Ok(out);
+    }
+    // Bound columns: one dictionary probe; group rows already match the
+    // key, so only range/tombstone filtering (done by probe_into) and
+    // residual equalities remain.
+    let mut rows = Vec::new();
+    rel.probe_into(&b.cols, &b.key, range, &mut rows);
+    for (i, &r) in rows.iter().enumerate() {
+        if i % ANSWER_POLL_EVERY == 0 {
+            poll(i)?;
+        }
+        let row = rel.row(r);
+        if !b.residual || goal_matches(goal, row) {
+            out.push(row.to_vec());
+        }
+    }
+    Ok(out)
+}
+
+/// [`answer_goal_polled`] without interruption: the shared goal-answering
+/// entry point for one-shot evaluation, magic-sets answer extraction,
+/// and maintained queries.
+pub fn answer_goal(rel: &Relation, goal: &Atom, range: RowRange) -> Vec<Tuple> {
+    match answer_goal_polled::<std::convert::Infallible>(rel, goal, range, |_| Ok(())) {
+        Ok(v) => v,
+        Err(e) => match e {},
+    }
 }
 
 /// One run of consecutive same-predicate tuples in a [`DerivedBuf`]:

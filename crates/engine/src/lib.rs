@@ -39,7 +39,8 @@ pub use cost::{
 pub use database::{int_tuple, Database};
 pub use error::EngineError;
 pub use eval::{
-    evaluate, evaluate_parallel, Cutover, EvalResult, Evaluator, Prepared, Route, Strategy, Tuning,
+    answer_goal, answer_goal_polled, evaluate, evaluate_parallel, goal_bindings, Cutover,
+    EvalResult, Evaluator, GoalBindings, Prepared, Route, Strategy, Tuning,
 };
 pub use governor::{Budget, CancelToken};
 pub use incr::{

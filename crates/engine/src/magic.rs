@@ -16,14 +16,14 @@
 
 use crate::database::Database;
 use crate::error::EngineError;
-use crate::eval::{evaluate, goal_matches, EvalResult, Strategy};
+use crate::eval::{answer_goal, evaluate, EvalResult, Strategy};
 use crate::relation::Tuple;
 use semrec_datalog::atom::{Atom, Pred};
 use semrec_datalog::literal::{CmpOp, Literal};
 use semrec_datalog::program::Program;
 use semrec_datalog::rule::Rule;
 use semrec_datalog::symbol::Symbol;
-use semrec_datalog::term::{Term, Value};
+use semrec_datalog::term::Term;
 use std::collections::{BTreeSet, VecDeque};
 
 /// A binding-pattern adornment: one entry per argument position.
@@ -344,12 +344,7 @@ pub fn evaluate_query(
     let result = evaluate(db, &magic.program, strategy)?;
     let mut answers: Vec<Tuple> = result
         .relation(magic.answer_pred)
-        .map(|rel| {
-            rel.iter()
-                .filter(|row| goal_matches(goal, row))
-                .map(<[Value]>::to_vec)
-                .collect()
-        })
+        .map(|rel| answer_goal(rel, goal, rel.all_rows()))
         .unwrap_or_default();
     answers.sort();
     answers.dedup();

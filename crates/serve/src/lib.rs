@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod cache;
 pub mod epoch;
 pub mod error;
 pub mod protocol;
@@ -41,6 +42,7 @@ pub mod server;
 pub mod wal;
 
 pub use admission::{Admission, AdmissionConfig, Permit};
+pub use cache::{relation_stamp, AnswerCache, GoalShape, RelationStamp};
 pub use epoch::{EpochRegistry, EpochState};
 pub use error::ServeError;
 pub use protocol::{Connection, Response};

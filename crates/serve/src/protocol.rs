@@ -134,8 +134,18 @@ impl Connection {
         if line == "stats." {
             let s = self.server.stats();
             return Response::Lines(vec![format!(
-                "ok commits={} epoch={} oldest={} admitted={} rejected={} reaped={}",
-                s.commits, s.epoch, s.oldest_epoch, s.admitted, s.rejected, s.watchdog_cancelled
+                "ok commits={} epoch={} oldest={} admitted={} rejected={} reaped={} \
+                 cache_hits={} cache_misses={} batches={} batched_txs={}",
+                s.commits,
+                s.epoch,
+                s.oldest_epoch,
+                s.admitted,
+                s.rejected,
+                s.watchdog_cancelled,
+                s.cache_hits,
+                s.cache_misses,
+                s.batches,
+                s.batched_txs
             )]);
         }
         if let Some(rest) = line.strip_prefix("query") {

@@ -30,18 +30,19 @@
 //! scans frozen relations. The writer's mutex is never on a read path.
 
 use crate::admission::{Admission, AdmissionConfig, Permit};
+use crate::cache::{relation_stamp, AnswerCache, GoalShape};
 use crate::epoch::{EpochRegistry, EpochState};
 use crate::error::ServeError;
 use crate::wal::Wal;
 use semrec_core::{MaintainedQuery, OptimizerConfig};
 use semrec_datalog::atom::{Atom, Pred};
 use semrec_datalog::parser::Unit;
-use semrec_engine::eval::goal_matches;
+use semrec_engine::eval::{answer_goal_polled, goal_matches};
 use semrec_engine::{tx_to_stream, Budget, Database, Route, Tuning, Tuple, Tx, UpdateStats};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 /// How often a reader's scan loop polls its cancel token and deadline.
@@ -61,6 +62,20 @@ pub struct ServeConfig {
     pub retain_epochs: usize,
     /// Budget applied to each transaction's maintenance work.
     pub write_budget: Budget,
+    /// Route bound query goals through the dictionary index
+    /// ([`semrec_engine::eval::answer_goal_polled`]) instead of scanning
+    /// the whole relation. All-free goals always scan.
+    pub index_reads: bool,
+    /// Memoize query answers per `(goal shape, relation generation)`
+    /// ([`crate::cache`]); copy-on-write publication invalidates exactly
+    /// the changed predicates.
+    pub answer_cache: bool,
+    /// Answer-cache entry bound (FIFO eviction).
+    pub cache_capacity: usize,
+    /// Group concurrent commits into one maintenance pass: one WAL
+    /// fsync window, one apply sweep, one epoch publication — with
+    /// per-transaction acknowledgements and atomicity preserved.
+    pub batch_commits: bool,
 }
 
 impl Default for ServeConfig {
@@ -71,6 +86,10 @@ impl Default for ServeConfig {
             admission: AdmissionConfig::default(),
             retain_epochs: 8,
             write_budget: Budget::unlimited(),
+            index_reads: true,
+            answer_cache: true,
+            cache_capacity: 1024,
+            batch_commits: true,
         }
     }
 }
@@ -131,6 +150,14 @@ pub struct ServerStats {
     pub rejected: u64,
     /// Readers cancelled by the slow-reader watchdog.
     pub watchdog_cancelled: u64,
+    /// Queries answered from the epoch answer cache.
+    pub cache_hits: u64,
+    /// Cache lookups that had to compute their answer.
+    pub cache_misses: u64,
+    /// Commit batches processed (a serial commit is a batch of one).
+    pub batches: u64,
+    /// Transactions carried by those batches.
+    pub batched_txs: u64,
 }
 
 /// The single-writer state, held under one mutex so WAL append, apply,
@@ -143,6 +170,43 @@ struct WriterState {
     next_epoch: u64,
 }
 
+/// One queued transaction awaiting group commit: the transaction plus
+/// the slot its acknowledgement lands in. Whichever writer drains the
+/// queue (the batch *leader*) fills every slot; follower writers sleep
+/// on the leadership condvar and find their result filled when the
+/// leader hands off.
+struct CommitSlot {
+    tx: Tx,
+    done: Mutex<Option<Result<CommitReply, ServeError>>>,
+}
+
+impl CommitSlot {
+    fn new(tx: Tx) -> Arc<CommitSlot> {
+        Arc::new(CommitSlot {
+            tx,
+            done: Mutex::new(None),
+        })
+    }
+
+    fn fill(&self, result: Result<CommitReply, ServeError>) {
+        *self.done.lock().expect("slot lock") = Some(result);
+    }
+
+    fn take(&self) -> Option<Result<CommitReply, ServeError>> {
+        self.done.lock().expect("slot lock").take()
+    }
+}
+
+/// The group-commit queue: transactions waiting for a leader, plus
+/// whether a leader is currently processing a batch. Guarded by one
+/// mutex whose condvar broadcasts leadership changes — followers wait
+/// *here*, never on the writer mutex, so batch formation is bounded by
+/// writer concurrency rather than by mutex handoff fairness.
+struct BatchQueue {
+    queue: VecDeque<Arc<CommitSlot>>,
+    leader_active: bool,
+}
+
 /// The serving daemon: shared between connection handlers via `Arc`.
 pub struct Server {
     writer: Mutex<WriterState>,
@@ -150,6 +214,15 @@ pub struct Server {
     admission: Arc<Admission>,
     cfg: ServeConfig,
     commits: AtomicU64,
+    cache: AnswerCache,
+    /// Commits waiting for a batch leader; while a leader processes a
+    /// batch, every arriving commit queues here and the leader's next
+    /// successor sweeps them all into one maintenance pass.
+    pending: Mutex<BatchQueue>,
+    /// Broadcast on every leadership release; followers wait on it.
+    leader_change: Condvar,
+    batches: AtomicU64,
+    batched_txs: AtomicU64,
 }
 
 /// Every relation visible right now: EDB first, then the IDB
@@ -216,6 +289,7 @@ impl Server {
         let initial = seed.cow_successor(report.epoch, route, live_relations(&query).into_iter());
         let registry = EpochRegistry::new(initial, cfg.retain_epochs);
         let admission = Admission::new(cfg.admission);
+        let cache = AnswerCache::new(cfg.cache_capacity);
         let server = Arc::new(Server {
             writer: Mutex::new(WriterState {
                 query,
@@ -226,6 +300,14 @@ impl Server {
             admission,
             cfg,
             commits: AtomicU64::new(0),
+            cache,
+            pending: Mutex::new(BatchQueue {
+                queue: VecDeque::new(),
+                leader_active: false,
+            }),
+            leader_change: Condvar::new(),
+            batches: AtomicU64::new(0),
+            batched_txs: AtomicU64::new(0),
         });
         Ok((server, report))
     }
@@ -254,6 +336,10 @@ impl Server {
             admitted: self.admission.admitted(),
             rejected: self.admission.rejected(),
             watchdog_cancelled: self.admission.watchdog_cancelled(),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_txs: self.batched_txs.load(Ordering::Relaxed),
         }
     }
 
@@ -262,6 +348,12 @@ impl Server {
     /// the watchdog (surfacing `EpochReclaimed`), or cut off by its
     /// deadline — and otherwise returns exactly the pinned epoch's
     /// tuples, sorted.
+    ///
+    /// With [`ServeConfig::answer_cache`] on, a repeated goal shape
+    /// against an unchanged relation generation is served straight from
+    /// the cache; with [`ServeConfig::index_reads`] on, a computed
+    /// answer routes bound goal arguments through the snapshot's
+    /// dictionary index instead of scanning.
     pub fn query(
         &self,
         goal: &Atom,
@@ -273,7 +365,28 @@ impl Server {
         semrec_engine::failpoint::hit("serve.reader")
             .map_err(|m| ServeError::Io(format!("reader: {m}")))?;
         let state = self.registry.pin(at)?;
-        let tuples = self.scan(&state, goal, &permit)?;
+        let stamp = state
+            .relation(goal.pred)
+            .and_then(|r| relation_stamp(r.as_ref()));
+        let shape = self.cfg.answer_cache.then(|| GoalShape::of(goal));
+        if let Some(shape) = &shape {
+            if let Some(cached) = self.cache.get(shape, stamp) {
+                return Ok(QueryReply {
+                    epoch: state.epoch,
+                    route: state.route,
+                    tuples: (*cached).clone(),
+                });
+            }
+        }
+        let mut tuples = if self.cfg.index_reads {
+            self.answer(&state, goal, &permit)?
+        } else {
+            self.scan(&state, goal, &permit)?
+        };
+        tuples.sort();
+        if let Some(shape) = shape {
+            self.cache.insert(shape, stamp, Arc::new(tuples.clone()));
+        }
         Ok(QueryReply {
             epoch: state.epoch,
             route: state.route,
@@ -281,8 +394,55 @@ impl Server {
         })
     }
 
+    /// The typed abort for a cancelled/expired read permit, shared by
+    /// the indexed and scan paths.
+    fn read_aborted(&self, state: &EpochState, permit: &Permit) -> Option<ServeError> {
+        if permit.cancel_token().is_cancelled() {
+            return Some(if permit.was_reclaimed() {
+                ServeError::EpochReclaimed {
+                    requested: state.epoch,
+                    oldest: self.registry.oldest(),
+                }
+            } else {
+                ServeError::Engine(semrec_engine::EngineError::Cancelled)
+            });
+        }
+        if permit.remaining() == Some(Duration::ZERO) {
+            return Some(ServeError::Overloaded {
+                inflight: 0,
+                limit: self.admission.config().max_inflight,
+                retry_after_ms: 1,
+            });
+        }
+        None
+    }
+
+    /// Index-routed goal answering against the pinned snapshot: bound
+    /// arguments probe the relation's dictionary index, all-free goals
+    /// fall back to the scan inside [`answer_goal_polled`]. Cancellation
+    /// and the deadline are polled on the same row cadence as the scan
+    /// path.
+    fn answer(
+        &self,
+        state: &EpochState,
+        goal: &Atom,
+        permit: &Permit,
+    ) -> Result<Vec<Tuple>, ServeError> {
+        let Some(rel) = state.relation(goal.pred) else {
+            return Ok(Vec::new());
+        };
+        answer_goal_polled(rel, goal, rel.snapshot_rows(), |_| {
+            match self.read_aborted(state, permit) {
+                Some(e) => Err(e),
+                None => Ok(()),
+            }
+        })
+    }
+
     /// Scans the pinned snapshot for `goal`, polling cancellation and
-    /// the deadline every [`POLL_EVERY_ROWS`] rows.
+    /// the deadline every [`POLL_EVERY_ROWS`] rows. The fallback read
+    /// path ([`ServeConfig::index_reads`] off) and the reference the
+    /// agreement suites compare the indexed path against.
     fn scan(
         &self,
         state: &EpochState,
@@ -292,43 +452,83 @@ impl Server {
         let Some(rel) = state.relation(goal.pred) else {
             return Ok(Vec::new());
         };
-        let cancel = permit.cancel_token();
         let mut out = Vec::new();
         for (i, (_, row)) in rel.iter_range(rel.snapshot_rows()).enumerate() {
             if i % POLL_EVERY_ROWS == 0 {
-                if cancel.is_cancelled() {
-                    return Err(if permit.was_reclaimed() {
-                        ServeError::EpochReclaimed {
-                            requested: state.epoch,
-                            oldest: self.registry.oldest(),
-                        }
-                    } else {
-                        ServeError::Engine(semrec_engine::EngineError::Cancelled)
-                    });
-                }
-                if permit.remaining() == Some(Duration::ZERO) {
-                    return Err(ServeError::Overloaded {
-                        inflight: 0,
-                        limit: self.admission.config().max_inflight,
-                        retry_after_ms: 1,
-                    });
+                if let Some(e) = self.read_aborted(state, permit) {
+                    return Err(e);
                 }
             }
             if goal_matches(goal, row) {
                 out.push(row.to_vec());
             }
         }
-        out.sort();
         Ok(out)
     }
 
     /// Applies one transaction through the full commit pipeline: WAL
     /// append + fsync, maintained apply, copy-on-write epoch publish.
     /// Serialized with other writers; never blocked by readers.
+    ///
+    /// With [`ServeConfig::batch_commits`] on, concurrent callers are
+    /// group-committed: each enqueues its transaction; the first to see
+    /// no active leader elects itself and sweeps the whole queue into
+    /// **one** maintenance pass — one WAL fsync window, one apply
+    /// sweep, one epoch publication — filling per-transaction
+    /// acknowledgement slots, while the rest sleep on the leadership
+    /// condvar (never on the writer mutex, whose unfair handoff would
+    /// otherwise cap batches at two and starve waiters). A serial
+    /// caller simply leads a batch of one, so uncontended behavior
+    /// (latency, epoch numbering) is unchanged.
     pub fn commit(&self, tx: &Tx) -> Result<CommitReply, ServeError> {
-        let mut ws = self.writer.lock().expect("writer lock poisoned");
-        let ws = &mut *ws;
+        if !self.cfg.batch_commits {
+            let mut ws = self.writer.lock().expect("writer lock poisoned");
+            return self.commit_one(&mut ws, tx);
+        }
+        let slot = CommitSlot::new(tx.clone());
+        let mut q = self.pending.lock().expect("pending lock");
+        q.queue.push_back(Arc::clone(&slot));
+        loop {
+            // A leader that drained our slot fills it before releasing
+            // leadership, so this check (under the pending lock) never
+            // races a fill.
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            if !q.leader_active {
+                q.leader_active = true;
+                let batch: Vec<Arc<CommitSlot>> = q.queue.drain(..).collect();
+                drop(q);
+                let mut ws = self.writer.lock().expect("writer lock poisoned");
+                self.process_batch(&mut ws, &batch);
+                drop(ws);
+                self.pending.lock().expect("pending lock").leader_active = false;
+                self.leader_change.notify_all();
+                return slot.take().expect("leader's slot filled by its own batch");
+            }
+            q = self.leader_change.wait(q).expect("pending lock");
+        }
+    }
 
+    /// Commits `txs` as one explicit batch (one fsync window, one
+    /// publish, one epoch), returning per-transaction acknowledgements
+    /// in order. The deterministic entry point the fault suites and the
+    /// write benchmark use; [`Server::commit`] reaches the same pipeline
+    /// through the concurrent queue.
+    pub fn commit_many(&self, txs: &[Tx]) -> Vec<Result<CommitReply, ServeError>> {
+        let slots: Vec<Arc<CommitSlot>> =
+            txs.iter().map(|tx| CommitSlot::new(tx.clone())).collect();
+        let mut ws = self.writer.lock().expect("writer lock poisoned");
+        self.process_batch(&mut ws, &slots);
+        drop(ws);
+        slots
+            .iter()
+            .map(|s| s.take().expect("batch filled every slot"))
+            .collect()
+    }
+
+    /// The unbatched pipeline ([`ServeConfig::batch_commits`] off).
+    fn commit_one(&self, ws: &mut WriterState, tx: &Tx) -> Result<CommitReply, ServeError> {
         // 1. Durability first: the commit is acknowledged only after the
         //    record is on disk, and applied only after it is durable.
         let pre_len = ws.wal.as_ref().map(Wal::len);
@@ -358,6 +558,8 @@ impl Server {
         self.registry.publish(successor)?;
         ws.next_epoch = epoch + 1;
         self.commits.fetch_add(1, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_txs.fetch_add(1, Ordering::Relaxed);
         Ok(CommitReply {
             epoch,
             route: outcome.route,
@@ -365,6 +567,152 @@ impl Server {
             violated: outcome.violated,
             replanned: outcome.replanned,
         })
+    }
+
+    /// The group-commit pipeline. Per-transaction atomicity holds
+    /// throughout: a transaction whose WAL append or apply fails is
+    /// *condemned* — it alone gets its error, its record is kept out of
+    /// the durable log, and `MaintainedQuery::apply`'s atomic-on-error
+    /// guarantee keeps it out of memory — while the rest of the batch
+    /// commits normally. Acknowledgements are written only after the
+    /// batch's final fsync, so the acknowledged set is always a durable
+    /// prefix-consistent subset of the log.
+    fn process_batch(&self, ws: &mut WriterState, batch: &[Arc<CommitSlot>]) {
+        if batch.is_empty() {
+            return;
+        }
+        let batch_start = ws.wal.as_ref().map(Wal::len);
+
+        // Phase A: append every record, fsyncing nothing yet. An append
+        // failure (injected `wal.append` fault, real I/O error) condemns
+        // only its own transaction — the partial frame is scrubbed and
+        // the next record starts on a clean boundary.
+        let mut condemned: Vec<Option<ServeError>> = vec![None; batch.len()];
+        let mut payloads: Vec<String> = Vec::with_capacity(batch.len());
+        for (i, slot) in batch.iter().enumerate() {
+            let payload = tx_to_stream(&slot.tx);
+            if let Some(wal) = ws.wal.as_mut() {
+                if let Err(e) = wal.append_record(&payload) {
+                    condemned[i] = Some(e);
+                }
+            }
+            payloads.push(payload);
+        }
+
+        // Phase B: one fsync for the whole batch. On failure nothing
+        // has been applied, so rejecting every transaction keeps the
+        // acknowledged history exactly equal to the applied history;
+        // the log is truncated back to the batch start.
+        if let Some(wal) = ws.wal.as_mut() {
+            if let Err(e) = wal.sync() {
+                if let Some(start) = batch_start {
+                    wal.rollback_to(start);
+                }
+                for slot in batch {
+                    slot.fill(Err(e.clone()));
+                }
+                self.batches.fetch_add(1, Ordering::Relaxed);
+                self.batched_txs
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                return;
+            }
+        }
+
+        // Phase C: apply the surviving transactions in queue order.
+        // `MaintainedQuery::apply` is atomic-on-error, so a failed apply
+        // condemns its transaction without touching the shared state.
+        let mut outcomes: Vec<Option<semrec_core::UpdateOutcome>> = vec![None; batch.len()];
+        let mut rewrite = false;
+        for (i, slot) in batch.iter().enumerate() {
+            if condemned[i].is_some() {
+                continue;
+            }
+            match ws.query.apply(&slot.tx, self.cfg.write_budget, None) {
+                Ok(o) => outcomes[i] = Some(o),
+                Err(e) => {
+                    condemned[i] = Some(ServeError::Engine(e));
+                    // Its record is durable but must not replay.
+                    rewrite = true;
+                }
+            }
+        }
+
+        // Phase D: when an already-durable record was condemned in
+        // phase C, rewrite the batch's log tail to exactly the applied
+        // set and re-sync, restoring WAL == applied history before any
+        // acknowledgement. If the rewrite itself fails the log poisons
+        // (refusing later commits) and the whole batch — survivors
+        // included — is answered with the error: like a failed publish,
+        // a commit may end up applied-but-errored, but never
+        // acknowledged-and-lost.
+        if rewrite {
+            if let (Some(wal), Some(start)) = (ws.wal.as_mut(), batch_start) {
+                wal.rollback_to(start);
+                let mut rewrite_failed = None;
+                for (i, payload) in payloads.iter().enumerate() {
+                    if condemned[i].is_none() {
+                        if let Err(e) = wal.append_record(payload) {
+                            rewrite_failed = Some(e);
+                            break;
+                        }
+                    }
+                }
+                if rewrite_failed.is_none() {
+                    rewrite_failed = wal.sync().err();
+                }
+                if let Some(e) = rewrite_failed {
+                    for (i, slot) in batch.iter().enumerate() {
+                        slot.fill(Err(condemned[i].take().unwrap_or_else(|| e.clone())));
+                    }
+                    self.batches.fetch_add(1, Ordering::Relaxed);
+                    self.batched_txs
+                        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    return;
+                }
+            }
+        }
+
+        // Phase E: one copy-on-write publication for the whole batch;
+        // every committed transaction shares the new epoch. A publish
+        // failure leaves the batch durable and applied but errored —
+        // the next successful publish subsumes it (same contract as the
+        // unbatched pipeline).
+        let applied_any = outcomes.iter().any(Option::is_some);
+        let mut publish_err = None;
+        let mut epoch = self.registry.latest().epoch;
+        if applied_any {
+            epoch = ws.next_epoch;
+            let route = ws.query.route();
+            let prev = self.registry.latest();
+            let successor = prev.cow_successor(epoch, route, live_relations(&ws.query).into_iter());
+            match self.registry.publish(successor) {
+                Ok(_) => ws.next_epoch = epoch + 1,
+                Err(e) => publish_err = Some(e),
+            }
+        }
+
+        for (i, slot) in batch.iter().enumerate() {
+            if let Some(e) = condemned[i].take() {
+                slot.fill(Err(e));
+            } else if let Some(e) = &publish_err {
+                slot.fill(Err(e.clone()));
+            } else if let Some(outcome) = outcomes[i].take() {
+                self.commits.fetch_add(1, Ordering::Relaxed);
+                slot.fill(Ok(CommitReply {
+                    epoch,
+                    route: outcome.route,
+                    stats: outcome.stats,
+                    violated: outcome.violated,
+                    replanned: outcome.replanned,
+                }));
+            } else {
+                // No WAL, no apply — unreachable, but fail safe.
+                slot.fill(Err(ServeError::Io("batch slot unprocessed".to_string())));
+            }
+        }
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_txs
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
     }
 
     /// Spawns the slow-reader watchdog thread, sweeping at half the

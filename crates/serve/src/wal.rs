@@ -165,6 +165,22 @@ impl Wal {
     /// rollback itself fails) and the error is returned; the commit
     /// must then be rejected, not applied.
     pub fn append_commit(&mut self, payload: &str) -> Result<(), ServeError> {
+        let pre = self.len;
+        self.append_record(payload)?;
+        if let Err(e) = self.sync() {
+            self.rollback_to(pre);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Appends one record **without** fsyncing it — the group-commit
+    /// building block. The record is not durable until a later
+    /// [`Wal::sync`] succeeds. On failure (injected `wal.append` fault
+    /// or real I/O error) any partial frame is scrubbed so the next
+    /// append starts on a clean record boundary; only this record is
+    /// lost, earlier un-synced records in the batch survive.
+    pub fn append_record(&mut self, payload: &str) -> Result<(), ServeError> {
         if self.poisoned {
             return Err(ServeError::WalCorrupt {
                 offset: self.len,
@@ -172,8 +188,7 @@ impl Wal {
             });
         }
         let pre = self.len;
-        let result = self.try_append(payload.as_bytes());
-        match result {
+        match self.try_append(payload.as_bytes()) {
             Ok(()) => {
                 self.len = pre + (HEADER + payload.len()) as u64;
                 Ok(())
@@ -190,6 +205,25 @@ impl Wal {
                 Err(e)
             }
         }
+    }
+
+    /// Fsyncs everything appended so far — the single durability point
+    /// of a commit batch. The caller decides how to react to a failure
+    /// (a single commit rolls back its record; a batch truncates back
+    /// to its start), so this does **not** change the log length.
+    pub fn sync(&mut self) -> Result<(), ServeError> {
+        if self.poisoned {
+            return Err(ServeError::WalCorrupt {
+                offset: self.len,
+                detail: "log poisoned by an earlier failed rollback".to_string(),
+            });
+        }
+        #[cfg(feature = "failpoints")]
+        semrec_engine::failpoint::hit("wal.fsync")
+            .map_err(|m| ServeError::Io(format!("wal fsync: {m}")))?;
+        self.file
+            .sync_data()
+            .map_err(|e| ServeError::Io(format!("{}: {e}", self.path.display())))
     }
 
     /// Truncates the log back to `len` — the commit pipeline's undo for
@@ -220,14 +254,7 @@ impl Wal {
         frame.extend_from_slice(payload);
         self.file
             .write_all(&frame)
-            .map_err(|e| ServeError::Io(format!("{}: {e}", self.path.display())))?;
-        #[cfg(feature = "failpoints")]
-        semrec_engine::failpoint::hit("wal.fsync")
-            .map_err(|m| ServeError::Io(format!("wal fsync: {m}")))?;
-        self.file
-            .sync_data()
-            .map_err(|e| ServeError::Io(format!("{}: {e}", self.path.display())))?;
-        Ok(())
+            .map_err(|e| ServeError::Io(format!("{}: {e}", self.path.display())))
     }
 }
 

@@ -110,5 +110,13 @@ rc=0
 # BENCH_serve.json freshness: the quick serve bench validates the
 # checked-in artifact's schema_version and required fields before its
 # own timing pass (overload shed count must be recorded nonzero).
+# Serve read gate: on the fresh quick run, indexed bound-goal reads must
+# come in at <= 20% of the scan fallback's median and the repeated-goal
+# leg must hit the answer cache >= 90% of the time — losing the probe
+# route or the stamp-keyed cache fails CI, not just the latency chart.
+# (The batching criterion is NOT gated at quick sizes: group commit only
+# pays off when COW publication dominates per-tx cost, which needs the
+# full-size chain; the checked-in BENCH_serve.json records that run's
+# batched_write.speedup.)
 cargo run -p semrec-bench --release --offline --bin harness -- serve-bench --quick \
-  --baseline BENCH_serve.json
+  --baseline BENCH_serve.json --assert-serve-read

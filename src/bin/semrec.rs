@@ -18,6 +18,7 @@
 //! semrec serve <file> [--wal PATH] [--script PATH | --listen ADDR] [--threads N]
 //!            [--max-inflight N] [--retain-epochs N] [--watchdog-ms N]
 //!            [--request-deadline-ms N] [--deadline-ms N] [--max-rows N]
+//!            [--no-read-index] [--no-answer-cache] [--no-batch] [--cache-capacity N]
 //!            [--max-bytes N] [--max-iters N]      run the serving daemon
 //! ```
 //!
@@ -187,7 +188,8 @@ fn usage() -> String {
      semrec serve <file> [--wal PATH] [--script PATH | --listen ADDR] [--threads N]\n  \
              [--max-inflight N] [--retain-epochs N] [--watchdog-ms N]\n  \
              [--request-deadline-ms N] [--deadline-ms N] [--max-rows N]\n  \
-             [--max-bytes N] [--max-iters N]"
+             [--max-bytes N] [--max-iters N] [--no-read-index]\n  \
+             [--no-answer-cache] [--no-batch] [--cache-capacity N]"
         .to_owned()
 }
 
@@ -507,11 +509,7 @@ fn emit_idb(
                 eprintln!("-- 0 answers");
                 return;
             };
-            let mut answers: Vec<_> = rel
-                .iter()
-                .filter(|row| semrec::engine::eval::goal_matches(goal, row))
-                .map(<[semrec::datalog::Value]>::to_vec)
-                .collect();
+            let mut answers = semrec::engine::eval::answer_goal(rel, goal, rel.all_rows());
             answers.sort();
             for t in &answers {
                 println!("{}", render(goal.pred, t));
@@ -834,6 +832,18 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     }
     if let Some(ms) = flag_u64(args, "--request-deadline-ms")? {
         cfg.admission.default_deadline = Some(std::time::Duration::from_millis(ms));
+    }
+    if args.iter().any(|a| a == "--no-read-index") {
+        cfg.index_reads = false;
+    }
+    if args.iter().any(|a| a == "--no-answer-cache") {
+        cfg.answer_cache = false;
+    }
+    if args.iter().any(|a| a == "--no-batch") {
+        cfg.batch_commits = false;
+    }
+    if let Some(n) = flag_u64(args, "--cache-capacity")? {
+        cfg.cache_capacity = n as usize;
     }
     let wal = flag_value(args, "--wal").map(std::path::PathBuf::from);
 

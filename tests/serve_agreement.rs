@@ -219,6 +219,106 @@ fn interleavings_agree_serial_auto_kernels_off() {
     }
 }
 
+/// Cache-on and cache-off servers replay the same transaction sequence
+/// and must answer a mixed goal set tuple-for-tuple identically at
+/// every epoch — while the cache-on server actually serves repeats from
+/// the answer cache (hits observable in `stats`), and the cache-off
+/// server never does.
+#[test]
+fn cache_on_and_off_agree_tuple_for_tuple() {
+    let txs = tx_sequence(42);
+    let cached_cfg = ServeConfig {
+        retain_epochs: COMMITS + 1,
+        ..ServeConfig::default()
+    };
+    let uncached_cfg = ServeConfig {
+        answer_cache: false,
+        ..cached_cfg.clone()
+    };
+    let (cached, _) = Server::open(&unit(), cached_cfg, None).expect("open cached");
+    let (uncached, _) = Server::open(&unit(), uncached_cfg, None).expect("open uncached");
+    let goals: Vec<Atom> = [
+        "reach(1, Y)",  // bound first column (probe)
+        "reach(X, Y)",  // all free (scan)
+        "reach(X, X)",  // repeated variable (scan + residual)
+        "reach(1, 3)",  // all bound (membership)
+        "reach(Y, 3)",  // bound second column (probe)
+        "edge(2, Y)",   // EDB predicate
+        "absent(X, Y)", // unknown predicate (empty, cacheable)
+    ]
+    .iter()
+    .map(|s| parse_atom(s).expect("goal"))
+    .collect();
+    for tx in &txs {
+        cached.commit(tx).expect("cached commit");
+        uncached.commit(tx).expect("uncached commit");
+        for g in &goals {
+            // Ask twice: the second cached ask is a cache hit and must
+            // still agree with the uncached answer tuple-for-tuple.
+            for _ in 0..2 {
+                let a = cached.query(g, None, None).expect("cached query");
+                let b = uncached.query(g, None, None).expect("uncached query");
+                assert_eq!(a.epoch, b.epoch);
+                assert_eq!(
+                    a.tuples, b.tuples,
+                    "goal {g:?} diverged at epoch {}",
+                    a.epoch
+                );
+            }
+        }
+    }
+    let hot = cached.stats();
+    let cold = uncached.stats();
+    assert!(hot.cache_hits > 0, "repeats must hit the cache");
+    assert_eq!(cold.cache_hits, 0, "cache-off server must never hit");
+    assert_eq!(cold.cache_misses, 0, "cache-off server must never probe");
+}
+
+/// Copy-on-write publication is the cache's invalidation: a goal warmed
+/// into the cache must answer the *new* epoch immediately after every
+/// commit — including across the violation/repair pair, where route
+/// invalidation rebuilds the materialization from scratch and a
+/// generation-only key would serve stale hits.
+#[test]
+fn republish_invalidates_cached_answers() {
+    let txs = tx_sequence(7);
+    let tuning = Tuning::default();
+    let expected = references(&txs, tuning);
+    let cfg = ServeConfig {
+        tuning,
+        retain_epochs: COMMITS + 1,
+        ..ServeConfig::default()
+    };
+    let (server, _) = Server::open(&unit(), cfg, None).expect("open");
+    let g = goal();
+    for (i, tx) in txs.iter().enumerate() {
+        // Warm the cache at the current epoch (second ask is a hit)...
+        for _ in 0..2 {
+            let reply = server.query(&g, None, None).expect("warm query");
+            assert_eq!(reply.tuples, expected[i]);
+        }
+        // ...then commit and require the republished answer, not the
+        // cached one.
+        server.commit(tx).expect("commit");
+        let reply = server.query(&g, None, None).expect("post-commit query");
+        assert_eq!(reply.epoch, i as u64 + 1);
+        assert_eq!(
+            reply.tuples,
+            expected[i + 1],
+            "stale cached answer served after commit {i}"
+        );
+        // Older epochs keep hitting their own entries, unperturbed.
+        let old = server.query(&g, Some(i as u64), None).expect("pinned");
+        assert_eq!(old.tuples, expected[i]);
+    }
+    let stats = server.stats();
+    assert!(
+        stats.cache_hits as usize >= COMMITS,
+        "warm repeats must hit ({} hits)",
+        stats.cache_hits
+    );
+}
+
 /// The writer must make progress while a reader holds a pinned epoch
 /// `Arc` for the whole run (no reader-blocks-writer), and that reader's
 /// snapshot must stay frozen (no writer-blocks-reader consistency

@@ -198,6 +198,142 @@ fn seeded_commit_schedules_end_exact_or_typed() {
     assert!(failed_runs > 0, "no schedule tripped a failure");
 }
 
+/// Mid-batch `wal.append` schedules over the explicit batch entry point
+/// (`Server::commit_many`): the transaction whose append fires is
+/// condemned alone — its record never becomes durable — while every
+/// other transaction in the batch acknowledges at the *same* epoch (one
+/// publication per batch). Restart replay must reconverge to exactly
+/// the acknowledged set: acks match applied history.
+#[test]
+fn mid_batch_wal_append_fault_condemns_one_tx_and_acks_the_rest() {
+    let _g = serial();
+    for seed in 0..12u64 {
+        let mut rng = Rng::seed_from_u64(0xBA7C + seed);
+        let txs = tx_mix(&mut rng);
+        let fire_at = rng.gen_range(0..txs.len()) as u64;
+        let wal = tmp_wal(&format!("batch-{seed}"));
+        let (server, _) = Server::open(&unit(), ServeConfig::default(), Some(&wal)).expect("open");
+
+        failpoint::clear();
+        failpoint::arm("wal.append", fire_at, FailAction::Err);
+        let replies = server.commit_many(&txs);
+        failpoint::clear();
+
+        assert_eq!(replies.len(), txs.len());
+        let mut acked: Vec<Tx> = Vec::new();
+        let mut batch_epoch = None;
+        for (i, reply) in replies.iter().enumerate() {
+            if i as u64 == fire_at {
+                match reply {
+                    Err(ServeError::Io(msg)) => {
+                        assert!(msg.contains("injected"), "seed {seed} tx {i}: {msg}")
+                    }
+                    other => panic!("seed {seed}: condemned tx {i} got {other:?}"),
+                }
+            } else {
+                let r = reply
+                    .as_ref()
+                    .unwrap_or_else(|e| panic!("seed {seed}: survivor tx {i} errored: {e}"));
+                assert_eq!(
+                    *batch_epoch.get_or_insert(r.epoch),
+                    r.epoch,
+                    "seed {seed}: survivors must share the batch epoch"
+                );
+                acked.push(txs[i].clone());
+            }
+        }
+        assert_eq!(batch_epoch, Some(1), "one publication for the whole batch");
+
+        let live = server.query(&goal(), None, None).expect("live query");
+        assert_eq!(
+            live.tuples,
+            serial_replay(&acked),
+            "seed {seed}: live state diverged from the acknowledged set"
+        );
+        drop(server);
+
+        let (reopened, report) =
+            Server::open(&unit(), ServeConfig::default(), Some(&wal)).expect("reopen");
+        assert_eq!(
+            report.replayed_commits,
+            acked.len(),
+            "seed {seed}: durable history must hold exactly the acknowledged transactions"
+        );
+        let replayed = reopened.query(&goal(), None, None).expect("replayed query");
+        assert_eq!(
+            replayed.tuples,
+            serial_replay(&acked),
+            "seed {seed}: restart diverged from the acknowledged set"
+        );
+        let _ = std::fs::remove_file(&wal);
+    }
+}
+
+/// The answer cache under seeded commit-fault schedules: repeated goals
+/// (warm + hit) bracket every commit attempt, and each read must answer
+/// exactly the serial replay of the currently *published* prefix — a
+/// fault that condemns, rejects, or leaves a commit applied-but-
+/// unpublished must never let a stale cached answer through, and the
+/// cache must still be taking hits throughout.
+#[test]
+fn answer_cache_never_serves_stale_under_fault_schedules() {
+    let _g = serial();
+    for seed in 0..10u64 {
+        let mut rng = Rng::seed_from_u64(0xCAC4E + seed);
+        let site = ["wal.append", "wal.fsync", "snapshot.publish"][rng.gen_range(0..3usize)];
+        let fire_at = rng.gen_range(0..6usize) as u64;
+        let txs = tx_mix(&mut rng);
+        let wal = tmp_wal(&format!("cache-{seed}"));
+        let (server, _) = Server::open(&unit(), ServeConfig::default(), Some(&wal)).expect("open");
+
+        failpoint::clear();
+        failpoint::arm(site, fire_at, FailAction::Err);
+        // `applied` is durable-and-applied history; `visible` is how
+        // much of it the latest *published* epoch exposes (a failed
+        // publish lags until the next successful commit subsumes it).
+        let mut applied: Vec<Tx> = Vec::new();
+        let mut visible = 0usize;
+        for tx in &txs {
+            for _ in 0..2 {
+                let r = server.query(&goal(), None, None).expect("pre-commit read");
+                assert_eq!(
+                    r.tuples,
+                    serial_replay(&applied[..visible]),
+                    "seed {seed} ({site}@{fire_at}): stale answer before commit"
+                );
+            }
+            match server.commit(tx) {
+                Ok(_) => {
+                    applied.push(tx.clone());
+                    visible = applied.len();
+                }
+                Err(ServeError::Io(msg)) => {
+                    assert!(msg.contains("injected"), "seed {seed}: {msg}");
+                    if msg.contains("snapshot publish") {
+                        applied.push(tx.clone());
+                    }
+                }
+                Err(other) => panic!("seed {seed} ({site}@{fire_at}): untyped {other:?}"),
+            }
+            for _ in 0..2 {
+                let r = server.query(&goal(), None, None).expect("post-commit read");
+                assert_eq!(
+                    r.tuples,
+                    serial_replay(&applied[..visible]),
+                    "seed {seed} ({site}@{fire_at}): stale answer after commit"
+                );
+            }
+        }
+        failpoint::clear();
+        let stats = server.stats();
+        assert!(
+            stats.cache_hits > 0,
+            "seed {seed}: the repeated goals must be hitting the cache"
+        );
+        let _ = std::fs::remove_file(&wal);
+    }
+}
+
 /// Seeded schedules over the reader site: an injected reader fault is a
 /// typed error, never a wrong answer, and the next (disarmed) read of
 /// the same epoch is exact.
